@@ -1,0 +1,103 @@
+// Layout-policy ablation: what each ingredient of the randomizer costs
+// and buys. Runs three contrasting spec minis under policy variants and
+// reports runtime overhead vs the default build plus the realized
+// per-type entropy and memory inflation.
+//
+// Variants:
+//   full          — paper default: permutation + 1-3 dummies + traps
+//   no-traps      — permutation + dummies, booby traps off
+//   no-dummies    — permutation only (randstruct-equivalent content)
+//   cacheline-64  — permutation restricted to 64-byte groups (§II-C's
+//                   "partially randomized considering the cache line")
+//   identity      — tracking only, no randomization at all (isolates the
+//                   metadata/bookkeeping cost from the layout cost)
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "workloads/spec_suite.h"
+
+namespace {
+
+using namespace polar;
+using namespace polar::bench;
+
+struct Variant {
+  const char* name;
+  LayoutPolicy policy;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  LayoutPolicy p;
+  out.push_back({"full (paper default)", p});
+  p = LayoutPolicy{};
+  p.booby_traps = false;
+  out.push_back({"no-traps", p});
+  p = LayoutPolicy{};
+  p.booby_traps = false;
+  p.min_dummies = 0;
+  p.max_dummies = 0;
+  out.push_back({"no-dummies", p});
+  p = LayoutPolicy{};
+  p.cache_line_group = 64;
+  out.push_back({"cacheline-64", p});
+  p = LayoutPolicy{};
+  p.permute = false;
+  p.booby_traps = false;
+  p.min_dummies = 0;
+  p.max_dummies = 0;
+  out.push_back({"identity (tracking only)", p});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  TypeRegistry registry;
+  const auto suite = spec::build_spec_suite(registry);
+
+  // Three contrasting profiles: access-heavy, alloc-heavy, copy-heavy.
+  const char* picks[] = {"429.mcf", "403.gcc", "458.sjeng"};
+
+  for (const char* pick : picks) {
+    const spec::SpecEntry* entry = nullptr;
+    for (const auto& e : suite) {
+      if (e.name == pick) entry = &e;
+    }
+    if (entry == nullptr) continue;
+
+    DirectSpace direct(registry);
+    volatile std::uint64_t sink = 0;
+    const double base =
+        median_ms([&] { sink = entry->run_direct(direct, 1, 99); }, 5);
+
+    print_header(std::string("Policy ablation — ") + pick +
+                 "  (default build: " + std::to_string(base) + " ms)");
+    std::printf("%-26s %12s %10s %12s %10s\n", "variant", "polar(ms)",
+                "overhead", "inflation", "layouts");
+    print_rule(78);
+    for (const Variant& variant : variants()) {
+      RuntimeConfig cfg;
+      cfg.policy = variant.policy;
+      cfg.seed = 5;
+      Runtime rt(registry, cfg);
+      PolarSpace space(rt);
+      const double hardened =
+          median_ms([&] { sink = entry->run_polar(space, 1, 99); }, 5);
+      std::printf("%-26s %12.2f %+9.1f%% %11.2fx %10llu\n", variant.name,
+                  hardened, overhead_pct(base, hardened),
+                  rt.stats().inflation(),
+                  static_cast<unsigned long long>(rt.stats().layouts_created));
+    }
+  }
+  (void)variants;
+  std::printf(
+      "\nreading: 'identity' isolates pure bookkeeping cost; the delta to\n"
+      "'no-dummies' is the permutation cost (≈0: same instructions, worse\n"
+      "locality only); dummies+traps buy detection and entropy for extra\n"
+      "bytes per object; cacheline-64 trades entropy for locality exactly\n"
+      "as §II-C describes for randstruct's partial mode.\n");
+  return 0;
+}

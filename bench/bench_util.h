@@ -1,0 +1,51 @@
+// Shared helpers for the paper-reproduction bench binaries: median-of-N
+// wall-clock timing and fixed-width table printing that mirrors the
+// paper's tables/figures.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace polar::bench {
+
+/// Milliseconds for one invocation of `fn`.
+inline double time_once_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Median of `reps` timed invocations (first run warms caches and is
+/// discarded).
+inline double median_ms(const std::function<void()>& fn, int reps = 5) {
+  fn();  // warm-up
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(time_once_ms(fn));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+inline double overhead_pct(double base_ms, double polar_ms) {
+  return base_ms <= 0 ? 0.0 : (polar_ms - base_ms) / base_ms * 100.0;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule(78);
+  std::printf("%s\n", title.c_str());
+  print_rule(78);
+}
+
+}  // namespace polar::bench

@@ -1,0 +1,67 @@
+// Reproduces Fig. 6 of the paper: POLaR's performance overhead on the
+// SPEC2006 benchmark (here: the spec-mini substitutes), as percent
+// slowdown of the POLaR build over the default build.
+//
+// Expected shape (paper §V-B): around 5% for most workloads, with
+// 458.sjeng as the outlier because its profile is dominated by object
+// allocation/deallocation and per-node state memcpy.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/spec_suite.h"
+
+namespace {
+
+using namespace polar;
+using namespace polar::bench;
+
+constexpr std::uint32_t kScale = 2;
+constexpr std::uint64_t kSeed = 2026;
+
+}  // namespace
+
+int main() {
+  TypeRegistry registry;
+  const auto suite = spec::build_spec_suite(registry);
+
+  print_header(
+      "Fig. 6 — Performance overhead of POLaR (SPEC2006-mini substitutes)");
+  std::printf("%-18s %12s %12s %12s\n", "benchmark", "default(ms)",
+              "polar(ms)", "overhead(%)");
+  print_rule(78);
+
+  double worst = 0;
+  std::string worst_name;
+  double sum = 0;
+  for (const spec::SpecEntry& entry : suite) {
+    DirectSpace direct(registry);
+    volatile std::uint64_t sink = 0;
+    const double base = median_ms(
+        [&] { sink = entry.run_direct(direct, kScale, kSeed); }, 5);
+
+    RuntimeConfig cfg;
+    cfg.seed = kSeed;
+    Runtime rt(registry, cfg);
+    PolarSpace polar_space(rt);
+    const double hardened = median_ms(
+        [&] { sink = entry.run_polar(polar_space, kScale, kSeed); }, 5);
+    (void)sink;
+
+    const double pct = overhead_pct(base, hardened);
+    sum += pct;
+    if (pct > worst) {
+      worst = pct;
+      worst_name = entry.name;
+    }
+    std::printf("%-18s %12.2f %12.2f %+11.1f%%\n", entry.name.c_str(), base,
+                hardened, pct);
+  }
+  print_rule(78);
+  std::printf("geomean-ish average: %+.1f%%   worst case: %s (%+.1f%%)\n",
+              sum / static_cast<double>(suite.size()), worst_name.c_str(),
+              worst);
+  std::printf(
+      "paper: ~5%% average, worst case 458.sjeng (~30%%) due to its\n"
+      "allocation/copy-dominated profile.\n");
+  return 0;
+}

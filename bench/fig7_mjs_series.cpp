@@ -1,0 +1,64 @@
+// Reproduces Fig. 7 (a–d) of the paper: per-kernel Default vs POLaR
+// series for the four JavaScript suites run on the mjs engine.
+// Sunspider/Kraken plots are execution time (lower is better);
+// Octane/JetStream plots are scores (higher is better).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "workloads/mjs/engine.h"
+#include "workloads/mjs/suites.h"
+
+int main() {
+  using namespace polar;
+  using namespace polar::bench;
+  using namespace polar::mjs;
+
+  TypeRegistry registry;
+  const MjsTypes types = register_types(registry);
+
+  const char* suites[] = {"kraken", "sunspider", "octane", "jetstream"};
+  const char* panel[] = {"(a)", "(b)", "(c)", "(d)"};
+  for (int s = 0; s < 4; ++s) {
+    const std::string suite = suites[s];
+    const bool score = suite_is_score(suite);
+    print_header("Fig. 7 " + std::string(panel[s]) + " — " + suite +
+                 (score ? "  [score: higher is better]"
+                        : "  [time: lower is better]"));
+    std::printf("%-28s %12s %12s %9s\n", "test", "default", "polar", "delta");
+    print_rule(78);
+    for (const MjsBench& b : benchmark_suites()) {
+      if (b.suite != suite) continue;
+      DirectSpace direct(registry);
+      const double base = median_ms(
+          [&] {
+            Engine<DirectSpace> engine(direct, types);
+            engine.run(b.script);
+          },
+          3);
+      RuntimeConfig cfg;
+      cfg.seed = 3;
+      Runtime rt(registry, cfg);
+      PolarSpace polar_space(rt);
+      const double hardened = median_ms(
+          [&] {
+            Engine<PolarSpace> engine(polar_space, types);
+            engine.run(b.script);
+          },
+          3);
+      if (score) {
+        const double d_score = 1000.0 / base;
+        const double p_score = 1000.0 / hardened;
+        std::printf("%-28s %12.1f %12.1f %+8.1f%%\n", b.name.c_str(), d_score,
+                    p_score, (p_score - d_score) / d_score * 100.0);
+      } else {
+        std::printf("%-26s %10.2fms %10.2fms %+8.1f%%\n", b.name.c_str(), base,
+                    hardened, overhead_pct(base, hardened));
+      }
+    }
+  }
+  std::printf(
+      "\npaper's shape: Default and POLaR bars nearly coincide on every\n"
+      "kernel across all four suites.\n");
+  return 0;
+}

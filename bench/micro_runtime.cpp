@@ -1,0 +1,229 @@
+// Microbenchmarks of the POLaR runtime primitives (google-benchmark),
+// backing the paper's §V-B cost analysis and the design-choice ablations
+// called out in DESIGN.md: offset cache on/off, layout dedup on/off,
+// copy re-randomization on/off, and the dummy-count entropy/cost sweep.
+#include <benchmark/benchmark.h>
+
+#include "core/runtime.h"
+#include "core/space.h"
+
+namespace {
+
+using namespace polar;
+
+TypeRegistry& registry() {
+  static TypeRegistry* reg = [] {
+    auto* r = new TypeRegistry();
+    TypeBuilder(*r, "Bench5")
+        .fn_ptr("vtable")
+        .field<std::uint64_t>("a")
+        .ptr("next")
+        .field<std::uint32_t>("len")
+        .field<std::uint32_t>("flags")
+        .build();
+    return r;
+  }();
+  return *reg;
+}
+
+TypeId bench_type() { return *registry().find("Bench5"); }
+
+RuntimeConfig config_with(bool cache, bool dedup, std::uint32_t max_dummies,
+                          bool rerandomize = true) {
+  RuntimeConfig cfg;
+  cfg.enable_cache = cache;
+  cfg.dedup_layouts = dedup;
+  cfg.rerandomize_on_copy = rerandomize;
+  cfg.policy.min_dummies = 0;
+  cfg.policy.max_dummies = max_dummies;
+  cfg.seed = 1;
+  return cfg;
+}
+
+// ------------------------------------------------------- allocation costs
+
+void BM_NativeNewDelete(benchmark::State& state) {
+  for (auto _ : state) {
+    void* p = ::operator new(32);
+    benchmark::DoNotOptimize(p);
+    ::operator delete(p);
+  }
+}
+BENCHMARK(BM_NativeNewDelete);
+
+void BM_OlrMallocFree(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, true, 3));
+  for (auto _ : state) {
+    void* p = rt.olr_malloc(bench_type());
+    benchmark::DoNotOptimize(p);
+    rt.olr_free(p);
+  }
+}
+BENCHMARK(BM_OlrMallocFree);
+
+void BM_OlrMallocFree_NoDedup(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, false, 3));
+  for (auto _ : state) {
+    void* p = rt.olr_malloc(bench_type());
+    benchmark::DoNotOptimize(p);
+    rt.olr_free(p);
+  }
+}
+BENCHMARK(BM_OlrMallocFree_NoDedup);
+
+void BM_OlrMalloc_DummySweep(benchmark::State& state) {
+  Runtime rt(registry(),
+             config_with(true, true,
+                         static_cast<std::uint32_t>(state.range(0))));
+  for (auto _ : state) {
+    void* p = rt.olr_malloc(bench_type());
+    benchmark::DoNotOptimize(p);
+    rt.olr_free(p);
+  }
+  state.counters["bytes/obj"] = static_cast<double>(
+      rt.stats().bytes_allocated) /
+      static_cast<double>(rt.stats().allocations);
+}
+BENCHMARK(BM_OlrMalloc_DummySweep)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+// ----------------------------------------------------- member access costs
+
+void BM_NativeMemberAccess(benchmark::State& state) {
+  struct Native {
+    void* vtable;
+    std::uint64_t a;
+    void* next;
+    std::uint32_t len;
+    std::uint32_t flags;
+  } obj{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.a += 1);
+  }
+}
+BENCHMARK(BM_NativeMemberAccess);
+
+void BM_DirectSpaceAccess(benchmark::State& state) {
+  DirectSpace space(registry());
+  void* p = space.alloc(bench_type());
+  for (auto _ : state) {
+    const auto v = space.load<std::uint64_t>(p, bench_type(), 1);
+    space.store<std::uint64_t>(p, bench_type(), 1, v + 1);
+  }
+  space.free_object(p, bench_type());
+}
+BENCHMARK(BM_DirectSpaceAccess);
+
+void BM_OlrGetptr_CacheOn(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, true, 3));
+  void* p = rt.olr_malloc(bench_type());
+  for (auto _ : state) {
+    const auto v = rt.load<std::uint64_t>(p, 1);
+    rt.store<std::uint64_t>(p, 1, v + 1);
+  }
+  state.counters["hit%"] = rt.stats().cache_hit_rate() * 100.0;
+  rt.olr_free(p);
+}
+BENCHMARK(BM_OlrGetptr_CacheOn);
+
+void BM_OlrGetptr_CacheOff(benchmark::State& state) {
+  Runtime rt(registry(), config_with(false, true, 3));
+  void* p = rt.olr_malloc(bench_type());
+  for (auto _ : state) {
+    const auto v = rt.load<std::uint64_t>(p, 1);
+    rt.store<std::uint64_t>(p, 1, v + 1);
+  }
+  rt.olr_free(p);
+}
+BENCHMARK(BM_OlrGetptr_CacheOff);
+
+void BM_OlrGetptr_Typed(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, true, 3));
+  void* p = rt.olr_malloc(bench_type());
+  for (auto _ : state) {
+    void* f = rt.olr_getptr_typed(p, bench_type(), 1);
+    benchmark::DoNotOptimize(f);
+  }
+  rt.olr_free(p);
+}
+BENCHMARK(BM_OlrGetptr_Typed);
+
+// Many live objects: the metadata table probe under load.
+void BM_OlrGetptr_ManyObjects(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, true, 3));
+  std::vector<void*> objs;
+  for (int i = 0; i < state.range(0); ++i) {
+    objs.push_back(rt.olr_malloc(bench_type()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    void* f = rt.olr_getptr(objs[i++ % objs.size()], 3);
+    benchmark::DoNotOptimize(f);
+  }
+  for (void* p : objs) rt.olr_free(p);
+}
+BENCHMARK(BM_OlrGetptr_ManyObjects)->Arg(64)->Arg(4096)->Arg(65536);
+
+// ------------------------------------------------------------- copy costs
+
+void BM_NativeMemcpy32(benchmark::State& state) {
+  unsigned char a[32] = {};
+  unsigned char b[32] = {};
+  for (auto _ : state) {
+    std::memcpy(b, a, 32);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_NativeMemcpy32);
+
+void BM_OlrClone_Rerandomize(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, true, 3, /*rerandomize=*/true));
+  void* src = rt.olr_malloc(bench_type());
+  for (auto _ : state) {
+    void* c = rt.olr_clone(src);
+    benchmark::DoNotOptimize(c);
+    rt.olr_free(c);
+  }
+  rt.olr_free(src);
+}
+BENCHMARK(BM_OlrClone_Rerandomize);
+
+void BM_OlrClone_ShareLayout(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, true, 3, /*rerandomize=*/false));
+  void* src = rt.olr_malloc(bench_type());
+  for (auto _ : state) {
+    void* c = rt.olr_clone(src);
+    benchmark::DoNotOptimize(c);
+    rt.olr_free(c);
+  }
+  rt.olr_free(src);
+}
+BENCHMARK(BM_OlrClone_ShareLayout);
+
+void BM_OlrMemcpyBetweenObjects(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, true, 3));
+  void* a = rt.olr_malloc(bench_type());
+  void* b = rt.olr_malloc(bench_type());
+  for (auto _ : state) {
+    rt.olr_memcpy(b, a);
+    benchmark::DoNotOptimize(b);
+  }
+  rt.olr_free(a);
+  rt.olr_free(b);
+}
+BENCHMARK(BM_OlrMemcpyBetweenObjects);
+
+// ------------------------------------------------------------ trap checks
+
+void BM_CheckTraps(benchmark::State& state) {
+  Runtime rt(registry(), config_with(true, true, 3));
+  void* p = rt.olr_malloc(bench_type());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.check_traps(p));
+  }
+  rt.olr_free(p);
+}
+BENCHMARK(BM_CheckTraps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Reproduces Table III of the paper: per-application counts of
+// allocation, free, object memcpy, member-variable access, and offset
+// cache hits against the randomized objects.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/spec_suite.h"
+
+int main() {
+  using namespace polar;
+  using namespace polar::bench;
+
+  TypeRegistry registry;
+  const auto suite = spec::build_spec_suite(registry);
+
+  print_header(
+      "Table III — # of allocation/free/memcpy/member access/cache hit");
+  std::printf("%-18s %10s %10s %10s %14s %14s %7s\n", "app", "alloc", "free",
+              "memcpy", "member-access", "cache-hit", "hit%");
+  print_rule(90);
+
+  for (const spec::SpecEntry& entry : suite) {
+    RuntimeConfig cfg;
+    cfg.seed = 7;
+    Runtime rt(registry, cfg);
+    PolarSpace space(rt);
+    entry.run_polar(space, /*scale=*/2, /*seed=*/2026);
+    const RuntimeStats& s = rt.stats();
+    std::printf("%-18s %10llu %10llu %10llu %14llu %14llu %6.1f%%\n",
+                entry.name.c_str(),
+                static_cast<unsigned long long>(s.allocations),
+                static_cast<unsigned long long>(s.frees),
+                static_cast<unsigned long long>(s.memcpys),
+                static_cast<unsigned long long>(s.member_accesses),
+                static_cast<unsigned long long>(s.cache_hits),
+                s.cache_hit_rate() * 100.0);
+  }
+  print_rule(90);
+  std::printf(
+      "paper's shape: mcf/hmmer = one allocation but millions of accesses\n"
+      "with ~100%% cache hits; gcc/perlbench = allocation-dominated;\n"
+      "sjeng/h264ref additionally carry heavy object-memcpy traffic.\n");
+  return 0;
+}

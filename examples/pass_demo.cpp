@@ -1,0 +1,70 @@
+// Instrumentation-pass walkthrough (paper §IV-A-2, Fig. 4): shows a
+// function before and after run_polar_pass — the alloc / getelementptr /
+// memcpy / free rewriting the paper's LLVM pass performs — then executes
+// both versions to show identical behaviour with different machinery.
+//
+// Build & run:  ./build/examples/pass_demo
+#include <cstdio>
+
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "ir/polar_pass.h"
+#include "ir/verifier.h"
+
+using namespace polar;
+
+int main() {
+  TypeRegistry registry;
+  const TypeId people = TypeBuilder(registry, "People")
+                            .fn_ptr("vtable")
+                            .field<int>("age")
+                            .field<int>("height")
+                            .build();
+
+  // People *A = new People; A->height = 17; People *B = clone(A);
+  // int h = B->height; delete A; delete B; return h;
+  ir::FunctionBuilder b("demo", 0);
+  const ir::Reg a = b.alloc(people);
+  b.store(b.gep(a, people, 2), b.const64(17), ir::Width::kW32);
+  const ir::Reg bb = b.clone(a, people);
+  const ir::Reg h = b.load(b.gep(bb, people, 2), ir::Width::kW32);
+  b.free_obj(a, people);
+  b.free_obj(bb, people);
+  b.ret(h);
+
+  ir::Module module;
+  module.functions.push_back(std::move(b).build());
+
+  std::printf("=== before the pass (what clang emits) ===\n%s\n",
+              ir::to_string(module.functions[0]).c_str());
+
+  ir::Module hardened = module;
+  const ir::PassReport report = ir::run_polar_pass(hardened, registry);
+  std::printf("=== after run_polar_pass ===\n%s\n",
+              ir::to_string(hardened.functions[0]).c_str());
+  std::printf("pass report: %llu allocs, %llu geps, %llu frees, %llu copies "
+              "rewritten\n\n",
+              static_cast<unsigned long long>(report.allocs_rewritten),
+              static_cast<unsigned long long>(report.geps_rewritten),
+              static_cast<unsigned long long>(report.frees_rewritten),
+              static_cast<unsigned long long>(report.copies_rewritten));
+
+  // Run both.
+  ir::Interpreter direct(module, registry);
+  const auto plain = direct.run("demo", {});
+  std::printf("uninstrumented result: %llu (status ok=%d)\n",
+              static_cast<unsigned long long>(plain.value),
+              plain.status == ir::InterpResult::Status::kOk);
+
+  Runtime rt(registry, RuntimeConfig{.seed = entropy_seed()});
+  ir::Interpreter polar_interp(hardened, registry, &rt);
+  const auto hard = polar_interp.run("demo", {});
+  std::printf("POLaR-hardened result: %llu (status ok=%d); runtime saw "
+              "%llu allocs, %llu member accesses, %llu object copies\n",
+              static_cast<unsigned long long>(hard.value),
+              hard.status == ir::InterpResult::Status::kOk,
+              static_cast<unsigned long long>(rt.stats().allocations),
+              static_cast<unsigned long long>(rt.stats().member_accesses),
+              static_cast<unsigned long long>(rt.stats().memcpys));
+  return plain.value == hard.value ? 0 : 1;
+}

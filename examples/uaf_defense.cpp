@@ -1,0 +1,71 @@
+// Use-after-free case study (paper §III-A-2 and §V-C): the same exploit
+// mounted against an undefended heap, static OLR (randstruct-style), and
+// POLaR — demonstrating the two properties POLaR claims: binary exposure
+// doesn't matter, and retries are non-deterministic.
+//
+// Build & run:  ./build/examples/uaf_defense
+#include <cstdio>
+
+#include "attack/attack.h"
+
+using namespace polar;
+
+namespace {
+
+void report(const char* label, const AttackOutcome& out) {
+  std::printf("  %-36s success %6.1f%%  detected %6.1f%%  distinct outcomes "
+              "%llu%s\n",
+              label, out.success_rate() * 100, out.detection_rate() * 100,
+              static_cast<unsigned long long>(out.distinct_outcomes),
+              out.distinct_outcomes == 1 ? "  (deterministic!)" : "");
+}
+
+}  // namespace
+
+int main() {
+  TypeRegistry registry;
+  const AttackTypes types = register_attack_types(registry);
+
+  AttackConfig cfg;
+  cfg.trials = 1000;
+  cfg.seed = 7;
+
+  std::printf("The exploit: free a Victim object (fn-ptr + refcount + len),\n"
+              "reclaim its chunk with attacker data, wait for the program to\n"
+              "use the dangling pointer. Success = the program 'calls' the\n"
+              "attacker's payload pointer after its own sanity checks pass.\n\n");
+
+  std::printf("Raw-buffer spray (attacker controls every byte):\n");
+  cfg.defense = DefenseKind::kNone;
+  report("no defense", run_uaf_fake_object(registry, types, cfg));
+  cfg.defense = DefenseKind::kStaticOlr;
+  report("static OLR, binary hidden", run_uaf_fake_object(registry, types, cfg));
+  cfg.attacker_knows_binary = true;
+  report("static OLR, binary reverse-engineered",
+         run_uaf_fake_object(registry, types, cfg));
+  cfg.attacker_knows_binary = false;
+  cfg.defense = DefenseKind::kPolar;
+  cfg.strict_typed_access = true;
+  report("POLaR", run_uaf_fake_object(registry, types, cfg));
+
+  std::printf("\nManaged-object spray (reclaim with another tracked type):\n");
+  cfg.defense = DefenseKind::kNone;
+  report("no defense", run_uaf_reclaim(registry, types, cfg, false));
+  cfg.defense = DefenseKind::kStaticOlr;
+  cfg.attacker_knows_binary = true;
+  report("static OLR, binary reverse-engineered",
+         run_uaf_reclaim(registry, types, cfg, false));
+  cfg.attacker_knows_binary = false;
+  cfg.defense = DefenseKind::kPolar;
+  report("POLaR (class-hash check)", run_uaf_reclaim(registry, types, cfg, false));
+  cfg.strict_typed_access = false;
+  report("POLaR (index lookup only)", run_uaf_reclaim(registry, types, cfg, false));
+
+  std::printf(
+      "\nTakeaways: static OLR collapses once the binary leaks (its layouts\n"
+      "are compile-time constants) and every retry behaves identically;\n"
+      "POLaR's randomization is drawn per allocation at runtime, so the\n"
+      "binary contains nothing to leak, the metadata check catches the\n"
+      "dangling access, and repeated attempts never behave the same way.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates the full evaluation: tests, then every table/figure bench.
+# Usage: scripts/reproduce.sh [build-dir]
+set -eu
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,116 @@
+#include "alloc/heap.h"
+
+#include <new>
+
+#include "support/assert.h"
+
+namespace polar {
+
+namespace {
+// Classes: 16-byte steps up to 256, then 64-byte steps up to 1024, then
+// 256-byte steps up to 4096. Requests above kMaxSmall go straight to
+// operator new.
+constexpr std::size_t step_round(std::size_t size, std::size_t step,
+                                 std::size_t base) noexcept {
+  return base + ((size - base + step - 1) / step) * step;
+}
+}  // namespace
+
+std::size_t SizeClassHeap::class_size(std::size_t size) noexcept {
+  if (size == 0) size = 1;
+  if (size <= 256) return step_round(size, 16, 0);
+  if (size <= 1024) return step_round(size, 64, 256);
+  if (size <= kMaxSmall) return step_round(size, 256, 1024);
+  return 0;
+}
+
+int SizeClassHeap::class_index(std::size_t size) noexcept {
+  const std::size_t cs = class_size(size);
+  if (cs == 0) return -1;
+  if (cs <= 256) return static_cast<int>(cs / 16 - 1);         // 0..15
+  if (cs <= 1024) return static_cast<int>(16 + (cs - 256) / 64 - 1);  // 16..27
+  return static_cast<int>(28 + (cs - 1024) / 256 - 1);         // 28..39
+}
+
+SizeClassHeap::SizeClassHeap(HeapConfig config)
+    : config_(config), rng_(config.seed), freelists_(kNumClasses) {}
+
+SizeClassHeap::~SizeClassHeap() = default;
+
+void* SizeClassHeap::take_from_freelist(int cls) {
+  auto& list = freelists_[static_cast<std::size_t>(cls)];
+  if (list.empty()) return nullptr;
+  void* p = nullptr;
+  if (config_.randomize_reuse) {
+    const std::size_t i = rng_.below(list.size());
+    p = list[i];
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+  } else if (config_.lifo_reuse) {
+    p = list.back();
+    list.pop_back();
+  } else {
+    p = list.front();
+    list.pop_front();
+  }
+  return p;
+}
+
+void* SizeClassHeap::allocate(std::size_t size) {
+  ++stats_.allocations;
+  const int cls = class_index(size);
+  if (cls < 0) return ::operator new(size);
+
+  if (void* reused = take_from_freelist(cls)) {
+    ++stats_.reuse_hits;
+    return reused;
+  }
+
+  const std::size_t block = class_size(size);
+  if (bump_left_ < block) {
+    slabs_.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+    bump_ = slabs_.back().get();
+    bump_left_ = kSlabBytes;
+    ++stats_.slab_refills;
+  }
+  void* p = bump_;
+  bump_ += block;
+  bump_left_ -= block;
+  return p;
+}
+
+void SizeClassHeap::deallocate(void* p, std::size_t size) {
+  POLAR_CHECK(p != nullptr, "deallocate(null)");
+  ++stats_.frees;
+  const int cls = class_index(size);
+  if (cls < 0) {
+    ::operator delete(p);
+    return;
+  }
+  if (config_.quarantine_bytes > 0) {
+    const std::size_t bytes = class_size(size);
+    quarantine_.push_back({p, cls, bytes});
+    stats_.quarantined_bytes += bytes;
+    drain_quarantine();
+    return;
+  }
+  freelists_[static_cast<std::size_t>(cls)].push_back(p);
+}
+
+void SizeClassHeap::drain_quarantine() {
+  while (stats_.quarantined_bytes > config_.quarantine_bytes) {
+    const Quarantined q = quarantine_.front();
+    quarantine_.pop_front();
+    stats_.quarantined_bytes -= q.bytes;
+    freelists_[static_cast<std::size_t>(q.cls)].push_back(q.p);
+  }
+}
+
+const void* SizeClassHeap::peek_next(std::size_t size) const {
+  const int cls = class_index(size);
+  if (cls < 0) return nullptr;
+  const auto& list = freelists_[static_cast<std::size_t>(cls)];
+  if (list.empty() || config_.randomize_reuse) return nullptr;
+  return config_.lifo_reuse ? list.back() : list.front();
+}
+
+}  // namespace polar

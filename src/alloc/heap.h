@@ -1,0 +1,102 @@
+// Size-class heap with controllable reuse — the substrate under the
+// use-after-free case studies (paper §III-A-2, §V-C).
+//
+// Real-world UAF exploitation depends on the allocator handing the
+// attacker the victim's freed block back. This heap makes that behaviour a
+// knob: LIFO free lists give the classic deterministic reclaim that
+// exploits rely on, an optional quarantine delays reuse (the
+// redzone-allocator comparison of §VII-C), and randomized reuse models
+// hardened allocators. The POLaR runtime plugs this in through its
+// alloc_fn/free_fn hooks so exploit simulations run over realistic heap
+// dynamics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace polar {
+
+struct HeapConfig {
+  /// LIFO reuse (exploit-friendly, like glibc tcache). When false, FIFO.
+  bool lifo_reuse = true;
+  /// Freed blocks sit in a FIFO quarantine until its total byte size
+  /// exceeds this budget; 0 disables (immediate reuse).
+  std::size_t quarantine_bytes = 0;
+  /// Pick reuse victims at random instead of list order.
+  bool randomize_reuse = false;
+  std::uint64_t seed = 0xa110cULL;
+};
+
+struct HeapStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t reuse_hits = 0;    ///< allocations served from a free list
+  std::uint64_t slab_refills = 0;  ///< fresh slab carvings
+  std::size_t quarantined_bytes = 0;
+};
+
+class SizeClassHeap {
+ public:
+  explicit SizeClassHeap(HeapConfig config = {});
+  ~SizeClassHeap();
+
+  SizeClassHeap(const SizeClassHeap&) = delete;
+  SizeClassHeap& operator=(const SizeClassHeap&) = delete;
+
+  void* allocate(std::size_t size);
+  void deallocate(void* p, std::size_t size);
+
+  /// The address the next allocate(size) would return, or nullptr if it
+  /// would carve fresh slab memory. This is the attacker's oracle in the
+  /// UAF simulator ("will my spray land on the victim chunk?") — with
+  /// randomize_reuse it is intentionally unreliable.
+  [[nodiscard]] const void* peek_next(std::size_t size) const;
+
+  [[nodiscard]] const HeapStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const HeapConfig& config() const noexcept { return config_; }
+
+  /// Number of size classes (for tests/benches sweeping classes).
+  static constexpr std::size_t kNumClasses = 40;
+  /// Rounded block size for a request, or 0 if it bypasses the classes.
+  [[nodiscard]] static std::size_t class_size(std::size_t size) noexcept;
+
+  /// Runtime::alloc_fn / free_fn adapters.
+  static void* alloc_hook(std::size_t size, void* ctx) {
+    return static_cast<SizeClassHeap*>(ctx)->allocate(size);
+  }
+  static void free_hook(void* p, std::size_t size, void* ctx) {
+    static_cast<SizeClassHeap*>(ctx)->deallocate(p, size);
+  }
+
+ private:
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+  static constexpr std::size_t kMaxSmall = 4096;
+
+  [[nodiscard]] static int class_index(std::size_t size) noexcept;
+  void* take_from_freelist(int cls);
+  void drain_quarantine();
+
+  HeapConfig config_;
+  HeapStats stats_;
+  Rng rng_;
+
+  std::vector<std::deque<void*>> freelists_;  // per class
+  struct Quarantined {
+    void* p;
+    int cls;
+    std::size_t bytes;
+  };
+  std::deque<Quarantined> quarantine_;
+
+  // Slab bump allocation for small classes.
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::byte* bump_ = nullptr;
+  std::size_t bump_left_ = 0;
+};
+
+}  // namespace polar

@@ -1,0 +1,629 @@
+#include "attack/attack.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "alloc/heap.h"
+#include "baseline/static_olr.h"
+#include "core/runtime.h"
+#include "support/assert.h"
+#include "support/hash.h"
+
+namespace polar {
+
+const char* to_string(DefenseKind d) noexcept {
+  switch (d) {
+    case DefenseKind::kNone: return "none";
+    case DefenseKind::kStaticOlr: return "static-olr";
+    case DefenseKind::kPolar: return "polar";
+  }
+  return "?";
+}
+
+AttackTypes register_attack_types(TypeRegistry& registry) {
+  AttackTypes t;
+  t.victim = TypeBuilder(registry, "Victim")
+                 .fn_ptr("handler")
+                 .field<std::uint64_t>("refcount")
+                 .ptr("name")
+                 .field<std::uint32_t>("len")
+                 .field<std::uint32_t>("flags")
+                 .build();
+  t.spray_full = TypeBuilder(registry, "SprayFull")
+                     .field<std::uint64_t>("f0")
+                     .field<std::uint64_t>("f1")
+                     .field<std::uint64_t>("f2")
+                     .field<std::uint64_t>("f3")
+                     .build();
+  t.spray_small = TypeBuilder(registry, "SpraySmall")
+                      .field<std::uint64_t>("k0")
+                      .field<std::uint64_t>("k1")
+                      .bytes("k2", 16, 8)
+                      .build();
+  t.confused = TypeBuilder(registry, "Confused")
+                   .field<std::uint64_t>("user_id")  // fully controlled
+                   .field<std::uint32_t>("kind")
+                   .field<std::uint32_t>("tag")
+                   .bytes("blob", 8, 4)  // controlled byte payload
+                   .build();
+  t.overflowable = TypeBuilder(registry, "Overflowable")
+                       .bytes("data", 32, 8)
+                       .fn_ptr("handler")
+                       .field<std::uint32_t>("len")
+                       .build();
+  return t;
+}
+
+namespace {
+
+// What the vulnerable program reads when it "uses a Victim": the function
+// pointer, a refcount it validates as nonzero, and a length it validates
+// as < 100 — only then does it "call" the pointer. Exploit success
+// therefore needs three windows of attacker data to line up, not one.
+constexpr std::uint32_t kHandlerField = 0;
+constexpr std::uint32_t kRefcountField = 1;
+constexpr std::uint32_t kLenField = 3;
+constexpr std::uint64_t kBenignHandler = 0x00005afe5afe5afeULL;
+
+struct Observation {
+  bool detected = false;
+  std::uint64_t handler = 0;
+  std::uint64_t refcount = 0;
+  std::uint64_t len = 0;
+
+  [[nodiscard]] bool success() const noexcept {
+    return !detected && refcount != 0 && len < 100 && handler == kPayload;
+  }
+  [[nodiscard]] std::uint64_t signature() const noexcept {
+    std::uint64_t h = detected ? 0x1 : 0x2;
+    h = hash_combine(h, handler);
+    h = hash_combine(h, refcount);
+    h = hash_combine(h, len);
+    return h;
+  }
+};
+
+/// Accumulates per-trial observations into an AttackOutcome.
+struct OutcomeAccumulator {
+  AttackOutcome outcome;
+  std::set<std::uint64_t> signatures;
+
+  void add(const Observation& obs) {
+    ++outcome.attempts;
+    if (obs.detected) {
+      ++outcome.detected;
+    } else if (obs.success()) {
+      ++outcome.successes;
+    } else {
+      ++outcome.failed;
+    }
+    signatures.insert(obs.signature());
+  }
+
+  [[nodiscard]] AttackOutcome take() {
+    outcome.distinct_outcomes = signatures.size();
+    return outcome;
+  }
+};
+
+std::size_t block_size_for(std::uint32_t layout_size) {
+  const std::size_t cls = SizeClassHeap::class_size(layout_size);
+  return cls == 0 ? layout_size : cls;
+}
+
+/// Bounded little-endian read from a byte block; bytes beyond the block
+/// read as zero (a guard-page-adjacent miss rather than UB).
+std::uint64_t read_block(const std::vector<std::uint8_t>& block,
+                         std::uint32_t offset, std::uint32_t width) {
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const std::size_t at = offset + i;
+    if (at < block.size()) {
+      v |= static_cast<std::uint64_t>(block[at]) << (8 * i);
+    }
+  }
+  return v;
+}
+
+void write_block(std::vector<std::uint8_t>& block, std::uint32_t offset,
+                 std::uint64_t value, std::uint32_t width) {
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const std::size_t at = offset + i;
+    if (at < block.size()) {
+      block[at] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+  }
+}
+
+/// The fake-Victim byte image the attacker wants the dangling memory to
+/// hold, laid out under the victim layout the attacker BELIEVES in.
+std::vector<std::uint8_t> fake_victim_image(const Layout& assumed,
+                                            std::size_t size) {
+  std::vector<std::uint8_t> image(size, 0);
+  write_block(image, assumed.offsets[kHandlerField], kPayload, 8);
+  write_block(image, assumed.offsets[kRefcountField], 1, 8);
+  write_block(image, assumed.offsets[kLenField], 10, 4);
+  return image;
+}
+
+/// The layout the attacker assumes for a type: ground truth when they have
+/// it, the natural (declared) layout otherwise — the best public guess.
+Layout attacker_assumed_layout(const TypeInfo& info, const AttackConfig& cfg,
+                               const Layout& truth) {
+  const bool knows =
+      cfg.defense == DefenseKind::kNone ||
+      (cfg.defense == DefenseKind::kStaticOlr && cfg.attacker_knows_binary);
+  return knows ? truth : natural_layout(info);
+}
+
+/// Byte-world observation: program reads Victim fields at the offsets of
+/// `victim_truth` from `block`.
+Observation observe_bytes(const std::vector<std::uint8_t>& block,
+                          const Layout& victim_truth) {
+  Observation obs;
+  obs.handler = read_block(block, victim_truth.offsets[kHandlerField], 8);
+  obs.refcount = read_block(block, victim_truth.offsets[kRefcountField], 8);
+  obs.len = read_block(block, victim_truth.offsets[kLenField], 4);
+  return obs;
+}
+
+/// POLaR-world observation: program reads Victim fields through the
+/// runtime; any refused access aborts the use (detection).
+Observation observe_polar(Runtime& rt, void* base, TypeId victim,
+                          const AttackConfig& cfg, std::size_t block_cap) {
+  Observation obs;
+  const auto read_field = [&](std::uint32_t field,
+                              std::uint32_t width) -> std::uint64_t {
+    void* p = cfg.strict_typed_access
+                  ? rt.olr_getptr_typed(base, victim, field)
+                  : rt.olr_getptr(base, field);
+    if (p == nullptr) {
+      obs.detected = true;
+      return 0;
+    }
+    // Bound the read to the heap block backing the object, mirroring
+    // read_block's guard-page behaviour.
+    const ObjectRecord* rec = rt.inspect(base);
+    std::uint64_t v = 0;
+    const auto off = static_cast<std::size_t>(static_cast<unsigned char*>(p) -
+                                              static_cast<unsigned char*>(base));
+    for (std::uint32_t i = 0; i < width; ++i) {
+      if (off + i < block_cap && rec != nullptr) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char*>(base)[off + i])
+             << (8 * i);
+      }
+    }
+    return v;
+  };
+  obs.handler = read_field(kHandlerField, 8);
+  if (obs.detected) return obs;
+  obs.refcount = read_field(kRefcountField, 8);
+  if (obs.detected) return obs;
+  obs.len = read_field(kLenField, 4);
+  return obs;
+}
+
+/// Byte-world helper: materializes an object of `info` whose FIELD VALUES
+/// the attacker chose by slicing `desired` under `assumed` offsets, placed
+/// at the TRUE offsets. Uncontrolled bytes (padding, dummies) come from
+/// `background` (canaries / stale memory).
+std::vector<std::uint8_t> materialize_fields(
+    const TypeInfo& info, const Layout& truth, const Layout& assumed,
+    const std::vector<std::uint8_t>& desired, std::size_t block,
+    std::uint8_t background) {
+  std::vector<std::uint8_t> bytes(block, background);
+  for (std::uint32_t f = 0; f < info.field_count(); ++f) {
+    for (std::uint32_t i = 0; i < info.fields[f].size; ++i) {
+      const std::size_t src = assumed.offsets[f] + i;
+      const std::size_t dst = truth.offsets[f] + i;
+      if (dst < bytes.size()) {
+        bytes[dst] = src < desired.size() ? desired[src] : 0;
+      }
+    }
+  }
+  return bytes;
+}
+
+/// Per-trial truth layouts. kNone: natural. kStaticOlr: fixed per binary
+/// seed (same every trial — the Reproduction Problem). kPolar handled by
+/// the real Runtime instead.
+struct ByteWorld {
+  Layout victim;
+  Layout other;
+};
+
+ByteWorld byte_world(const TypeRegistry& reg, const AttackTypes& types,
+                     TypeId other_type, const AttackConfig& cfg) {
+  ByteWorld w;
+  if (cfg.defense == DefenseKind::kNone) {
+    w.victim = natural_layout(reg.info(types.victim));
+    w.other = natural_layout(reg.info(other_type));
+  } else {
+    StaticOlr olr(reg, cfg.policy, /*binary_seed=*/cfg.seed * 31 + 7);
+    w.victim = olr.layout_of(types.victim);
+    w.other = olr.layout_of(other_type);
+  }
+  return w;
+}
+
+/// Fresh POLaR stack for an attack run: exploit-friendly heap + runtime in
+/// report mode so detections are observable.
+struct PolarWorld {
+  SizeClassHeap heap;
+  Runtime rt;
+
+  PolarWorld(const TypeRegistry& reg, const AttackConfig& cfg)
+      : heap(HeapConfig{.lifo_reuse = true}),
+        rt(reg, make_config(cfg, &heap)) {}
+
+  static RuntimeConfig make_config(const AttackConfig& cfg,
+                                   SizeClassHeap* heap) {
+    RuntimeConfig rc;
+    rc.policy = cfg.policy;
+    rc.on_violation = ErrorAction::kReport;
+    rc.seed = cfg.seed ^ 0x90a1;
+    rc.alloc_fn = SizeClassHeap::alloc_hook;
+    rc.free_fn = SizeClassHeap::free_hook;
+    rc.alloc_ctx = heap;
+    return rc;
+  }
+};
+
+}  // namespace
+
+// ------------------------------------------------------- UAF: fake object
+
+AttackOutcome run_uaf_fake_object(const TypeRegistry& reg,
+                                  const AttackTypes& types,
+                                  const AttackConfig& cfg) {
+  OutcomeAccumulator acc;
+  const TypeInfo& victim_info = reg.info(types.victim);
+
+  if (cfg.defense != DefenseKind::kPolar) {
+    const ByteWorld w = byte_world(reg, types, types.victim, cfg);
+    const Layout assumed = attacker_assumed_layout(victim_info, cfg, w.victim);
+    const std::size_t block = block_size_for(w.victim.size);
+    for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+      // The attacker's raw spray buffer replaces the freed victim 1:1
+      // (LIFO reclaim); they control every byte of it.
+      std::vector<std::uint8_t> memory = fake_victim_image(assumed, block);
+      acc.add(observe_bytes(memory, w.victim));
+    }
+    return acc.take();
+  }
+
+  PolarWorld world(reg, cfg);
+  for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+    void* v = world.rt.olr_malloc(types.victim);
+    world.rt.store<std::uint64_t>(v, kHandlerField, kBenignHandler);
+    world.rt.store<std::uint64_t>(v, kRefcountField, 3);
+    const std::size_t size = world.rt.inspect(v)->layout->size;
+    world.rt.olr_free(v);
+
+    // Raw (untracked) spray buffer reclaims the chunk.
+    void* raw = world.heap.allocate(size);
+    const Layout assumed = natural_layout(victim_info);
+    const std::vector<std::uint8_t> image = fake_victim_image(assumed, size);
+    std::memcpy(raw, image.data(), size);
+
+    // Program uses the dangling pointer; the metadata table has no record
+    // for this base anymore.
+    acc.add(observe_polar(world.rt, v, types.victim, cfg,
+                          block_size_for(static_cast<std::uint32_t>(size))));
+    world.rt.clear_violation();
+    world.heap.deallocate(raw, size);
+  }
+  return acc.take();
+}
+
+// --------------------------------------------------- UAF: tracked reclaim
+
+AttackOutcome run_uaf_reclaim(const TypeRegistry& reg,
+                              const AttackTypes& types,
+                              const AttackConfig& cfg, bool small_spray) {
+  OutcomeAccumulator acc;
+  const TypeId spray_type = small_spray ? types.spray_small : types.spray_full;
+  const TypeInfo& victim_info = reg.info(types.victim);
+  const TypeInfo& spray_info = reg.info(spray_type);
+
+  if (cfg.defense != DefenseKind::kPolar) {
+    const ByteWorld w = byte_world(reg, types, spray_type, cfg);
+    const Layout victim_assumed =
+        attacker_assumed_layout(victim_info, cfg, w.victim);
+    const Layout spray_assumed =
+        attacker_assumed_layout(spray_info, cfg, w.other);
+    const std::size_t victim_block = block_size_for(w.victim.size);
+    const std::size_t spray_block = block_size_for(w.other.size);
+    for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+      if (victim_block != spray_block) {
+        // Different size classes: the spray never reclaims the chunk.
+        Observation miss;
+        miss.handler = kBenignHandler;  // stale victim memory, attack inert
+        miss.refcount = 3;
+        acc.add(miss);
+        continue;
+      }
+      const std::vector<std::uint8_t> desired =
+          fake_victim_image(victim_assumed, 64);
+      const std::vector<std::uint8_t> memory = materialize_fields(
+          spray_info, w.other, spray_assumed, desired, spray_block, 0);
+      acc.add(observe_bytes(memory, w.victim));
+    }
+    return acc.take();
+  }
+
+  PolarWorld world(reg, cfg);
+  for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+    void* v = world.rt.olr_malloc(types.victim);
+    world.rt.store<std::uint64_t>(v, kHandlerField, kBenignHandler);
+    world.rt.store<std::uint64_t>(v, kRefcountField, 3);
+    const std::size_t victim_size = world.rt.inspect(v)->layout->size;
+    world.rt.olr_free(v);
+
+    // Spray managed objects hoping one reclaims the victim's chunk.
+    const std::vector<std::uint8_t> desired =
+        fake_victim_image(natural_layout(victim_info), 64);
+    const Layout spray_assumed = natural_layout(spray_info);
+    std::vector<void*> sprays;
+    bool reclaimed = false;
+    for (int s = 0; s < 8 && !reclaimed; ++s) {
+      void* obj = world.rt.olr_malloc(spray_type);
+      sprays.push_back(obj);
+      reclaimed = (obj == v);
+    }
+    // Attacker fills every spray object's fields with the sliced image.
+    for (void* obj : sprays) {
+      for (std::uint32_t f = 0; f < spray_info.field_count(); ++f) {
+        void* p = world.rt.olr_getptr(obj, f);
+        for (std::uint32_t i = 0; i < spray_info.fields[f].size; ++i) {
+          const std::size_t src = spray_assumed.offsets[f] + i;
+          static_cast<unsigned char*>(p)[i] =
+              src < desired.size() ? desired[src] : 0;
+        }
+      }
+    }
+
+    if (!reclaimed) {
+      Observation miss;
+      miss.handler = kBenignHandler;
+      miss.refcount = 3;
+      acc.add(miss);
+    } else {
+      acc.add(observe_polar(
+          world.rt, v, types.victim, cfg,
+          block_size_for(
+              static_cast<std::uint32_t>(std::max(victim_size, victim_size)))));
+    }
+    world.rt.clear_violation();
+    for (void* obj : sprays) world.rt.olr_free(obj);
+    world.rt.clear_violation();
+  }
+  return acc.take();
+}
+
+// ---------------------------------------------------------- type confusion
+
+AttackOutcome run_type_confusion(const TypeRegistry& reg,
+                                 const AttackTypes& types,
+                                 const AttackConfig& cfg) {
+  OutcomeAccumulator acc;
+  const TypeInfo& victim_info = reg.info(types.victim);
+  const TypeInfo& conf_info = reg.info(types.confused);
+  constexpr std::uint32_t kUserId = 0, kKind = 1, kTag = 2, kBlob = 3;
+
+  if (cfg.defense != DefenseKind::kPolar) {
+    const ByteWorld w = byte_world(reg, types, types.confused, cfg);
+    const Layout victim_assumed =
+        attacker_assumed_layout(victim_info, cfg, w.victim);
+    const Layout conf_assumed =
+        attacker_assumed_layout(conf_info, cfg, w.other);
+    const std::size_t block = block_size_for(w.other.size);
+    for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+      const std::vector<std::uint8_t> desired =
+          fake_victim_image(victim_assumed, 64);
+      std::vector<std::uint8_t> memory(block, 0);
+      // Program-controlled fields.
+      write_block(memory, w.other.offsets[kKind], 1, 4);
+      write_block(memory, w.other.offsets[kTag], 0, 4);
+      // Attacker-controlled fields, sliced from the desired image.
+      for (std::uint32_t f : {kUserId, kBlob}) {
+        for (std::uint32_t i = 0; i < conf_info.fields[f].size; ++i) {
+          const std::size_t src = conf_assumed.offsets[f] + i;
+          const std::size_t dst = w.other.offsets[f] + i;
+          if (dst < memory.size()) {
+            memory[dst] = src < desired.size() ? desired[src] : 0;
+          }
+        }
+      }
+      acc.add(observe_bytes(memory, w.victim));
+    }
+    return acc.take();
+  }
+
+  PolarWorld world(reg, cfg);
+  for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+    void* c = world.rt.olr_malloc(types.confused);
+    world.rt.store<std::uint32_t>(c, kKind, 1);
+    world.rt.store<std::uint32_t>(c, kTag, 0);
+    // Attacker-controlled values go in through the legitimate API.
+    const std::vector<std::uint8_t> desired =
+        fake_victim_image(natural_layout(victim_info), 64);
+    const Layout conf_assumed = natural_layout(conf_info);
+    for (std::uint32_t f : {kUserId, kBlob}) {
+      void* p = world.rt.olr_getptr(c, f);
+      for (std::uint32_t i = 0; i < conf_info.fields[f].size; ++i) {
+        const std::size_t src = conf_assumed.offsets[f] + i;
+        static_cast<unsigned char*>(p)[i] =
+            src < desired.size() ? desired[src] : 0;
+      }
+    }
+    // The bug: Victim code runs over the Confused object.
+    acc.add(observe_polar(world.rt, c, types.victim, cfg,
+                          block_size_for(world.rt.inspect(c)->layout->size)));
+    world.rt.clear_violation();
+    world.rt.olr_free(c);
+    world.rt.clear_violation();
+  }
+  return acc.take();
+}
+
+// ---------------------------------------------------------- linear overflow
+
+AttackOutcome run_linear_overflow(const TypeRegistry& reg,
+                                  const AttackTypes& types,
+                                  const AttackConfig& cfg) {
+  OutcomeAccumulator acc;
+  const TypeInfo& info = reg.info(types.overflowable);
+  constexpr std::uint32_t kData = 0, kHandler = 1, kLenF = 2;
+
+  // Builds the attacker's overflow byte string given the layout they
+  // believe in: filler up to the believed handler offset, then payload.
+  const auto craft = [&](const Layout& believed) -> std::vector<std::uint8_t> {
+    const std::uint32_t data_off = believed.offsets[kData];
+    const std::uint32_t handler_off = believed.offsets[kHandler];
+    if (handler_off < data_off) return {};  // believed unexploitable
+    const std::uint32_t len = handler_off - data_off + 8;
+    std::vector<std::uint8_t> bytes(len, 0x42);
+    for (int i = 0; i < 8; ++i) {
+      bytes[len - 8 + static_cast<std::uint32_t>(i)] =
+          static_cast<std::uint8_t>(kPayload >> (8 * i));
+    }
+    return bytes;
+  };
+
+  if (cfg.defense != DefenseKind::kPolar) {
+    const ByteWorld w = byte_world(reg, types, types.overflowable, cfg);
+    const Layout assumed = attacker_assumed_layout(info, cfg, w.other);
+    const std::size_t block = block_size_for(w.other.size);
+    for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+      std::vector<std::uint8_t> memory(block, 0);
+      write_block(memory, w.other.offsets[kHandler], kBenignHandler, 8);
+      write_block(memory, w.other.offsets[kLenF], 5, 4);
+      const std::vector<std::uint8_t> overflow = craft(assumed);
+      const std::uint32_t data_off = w.other.offsets[kData];
+      for (std::size_t i = 0; i < overflow.size(); ++i) {
+        if (data_off + i < memory.size()) memory[data_off + i] = overflow[i];
+      }
+      Observation obs;  // program "uses" the object: calls handler
+      obs.handler = read_block(memory, w.other.offsets[kHandler], 8);
+      obs.refcount = 1;  // not part of this scenario's validation
+      obs.len = 0;
+      acc.add(obs);
+    }
+    return acc.take();
+  }
+
+  PolarWorld world(reg, cfg);
+  for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+    void* o = world.rt.olr_malloc(types.overflowable);
+    world.rt.store<std::uint64_t>(o, kHandler, kBenignHandler);
+    world.rt.store<std::uint32_t>(o, kLenF, 5);
+    const ObjectRecord* rec = world.rt.inspect(o);
+    const Layout truth = *rec->layout;
+
+    std::vector<std::uint8_t> overflow;
+    if (cfg.attacker_knows_metadata && !cfg.metadata_sealed) {
+      // Full metadata leak (§VI-A): copy the live bytes between data and
+      // handler — traps included — and surgically replace the pointer.
+      if (truth.offsets[kHandler] >= truth.offsets[kData]) {
+        const std::uint32_t len =
+            truth.offsets[kHandler] - truth.offsets[kData] + 8;
+        overflow.resize(len);
+        std::memcpy(overflow.data(),
+                    static_cast<unsigned char*>(o) + truth.offsets[kData], len);
+        for (int i = 0; i < 8; ++i) {
+          overflow[len - 8 + static_cast<std::uint32_t>(i)] =
+              static_cast<std::uint8_t>(kPayload >> (8 * i));
+        }
+      }
+    } else {
+      overflow = craft(natural_layout(info));  // public guess: data then ptr
+    }
+
+    // The bug: unchecked copy into the 32-byte data field.
+    void* data_ptr = world.rt.olr_getptr(o, kData);
+    const auto data_off = static_cast<std::size_t>(
+        static_cast<unsigned char*>(data_ptr) - static_cast<unsigned char*>(o));
+    const std::size_t cap = block_size_for(truth.size);
+    for (std::size_t i = 0; i < overflow.size(); ++i) {
+      if (data_off + i < cap) {
+        static_cast<unsigned char*>(o)[data_off + i] = overflow[i];
+      }
+    }
+
+    Observation obs;
+    // Program validates its booby traps before trusting the object
+    // (§IV-A-3's detection mechanism).
+    if (!world.rt.check_traps(o)) {
+      obs.detected = true;
+    } else {
+      void* p = cfg.strict_typed_access
+                    ? world.rt.olr_getptr_typed(o, types.overflowable, kHandler)
+                    : world.rt.olr_getptr(o, kHandler);
+      if (p == nullptr) {
+        obs.detected = true;
+      } else {
+        std::memcpy(&obs.handler, p, 8);
+        obs.refcount = 1;
+        obs.len = 0;
+      }
+    }
+    acc.add(obs);
+    world.rt.clear_violation();
+    world.rt.olr_free(o);
+    world.rt.clear_violation();
+  }
+  return acc.take();
+}
+
+// ------------------------------------------------------ use-before-init
+
+AttackOutcome run_use_before_init(const TypeRegistry& reg,
+                                  const AttackTypes& types,
+                                  const AttackConfig& cfg) {
+  OutcomeAccumulator acc;
+  const TypeInfo& victim_info = reg.info(types.victim);
+
+  if (cfg.defense != DefenseKind::kPolar) {
+    const ByteWorld w = byte_world(reg, types, types.victim, cfg);
+    const Layout assumed = attacker_assumed_layout(victim_info, cfg, w.victim);
+    const std::size_t block = block_size_for(w.victim.size);
+    for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+      // Grooming: the attacker freed a buffer full of a fake-victim image;
+      // the uninstrumented allocator hands the victim that stale block
+      // without clearing it.
+      std::vector<std::uint8_t> memory = fake_victim_image(assumed, block);
+      // The buggy program initializes only `flags` (field 4) and then uses
+      // the object: handler/refcount/len are read uninitialized.
+      write_block(memory, w.victim.offsets[4], 1, 4);
+      acc.add(observe_bytes(memory, w.victim));
+    }
+    return acc.take();
+  }
+
+  PolarWorld world(reg, cfg);
+  for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+    // Grooming: raw allocation filled with the payload image, freed back.
+    const std::size_t groom_size = 48;  // the class victim objects land in
+    void* groom = world.heap.allocate(groom_size);
+    const std::vector<std::uint8_t> image =
+        fake_victim_image(natural_layout(victim_info), groom_size);
+    std::memcpy(groom, image.data(), groom_size);
+    world.heap.deallocate(groom, groom_size);
+
+    // The victim may reclaim the groomed block — but olr_malloc zero-fills
+    // and draws fresh offsets, so the stale payload is gone either way.
+    void* v = world.rt.olr_malloc(types.victim);
+    world.rt.store<std::uint32_t>(v, 4, 1);  // program inits flags only
+    acc.add(observe_polar(world.rt, v, types.victim, cfg,
+                          block_size_for(world.rt.inspect(v)->layout->size)));
+    world.rt.clear_violation();
+    world.rt.olr_free(v);
+  }
+  return acc.take();
+}
+
+}  // namespace polar

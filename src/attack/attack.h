@@ -1,0 +1,132 @@
+// Heap-exploit simulator — quantifies the security arguments of paper
+// §III and the case-study discussion of §V-C.
+//
+// Four canonical heap attacks are mounted against three defenses:
+//   kNone      — natural layouts, constant offsets (stock compiler)
+//   kStaticOlr — randstruct/DSLR-style per-binary randomization
+//   kPolar     — per-allocation randomization through the real Runtime
+//
+// Every attack is executed at the byte level over a SizeClassHeap with
+// exploit-friendly LIFO reuse, so reclaim behaviour, padding slack, trap
+// bytes and partial overwrites are all faithfully modelled. Outcomes are
+// counted over many trials:
+//   success   — the program consumed the attacker's payload as intended
+//   detected  — the defense refused the access (UAF / type / trap check)
+//   failed    — neither: the program read garbage (a crash in real life)
+// plus `distinct_outcomes`, the number of different observable results
+// across retries — the measurable form of the paper's Reproduction
+// Problem (§III-B-2): 1 means the attacker can rehearse the exploit
+// deterministically; large means every retry behaves differently.
+#pragma once
+
+#include <cstdint>
+
+#include "core/layout.h"
+#include "core/type_registry.h"
+
+namespace polar {
+
+enum class DefenseKind : std::uint8_t { kNone, kStaticOlr, kPolar };
+
+[[nodiscard]] const char* to_string(DefenseKind d) noexcept;
+
+struct AttackConfig {
+  DefenseKind defense = DefenseKind::kNone;
+  /// Static OLR only: the attacker reverse-engineered the shipped binary
+  /// and knows its per-binary layouts (the Hidden Binary Problem,
+  /// §III-B-1). Ignored by kNone (layouts are public knowledge anyway)
+  /// and by kPolar (the binary contains no layout).
+  bool attacker_knows_binary = false;
+  /// POLaR only: enable the class-hash check on member access
+  /// (olr_getptr_typed) — the strict mode ablation.
+  bool strict_typed_access = false;
+  /// POLaR only: the attacker can read POLaR's metadata table (the
+  /// residual risk acknowledged in §VI-A).
+  bool attacker_knows_metadata = false;
+  /// POLaR only: metadata is kept in a protected region (the MPX/SGX/MPK
+  /// hardening §VI-A plans as future work). A metadata *leak* then yields
+  /// nothing useful, so attacker_knows_metadata is neutralized.
+  bool metadata_sealed = false;
+  std::uint32_t trials = 1000;
+  std::uint64_t seed = 1;
+  LayoutPolicy policy{};
+};
+
+struct AttackOutcome {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t distinct_outcomes = 0;
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(successes) /
+                               static_cast<double>(attempts);
+  }
+  [[nodiscard]] double detection_rate() const noexcept {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(attempts);
+  }
+};
+
+/// The fixed cast of types used by all scenarios (registered once into the
+/// caller's registry):
+///   Victim       — the security-relevant object: fn-ptr + refcount +
+///                  name ptr + length/flags (the paper's Fig. 1 shape)
+///   SprayFull    — 4 attacker-valued u64 fields; same size class as
+///                  Victim, same field arity as the Victim reads need
+///   SpraySmall   — 3 fields; index 3 accesses fall off the end
+///   Confused     — the type-confusion partner: one fully controlled u64
+///                  (user_id) that naturally overlaps Victim.handler
+///   Overflowable — inline 32-byte buffer followed by a fn-ptr; the
+///                  in-object linear-overflow target (booby-trap study)
+struct AttackTypes {
+  TypeId victim;
+  TypeId spray_full;
+  TypeId spray_small;
+  TypeId confused;
+  TypeId overflowable;
+};
+
+AttackTypes register_attack_types(TypeRegistry& registry);
+
+/// Use-after-free where the attacker reclaims the freed chunk with a RAW
+/// byte buffer (string/array spray) crafted as a fake Victim.
+AttackOutcome run_uaf_fake_object(const TypeRegistry& registry,
+                                  const AttackTypes& types,
+                                  const AttackConfig& config);
+
+/// Use-after-free where the reclaiming allocation is itself a managed
+/// object (SprayFull or SpraySmall) whose field values the attacker picks.
+AttackOutcome run_uaf_reclaim(const TypeRegistry& registry,
+                              const AttackTypes& types,
+                              const AttackConfig& config, bool small_spray);
+
+/// Type confusion: a live Confused object is processed by Victim code.
+AttackOutcome run_type_confusion(const TypeRegistry& registry,
+                                 const AttackTypes& types,
+                                 const AttackConfig& config);
+
+/// In-object linear overflow from Overflowable.data toward its fn-ptr.
+AttackOutcome run_linear_overflow(const TypeRegistry& registry,
+                                  const AttackTypes& types,
+                                  const AttackConfig& config);
+
+/// Use-before-initialization (§III-B-2 lists it among the bugs whose
+/// deterministic triggering static OLR cannot prevent): the attacker
+/// grooms the heap with payload bytes, a Victim is allocated over the
+/// stale data, and the program reads fields before initializing them.
+/// POLaR defeats this twice over: per-allocation offsets make the stale
+/// byte at any field unpredictable, and olr_malloc zero-fills the object
+/// (uninstrumented malloc does not).
+AttackOutcome run_use_before_init(const TypeRegistry& registry,
+                                  const AttackTypes& types,
+                                  const AttackConfig& config);
+
+/// The payload value a successful exploit must deliver into the hijacked
+/// pointer (exposed so tests/benches can assert on it).
+inline constexpr std::uint64_t kPayload = 0x4141414141414141ULL;
+
+}  // namespace polar

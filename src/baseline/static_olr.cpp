@@ -1,0 +1,15 @@
+#include "baseline/static_olr.h"
+
+namespace polar {
+
+StaticOlr::StaticOlr(const TypeRegistry& registry, const LayoutPolicy& policy,
+                     std::uint64_t binary_seed)
+    : registry_(&registry), binary_seed_(binary_seed) {
+  Rng rng(binary_seed);
+  layouts_.reserve(registry.size());
+  for (const TypeInfo& info : registry) {
+    layouts_.push_back(randomize_layout(info, policy, rng));
+  }
+}
+
+}  // namespace polar

@@ -1,0 +1,89 @@
+// Static (compile-time) Object Layout Randomization baseline — the
+// randstruct / DSLR / RFOR approach the paper compares against (§III,
+// §VII-A).
+//
+// One layout is drawn per type when the "binary" is built (constructor,
+// keyed by a binary seed). Every allocation of that type, in every
+// "execution" of the same binary, shares that layout — which is exactly
+// the weakness POLaR attacks: reverse-engineering the binary or observing
+// one crash reveals the layout for good. Rebuilding with a different seed
+// models shipping a re-diversified binary.
+//
+// Like real randstruct there is no per-access runtime cost: offsets are
+// fixed constants of the binary.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "core/layout.h"
+#include "core/type_registry.h"
+#include "support/rng.h"
+
+namespace polar {
+
+class StaticOlr {
+ public:
+  /// "Compiles the binary": draws one layout per registered type from
+  /// `binary_seed`. The same (registry, policy, seed) always produces the
+  /// same layouts — the reproduction problem of §III-B-2.
+  StaticOlr(const TypeRegistry& registry, const LayoutPolicy& policy,
+            std::uint64_t binary_seed);
+
+  static constexpr bool kRandomized = true;
+
+  [[nodiscard]] const Layout& layout_of(TypeId type) const {
+    return layouts_[type.value];
+  }
+
+  void* alloc(TypeId type) {
+    const Layout& l = layout_of(type);
+    void* p = ::operator new(l.size);
+    std::memset(p, 0, l.size);
+    return p;
+  }
+
+  void free_object(void* base, TypeId /*type*/) { ::operator delete(base); }
+
+  [[nodiscard]] void* field_ptr(void* base, TypeId type,
+                                std::uint32_t field) const {
+    return static_cast<unsigned char*>(base) + layout_of(type).offsets[field];
+  }
+
+  template <class T>
+  [[nodiscard]] T load(void* base, TypeId type, std::uint32_t field) const {
+    T v;
+    std::memcpy(&v, field_ptr(base, type, field), sizeof(T));
+    return v;
+  }
+
+  template <class T>
+  void store(void* base, TypeId type, std::uint32_t field, const T& v) const {
+    std::memcpy(field_ptr(base, type, field), &v, sizeof(T));
+  }
+
+  /// All instances share the layout, so object copy is a flat memcpy —
+  /// the efficiency static OLR keeps and POLaR gives up.
+  void copy_object(void* dst, const void* src, TypeId type) {
+    std::memcpy(dst, src, layout_of(type).size);
+  }
+
+  void* clone_object(const void* src, TypeId type) {
+    const Layout& l = layout_of(type);
+    void* p = ::operator new(l.size);
+    std::memcpy(p, src, l.size);
+    return p;
+  }
+
+  [[nodiscard]] const TypeRegistry& registry() const { return *registry_; }
+  [[nodiscard]] std::uint64_t binary_seed() const { return binary_seed_; }
+
+ private:
+  const TypeRegistry* registry_;
+  std::uint64_t binary_seed_;
+  std::vector<Layout> layouts_;  // indexed by TypeId
+};
+
+}  // namespace polar

@@ -1,0 +1,74 @@
+// Offset-lookup cache — paper §V-B: "POLaR implements the hashtable-based
+// caching mechanism that store the previous result of the lookup
+// procedure".
+//
+// Direct-mapped table keyed by (base address, field index). A hit skips
+// the metadata-table probe entirely, which is the dominant cost of
+// olr_getptr. Entries for an object are explicitly invalidated at free /
+// re-randomization time, so a hit is always for a live object and never
+// masks a use-after-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/hash.h"
+
+namespace polar {
+
+class OffsetCache {
+ public:
+  /// capacity = 2^bits entries (each 24 bytes).
+  explicit OffsetCache(std::uint32_t bits = 14)
+      : slots_(std::size_t{1} << bits), mask_((std::size_t{1} << bits) - 1) {}
+
+  /// Returns true and fills `offset` on a hit.
+  [[nodiscard]] bool lookup(const void* base, std::uint32_t field,
+                            std::uint32_t& offset) const noexcept {
+    const Entry& e = slots_[slot_of(base, field)];
+    if (e.base == base && e.field == field) {
+      offset = e.offset;
+      return true;
+    }
+    return false;
+  }
+
+  void store(const void* base, std::uint32_t field,
+             std::uint32_t offset) noexcept {
+    slots_[slot_of(base, field)] = {base, field, offset};
+  }
+
+  /// Drops all entries belonging to `base`. Called on olr_free and when a
+  /// copy re-randomizes an already-tracked destination. field_count bounds
+  /// the scan to the object's real fields.
+  void invalidate_object(const void* base, std::uint32_t field_count) noexcept {
+    for (std::uint32_t f = 0; f < field_count; ++f) {
+      Entry& e = slots_[slot_of(base, f)];
+      if (e.base == base && e.field == f) e = Entry{};
+    }
+  }
+
+  void clear() noexcept {
+    for (Entry& e : slots_) e = Entry{};
+  }
+
+ private:
+  struct Entry {
+    const void* base = nullptr;
+    std::uint32_t field = 0;
+    std::uint32_t offset = 0;
+  };
+
+  [[nodiscard]] std::size_t slot_of(const void* base,
+                                    std::uint32_t field) const noexcept {
+    const std::uint64_t key =
+        mix64(reinterpret_cast<std::uintptr_t>(base) ^
+              (static_cast<std::uint64_t>(field) << 58) ^ field);
+    return static_cast<std::size_t>(key) & mask_;
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t mask_;
+};
+
+}  // namespace polar

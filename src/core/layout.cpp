@@ -1,0 +1,140 @@
+#include "core/layout.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <span>
+
+#include "support/assert.h"
+#include "support/hash.h"
+
+namespace polar {
+
+namespace {
+
+constexpr std::uint32_t align_up(std::uint32_t x, std::uint32_t a) noexcept {
+  return (x + a - 1) & ~(a - 1);
+}
+
+/// A slot in the permuted ordering: either declared field `index` or a
+/// dummy of `dummy_size` bytes.
+struct Slot {
+  bool is_dummy = false;
+  std::uint32_t index = 0;       // valid when !is_dummy
+  std::uint32_t dummy_size = 0;  // valid when is_dummy
+  bool guards_sensitive = false;
+};
+
+}  // namespace
+
+std::uint64_t Layout::compute_hash() const noexcept {
+  std::uint64_t h = fnv1a(std::span<const std::byte>{});
+  for (std::uint32_t off : offsets) h = hash_combine(h, off);
+  for (const TrapRegion& t : traps) {
+    h = hash_combine(h, (static_cast<std::uint64_t>(t.offset) << 32) | t.size);
+  }
+  return hash_combine(h, size);
+}
+
+Layout randomize_layout(const TypeInfo& type, const LayoutPolicy& policy,
+                        Rng& rng) {
+  const std::uint32_t n = type.field_count();
+  POLAR_CHECK(n > 0, "cannot randomize an empty type");
+  if (type.no_randomize) return natural_layout(type);
+
+  // 1. Permute the declared field order — fully, or within
+  //    cache-line-sized groups of the natural layout.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  if (policy.permute && !type.no_randomize) {
+    if (policy.cache_line_group == 0) {
+      rng.shuffle(std::span<std::uint32_t>(order));
+    } else {
+      std::size_t group_start = 0;
+      std::uint32_t group_bytes = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t field_bytes = type.fields[order[i]].size;
+        if (group_bytes + field_bytes > policy.cache_line_group &&
+            i > group_start) {
+          rng.shuffle(std::span<std::uint32_t>(&order[group_start],
+                                               i - group_start));
+          group_start = i;
+          group_bytes = 0;
+        }
+        group_bytes += field_bytes;
+      }
+      rng.shuffle(
+          std::span<std::uint32_t>(&order[group_start], n - group_start));
+    }
+  }
+
+  // 2. Interleave dummies: one booby trap before each sensitive field,
+  //    plus [min,max] pure-entropy dummies at random positions.
+  std::vector<Slot> slots;
+  slots.reserve(n * 2 + policy.max_dummies);
+  for (std::uint32_t idx : order) {
+    if (policy.booby_traps && is_pointer_kind(type.fields[idx].kind)) {
+      slots.push_back({.is_dummy = true,
+                       .dummy_size = policy.dummy_granule,
+                       .guards_sensitive = true});
+    }
+    slots.push_back({.index = idx});
+  }
+  const std::uint32_t extra =
+      policy.min_dummies +
+      static_cast<std::uint32_t>(
+          rng.below(policy.max_dummies - policy.min_dummies + 1));
+  for (std::uint32_t d = 0; d < extra; ++d) {
+    const std::uint32_t granules =
+        1 + static_cast<std::uint32_t>(rng.below(policy.dummy_max_granules));
+    Slot dummy{.is_dummy = true, .dummy_size = policy.dummy_granule * granules};
+    const std::size_t pos = rng.below(slots.size() + 1);
+    slots.insert(slots.begin() + static_cast<std::ptrdiff_t>(pos), dummy);
+  }
+
+  // 3. Assign offsets sequentially, honoring per-field alignment. Dummies
+  //    are byte-aligned; alignment padding that arises naturally also acts
+  //    as slack the attacker cannot rely on.
+  Layout layout;
+  layout.offsets.resize(n);
+  std::uint32_t cursor = 0;
+  for (const Slot& s : slots) {
+    if (s.is_dummy) {
+      layout.traps.push_back({.offset = cursor,
+                              .size = s.dummy_size,
+                              .guards_sensitive = s.guards_sensitive});
+      cursor += s.dummy_size;
+    } else {
+      const FieldInfo& f = type.fields[s.index];
+      cursor = align_up(cursor, f.align);
+      layout.offsets[s.index] = cursor;
+      cursor += f.size;
+    }
+  }
+  layout.size = align_up(std::max(cursor, 1u), type.natural_align);
+  layout.hash = layout.compute_hash();
+  return layout;
+}
+
+Layout natural_layout(const TypeInfo& type) {
+  Layout layout;
+  layout.offsets = type.natural_offsets;
+  layout.size = type.natural_size;
+  layout.hash = layout.compute_hash();
+  return layout;
+}
+
+std::uint64_t permutation_space(const TypeInfo& type,
+                                const LayoutPolicy& policy) {
+  if (!policy.permute || type.no_randomize) return 1;
+  std::uint64_t total = 1;
+  for (std::uint32_t i = 2; i <= type.field_count(); ++i) {
+    if (total > std::numeric_limits<std::uint64_t>::max() / i) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    total *= i;
+  }
+  return total;
+}
+
+}  // namespace polar

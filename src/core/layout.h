@@ -1,0 +1,84 @@
+// Per-allocation layout randomization — paper §IV-A-2/3.
+//
+// A Layout is one concrete randomized arrangement of a type's fields:
+// a permutation of the declared fields plus zero or more dummy fields.
+// Dummies serve two purposes the paper calls out: raising permutation
+// entropy, and acting as booby traps placed adjacent to sensitive
+// (pointer) fields so that a linear overwrite trips a detectable canary
+// before reaching the pointer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/type_registry.h"
+#include "support/rng.h"
+
+namespace polar {
+
+/// A dummy/trap region inside a randomized object.
+struct TrapRegion {
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+  /// True if this dummy was deliberately placed immediately before a
+  /// sensitive field (booby trap), false if it is pure entropy padding.
+  bool guards_sensitive = false;
+};
+
+/// One randomized in-object layout. Interned and possibly shared by
+/// multiple live objects (paper: "remove the duplicate metadata when two
+/// objects have the same randomized memory layout").
+struct Layout {
+  /// offsets[i] = byte offset of declared field i in this layout.
+  std::vector<std::uint32_t> offsets;
+  std::vector<TrapRegion> traps;
+  std::uint32_t size = 0;   ///< total allocation size for this layout
+  std::uint64_t hash = 0;   ///< identity for dedup
+
+  [[nodiscard]] std::uint64_t compute_hash() const noexcept;
+};
+
+/// Tunables for the randomizer. Defaults follow the paper's described
+/// behaviour (permutation + dummies + booby traps, alignment respected).
+struct LayoutPolicy {
+  /// Number of pure-entropy dummy fields inserted, drawn uniformly from
+  /// [min_dummies, max_dummies].
+  std::uint32_t min_dummies = 1;
+  std::uint32_t max_dummies = 3;
+  /// Dummy field size is dummy_granule * (1..dummy_max_granules) bytes.
+  std::uint32_t dummy_granule = 8;
+  std::uint32_t dummy_max_granules = 2;
+  /// Place a trap word immediately before every pointer-kind field.
+  bool booby_traps = true;
+  /// Permute fields at all (disabling leaves only dummy insertion; used by
+  /// ablation benches).
+  bool permute = true;
+  /// Cache-line-aware partial randomization (paper §II-C: randstruct's
+  /// layout is "fully randomized or partially randomized considering the
+  /// cache line"): when nonzero, fields are only shuffled within
+  /// consecutive groups of at most this many natural-layout bytes, keeping
+  /// hot fields on their original line. 0 = full shuffle.
+  std::uint32_t cache_line_group = 0;
+
+  [[nodiscard]] bool operator==(const LayoutPolicy&) const = default;
+};
+
+/// Draws a fresh randomized layout for `type`. Guarantees:
+///  - offsets form a non-overlapping arrangement covering every field,
+///  - every field offset satisfies the field's alignment,
+///  - traps do not overlap fields,
+///  - size >= natural size and is a multiple of the natural alignment.
+Layout randomize_layout(const TypeInfo& type, const LayoutPolicy& policy,
+                        Rng& rng);
+
+/// The degenerate identity layout (natural offsets, no traps). Used by the
+/// static-OLR baseline's "no randomization" configuration and by tests.
+Layout natural_layout(const TypeInfo& type);
+
+/// Number of distinct layouts reachable for `type` under `policy`
+/// considering permutations only (dummies multiply this further). Saturates
+/// at uint64 max. This is the log2-entropy source reported by the entropy
+/// example/bench.
+std::uint64_t permutation_space(const TypeInfo& type, const LayoutPolicy& policy);
+
+}  // namespace polar

@@ -1,0 +1,127 @@
+#include "core/metadata.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+#include "support/hash.h"
+
+namespace polar {
+
+// ---------------------------------------------------------------- interner
+
+const Layout* LayoutInterner::intern(Layout layout, bool& reused) {
+  auto& bucket = entries_[layout.hash];
+  if (dedup_) {
+    for (Entry& e : bucket) {
+      if (e.layout->offsets == layout.offsets && e.layout->size == layout.size) {
+        // Trap regions are derived from the same slot sequence, so equal
+        // offsets+size implies equal traps; assert in debug-minded spirit.
+        ++e.refs;
+        reused = true;
+        return e.layout.get();
+      }
+    }
+  }
+  reused = false;
+  bucket.push_back({std::make_unique<Layout>(std::move(layout)), 1});
+  return bucket.back().layout.get();
+}
+
+void LayoutInterner::release(const Layout* layout) {
+  POLAR_CHECK(layout != nullptr, "release of null layout");
+  auto it = entries_.find(layout->hash);
+  POLAR_CHECK(it != entries_.end(), "release of unknown layout");
+  auto& bucket = it->second;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].layout.get() == layout) {
+      if (--bucket[i].refs == 0) {
+        bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+        if (bucket.empty()) entries_.erase(it);
+      }
+      return;
+    }
+  }
+  POLAR_CHECK(false, "layout not present in its hash bucket");
+}
+
+// ------------------------------------------------------------------- table
+
+namespace {
+constexpr std::size_t round_pow2(std::size_t x) noexcept {
+  std::size_t p = 16;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace
+
+MetadataTable::MetadataTable(std::size_t initial_capacity) {
+  const std::size_t cap = round_pow2(initial_capacity);
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+std::size_t MetadataTable::probe_start(const void* base) const noexcept {
+  return static_cast<std::size_t>(
+             mix64(reinterpret_cast<std::uintptr_t>(base))) &
+         mask_;
+}
+
+void MetadataTable::insert(const ObjectRecord& record) {
+  POLAR_CHECK(record.base != nullptr, "cannot track null object");
+  if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+  std::size_t i = probe_start(record.base);
+  while (slots_[i].state == SlotState::kFull) {
+    POLAR_CHECK(slots_[i].record.base != record.base,
+                "double-insert of tracked object");
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = {SlotState::kFull, record};
+  ++size_;
+}
+
+const ObjectRecord* MetadataTable::find(const void* base) const noexcept {
+  std::size_t i = probe_start(base);
+  while (slots_[i].state == SlotState::kFull) {
+    if (slots_[i].record.base == base) return &slots_[i].record;
+    i = (i + 1) & mask_;
+  }
+  return nullptr;
+}
+
+bool MetadataTable::remove(const void* base) {
+  std::size_t i = probe_start(base);
+  while (true) {
+    if (slots_[i].state == SlotState::kEmpty) return false;
+    if (slots_[i].record.base == base) break;
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  std::size_t hole = i;
+  std::size_t j = (i + 1) & mask_;
+  while (slots_[j].state == SlotState::kFull) {
+    const std::size_t home = probe_start(slots_[j].record.base);
+    // Can slot j legally move into the hole? Yes iff the hole lies within
+    // the cyclic probe range [home, j].
+    const bool movable = ((j - home) & mask_) >= ((j - hole) & mask_);
+    if (movable) {
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+    j = (j + 1) & mask_;
+  }
+  slots_[hole] = Slot{};
+  --size_;
+  return true;
+}
+
+void MetadataTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  size_ = 0;
+  for (Slot& s : old) {
+    if (s.state == SlotState::kFull) insert(s.record);
+  }
+}
+
+}  // namespace polar

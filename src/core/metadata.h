@@ -1,0 +1,106 @@
+// POLaR object-tracking metadata — paper §IV-A-3 and Fig. 4.
+//
+// Two structures:
+//  * LayoutInterner: content-addressed store of Layout records with
+//    reference counts, implementing the paper's duplicate-metadata
+//    elimination ("Polar remove the duplicate metadata when two objects
+//    have the same randomized memory layout").
+//  * MetadataTable: open-addressing hash table from object base address to
+//    its ObjectRecord (type, interned layout, trap canary value). This is
+//    the "POLaR Metadata" table of Fig. 4 (base addr -> layout ptr).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/layout.h"
+#include "core/type_registry.h"
+
+namespace polar {
+
+/// Live-object record. Everything olr_getptr/olr_free/olr_memcpy need.
+struct ObjectRecord {
+  void* base = nullptr;
+  TypeId type;
+  const Layout* layout = nullptr;
+  /// Per-object canary pattern written into every trap region; checked on
+  /// free and on demand (check_traps).
+  std::uint64_t trap_value = 0;
+  /// Monotonic allocation id; lets tooling distinguish reuse of the same
+  /// address across allocations.
+  std::uint64_t object_id = 0;
+};
+
+/// Content-addressed layout store with refcounts.
+class LayoutInterner {
+ public:
+  explicit LayoutInterner(bool dedup_enabled) : dedup_(dedup_enabled) {}
+
+  /// Interns `layout`, returning a stable pointer. If an identical layout
+  /// is already live and dedup is on, bumps its refcount instead; `reused`
+  /// reports which happened.
+  const Layout* intern(Layout layout, bool& reused);
+
+  /// Drops one reference; destroys the record at zero.
+  void release(const Layout* layout);
+
+  [[nodiscard]] std::size_t live_layouts() const noexcept {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Layout> layout;
+    std::uint64_t refs = 0;
+  };
+  bool dedup_;
+  // Keyed by layout hash; collisions resolved by full comparison within
+  // the bucket vector.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+};
+
+/// Open-addressing (linear probing, power-of-two capacity) map from base
+/// address to ObjectRecord. Tombstone-free: deletions use backward-shift.
+class MetadataTable {
+ public:
+  explicit MetadataTable(std::size_t initial_capacity = 1024);
+
+  /// Inserts a record for record.base. Overwrites silently is forbidden:
+  /// the caller must have removed any prior record for that address.
+  void insert(const ObjectRecord& record);
+
+  /// Removes the record for `base`; returns false if absent.
+  bool remove(const void* base);
+
+  /// nullptr when `base` is not a live tracked object (freed or foreign):
+  /// the runtime treats that as a potential use-after-free.
+  [[nodiscard]] const ObjectRecord* find(const void* base) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Visits every live record (order unspecified).
+  template <class F>
+  void for_each(F&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.state == SlotState::kFull) fn(slot.record);
+    }
+  }
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty, kFull };
+  struct Slot {
+    SlotState state = SlotState::kEmpty;
+    ObjectRecord record;
+  };
+
+  [[nodiscard]] std::size_t probe_start(const void* base) const noexcept;
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace polar

@@ -1,0 +1,256 @@
+#include "core/runtime.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "support/assert.h"
+
+namespace polar {
+
+const char* to_string(Violation v) noexcept {
+  switch (v) {
+    case Violation::kNone: return "none";
+    case Violation::kUseAfterFree: return "use-after-free";
+    case Violation::kDoubleFree: return "double-free";
+    case Violation::kTrapDamaged: return "trap-damaged";
+    case Violation::kBadField: return "bad-field-index";
+    case Violation::kTypeMismatch: return "type-mismatch";
+  }
+  return "unknown";
+}
+
+Runtime::Runtime(const TypeRegistry& registry, RuntimeConfig config)
+    : registry_(registry),
+      config_(config),
+      interner_(config.dedup_layouts),
+      cache_(config.cache_bits),
+      rng_(config.seed) {}
+
+Runtime::~Runtime() { free_all(); }
+
+void* Runtime::raw_alloc(std::size_t size) {
+  if (config_.alloc_fn != nullptr) {
+    return config_.alloc_fn(size, config_.alloc_ctx);
+  }
+  return ::operator new(size);
+}
+
+void Runtime::raw_free(void* p, std::size_t size) {
+  if (config_.free_fn != nullptr) {
+    config_.free_fn(p, size, config_.alloc_ctx);
+    return;
+  }
+  ::operator delete(p);
+}
+
+void Runtime::violation(Violation v) {
+  last_violation_ = v;
+  if (v == Violation::kUseAfterFree || v == Violation::kDoubleFree) {
+    ++stats_.uaf_detected;
+  } else if (v == Violation::kTrapDamaged) {
+    ++stats_.traps_triggered;
+  }
+  if (config_.on_violation == ErrorAction::kAbort) {
+    POLAR_CHECK(false, to_string(v));
+  }
+}
+
+const ObjectRecord* Runtime::require(const void* base, Violation on_missing) {
+  const ObjectRecord* rec = table_.find(base);
+  if (rec == nullptr) violation(on_missing);
+  return rec;
+}
+
+void Runtime::fill_traps(const ObjectRecord& rec) {
+  auto* bytes = static_cast<unsigned char*>(rec.base);
+  for (const TrapRegion& t : rec.layout->traps) {
+    for (std::uint32_t i = 0; i < t.size; ++i) {
+      bytes[t.offset + i] =
+          static_cast<unsigned char>(rec.trap_value >> ((i % 8) * 8));
+    }
+  }
+}
+
+bool Runtime::traps_intact(const ObjectRecord& rec) const noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(rec.base);
+  for (const TrapRegion& t : rec.layout->traps) {
+    for (std::uint32_t i = 0; i < t.size; ++i) {
+      if (bytes[t.offset + i] !=
+          static_cast<unsigned char>(rec.trap_value >> ((i % 8) * 8))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void* Runtime::olr_malloc(TypeId type) {
+  const TypeInfo& info = registry_.info(type);
+  bool reused = false;
+  const Layout* layout =
+      interner_.intern(randomize_layout(info, config_.policy, rng_), reused);
+  if (reused) {
+    ++stats_.layouts_deduped;
+  } else {
+    ++stats_.layouts_created;
+  }
+
+  void* base = raw_alloc(layout->size);
+  std::memset(base, 0, layout->size);
+
+  ObjectRecord rec{.base = base,
+                   .type = type,
+                   .layout = layout,
+                   .trap_value = rng_.next() | 1,  // never all-zero
+                   .object_id = next_object_id_++};
+  fill_traps(rec);
+  table_.insert(rec);
+
+  ++stats_.allocations;
+  stats_.bytes_requested += info.natural_size;
+  stats_.bytes_allocated += layout->size;
+  return base;
+}
+
+bool Runtime::olr_free(void* base) {
+  const ObjectRecord* rec = require(base, Violation::kDoubleFree);
+  if (rec == nullptr) return false;
+  if (!traps_intact(*rec)) {
+    // Report the damage but still release the object: the paper's traps
+    // are a detection mechanism, and tests want to continue afterwards.
+    violation(Violation::kTrapDamaged);
+  }
+  const ObjectRecord copy = *rec;
+  const TypeInfo& info = registry_.info(copy.type);
+  if (config_.enable_cache) cache_.invalidate_object(base, info.field_count());
+  table_.remove(base);
+  interner_.release(copy.layout);
+  raw_free(copy.base, copy.layout->size);
+  ++stats_.frees;
+  return true;
+}
+
+void* Runtime::olr_getptr(void* base, std::uint32_t field) {
+  ++stats_.member_accesses;
+  if (config_.enable_cache) {
+    std::uint32_t offset = 0;
+    if (cache_.lookup(base, field, offset)) {
+      ++stats_.cache_hits;
+      return static_cast<unsigned char*>(base) + offset;
+    }
+  }
+  const ObjectRecord* rec = require(base, Violation::kUseAfterFree);
+  if (rec == nullptr) return nullptr;
+  if (field >= rec->layout->offsets.size()) {
+    violation(Violation::kBadField);
+    return nullptr;
+  }
+  const std::uint32_t offset = rec->layout->offsets[field];
+  if (config_.enable_cache) cache_.store(base, field, offset);
+  return static_cast<unsigned char*>(base) + offset;
+}
+
+void* Runtime::olr_getptr_typed(void* base, TypeId expected,
+                                std::uint32_t field) {
+  // The cache is keyed by (base, field) only; a hit would skip the type
+  // check, so the strict path consults metadata first.
+  ++stats_.member_accesses;
+  const ObjectRecord* rec = require(base, Violation::kUseAfterFree);
+  if (rec == nullptr) return nullptr;
+  if (!(rec->type == expected)) {
+    violation(Violation::kTypeMismatch);
+    return nullptr;
+  }
+  if (field >= rec->layout->offsets.size()) {
+    violation(Violation::kBadField);
+    return nullptr;
+  }
+  return static_cast<unsigned char*>(base) + rec->layout->offsets[field];
+}
+
+void* Runtime::olr_clone(const void* src) {
+  const ObjectRecord* src_rec = require(src, Violation::kUseAfterFree);
+  if (src_rec == nullptr) return nullptr;
+  // Re-randomize by default; otherwise share the source layout so the
+  // clone is byte-copyable (perf ablation mode).
+  const ObjectRecord src_copy = *src_rec;  // olr_malloc may rehash the table
+  void* dst = nullptr;
+  if (config_.rerandomize_on_copy) {
+    dst = olr_malloc(src_copy.type);
+    --stats_.allocations;  // counted as a memcpy, not an allocation site
+  } else {
+    const TypeInfo& info = registry_.info(src_copy.type);
+    bool reused = false;
+    Layout same = *src_copy.layout;
+    const Layout* layout = interner_.intern(std::move(same), reused);
+    if (reused) {
+      ++stats_.layouts_deduped;
+    } else {
+      ++stats_.layouts_created;  // dedup disabled: a fresh copy record
+    }
+    dst = raw_alloc(layout->size);
+    std::memset(dst, 0, layout->size);
+    ObjectRecord rec{.base = dst,
+                     .type = src_copy.type,
+                     .layout = layout,
+                     .trap_value = rng_.next() | 1,
+                     .object_id = next_object_id_++};
+    fill_traps(rec);
+    table_.insert(rec);
+    stats_.bytes_requested += info.natural_size;
+    stats_.bytes_allocated += layout->size;
+  }
+  const ObjectRecord* dst_rec = table_.find(dst);
+  const TypeInfo& info = registry_.info(src_copy.type);
+  for (std::uint32_t f = 0; f < info.field_count(); ++f) {
+    std::memcpy(
+        static_cast<unsigned char*>(dst) + dst_rec->layout->offsets[f],
+        static_cast<const unsigned char*>(src) + src_copy.layout->offsets[f],
+        info.fields[f].size);
+  }
+  ++stats_.memcpys;
+  return dst;
+}
+
+bool Runtime::olr_memcpy(void* dst, const void* src) {
+  const ObjectRecord* src_rec = require(src, Violation::kUseAfterFree);
+  if (src_rec == nullptr) return false;
+  const ObjectRecord* dst_rec = require(dst, Violation::kUseAfterFree);
+  if (dst_rec == nullptr) return false;
+  if (!(src_rec->type == dst_rec->type)) {
+    violation(Violation::kBadField);
+    return false;
+  }
+  const TypeInfo& info = registry_.info(src_rec->type);
+  for (std::uint32_t f = 0; f < info.field_count(); ++f) {
+    std::memmove(
+        static_cast<unsigned char*>(dst) + dst_rec->layout->offsets[f],
+        static_cast<const unsigned char*>(src) + src_rec->layout->offsets[f],
+        info.fields[f].size);
+  }
+  ++stats_.memcpys;
+  return true;
+}
+
+bool Runtime::check_traps(const void* base) {
+  const ObjectRecord* rec = require(base, Violation::kUseAfterFree);
+  if (rec == nullptr) return false;
+  if (!traps_intact(*rec)) {
+    violation(Violation::kTrapDamaged);
+    return false;
+  }
+  return true;
+}
+
+const ObjectRecord* Runtime::inspect(const void* base) const noexcept {
+  return table_.find(base);
+}
+
+void Runtime::free_all() {
+  std::vector<void*> bases;
+  bases.reserve(table_.size());
+  table_.for_each([&](const ObjectRecord& rec) { bases.push_back(rec.base); });
+  for (void* b : bases) olr_free(b);
+}
+
+}  // namespace polar

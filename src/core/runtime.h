@@ -1,0 +1,166 @@
+// The POLaR object-tracking runtime — paper §IV-A and Fig. 4.
+//
+// The LLVM pass of the paper rewrites four families of sites to call into
+// this library:
+//   allocation   -> olr_malloc(type)      draw layout, record metadata
+//   member access-> olr_getptr(base, i)   metadata lookup + cached offset
+//   object copy  -> olr_memcpy(dst, src)  clone with fresh randomization
+//   deallocation -> olr_free(base)        trap check + metadata removal
+//
+// On top of the randomization the runtime implements the paper's two
+// detection features: booby-trap canaries adjacent to sensitive fields,
+// and use-after-free detection on any access whose base address has no
+// live metadata record.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/layout.h"
+#include "core/metadata.h"
+#include "core/stats.h"
+#include "core/type_registry.h"
+#include "support/rng.h"
+
+namespace polar {
+
+/// What olr_* detected when it refused an operation.
+enum class Violation : std::uint8_t {
+  kNone,
+  kUseAfterFree,  ///< access/copy/free of an untracked base address
+  kDoubleFree,
+  kTrapDamaged,   ///< booby-trap canary overwritten
+  kBadField,      ///< field index out of range for the object's type
+  kTypeMismatch,  ///< typed access found an object of a different class
+};
+
+/// Policy on violation: abort the process (production hardening) or record
+/// and refuse the single operation (used by tests and the attack
+/// simulator, which must observe detections without dying).
+enum class ErrorAction : std::uint8_t { kAbort, kReport };
+
+struct RuntimeConfig {
+  LayoutPolicy policy;
+  bool enable_cache = true;
+  std::uint32_t cache_bits = 14;
+  /// Share metadata between objects that drew identical layouts.
+  bool dedup_layouts = true;
+  /// olr_memcpy draws a fresh layout for the destination (paper default);
+  /// when false the copy inherits the source layout (perf ablation).
+  bool rerandomize_on_copy = true;
+  ErrorAction on_violation = ErrorAction::kReport;
+  std::uint64_t seed = 0x90'1a'12'00'5eedULL;
+
+  /// Backing-memory hooks; default is operator new/delete. The attack
+  /// simulator plugs in a deterministic-reuse heap here.
+  void* (*alloc_fn)(std::size_t size, void* ctx) = nullptr;
+  void (*free_fn)(void* p, std::size_t size, void* ctx) = nullptr;
+  void* alloc_ctx = nullptr;
+};
+
+class Runtime {
+ public:
+  Runtime(const TypeRegistry& registry, RuntimeConfig config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Allocates and tracks a fresh object of `type` with a per-allocation
+  /// randomized layout. Returns the base address. Object memory is
+  /// zero-initialized; trap regions are filled with the object's canary.
+  void* olr_malloc(TypeId type);
+
+  /// Checks traps, unregisters, and releases the object. Returns false on
+  /// double free / foreign pointer (violation recorded).
+  bool olr_free(void* base);
+
+  /// Address of declared field `field` inside the (randomized) object.
+  /// Returns nullptr and records a violation for dead objects or bad
+  /// indices (when on_violation == kReport).
+  void* olr_getptr(void* base, std::uint32_t field);
+
+  /// Strict variant: additionally verifies that the live object really is
+  /// of class `expected` (the class-hash check implied by Fig. 4's
+  /// hash-keyed metadata). Turns type confusion from "unpredictable" into
+  /// "detected"; the security ablation bench measures both modes.
+  void* olr_getptr_typed(void* base, TypeId expected, std::uint32_t field);
+
+  /// Clones the object at `src` into a freshly allocated object of the
+  /// same type with its own (re-)randomized layout, copying field values
+  /// logically. Returns the new base, or nullptr on violation.
+  void* olr_clone(const void* src);
+
+  /// In-place variant used for assignments between two tracked objects of
+  /// the same type (paper's instrumented memcpy where both sides exist):
+  /// copies field values from src to dst honoring both layouts.
+  bool olr_memcpy(void* dst, const void* src);
+
+  /// Verifies every booby-trap canary of `base`. Records kTrapDamaged and
+  /// returns false if any trap byte changed.
+  bool check_traps(const void* base);
+
+  // --- typed convenience used by instrumented workloads -------------------
+
+  template <class T>
+  T load(void* base, std::uint32_t field) {
+    void* p = olr_getptr(base, field);
+    T value{};
+    if (p != nullptr) std::memcpy(&value, p, sizeof(T));
+    return value;
+  }
+
+  template <class T>
+  void store(void* base, std::uint32_t field, const T& value) {
+    void* p = olr_getptr(base, field);
+    if (p != nullptr) std::memcpy(p, &value, sizeof(T));
+  }
+
+  // --- introspection -------------------------------------------------------
+
+  /// Live record for a base address (nullptr if untracked). For tooling,
+  /// tests, and the attack simulator's "attacker reads metadata" knob.
+  [[nodiscard]] const ObjectRecord* inspect(const void* base) const noexcept;
+
+  [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  [[nodiscard]] Violation last_violation() const noexcept { return last_violation_; }
+  void clear_violation() noexcept { last_violation_ = Violation::kNone; }
+
+  [[nodiscard]] std::size_t live_objects() const noexcept { return table_.size(); }
+  [[nodiscard]] std::size_t live_layouts() const noexcept {
+    return interner_.live_layouts();
+  }
+  [[nodiscard]] const TypeRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] const RuntimeConfig& config() const noexcept { return config_; }
+
+  /// Releases every live object (test teardown / workload reset helper).
+  void free_all();
+
+ private:
+  void* raw_alloc(std::size_t size);
+  void raw_free(void* p, std::size_t size);
+  void fill_traps(const ObjectRecord& rec);
+  [[nodiscard]] bool traps_intact(const ObjectRecord& rec) const noexcept;
+  void violation(Violation v);
+  const ObjectRecord* require(const void* base, Violation on_missing);
+
+  const TypeRegistry& registry_;
+  RuntimeConfig config_;
+  MetadataTable table_;
+  LayoutInterner interner_;
+  OffsetCache cache_;
+  Rng rng_;
+  RuntimeStats stats_;
+  Violation last_violation_ = Violation::kNone;
+  std::uint64_t next_object_id_ = 1;
+};
+
+/// Human-readable violation name (diagnostics and test failure messages).
+[[nodiscard]] const char* to_string(Violation v) noexcept;
+
+}  // namespace polar

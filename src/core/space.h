@@ -1,0 +1,146 @@
+// Object spaces — the two "binaries" of the paper's evaluation.
+//
+// Every workload in this repo is a template over a Space policy and is
+// compiled twice: once against DirectSpace (what an uninstrumented build
+// does: compile-time constant offsets, plain malloc/memcpy) and once
+// against PolarSpace (every site routed through the POLaR runtime, exactly
+// like the LLVM pass rewrites allocation / getelementptr / memcpy / free
+// sites). Comparing the two executions reproduces Fig. 6 / Table II.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+#include "core/runtime.h"
+#include "core/type_registry.h"
+
+namespace polar {
+
+/// Uninstrumented baseline: objects use their natural layout, accesses
+/// compile to base + constant. Keeps only the registry reference needed to
+/// know natural sizes/offsets.
+class DirectSpace {
+ public:
+  explicit DirectSpace(const TypeRegistry& registry) : registry_(&registry) {}
+
+  static constexpr bool kRandomized = false;
+
+  void* alloc(TypeId type) {
+    const TypeInfo& info = registry_->info(type);
+    void* p = ::operator new(info.natural_size);
+    std::memset(p, 0, info.natural_size);
+    return p;
+  }
+
+  void free_object(void* base, TypeId /*type*/) { ::operator delete(base); }
+
+  [[nodiscard]] void* field_ptr(void* base, TypeId type,
+                                std::uint32_t field) const {
+    return static_cast<unsigned char*>(base) +
+           registry_->info(type).natural_offsets[field];
+  }
+
+  template <class T>
+  [[nodiscard]] T load(void* base, TypeId type, std::uint32_t field) const {
+    T v;
+    std::memcpy(&v, field_ptr(base, type, field), sizeof(T));
+    return v;
+  }
+
+  template <class T>
+  void store(void* base, TypeId type, std::uint32_t field, const T& v) const {
+    std::memcpy(field_ptr(base, type, field), &v, sizeof(T));
+  }
+
+  /// Allocation size backing `base` (bounds in-object overflow modelling).
+  [[nodiscard]] std::size_t object_bytes(const void* /*base*/,
+                                         TypeId type) const {
+    return registry_->info(type).natural_size;
+  }
+
+  /// Object assignment: a plain memcpy of the natural representation.
+  void copy_object(void* dst, const void* src, TypeId type) {
+    std::memcpy(dst, src, registry_->info(type).natural_size);
+  }
+
+  /// Duplicate into fresh storage (instrumented-memcpy counterpart).
+  void* clone_object(const void* src, TypeId type) {
+    const TypeInfo& info = registry_->info(type);
+    void* p = ::operator new(info.natural_size);
+    std::memcpy(p, src, info.natural_size);
+    return p;
+  }
+
+  [[nodiscard]] const TypeRegistry& registry() const { return *registry_; }
+
+ private:
+  const TypeRegistry* registry_;
+};
+
+/// Instrumented build: every site goes through the POLaR runtime.
+class PolarSpace {
+ public:
+  explicit PolarSpace(Runtime& rt) : rt_(&rt) {}
+
+  static constexpr bool kRandomized = true;
+
+  void* alloc(TypeId type) { return rt_->olr_malloc(type); }
+
+  void free_object(void* base, TypeId /*type*/) { rt_->olr_free(base); }
+
+  [[nodiscard]] void* field_ptr(void* base, TypeId /*type*/,
+                                std::uint32_t field) const {
+    return rt_->olr_getptr(base, field);
+  }
+
+  template <class T>
+  [[nodiscard]] T load(void* base, TypeId /*type*/, std::uint32_t field) const {
+    return rt_->load<T>(base, field);
+  }
+
+  template <class T>
+  void store(void* base, TypeId /*type*/, std::uint32_t field, const T& v) const {
+    rt_->store<T>(base, field, v);
+  }
+
+  [[nodiscard]] std::size_t object_bytes(const void* base,
+                                         TypeId /*type*/) const {
+    const ObjectRecord* rec = rt_->inspect(base);
+    return rec == nullptr ? 0 : rec->layout->size;
+  }
+
+  void copy_object(void* dst, const void* src, TypeId /*type*/) {
+    rt_->olr_memcpy(dst, src);
+  }
+
+  void* clone_object(const void* src, TypeId /*type*/) {
+    return rt_->olr_clone(src);
+  }
+
+  [[nodiscard]] const TypeRegistry& registry() const { return rt_->registry(); }
+  [[nodiscard]] Runtime& runtime() { return *rt_; }
+
+ private:
+  Runtime* rt_;
+};
+
+/// Concept satisfied by both spaces; workload templates constrain on it so
+/// misuse fails with a readable diagnostic.
+template <class S>
+concept ObjectSpace = requires(S s, void* p, const void* cp, TypeId t,
+                               std::uint32_t f) {
+  { s.alloc(t) } -> std::same_as<void*>;
+  s.free_object(p, t);
+  { s.field_ptr(p, t, f) } -> std::same_as<void*>;
+  s.template load<std::uint64_t>(p, t, f);
+  s.template store<std::uint64_t>(p, t, f, std::uint64_t{});
+  s.copy_object(p, cp, t);
+  { s.clone_object(cp, t) } -> std::same_as<void*>;
+  { s.object_bytes(cp, t) } -> std::convertible_to<std::size_t>;
+};
+
+static_assert(ObjectSpace<DirectSpace>);
+static_assert(ObjectSpace<PolarSpace>);
+
+}  // namespace polar

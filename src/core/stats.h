@@ -1,0 +1,42 @@
+// Runtime operation counters — the raw numbers behind Table III of the
+// paper (# of allocation / free / memcpy / member access / cache hit per
+// application) plus internal health metrics.
+#pragma once
+
+#include <cstdint>
+
+namespace polar {
+
+struct RuntimeStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t memcpys = 0;
+  std::uint64_t member_accesses = 0;
+  std::uint64_t cache_hits = 0;
+
+  std::uint64_t layouts_created = 0;  ///< fresh randomized layouts drawn
+  std::uint64_t layouts_deduped = 0;  ///< allocations that reused a layout
+  std::uint64_t uaf_detected = 0;     ///< accesses to freed/unknown objects
+  std::uint64_t traps_triggered = 0;  ///< booby-trap canaries found damaged
+  std::uint64_t bytes_requested = 0;  ///< sum of natural sizes
+  std::uint64_t bytes_allocated = 0;  ///< sum of randomized sizes
+
+  void reset() { *this = RuntimeStats{}; }
+
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    return member_accesses == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(member_accesses);
+  }
+
+  /// Memory inflation factor from dummies/padding (>= 1.0).
+  [[nodiscard]] double inflation() const noexcept {
+    return bytes_requested == 0
+               ? 1.0
+               : static_cast<double>(bytes_allocated) /
+                     static_cast<double>(bytes_requested);
+  }
+};
+
+}  // namespace polar

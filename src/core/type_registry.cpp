@@ -1,0 +1,76 @@
+#include "core/type_registry.h"
+
+#include "support/assert.h"
+
+namespace polar {
+
+namespace {
+
+constexpr std::uint32_t align_up(std::uint32_t x, std::uint32_t a) noexcept {
+  return (x + a - 1) & ~(a - 1);
+}
+
+std::uint64_t compute_class_hash(const TypeInfo& info) {
+  std::uint64_t h = fnv1a(info.name);
+  for (const FieldInfo& f : info.fields) {
+    h = hash_combine(h, fnv1a(f.name));
+    h = hash_combine(h, (static_cast<std::uint64_t>(f.size) << 16) |
+                            (static_cast<std::uint64_t>(f.align) << 4) |
+                            static_cast<std::uint64_t>(f.kind));
+  }
+  return hash_combine(h, info.no_randomize ? 1u : 0u);
+}
+
+}  // namespace
+
+void compute_natural_layout(TypeInfo& info) {
+  info.natural_offsets.clear();
+  info.natural_offsets.reserve(info.fields.size());
+  std::uint32_t offset = 0;
+  std::uint32_t max_align = 1;
+  for (const FieldInfo& f : info.fields) {
+    POLAR_CHECK(f.size > 0, "field size must be nonzero");
+    POLAR_CHECK(f.align > 0 && (f.align & (f.align - 1)) == 0,
+                "field alignment must be a power of two");
+    offset = align_up(offset, f.align);
+    info.natural_offsets.push_back(offset);
+    offset += f.size;
+    if (f.align > max_align) max_align = f.align;
+  }
+  info.natural_align = max_align;
+  info.natural_size = info.fields.empty() ? 0 : align_up(offset, max_align);
+}
+
+TypeId TypeRegistry::register_type(TypeInfo info) {
+  POLAR_CHECK(!info.name.empty(), "type name required");
+  POLAR_CHECK(!info.fields.empty(), "type must have at least one field");
+  POLAR_CHECK(!by_name_.contains(info.name), "duplicate type name");
+  compute_natural_layout(info);
+  info.class_hash = compute_class_hash(info);
+  POLAR_CHECK(!by_hash_.contains(info.class_hash), "class hash collision");
+
+  const auto idx = static_cast<std::uint32_t>(types_.size());
+  by_name_.emplace(info.name, idx);
+  by_hash_.emplace(info.class_hash, idx);
+  types_.push_back(std::move(info));
+  return TypeId{idx};
+}
+
+const TypeInfo& TypeRegistry::info(TypeId id) const {
+  POLAR_CHECK(id.value < types_.size(), "invalid TypeId");
+  return types_[id.value];
+}
+
+std::optional<TypeId> TypeRegistry::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return TypeId{it->second};
+}
+
+std::optional<TypeId> TypeRegistry::find_by_hash(std::uint64_t class_hash) const {
+  auto it = by_hash_.find(class_hash);
+  if (it == by_hash_.end()) return std::nullopt;
+  return TypeId{it->second};
+}
+
+}  // namespace polar

@@ -1,0 +1,112 @@
+// Edge coverage instrumentation — the "coverage-guiding module" of
+// libFuzzer that TaintClass borrows (paper §IV-B-2: "we use only the
+// coverage-guiding module and combine its algorithm with the DFSan input
+// case generation").
+//
+// Mirrors SanitizerCoverage + AFL-style hit-count bucketing: each
+// instrumentation site reports a site id; an edge is hash(prev_site,
+// site); per-edge 8-bit counters are bucketed into powers of two so that
+// "loop ran 3 times" vs "4 times" is noise but "1 vs many" is signal.
+// Workloads place POLAR_COV_SITE() calls where a compiler would place edge
+// instrumentation (function entries and branch targets).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/hash.h"
+
+namespace polar {
+
+class CoverageMap {
+ public:
+  static constexpr std::size_t kMapSize = 1 << 16;
+
+  void hit_edge(std::uint32_t edge) noexcept {
+    std::uint8_t& c = counters_[edge & (kMapSize - 1)];
+    if (c != 0xff) ++c;
+  }
+
+  void reset() noexcept { counters_.fill(0); }
+
+  /// AFL bucketing: 0,1,2,3,4-7,8-15,16-31,32-127,128+ -> bit index.
+  [[nodiscard]] static std::uint8_t bucket(std::uint8_t count) noexcept {
+    if (count == 0) return 0;
+    if (count == 1) return 1;
+    if (count == 2) return 2;
+    if (count == 3) return 3;
+    if (count <= 7) return 4;
+    if (count <= 15) return 5;
+    if (count <= 31) return 6;
+    if (count <= 127) return 7;
+    return 8;
+  }
+
+  /// Merges this run's coverage into `global`, returning how many
+  /// (edge, bucket) features were new. Nonzero means the input is
+  /// interesting and enters the corpus.
+  std::size_t merge_new_features(std::array<std::uint16_t, kMapSize>& global)
+      const noexcept {
+    std::size_t fresh = 0;
+    for (std::size_t i = 0; i < kMapSize; ++i) {
+      if (counters_[i] == 0) continue;
+      const std::uint16_t bit =
+          static_cast<std::uint16_t>(1u << bucket(counters_[i]));
+      if ((global[i] & bit) == 0) {
+        global[i] |= bit;
+        ++fresh;
+      }
+    }
+    return fresh;
+  }
+
+  [[nodiscard]] std::size_t edges_covered() const noexcept {
+    std::size_t n = 0;
+    for (std::uint8_t c : counters_) n += (c != 0);
+    return n;
+  }
+
+ private:
+  std::array<std::uint8_t, kMapSize> counters_{};
+};
+
+namespace detail {
+inline thread_local CoverageMap* g_active_coverage = nullptr;
+inline thread_local std::uint32_t g_prev_site = 0;
+}  // namespace detail
+
+/// RAII activation, analogous to linking a binary with -fsanitize=coverage.
+class CoverageScope {
+ public:
+  explicit CoverageScope(CoverageMap& map) noexcept
+      : prev_(detail::g_active_coverage) {
+    detail::g_active_coverage = &map;
+    detail::g_prev_site = 0;
+  }
+  ~CoverageScope() { detail::g_active_coverage = prev_; }
+  CoverageScope(const CoverageScope&) = delete;
+  CoverageScope& operator=(const CoverageScope&) = delete;
+
+ private:
+  CoverageMap* prev_;
+};
+
+/// Reports execution passing through `site` (a stable id; use
+/// POLAR_COV_SITE() for an automatic file/line-derived one). Edge identity
+/// follows AFL: hash of the (previous site, site) pair.
+inline void cov_site(std::uint32_t site) noexcept {
+  CoverageMap* map = detail::g_active_coverage;
+  if (map == nullptr) return;
+  map->hit_edge(static_cast<std::uint32_t>(
+      mix64((static_cast<std::uint64_t>(detail::g_prev_site) << 32) | site)));
+  detail::g_prev_site = site >> 1 ^ site << 15;
+}
+
+}  // namespace polar
+
+/// Drop-in edge instrumentation point; unique per source location.
+#define POLAR_COV_SITE()                                               \
+  ::polar::cov_site(static_cast<std::uint32_t>(                        \
+      ::polar::fnv1a(__FILE__) * 31 + static_cast<unsigned>(__LINE__)))

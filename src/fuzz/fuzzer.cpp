@@ -1,0 +1,70 @@
+#include "fuzz/fuzzer.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace polar {
+
+Fuzzer::Fuzzer(Target target, Options options)
+    : target_(std::move(target)),
+      options_(options),
+      mutator_(options.seed) {
+  POLAR_CHECK(target_ != nullptr, "fuzzer requires a target");
+}
+
+void Fuzzer::add_seed(std::vector<std::uint8_t> input) {
+  execute(std::move(input));
+}
+
+void Fuzzer::execute(std::vector<std::uint8_t> input) {
+  CoverageMap map;
+  {
+    CoverageScope scope(map);
+    target_(input);
+  }
+  ++stats_.executions;
+  const std::size_t fresh = map.merge_new_features(global_features_);
+  if (fresh > 0) {
+    stats_.features += fresh;
+    stats_.last_new_at = stats_.executions;
+    ++stats_.corpus_additions;
+    corpus_.push_back(std::move(input));
+    corpus_energy_.push_back(fresh);
+  }
+}
+
+std::size_t Fuzzer::pick_corpus_index() {
+  // Energy-weighted choice: inputs that discovered more features get
+  // proportionally more mutation budget (libFuzzer's entry weighting).
+  std::uint64_t total = 0;
+  for (std::uint64_t e : corpus_energy_) total += e;
+  std::uint64_t ticket = mutator_.rng().below(total);
+  for (std::size_t i = 0; i < corpus_energy_.size(); ++i) {
+    if (ticket < corpus_energy_[i]) return i;
+    ticket -= corpus_energy_[i];
+  }
+  return corpus_energy_.size() - 1;
+}
+
+const FuzzStats& Fuzzer::run(std::uint64_t iterations) {
+  if (corpus_.empty()) execute({});  // bootstrap from the empty input
+  if (corpus_.empty()) {
+    // Target exposes no coverage sites; still fuzz blind from one seed.
+    corpus_.push_back({});
+    corpus_energy_.push_back(1);
+  }
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    if (options_.stall_limit != 0 &&
+        stats_.executions - stats_.last_new_at > options_.stall_limit) {
+      break;
+    }
+    std::vector<std::uint8_t> input = corpus_[pick_corpus_index()];
+    const auto& other = corpus_[mutator_.rng().below(corpus_.size())];
+    mutator_.mutate(input, other, options_.max_input_size);
+    execute(std::move(input));
+  }
+  return stats_;
+}
+
+}  // namespace polar

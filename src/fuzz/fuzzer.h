@@ -1,0 +1,71 @@
+// Coverage-guided fuzzing driver — the libFuzzer-equivalent loop that
+// TaintClass runs targets under (paper §IV-B-2).
+//
+// Classic feedback loop: pick a corpus input (weighted toward rare
+// features), mutate it, execute the target under a fresh CoverageMap, and
+// keep the input if it exercised any (edge, hit-bucket) feature not seen
+// globally. The target is any callable over a byte span; TaintClass wraps
+// the real parser entry points.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fuzz/coverage.h"
+#include "fuzz/mutator.h"
+
+namespace polar {
+
+struct FuzzStats {
+  std::uint64_t executions = 0;
+  std::uint64_t corpus_additions = 0;
+  std::uint64_t features = 0;       ///< global (edge,bucket) features seen
+  std::uint64_t last_new_at = 0;    ///< execution index of last discovery
+};
+
+class Fuzzer {
+ public:
+  using Target = std::function<void(std::span<const std::uint8_t>)>;
+
+  struct Options {
+    std::uint64_t seed = 0xf022;
+    std::size_t max_input_size = 4096;
+    /// Stop early if no new feature for this many executions (0 = never).
+    std::uint64_t stall_limit = 0;
+  };
+
+  Fuzzer(Target target, Options options);
+
+  /// Seeds the corpus (run once each so their coverage is counted).
+  void add_seed(std::vector<std::uint8_t> input);
+  void add_dictionary_token(std::vector<std::uint8_t> token) {
+    mutator_.add_dictionary_token(std::move(token));
+  }
+
+  /// Runs up to `iterations` mutation-execute cycles; returns stats.
+  const FuzzStats& run(std::uint64_t iterations);
+
+  [[nodiscard]] const FuzzStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& corpus() const
+      noexcept {
+    return corpus_;
+  }
+
+ private:
+  /// Executes one input under coverage; adds to corpus if novel.
+  void execute(std::vector<std::uint8_t> input);
+  [[nodiscard]] std::size_t pick_corpus_index();
+
+  Target target_;
+  Options options_;
+  Mutator mutator_;
+  std::vector<std::vector<std::uint8_t>> corpus_;
+  std::vector<std::uint64_t> corpus_energy_;  ///< features discovered by entry
+  std::array<std::uint16_t, CoverageMap::kMapSize> global_features_{};
+  FuzzStats stats_;
+};
+
+}  // namespace polar

@@ -1,0 +1,134 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace polar {
+
+namespace {
+constexpr std::int64_t kInteresting[] = {
+    0,   1,    -1,   16,   32,    64,    100,   127,        -128,  255,
+    256, 1024, 4096, 32767, -32768, 65535, 65536, 2147483647, -2147483648LL};
+}  // namespace
+
+void Mutator::mutate(std::vector<std::uint8_t>& data,
+                     std::span<const std::uint8_t> other,
+                     std::size_t max_size) {
+  if (data.empty()) data.push_back(0);
+  const int rounds = 1 + static_cast<int>(rng_.below(4));
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng_.below(10)) {
+      case 0: bit_flip(data); break;
+      case 1: byte_set(data); break;
+      case 2: arith(data); break;
+      case 3: interesting(data); break;
+      case 4: insert_bytes(data, max_size); break;
+      case 5: erase_bytes(data); break;
+      case 6: duplicate_block(data, max_size); break;
+      case 7: splice(data, other, max_size); break;
+      case 8: dictionary(data, max_size); break;
+      case 9: shuffle_block(data); break;
+    }
+    if (data.empty()) data.push_back(0);
+  }
+  if (data.size() > max_size) data.resize(max_size);
+}
+
+void Mutator::bit_flip(std::vector<std::uint8_t>& d) {
+  const std::size_t i = rng_.below(d.size());
+  d[i] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+}
+
+void Mutator::byte_set(std::vector<std::uint8_t>& d) {
+  d[rng_.below(d.size())] = static_cast<std::uint8_t>(rng_.next());
+}
+
+void Mutator::arith(std::vector<std::uint8_t>& d) {
+  // +-delta on a 1/2/4-byte little-endian window.
+  const std::size_t width = std::size_t{1} << rng_.below(3);
+  if (d.size() < width) return;
+  const std::size_t i = rng_.below(d.size() - width + 1);
+  std::uint32_t v = 0;
+  std::memcpy(&v, &d[i], width);
+  const auto delta = static_cast<std::uint32_t>(rng_.range(-35, 35));
+  v += delta;
+  std::memcpy(&d[i], &v, width);
+}
+
+void Mutator::interesting(std::vector<std::uint8_t>& d) {
+  const std::size_t width = std::size_t{1} << rng_.below(3);
+  if (d.size() < width) return;
+  const std::size_t i = rng_.below(d.size() - width + 1);
+  const std::int64_t v =
+      kInteresting[rng_.below(std::size(kInteresting))];
+  std::memcpy(&d[i], &v, width);
+}
+
+void Mutator::insert_bytes(std::vector<std::uint8_t>& d, std::size_t max_size) {
+  if (d.size() >= max_size) return;
+  const std::size_t n =
+      1 + rng_.below(std::min<std::size_t>(8, max_size - d.size()));
+  const std::size_t at = rng_.below(d.size() + 1);
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng_.next());
+  d.insert(d.begin() + static_cast<std::ptrdiff_t>(at), bytes.begin(),
+           bytes.end());
+}
+
+void Mutator::erase_bytes(std::vector<std::uint8_t>& d) {
+  if (d.size() <= 1) return;
+  const std::size_t n = 1 + rng_.below(std::min<std::size_t>(8, d.size() - 1));
+  const std::size_t at = rng_.below(d.size() - n + 1);
+  d.erase(d.begin() + static_cast<std::ptrdiff_t>(at),
+          d.begin() + static_cast<std::ptrdiff_t>(at + n));
+}
+
+void Mutator::duplicate_block(std::vector<std::uint8_t>& d,
+                              std::size_t max_size) {
+  if (d.size() >= max_size || d.empty()) return;
+  const std::size_t n =
+      1 + rng_.below(std::min<std::size_t>({16, d.size(), max_size - d.size()}));
+  const std::size_t from = rng_.below(d.size() - n + 1);
+  const std::size_t to = rng_.below(d.size() + 1);
+  const std::vector<std::uint8_t> block(d.begin() + static_cast<std::ptrdiff_t>(from),
+                                        d.begin() + static_cast<std::ptrdiff_t>(from + n));
+  d.insert(d.begin() + static_cast<std::ptrdiff_t>(to), block.begin(),
+           block.end());
+}
+
+void Mutator::splice(std::vector<std::uint8_t>& d,
+                     std::span<const std::uint8_t> other,
+                     std::size_t max_size) {
+  if (other.empty()) return;
+  // Keep a prefix of d, append a suffix of other.
+  const std::size_t keep = rng_.below(d.size() + 1);
+  const std::size_t from = rng_.below(other.size());
+  d.resize(keep);
+  for (std::size_t i = from; i < other.size() && d.size() < max_size; ++i) {
+    d.push_back(other[i]);
+  }
+}
+
+void Mutator::dictionary(std::vector<std::uint8_t>& d, std::size_t max_size) {
+  if (dictionary_.empty()) return;
+  const auto& token = dictionary_[rng_.below(dictionary_.size())];
+  if (rng_.chance(0.5) && d.size() + token.size() <= max_size) {
+    const std::size_t at = rng_.below(d.size() + 1);
+    d.insert(d.begin() + static_cast<std::ptrdiff_t>(at), token.begin(),
+             token.end());
+  } else if (token.size() <= d.size()) {
+    const std::size_t at = rng_.below(d.size() - token.size() + 1);
+    std::copy(token.begin(), token.end(),
+              d.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+}
+
+void Mutator::shuffle_block(std::vector<std::uint8_t>& d) {
+  if (d.size() < 2) return;
+  const std::size_t n = 2 + rng_.below(std::min<std::size_t>(8, d.size() - 1));
+  if (n > d.size()) return;
+  const std::size_t at = rng_.below(d.size() - n + 1);
+  rng_.shuffle(std::span<std::uint8_t>(&d[at], n));
+}
+
+}  // namespace polar

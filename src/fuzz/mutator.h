@@ -1,0 +1,54 @@
+// Input mutation engine — the generation half of libFuzzer that TaintClass
+// pairs with DFSan (paper §IV-B-2).
+//
+// Implements the standard mutation portfolio: bit/byte flips, arithmetic
+// nudges, interesting-value substitution, block insert/erase/duplicate,
+// cross-input splicing, and dictionary token injection. Each call applies
+// a small random stack of these, as libFuzzer does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace polar {
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Tokens likely meaningful to the target (chunk tags, magic numbers);
+  /// the fuzzer feeds these from workload dictionaries.
+  void add_dictionary_token(std::vector<std::uint8_t> token) {
+    if (!token.empty()) dictionary_.push_back(std::move(token));
+  }
+
+  /// Mutates `data` in place using 1-4 stacked strategies. `other` (may be
+  /// empty) is a second corpus input used by the splice strategy.
+  /// `max_size` caps growth.
+  void mutate(std::vector<std::uint8_t>& data,
+              std::span<const std::uint8_t> other, std::size_t max_size);
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  void bit_flip(std::vector<std::uint8_t>& d);
+  void byte_set(std::vector<std::uint8_t>& d);
+  void arith(std::vector<std::uint8_t>& d);
+  void interesting(std::vector<std::uint8_t>& d);
+  void insert_bytes(std::vector<std::uint8_t>& d, std::size_t max_size);
+  void erase_bytes(std::vector<std::uint8_t>& d);
+  void duplicate_block(std::vector<std::uint8_t>& d, std::size_t max_size);
+  void splice(std::vector<std::uint8_t>& d, std::span<const std::uint8_t> other,
+              std::size_t max_size);
+  void dictionary(std::vector<std::uint8_t>& d, std::size_t max_size);
+  void shuffle_block(std::vector<std::uint8_t>& d);
+
+  Rng rng_;
+  std::vector<std::vector<std::uint8_t>> dictionary_;
+};
+
+}  // namespace polar

@@ -1,0 +1,149 @@
+// Convenience construction of IR functions, in the spirit of
+// llvm::IRBuilder: tracks the current block, allocates registers, and
+// keeps block indices symbolic until sealed.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "ir/ir.h"
+#include "support/assert.h"
+
+namespace polar::ir {
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(std::string name, std::uint32_t num_params) {
+    fn_.name = std::move(name);
+    fn_.num_params = num_params;
+    fn_.num_regs = num_params;
+    fn_.blocks.emplace_back();  // entry block
+  }
+
+  /// Fresh virtual register.
+  Reg reg() { return fn_.num_regs++; }
+
+  /// Parameter register i (r0..rN-1).
+  [[nodiscard]] Reg param(std::uint32_t i) const {
+    POLAR_CHECK(i < fn_.num_params, "parameter index out of range");
+    return i;
+  }
+
+  /// Creates a new block and returns its index (does not switch to it).
+  std::uint32_t new_block() {
+    fn_.blocks.emplace_back();
+    return static_cast<std::uint32_t>(fn_.blocks.size() - 1);
+  }
+
+  /// Switches the insertion point.
+  void set_block(std::uint32_t block) {
+    POLAR_CHECK(block < fn_.blocks.size(), "no such block");
+    current_ = block;
+  }
+  [[nodiscard]] std::uint32_t current_block() const { return current_; }
+
+  Reg const64(std::uint64_t v) {
+    const Reg d = reg();
+    emit({.op = Op::kConst, .dst = d, .imm = v});
+    return d;
+  }
+
+  Reg constf(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return const64(bits);
+  }
+
+  Reg move(Reg src) {
+    const Reg d = reg();
+    emit({.op = Op::kMove, .dst = d, .a = src});
+    return d;
+  }
+
+  void move_into(Reg dst, Reg src) {
+    emit({.op = Op::kMove, .dst = dst, .a = src});
+  }
+
+  Reg bin(Bin kind, Reg a, Reg b) {
+    const Reg d = reg();
+    emit({.op = Op::kBin, .bin = kind, .dst = d, .a = a, .b = b});
+    return d;
+  }
+
+  Reg add(Reg a, Reg b) { return bin(Bin::kAdd, a, b); }
+  Reg sub(Reg a, Reg b) { return bin(Bin::kSub, a, b); }
+  Reg mul(Reg a, Reg b) { return bin(Bin::kMul, a, b); }
+
+  Reg alloc(TypeId type) {
+    const Reg d = reg();
+    emit({.op = Op::kAlloc, .dst = d, .imm = type.value});
+    return d;
+  }
+
+  void free_obj(Reg ptr, TypeId type) {
+    emit({.op = Op::kFree, .a = ptr, .imm = type.value});
+  }
+
+  /// getelementptr: address of field `field` of the object in `base`.
+  Reg gep(Reg base, TypeId type, std::uint32_t field) {
+    const Reg d = reg();
+    emit({.op = Op::kGep,
+          .dst = d,
+          .a = base,
+          .imm = (static_cast<std::uint64_t>(type.value) << 32) | field});
+    return d;
+  }
+
+  Reg load(Reg addr, Width width = Width::kW64) {
+    const Reg d = reg();
+    emit({.op = Op::kLoad, .width = width, .dst = d, .a = addr});
+    return d;
+  }
+
+  void store(Reg addr, Reg value, Width width = Width::kW64) {
+    emit({.op = Op::kStore, .width = width, .a = addr, .b = value});
+  }
+
+  void obj_copy(Reg dst, Reg src, TypeId type) {
+    emit({.op = Op::kObjCopy, .a = src, .b = dst, .imm = type.value});
+  }
+
+  Reg clone(Reg src, TypeId type) {
+    const Reg d = reg();
+    emit({.op = Op::kClone, .dst = d, .a = src, .imm = type.value});
+    return d;
+  }
+
+  Reg call(std::uint32_t callee, std::vector<Reg> args) {
+    const Reg d = reg();
+    emit({.op = Op::kCall, .dst = d, .imm = callee, .args = std::move(args)});
+    return d;
+  }
+
+  void br(Reg cond, std::uint32_t if_true, std::uint32_t if_false) {
+    emit({.op = Op::kBr, .a = cond, .target_a = if_true, .target_b = if_false});
+  }
+
+  void jump(std::uint32_t target) {
+    emit({.op = Op::kBr, .a = kNoReg, .target_a = target, .target_b = target});
+  }
+
+  void ret(Reg value = kNoReg) { emit({.op = Op::kRet, .a = value}); }
+
+  [[nodiscard]] Function build() && { return std::move(fn_); }
+
+ private:
+  void emit(Instr instr) {
+    POLAR_CHECK(current_ < fn_.blocks.size(), "no current block");
+    auto& instrs = fn_.blocks[current_].instrs;
+    POLAR_CHECK(instrs.empty() || !is_terminator(instrs.back().op),
+                "emitting past a terminator");
+    instrs.push_back(std::move(instr));
+  }
+
+  Function fn_;
+  std::uint32_t current_ = 0;
+};
+
+}  // namespace polar::ir

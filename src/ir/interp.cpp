@@ -1,0 +1,294 @@
+#include "ir/interp.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace polar::ir {
+
+namespace {
+constexpr int kMaxCallDepth = 256;
+}
+
+/// Mutable execution context shared across the call tree. Faults unwind by
+/// setting `result` and returning; call_function checks after each step.
+struct Interpreter::ExecState {
+  std::uint64_t fuel = 0;
+  InterpResult result;
+  bool faulted = false;
+
+  void fault(InterpResult::Status status, std::string why,
+             Violation v = Violation::kNone) {
+    if (faulted) return;
+    faulted = true;
+    result.status = status;
+    result.error = std::move(why);
+    result.violation = v;
+  }
+};
+
+Interpreter::Interpreter(const Module& module, const TypeRegistry& registry,
+                         Runtime* runtime)
+    : module_(module), registry_(registry), runtime_(runtime) {}
+
+Interpreter::~Interpreter() {
+  for (void* p : direct_live_) ::operator delete(p);
+}
+
+std::uint64_t Interpreter::call_function(std::uint32_t index,
+                                         const std::vector<std::uint64_t>& args,
+                                         ExecState& state, int depth) {
+  if (depth > kMaxCallDepth) {
+    state.fault(InterpResult::Status::kError, "call stack overflow");
+    return 0;
+  }
+  const Function& fn = module_.functions[index];
+  std::vector<std::uint64_t> regs(fn.num_regs, 0);
+  std::copy(args.begin(), args.end(), regs.begin());
+
+  const auto get = [&](Reg r) -> std::uint64_t {
+    return r == kNoReg ? 0 : regs[r];
+  };
+
+  std::uint32_t block = 0;
+  std::size_t pc = 0;
+  while (!state.faulted) {
+    if (state.fuel == 0) {
+      state.fault(InterpResult::Status::kFuelExhausted, "out of fuel");
+      return 0;
+    }
+    --state.fuel;
+    ++stats_.instrs;
+
+    const Instr& instr = fn.blocks[block].instrs[pc];
+    ++pc;
+    switch (instr.op) {
+      case Op::kConst:
+        regs[instr.dst] = instr.imm;
+        break;
+      case Op::kMove:
+        regs[instr.dst] = get(instr.a);
+        break;
+      case Op::kNot:
+        regs[instr.dst] = ~get(instr.a);
+        break;
+      case Op::kBin: {
+        const std::uint64_t a = get(instr.a);
+        const std::uint64_t b = get(instr.b);
+        std::uint64_t r = 0;
+        switch (instr.bin) {
+          case Bin::kAdd: r = a + b; break;
+          case Bin::kSub: r = a - b; break;
+          case Bin::kMul: r = a * b; break;
+          case Bin::kUDiv:
+            if (b == 0) {
+              state.fault(InterpResult::Status::kError, "division by zero");
+              return 0;
+            }
+            r = a / b;
+            break;
+          case Bin::kURem:
+            if (b == 0) {
+              state.fault(InterpResult::Status::kError, "remainder by zero");
+              return 0;
+            }
+            r = a % b;
+            break;
+          case Bin::kAnd: r = a & b; break;
+          case Bin::kOr: r = a | b; break;
+          case Bin::kXor: r = a ^ b; break;
+          case Bin::kShl: r = a << (b & 63); break;
+          case Bin::kShr: r = a >> (b & 63); break;
+          case Bin::kEq: r = (a == b); break;
+          case Bin::kNe: r = (a != b); break;
+          case Bin::kULt: r = (a < b); break;
+          case Bin::kULe: r = (a <= b); break;
+          case Bin::kFAdd: r = from_f64(as_f64(a) + as_f64(b)); break;
+          case Bin::kFSub: r = from_f64(as_f64(a) - as_f64(b)); break;
+          case Bin::kFMul: r = from_f64(as_f64(a) * as_f64(b)); break;
+          case Bin::kFDiv: r = from_f64(as_f64(a) / as_f64(b)); break;
+          case Bin::kFLt: r = (as_f64(a) < as_f64(b)); break;
+        }
+        regs[instr.dst] = r;
+        break;
+      }
+      case Op::kAlloc: {
+        ++stats_.allocs;
+        const TypeInfo& info =
+            registry_.info(TypeId{static_cast<std::uint32_t>(instr.imm)});
+        void* p = ::operator new(info.natural_size);
+        std::memset(p, 0, info.natural_size);
+        direct_live_.push_back(p);
+        regs[instr.dst] = reinterpret_cast<std::uint64_t>(p);
+        break;
+      }
+      case Op::kFree: {
+        ++stats_.frees;
+        void* p = reinterpret_cast<void*>(get(instr.a));
+        auto it = std::find(direct_live_.begin(), direct_live_.end(), p);
+        if (it == direct_live_.end()) {
+          // Uninstrumented builds have no metadata: a double free here is
+          // the silent corruption POLaR upgrades to a detection.
+          state.fault(InterpResult::Status::kError,
+                      "free of unknown direct object");
+          return 0;
+        }
+        direct_live_.erase(it);
+        ::operator delete(p);
+        break;
+      }
+      case Op::kGep: {
+        ++stats_.geps;
+        const TypeInfo& info = registry_.info(
+            TypeId{static_cast<std::uint32_t>(instr.imm >> 32)});
+        const auto field = static_cast<std::uint32_t>(instr.imm);
+        // What a compiler emits: base + fixed constant. No liveness check,
+        // no randomization — by design.
+        regs[instr.dst] = get(instr.a) + info.natural_offsets[field];
+        break;
+      }
+      case Op::kLoad: {
+        std::uint64_t v = 0;
+        std::memcpy(&v, reinterpret_cast<const void*>(get(instr.a)),
+                    width_bytes(instr.width));
+        regs[instr.dst] = v;
+        break;
+      }
+      case Op::kStore: {
+        const std::uint64_t v = get(instr.b);
+        std::memcpy(reinterpret_cast<void*>(get(instr.a)), &v,
+                    width_bytes(instr.width));
+        break;
+      }
+      case Op::kObjCopy: {
+        ++stats_.obj_copies;
+        const TypeInfo& info =
+            registry_.info(TypeId{static_cast<std::uint32_t>(instr.imm)});
+        std::memcpy(reinterpret_cast<void*>(get(instr.b)),
+                    reinterpret_cast<const void*>(get(instr.a)),
+                    info.natural_size);
+        break;
+      }
+      case Op::kClone: {
+        ++stats_.obj_copies;
+        const TypeInfo& info =
+            registry_.info(TypeId{static_cast<std::uint32_t>(instr.imm)});
+        void* p = ::operator new(info.natural_size);
+        std::memcpy(p, reinterpret_cast<const void*>(get(instr.a)),
+                    info.natural_size);
+        direct_live_.push_back(p);
+        regs[instr.dst] = reinterpret_cast<std::uint64_t>(p);
+        break;
+      }
+      // ---- instrumented sites: route through the POLaR runtime ----------
+      case Op::kPolarAlloc: {
+        ++stats_.allocs;
+        POLAR_CHECK(runtime_ != nullptr,
+                    "instrumented module requires a Runtime");
+        void* p = runtime_->olr_malloc(
+            TypeId{static_cast<std::uint32_t>(instr.imm)});
+        regs[instr.dst] = reinterpret_cast<std::uint64_t>(p);
+        break;
+      }
+      case Op::kPolarFree: {
+        ++stats_.frees;
+        if (!runtime_->olr_free(reinterpret_cast<void*>(get(instr.a)))) {
+          state.fault(InterpResult::Status::kViolation, "olr_free refused",
+                      runtime_->last_violation());
+          return 0;
+        }
+        break;
+      }
+      case Op::kPolarGep: {
+        ++stats_.geps;
+        const auto field = static_cast<std::uint32_t>(instr.imm);
+        void* p = runtime_->olr_getptr(
+            reinterpret_cast<void*>(get(instr.a)), field);
+        if (p == nullptr) {
+          state.fault(InterpResult::Status::kViolation, "olr_getptr refused",
+                      runtime_->last_violation());
+          return 0;
+        }
+        regs[instr.dst] = reinterpret_cast<std::uint64_t>(p);
+        break;
+      }
+      case Op::kPolarObjCopy: {
+        ++stats_.obj_copies;
+        if (!runtime_->olr_memcpy(reinterpret_cast<void*>(get(instr.b)),
+                                  reinterpret_cast<const void*>(get(instr.a)))) {
+          state.fault(InterpResult::Status::kViolation, "olr_memcpy refused",
+                      runtime_->last_violation());
+          return 0;
+        }
+        break;
+      }
+      case Op::kPolarClone: {
+        ++stats_.obj_copies;
+        void* p =
+            runtime_->olr_clone(reinterpret_cast<const void*>(get(instr.a)));
+        if (p == nullptr) {
+          state.fault(InterpResult::Status::kViolation, "olr_clone refused",
+                      runtime_->last_violation());
+          return 0;
+        }
+        regs[instr.dst] = reinterpret_cast<std::uint64_t>(p);
+        break;
+      }
+      case Op::kCall: {
+        ++stats_.calls;
+        std::vector<std::uint64_t> call_args;
+        call_args.reserve(instr.args.size());
+        for (Reg r : instr.args) call_args.push_back(regs[r]);
+        const std::uint64_t v = call_function(
+            static_cast<std::uint32_t>(instr.imm), call_args, state, depth + 1);
+        if (state.faulted) return 0;
+        if (instr.dst != kNoReg) regs[instr.dst] = v;
+        break;
+      }
+      case Op::kBr: {
+        const bool taken = (instr.a == kNoReg) || get(instr.a) != 0;
+        block = taken ? instr.target_a : instr.target_b;
+        pc = 0;
+        break;
+      }
+      case Op::kRet:
+        return get(instr.a);
+    }
+  }
+  return 0;
+}
+
+InterpResult Interpreter::run(const std::string& function,
+                              const std::vector<std::uint64_t>& args,
+                              std::uint64_t fuel) {
+  stats_ = InterpStats{};
+  ExecState state;
+  state.fuel = fuel;
+
+  const Function* fn = module_.find(function);
+  if (fn == nullptr) {
+    state.result.status = InterpResult::Status::kError;
+    state.result.error = "no such function: " + function;
+    state.result.stats = stats_;
+    return state.result;
+  }
+  if (args.size() != fn->num_params) {
+    state.result.status = InterpResult::Status::kError;
+    state.result.error = "argument count mismatch";
+    state.result.stats = stats_;
+    return state.result;
+  }
+  const std::uint64_t value =
+      call_function(module_.index_of(function), args, state, 0);
+  if (!state.faulted) {
+    state.result.status = InterpResult::Status::kOk;
+    state.result.value = value;
+  }
+  state.result.stats = stats_;
+  return state.result;
+}
+
+}  // namespace polar::ir

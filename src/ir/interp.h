@@ -1,0 +1,93 @@
+// IR interpreter — executes modules either uninstrumented (natural
+// layouts, constant member offsets: what a stock compiler emits) or after
+// the PolarPass (kPolar* sites routed through a polar::Runtime).
+//
+// Running the same module both ways is this repo's equivalent of the
+// paper's "default build vs POLaR build" comparison at the IR level, and
+// the interpreter's per-site counters mirror Table III.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/type_registry.h"
+#include "ir/ir.h"
+
+namespace polar::ir {
+
+struct InterpStats {
+  std::uint64_t instrs = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t geps = 0;
+  std::uint64_t obj_copies = 0;
+  std::uint64_t calls = 0;
+};
+
+struct InterpResult {
+  enum class Status {
+    kOk,
+    kFuelExhausted,
+    kViolation,   ///< POLaR runtime refused an operation (UAF, bad field...)
+    kError,       ///< structural problem (missing function, stack overflow)
+  };
+  Status status = Status::kOk;
+  std::uint64_t value = 0;  ///< kRet operand when present
+  Violation violation = Violation::kNone;
+  std::string error;
+  InterpStats stats;
+};
+
+class Interpreter {
+ public:
+  /// `runtime` may be null when the module contains no kPolar* sites
+  /// (uninstrumented execution).
+  Interpreter(const Module& module, const TypeRegistry& registry,
+              Runtime* runtime = nullptr);
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Runs `function` with the given arguments. `fuel` bounds total
+  /// instruction count across calls.
+  InterpResult run(const std::string& function,
+                   const std::vector<std::uint64_t>& args,
+                   std::uint64_t fuel = 100'000'000);
+
+  /// Objects allocated by uninstrumented kAlloc that were never freed
+  /// (leak check for tests). Instrumented objects are tracked by the
+  /// Runtime instead.
+  [[nodiscard]] std::size_t live_direct_objects() const noexcept {
+    return direct_live_.size();
+  }
+
+ private:
+  struct ExecState;
+  std::uint64_t call_function(std::uint32_t index,
+                              const std::vector<std::uint64_t>& args,
+                              ExecState& state, int depth);
+
+  const Module& module_;
+  const TypeRegistry& registry_;
+  Runtime* runtime_;
+  std::vector<void*> direct_live_;
+  InterpStats stats_;
+};
+
+/// Bit-cast helpers for the kF* binops (registers hold raw words).
+[[nodiscard]] inline double as_f64(std::uint64_t bits) noexcept {
+  double d;
+  __builtin_memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+[[nodiscard]] inline std::uint64_t from_f64(double d) noexcept {
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace polar::ir

@@ -1,0 +1,146 @@
+#include "ir/ir.h"
+
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace polar::ir {
+
+std::uint32_t Module::index_of(const std::string& name) const {
+  for (std::uint32_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return i;
+  }
+  POLAR_CHECK(false, "no such function");
+  return 0;
+}
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kMove: return "mov";
+    case Op::kBin: return "bin";
+    case Op::kNot: return "not";
+    case Op::kAlloc: return "alloc";
+    case Op::kFree: return "free";
+    case Op::kGep: return "gep";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kObjCopy: return "objcpy";
+    case Op::kClone: return "clone";
+    case Op::kCall: return "call";
+    case Op::kBr: return "br";
+    case Op::kRet: return "ret";
+    case Op::kPolarAlloc: return "polar.alloc";
+    case Op::kPolarFree: return "polar.free";
+    case Op::kPolarGep: return "polar.gep";
+    case Op::kPolarObjCopy: return "polar.objcpy";
+    case Op::kPolarClone: return "polar.clone";
+  }
+  return "?";
+}
+
+const char* bin_name(Bin b) {
+  switch (b) {
+    case Bin::kAdd: return "add";
+    case Bin::kSub: return "sub";
+    case Bin::kMul: return "mul";
+    case Bin::kUDiv: return "udiv";
+    case Bin::kURem: return "urem";
+    case Bin::kAnd: return "and";
+    case Bin::kOr: return "or";
+    case Bin::kXor: return "xor";
+    case Bin::kShl: return "shl";
+    case Bin::kShr: return "shr";
+    case Bin::kEq: return "eq";
+    case Bin::kNe: return "ne";
+    case Bin::kULt: return "ult";
+    case Bin::kULe: return "ule";
+    case Bin::kFAdd: return "fadd";
+    case Bin::kFSub: return "fsub";
+    case Bin::kFMul: return "fmul";
+    case Bin::kFDiv: return "fdiv";
+    case Bin::kFLt: return "flt";
+  }
+  return "?";
+}
+
+void append_reg(std::ostringstream& os, Reg r) {
+  if (r == kNoReg) {
+    os << "_";
+  } else {
+    os << "r" << r;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Instr& instr) {
+  std::ostringstream os;
+  if (instr.dst != kNoReg) {
+    append_reg(os, instr.dst);
+    os << " = ";
+  }
+  os << op_name(instr.op);
+  if (instr.op == Op::kBin) os << "." << bin_name(instr.bin);
+  if (instr.op == Op::kLoad || instr.op == Op::kStore) {
+    os << ".w" << width_bytes(instr.width) * 8;
+  }
+  if (instr.a != kNoReg) {
+    os << " ";
+    append_reg(os, instr.a);
+  }
+  if (instr.b != kNoReg) {
+    os << ", ";
+    append_reg(os, instr.b);
+  }
+  switch (instr.op) {
+    case Op::kConst:
+    case Op::kAlloc:
+    case Op::kPolarAlloc:
+    case Op::kFree:
+    case Op::kPolarFree:
+    case Op::kObjCopy:
+    case Op::kPolarObjCopy:
+    case Op::kClone:
+    case Op::kPolarClone:
+    case Op::kCall:
+      os << " #" << instr.imm;
+      break;
+    case Op::kGep:
+    case Op::kPolarGep:
+      os << " type#" << (instr.imm >> 32) << " field#"
+         << static_cast<std::uint32_t>(instr.imm);
+      break;
+    case Op::kBr:
+      os << " ->b" << instr.target_a << " / b" << instr.target_b;
+      break;
+    default:
+      break;
+  }
+  if (!instr.args.empty()) {
+    os << " (";
+    for (std::size_t i = 0; i < instr.args.size(); ++i) {
+      if (i != 0) os << ", ";
+      append_reg(os, instr.args[i]);
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+std::string to_string(const Function& fn) {
+  std::ostringstream os;
+  os << "fn " << fn.name << "(" << fn.num_params << " params, " << fn.num_regs
+     << " regs)\n";
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    os << " b" << b << ":\n";
+    for (const Instr& instr : fn.blocks[b].instrs) {
+      os << "   " << to_string(instr) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace polar::ir

@@ -1,0 +1,132 @@
+// A miniature LLVM-flavoured IR — the compiler substrate POLaR's
+// instrumentation pass operates on (paper §IV-A-2).
+//
+// The paper's pass rewrites three families of LLVM constructs:
+//   * allocation/deallocation (malloc/alloca/free),
+//   * getelementptr-like member address computations,
+//   * memcpy-like whole-object copies.
+// This IR models exactly those constructs (plus enough arithmetic and
+// control flow to write real programs against them): a register machine
+// over typed words, functions of basic blocks, and explicit kAlloc /
+// kGep / kFree / kObjCopy instructions referencing a TypeRegistry. The
+// PolarPass in polar_pass.h performs the same rewrite the paper's LLVM
+// pass does, producing kPolarAlloc / kPolarGep / ... instructions that the
+// interpreter routes through the POLaR runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/type_registry.h"
+
+namespace polar::ir {
+
+/// Virtual register index (function-local, mutable — a register machine
+/// rather than SSA keeps phi nodes out of scope without losing anything
+/// the pass cares about).
+using Reg = std::uint32_t;
+
+enum class Op : std::uint8_t {
+  kConst,     // dst = imm
+  kMove,      // dst = a
+  kBin,       // dst = a <bin> b
+  kNot,       // dst = ~a
+  kAlloc,     // dst = new object of type imm          [instrumentable]
+  kFree,      // free object at reg a                  [instrumentable]
+  kGep,       // dst = &field imm of object at reg a   [instrumentable]
+  kLoad,      // dst = *(a) of width(type)
+  kStore,     // *(a) = b of width(type)
+  kObjCopy,   // copy object a (type imm) into object b[instrumentable]
+  kClone,     // dst = duplicate of object a (type imm)[instrumentable]
+  kCall,      // dst = call function imm(args...)
+  kBr,        // if (a != 0) goto target_a else target_b; unconditional if
+              // a == kNoReg
+  kRet,       // return a (or nothing if a == kNoReg)
+  // Products of the PolarPass — never emitted by the builder directly:
+  kPolarAlloc,
+  kPolarFree,
+  kPolarGep,
+  kPolarObjCopy,
+  kPolarClone,
+};
+
+inline constexpr Reg kNoReg = 0xffffffff;
+
+enum class Bin : std::uint8_t {
+  kAdd, kSub, kMul, kUDiv, kURem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kULt, kULe,
+  kFAdd, kFSub, kFMul, kFDiv, kFLt,  // double ops on bit-cast registers
+};
+
+/// Load/store width.
+enum class Width : std::uint8_t { kW8, kW16, kW32, kW64 };
+
+[[nodiscard]] constexpr std::size_t width_bytes(Width w) noexcept {
+  switch (w) {
+    case Width::kW8: return 1;
+    case Width::kW16: return 2;
+    case Width::kW32: return 4;
+    case Width::kW64: return 8;
+  }
+  return 8;
+}
+
+struct Instr {
+  Op op = Op::kRet;
+  Bin bin = Bin::kAdd;
+  Width width = Width::kW64;
+  Reg dst = kNoReg;
+  Reg a = kNoReg;
+  Reg b = kNoReg;
+  std::uint64_t imm = 0;      ///< constant / TypeId / field index / callee
+  std::uint32_t target_a = 0; ///< branch: taken block
+  std::uint32_t target_b = 0; ///< branch: fall-through block
+  std::vector<Reg> args{};    ///< call arguments
+};
+
+[[nodiscard]] constexpr bool is_terminator(Op op) noexcept {
+  return op == Op::kBr || op == Op::kRet;
+}
+
+/// True for the four site families the paper instruments.
+[[nodiscard]] constexpr bool is_instrumentable(Op op) noexcept {
+  return op == Op::kAlloc || op == Op::kFree || op == Op::kGep ||
+         op == Op::kObjCopy || op == Op::kClone;
+}
+
+[[nodiscard]] constexpr bool is_instrumented(Op op) noexcept {
+  return op == Op::kPolarAlloc || op == Op::kPolarFree ||
+         op == Op::kPolarGep || op == Op::kPolarObjCopy ||
+         op == Op::kPolarClone;
+}
+
+struct Block {
+  std::vector<Instr> instrs;
+};
+
+struct Function {
+  std::string name;
+  std::uint32_t num_params = 0;  ///< parameters arrive in r0..rN-1
+  std::uint32_t num_regs = 0;
+  std::vector<Block> blocks;     ///< entry is block 0
+};
+
+struct Module {
+  std::vector<Function> functions;
+
+  [[nodiscard]] const Function* find(const std::string& name) const {
+    for (const Function& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::uint32_t index_of(const std::string& name) const;
+};
+
+/// Human-readable disassembly (tests, debugging, examples).
+[[nodiscard]] std::string to_string(const Instr& instr);
+[[nodiscard]] std::string to_string(const Function& fn);
+
+}  // namespace polar::ir

@@ -1,0 +1,57 @@
+#include "ir/polar_pass.h"
+
+namespace polar::ir {
+
+namespace {
+
+Op instrumented_op(Op op) {
+  switch (op) {
+    case Op::kAlloc: return Op::kPolarAlloc;
+    case Op::kFree: return Op::kPolarFree;
+    case Op::kGep: return Op::kPolarGep;
+    case Op::kObjCopy: return Op::kPolarObjCopy;
+    case Op::kClone: return Op::kPolarClone;
+    default: return op;
+  }
+}
+
+}  // namespace
+
+PassReport run_polar_pass(Module& module, const TypeRegistry& registry,
+                          const std::set<std::string>& selected) {
+  PassReport report;
+  const auto type_selected = [&](std::uint64_t raw_type) {
+    const TypeInfo& info =
+        registry.info(TypeId{static_cast<std::uint32_t>(raw_type)});
+    if (info.no_randomize) return false;  // __no_randomize_layout
+    return selected.empty() || selected.contains(info.name);
+  };
+
+  for (Function& fn : module.functions) {
+    for (Block& block : fn.blocks) {
+      for (Instr& instr : block.instrs) {
+        if (!is_instrumentable(instr.op)) continue;
+        // gep packs (type << 32 | field); everything else stores the type
+        // directly in imm.
+        const std::uint64_t raw_type =
+            instr.op == Op::kGep ? (instr.imm >> 32) : instr.imm;
+        if (!type_selected(raw_type)) {
+          ++report.sites_skipped;
+          continue;
+        }
+        switch (instr.op) {
+          case Op::kAlloc: ++report.allocs_rewritten; break;
+          case Op::kFree: ++report.frees_rewritten; break;
+          case Op::kGep: ++report.geps_rewritten; break;
+          case Op::kObjCopy:
+          case Op::kClone: ++report.copies_rewritten; break;
+          default: break;
+        }
+        instr.op = instrumented_op(instr.op);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace polar::ir

@@ -1,0 +1,44 @@
+// The POLaR instrumentation pass — the paper's LLVM pass (§IV-A-2)
+// transplanted onto this repo's IR.
+//
+// Rewrites every instrumentable site into its runtime-routed counterpart:
+//   kAlloc   -> kPolarAlloc    (olr_malloc: draw layout, record metadata)
+//   kFree    -> kPolarFree     (olr_free: trap check, drop metadata)
+//   kGep     -> kPolarGep      (olr_getptr: metadata/cached offset lookup)
+//   kObjCopy -> kPolarObjCopy  (olr_memcpy: layout-aware field copy)
+//   kClone   -> kPolarClone    (olr_clone: duplicate with fresh layout)
+//
+// Selectivity mirrors the TaintClass feedback loop: the pass takes the set
+// of types to harden (empty set = harden everything, the paper's
+// "applied POLaR to the entire set of objects" compatibility experiment);
+// sites touching unselected types are left untouched and keep their
+// zero-cost natural-layout behaviour.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "core/type_registry.h"
+#include "ir/ir.h"
+
+namespace polar::ir {
+
+struct PassReport {
+  std::uint64_t allocs_rewritten = 0;
+  std::uint64_t frees_rewritten = 0;
+  std::uint64_t geps_rewritten = 0;
+  std::uint64_t copies_rewritten = 0;
+  std::uint64_t sites_skipped = 0;  ///< instrumentable but unselected type
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return allocs_rewritten + frees_rewritten + geps_rewritten +
+           copies_rewritten;
+  }
+};
+
+/// Instruments `module` in place. `selected` is the TaintClass feedback:
+/// names of types to randomize; empty means all registered types.
+PassReport run_polar_pass(Module& module, const TypeRegistry& registry,
+                          const std::set<std::string>& selected = {});
+
+}  // namespace polar::ir

@@ -1,0 +1,130 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+namespace polar::ir {
+
+namespace {
+
+std::string check_function(const Module& module, const TypeRegistry& registry,
+                           const Function& fn) {
+  const auto fail = [&](std::uint32_t block, std::size_t index,
+                        const std::string& why) {
+    std::ostringstream os;
+    os << fn.name << " block " << block << " instr " << index << ": " << why;
+    return os.str();
+  };
+  if (fn.blocks.empty()) return fn.name + ": function has no blocks";
+  if (fn.num_params > fn.num_regs) {
+    return fn.name + ": more params than registers";
+  }
+
+  const auto reg_ok = [&](Reg r) { return r == kNoReg || r < fn.num_regs; };
+  const auto type_ok = [&](std::uint64_t raw) {
+    return raw < registry.size();
+  };
+
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    const Block& block = fn.blocks[b];
+    if (block.instrs.empty()) return fail(b, 0, "empty block");
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+      const Instr& instr = block.instrs[i];
+      const bool last = (i + 1 == block.instrs.size());
+      if (is_terminator(instr.op) != last) {
+        return fail(b, i, last ? "block does not end with a terminator"
+                               : "terminator in the middle of a block");
+      }
+      if (!reg_ok(instr.dst) || !reg_ok(instr.a) || !reg_ok(instr.b)) {
+        return fail(b, i, "register index out of range");
+      }
+      for (Reg r : instr.args) {
+        if (!reg_ok(r) || r == kNoReg) return fail(b, i, "bad call argument");
+      }
+      switch (instr.op) {
+        case Op::kConst:
+        case Op::kMove:
+        case Op::kBin:
+        case Op::kNot:
+        case Op::kLoad:
+          if (instr.dst == kNoReg) return fail(b, i, "missing destination");
+          break;
+        case Op::kAlloc:
+        case Op::kPolarAlloc:
+          if (instr.dst == kNoReg) return fail(b, i, "missing destination");
+          if (!type_ok(instr.imm)) return fail(b, i, "unknown type id");
+          break;
+        case Op::kFree:
+        case Op::kPolarFree:
+          if (instr.a == kNoReg) return fail(b, i, "free needs a pointer");
+          if (!type_ok(instr.imm)) return fail(b, i, "unknown type id");
+          break;
+        case Op::kGep:
+        case Op::kPolarGep: {
+          if (instr.dst == kNoReg || instr.a == kNoReg) {
+            return fail(b, i, "gep needs dst and base");
+          }
+          const std::uint64_t type_raw = instr.imm >> 32;
+          const auto field = static_cast<std::uint32_t>(instr.imm);
+          if (!type_ok(type_raw)) return fail(b, i, "unknown gep type");
+          const TypeInfo& info =
+              registry.info(TypeId{static_cast<std::uint32_t>(type_raw)});
+          if (field >= info.field_count()) {
+            return fail(b, i, "gep field out of range");
+          }
+          break;
+        }
+        case Op::kStore:
+          if (instr.a == kNoReg || instr.b == kNoReg) {
+            return fail(b, i, "store needs address and value");
+          }
+          break;
+        case Op::kObjCopy:
+        case Op::kPolarObjCopy:
+          if (instr.a == kNoReg || instr.b == kNoReg) {
+            return fail(b, i, "objcopy needs src and dst");
+          }
+          if (!type_ok(instr.imm)) return fail(b, i, "unknown type id");
+          break;
+        case Op::kClone:
+        case Op::kPolarClone:
+          if (instr.dst == kNoReg || instr.a == kNoReg) {
+            return fail(b, i, "clone needs dst and src");
+          }
+          if (!type_ok(instr.imm)) return fail(b, i, "unknown type id");
+          break;
+        case Op::kCall: {
+          if (instr.imm >= module.functions.size()) {
+            return fail(b, i, "unknown callee");
+          }
+          const Function& callee = module.functions[instr.imm];
+          if (instr.args.size() != callee.num_params) {
+            return fail(b, i, "call arity mismatch");
+          }
+          break;
+        }
+        case Op::kBr:
+          if (instr.target_a >= fn.blocks.size() ||
+              instr.target_b >= fn.blocks.size()) {
+            return fail(b, i, "branch target out of range");
+          }
+          break;
+        case Op::kRet:
+          break;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string verify(const Module& module, const TypeRegistry& registry) {
+  if (module.functions.empty()) return "module has no functions";
+  for (const Function& fn : module.functions) {
+    std::string err = check_function(module, registry, fn);
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+}  // namespace polar::ir

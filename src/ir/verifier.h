@@ -1,0 +1,21 @@
+// Structural verification of IR modules, run before interpretation or
+// instrumentation — the moral equivalent of llvm::verifyModule.
+#pragma once
+
+#include <string>
+
+#include "core/type_registry.h"
+#include "ir/ir.h"
+
+namespace polar::ir {
+
+/// Returns an empty string if the module is well-formed, otherwise a
+/// description of the first problem found. Checks: every block ends with
+/// exactly one terminator (and contains no interior ones), register
+/// indices are within the function's register count, branch targets and
+/// callee indices exist, gep/alloc type ids and field indices resolve
+/// against `registry`.
+[[nodiscard]] std::string verify(const Module& module,
+                                 const TypeRegistry& registry);
+
+}  // namespace polar::ir

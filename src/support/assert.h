@@ -1,0 +1,25 @@
+// Always-on invariant checking. A randomization defense that silently
+// corrupts objects is worse than none, so internal invariants stay checked
+// in release builds; the cost is negligible next to the instrumented
+// member accesses POLaR already pays for.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace polar::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) noexcept {
+  std::fprintf(stderr, "POLAR_CHECK failed: %s at %s:%d: %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+
+}  // namespace polar::detail
+
+#define POLAR_CHECK(expr, msg)                                       \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::polar::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

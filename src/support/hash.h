@@ -1,0 +1,51 @@
+// Hashing primitives shared across POLaR: class hashes for the CIE
+// metadata (paper Fig. 4 keys metadata records by "class hash"), the
+// offset-cache key mix, and content hashing in the fuzzer corpus.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace polar {
+
+/// FNV-1a over bytes; stable across runs, used for class hashes so that
+/// the same type declaration always maps to the same metadata key.
+constexpr std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a(std::string_view s,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit finalizer (Murmur3 variant); used to mix pointer keys
+/// before bucket selection in the metadata and cache tables.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Order-dependent combiner (boost-style).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace polar

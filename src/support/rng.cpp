@@ -1,0 +1,18 @@
+#include "support/rng.h"
+
+#include <chrono>
+
+#include "support/hash.h"
+
+namespace polar {
+
+std::uint64_t entropy_seed() noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  static int stack_probe;
+  const auto addr = reinterpret_cast<std::uintptr_t>(&stack_probe);
+  static std::uint64_t counter = 0;
+  return mix64(static_cast<std::uint64_t>(now)) ^
+         mix64(static_cast<std::uint64_t>(addr) + (++counter));
+}
+
+}  // namespace polar

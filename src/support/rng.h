@@ -1,0 +1,128 @@
+// Deterministic, fast pseudo-random number generation for POLaR.
+//
+// POLaR's security argument requires an unpredictable per-allocation
+// permutation source; its *evaluation* requires reproducible runs. Both
+// needs are met by xoshiro256** seeded via SplitMix64: benchmarks and
+// tests pass explicit seeds, while the runtime defaults to an
+// entropy-derived seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace polar {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full
+/// xoshiro256** state. Also a fine standalone mixer.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the general-purpose generator used by the POLaR runtime
+/// for layout permutations, dummy-field placement, and trap values, and by
+/// workloads/fuzzers for reproducible pseudo-random behaviour.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit value via SplitMix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  /// Unbiased integer in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method, fallback loop for the rare
+    // rejection region.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Integer in [lo, hi] inclusive. Requires lo <= hi.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(width));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fisher-Yates shuffle of a span.
+  template <class T>
+  constexpr void shuffle(std::span<T> xs) noexcept {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      const std::size_t j = below(i);
+      if (j != i - 1) {
+        T tmp = static_cast<T&&>(xs[i - 1]);
+        xs[i - 1] = static_cast<T&&>(xs[j]);
+        xs[j] = static_cast<T&&>(tmp);
+      }
+    }
+  }
+
+  /// Forks a statistically independent child generator. Used so that each
+  /// allocation's layout derives from an object-local stream without
+  /// serializing on a global generator.
+  constexpr Rng fork() noexcept { return Rng(next() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Seed source for production use: mixes wall-clock and address entropy.
+/// Tests/benches should pass explicit seeds instead.
+std::uint64_t entropy_seed() noexcept;
+
+}  // namespace polar

@@ -1,0 +1,71 @@
+// TaintDomain: one DFSan "instrumented process" — a label table, shadow
+// memory, and the custom-ABI helpers that keep labels flowing through
+// library calls (paper §II-D: "To trace the data flow across the library
+// function calls (such as memcpy), DFSan provides a customized ABI list").
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "taint/label.h"
+#include "taint/shadow.h"
+
+namespace polar {
+
+class TaintDomain {
+ public:
+  TaintDomain() = default;
+  TaintDomain(const TaintDomain&) = delete;
+  TaintDomain& operator=(const TaintDomain&) = delete;
+
+  [[nodiscard]] LabelTable& labels() noexcept { return labels_; }
+  [[nodiscard]] ShadowMemory& shadow() noexcept { return shadow_; }
+
+  /// Taint source: labels an input buffer byte range with a fresh base
+  /// label (the instrumented fread / MapViewOfFile of §IV-B-1).
+  Label taint_input(const void* buf, std::size_t n, std::string description) {
+    const Label l = labels_.fresh(std::move(description));
+    shadow_.set(buf, n, l);
+    return l;
+  }
+
+  // --- instrumented libc ABI ------------------------------------------------
+
+  /// memcpy with shadow propagation.
+  void* t_memcpy(void* dst, const void* src, std::size_t n) {
+    std::memcpy(dst, src, n);
+    shadow_.copy(dst, src, n);
+    return dst;
+  }
+
+  /// memmove with shadow propagation.
+  void* t_memmove(void* dst, const void* src, std::size_t n) {
+    std::memmove(dst, src, n);
+    shadow_.copy(dst, src, n);
+    return dst;
+  }
+
+  /// memset clears/sets uniform taint: the written bytes take the label of
+  /// the fill value (untainted constant -> cleared), matching DFSan.
+  void* t_memset(void* dst, int c, std::size_t n, Label value_label = kNoLabel) {
+    std::memset(dst, c, n);
+    shadow_.set(dst, n, value_label);
+    return dst;
+  }
+
+  /// Label of a loaded value: union over the source bytes.
+  [[nodiscard]] Label load_label(const void* addr, std::size_t n) {
+    return shadow_.read_union(addr, n, labels_);
+  }
+
+  /// New fuzzing iteration: all shadow dropped, labels kept (labels are
+  /// cheap and descriptions remain valid across runs).
+  void reset_shadow() { shadow_.reset(); }
+
+ private:
+  LabelTable labels_;
+  ShadowMemory shadow_;
+};
+
+}  // namespace polar

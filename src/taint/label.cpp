@@ -1,0 +1,74 @@
+#include "taint/label.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.h"
+
+namespace polar {
+
+Label LabelTable::fresh(std::string description) {
+  POLAR_CHECK(entries_.size() < std::numeric_limits<Label>::max(),
+              "taint label space exhausted");
+  entries_.push_back(
+      {.parent_a = kNoLabel, .parent_b = kNoLabel,
+       .description = std::move(description)});
+  return static_cast<Label>(entries_.size() - 1);
+}
+
+Label LabelTable::unite(Label a, Label b) {
+  if (a == b || b == kNoLabel) return a;
+  if (a == kNoLabel) return b;
+  if (a > b) std::swap(a, b);
+  POLAR_CHECK(b < entries_.size(), "unknown label");
+  // Subsumption: if one side already includes the other, reuse it.
+  if (includes(b, a) || (!entries_[a].is_base() && includes(a, b))) {
+    return includes(b, a) ? b : a;
+  }
+  auto [it, inserted] = union_memo_.try_emplace({a, b}, kNoLabel);
+  if (!inserted) return it->second;
+  POLAR_CHECK(entries_.size() < std::numeric_limits<Label>::max(),
+              "taint label space exhausted");
+  entries_.push_back({.parent_a = a, .parent_b = b, .description = {}});
+  it->second = static_cast<Label>(entries_.size() - 1);
+  return it->second;
+}
+
+bool LabelTable::includes(Label l, Label base) const {
+  if (l == base) return true;
+  if (l == kNoLabel || base == kNoLabel) return false;
+  POLAR_CHECK(l < entries_.size(), "unknown label");
+  const Entry& e = entries_[l];
+  if (e.is_base()) return false;
+  return includes(e.parent_a, base) || includes(e.parent_b, base);
+}
+
+std::vector<Label> LabelTable::bases_of(Label l) const {
+  std::vector<Label> out;
+  std::vector<Label> stack{l};
+  while (!stack.empty()) {
+    const Label cur = stack.back();
+    stack.pop_back();
+    if (cur == kNoLabel) continue;
+    POLAR_CHECK(cur < entries_.size(), "unknown label");
+    const Entry& e = entries_[cur];
+    if (e.is_base()) {
+      out.push_back(cur);
+    } else {
+      stack.push_back(e.parent_a);
+      stack.push_back(e.parent_b);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+const std::string& LabelTable::description(Label base) const {
+  POLAR_CHECK(base != kNoLabel && base < entries_.size() &&
+                  entries_[base].is_base(),
+              "description requires a base label");
+  return entries_[base].description;
+}
+
+}  // namespace polar

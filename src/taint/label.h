@@ -1,0 +1,64 @@
+// DFSan-style taint labels — paper §II-D, §IV-B.
+//
+// DataFlowSanitizer represents taint as 16-bit labels: a small set of base
+// labels created at taint sources, closed under a memoized binary union.
+// Whether a label "includes" a base label is a DAG reachability query.
+// LabelTable reimplements exactly that algebra; everything above it
+// (shadow memory, Tainted<T>, TaintClass) composes these labels the same
+// way DFSan's runtime does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace polar {
+
+/// 0 is the distinguished "untainted" label, as in DFSan.
+using Label = std::uint16_t;
+inline constexpr Label kNoLabel = 0;
+
+class LabelTable {
+ public:
+  /// Creates a base label for a new taint source (e.g. "input byte range",
+  /// "network stream"). Aborts if the 16-bit space is exhausted, mirroring
+  /// DFSan's hard label limit.
+  Label fresh(std::string description);
+
+  /// Union of two labels, memoized so that repeated unions of the same
+  /// pair return the same label (DFSan's union table). Union with 0 and
+  /// self-union are identities.
+  Label unite(Label a, Label b);
+
+  /// True if `l`'s closure contains base label `base`.
+  [[nodiscard]] bool includes(Label l, Label base) const;
+
+  /// All base labels reachable from `l`, ascending.
+  [[nodiscard]] std::vector<Label> bases_of(Label l) const;
+
+  /// Description of a *base* label.
+  [[nodiscard]] const std::string& description(Label base) const;
+
+  [[nodiscard]] std::size_t label_count() const noexcept {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    // Base labels have both parents 0 and a description; union labels
+    // point at their two constituents.
+    Label parent_a = kNoLabel;
+    Label parent_b = kNoLabel;
+    std::string description;
+    [[nodiscard]] bool is_base() const noexcept {
+      return parent_a == kNoLabel && parent_b == kNoLabel;
+    }
+  };
+
+  // entries_[0] is the reserved untainted label.
+  std::vector<Entry> entries_{Entry{}};
+  std::map<std::pair<Label, Label>, Label> union_memo_;
+};
+
+}  // namespace polar

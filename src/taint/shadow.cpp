@@ -1,0 +1,82 @@
+#include "taint/shadow.h"
+
+#include <cstring>
+#include <vector>
+
+namespace polar {
+
+Label* ShadowMemory::page_slot(std::uintptr_t addr, bool create) {
+  const std::uintptr_t key = addr >> kPageBits;
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    if (!create) return nullptr;
+    auto page = std::make_unique<Label[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize * sizeof(Label));
+    it = pages_.emplace(key, std::move(page)).first;
+  }
+  return &it->second[addr & kPageMask];
+}
+
+const Label* ShadowMemory::page_slot(std::uintptr_t addr) const {
+  const auto it = pages_.find(addr >> kPageBits);
+  if (it == pages_.end()) return nullptr;
+  return &it->second[addr & kPageMask];
+}
+
+void ShadowMemory::set(const void* addr, std::size_t n, Label label) {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Avoid creating pages to store "untainted".
+    if (label == kNoLabel) {
+      if (Label* slot = page_slot(a + i, /*create=*/false)) *slot = kNoLabel;
+    } else {
+      *page_slot(a + i, /*create=*/true) = label;
+    }
+  }
+}
+
+Label ShadowMemory::get(const void* addr) const {
+  const Label* slot = page_slot(reinterpret_cast<std::uintptr_t>(addr));
+  return slot == nullptr ? kNoLabel : *slot;
+}
+
+Label ShadowMemory::read_union(const void* addr, std::size_t n,
+                               LabelTable& table) const {
+  Label acc = kNoLabel;
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Label* slot = page_slot(a + i);
+    if (slot != nullptr && *slot != kNoLabel) acc = table.unite(acc, *slot);
+  }
+  return acc;
+}
+
+void ShadowMemory::copy(void* dst, const void* src, std::size_t n) {
+  // Buffer first so overlapping ranges behave like memmove.
+  std::vector<Label> tmp(n);
+  auto s = reinterpret_cast<std::uintptr_t>(src);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Label* slot = page_slot(s + i);
+    tmp[i] = slot == nullptr ? kNoLabel : *slot;
+  }
+  auto d = reinterpret_cast<std::uintptr_t>(dst);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tmp[i] == kNoLabel) {
+      if (Label* slot = page_slot(d + i, /*create=*/false)) *slot = kNoLabel;
+    } else {
+      *page_slot(d + i, /*create=*/true) = tmp[i];
+    }
+  }
+}
+
+std::size_t ShadowMemory::tainted_bytes() const {
+  std::size_t count = 0;
+  for (const auto& [key, page] : pages_) {
+    for (std::size_t i = 0; i < kPageSize; ++i) {
+      count += (page[i] != kNoLabel);
+    }
+  }
+  return count;
+}
+
+}  // namespace polar

@@ -1,0 +1,57 @@
+// Byte-granularity shadow memory — the core of DFSan's runtime (paper
+// §IV-B: "DFSan internally tracks the data flow dependency based on shadow
+// memory implementation").
+//
+// Real DFSan maps application memory to a shadow region at a fixed stride;
+// here a sparse page table keyed by address keeps the implementation
+// portable and confined to the process's own heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "taint/label.h"
+
+namespace polar {
+
+class ShadowMemory {
+ public:
+  /// Labels `n` bytes starting at `addr`.
+  void set(const void* addr, std::size_t n, Label label);
+
+  /// Label of one byte (kNoLabel if never set).
+  [[nodiscard]] Label get(const void* addr) const;
+
+  /// Union of labels over a byte range — the label DFSan assigns to a
+  /// multi-byte load.
+  [[nodiscard]] Label read_union(const void* addr, std::size_t n,
+                                 LabelTable& table) const;
+
+  /// Shadow counterpart of memcpy/memmove: labels move with the data.
+  /// (The caller performs the real data copy.)
+  void copy(void* dst, const void* src, std::size_t n);
+
+  void clear(const void* addr, std::size_t n) { set(addr, n, kNoLabel); }
+
+  /// Drops every labeled byte (new fuzzing iteration).
+  void reset() { pages_.clear(); }
+
+  /// Number of currently labeled (non-zero) bytes; tests and the
+  /// TaintClass report use this as a propagation measure.
+  [[nodiscard]] std::size_t tainted_bytes() const;
+
+ private:
+  static constexpr std::size_t kPageBits = 12;
+  static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+  static constexpr std::size_t kPageMask = kPageSize - 1;
+  using Page = std::unique_ptr<Label[]>;
+
+  [[nodiscard]] Label* page_slot(std::uintptr_t addr, bool create);
+  [[nodiscard]] const Label* page_slot(std::uintptr_t addr) const;
+
+  std::unordered_map<std::uintptr_t, Page> pages_;
+};
+
+}  // namespace polar

@@ -1,0 +1,139 @@
+// Tainted<T>: a value carrying its DFSan label through computation.
+//
+// DFSan instruments every LLVM instruction so that result labels are the
+// union of operand labels. Outside a compiler pass the same propagation
+// policy is obtained by computing on Tainted<T> values: every arithmetic /
+// bitwise operator unions the operand labels via the active TaintDomain.
+// Workload parsers (minipng, minijpg, the spec minis) compute on
+// Tainted<T> during TaintClass runs so that derived quantities — lengths,
+// counts, dimensions — stay labeled, which is what lets TaintClass see
+// that an allocation or a stored field depends on untrusted input.
+//
+// Like DFSan, comparisons return plain bool: control-flow taint is not
+// tracked (the paper inherits this limitation and compensates with
+// fuzzing, §IV-B-2).
+#pragma once
+
+#include <type_traits>
+
+#include "support/assert.h"
+#include "taint/domain.h"
+
+namespace polar {
+
+namespace detail {
+/// Active domain for operator propagation; set via TaintScope.
+inline thread_local TaintDomain* g_active_domain = nullptr;
+}  // namespace detail
+
+/// RAII activation of a domain for Tainted<T> operators.
+class TaintScope {
+ public:
+  explicit TaintScope(TaintDomain& domain) noexcept
+      : prev_(detail::g_active_domain) {
+    detail::g_active_domain = &domain;
+  }
+  ~TaintScope() { detail::g_active_domain = prev_; }
+  TaintScope(const TaintScope&) = delete;
+  TaintScope& operator=(const TaintScope&) = delete;
+
+ private:
+  TaintDomain* prev_;
+};
+
+[[nodiscard]] inline Label unite_active(Label a, Label b) {
+  if (a == kNoLabel) return b;
+  if (b == kNoLabel) return a;
+  POLAR_CHECK(detail::g_active_domain != nullptr,
+              "Tainted<T> arithmetic on labeled values requires a TaintScope");
+  return detail::g_active_domain->labels().unite(a, b);
+}
+
+template <class T>
+  requires std::is_arithmetic_v<T>
+class Tainted {
+ public:
+  constexpr Tainted() = default;
+  constexpr Tainted(T value) : value_(value) {}  // NOLINT: implicit by design
+  constexpr Tainted(T value, Label label) : value_(value), label_(label) {}
+
+  [[nodiscard]] constexpr T value() const noexcept { return value_; }
+  [[nodiscard]] constexpr Label label() const noexcept { return label_; }
+  [[nodiscard]] constexpr bool tainted() const noexcept {
+    return label_ != kNoLabel;
+  }
+
+  /// Explicit conversion with label preservation.
+  template <class U>
+  [[nodiscard]] Tainted<U> cast() const {
+    return Tainted<U>(static_cast<U>(value_), label_);
+  }
+
+#define POLAR_TAINT_BINOP(op)                                         \
+  friend Tainted operator op(Tainted a, Tainted b) {                  \
+    return Tainted(static_cast<T>(a.value_ op b.value_),              \
+                   unite_active(a.label_, b.label_));                 \
+  }
+  POLAR_TAINT_BINOP(+)
+  POLAR_TAINT_BINOP(-)
+  POLAR_TAINT_BINOP(*)
+#undef POLAR_TAINT_BINOP
+
+  friend Tainted operator/(Tainted a, Tainted b) {
+    POLAR_CHECK(b.value_ != T{}, "tainted division by zero");
+    return Tainted(static_cast<T>(a.value_ / b.value_),
+                   unite_active(a.label_, b.label_));
+  }
+
+  // Integer-only operators.
+#define POLAR_TAINT_INT_BINOP(op)                                     \
+  friend Tainted operator op(Tainted a, Tainted b)                    \
+    requires std::is_integral_v<T>                                    \
+  {                                                                   \
+    return Tainted(static_cast<T>(a.value_ op b.value_),              \
+                   unite_active(a.label_, b.label_));                 \
+  }
+  POLAR_TAINT_INT_BINOP(%)
+  POLAR_TAINT_INT_BINOP(&)
+  POLAR_TAINT_INT_BINOP(|)
+  POLAR_TAINT_INT_BINOP(^)
+  POLAR_TAINT_INT_BINOP(<<)
+  POLAR_TAINT_INT_BINOP(>>)
+#undef POLAR_TAINT_INT_BINOP
+
+  Tainted& operator+=(Tainted o) { return *this = *this + o; }
+  Tainted& operator-=(Tainted o) { return *this = *this - o; }
+  Tainted& operator*=(Tainted o) { return *this = *this * o; }
+
+  // Comparisons intentionally drop taint (DFSan behaviour for i1 results
+  // feeding branches).
+  friend constexpr bool operator==(Tainted a, Tainted b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr auto operator<=>(Tainted a, Tainted b) noexcept {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  T value_{};
+  Label label_ = kNoLabel;
+};
+
+/// Load a Tainted<T> from memory, labeling it with the union of the source
+/// bytes' shadow.
+template <class T>
+[[nodiscard]] Tainted<T> load_tainted(TaintDomain& domain, const void* addr) {
+  T v;
+  std::memcpy(&v, addr, sizeof(T));
+  return Tainted<T>(v, domain.load_label(addr, sizeof(T)));
+}
+
+/// Store a Tainted<T>, writing both the value and its shadow.
+template <class T>
+void store_tainted(TaintDomain& domain, void* addr, Tainted<T> v) {
+  const T raw = v.value();
+  std::memcpy(addr, &raw, sizeof(T));
+  domain.shadow().set(addr, sizeof(T), v.label());
+}
+
+}  // namespace polar

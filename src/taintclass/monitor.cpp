@@ -1,0 +1,93 @@
+#include "taintclass/monitor.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace polar {
+
+TaintClassMonitor::TaintClassMonitor(const TypeRegistry& registry)
+    : registry_(&registry) {}
+
+TaintClassMonitor::State& TaintClassMonitor::state_for(TypeId type) {
+  POLAR_CHECK(type.valid(), "invalid type");
+  if (states_.size() <= type.value) states_.resize(registry_->size());
+  POLAR_CHECK(type.value < states_.size(), "type registered after monitor?");
+  State& s = states_[type.value];
+  if (s.field_stores.empty()) {
+    s.field_stores.resize(registry_->info(type).field_count(), 0);
+  }
+  return s;
+}
+
+void TaintClassMonitor::on_alloc(TypeId type, Label control) {
+  if (control == kNoLabel) return;
+  State& s = state_for(type);
+  s.alloc = true;
+  ++s.events;
+}
+
+void TaintClassMonitor::on_free(TypeId type, Label control) {
+  if (control == kNoLabel) return;
+  State& s = state_for(type);
+  s.dealloc = true;
+  ++s.events;
+}
+
+void TaintClassMonitor::on_field_store(TypeId type, std::uint32_t field,
+                                       Label value_label) {
+  if (value_label == kNoLabel) return;
+  State& s = state_for(type);
+  POLAR_CHECK(field < s.field_stores.size(), "field index out of range");
+  s.content = true;
+  ++s.field_stores[field];
+  ++s.events;
+}
+
+std::vector<TypeTaintReport> TaintClassMonitor::report() const {
+  std::vector<TypeTaintReport> out;
+  for (std::uint32_t t = 0; t < states_.size(); ++t) {
+    const State& s = states_[t];
+    if (!s.content && !s.alloc && !s.dealloc) continue;
+    const TypeInfo& info = registry_->info(TypeId{t});
+    TypeTaintReport rep;
+    rep.type_name = info.name;
+    rep.content_tainted = s.content;
+    rep.alloc_tainted = s.alloc;
+    rep.dealloc_tainted = s.dealloc;
+    rep.events = s.events;
+    for (std::uint32_t f = 0; f < s.field_stores.size(); ++f) {
+      if (s.field_stores[f] == 0) continue;
+      rep.tainted_fields.push_back({.name = info.fields[f].name,
+                                    .pointer = is_pointer_kind(info.fields[f].kind),
+                                    .tainted_stores = s.field_stores[f]});
+    }
+    out.push_back(std::move(rep));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.events > b.events;
+  });
+  return out;
+}
+
+std::size_t TaintClassMonitor::tainted_type_count() const {
+  std::size_t n = 0;
+  for (const State& s : states_) n += (s.content || s.alloc || s.dealloc);
+  return n;
+}
+
+bool TaintClassMonitor::is_tainted(TypeId type) const {
+  if (!type.valid() || type.value >= states_.size()) return false;
+  const State& s = states_[type.value];
+  return s.content || s.alloc || s.dealloc;
+}
+
+std::vector<std::string> TaintClassMonitor::randomization_list() const {
+  std::vector<std::string> names;
+  for (const TypeTaintReport& r : report()) names.push_back(r.type_name);
+  return names;
+}
+
+void TaintClassMonitor::reset() { states_.clear(); }
+
+}  // namespace polar

@@ -1,0 +1,83 @@
+// TaintClass — POLaR's automatic randomization-target selector (paper
+// §IV-B).
+//
+// TaintClass watches a program run under taint tracking and records, per
+// registered type, whether untrusted input ever influenced (i) the content
+// of an instance (a tainted value stored into a field), (ii) an
+// allocation (its count/size decided by tainted data), or (iii) a
+// deallocation. Types with any such influence are the candidates POLaR
+// should randomize; everything else can keep its natural layout for free
+// (the Object Selection Problem of §III-B-3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/type_registry.h"
+#include "taint/label.h"
+
+namespace polar {
+
+/// Per-field taint evidence.
+struct FieldTaint {
+  std::string name;
+  bool pointer = false;  ///< pointer-kind fields matter most (paper §IV-B-1)
+  std::uint64_t tainted_stores = 0;
+};
+
+/// Per-type verdict.
+struct TypeTaintReport {
+  std::string type_name;
+  bool content_tainted = false;
+  bool alloc_tainted = false;
+  bool dealloc_tainted = false;
+  std::vector<FieldTaint> tainted_fields;
+  std::uint64_t events = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return content_tainted || alloc_tainted || dealloc_tainted;
+  }
+};
+
+class TaintClassMonitor {
+ public:
+  explicit TaintClassMonitor(const TypeRegistry& registry);
+
+  /// An allocation happened; `control` is the label of whatever data
+  /// decided that this allocation occurs (count, length, message type...).
+  void on_alloc(TypeId type, Label control);
+  void on_free(TypeId type, Label control);
+  /// A value with label `value_label` was stored into field `field`.
+  void on_field_store(TypeId type, std::uint32_t field, Label value_label);
+
+  /// Types influenced by input, ordered by event count (Table I rows).
+  [[nodiscard]] std::vector<TypeTaintReport> report() const;
+
+  /// Just the count — the "# of tainted objects" column of Table I.
+  [[nodiscard]] std::size_t tainted_type_count() const;
+
+  [[nodiscard]] bool is_tainted(TypeId type) const;
+
+  /// The POLaR feedback product: names of types needing randomization
+  /// (what the paper feeds from TaintClass into the randomization module).
+  [[nodiscard]] std::vector<std::string> randomization_list() const;
+
+  void reset();
+
+ private:
+  struct State {
+    bool content = false;
+    bool alloc = false;
+    bool dealloc = false;
+    std::vector<std::uint64_t> field_stores;  // per field index
+    std::uint64_t events = 0;
+  };
+
+  State& state_for(TypeId type);
+
+  const TypeRegistry* registry_;
+  std::vector<State> states_;  // indexed by TypeId
+};
+
+}  // namespace polar

@@ -1,0 +1,129 @@
+#include "taintclass/report_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace polar {
+
+namespace {
+
+/// Type and field names may contain spaces in principle; the format
+/// forbids them, so escape to '_' on write (names in this repo never
+/// contain spaces, but a serializer must not emit unparseable output).
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), ' ', '_');
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_reports(const std::vector<TypeTaintReport>& reports) {
+  std::ostringstream os;
+  os << "# TaintClass feedback (paper Fig. 3); consumed by run_polar_pass\n";
+  for (const TypeTaintReport& r : reports) {
+    os << "type " << sanitize(r.type_name) << " content=" << r.content_tainted
+       << " alloc=" << r.alloc_tainted << " dealloc=" << r.dealloc_tainted
+       << " events=" << r.events << "\n";
+    for (const FieldTaint& f : r.tainted_fields) {
+      os << "field " << sanitize(r.type_name) << " " << sanitize(f.name)
+         << " pointer=" << f.pointer << " stores=" << f.tainted_stores
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+bool parse_reports(const std::string& text,
+                   std::vector<TypeTaintReport>& out, std::string& error) {
+  out.clear();
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+
+  const auto fail = [&](const std::string& why) {
+    error = "line " + std::to_string(lineno) + ": " + why;
+    return false;
+  };
+  const auto find_type = [&](const std::string& name) -> TypeTaintReport* {
+    for (TypeTaintReport& r : out) {
+      if (r.type_name == name) return &r;
+    }
+    return nullptr;
+  };
+  // "key=value" -> value as u64; returns false on shape mismatch.
+  const auto kv = [](const std::string& token, const std::string& key,
+                     std::uint64_t& value) {
+    const std::string prefix = key + "=";
+    if (token.rfind(prefix, 0) != 0) return false;
+    value = 0;
+    for (std::size_t i = prefix.size(); i < token.size(); ++i) {
+      if (token[i] < '0' || token[i] > '9') return false;
+      value = value * 10 + static_cast<std::uint64_t>(token[i] - '0');
+    }
+    return true;
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+
+    if (kind == "type") {
+      TypeTaintReport r;
+      if (!(ls >> r.type_name)) return fail("type record without a name");
+      std::string token;
+      while (ls >> token) {
+        std::uint64_t v = 0;
+        if (kv(token, "content", v)) {
+          r.content_tainted = (v != 0);
+        } else if (kv(token, "alloc", v)) {
+          r.alloc_tainted = (v != 0);
+        } else if (kv(token, "dealloc", v)) {
+          r.dealloc_tainted = (v != 0);
+        } else if (kv(token, "events", v)) {
+          r.events = v;
+        }  // unknown keys ignored
+      }
+      if (find_type(r.type_name) != nullptr) {
+        return fail("duplicate type record: " + r.type_name);
+      }
+      out.push_back(std::move(r));
+    } else if (kind == "field") {
+      std::string type_name;
+      FieldTaint f;
+      if (!(ls >> type_name >> f.name)) {
+        return fail("field record needs type and field names");
+      }
+      TypeTaintReport* r = find_type(type_name);
+      if (r == nullptr) {
+        return fail("field record before its type: " + type_name);
+      }
+      std::string token;
+      while (ls >> token) {
+        std::uint64_t v = 0;
+        if (kv(token, "pointer", v)) {
+          f.pointer = (v != 0);
+        } else if (kv(token, "stores", v)) {
+          f.tainted_stores = v;
+        }
+      }
+      r->tainted_fields.push_back(std::move(f));
+    } else {
+      return fail("unknown record kind: " + kind);
+    }
+  }
+  return true;
+}
+
+std::set<std::string> selection_from_reports(
+    const std::vector<TypeTaintReport>& reports) {
+  std::set<std::string> selected;
+  for (const TypeTaintReport& r : reports) {
+    if (r.any()) selected.insert(r.type_name);
+  }
+  return selected;
+}
+
+}  // namespace polar

@@ -1,0 +1,32 @@
+// Serialization of TaintClass feedback — the "Feedback Data" arrow of
+// paper Fig. 3. TaintClass runs offline (hours of fuzzing, §V-A); its
+// product must survive to the next compilation, so reports are written to
+// a line-oriented text format and read back by the build driving
+// run_polar_pass.
+//
+// Format (one record per line, '#' comments, order-independent):
+//   type <name> content=<0|1> alloc=<0|1> dealloc=<0|1> events=<n>
+//   field <type-name> <field-name> pointer=<0|1> stores=<n>
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "taintclass/monitor.h"
+
+namespace polar {
+
+/// Renders `reports` in the feedback-file format.
+std::string serialize_reports(const std::vector<TypeTaintReport>& reports);
+
+/// Parses a feedback file. Returns false (and fills `error`) on malformed
+/// input; unknown keys are ignored for forward compatibility.
+bool parse_reports(const std::string& text,
+                   std::vector<TypeTaintReport>& out, std::string& error);
+
+/// Convenience: the set of type names to harden, as run_polar_pass wants.
+std::set<std::string> selection_from_reports(
+    const std::vector<TypeTaintReport>& reports);
+
+}  // namespace polar

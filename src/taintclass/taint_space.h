@@ -1,0 +1,110 @@
+// TaintClassSpace — the instrumented object space a target runs in while
+// TaintClass watches it (paper Fig. 3: the TaintClass framework executes
+// the program orthogonally to the hardened binary and feeds the object
+// list back).
+//
+// It behaves like DirectSpace (no randomization — TaintClass analyses the
+// *original* program) but: (i) every store of a Tainted<T> propagates the
+// value's label into shadow memory and reports it to the monitor, (ii)
+// allocations/frees carry a "control" label describing what input data
+// decided them, and (iii) object copies move shadow along with bytes and
+// re-report any tainted fields of the destination.
+#pragma once
+
+#include <cstdint>
+
+#include "core/space.h"
+#include "taint/domain.h"
+#include "taint/tainted.h"
+#include "taintclass/monitor.h"
+
+namespace polar {
+
+class TaintClassSpace {
+ public:
+  TaintClassSpace(const TypeRegistry& registry, TaintDomain& domain,
+                  TaintClassMonitor& monitor)
+      : direct_(registry), domain_(&domain), monitor_(&monitor) {}
+
+  static constexpr bool kRandomized = false;
+
+  void* alloc(TypeId type, Label control = kNoLabel) {
+    monitor_->on_alloc(type, control);
+    return direct_.alloc(type);
+  }
+
+  void free_object(void* base, TypeId type, Label control = kNoLabel) {
+    monitor_->on_free(type, control);
+    // Dropping shadow prevents stale labels when the allocator reuses the
+    // address for an unrelated object.
+    domain_->shadow().clear(base, direct_.registry().info(type).natural_size);
+    direct_.free_object(base, type);
+  }
+
+  template <class T>
+  [[nodiscard]] Tainted<T> load_t(void* base, TypeId type, std::uint32_t field) {
+    return load_tainted<T>(*domain_, direct_.field_ptr(base, type, field));
+  }
+
+  template <class T>
+  void store_t(void* base, TypeId type, std::uint32_t field, Tainted<T> v) {
+    store_tainted(*domain_, direct_.field_ptr(base, type, field), v);
+    monitor_->on_field_store(type, field, v.label());
+  }
+
+  // Untainted convenience passthroughs (constants, internal bookkeeping).
+  template <class T>
+  [[nodiscard]] T load(void* base, TypeId type, std::uint32_t field) {
+    return direct_.load<T>(base, type, field);
+  }
+  template <class T>
+  void store(void* base, TypeId type, std::uint32_t field, const T& v) {
+    direct_.store(base, type, field, v);
+    domain_->shadow().clear(direct_.field_ptr(base, type, field), sizeof(T));
+  }
+
+  /// Object assignment with shadow propagation; tainted fields arriving in
+  /// the destination are (re-)reported, which is how taint that flowed
+  /// through a memcpy marks the destination type (paper Fig. 5).
+  void copy_object(void* dst, const void* src, TypeId type) {
+    const TypeInfo& info = direct_.registry().info(type);
+    domain_->t_memcpy(dst, src, info.natural_size);
+    report_tainted_fields(dst, type, info);
+  }
+
+  void* clone_object(const void* src, TypeId type) {
+    void* dst = direct_.alloc(type);
+    copy_object(dst, src, type);
+    return dst;
+  }
+
+  /// Bulk byte write into a kBytes field at an offset (parser buffers).
+  void store_bytes(void* base, TypeId type, std::uint32_t field,
+                   std::uint32_t at, const void* src, std::size_t n) {
+    auto* dst = static_cast<unsigned char*>(direct_.field_ptr(base, type, field));
+    domain_->t_memcpy(dst + at, src, n);
+    const Label l = domain_->load_label(dst + at, n);
+    monitor_->on_field_store(type, field, l);
+  }
+
+  [[nodiscard]] const TypeRegistry& registry() const {
+    return direct_.registry();
+  }
+  [[nodiscard]] TaintDomain& domain() { return *domain_; }
+  [[nodiscard]] TaintClassMonitor& monitor() { return *monitor_; }
+
+ private:
+  void report_tainted_fields(void* base, TypeId type, const TypeInfo& info) {
+    for (std::uint32_t f = 0; f < info.field_count(); ++f) {
+      const Label l = domain_->load_label(
+          direct_.field_ptr(base, type, f), info.fields[f].size);
+      if (l != kNoLabel) monitor_->on_field_store(type, f, l);
+    }
+  }
+
+  DirectSpace direct_;
+  TaintDomain* domain_;
+  TaintClassMonitor* monitor_;
+};
+
+}  // namespace polar

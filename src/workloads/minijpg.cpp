@@ -1,0 +1,210 @@
+#include "workloads/minijpg.h"
+
+#include "support/rng.h"
+#include "workloads/spec_common.h"
+
+namespace polar::minijpg {
+
+JpgTypes register_types(TypeRegistry& reg) {
+  JpgTypes t;
+  t.tjinstance = TypeBuilder(reg, "jpg.tjinstance")
+                     .ptr("handle")
+                     .field<std::uint64_t>("samples")
+                     .field<std::uint32_t>("subsamp")
+                     .build();
+  t.bitread_state = TypeBuilder(reg, "jpg.bitread_working_state")
+                        .ptr("next_input_byte")
+                        .field<std::uint64_t>("bits_consumed")
+                        .field<std::uint32_t>("bits_left")
+                        .build();
+  t.savable_state = TypeBuilder(reg, "jpg.savable_state")
+                        .field<std::uint64_t>("last_dc_val")
+                        .field<std::uint32_t>("EOBRUN")
+                        .build();
+  t.component_info = TypeBuilder(reg, "jpg.jpeg_component_info")
+                         .field<std::uint32_t>("component_id")
+                         .field<std::uint32_t>("h_samp_factor")
+                         .field<std::uint32_t>("v_samp_factor")
+                         .field<std::uint32_t>("quant_tbl_no")
+                         .build();
+  t.decompress = TypeBuilder(reg, "jpg.j_decompress")
+                     .field<std::uint32_t>("image_width")
+                     .field<std::uint32_t>("image_height")
+                     .field<std::uint32_t>("num_components")
+                     .field<std::uint32_t>("data_precision")
+                     .fn_ptr("fill_input_buffer")
+                     .build();
+  t.huff_tbl = TypeBuilder(reg, "jpg.huff_tbl")
+                   .field<std::uint32_t>("tbl_class")
+                   .field<std::uint64_t>("counts_sum")
+                   .build();
+  t.quant_tbl = TypeBuilder(reg, "jpg.quant_tbl")
+                    .field<std::uint32_t>("tbl_id")
+                    .field<std::uint64_t>("digest")
+                    .build();
+  t.marker_reader = TypeBuilder(reg, "jpg.marker_reader")
+                        .ptr("read_markers")
+                        .field<std::uint32_t>("length")
+                        .build();
+  return t;
+}
+
+void taint_decode(TaintClassSpace& space, const JpgTypes& t,
+                  std::span<const std::uint8_t> data) {
+  TaintScope scope(space.domain());
+  spec::TaintReader in(space, data);
+  POLAR_COV_SITE();
+  if (in.u8().value() != 0xff || in.u8().value() != 0xd8) return;
+  POLAR_COV_SITE();
+
+  void* tj = space.alloc(t.tjinstance);
+  void* dec = space.alloc(t.decompress);
+  int guard = 0;
+  while (!in.empty() && ++guard < 64) {
+    if (in.u8().value() != 0xff) break;
+    const auto marker = in.u8();
+    if (marker.value() == 0xd9) break;
+    const auto len_hi = in.u8();
+    const auto len_lo = in.u8();
+    const auto len = (len_hi.cast<std::uint16_t>() << Tainted<std::uint16_t>(8)) |
+                     len_lo.cast<std::uint16_t>();
+    const std::size_t body =
+        len.value() >= 2 ? std::min<std::size_t>(len.value() - 2, in.remaining())
+                         : 0;
+    switch (marker.value()) {
+      case 0xc0: {
+        POLAR_COV_SITE();
+        in.u8();  // precision
+        const auto h = in.u16();
+        const auto w = in.u16();
+        const auto ncomp = in.u8();
+        space.store_t(dec, t.decompress, 0, w.cast<std::uint32_t>());
+        space.store_t(dec, t.decompress, 1, h.cast<std::uint32_t>());
+        space.store_t(dec, t.decompress, 2, ncomp.cast<std::uint32_t>());
+        for (std::uint8_t c = 0; c < std::min<std::uint8_t>(ncomp.value(), 4);
+             ++c) {
+          POLAR_COV_SITE();
+          void* ci = space.alloc(t.component_info, ncomp.label());
+          space.store_t(ci, t.component_info, 0, in.u8().cast<std::uint32_t>());
+          space.free_object(ci, t.component_info);
+        }
+        if (body > 6) in.bytes(body - 6);
+        break;
+      }
+      case 0xc4: {
+        POLAR_COV_SITE();
+        void* h = space.alloc(t.huff_tbl);
+        space.store_t(h, t.huff_tbl, 0, in.u8().cast<std::uint32_t>());
+        Tainted<std::uint64_t> sum(0);
+        for (int i = 0; i < 8 && !in.empty(); ++i) {
+          sum = sum + in.u8().cast<std::uint64_t>();
+        }
+        space.store_t(h, t.huff_tbl, 1, sum);
+        space.free_object(h, t.huff_tbl);
+        break;
+      }
+      case 0xdb: {
+        POLAR_COV_SITE();
+        void* q = space.alloc(t.quant_tbl);
+        space.store_t(q, t.quant_tbl, 0, in.u8().cast<std::uint32_t>());
+        space.free_object(q, t.quant_tbl);
+        if (body > 1) in.bytes(body - 1);
+        break;
+      }
+      case 0xfe: {
+        POLAR_COV_SITE();
+        void* mk = space.alloc(t.marker_reader, len.label());
+        space.store_t(mk, t.marker_reader, 1, len.cast<std::uint32_t>());
+        space.free_object(mk, t.marker_reader);
+        in.bytes(body);
+        break;
+      }
+      case 0xda: {
+        POLAR_COV_SITE();
+        void* br = space.alloc(t.bitread_state);
+        void* sv = space.alloc(t.savable_state);
+        Tainted<std::uint64_t> predictor(0);
+        int scan_guard = 0;
+        while (!in.empty() && ++scan_guard < 64) {
+          predictor = predictor + in.u8().cast<std::uint64_t>();
+          space.store_t(sv, t.savable_state, 0, predictor);
+        }
+        space.store_t(br, t.bitread_state, 1, predictor);
+        space.store_t(tj, t.tjinstance, 1, predictor);
+        space.free_object(sv, t.savable_state);
+        space.free_object(br, t.bitread_state);
+        break;
+      }
+      default:
+        in.bytes(body);
+        break;
+    }
+  }
+  space.free_object(dec, t.decompress);
+  space.free_object(tj, t.tjinstance);
+}
+
+namespace {
+
+void put_marker(std::vector<std::uint8_t>& out, std::uint8_t marker,
+                std::span<const std::uint8_t> body) {
+  out.push_back(0xff);
+  out.push_back(marker);
+  const auto len = static_cast<std::uint16_t>(body.size() + 2);
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len & 0xff));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_test_image(std::uint32_t width,
+                                            std::uint32_t height,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out{0xff, 0xd8};
+
+  std::vector<std::uint8_t> sof;
+  sof.push_back(8);  // precision
+  sof.push_back(static_cast<std::uint8_t>(height >> 8));
+  sof.push_back(static_cast<std::uint8_t>(height & 0xff));
+  sof.push_back(static_cast<std::uint8_t>(width >> 8));
+  sof.push_back(static_cast<std::uint8_t>(width & 0xff));
+  sof.push_back(3);  // components
+  for (std::uint8_t c = 1; c <= 3; ++c) {
+    sof.push_back(c);
+    sof.push_back(0x11);
+    sof.push_back(0);
+  }
+  put_marker(out, 0xc0, sof);
+
+  std::vector<std::uint8_t> dht{0x00};
+  for (int i = 0; i < 16; ++i) {
+    dht.push_back(static_cast<std::uint8_t>(rng.below(4)));
+  }
+  put_marker(out, 0xc4, dht);
+
+  std::vector<std::uint8_t> dqt{0x00};
+  for (int i = 0; i < 16; ++i) {
+    dqt.push_back(static_cast<std::uint8_t>(1 + rng.below(64)));
+  }
+  put_marker(out, 0xdb, dqt);
+
+  put_marker(out, 0xfe, spec::tok("minijpg test"));
+
+  put_marker(out, 0xda, {});
+  for (std::uint32_t i = 0; i < width * height / 16 + 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.range(-20, 20)));
+    if (out.back() == 0xff) out.back() = 0xfe;  // avoid marker aliasing
+  }
+  out.push_back(0xff);
+  out.push_back(0xd9);
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> dictionary() {
+  return {{0xff, 0xd8}, {0xff, 0xc0}, {0xff, 0xc4}, {0xff, 0xdb},
+          {0xff, 0xda}, {0xff, 0xfe}, {0xff, 0xd9}};
+}
+
+}  // namespace polar::minijpg

@@ -1,0 +1,225 @@
+// minijpg — a small real decoder for a JPEG-like marker format, standing
+// in for libjpeg-turbo in the paper's evaluation (§V-A compatibility and
+// the Table I tainted-object census).
+//
+// Format: 0xFFD8 (SOI), then marker segments 0xFF <type> [u16 len] [body],
+// ending with 0xFFD9 (EOI). Markers: C0 (frame header: dims, components),
+// C4 (huffman table stub), DB (quant table), DA (scan: delta-coded
+// samples), FE (comment).
+//
+// State objects are named after their libjpeg-turbo counterparts
+// (tjinstance, bitread_working_state, savable_state, jpeg_component_info,
+// j_decompress_ptr, ...), so the TaintClass census reads like the paper's.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/space.h"
+#include "support/hash.h"
+#include "taintclass/taint_space.h"
+
+namespace polar::minijpg {
+
+struct JpgTypes {
+  TypeId tjinstance;
+  TypeId bitread_state;   // bitread_working_state
+  TypeId savable_state;
+  TypeId component_info;  // jpeg_component_info
+  TypeId decompress;      // j_decompress_ptr target
+  TypeId huff_tbl;
+  TypeId quant_tbl;
+  TypeId marker_reader;
+};
+
+JpgTypes register_types(TypeRegistry& registry);
+
+struct DecodeResult {
+  bool ok = false;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::uint32_t components = 0;
+  std::uint64_t sample_hash = 0;
+  std::string error;
+};
+
+template <ObjectSpace S>
+DecodeResult decode(S& space, const JpgTypes& t,
+                    std::span<const std::uint8_t> data);
+
+void taint_decode(TaintClassSpace& space, const JpgTypes& t,
+                  std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> encode_test_image(std::uint32_t width,
+                                            std::uint32_t height,
+                                            std::uint64_t seed);
+
+std::vector<std::vector<std::uint8_t>> dictionary();
+
+// ---------------------------------------------------------------------------
+
+template <ObjectSpace S>
+void free_components(S& space, const JpgTypes& t, std::vector<void*>& comps) {
+  for (void* c : comps) space.free_object(c, t.component_info);
+  comps.clear();
+}
+
+template <ObjectSpace S>
+DecodeResult decode(S& space, const JpgTypes& t,
+                    std::span<const std::uint8_t> data) {
+  DecodeResult result;
+  std::size_t at = 0;
+  const auto u8 = [&]() -> std::uint8_t {
+    return at < data.size() ? data[at++] : 0;
+  };
+  const auto u16be = [&]() -> std::uint16_t {
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  };
+
+  if (u8() != 0xff || u8() != 0xd8) {
+    result.error = "missing SOI";
+    return result;
+  }
+
+  void* tj = space.alloc(t.tjinstance);
+  void* dec = space.alloc(t.decompress);
+  const auto fail = [&](const char* why) {
+    result.error = why;
+    space.free_object(dec, t.decompress);
+    space.free_object(tj, t.tjinstance);
+    return result;
+  };
+
+  std::vector<void*> components;
+  bool saw_frame = false;
+  bool done = false;
+  while (at < data.size() && !done) {
+    if (u8() != 0xff) return free_components(space, t, components), fail("bad marker");
+    const std::uint8_t marker = u8();
+    if (marker == 0xd9) {  // EOI
+      done = true;
+      break;
+    }
+    const std::uint16_t len = u16be();
+    if (len < 2) return free_components(space, t, components), fail("bad length");
+    // Clamp to the file: a declared length past EOF must not let the
+    // segment loops spin on the non-advancing EOF reads.
+    const std::size_t body_end = std::min(at + len - 2, data.size());
+
+    switch (marker) {
+      case 0xc0: {  // frame header
+        if (saw_frame) {
+          return free_components(space, t, components), fail("duplicate SOF");
+        }
+        saw_frame = true;
+        const std::uint8_t precision = u8();
+        const std::uint16_t h = u16be();
+        const std::uint16_t w = u16be();
+        const std::uint8_t ncomp = u8();
+        if (w == 0 || h == 0 || ncomp == 0 || ncomp > 4) {
+          return free_components(space, t, components), fail("bad frame");
+        }
+        space.store(dec, t.decompress, 0, static_cast<std::uint32_t>(w));
+        space.store(dec, t.decompress, 1, static_cast<std::uint32_t>(h));
+        space.store(dec, t.decompress, 2, static_cast<std::uint32_t>(ncomp));
+        space.store(dec, t.decompress, 3,
+                    static_cast<std::uint32_t>(precision));
+        for (std::uint8_t c = 0; c < ncomp; ++c) {
+          void* ci = space.alloc(t.component_info);
+          space.store(ci, t.component_info, 0, static_cast<std::uint32_t>(u8()));
+          const std::uint8_t sampling = u8();
+          space.store(ci, t.component_info, 1,
+                      static_cast<std::uint32_t>(sampling >> 4));
+          space.store(ci, t.component_info, 2,
+                      static_cast<std::uint32_t>(sampling & 0xf));
+          space.store(ci, t.component_info, 3, static_cast<std::uint32_t>(u8()));
+          components.push_back(ci);
+        }
+        break;
+      }
+      case 0xc4: {  // huffman table stub: [class/id][16 counts]
+        void* h = space.alloc(t.huff_tbl);
+        space.store(h, t.huff_tbl, 0, static_cast<std::uint32_t>(u8()));
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 16 && at < body_end; ++i) sum += u8();
+        space.store(h, t.huff_tbl, 1, sum);
+        result.sample_hash = hash_combine(
+            result.sample_hash, space.template load<std::uint64_t>(h, t.huff_tbl, 1));
+        space.free_object(h, t.huff_tbl);
+        break;
+      }
+      case 0xdb: {  // quant table
+        void* q = space.alloc(t.quant_tbl);
+        space.store(q, t.quant_tbl, 0, static_cast<std::uint32_t>(u8()));
+        std::uint64_t sum = 0;
+        while (at < body_end) sum = sum * 31 + u8();
+        space.store(q, t.quant_tbl, 1, sum);
+        result.sample_hash = hash_combine(
+            result.sample_hash,
+            space.template load<std::uint64_t>(q, t.quant_tbl, 1));
+        space.free_object(q, t.quant_tbl);
+        break;
+      }
+      case 0xfe: {  // comment
+        void* mk = space.alloc(t.marker_reader);
+        space.store(mk, t.marker_reader, 1, static_cast<std::uint32_t>(len));
+        while (at < body_end) u8();
+        space.free_object(mk, t.marker_reader);
+        break;
+      }
+      case 0xda: {  // scan: delta-coded samples until EOI
+        if (!saw_frame) {
+          return free_components(space, t, components), fail("scan before frame");
+        }
+        void* br = space.alloc(t.bitread_state);
+        void* sv = space.alloc(t.savable_state);
+        while (at < body_end) u8();  // scan header ignored
+        std::int64_t predictor = 0;
+        std::uint64_t n = 0;
+        while (at + 1 < data.size() &&
+               !(data[at] == 0xff && data[at + 1] == 0xd9)) {
+          const auto delta = static_cast<std::int8_t>(u8());
+          predictor += delta;
+          space.store(sv, t.savable_state, 0,
+                      static_cast<std::uint64_t>(predictor));
+          space.store(br, t.bitread_state, 1,
+                      space.template load<std::uint64_t>(br, t.bitread_state, 1) +
+                          8);
+          result.sample_hash = hash_combine(
+              result.sample_hash,
+              space.template load<std::uint64_t>(sv, t.savable_state, 0));
+          ++n;
+        }
+        space.store(tj, t.tjinstance, 1, n);
+        space.free_object(sv, t.savable_state);
+        space.free_object(br, t.bitread_state);
+        break;
+      }
+      default:  // skippable APPn etc.
+        while (at < body_end) u8();
+        break;
+    }
+    at = body_end > at ? body_end : at;
+  }
+
+  if (!saw_frame) return free_components(space, t, components), fail("no frame");
+  if (!done) return free_components(space, t, components), fail("missing EOI");
+  result.ok = true;
+  result.width = space.template load<std::uint32_t>(dec, t.decompress, 0);
+  result.height = space.template load<std::uint32_t>(dec, t.decompress, 1);
+  result.components = space.template load<std::uint32_t>(dec, t.decompress, 2);
+  for (void* ci : components) {
+    result.sample_hash = hash_combine(
+        result.sample_hash,
+        space.template load<std::uint32_t>(ci, t.component_info, 0));
+  }
+  free_components(space, t, components);
+  space.free_object(dec, t.decompress);
+  space.free_object(tj, t.tjinstance);
+  return result;
+}
+
+}  // namespace polar::minijpg

@@ -1,0 +1,304 @@
+#include "workloads/minipng.h"
+
+#include "support/hash.h"
+#include "support/rng.h"
+#include "workloads/spec_common.h"
+
+namespace polar::minipng {
+
+PngTypes register_types(TypeRegistry& reg) {
+  PngTypes t;
+  t.png_struct = TypeBuilder(reg, "png.png_struct_def")
+                     .field<std::uint32_t>("state")
+                     .field<std::uint64_t>("crc")
+                     .field<std::uint32_t>("rowbytes")
+                     .bytes("row_buf", detail::kRowBufSize, 8)
+                     .field<std::uint32_t>("palette_len")
+                     .bytes("palette", detail::kMaxPalette * 3, 1)
+                     .build();
+  t.png_info = TypeBuilder(reg, "png.png_info_def")
+                   .field<std::uint32_t>("width")
+                   .field<std::uint32_t>("height")
+                   .field<std::uint8_t>("bit_depth")
+                   .field<std::uint8_t>("color_type")
+                   .field<std::uint32_t>("num_text")
+                   .field<std::uint32_t>("num_palette")
+                   .build();
+  t.png_color = TypeBuilder(reg, "png.png_color")
+                    .field<std::uint8_t>("red")
+                    .field<std::uint8_t>("green")
+                    .field<std::uint8_t>("blue")
+                    .build();
+  t.png_color16 = TypeBuilder(reg, "png.png_color16_struct")
+                      .field<std::uint16_t>("red")
+                      .field<std::uint16_t>("green")
+                      .field<std::uint16_t>("blue")
+                      .field<std::uint16_t>("gray")
+                      .build();
+  t.png_text = TypeBuilder(reg, "png.png_text")
+                   .bytes("key", 16, 1)
+                   .field<std::uint32_t>("text_length")
+                   .fn_ptr("free_fn")  // sensitive field adjacent to the key
+                   .build();
+  t.png_time = TypeBuilder(reg, "png.png_time_struct")
+                   .field<std::uint16_t>("year")
+                   .field<std::uint8_t>("month")
+                   .field<std::uint8_t>("day")
+                   .field<std::uint8_t>("hour")
+                   .field<std::uint8_t>("minute")
+                   .field<std::uint8_t>("second")
+                   .build();
+  t.png_unknown = TypeBuilder(reg, "png.png_unknown_chunk")
+                      .field<std::uint64_t>("name")
+                      .field<std::uint64_t>("size")
+                      .ptr("data")
+                      .build();
+  t.png_xy = TypeBuilder(reg, "png.png_xy")
+                 .field<std::uint32_t>("x")
+                 .field<std::uint32_t>("y")
+                 .build();
+  t.png_xyz = TypeBuilder(reg, "png.png_XYZ")
+                  .field<std::uint64_t>("X")
+                  .field<std::uint64_t>("Y")
+                  .build();
+  return t;
+}
+
+void taint_decode(TaintClassSpace& space, const PngTypes& t,
+                  std::span<const std::uint8_t> data) {
+  using namespace detail;
+  TaintScope scope(space.domain());
+  spec::TaintReader in(space, data);
+  POLAR_COV_SITE();
+  if (in.u32().value() != kMagic) return;
+  POLAR_COV_SITE();
+
+  void* ps = space.alloc(t.png_struct);
+  void* info = nullptr;
+  Tainted<std::uint64_t> crc(0);
+  int guard = 0;
+  while (!in.empty() && ++guard < 64) {
+    const auto len = in.u32();
+    const auto chunk_tag = in.u32();
+    const std::size_t body = std::min<std::size_t>(len.value(), in.remaining());
+    switch (chunk_tag.value()) {
+      case kIHDR: {
+        POLAR_COV_SITE();
+        if (info == nullptr) info = space.alloc(t.png_info, len.label());
+        space.store_t(info, t.png_info, 0, in.u32());
+        space.store_t(info, t.png_info, 1, in.u32());
+        space.store_t(info, t.png_info, 2, in.u8());
+        space.store_t(info, t.png_info, 3, in.u8());
+        space.store_t(ps, t.png_struct, 2,
+                      space.load_t<std::uint32_t>(info, t.png_info, 0));
+        if (body > 10) in.bytes(body - 10);
+        break;
+      }
+      case kPLTE: {
+        POLAR_COV_SITE();
+        const auto window = in.bytes(std::min<std::size_t>(body, 48));
+        if (!window.empty()) {
+          space.store_bytes(ps, t.png_struct, 5, 0, window.data(),
+                            window.size());
+          void* c = space.alloc(t.png_color, chunk_tag.label());
+          space.store_t(c, t.png_color, 0,
+                        Tainted<std::uint8_t>(window[0],
+                                              space.domain().shadow().get(
+                                                  &window[0])));
+          space.free_object(c, t.png_color);
+        }
+        if (body > window.size()) in.bytes(body - window.size());
+        break;
+      }
+      case kTIME: {
+        POLAR_COV_SITE();
+        void* tm = space.alloc(t.png_time);
+        space.store_t(tm, t.png_time, 0, in.u16());
+        space.store_t(tm, t.png_time, 1, in.u8());
+        space.store_t(tm, t.png_time, 2, in.u8());
+        if (body > 4) in.bytes(body - 4);
+        space.free_object(tm, t.png_time);
+        break;
+      }
+      case kTEXT: {
+        POLAR_COV_SITE();
+        void* txt = space.alloc(t.png_text);
+        const auto window = in.bytes(std::min<std::size_t>(body, 16));
+        if (!window.empty()) {
+          space.store_bytes(txt, t.png_text, 0, 0, window.data(),
+                            window.size());
+        }
+        space.store_t(txt, t.png_text, 1,
+                      len.cast<std::uint32_t>());
+        if (body > window.size()) in.bytes(body - window.size());
+        space.free_object(txt, t.png_text);
+        break;
+      }
+      case kBKGD: {
+        POLAR_COV_SITE();
+        void* bg = space.alloc(t.png_color16);
+        space.store_t(bg, t.png_color16, 0, in.u16());
+        space.store_t(bg, t.png_color16, 1, in.u16());
+        space.store_t(bg, t.png_color16, 2, in.u16());
+        if (body > 6) in.bytes(body - 6);
+        space.free_object(bg, t.png_color16);
+        break;
+      }
+      case kCHRM: {
+        POLAR_COV_SITE();
+        void* xy = space.alloc(t.png_xy);
+        const auto x = in.u32();
+        const auto y = in.u32();
+        space.store_t(xy, t.png_xy, 0, x);
+        space.store_t(xy, t.png_xy, 1, y);
+        void* xyz = space.alloc(t.png_xyz);
+        space.store_t(xyz, t.png_xyz, 0,
+                      x.cast<std::uint64_t>() * Tainted<std::uint64_t>(2));
+        space.store_t(xyz, t.png_xyz, 1,
+                      y.cast<std::uint64_t>() * Tainted<std::uint64_t>(3));
+        if (body > 8) in.bytes(body - 8);
+        space.free_object(xyz, t.png_xyz);
+        space.free_object(xy, t.png_xy);
+        break;
+      }
+      case kNOTE: {
+        POLAR_COV_SITE();
+        void* un = space.alloc(t.png_unknown, len.label());
+        space.store_t(un, t.png_unknown, 0, chunk_tag.cast<std::uint64_t>());
+        space.store_t(un, t.png_unknown, 1, len.cast<std::uint64_t>());
+        in.bytes(body);
+        space.free_object(un, t.png_unknown, len.label());
+        break;
+      }
+      case kIDAT: {
+        POLAR_COV_SITE();
+        std::size_t consumed = 0;
+        while (consumed + 2 <= body) {
+          const auto count = in.u8();
+          const auto value = in.u8();
+          consumed += 2;
+          crc = crc + count.cast<std::uint64_t>() * value.cast<std::uint64_t>();
+        }
+        space.store_t(ps, t.png_struct, 1, crc);
+        break;
+      }
+      case kIEND:
+        guard = 1000;
+        break;
+      default:
+        in.bytes(body);
+        break;
+    }
+  }
+  if (info != nullptr) space.free_object(info, t.png_info);
+  space.free_object(ps, t.png_struct);
+}
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_chunk(std::vector<std::uint8_t>& out, std::uint32_t tag,
+               std::span<const std::uint8_t> payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, tag);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_test_image(std::uint32_t width,
+                                            std::uint32_t height,
+                                            std::uint64_t seed) {
+  using namespace detail;
+  Rng rng(seed);
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+
+  std::vector<std::uint8_t> ihdr;
+  put_u32(ihdr, width);
+  put_u32(ihdr, height);
+  ihdr.push_back(8);  // bit depth
+  ihdr.push_back(3);  // palette color type
+  put_chunk(out, kIHDR, ihdr);
+
+  std::vector<std::uint8_t> plte;
+  for (int i = 0; i < 12 * 3; ++i) {
+    plte.push_back(static_cast<std::uint8_t>(rng.next()));
+  }
+  put_chunk(out, kPLTE, plte);
+
+  const std::vector<std::uint8_t> tm{0xe6, 0x07, 7, 4, 12, 30, 0};
+  put_chunk(out, kTIME, tm);
+
+  std::vector<std::uint8_t> text{'a', 'u', 't', 'h', 'o', 'r', 0};
+  for (int i = 0; i < 8; ++i) {
+    text.push_back(static_cast<std::uint8_t>('a' + rng.below(26)));
+  }
+  put_chunk(out, kTEXT, text);
+
+  std::vector<std::uint8_t> bkgd(8, 0);
+  bkgd[0] = 0x12;
+  put_chunk(out, kBKGD, bkgd);
+
+  std::vector<std::uint8_t> chrm;
+  put_u32(chrm, 31270);
+  put_u32(chrm, 32900);
+  put_chunk(out, kCHRM, chrm);
+
+  std::vector<std::uint8_t> note(5, 0xab);
+  put_chunk(out, kNOTE, note);
+
+  std::vector<std::uint8_t> idat;
+  const std::uint32_t rowbytes = std::min(width, kRowBufSize);
+  for (std::uint32_t row = 0; row < height; ++row) {
+    std::uint32_t filled = 0;
+    while (filled < rowbytes) {
+      const auto run = static_cast<std::uint8_t>(
+          std::min<std::uint64_t>(1 + rng.below(8), rowbytes - filled));
+      idat.push_back(run);
+      idat.push_back(static_cast<std::uint8_t>(rng.next()));
+      filled += run;
+    }
+  }
+  put_chunk(out, kIDAT, idat);
+  put_chunk(out, kIEND, {});
+  return out;
+}
+
+const std::vector<CveCase>& cve_cases() {
+  static const std::vector<CveCase> kCases{
+      {"CVE-2016-10087", "null pointer dereference",
+       Bug::kNullDeref2016_10087,
+       {"png.png_info_def", "png.png_struct_def"}},
+      {"CVE-2015-8126", "heap overflow (palette)",
+       Bug::kPaletteOverflow2015_8126,
+       {"png.png_info_def", "png.png_struct_def", "png.png_color"}},
+      {"CVE-2015-7981", "out of bounds read (tIME)",
+       Bug::kTimeOobRead2015_7981,
+       {"png.png_struct_def", "png.png_time_struct"}},
+      {"CVE-2015-0973", "heap overflow (row buffer)",
+       Bug::kRowOverflow2015_0973,
+       {"png.png_struct_def", "png.png_info_def"}},
+      {"CVE-2013-7353", "integer overflow (unknown chunk)",
+       Bug::kIntOverflow2013_7353,
+       {"png.png_struct_def", "png.png_info_def", "png.png_unknown_chunk"}},
+      {"CVE-2011-3048", "heap overflow (tEXt)",
+       Bug::kTextOverflow2011_3048,
+       {"png.png_struct_def", "png.png_info_def", "png.png_text"}},
+  };
+  return kCases;
+}
+
+std::vector<std::vector<std::uint8_t>> dictionary() {
+  return {spec::tok("mPNG"), spec::tok("IHDR"), spec::tok("PLTE"),
+          spec::tok("tIME"), spec::tok("tEXt"), spec::tok("bKGD"),
+          spec::tok("cHRM"), spec::tok("nOTE"), spec::tok("IDAT"),
+          spec::tok("IEND")};
+}
+
+}  // namespace polar::minipng

@@ -1,0 +1,422 @@
+// minipng — a small real decoder for a PNG-like chunked image format,
+// standing in for libpng in the paper's evaluation (§V-A compatibility,
+// Table I tainted-object census, §V-C / Table IV CVE case studies).
+//
+// The format ("mPNG"): 4-byte magic, then chunks of
+//   [u32 length][4-byte tag][payload...]
+// Tags: IHDR (w,h,bitdepth,color), PLTE (rgb triplets), tIME (7 bytes),
+// tEXt (key\0text), bKGD (color16), cHRM (xy pairs), nOTE (unknown/custom),
+// IDAT (RLE rows), IEND.
+//
+// The decoder's working state lives in managed objects named after their
+// libpng counterparts (png_struct_def, png_info_def, ...), so TaintClass
+// reports read like the paper's Table IV. Six injectable bugs replicate
+// the six libpng CVEs of Table IV — each a real defect in this decoder
+// guarded by a BugSet bit, so the same binary can run clean (compat tests)
+// or vulnerable (case studies).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/space.h"
+#include "taintclass/taint_space.h"
+
+namespace polar::minipng {
+
+struct PngTypes {
+  TypeId png_struct;   // png_struct_def
+  TypeId png_info;     // png_info_def
+  TypeId png_color;    // palette entry
+  TypeId png_color16;  // png_color16_struct (bKGD)
+  TypeId png_text;     // tEXt chunk record
+  TypeId png_time;     // png_time_struct
+  TypeId png_unknown;  // png_unknown_chunk
+  TypeId png_xy;       // cHRM white point
+  TypeId png_xyz;      // derived XYZ
+};
+
+PngTypes register_types(TypeRegistry& registry);
+
+/// Injectable CVE-analog defects (Table IV).
+enum class Bug : std::uint32_t {
+  kNullDeref2016_10087 = 1u << 0,   ///< missing info-struct guard
+  kPaletteOverflow2015_8126 = 1u << 1,  ///< PLTE length unchecked
+  kTimeOobRead2015_7981 = 1u << 2,  ///< tIME reads past payload
+  kRowOverflow2015_0973 = 1u << 3,  ///< rowbytes unchecked vs row_buf
+  kIntOverflow2013_7353 = 1u << 4,  ///< unknown-chunk size u16 truncation
+  kTextOverflow2011_3048 = 1u << 5, ///< tEXt keyword unchecked
+};
+
+using BugSet = std::uint32_t;
+inline constexpr BugSet kNoBugs = 0;
+
+[[nodiscard]] constexpr BugSet bug(Bug b) noexcept {
+  return static_cast<BugSet>(b);
+}
+
+struct DecodeResult {
+  bool ok = false;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::uint64_t pixel_hash = 0;
+  /// Fields the buggy paths corrupted (nonzero only when bugs enabled):
+  /// under Direct this is silent damage, under POLaR check_traps fires.
+  std::uint32_t corrupt_writes = 0;
+  std::string error;
+};
+
+/// Decodes `data`, allocating its state through `space`. Never reads or
+/// writes outside the managed objects even with bugs enabled (in-object
+/// overflows are bounded by object_bytes — modelling intra-object damage,
+/// the kind §VII says redzone tools cannot see).
+template <ObjectSpace S>
+DecodeResult decode(S& space, const PngTypes& t, std::span<const std::uint8_t> data,
+                    BugSet bugs = kNoBugs);
+
+/// TaintClass entry: same parse under taint tracking (Table I / IV).
+void taint_decode(TaintClassSpace& space, const PngTypes& t,
+                  std::span<const std::uint8_t> data);
+
+/// Produces a valid image file exercising every chunk type.
+std::vector<std::uint8_t> encode_test_image(std::uint32_t width,
+                                            std::uint32_t height,
+                                            std::uint64_t seed);
+
+/// Table IV ground truth: for each CVE, the objects an exploit abuses.
+struct CveCase {
+  const char* id;
+  const char* description;
+  Bug bug;
+  std::vector<std::string> exploit_objects;
+};
+const std::vector<CveCase>& cve_cases();
+
+/// Dictionary tokens for fuzzing the decoder.
+std::vector<std::vector<std::uint8_t>> dictionary();
+
+// ---------------------------------------------------------------------------
+// implementation (template must be visible)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+  [[nodiscard]] std::size_t remaining() const {
+    return at_ < data_.size() ? data_.size() - at_ : 0;
+  }
+  [[nodiscard]] bool eof() const { return remaining() == 0; }
+  std::uint8_t u8() { return at_ < data_.size() ? data_[at_++] : 0; }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u16_hi() << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    const std::size_t got = std::min(n, remaining());
+    auto out = data_.subspan(at_, got);
+    at_ += got;
+    return out;
+  }
+
+ private:
+  std::uint16_t u16_hi() { return u8(); }
+  std::span<const std::uint8_t> data_;
+  std::size_t at_ = 0;
+};
+
+[[nodiscard]] constexpr std::uint32_t tag(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+inline constexpr std::uint32_t kIHDR = tag('I', 'H', 'D', 'R');
+inline constexpr std::uint32_t kPLTE = tag('P', 'L', 'T', 'E');
+inline constexpr std::uint32_t kTIME = tag('t', 'I', 'M', 'E');
+inline constexpr std::uint32_t kTEXT = tag('t', 'E', 'X', 't');
+inline constexpr std::uint32_t kBKGD = tag('b', 'K', 'G', 'D');
+inline constexpr std::uint32_t kCHRM = tag('c', 'H', 'R', 'M');
+inline constexpr std::uint32_t kNOTE = tag('n', 'O', 'T', 'E');
+inline constexpr std::uint32_t kIDAT = tag('I', 'D', 'A', 'T');
+inline constexpr std::uint32_t kIEND = tag('I', 'E', 'N', 'D');
+inline constexpr std::uint32_t kMagic = tag('m', 'P', 'N', 'G');
+
+// Field indices (must match register_types order).
+// png_struct_def: 0 state, 1 crc, 2 rowbytes, 3 row_buf(64B), 4 palette_len,
+//                 5 palette(48B = 16 rgb triplets)
+// png_info_def:   0 width, 1 height, 2 bit_depth, 3 color_type, 4 num_text,
+//                 5 num_palette
+inline constexpr std::uint32_t kMaxPalette = 16;
+inline constexpr std::uint32_t kRowBufSize = 64;
+
+}  // namespace detail
+
+template <ObjectSpace S>
+DecodeResult decode(S& space, const PngTypes& t,
+                    std::span<const std::uint8_t> data, BugSet bugs) {
+  using namespace detail;
+  DecodeResult result;
+  Cursor in(data);
+  if (in.u32() != kMagic) {
+    result.error = "bad magic";
+    return result;
+  }
+
+  void* ps = space.alloc(t.png_struct);
+  void* info = nullptr;  // allocated on IHDR
+  const auto fail = [&](const char* why) {
+    result.error = why;
+    if (info != nullptr) space.free_object(info, t.png_info);
+    space.free_object(ps, t.png_struct);
+    return result;
+  };
+
+  // Damage accounting for the buggy paths: overflowing writes stay inside
+  // the allocation backing the object but past the intended field.
+  const auto overflowing_fill = [&](void* base, TypeId type,
+                                    std::uint32_t field,
+                                    std::span<const std::uint8_t> bytes,
+                                    std::size_t field_size) {
+    auto* dst = static_cast<unsigned char*>(space.field_ptr(base, type, field));
+    const auto base_off = static_cast<std::size_t>(
+        dst - static_cast<unsigned char*>(base));
+    const std::size_t cap = space.object_bytes(base, type);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      if (base_off + i >= cap) break;
+      dst[i] = bytes[i];
+      if (i >= field_size) ++result.corrupt_writes;
+    }
+  };
+
+  bool saw_end = false;
+  while (!in.eof() && !saw_end) {
+    const std::uint32_t len = in.u32();
+    const std::uint32_t chunk_tag = in.u32();
+    auto payload = in.take(len);
+    Cursor body(payload);
+
+    switch (chunk_tag) {
+      case kIHDR: {
+        if (payload.size() < 10) return fail("short IHDR");
+        if (info != nullptr) return fail("duplicate IHDR");
+        info = space.alloc(t.png_info);
+        const std::uint32_t w = body.u32();
+        const std::uint32_t h = body.u32();
+        const std::uint8_t depth = body.u8();
+        const std::uint8_t color = body.u8();
+        if (w == 0 || h == 0 || w > 4096 || h > 4096) {
+          return fail("bad dimensions");
+        }
+        if (depth == 0 || depth > 32) return fail("bad bit depth");
+        space.store(info, t.png_info, 0, w);
+        space.store(info, t.png_info, 1, h);
+        space.store(info, t.png_info, 2, depth);
+        space.store(info, t.png_info, 3, color);
+        // rowbytes: CVE-2015-0973 analog omits the clamp to the row
+        // buffer, so wide images overflow row_buf inside png_struct.
+        std::uint32_t rowbytes = w * ((depth + 7) / 8);
+        if ((bugs & bug(Bug::kRowOverflow2015_0973)) == 0) {
+          if (rowbytes > kRowBufSize) rowbytes = kRowBufSize;
+        }
+        space.store(ps, t.png_struct, 2, rowbytes);
+        break;
+      }
+      case kPLTE: {
+        if (info == nullptr &&
+            (bugs & bug(Bug::kNullDeref2016_10087)) == 0) {
+          return fail("PLTE before IHDR");
+        }
+        // CVE-2016-10087 analog: with the guard missing, the decoder uses
+        // the info object before it exists. We model the null-deref as a
+        // detected failure rather than a real crash.
+        if (info == nullptr) return fail("null info deref (CVE-2016-10087)");
+        const std::uint32_t entries = len / 3;
+        // CVE-2015-8126 analog: palette length unchecked against the
+        // fixed 16-entry palette field.
+        if ((bugs & bug(Bug::kPaletteOverflow2015_8126)) == 0 &&
+            entries > kMaxPalette) {
+          return fail("palette too large");
+        }
+        // The clean path copies at most the palette field; only the buggy
+        // build trusts the chunk length.
+        const std::size_t copy_len =
+            (bugs & bug(Bug::kPaletteOverflow2015_8126)) != 0
+                ? payload.size()
+                : std::min<std::size_t>(payload.size(), kMaxPalette * 3);
+        overflowing_fill(ps, t.png_struct, 5, payload.subspan(0, copy_len),
+                         kMaxPalette * 3);
+        space.store(ps, t.png_struct, 4, std::min(entries, 255u));
+        space.store(info, t.png_info, 5, entries);
+        // Materialize one png_color per (bounded) entry, as libpng does.
+        Cursor pal(payload);
+        for (std::uint32_t e = 0; e < std::min(entries, kMaxPalette); ++e) {
+          void* c = space.alloc(t.png_color);
+          space.store(c, t.png_color, 0, pal.u8());
+          space.store(c, t.png_color, 1, pal.u8());
+          space.store(c, t.png_color, 2, pal.u8());
+          result.pixel_hash = hash_combine(
+              result.pixel_hash, space.template load<std::uint8_t>(c, t.png_color, 0));
+          space.free_object(c, t.png_color);
+        }
+        break;
+      }
+      case kTIME: {
+        // CVE-2015-7981 analog: reads 9 bytes from a 7-byte payload; the
+        // cursor zero-fills, modelling the out-of-bounds read's leak of
+        // adjacent memory as deterministic zeros.
+        const std::size_t want =
+            (bugs & bug(Bug::kTimeOobRead2015_7981)) != 0 ? 9u : 7u;
+        if (payload.size() < 7) return fail("short tIME");
+        void* tm = space.alloc(t.png_time);
+        space.store(tm, t.png_time, 0, body.u16());  // year
+        space.store(tm, t.png_time, 1, body.u8());   // month
+        space.store(tm, t.png_time, 2, body.u8());   // day
+        space.store(tm, t.png_time, 3, body.u8());   // hour
+        space.store(tm, t.png_time, 4, body.u8());   // minute
+        space.store(tm, t.png_time, 5, body.u8());   // second
+        for (std::size_t extra = 7; extra < want; ++extra) {
+          result.pixel_hash = hash_combine(result.pixel_hash, body.u8());
+        }
+        result.pixel_hash = hash_combine(
+            result.pixel_hash,
+            space.template load<std::uint16_t>(tm, t.png_time, 0));
+        space.free_object(tm, t.png_time);
+        break;
+      }
+      case kTEXT: {
+        // keyword\0text; keyword copied into a fixed 16-byte field.
+        std::size_t keylen = 0;
+        while (keylen < payload.size() && payload[keylen] != 0) ++keylen;
+        // CVE-2011-3048 analog: keyword length unchecked.
+        if ((bugs & bug(Bug::kTextOverflow2011_3048)) == 0 && keylen > 16) {
+          return fail("keyword too long");
+        }
+        void* txt = space.alloc(t.png_text);
+        overflowing_fill(txt, t.png_text, 0, payload.subspan(0, keylen), 16);
+        space.store(txt, t.png_text, 1,
+                    static_cast<std::uint32_t>(payload.size() - keylen));
+        if (info != nullptr) {
+          space.store(info, t.png_info, 4,
+                      space.template load<std::uint32_t>(info, t.png_info, 4) + 1);
+        }
+        result.pixel_hash = hash_combine(
+            result.pixel_hash,
+            space.template load<std::uint32_t>(txt, t.png_text, 1));
+        space.free_object(txt, t.png_text);
+        break;
+      }
+      case kBKGD: {
+        if (payload.size() < 8) return fail("short bKGD");
+        void* bg = space.alloc(t.png_color16);
+        space.store(bg, t.png_color16, 0, body.u16());
+        space.store(bg, t.png_color16, 1, body.u16());
+        space.store(bg, t.png_color16, 2, body.u16());
+        space.store(bg, t.png_color16, 3, body.u16());
+        result.pixel_hash = hash_combine(
+            result.pixel_hash,
+            space.template load<std::uint16_t>(bg, t.png_color16, 0));
+        space.free_object(bg, t.png_color16);
+        break;
+      }
+      case kCHRM: {
+        if (payload.size() < 8) return fail("short cHRM");
+        void* xy = space.alloc(t.png_xy);
+        space.store(xy, t.png_xy, 0, body.u32());
+        space.store(xy, t.png_xy, 1, body.u32());
+        void* xyz = space.alloc(t.png_xyz);
+        const auto x = space.template load<std::uint32_t>(xy, t.png_xy, 0);
+        const auto y = space.template load<std::uint32_t>(xy, t.png_xy, 1);
+        space.store(xyz, t.png_xyz, 0, static_cast<std::uint64_t>(x) * 2);
+        space.store(xyz, t.png_xyz, 1, static_cast<std::uint64_t>(y) * 3);
+        result.pixel_hash = hash_combine(
+            result.pixel_hash,
+            space.template load<std::uint64_t>(xyz, t.png_xyz, 0));
+        space.free_object(xyz, t.png_xyz);
+        space.free_object(xy, t.png_xy);
+        break;
+      }
+      case kNOTE: {
+        // Custom/unknown chunk. CVE-2013-7353 analog: the stored size is
+        // truncated to u16, so a 65536+e byte chunk records size e — later
+        // consumers under-allocate.
+        void* un = space.alloc(t.png_unknown);
+        const std::uint64_t recorded =
+            (bugs & bug(Bug::kIntOverflow2013_7353)) != 0
+                ? static_cast<std::uint16_t>(len)
+                : len;
+        space.store(un, t.png_unknown, 0, static_cast<std::uint64_t>(chunk_tag));
+        space.store(un, t.png_unknown, 1, recorded);
+        result.pixel_hash = hash_combine(
+            result.pixel_hash,
+            space.template load<std::uint64_t>(un, t.png_unknown, 1));
+        space.free_object(un, t.png_unknown);
+        break;
+      }
+      case kIDAT: {
+        if (info == nullptr) return fail("IDAT before IHDR");
+        const auto rowbytes =
+            space.template load<std::uint32_t>(ps, t.png_struct, 2);
+        if (rowbytes == 0) return fail("zero rowbytes");
+        // RLE rows: [count byte, value byte]* per row.
+        std::vector<std::uint8_t> row;
+        while (!body.eof()) {
+          row.clear();
+          while (!body.eof() && row.size() < rowbytes) {
+            const std::uint8_t count = body.u8();
+            const std::uint8_t value = body.u8();
+            for (std::uint8_t r = 0; r < count && row.size() < 4096; ++r) {
+              row.push_back(value);
+            }
+          }
+          // Copy the decoded row into the fixed row buffer; with the
+          // CVE-2015-0973 analog active rowbytes may exceed the field.
+          overflowing_fill(ps, t.png_struct, 3,
+                           std::span<const std::uint8_t>(row.data(),
+                                                         std::min<std::size_t>(
+                                                             row.size(), rowbytes)),
+                           kRowBufSize);
+          auto* buf = static_cast<unsigned char*>(
+              space.field_ptr(ps, t.png_struct, 3));
+          std::uint64_t crc =
+              space.template load<std::uint64_t>(ps, t.png_struct, 1);
+          const std::size_t n =
+              std::min<std::size_t>(rowbytes, kRowBufSize);
+          for (std::size_t i = 0; i < n; ++i) {
+            crc = crc * 1099511628211ULL + buf[i];
+          }
+          space.store(ps, t.png_struct, 1, crc);
+        }
+        result.pixel_hash = hash_combine(
+            result.pixel_hash,
+            space.template load<std::uint64_t>(ps, t.png_struct, 1));
+        break;
+      }
+      case kIEND:
+        saw_end = true;
+        break;
+      default:
+        return fail("unknown critical chunk");
+    }
+  }
+
+  if (info == nullptr) return fail("no IHDR");
+  if (!saw_end) return fail("truncated file");
+  result.ok = true;
+  result.width = space.template load<std::uint32_t>(info, t.png_info, 0);
+  result.height = space.template load<std::uint32_t>(info, t.png_info, 1);
+  space.free_object(info, t.png_info);
+  space.free_object(ps, t.png_struct);
+  return result;
+}
+
+}  // namespace polar::minipng

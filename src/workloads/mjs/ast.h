@@ -1,0 +1,75 @@
+// mjs AST. Plain owned trees; the engine-internal *runtime* objects are
+// what POLaR randomizes, not the AST.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace polar::mjs {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind : std::uint8_t {
+  kNumber, kString, kBool, kNull, kIdent,
+  kBinary, kUnary, kCall, kMember, kIndex,
+  kObjectLit, kArrayLit,
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,  // short-circuit
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNull;
+  double number = 0;
+  bool boolean = false;
+  std::string text;  // ident name / string literal / member name
+  BinOp op = BinOp::kAdd;
+  bool unary_not = false;  // for kUnary: true '!' false '-'
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;                         // call args / array items
+  std::vector<std::pair<std::string, ExprPtr>> props;  // object literal
+};
+
+enum class StmtKind : std::uint8_t {
+  kVar, kAssign, kExpr, kIf, kWhile, kFor, kReturn, kBlock, kBreak,
+};
+
+/// Assignment targets: name / obj.member / obj[index].
+enum class TargetKind : std::uint8_t { kName, kMember, kIndex };
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  std::string name;  // var name / assign target name / member name
+  TargetKind target = TargetKind::kName;
+  ExprPtr object;  // assign target base for member/index
+  ExprPtr index;
+  ExprPtr value;  // var init / assign rhs / expr / condition for if-while /
+                  // return value
+  std::vector<StmtPtr> body;       // if-then / while / for / block
+  std::vector<StmtPtr> else_body;  // if-else
+  StmtPtr for_init;                // for(init; cond=value; step)
+  StmtPtr for_step;
+};
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+};
+
+struct Program {
+  std::vector<FunctionDecl> functions;
+  std::vector<StmtPtr> top_level;
+};
+
+}  // namespace polar::mjs

@@ -1,0 +1,603 @@
+// mjs engine — tree-walking interpreter whose ENGINE-INTERNAL runtime
+// structures (dynamic objects, arrays, string buffers, function bodies)
+// are POLaR-managed, mirroring how the paper applies POLaR to ChakraCore:
+// the script sees identical semantics, while every engine object the
+// script causes to exist gets a per-allocation randomized layout.
+//
+// Like ChakraCore's recycler, the engine frees script-reachable objects in
+// bulk (destruction), so steady-state work is member access rather than
+// alloc/free — the paper's explanation for the ~1% JS overhead (§V-B).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/space.h"
+#include "support/hash.h"
+#include "workloads/mjs/ast.h"
+#include "workloads/mjs/parser.h"
+
+namespace polar::mjs {
+
+struct MjsTypes {
+  TypeId dynamic_object;  // Js::DynamicObject
+  TypeId array_object;    // Js::JavascriptArray
+  TypeId string_buffer;   // JsUtil::CharacterBuffer
+  TypeId function_body;   // Js::FunctionBody
+  TypeId property_record; // Js::PropertyRecord
+};
+
+MjsTypes register_types(TypeRegistry& registry);
+
+class EngineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Value {
+  enum class T : std::uint8_t { kNum, kBool, kNull, kStr, kObj, kArr };
+  T t = T::kNull;
+  double num = 0;
+  std::uint32_t ref = 0;
+
+  static Value number(double v) { return {T::kNum, v, 0}; }
+  static Value boolean(bool b) { return {T::kBool, b ? 1.0 : 0.0, 0}; }
+  static Value null() { return {}; }
+};
+
+template <ObjectSpace S>
+class Engine {
+ public:
+  Engine(S& space, const MjsTypes& types) : space_(&space), types_(types) {}
+
+  ~Engine() {
+    for (void* p : managed_objects_) space_->free_object(p, types_.dynamic_object);
+    for (void* p : managed_arrays_) space_->free_object(p, types_.array_object);
+    for (void* p : managed_strings_) space_->free_object(p, types_.string_buffer);
+    for (void* p : managed_functions_) space_->free_object(p, types_.function_body);
+    for (auto& [hash, rec] : property_records_) {
+      space_->free_object(rec, types_.property_record);
+    }
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Parses and runs a script; returns the final value of the global
+  /// `result`, which every benchmark script assigns.
+  Value run(std::string_view source, std::uint64_t fuel = 500'000'000) {
+    std::string error;
+    auto prog = parse(source, error);
+    if (!prog.has_value()) throw EngineError("parse error: " + error);
+    fuel_ = fuel;
+    program_ = std::move(*prog);
+    functions_by_name_.clear();
+    for (std::size_t i = 0; i < program_.functions.size(); ++i) {
+      functions_by_name_[program_.functions[i].name] = i;
+      void* body = space_->alloc(types_.function_body);
+      space_->store(body, types_.function_body, 0,
+                    static_cast<std::uint32_t>(i));
+      space_->store(body, types_.function_body, 1,
+                    static_cast<std::uint32_t>(program_.functions[i].params.size()));
+      managed_functions_.push_back(body);
+    }
+    Value ret;
+    for (const StmtPtr& s : program_.top_level) {
+      if (exec(*s, nullptr, ret) != Flow::kNormal) break;
+    }
+    const auto it = globals_.find("result");
+    return it == globals_.end() ? Value::null() : it->second;
+  }
+
+  [[nodiscard]] std::string to_display(const Value& v) const {
+    switch (v.t) {
+      case Value::T::kNum: return format_number(v.num);
+      case Value::T::kBool: return v.num != 0 ? "true" : "false";
+      case Value::T::kNull: return "null";
+      case Value::T::kStr: return strings_[v.ref];
+      case Value::T::kObj: return "[object]";
+      case Value::T::kArr: return "[array]";
+    }
+    return "?";
+  }
+
+  [[nodiscard]] double as_number(const Value& v) const {
+    if (v.t == Value::T::kNum || v.t == Value::T::kBool) return v.num;
+    throw EngineError("expected a number, got " + to_display(v));
+  }
+
+ private:
+  enum class Flow : std::uint8_t { kNormal, kReturn, kBreak };
+  using Scope = std::unordered_map<std::string, Value>;
+
+  struct ObjSlot {
+    void* managed = nullptr;
+    std::unordered_map<std::uint64_t, Value> props;
+  };
+  struct ArrSlot {
+    void* managed = nullptr;
+    std::vector<Value> items;
+  };
+
+  // ------------------------------------------------------- engine objects
+
+  std::uint32_t new_object() {
+    void* m = space_->alloc(types_.dynamic_object);
+    managed_objects_.push_back(m);
+    const auto id = static_cast<std::uint32_t>(objects_.size());
+    space_->store(m, types_.dynamic_object, 0, std::uint32_t{1});  // kind
+    space_->store(m, types_.dynamic_object, 2, static_cast<std::uint64_t>(id));
+    objects_.push_back(ObjSlot{m, {}});
+    return id;
+  }
+
+  std::uint32_t new_array() {
+    void* m = space_->alloc(types_.array_object);
+    managed_arrays_.push_back(m);
+    const auto id = static_cast<std::uint32_t>(arrays_.size());
+    space_->store(m, types_.array_object, 1, static_cast<std::uint64_t>(id));
+    arrays_.push_back(ArrSlot{m, {}});
+    return id;
+  }
+
+  Value new_string(std::string s) {
+    void* m = space_->alloc(types_.string_buffer);
+    managed_strings_.push_back(m);
+    space_->store(m, types_.string_buffer, 0, fnv1a(s));
+    space_->store(m, types_.string_buffer, 1,
+                  static_cast<std::uint32_t>(s.size()));
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.push_back(std::move(s));
+    Value v;
+    v.t = Value::T::kStr;
+    v.ref = id;
+    return v;
+  }
+
+  std::uint64_t property_id(const std::string& name) {
+    const std::uint64_t h = fnv1a(name);
+    auto it = property_records_.find(h);
+    if (it == property_records_.end()) {
+      void* rec = space_->alloc(types_.property_record);
+      space_->store(rec, types_.property_record, 0, h);
+      space_->store(rec, types_.property_record, 1,
+                    static_cast<std::uint32_t>(property_records_.size()));
+      property_records_.emplace(h, rec);
+    }
+    return h;
+  }
+
+  Value get_prop(const Value& obj, const std::string& name) {
+    if (obj.t != Value::T::kObj) {
+      throw EngineError("property access on non-object");
+    }
+    ObjSlot& slot = objects_[obj.ref];
+    // The instrumented access pattern: fetch the backing id through the
+    // managed object, as a real engine chases the slots pointer.
+    const auto backing = static_cast<std::uint32_t>(
+        space_->template load<std::uint64_t>(slot.managed,
+                                             types_.dynamic_object, 2));
+    const auto it = objects_[backing].props.find(property_id(name));
+    return it == objects_[backing].props.end() ? Value::null() : it->second;
+  }
+
+  void set_prop(const Value& obj, const std::string& name, const Value& v) {
+    if (obj.t != Value::T::kObj) {
+      throw EngineError("property store on non-object");
+    }
+    ObjSlot& slot = objects_[obj.ref];
+    const auto backing = static_cast<std::uint32_t>(
+        space_->template load<std::uint64_t>(slot.managed,
+                                             types_.dynamic_object, 2));
+    auto& props = objects_[backing].props;
+    const std::uint64_t pid = property_id(name);
+    if (!props.contains(pid)) {
+      space_->store(slot.managed, types_.dynamic_object, 1,
+                    space_->template load<std::uint32_t>(
+                        slot.managed, types_.dynamic_object, 1) +
+                        1);
+    }
+    props[pid] = v;
+  }
+
+  /// obj[k]: arrays/strings index by number; objects treat the index as a
+  /// property key (JS's computed member access).
+  Value get_index(const Value& base, const Value& index) {
+    if (base.t == Value::T::kObj) return get_prop(base, to_display(index));
+    if (base.t == Value::T::kStr) {
+      const auto& s = strings_[base.ref];
+      const auto i = static_cast<std::size_t>(as_number(index));
+      if (i >= s.size()) return Value::null();
+      return new_string(std::string(1, s[i]));
+    }
+    if (base.t != Value::T::kArr) throw EngineError("index of non-array");
+    ArrSlot& slot = arrays_[base.ref];
+    const auto len = space_->template load<std::uint32_t>(
+        slot.managed, types_.array_object, 0);
+    const auto i = static_cast<std::uint32_t>(as_number(index));
+    if (i >= len) return Value::null();
+    return slot.items[i];
+  }
+
+  void set_index(const Value& base, const Value& index, const Value& v) {
+    if (base.t == Value::T::kObj) {
+      set_prop(base, to_display(index), v);
+      return;
+    }
+    if (base.t != Value::T::kArr) throw EngineError("index store on non-array");
+    ArrSlot& slot = arrays_[base.ref];
+    const auto i = static_cast<std::size_t>(as_number(index));
+    if (i >= slot.items.size()) {
+      slot.items.resize(i + 1);
+      space_->store(slot.managed, types_.array_object, 0,
+                    static_cast<std::uint32_t>(slot.items.size()));
+    }
+    slot.items[i] = v;
+  }
+
+  // ------------------------------------------------------------- execution
+
+  void burn(std::uint64_t n = 1) {
+    if (fuel_ < n) throw EngineError("script fuel exhausted");
+    fuel_ -= n;
+  }
+
+  [[nodiscard]] static bool truthy_value(const Value& v,
+                                         const std::vector<std::string>& strs) {
+    switch (v.t) {
+      case Value::T::kNum:
+      case Value::T::kBool: return v.num != 0;
+      case Value::T::kNull: return false;
+      case Value::T::kStr: return !strs[v.ref].empty();
+      default: return true;
+    }
+  }
+  [[nodiscard]] bool truthy(const Value& v) const {
+    return truthy_value(v, strings_);
+  }
+
+  static std::string format_number(double v) {
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+      return std::to_string(static_cast<long long>(v));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+  }
+
+  Value* lookup(const std::string& name, Scope* locals) {
+    if (locals != nullptr) {
+      const auto it = locals->find(name);
+      if (it != locals->end()) return &it->second;
+    }
+    const auto it = globals_.find(name);
+    return it == globals_.end() ? nullptr : &it->second;
+  }
+
+  Flow exec(const Stmt& s, Scope* locals, Value& ret) {
+    burn();
+    switch (s.kind) {
+      case StmtKind::kVar: {
+        Value v = s.value ? eval(*s.value, locals) : Value::null();
+        (locals != nullptr ? *locals : globals_)[s.name] = v;
+        return Flow::kNormal;
+      }
+      case StmtKind::kAssign: {
+        Value v = eval(*s.value, locals);
+        switch (s.target) {
+          case TargetKind::kName: {
+            Value* slot = lookup(s.name, locals);
+            if (slot != nullptr) {
+              *slot = v;
+            } else {
+              globals_[s.name] = v;
+            }
+            break;
+          }
+          case TargetKind::kMember:
+            set_prop(eval(*s.object, locals), s.name, v);
+            break;
+          case TargetKind::kIndex:
+            set_index(eval(*s.object, locals), eval(*s.index, locals), v);
+            break;
+        }
+        return Flow::kNormal;
+      }
+      case StmtKind::kExpr:
+        eval(*s.value, locals);
+        return Flow::kNormal;
+      case StmtKind::kIf: {
+        const auto& branch =
+            truthy(eval(*s.value, locals)) ? s.body : s.else_body;
+        for (const StmtPtr& inner : branch) {
+          const Flow f = exec(*inner, locals, ret);
+          if (f != Flow::kNormal) return f;
+        }
+        return Flow::kNormal;
+      }
+      case StmtKind::kWhile: {
+        while (truthy(eval(*s.value, locals))) {
+          burn();
+          bool broke = false;
+          for (const StmtPtr& inner : s.body) {
+            const Flow f = exec(*inner, locals, ret);
+            if (f == Flow::kReturn) return f;
+            if (f == Flow::kBreak) {
+              broke = true;
+              break;
+            }
+          }
+          if (broke) break;
+        }
+        return Flow::kNormal;
+      }
+      case StmtKind::kFor: {
+        if (s.for_init) {
+          const Flow f = exec(*s.for_init, locals, ret);
+          if (f != Flow::kNormal) return f;
+        }
+        while (s.value == nullptr || truthy(eval(*s.value, locals))) {
+          burn();
+          bool broke = false;
+          for (const StmtPtr& inner : s.body) {
+            const Flow f = exec(*inner, locals, ret);
+            if (f == Flow::kReturn) return f;
+            if (f == Flow::kBreak) {
+              broke = true;
+              break;
+            }
+          }
+          if (broke) break;
+          if (s.for_step) {
+            const Flow f = exec(*s.for_step, locals, ret);
+            if (f != Flow::kNormal) return f;
+          }
+        }
+        return Flow::kNormal;
+      }
+      case StmtKind::kReturn:
+        ret = s.value ? eval(*s.value, locals) : Value::null();
+        return Flow::kReturn;
+      case StmtKind::kBreak:
+        return Flow::kBreak;
+      case StmtKind::kBlock:
+        for (const StmtPtr& inner : s.body) {
+          const Flow f = exec(*inner, locals, ret);
+          if (f != Flow::kNormal) return f;
+        }
+        return Flow::kNormal;
+    }
+    return Flow::kNormal;
+  }
+
+  Value call_function(std::size_t index, std::vector<Value> args) {
+    burn(4);
+    if (call_depth_ > 512) throw EngineError("call stack overflow");
+    const FunctionDecl& fn = program_.functions[index];
+    // Call-count bookkeeping through the managed function body, like a
+    // real engine's profiling counters.
+    void* body = managed_functions_[index];
+    space_->store(body, types_.function_body, 2,
+                  space_->template load<std::uint64_t>(
+                      body, types_.function_body, 2) +
+                      1);
+    Scope locals;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      locals[fn.params[i]] = i < args.size() ? args[i] : Value::null();
+    }
+    ++call_depth_;
+    Value ret;
+    for (const StmtPtr& s : fn.body) {
+      if (exec(*s, &locals, ret) == Flow::kReturn) break;
+    }
+    --call_depth_;
+    return ret;
+  }
+
+  Value call_builtin(const std::string& name, std::vector<Value>& a) {
+    const auto n1 = [&]() { return as_number(a.at(0)); };
+    const auto n2 = [&]() { return as_number(a.at(1)); };
+    if (name == "sqrt") return Value::number(std::sqrt(n1()));
+    if (name == "floor") return Value::number(std::floor(n1()));
+    if (name == "ceil") return Value::number(std::ceil(n1()));
+    if (name == "abs") return Value::number(std::abs(n1()));
+    if (name == "pow") return Value::number(std::pow(n1(), n2()));
+    if (name == "sin") return Value::number(std::sin(n1()));
+    if (name == "cos") return Value::number(std::cos(n1()));
+    if (name == "exp") return Value::number(std::exp(n1()));
+    if (name == "log") return Value::number(std::log(n1()));
+    if (name == "min") return Value::number(std::min(n1(), n2()));
+    if (name == "max") return Value::number(std::max(n1(), n2()));
+    if (name == "len") {
+      const Value& v = a.at(0);
+      if (v.t == Value::T::kStr) {
+        // Length via the managed string buffer: member access.
+        return Value::number(space_->template load<std::uint32_t>(
+            managed_strings_[v.ref], types_.string_buffer, 1));
+      }
+      if (v.t == Value::T::kArr) {
+        return Value::number(space_->template load<std::uint32_t>(
+            arrays_[v.ref].managed, types_.array_object, 0));
+      }
+      throw EngineError("len() of non-sequence");
+    }
+    if (name == "push") {
+      const Value& arr = a.at(0);
+      if (arr.t != Value::T::kArr) throw EngineError("push() on non-array");
+      ArrSlot& slot = arrays_[arr.ref];
+      slot.items.push_back(a.at(1));
+      space_->store(slot.managed, types_.array_object, 0,
+                    static_cast<std::uint32_t>(slot.items.size()));
+      return Value::number(static_cast<double>(slot.items.size()));
+    }
+    if (name == "charCodeAt") {
+      const Value& v = a.at(0);
+      if (v.t != Value::T::kStr) throw EngineError("charCodeAt of non-string");
+      const auto i = static_cast<std::size_t>(n2());
+      const auto& s = strings_[v.ref];
+      return Value::number(i < s.size()
+                               ? static_cast<unsigned char>(s[i])
+                               : 0);
+    }
+    if (name == "fromCharCode") {
+      return new_string(std::string(1, static_cast<char>(
+                                           static_cast<int>(n1()) & 0xff)));
+    }
+    if (name == "str") return new_string(to_display(a.at(0)));
+    if (name == "newObject") {
+      Value v;
+      v.t = Value::T::kObj;
+      v.ref = new_object();
+      return v;
+    }
+    throw EngineError("unknown function: " + name);
+  }
+
+  Value eval(const Expr& e, Scope* locals) {
+    burn();
+    switch (e.kind) {
+      case ExprKind::kNumber: return Value::number(e.number);
+      case ExprKind::kString: return new_string(e.text);
+      case ExprKind::kBool: return Value::boolean(e.boolean);
+      case ExprKind::kNull: return Value::null();
+      case ExprKind::kIdent: {
+        Value* v = lookup(e.text, locals);
+        if (v == nullptr) throw EngineError("undefined variable: " + e.text);
+        return *v;
+      }
+      case ExprKind::kUnary: {
+        const Value v = eval(*e.lhs, locals);
+        if (e.unary_not) return Value::boolean(!truthy(v));
+        return Value::number(-as_number(v));
+      }
+      case ExprKind::kBinary: return eval_binary(e, locals);
+      case ExprKind::kMember: {
+        const Value base = eval(*e.lhs, locals);
+        if (e.text == "length") {
+          std::vector<Value> args{base};
+          return call_builtin("len", args);
+        }
+        return get_prop(base, e.text);
+      }
+      case ExprKind::kIndex: {
+        const Value base = eval(*e.lhs, locals);
+        return get_index(base, eval(*e.rhs, locals));
+      }
+      case ExprKind::kCall: {
+        std::vector<Value> args;
+        args.reserve(e.args.size());
+        for (const ExprPtr& a : e.args) args.push_back(eval(*a, locals));
+        const auto it = functions_by_name_.find(e.text);
+        if (it != functions_by_name_.end()) {
+          return call_function(it->second, std::move(args));
+        }
+        return call_builtin(e.text, args);
+      }
+      case ExprKind::kObjectLit: {
+        Value v;
+        v.t = Value::T::kObj;
+        v.ref = new_object();
+        for (const auto& [key, init] : e.props) {
+          set_prop(v, key, eval(*init, locals));
+        }
+        return v;
+      }
+      case ExprKind::kArrayLit: {
+        Value v;
+        v.t = Value::T::kArr;
+        v.ref = new_array();
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          set_index(v, Value::number(static_cast<double>(i)),
+                    eval(*e.args[i], locals));
+        }
+        return v;
+      }
+    }
+    return Value::null();
+  }
+
+  Value eval_binary(const Expr& e, Scope* locals) {
+    // Short-circuit first.
+    if (e.op == BinOp::kAnd) {
+      const Value l = eval(*e.lhs, locals);
+      return truthy(l) ? eval(*e.rhs, locals) : l;
+    }
+    if (e.op == BinOp::kOr) {
+      const Value l = eval(*e.lhs, locals);
+      return truthy(l) ? l : eval(*e.rhs, locals);
+    }
+    const Value l = eval(*e.lhs, locals);
+    const Value r = eval(*e.rhs, locals);
+    if (e.op == BinOp::kAdd &&
+        (l.t == Value::T::kStr || r.t == Value::T::kStr)) {
+      return new_string(to_display(l) + to_display(r));
+    }
+    if (e.op == BinOp::kEq || e.op == BinOp::kNe) {
+      bool eq = false;
+      if (l.t == r.t || (l.t == Value::T::kNum && r.t == Value::T::kBool) ||
+          (l.t == Value::T::kBool && r.t == Value::T::kNum)) {
+        switch (l.t) {
+          case Value::T::kStr: eq = strings_[l.ref] == strings_[r.ref]; break;
+          case Value::T::kNull: eq = true; break;
+          case Value::T::kObj:
+          case Value::T::kArr: eq = (l.ref == r.ref) && (l.t == r.t); break;
+          default: eq = (l.num == r.num); break;
+        }
+      }
+      return Value::boolean(e.op == BinOp::kEq ? eq : !eq);
+    }
+    const double a = as_number(l);
+    const double b = as_number(r);
+    switch (e.op) {
+      case BinOp::kAdd: return Value::number(a + b);
+      case BinOp::kSub: return Value::number(a - b);
+      case BinOp::kMul: return Value::number(a * b);
+      case BinOp::kDiv: return Value::number(a / b);
+      case BinOp::kMod:
+        return Value::number(b == 0 ? 0.0 : std::fmod(a, b));
+      case BinOp::kLt: return Value::boolean(a < b);
+      case BinOp::kLe: return Value::boolean(a <= b);
+      case BinOp::kGt: return Value::boolean(a > b);
+      case BinOp::kGe: return Value::boolean(a >= b);
+      case BinOp::kBitAnd:
+        return Value::number(static_cast<double>(to_i64(a) & to_i64(b)));
+      case BinOp::kBitOr:
+        return Value::number(static_cast<double>(to_i64(a) | to_i64(b)));
+      case BinOp::kBitXor:
+        return Value::number(static_cast<double>(to_i64(a) ^ to_i64(b)));
+      case BinOp::kShl:
+        return Value::number(
+            static_cast<double>(to_i64(a) << (to_i64(b) & 63)));
+      case BinOp::kShr:
+        return Value::number(
+            static_cast<double>(to_i64(a) >> (to_i64(b) & 63)));
+      default:
+        throw EngineError("bad binary op");
+    }
+  }
+
+  static std::int64_t to_i64(double v) { return static_cast<std::int64_t>(v); }
+
+  S* space_;
+  MjsTypes types_;
+  Program program_;
+  std::unordered_map<std::string, std::size_t> functions_by_name_;
+  Scope globals_;
+  std::vector<std::string> strings_;
+  std::vector<ObjSlot> objects_;
+  std::vector<ArrSlot> arrays_;
+  std::vector<void*> managed_objects_;
+  std::vector<void*> managed_arrays_;
+  std::vector<void*> managed_strings_;
+  std::vector<void*> managed_functions_;
+  std::unordered_map<std::uint64_t, void*> property_records_;
+  std::uint64_t fuel_ = 0;
+  int call_depth_ = 0;
+};
+
+}  // namespace polar::mjs

@@ -1,0 +1,194 @@
+#include "workloads/mjs/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace polar::mjs {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kMap{
+      {"var", Tok::kVar},       {"function", Tok::kFunction},
+      {"if", Tok::kIf},         {"else", Tok::kElse},
+      {"while", Tok::kWhile},   {"for", Tok::kFor},
+      {"return", Tok::kReturn}, {"true", Tok::kTrue},
+      {"false", Tok::kFalse},   {"null", Tok::kNull},
+      {"break", Tok::kBreak},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+bool lex(std::string_view src, std::vector<Token>& out, std::string& error) {
+  out.clear();
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+  const auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  };
+  const auto push = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      char* end = nullptr;
+      const double v = std::strtod(src.data() + i, &end);
+      Token t;
+      t.kind = Tok::kNumber;
+      t.number = v;
+      t.line = line;
+      out.push_back(std::move(t));
+      i = static_cast<std::size_t>(end - src.data());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) != 0 ||
+              src[i] == '_')) {
+        ++i;
+      }
+      const std::string_view word = src.substr(start, i - start);
+      const auto it = keywords().find(word);
+      Token t;
+      t.kind = it == keywords().end() ? Tok::kIdent : it->second;
+      t.text = std::string(word);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      std::string text;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          ++i;
+          switch (src[i]) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            default: text.push_back(src[i]); break;
+          }
+        } else {
+          text.push_back(src[i]);
+        }
+        ++i;
+      }
+      if (i >= src.size()) {
+        error = "unterminated string at line " + std::to_string(line);
+        return false;
+      }
+      ++i;  // closing quote
+      Token t;
+      t.kind = Tok::kString;
+      t.text = std::move(text);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // operators / punctuation
+    ++i;
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case '{': push(Tok::kLBrace); break;
+      case '}': push(Tok::kRBrace); break;
+      case '[': push(Tok::kLBracket); break;
+      case ']': push(Tok::kRBracket); break;
+      case ',': push(Tok::kComma); break;
+      case ';': push(Tok::kSemi); break;
+      case ':': push(Tok::kColon); break;
+      case '.': push(Tok::kDot); break;
+      case '+': push(Tok::kPlus); break;
+      case '-': push(Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      case '%': push(Tok::kPercent); break;
+      case '^': push(Tok::kCaret); break;
+      case '=':
+        if (peek() == '=') {
+          ++i;
+          push(Tok::kEq);
+        } else {
+          push(Tok::kAssign);
+        }
+        break;
+      case '!':
+        if (peek() == '=') {
+          ++i;
+          push(Tok::kNe);
+        } else {
+          push(Tok::kNot);
+        }
+        break;
+      case '<':
+        if (peek() == '=') {
+          ++i;
+          push(Tok::kLe);
+        } else if (peek() == '<') {
+          ++i;
+          push(Tok::kShl);
+        } else {
+          push(Tok::kLt);
+        }
+        break;
+      case '>':
+        if (peek() == '=') {
+          ++i;
+          push(Tok::kGe);
+        } else if (peek() == '>') {
+          ++i;
+          push(Tok::kShr);
+        } else {
+          push(Tok::kGt);
+        }
+        break;
+      case '&':
+        if (peek() == '&') {
+          ++i;
+          push(Tok::kAndAnd);
+        } else {
+          push(Tok::kAmp);
+        }
+        break;
+      case '|':
+        if (peek() == '|') {
+          ++i;
+          push(Tok::kOrOr);
+        } else {
+          push(Tok::kPipe);
+        }
+        break;
+      default:
+        error = std::string("unexpected character '") + c + "' at line " +
+                std::to_string(line);
+        return false;
+    }
+  }
+  push(Tok::kEof);
+  return true;
+}
+
+}  // namespace polar::mjs

@@ -1,0 +1,36 @@
+// mjs — a small JavaScript-subset engine standing in for ChakraCore in the
+// paper's evaluation (§V-B, Table II, Fig. 7). This file: the lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polar::mjs {
+
+enum class Tok : std::uint8_t {
+  kEof, kNumber, kString, kIdent,
+  // keywords
+  kVar, kFunction, kIf, kElse, kWhile, kFor, kReturn, kTrue, kFalse, kNull,
+  kBreak,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kColon, kDot,
+  kAssign, kPlus, kMinus, kStar, kSlash, kPercent,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAndAnd, kOrOr, kNot,
+  kAmp, kPipe, kCaret, kShl, kShr,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  double number = 0;
+  std::string text;  // ident / string payload
+  std::uint32_t line = 1;
+};
+
+/// Tokenizes `source`. On error returns false and fills `error`.
+bool lex(std::string_view source, std::vector<Token>& out, std::string& error);
+
+}  // namespace polar::mjs

@@ -1,0 +1,386 @@
+#include "workloads/mjs/parser.h"
+
+#include "workloads/mjs/lexer.h"
+
+namespace polar::mjs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  std::optional<Program> run(std::string& error) {
+    Program prog;
+    while (!at(Tok::kEof) && ok_) {
+      if (at(Tok::kFunction)) {
+        parse_function(prog);
+      } else {
+        prog.top_level.push_back(statement());
+      }
+    }
+    if (!ok_) {
+      error = error_;
+      return std::nullopt;
+    }
+    return prog;
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] bool at(Tok k) const { return cur().kind == k; }
+
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(Tok k, const char* what) {
+    if (!accept(k)) fail(std::string("expected ") + what);
+  }
+
+  void fail(std::string why) {
+    if (!ok_) return;
+    ok_ = false;
+    error_ = why + " at line " + std::to_string(cur().line);
+  }
+
+  Token take() { return toks_[pos_++]; }
+
+  // ------------------------------------------------------------ functions
+  void parse_function(Program& prog) {
+    expect(Tok::kFunction, "'function'");
+    FunctionDecl fn;
+    if (!at(Tok::kIdent)) {
+      fail("expected function name");
+      return;
+    }
+    fn.name = take().text;
+    expect(Tok::kLParen, "'('");
+    while (ok_ && !at(Tok::kRParen)) {
+      if (!at(Tok::kIdent)) {
+        fail("expected parameter name");
+        return;
+      }
+      fn.params.push_back(take().text);
+      if (!accept(Tok::kComma)) break;
+    }
+    expect(Tok::kRParen, "')'");
+    expect(Tok::kLBrace, "'{'");
+    while (ok_ && !at(Tok::kRBrace)) fn.body.push_back(statement());
+    expect(Tok::kRBrace, "'}'");
+    prog.functions.push_back(std::move(fn));
+  }
+
+  // ------------------------------------------------------------ statements
+  StmtPtr statement() {
+    auto s = std::make_unique<Stmt>();
+    if (!ok_) return s;
+
+    if (accept(Tok::kVar)) {
+      s->kind = StmtKind::kVar;
+      if (!at(Tok::kIdent)) {
+        fail("expected variable name");
+        return s;
+      }
+      s->name = take().text;
+      if (accept(Tok::kAssign)) s->value = expression();
+      accept(Tok::kSemi);
+      return s;
+    }
+    if (accept(Tok::kIf)) {
+      s->kind = StmtKind::kIf;
+      expect(Tok::kLParen, "'('");
+      s->value = expression();
+      expect(Tok::kRParen, "')'");
+      block_or_single(s->body);
+      if (accept(Tok::kElse)) block_or_single(s->else_body);
+      return s;
+    }
+    if (accept(Tok::kWhile)) {
+      s->kind = StmtKind::kWhile;
+      expect(Tok::kLParen, "'('");
+      s->value = expression();
+      expect(Tok::kRParen, "')'");
+      block_or_single(s->body);
+      return s;
+    }
+    if (accept(Tok::kFor)) {
+      s->kind = StmtKind::kFor;
+      expect(Tok::kLParen, "'('");
+      if (!at(Tok::kSemi)) s->for_init = statement();  // consumes its ';'
+      else accept(Tok::kSemi);
+      if (!at(Tok::kSemi)) s->value = expression();
+      expect(Tok::kSemi, "';'");
+      if (!at(Tok::kRParen)) s->for_step = simple_statement_no_semi();
+      expect(Tok::kRParen, "')'");
+      block_or_single(s->body);
+      return s;
+    }
+    if (accept(Tok::kReturn)) {
+      s->kind = StmtKind::kReturn;
+      if (!at(Tok::kSemi) && !at(Tok::kRBrace)) s->value = expression();
+      accept(Tok::kSemi);
+      return s;
+    }
+    if (accept(Tok::kBreak)) {
+      s->kind = StmtKind::kBreak;
+      accept(Tok::kSemi);
+      return s;
+    }
+    if (at(Tok::kLBrace)) {
+      s->kind = StmtKind::kBlock;
+      block_or_single(s->body);
+      return s;
+    }
+    s = simple_statement_no_semi();
+    accept(Tok::kSemi);
+    return s;
+  }
+
+  /// Assignment or expression statement, without consuming a ';' (shared
+  /// by normal statements and for-steps).
+  StmtPtr simple_statement_no_semi() {
+    auto s = std::make_unique<Stmt>();
+    ExprPtr e = expression();
+    if (accept(Tok::kAssign)) {
+      s->kind = StmtKind::kAssign;
+      switch (e->kind) {
+        case ExprKind::kIdent:
+          s->target = TargetKind::kName;
+          s->name = e->text;
+          break;
+        case ExprKind::kMember:
+          s->target = TargetKind::kMember;
+          s->name = e->text;
+          s->object = std::move(e->lhs);
+          break;
+        case ExprKind::kIndex:
+          s->target = TargetKind::kIndex;
+          s->object = std::move(e->lhs);
+          s->index = std::move(e->rhs);
+          break;
+        default:
+          fail("invalid assignment target");
+          return s;
+      }
+      s->value = expression();
+      return s;
+    }
+    s->kind = StmtKind::kExpr;
+    s->value = std::move(e);
+    return s;
+  }
+
+  void block_or_single(std::vector<StmtPtr>& into) {
+    if (accept(Tok::kLBrace)) {
+      while (ok_ && !at(Tok::kRBrace)) into.push_back(statement());
+      expect(Tok::kRBrace, "'}'");
+    } else {
+      into.push_back(statement());
+    }
+  }
+
+  // ----------------------------------------------------------- expressions
+  static int precedence(Tok k) {
+    switch (k) {
+      case Tok::kOrOr: return 1;
+      case Tok::kAndAnd: return 2;
+      case Tok::kPipe: return 3;
+      case Tok::kCaret: return 4;
+      case Tok::kAmp: return 5;
+      case Tok::kEq:
+      case Tok::kNe: return 6;
+      case Tok::kLt:
+      case Tok::kLe:
+      case Tok::kGt:
+      case Tok::kGe: return 7;
+      case Tok::kShl:
+      case Tok::kShr: return 8;
+      case Tok::kPlus:
+      case Tok::kMinus: return 9;
+      case Tok::kStar:
+      case Tok::kSlash:
+      case Tok::kPercent: return 10;
+      default: return -1;
+    }
+  }
+
+  static BinOp to_binop(Tok k) {
+    switch (k) {
+      case Tok::kPlus: return BinOp::kAdd;
+      case Tok::kMinus: return BinOp::kSub;
+      case Tok::kStar: return BinOp::kMul;
+      case Tok::kSlash: return BinOp::kDiv;
+      case Tok::kPercent: return BinOp::kMod;
+      case Tok::kLt: return BinOp::kLt;
+      case Tok::kLe: return BinOp::kLe;
+      case Tok::kGt: return BinOp::kGt;
+      case Tok::kGe: return BinOp::kGe;
+      case Tok::kEq: return BinOp::kEq;
+      case Tok::kNe: return BinOp::kNe;
+      case Tok::kAndAnd: return BinOp::kAnd;
+      case Tok::kOrOr: return BinOp::kOr;
+      case Tok::kAmp: return BinOp::kBitAnd;
+      case Tok::kPipe: return BinOp::kBitOr;
+      case Tok::kCaret: return BinOp::kBitXor;
+      case Tok::kShl: return BinOp::kShl;
+      case Tok::kShr: return BinOp::kShr;
+      default: return BinOp::kAdd;
+    }
+  }
+
+  ExprPtr expression(int min_prec = 0) {
+    ExprPtr lhs = unary();
+    while (ok_) {
+      const int prec = precedence(cur().kind);
+      if (prec < min_prec || prec < 0) break;
+      const Tok op = take().kind;
+      ExprPtr rhs = expression(prec + 1);
+      auto bin = std::make_unique<Expr>();
+      bin->kind = ExprKind::kBinary;
+      bin->op = to_binop(op);
+      bin->lhs = std::move(lhs);
+      bin->rhs = std::move(rhs);
+      lhs = std::move(bin);
+    }
+    return lhs;
+  }
+
+  ExprPtr unary() {
+    if (accept(Tok::kMinus)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_not = false;
+      e->lhs = unary();
+      return e;
+    }
+    if (accept(Tok::kNot)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_not = true;
+      e->lhs = unary();
+      return e;
+    }
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr e = primary();
+    while (ok_) {
+      if (accept(Tok::kDot)) {
+        if (!at(Tok::kIdent)) {
+          fail("expected member name");
+          return e;
+        }
+        auto m = std::make_unique<Expr>();
+        m->kind = ExprKind::kMember;
+        m->text = take().text;
+        m->lhs = std::move(e);
+        e = std::move(m);
+      } else if (accept(Tok::kLBracket)) {
+        auto ix = std::make_unique<Expr>();
+        ix->kind = ExprKind::kIndex;
+        ix->lhs = std::move(e);
+        ix->rhs = expression();
+        expect(Tok::kRBracket, "']'");
+        e = std::move(ix);
+      } else if (at(Tok::kLParen) && e->kind == ExprKind::kIdent) {
+        accept(Tok::kLParen);
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kCall;
+        call->text = e->text;
+        while (ok_ && !at(Tok::kRParen)) {
+          call->args.push_back(expression());
+          if (!accept(Tok::kComma)) break;
+        }
+        expect(Tok::kRParen, "')'");
+        e = std::move(call);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr primary() {
+    auto e = std::make_unique<Expr>();
+    if (at(Tok::kNumber)) {
+      e->kind = ExprKind::kNumber;
+      e->number = take().number;
+      return e;
+    }
+    if (at(Tok::kString)) {
+      e->kind = ExprKind::kString;
+      e->text = take().text;
+      return e;
+    }
+    if (accept(Tok::kTrue)) {
+      e->kind = ExprKind::kBool;
+      e->boolean = true;
+      return e;
+    }
+    if (accept(Tok::kFalse)) {
+      e->kind = ExprKind::kBool;
+      e->boolean = false;
+      return e;
+    }
+    if (accept(Tok::kNull)) {
+      e->kind = ExprKind::kNull;
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      e->kind = ExprKind::kIdent;
+      e->text = take().text;
+      return e;
+    }
+    if (accept(Tok::kLParen)) {
+      e = expression();
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    if (accept(Tok::kLBrace)) {  // object literal
+      e->kind = ExprKind::kObjectLit;
+      while (ok_ && !at(Tok::kRBrace)) {
+        if (!at(Tok::kIdent) && !at(Tok::kString)) {
+          fail("expected property name");
+          return e;
+        }
+        std::string key = take().text;
+        expect(Tok::kColon, "':'");
+        e->props.emplace_back(std::move(key), expression());
+        if (!accept(Tok::kComma)) break;
+      }
+      expect(Tok::kRBrace, "'}'");
+      return e;
+    }
+    if (accept(Tok::kLBracket)) {  // array literal
+      e->kind = ExprKind::kArrayLit;
+      while (ok_ && !at(Tok::kRBracket)) {
+        e->args.push_back(expression());
+        if (!accept(Tok::kComma)) break;
+      }
+      expect(Tok::kRBracket, "']'");
+      return e;
+    }
+    fail("unexpected token");
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Program> parse(std::string_view source, std::string& error) {
+  std::vector<Token> tokens;
+  if (!lex(source, tokens, error)) return std::nullopt;
+  return Parser(std::move(tokens)).run(error);
+}
+
+}  // namespace polar::mjs

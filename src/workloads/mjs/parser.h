@@ -1,0 +1,16 @@
+// mjs recursive-descent / precedence-climbing parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "workloads/mjs/ast.h"
+
+namespace polar::mjs {
+
+/// Parses `source` into a Program. On failure returns std::nullopt and
+/// fills `error` with a line-tagged message.
+std::optional<Program> parse(std::string_view source, std::string& error);
+
+}  // namespace polar::mjs

@@ -1,0 +1,724 @@
+#include "workloads/mjs/suites.h"
+
+namespace polar::mjs {
+
+namespace {
+
+std::vector<MjsBench> build() {
+  std::vector<MjsBench> v;
+  const auto add = [&](const char* suite, const char* name,
+                       const char* script, double expected) {
+    v.push_back({suite, name, script, expected});
+  };
+
+  // ======================================================== sunspider-like
+  add("sunspider", "3d-morph", R"JS(
+var sum = 0;
+var i = 0;
+while (i < 12) {
+  var j = 0;
+  while (j < 600) {
+    sum = sum + sin(i * 0.1 + j * 0.05);
+    j = j + 1;
+  }
+  i = i + 1;
+}
+result = floor(sum * 1000);
+)JS",
+      -1);
+
+  add("sunspider", "access-binary-trees", R"JS(
+function makeTree(depth) {
+  if (depth <= 0) { return {item: 1, l: null, r: null}; }
+  return {item: depth, l: makeTree(depth - 1), r: makeTree(depth - 1)};
+}
+function checkTree(t) {
+  if (t.l == null) { return t.item; }
+  return t.item + checkTree(t.l) - checkTree(t.r);
+}
+var total = 0;
+for (var d = 2; d <= 8; d = d + 1) {
+  total = total + checkTree(makeTree(d));
+}
+result = total;
+)JS",
+      35);
+
+  add("sunspider", "access-fannkuch", R"JS(
+var n = 7;
+var perm = [];
+var perm1 = [];
+var count = [];
+for (var i = 0; i < n; i = i + 1) { perm1[i] = i; count[i] = 0; }
+var maxFlips = 0;
+var r = n;
+var done = false;
+while (!done) {
+  while (r != 1) { count[r - 1] = r; r = r - 1; }
+  for (var i = 0; i < n; i = i + 1) { perm[i] = perm1[i]; }
+  var flips = 0;
+  var k = perm[0];
+  while (k != 0) {
+    var i2 = 0;
+    var j2 = k;
+    while (i2 < j2) {
+      var t = perm[i2]; perm[i2] = perm[j2]; perm[j2] = t;
+      i2 = i2 + 1; j2 = j2 - 1;
+    }
+    flips = flips + 1;
+    k = perm[0];
+  }
+  if (flips > maxFlips) { maxFlips = flips; }
+  var advanced = false;
+  while (!advanced) {
+    if (r == n) { done = true; advanced = true; }
+    else {
+      var p0 = perm1[0];
+      for (var i3 = 0; i3 < r; i3 = i3 + 1) { perm1[i3] = perm1[i3 + 1]; }
+      perm1[r] = p0;
+      count[r] = count[r] - 1;
+      if (count[r] > 0) { advanced = true; }
+      else { r = r + 1; }
+    }
+  }
+}
+result = maxFlips;
+)JS",
+      16);
+
+  add("sunspider", "access-nbody", R"JS(
+var bodies = [
+  {x: 0, y: 0, vx: 0, vy: 0, m: 39.47},
+  {x: 4.84, y: -1.16, vx: 0.6, vy: 2.81, m: 0.037},
+  {x: 8.34, y: 4.12, vx: -1.01, vy: 1.82, m: 0.011},
+  {x: 12.89, y: -15.11, vx: 1.08, vy: 0.86, m: 0.0017}
+];
+var dt = 0.01;
+for (var step = 0; step < 400; step = step + 1) {
+  for (var i = 0; i < 4; i = i + 1) {
+    var b = bodies[i];
+    for (var j = i + 1; j < 4; j = j + 1) {
+      var c = bodies[j];
+      var dx = b.x - c.x;
+      var dy = b.y - c.y;
+      var d2 = dx * dx + dy * dy;
+      var mag = dt / (d2 * sqrt(d2));
+      b.vx = b.vx - dx * c.m * mag;
+      b.vy = b.vy - dy * c.m * mag;
+      c.vx = c.vx + dx * b.m * mag;
+      c.vy = c.vy + dy * b.m * mag;
+    }
+  }
+  for (var i = 0; i < 4; i = i + 1) {
+    var b2 = bodies[i];
+    b2.x = b2.x + dt * b2.vx;
+    b2.y = b2.y + dt * b2.vy;
+  }
+}
+var e = 0;
+for (var i = 0; i < 4; i = i + 1) {
+  var b3 = bodies[i];
+  e = e + 0.5 * b3.m * (b3.vx * b3.vx + b3.vy * b3.vy);
+}
+result = floor(e * 100000);
+)JS",
+      -1);
+
+  add("sunspider", "bitops-3bit-bits-in-byte", R"JS(
+function bits(b) {
+  var c = 0;
+  while (b != 0) { c = c + (b & 1); b = b >> 1; }
+  return c;
+}
+var sum = 0;
+for (var round = 0; round < 30; round = round + 1) {
+  for (var b = 0; b < 256; b = b + 1) { sum = sum + bits(b); }
+}
+result = sum;
+)JS",
+      30720);
+
+  add("sunspider", "bitops-nsieve-bits", R"JS(
+var n = 4000;
+var flags = [];
+var count = 0;
+for (var i = 0; i <= n; i = i + 1) { flags[i] = true; }
+for (var i = 2; i <= n; i = i + 1) {
+  if (flags[i]) {
+    count = count + 1;
+    for (var k = i + i; k <= n; k = k + i) { flags[k] = false; }
+  }
+}
+result = count;
+)JS",
+      550);
+
+  add("sunspider", "controlflow-recursive", R"JS(
+function ack(m, n) {
+  if (m == 0) { return n + 1; }
+  if (n == 0) { return ack(m - 1, 1); }
+  return ack(m - 1, ack(m, n - 1));
+}
+function fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+result = ack(2, 6) + fib(16);
+)JS",
+      1002);
+
+  add("sunspider", "math-cordic", R"JS(
+var angle = 0.6072529350;
+var x = 0.6072529350;
+var y = 0;
+var target = 0.5;
+var total = 0;
+for (var round = 0; round < 8000; round = round + 1) {
+  var cx = 1;
+  var cy = 0;
+  var a = target;
+  var p = 0.7853981633;
+  for (var step = 0; step < 12; step = step + 1) {
+    var nx = 0; var ny = 0;
+    var shift = pow(2, -step);
+    if (a > 0) { nx = cx - cy * shift; ny = cy + cx * shift; a = a - p; }
+    else { nx = cx + cy * shift; ny = cy - cx * shift; a = a + p; }
+    cx = nx; cy = ny;
+    p = p * 0.5;
+  }
+  total = total + cy;
+}
+result = floor(total);
+)JS",
+      -1);
+
+  add("sunspider", "math-partial-sums", R"JS(
+var a1 = 0; var a2 = 0; var a3 = 0; var a4 = 0;
+var twothirds = 2.0 / 3.0;
+for (var k = 1; k <= 3000; k = k + 1) {
+  var k2 = k * k;
+  var k3 = k2 * k;
+  a1 = a1 + pow(twothirds, k - 1);
+  a2 = a2 + 1 / (k3 * sin(k) * sin(k));
+  a3 = a3 + 1 / k2;
+  a4 = a4 + 1 / k3;
+}
+result = floor((a1 + a2 + a3 + a4) * 1000);
+)JS",
+      -1);
+
+  add("sunspider", "string-fasta", R"JS(
+var codes = [97, 99, 103, 116];
+var seed = 42;
+var out = 0;
+for (var i = 0; i < 6000; i = i + 1) {
+  seed = (seed * 3877 + 29573) % 139968;
+  var c = codes[floor(4 * seed / 139968)];
+  out = (out * 31 + c) % 1000000007;
+}
+result = out;
+)JS",
+      -1);
+
+  // ========================================================== kraken-like
+  add("kraken", "ai-astar", R"JS(
+var w = 40;
+var h = 40;
+var blocked = [];
+var seed = 7;
+for (var i = 0; i < w * h; i = i + 1) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  blocked[i] = (seed % 100) < 20;
+}
+blocked[0] = false;
+blocked[w * h - 1] = false;
+var dist = [];
+for (var i = 0; i < w * h; i = i + 1) { dist[i] = 1000000; }
+dist[0] = 0;
+var frontier = [0];
+var head = 0;
+while (head < len(frontier)) {
+  var cur = frontier[head];
+  head = head + 1;
+  var cx = cur % w;
+  var cy = floor(cur / w);
+  var d = dist[cur] + 1;
+  var moves = [cur - 1, cur + 1, cur - w, cur + w];
+  var okm = [cx > 0, cx < w - 1, cy > 0, cy < h - 1];
+  for (var m = 0; m < 4; m = m + 1) {
+    if (okm[m]) {
+      var nxt = moves[m];
+      if (!blocked[nxt] && d < dist[nxt]) {
+        dist[nxt] = d;
+        push(frontier, nxt);
+      }
+    }
+  }
+}
+result = dist[w * h - 1];
+)JS",
+      -1);
+
+  add("kraken", "audio-dft", R"JS(
+var n = 256;
+var signal = [];
+for (var i = 0; i < n; i = i + 1) {
+  signal[i] = sin(i * 0.3) + 0.5 * sin(i * 0.7);
+}
+var power = 0;
+for (var k = 0; k < 64; k = k + 1) {
+  var re = 0;
+  var im = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var ang = 6.283185307179586 * k * i / n;
+    re = re + signal[i] * cos(ang);
+    im = im - signal[i] * sin(ang);
+  }
+  power = power + re * re + im * im;
+}
+result = floor(power);
+)JS",
+      -1);
+
+  add("kraken", "audio-oscillator", R"JS(
+var sum = 0;
+var phase = 0;
+for (var i = 0; i < 40000; i = i + 1) {
+  phase = phase + 0.01;
+  if (phase > 1) { phase = phase - 2; }
+  sum = sum + phase * phase;
+}
+result = floor(sum);
+)JS",
+      -1);
+
+  add("kraken", "imaging-desaturate", R"JS(
+var npix = 4096;
+var data = [];
+var seed = 3;
+for (var i = 0; i < npix * 3; i = i + 1) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  data[i] = seed % 256;
+}
+for (var p = 0; p < npix; p = p + 1) {
+  var r = data[p * 3];
+  var g = data[p * 3 + 1];
+  var b = data[p * 3 + 2];
+  var gray = floor((r * 30 + g * 59 + b * 11) / 100);
+  data[p * 3] = gray;
+  data[p * 3 + 1] = gray;
+  data[p * 3 + 2] = gray;
+}
+var check = 0;
+for (var i = 0; i < npix * 3; i = i + 1) {
+  check = (check * 31 + data[i]) % 1000000007;
+}
+result = check;
+)JS",
+      -1);
+
+  add("kraken", "json-parse-financial", R"JS(
+var records = [];
+var seed = 11;
+for (var i = 0; i < 600; i = i + 1) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  push(records, {id: i, price: seed % 10000, qty: (seed >> 8) % 100,
+                 open: seed % 2 == 0});
+}
+var notional = 0;
+var openCount = 0;
+for (var i = 0; i < len(records); i = i + 1) {
+  var rec = records[i];
+  notional = notional + rec.price * rec.qty;
+  if (rec.open) { openCount = openCount + 1; }
+}
+result = notional + openCount;
+)JS",
+      -1);
+
+  add("kraken", "stanford-crypto-pbkdf2", R"JS(
+function prf(key, block) {
+  var h = key;
+  for (var r = 0; r < 8; r = r + 1) {
+    h = ((h << 5) + h + block + r) % 4294967296;
+    h = (h ^ (h >> 13)) % 4294967296;
+  }
+  return h;
+}
+var derived = 0;
+for (var block = 0; block < 600; block = block + 1) {
+  var u = prf(1486453, block);
+  for (var iter = 0; iter < 40; iter = iter + 1) {
+    u = prf(u, block);
+    derived = (derived ^ u) % 4294967296;
+  }
+}
+result = derived;
+)JS",
+      -1);
+
+  // ========================================================== octane-like
+  add("octane", "richards", R"JS(
+var queue = [];
+var seed = 5;
+var handled = 0;
+var idle = 0;
+for (var i = 0; i < 40; i = i + 1) {
+  push(queue, {kind: i % 4, pri: i % 7, work: 12});
+}
+var head = 0;
+while (head < len(queue) && handled < 12000) {
+  var task = queue[head];
+  head = head + 1;
+  handled = handled + 1;
+  if (task.work > 0) {
+    task.work = task.work - 1;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (task.kind == 0) { idle = idle + 1; }
+    if (task.work > 0) {
+      push(queue, {kind: task.kind, pri: task.pri, work: task.work});
+    }
+  }
+}
+result = handled + idle;
+)JS",
+      600);
+
+  add("octane", "deltablue", R"JS(
+var vars = [];
+for (var i = 0; i < 30; i = i + 1) { push(vars, {value: i, stay: i % 3 == 0}); }
+var changes = 0;
+for (var round = 0; round < 400; round = round + 1) {
+  for (var i = 1; i < len(vars); i = i + 1) {
+    var a = vars[i - 1];
+    var b = vars[i];
+    if (!b.stay) {
+      var want = a.value + 1;
+      if (b.value != want) { b.value = want; changes = changes + 1; }
+    }
+  }
+}
+var sum = 0;
+for (var i = 0; i < len(vars); i = i + 1) { sum = sum + vars[i].value; }
+result = sum + changes;
+)JS",
+      -1);
+
+  add("octane", "splay", R"JS(
+function insert(tree, key) {
+  if (tree == null) { return {key: key, l: null, r: null}; }
+  if (key < tree.key) { tree.l = insert(tree.l, key); }
+  else { tree.r = insert(tree.r, key); }
+  return tree;
+}
+function depthSum(tree, d) {
+  if (tree == null) { return 0; }
+  return d + depthSum(tree.l, d + 1) + depthSum(tree.r, d + 1);
+}
+var root = null;
+var seed = 17;
+for (var i = 0; i < 700; i = i + 1) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  root = insert(root, seed % 10000);
+}
+result = depthSum(root, 0) % 1000000;
+)JS",
+      -1);
+
+  add("octane", "navier-stokes", R"JS(
+var n = 24;
+var grid = [];
+for (var i = 0; i < n * n; i = i + 1) { grid[i] = (i * 7) % 13; }
+for (var iter = 0; iter < 60; iter = iter + 1) {
+  for (var y = 1; y < n - 1; y = y + 1) {
+    for (var x = 1; x < n - 1; x = x + 1) {
+      var at = y * n + x;
+      grid[at] = (grid[at] + grid[at - 1] + grid[at + 1] +
+                  grid[at - n] + grid[at + n]) / 5;
+    }
+  }
+}
+var sum = 0;
+for (var i = 0; i < n * n; i = i + 1) { sum = sum + grid[i]; }
+result = floor(sum);
+)JS",
+      -1);
+
+  add("octane", "crypto", R"JS(
+var mod = 2147483647;
+var value = 1;
+var digest = 0;
+for (var i = 0; i < 30000; i = i + 1) {
+  value = (value * 16807) % mod;
+  digest = (digest ^ value) % 4294967296;
+}
+result = digest;
+)JS",
+      -1);
+
+  // ======================================================= jetstream-like
+  add("jetstream", "bigfib", R"JS(
+function fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+result = fib(18);
+)JS",
+      2584);
+
+  add("jetstream", "towers", R"JS(
+var moves = 0;
+function hanoi(n, from, to, via) {
+  if (n == 0) { return 0; }
+  hanoi(n - 1, from, via, to);
+  moves = moves + 1;
+  hanoi(n - 1, via, to, from);
+  return moves;
+}
+hanoi(12, 1, 3, 2);
+result = moves;
+)JS",
+      4095);
+
+  add("jetstream", "quicksort", R"JS(
+var a = [];
+var seed = 23;
+var n = 1200;
+for (var i = 0; i < n; i = i + 1) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  a[i] = seed % 100000;
+}
+function qsort(lo, hi) {
+  if (lo >= hi) { return 0; }
+  var pivot = a[floor((lo + hi) / 2)];
+  var i = lo;
+  var j = hi;
+  while (i <= j) {
+    while (a[i] < pivot) { i = i + 1; }
+    while (a[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      var t = a[i]; a[i] = a[j]; a[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  qsort(lo, j);
+  qsort(i, hi);
+  return 0;
+}
+qsort(0, n - 1);
+var sorted = true;
+var check = 0;
+for (var i = 1; i < n; i = i + 1) {
+  if (a[i - 1] > a[i]) { sorted = false; }
+  check = (check * 31 + a[i]) % 1000000007;
+}
+if (sorted) { result = check; } else { result = -1; }
+)JS",
+      -1);
+
+  add("jetstream", "hash-map", R"JS(
+var map = {};
+var seed = 31;
+for (var i = 0; i < 900; i = i + 1) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  var bucket = "k" + (seed % 64);
+  var old = map[bucket];
+  if (old == null) { old = 0; }
+  map[bucket] = old + 1;
+}
+var total = 0;
+for (var b = 0; b < 64; b = b + 1) {
+  var v = map["k" + b];
+  if (v != null) { total = total + v; }
+}
+result = total;
+)JS",
+      900);
+
+  add("jetstream", "float-mm", R"JS(
+var n = 18;
+var a = [];
+var b = [];
+var c = [];
+for (var i = 0; i < n * n; i = i + 1) {
+  a[i] = (i % 7) * 0.5;
+  b[i] = (i % 5) * 0.25;
+  c[i] = 0;
+}
+for (var rep = 0; rep < 6; rep = rep + 1) {
+  for (var i = 0; i < n; i = i + 1) {
+    for (var j = 0; j < n; j = j + 1) {
+      var sum = 0;
+      for (var k = 0; k < n; k = k + 1) {
+        sum = sum + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = sum;
+    }
+  }
+}
+var check = 0;
+for (var i = 0; i < n * n; i = i + 1) { check = check + c[i]; }
+result = floor(check);
+)JS",
+      -1);
+
+  add("jetstream", "n-body", R"JS(
+var px = [0, 1, 2, 3, 4];
+var py = [0, 2, 4, 1, 3];
+var vx = [0, 0, 0, 0, 0];
+var vy = [0, 0, 0, 0, 0];
+for (var step = 0; step < 1500; step = step + 1) {
+  for (var i = 0; i < 5; i = i + 1) {
+    for (var j = 0; j < 5; j = j + 1) {
+      if (i != j) {
+        var dx = px[j] - px[i];
+        var dy = py[j] - py[i];
+        var d2 = dx * dx + dy * dy + 0.1;
+        var inv = 0.001 / (d2 * sqrt(d2));
+        vx[i] = vx[i] + dx * inv;
+        vy[i] = vy[i] + dy * inv;
+      }
+    }
+  }
+  for (var i = 0; i < 5; i = i + 1) {
+    px[i] = px[i] + vx[i];
+    py[i] = py[i] + vy[i];
+  }
+}
+var e = 0;
+for (var i = 0; i < 5; i = i + 1) {
+  e = e + vx[i] * vx[i] + vy[i] * vy[i];
+}
+result = floor(e * 1000000);
+)JS",
+      -1);  // expected computed at test time (filled below)
+
+  add("sunspider", "string-base64", R"JS(
+var table = [];
+for (var i = 0; i < 26; i = i + 1) { table[i] = 65 + i; }
+for (var i = 0; i < 26; i = i + 1) { table[26 + i] = 97 + i; }
+for (var i = 0; i < 10; i = i + 1) { table[52 + i] = 48 + i; }
+table[62] = 43; table[63] = 47;
+var seed = 9;
+var digest = 0;
+for (var i = 0; i < 3000; i = i + 1) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  var triple = seed % 16777216;
+  var c0 = table[(triple >> 18) & 63];
+  var c1 = table[(triple >> 12) & 63];
+  var c2 = table[(triple >> 6) & 63];
+  var c3 = table[triple & 63];
+  digest = (digest * 31 + c0 + c1 + c2 + c3) % 1000000007;
+}
+result = digest;
+)JS",
+      -1);
+
+  add("sunspider", "bitops-bitwise-and", R"JS(
+var bitwiseAndValue = 4294967296;
+for (var i = 0; i < 60000; i = i + 1) {
+  bitwiseAndValue = bitwiseAndValue & i;
+}
+result = bitwiseAndValue;
+)JS",
+      0);
+
+  add("kraken", "stanford-crypto-sha256-i", R"JS(
+function rotr(x, n) {
+  return ((x >> n) | (x << (32 - n))) % 4294967296;
+}
+var h0 = 1779033703;
+var h1 = 3144134277;
+var digest = 0;
+for (var block = 0; block < 900; block = block + 1) {
+  var a = h0;
+  var b = h1;
+  for (var round = 0; round < 16; round = round + 1) {
+    var t = (a + rotr(b, 7) + block + round) % 4294967296;
+    a = b;
+    b = (t ^ rotr(t, 11)) % 4294967296;
+  }
+  h0 = (h0 + a) % 4294967296;
+  h1 = (h1 + b) % 4294967296;
+  digest = (h0 ^ h1) % 4294967296;
+}
+result = digest;
+)JS",
+      -1);
+
+  add("kraken", "stanford-crypto-aes", R"JS(
+var sbox = [];
+for (var i = 0; i < 256; i = i + 1) {
+  sbox[i] = ((i * 7) ^ (i >> 3) ^ 99) & 255;
+}
+var state = [1, 35, 69, 103, 137, 171, 205, 239,
+             2, 36, 70, 104, 138, 172, 206, 240];
+var digest = 0;
+for (var round = 0; round < 2500; round = round + 1) {
+  for (var i = 0; i < 16; i = i + 1) {
+    state[i] = sbox[state[i]];
+  }
+  var t = state[0];
+  for (var i = 0; i < 15; i = i + 1) { state[i] = state[i + 1] ^ (round & 255); }
+  state[15] = t;
+  digest = (digest * 31 + state[7]) % 1000000007;
+}
+result = digest;
+)JS",
+      -1);
+
+  add("octane", "earley-boyer", R"JS(
+// term-rewriting flavoured kernel: rewrite lists of {op, a, b} nodes
+var rules = 0;
+function rewrite(depth, seed) {
+  if (depth == 0) { return seed % 7; }
+  var node = {op: seed % 3, a: null, b: null};
+  var left = rewrite(depth - 1, (seed * 31 + 1) % 65536);
+  var right = rewrite(depth - 1, (seed * 17 + 5) % 65536);
+  rules = rules + 1;
+  if (node.op == 0) { return left + right; }
+  if (node.op == 1) { return left * 2 + right; }
+  return left - right;
+}
+var total = 0;
+for (var i = 0; i < 60; i = i + 1) {
+  total = total + rewrite(7, i * 131);
+}
+result = total + rules;
+)JS",
+      -1);
+
+  add("jetstream", "container", R"JS(
+var deque = [];
+var head = 0;
+var digest = 0;
+var seed = 3;
+for (var op = 0; op < 15000; op = op + 1) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed % 3 == 0 || head >= len(deque)) {
+    push(deque, seed % 1000);
+  } else {
+    digest = (digest * 31 + deque[head]) % 1000000007;
+    head = head + 1;
+  }
+}
+result = digest;
+)JS",
+      -1);
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<MjsBench>& benchmark_suites() {
+  static const std::vector<MjsBench> kSuites = build();
+  return kSuites;
+}
+
+bool suite_is_score(const std::string& suite) {
+  return suite == "octane" || suite == "jetstream";
+}
+
+}  // namespace polar::mjs

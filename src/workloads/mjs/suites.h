@@ -1,0 +1,25 @@
+// The four JavaScript benchmark suites of the paper's Table II / Fig. 7,
+// rewritten as mjs scripts: Sunspider-like and Kraken-like report times
+// (lower is better), Octane-like and JetStream-like report scores (higher
+// is better), matching the original suites' conventions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace polar::mjs {
+
+struct MjsBench {
+  std::string suite;   // "sunspider" | "kraken" | "octane" | "jetstream"
+  std::string name;
+  std::string script;  // assigns the global `result`
+  double expected;     // known-correct result for the fixed parameters
+};
+
+/// All benchmark kernels across the four suites.
+const std::vector<MjsBench>& benchmark_suites();
+
+/// Whether a suite reports a score (higher is better) rather than a time.
+bool suite_is_score(const std::string& suite);
+
+}  // namespace polar::mjs

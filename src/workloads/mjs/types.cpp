@@ -1,0 +1,38 @@
+#include "workloads/mjs/engine.h"
+
+namespace polar::mjs {
+
+MjsTypes register_types(TypeRegistry& reg) {
+  // Names follow the ChakraCore classes the paper's Table I reports for
+  // the engine (Js::FunctionBody, JsUtil::CharacterBuffer, ...).
+  MjsTypes t;
+  t.dynamic_object = TypeBuilder(reg, "mjs.Js::DynamicObject")
+                         .field<std::uint32_t>("type_id")
+                         .field<std::uint32_t>("slot_count")
+                         .field<std::uint64_t>("aux_slots")
+                         .fn_ptr("entry_point")
+                         .build();
+  t.array_object = TypeBuilder(reg, "mjs.Js::JavascriptArray")
+                       .field<std::uint32_t>("length")
+                       .field<std::uint64_t>("head_segment")
+                       .field<std::uint32_t>("flags")
+                       .build();
+  t.string_buffer = TypeBuilder(reg, "mjs.JsUtil::CharacterBuffer")
+                        .field<std::uint64_t>("hash")
+                        .field<std::uint32_t>("char_length")
+                        .ptr("buffer")
+                        .build();
+  t.function_body = TypeBuilder(reg, "mjs.Js::FunctionBody")
+                        .field<std::uint32_t>("function_id")
+                        .field<std::uint32_t>("in_param_count")
+                        .field<std::uint64_t>("call_count")
+                        .fn_ptr("original_entry_point")
+                        .build();
+  t.property_record = TypeBuilder(reg, "mjs.Js::PropertyRecord")
+                          .field<std::uint64_t>("hash")
+                          .field<std::uint32_t>("pid")
+                          .build();
+  return t;
+}
+
+}  // namespace polar::mjs

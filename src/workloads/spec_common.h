@@ -1,0 +1,74 @@
+// Shared helpers for the spec minis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/space.h"
+#include "fuzz/coverage.h"
+#include "support/hash.h"
+#include "support/rng.h"
+#include "taint/tainted.h"
+#include "taintclass/taint_space.h"
+
+namespace polar::spec {
+
+/// Little-endian tainted reads from a fuzzed input buffer; short reads
+/// clamp to zero bytes (parsers must tolerate truncated input).
+class TaintReader {
+ public:
+  TaintReader(TaintClassSpace& space, std::span<const std::uint8_t> input)
+      : space_(&space), input_(input) {}
+
+  [[nodiscard]] bool empty() const noexcept { return at_ >= input_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return at_ < input_.size() ? input_.size() - at_ : 0;
+  }
+
+  Tainted<std::uint8_t> u8() { return read<std::uint8_t>(); }
+  Tainted<std::uint16_t> u16() { return read<std::uint16_t>(); }
+  Tainted<std::uint32_t> u32() { return read<std::uint32_t>(); }
+  Tainted<std::uint64_t> u64() { return read<std::uint64_t>(); }
+
+  /// Raw byte window (label of the first byte reported to callers that
+  /// need a representative label for a blob).
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    const std::size_t take = std::min(n, remaining());
+    auto out = input_.subspan(at_, take);
+    at_ += take;
+    return out;
+  }
+
+ private:
+  template <class T>
+  Tainted<T> read() {
+    T v{};
+    Label label = kNoLabel;
+    auto& domain = space_->domain();
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      if (at_ + i < input_.size()) {
+        v |= static_cast<T>(static_cast<T>(input_[at_ + i]) << (8 * i));
+        label = domain.labels().unite(label,
+                                      domain.shadow().get(&input_[at_ + i]));
+      }
+    }
+    at_ += sizeof(T);
+    return Tainted<T>(v, label);
+  }
+
+  TaintClassSpace* space_;
+  std::span<const std::uint8_t> input_;
+  std::size_t at_ = 0;
+};
+
+/// ASCII token helper for dictionaries.
+inline std::vector<std::uint8_t> tok(const char* s) {
+  std::vector<std::uint8_t> out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    out.push_back(static_cast<std::uint8_t>(*p));
+  }
+  return out;
+}
+
+}  // namespace polar::spec

@@ -1,0 +1,794 @@
+// Spec minis, group 1: 400.perlbench, 401.bzip2, 403.gcc, 429.mcf.
+#include <memory>
+
+#include "workloads/spec_common.h"
+#include "workloads/spec_suite.h"
+
+namespace polar::spec {
+
+// ===========================================================================
+// 400.perlbench — a tiny SV-based stack interpreter. Perl allocates a
+// scalar-value (SV) object for nearly every operation; the mini does the
+// same, so allocation churn dominates (paper: 5.6M allocations).
+// ===========================================================================
+
+namespace {
+
+struct PerlTypes {
+  TypeId sv, stat, cop, sublex, jmpenv, logop, unop, scan_data, rexc, regnode;
+};
+
+PerlTypes register_perl(TypeRegistry& reg) {
+  PerlTypes t;
+  t.sv = TypeBuilder(reg, "perl.sv")
+             .field<std::uint32_t>("flags")
+             .field<std::uint64_t>("ivalue")
+             .ptr("pv")
+             .field<std::uint32_t>("len")
+             .build();
+  t.stat = TypeBuilder(reg, "perl.stat")
+               .field<std::uint64_t>("st_size")
+               .field<std::uint32_t>("st_mode")
+               .field<std::uint64_t>("st_mtime")
+               .build();
+  t.cop = TypeBuilder(reg, "perl.cop")
+              .field<std::uint32_t>("line")
+              .ptr("file")
+              .field<std::uint64_t>("seq")
+              .build();
+  t.sublex = TypeBuilder(reg, "perl.sublex_info")
+                 .ptr("super_state")
+                 .field<std::uint32_t>("sub_inwhat")
+                 .ptr("sub_op")
+                 .build();
+  t.jmpenv = TypeBuilder(reg, "perl.jmpenv")
+                 .ptr("prev")
+                 .field<std::uint32_t>("ret")
+                 .field<std::uint32_t>("mask")
+                 .build();
+  t.logop = TypeBuilder(reg, "perl.logop")
+                .fn_ptr("op_ppaddr")
+                .ptr("op_first")
+                .ptr("op_other")
+                .field<std::uint32_t>("op_flags")
+                .build();
+  t.unop = TypeBuilder(reg, "perl.unop")
+               .fn_ptr("op_ppaddr")
+               .ptr("op_first")
+               .field<std::uint32_t>("op_type")
+               .build();
+  t.scan_data = TypeBuilder(reg, "perl.scan_data_t")
+                    .ptr("longest")
+                    .field<std::uint64_t>("offset")
+                    .field<std::uint32_t>("flags")
+                    .build();
+  t.rexc = TypeBuilder(reg, "perl.RExC_state_t")
+               .ptr("precomp")
+               .ptr("end")
+               .field<std::uint32_t>("npar")
+               .field<std::uint32_t>("flags")
+               .build();
+  t.regnode = TypeBuilder(reg, "perl.regnode")
+                  .field<std::uint8_t>("op")
+                  .field<std::uint8_t>("type")
+                  .field<std::uint16_t>("next_off")
+                  .field<std::uint32_t>("arg")
+                  .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t perl_run(S& space, const PerlTypes& t, std::uint32_t scale,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<void*> stack;
+  std::uint64_t checksum = 0;
+  const std::uint64_t steps = static_cast<std::uint64_t>(scale) * 20000;
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    const std::uint64_t op = rng.below(5);
+    if (op == 0 || stack.empty()) {  // push immediate SV
+      void* sv = space.alloc(t.sv);
+      space.store(sv, t.sv, 0, std::uint32_t{1});
+      space.store(sv, t.sv, 1, rng.next() & 0xffff);
+      stack.push_back(sv);
+    } else if (op == 1 && stack.size() >= 2) {  // add: binary op via new SV
+      void* b = stack.back();
+      stack.pop_back();
+      void* a = stack.back();
+      stack.pop_back();
+      void* sv = space.alloc(t.sv);
+      const auto sum = space.template load<std::uint64_t>(a, t.sv, 1) +
+                       space.template load<std::uint64_t>(b, t.sv, 1);
+      space.store(sv, t.sv, 1, sum);
+      space.store(sv, t.sv, 0, std::uint32_t{1});
+      space.free_object(a, t.sv);
+      space.free_object(b, t.sv);
+      stack.push_back(sv);
+    } else if (op == 2) {  // dup (perl's sv_mortalcopy)
+      stack.push_back(space.clone_object(stack.back(), t.sv));
+    } else if (op == 3 && stack.size() > 1) {  // drop
+      space.free_object(stack.back(), t.sv);
+      stack.pop_back();
+    } else {  // consume into checksum
+      checksum =
+          hash_combine(checksum,
+                       space.template load<std::uint64_t>(stack.back(), t.sv, 1));
+    }
+    if (stack.size() > 64) {  // interpreter "scope exit"
+      while (stack.size() > 8) {
+        space.free_object(stack.back(), t.sv);
+        stack.pop_back();
+      }
+    }
+  }
+  for (void* sv : stack) {
+    checksum = hash_combine(checksum,
+                            space.template load<std::uint64_t>(sv, t.sv, 1));
+    space.free_object(sv, t.sv);
+  }
+  return checksum;
+}
+
+void perl_taint(TaintClassSpace& space, const PerlTypes& t,
+                std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  // A micro "perl parser": each opcode byte builds one of the runtime
+  // structures perl fills while compiling/running a script.
+  int guard = 0;
+  while (!in.empty() && ++guard < 256) {
+    const auto op = in.u8();
+    switch (op.value() % 11) {
+      case 0: {
+        POLAR_COV_SITE();
+        void* sv = space.alloc(t.sv);
+        space.store_t(sv, t.sv, 1, in.u64());
+        space.store_t(sv, t.sv, 3, in.u32());
+        space.free_object(sv, t.sv);
+        break;
+      }
+      case 1: {
+        POLAR_COV_SITE();
+        void* st = space.alloc(t.stat);
+        space.store_t(st, t.stat, 0, in.u64());
+        space.free_object(st, t.stat);
+        break;
+      }
+      case 2: {
+        POLAR_COV_SITE();
+        void* cop = space.alloc(t.cop);
+        space.store_t(cop, t.cop, 0, in.u32());
+        space.free_object(cop, t.cop);
+        break;
+      }
+      case 3: {
+        POLAR_COV_SITE();
+        void* sl = space.alloc(t.sublex);
+        space.store_t(sl, t.sublex, 1, in.u32());
+        space.free_object(sl, t.sublex);
+        break;
+      }
+      case 4: {
+        POLAR_COV_SITE();
+        void* env = space.alloc(t.jmpenv);
+        space.store_t(env, t.jmpenv, 1, in.u32());
+        space.free_object(env, t.jmpenv);
+        break;
+      }
+      case 5: {
+        POLAR_COV_SITE();
+        void* lop = space.alloc(t.logop);
+        space.store_t(lop, t.logop, 3, in.u32());
+        space.free_object(lop, t.logop);
+        break;
+      }
+      case 6: {
+        POLAR_COV_SITE();
+        void* uop = space.alloc(t.unop);
+        space.store_t(uop, t.unop, 2, in.u32());
+        space.free_object(uop, t.unop);
+        break;
+      }
+      case 7: {
+        POLAR_COV_SITE();
+        void* sd = space.alloc(t.scan_data);
+        space.store_t(sd, t.scan_data, 1, in.u64());
+        space.free_object(sd, t.scan_data);
+        break;
+      }
+      case 8: {  // regex compile path needs the 'm' marker first
+        if (op.value() == 0x41) {
+          POLAR_COV_SITE();
+          void* rx = space.alloc(t.rexc);
+          space.store_t(rx, t.rexc, 2, in.u32());
+          space.free_object(rx, t.rexc);
+        }
+        break;
+      }
+      case 9: {
+        if (op.value() == 0x93) {
+          POLAR_COV_SITE();
+          void* rn = space.alloc(t.regnode);
+          space.store_t(rn, t.regnode, 3, in.u32());
+          space.free_object(rn, t.regnode);
+        }
+        break;
+      }
+      default:
+        break;  // comment byte
+    }
+  }
+}
+
+}  // namespace
+
+SpecEntry make_perlbench(TypeRegistry& reg) {
+  auto types = std::make_shared<const PerlTypes>(register_perl(reg));
+  SpecEntry e;
+  e.name = "400.perlbench";
+  e.paper_tainted_objects = 20;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return perl_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return perl_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    perl_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(24);
+    for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+    return v;
+  };
+  e.dictionary = {tok("A"), tok("\x93"), {0x41, 0x93}};
+  return e;
+}
+
+// ===========================================================================
+// 401.bzip2 — run-length block compressor. Nearly all work is array
+// scanning; only a handful of state objects exist but their counters are
+// updated constantly (paper: 36 allocations, 34M member accesses).
+// ===========================================================================
+
+namespace {
+
+struct BzTypes {
+  TypeId bzfile, spec_fd, uint64_box;
+};
+
+BzTypes register_bz(TypeRegistry& reg) {
+  BzTypes t;
+  t.bzfile = TypeBuilder(reg, "bz.bzFile")
+                 .field<std::uint32_t>("mode")
+                 .field<std::uint32_t>("avail_in")
+                 .field<std::uint64_t>("total_in")
+                 .field<std::uint64_t>("crc")
+                 .ptr("next")
+                 .build();
+  t.spec_fd = TypeBuilder(reg, "bz.spec_fd_t")
+                  .field<std::uint32_t>("fd")
+                  .field<std::uint64_t>("pos")
+                  .field<std::uint64_t>("limit")
+                  .build();
+  t.uint64_box = TypeBuilder(reg, "bz.UInt64")
+                     .field<std::uint32_t>("lo")
+                     .field<std::uint32_t>("hi")
+                     .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t bz_run(S& space, const BzTypes& t, std::uint32_t scale,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  // Compressible pseudo-input: runs of repeated bytes.
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(scale) * 16384);
+  for (std::size_t i = 0; i < data.size();) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(rng.next());
+    const std::size_t run = 1 + rng.below(32);
+    for (std::size_t j = 0; j < run && i < data.size(); ++j) data[i++] = byte;
+  }
+
+  void* bz = space.alloc(t.bzfile);
+  void* fd = space.alloc(t.spec_fd);
+  space.store(bz, t.bzfile, 0, std::uint32_t{2});  // write mode
+  space.store(fd, t.spec_fd, 2, static_cast<std::uint64_t>(data.size()));
+
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 4);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t byte = data[i];
+    std::size_t run = 1;
+    while (i + run < data.size() && data[i + run] == byte && run < 255) ++run;
+    out.push_back(byte);
+    out.push_back(static_cast<std::uint8_t>(run));
+    // Stream-state updates: the member-access traffic of the original.
+    space.store(bz, t.bzfile, 2,
+                space.template load<std::uint64_t>(bz, t.bzfile, 2) + run);
+    space.store(bz, t.bzfile, 3,
+                mix64(space.template load<std::uint64_t>(bz, t.bzfile, 3) ^
+                      (static_cast<std::uint64_t>(byte) * run)));
+    space.store(fd, t.spec_fd, 1, static_cast<std::uint64_t>(i));
+    i += run;
+  }
+  const std::uint64_t crc = space.template load<std::uint64_t>(bz, t.bzfile, 3);
+  const std::uint64_t total =
+      space.template load<std::uint64_t>(bz, t.bzfile, 2);
+  space.free_object(bz, t.bzfile);
+  space.free_object(fd, t.spec_fd);
+  return hash_combine(hash_combine(crc, total), out.size());
+}
+
+void bz_taint(TaintClassSpace& space, const BzTypes& t,
+              std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  if (in.remaining() < 4) return;
+  const auto magic = in.u16();
+  if (magic.value() != 0x5a42) return;  // "BZ"
+  POLAR_COV_SITE();
+  void* bz = space.alloc(t.bzfile);
+  void* fd = space.alloc(t.spec_fd);
+  space.store_t(bz, t.bzfile, 1, in.u32());  // avail_in from header
+  Tainted<std::uint64_t> crc(0);
+  int guard = 0;
+  while (!in.empty() && ++guard < 512) {
+    const auto byte = in.u8();
+    crc = crc + byte.cast<std::uint64_t>();
+  }
+  space.store_t(bz, t.bzfile, 3, crc);
+  space.store_t(fd, t.spec_fd, 2, crc);
+  if (crc.value() % 3 == 0) {
+    POLAR_COV_SITE();
+    void* box = space.alloc(t.uint64_box);
+    space.store_t(box, t.uint64_box, 0, crc.cast<std::uint32_t>());
+    space.free_object(box, t.uint64_box);
+  }
+  space.free_object(bz, t.bzfile);
+  space.free_object(fd, t.spec_fd);
+}
+
+}  // namespace
+
+SpecEntry make_bzip2(TypeRegistry& reg) {
+  auto types = std::make_shared<const BzTypes>(register_bz(reg));
+  SpecEntry e;
+  e.name = "401.bzip2";
+  e.paper_tainted_objects = 3;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return bz_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return bz_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    bz_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    std::vector<std::uint8_t> v{0x42, 0x5a, 8, 0, 0, 0};
+    Rng rng(seed);
+    for (int i = 0; i < 16; ++i) {
+      v.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    return v;
+  };
+  e.dictionary = {tok("BZ")};
+  return e;
+}
+
+// ===========================================================================
+// 403.gcc — expression-tree construction and constant folding. The
+// original is dominated by IR node allocation (paper: 51M alloc, 50M
+// free, essentially zero steady-state member traffic relative to that).
+// ===========================================================================
+
+namespace {
+
+struct GccTypes {
+  TypeId node, realvalue, ix86_address, type_hash, stat, cb_args, mem_attrs,
+      addr_const, ix86_args, insn_note, tree_decl, rtx_def;
+};
+
+GccTypes register_gcc(TypeRegistry& reg) {
+  GccTypes t;
+  t.node = TypeBuilder(reg, "gcc.tree_node")
+               .field<std::uint32_t>("code")
+               .field<std::uint64_t>("ival")
+               .ptr("left")
+               .ptr("right")
+               .build();
+  t.realvalue = TypeBuilder(reg, "gcc.realvaluetype")
+                    .field<std::uint64_t>("sig")
+                    .field<std::uint32_t>("exp")
+                    .field<std::uint32_t>("cls")
+                    .build();
+  t.ix86_address = TypeBuilder(reg, "gcc.ix86_address")
+                       .ptr("base")
+                       .ptr("index")
+                       .field<std::uint64_t>("disp")
+                       .field<std::uint32_t>("scale")
+                       .build();
+  t.type_hash = TypeBuilder(reg, "gcc.type_hash")
+                    .field<std::uint64_t>("hash")
+                    .ptr("type")
+                    .build();
+  t.stat = TypeBuilder(reg, "gcc.stat")
+               .field<std::uint64_t>("st_size")
+               .field<std::uint64_t>("st_mtime")
+               .build();
+  t.cb_args = TypeBuilder(reg, "gcc.cb_args")
+                  .ptr("pfile")
+                  .field<std::uint32_t>("kind")
+                  .field<std::uint64_t>("value")
+                  .build();
+  t.mem_attrs = TypeBuilder(reg, "gcc.mem_attrs")
+                    .ptr("expr")
+                    .field<std::uint64_t>("offset")
+                    .field<std::uint64_t>("size")
+                    .field<std::uint32_t>("align")
+                    .build();
+  t.addr_const = TypeBuilder(reg, "gcc.addr_const")
+                     .ptr("base")
+                     .field<std::uint64_t>("offset")
+                     .build();
+  t.ix86_args = TypeBuilder(reg, "gcc.ix86_args")
+                    .field<std::uint32_t>("nregs")
+                    .field<std::uint32_t>("regno")
+                    .field<std::uint32_t>("sse_nregs")
+                    .build();
+  t.insn_note = TypeBuilder(reg, "gcc.insn_note")
+                    .field<std::uint32_t>("kind")
+                    .ptr("insn")
+                    .build();
+  t.tree_decl = TypeBuilder(reg, "gcc.tree_decl")
+                    .ptr("name")
+                    .field<std::uint32_t>("uid")
+                    .field<std::uint32_t>("mode")
+                    .build();
+  t.rtx_def = TypeBuilder(reg, "gcc.rtx_def")
+                  .field<std::uint16_t>("code")
+                  .field<std::uint16_t>("mode")
+                  .field<std::uint64_t>("operand")
+                  .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t gcc_run(S& space, const GccTypes& t, std::uint32_t scale,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t checksum = 0;
+  const std::uint32_t rounds = scale;
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    // Build a random expression forest, then fold it bottom-up.
+    std::vector<void*> roots;
+    for (int leaf = 0; leaf < 2000; ++leaf) {
+      void* n = space.alloc(t.node);
+      space.store(n, t.node, 0, std::uint32_t{0});  // CONST
+      space.store(n, t.node, 1, rng.next() & 0xff);
+      roots.push_back(n);
+    }
+    while (roots.size() > 1) {
+      const std::size_t i = rng.below(roots.size());
+      void* a = roots[i];
+      roots[i] = roots.back();
+      roots.pop_back();
+      const std::size_t j = rng.below(roots.size());
+      void* b = roots[j];
+      void* op = space.alloc(t.node);
+      space.store(op, t.node, 0, std::uint32_t{1 + rng.below(2)});  // ADD/XOR
+      space.store(op, t.node, 2, reinterpret_cast<std::uint64_t>(a));
+      space.store(op, t.node, 3, reinterpret_cast<std::uint64_t>(b));
+      roots[j] = op;
+    }
+    // Fold with an explicit post-order stack, freeing folded children —
+    // gcc's ggc collection modelled as immediate free.
+    struct Item {
+      void* n;
+      bool expanded;
+    };
+    std::vector<Item> work{{roots[0], false}};
+    std::vector<std::uint64_t> values;
+    while (!work.empty()) {
+      Item item = work.back();
+      work.pop_back();
+      const auto code = space.template load<std::uint32_t>(item.n, t.node, 0);
+      if (code == 0) {
+        values.push_back(space.template load<std::uint64_t>(item.n, t.node, 1));
+        space.free_object(item.n, t.node);
+        continue;
+      }
+      if (!item.expanded) {
+        work.push_back({item.n, true});
+        work.push_back({reinterpret_cast<void*>(
+                            space.template load<std::uint64_t>(item.n, t.node, 2)),
+                        false});
+        work.push_back({reinterpret_cast<void*>(
+                            space.template load<std::uint64_t>(item.n, t.node, 3)),
+                        false});
+      } else {
+        const std::uint64_t b = values.back();
+        values.pop_back();
+        const std::uint64_t a = values.back();
+        values.pop_back();
+        values.push_back(code == 1 ? a + b : (a ^ b));
+        space.free_object(item.n, t.node);
+      }
+    }
+    checksum = hash_combine(checksum, values.back());
+  }
+  return checksum;
+}
+
+void gcc_taint(TaintClassSpace& space, const GccTypes& t,
+               std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  int guard = 0;
+  while (!in.empty() && ++guard < 256) {
+    const auto tk = in.u8();
+    switch (tk.value() % 13) {
+      case 0: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.realvalue);
+        space.store_t(o, t.realvalue, 0, in.u64());
+        space.free_object(o, t.realvalue);
+        break;
+      }
+      case 1: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.ix86_address);
+        space.store_t(o, t.ix86_address, 2, in.u64());
+        space.free_object(o, t.ix86_address);
+        break;
+      }
+      case 2: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.type_hash);
+        space.store_t(o, t.type_hash, 0, in.u64());
+        space.free_object(o, t.type_hash);
+        break;
+      }
+      case 3: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.stat);
+        space.store_t(o, t.stat, 0, in.u64());
+        space.free_object(o, t.stat);
+        break;
+      }
+      case 4: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.cb_args);
+        space.store_t(o, t.cb_args, 2, in.u64());
+        space.free_object(o, t.cb_args);
+        break;
+      }
+      case 5: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.mem_attrs);
+        space.store_t(o, t.mem_attrs, 1, in.u64());
+        space.store_t(o, t.mem_attrs, 2, in.u64());
+        space.free_object(o, t.mem_attrs);
+        break;
+      }
+      case 6: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.addr_const);
+        space.store_t(o, t.addr_const, 1, in.u64());
+        space.free_object(o, t.addr_const);
+        break;
+      }
+      case 7: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.ix86_args);
+        space.store_t(o, t.ix86_args, 0, in.u32());
+        space.free_object(o, t.ix86_args);
+        break;
+      }
+      case 8: {
+        if (tk.value() == 0x21) {
+          POLAR_COV_SITE();
+          void* o = space.alloc(t.insn_note);
+          space.store_t(o, t.insn_note, 0, in.u32());
+          space.free_object(o, t.insn_note);
+        }
+        break;
+      }
+      case 9: {
+        if (tk.value() == 0x74) {
+          POLAR_COV_SITE();
+          void* o = space.alloc(t.tree_decl);
+          space.store_t(o, t.tree_decl, 1, in.u32());
+          space.free_object(o, t.tree_decl);
+        }
+        break;
+      }
+      case 10: {
+        if (tk.value() == 0xa3) {
+          POLAR_COV_SITE();
+          void* o = space.alloc(t.rtx_def);
+          space.store_t(o, t.rtx_def, 2, in.u64());
+          space.free_object(o, t.rtx_def);
+        }
+        break;
+      }
+      case 11: {
+        POLAR_COV_SITE();
+        void* o = space.alloc(t.node, tk.label());  // input-driven alloc
+        space.store_t(o, t.node, 1, in.u64());
+        space.free_object(o, t.node, tk.label());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+SpecEntry make_gcc(TypeRegistry& reg) {
+  auto types = std::make_shared<const GccTypes>(register_gcc(reg));
+  SpecEntry e;
+  e.name = "403.gcc";
+  e.paper_tainted_objects = 33;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return gcc_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return gcc_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    gcc_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(32);
+    for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+    return v;
+  };
+  e.dictionary = {{0x21}, {0x74}, {0xa3}};
+  return e;
+}
+
+// ===========================================================================
+// 429.mcf — network simplex stand-in: a Bellman-Ford sweep whose global
+// counters live in ONE long-lived network object that the hot loop updates
+// constantly (paper: 1 allocation, 9.1M member accesses, 100% cache hits).
+// ===========================================================================
+
+namespace {
+
+struct McfTypes {
+  TypeId network, basket;
+};
+
+McfTypes register_mcf(TypeRegistry& reg) {
+  McfTypes t;
+  t.network = TypeBuilder(reg, "mcf.network")
+                  .ptr("nodes")
+                  .ptr("arcs")
+                  .field<std::uint64_t>("n")
+                  .field<std::uint64_t>("m")
+                  .field<std::uint64_t>("iterations")
+                  .field<std::uint64_t>("total_cost")
+                  .build();
+  t.basket = TypeBuilder(reg, "mcf.basket")
+                 .field<std::uint64_t>("size")
+                 .ptr("perm")
+                 .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t mcf_run(S& space, const McfTypes& t, std::uint32_t scale,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = static_cast<std::size_t>(scale) * 200;
+  const std::size_t m = n * 4;
+  struct Arc {
+    std::uint32_t from, to;
+    std::uint64_t cost;
+  };
+  std::vector<Arc> arcs(m);
+  for (Arc& a : arcs) {
+    a.from = static_cast<std::uint32_t>(rng.below(n));
+    a.to = static_cast<std::uint32_t>(rng.below(n));
+    a.cost = 1 + rng.below(1000);
+  }
+  std::vector<std::uint64_t> dist(n, ~0ULL / 2);
+  dist[0] = 0;
+
+  void* net = space.alloc(t.network);
+  space.store(net, t.network, 0, reinterpret_cast<std::uint64_t>(dist.data()));
+  space.store(net, t.network, 1, reinterpret_cast<std::uint64_t>(arcs.data()));
+  space.store(net, t.network, 2, static_cast<std::uint64_t>(n));
+  space.store(net, t.network, 3, static_cast<std::uint64_t>(m));
+
+  for (int pass = 0; pass < 12; ++pass) {
+    bool changed = false;
+    for (const Arc& a : arcs) {
+      if (dist[a.from] + a.cost < dist[a.to]) {
+        dist[a.to] = dist[a.from] + a.cost;
+        changed = true;
+        // The network object's running counters: the hot member traffic.
+        space.store(net, t.network, 5,
+                    space.template load<std::uint64_t>(net, t.network, 5) +
+                        a.cost);
+      }
+      space.store(net, t.network, 4,
+                  space.template load<std::uint64_t>(net, t.network, 4) + 1);
+    }
+    if (!changed) break;
+  }
+  std::uint64_t checksum =
+      hash_combine(space.template load<std::uint64_t>(net, t.network, 4),
+                   space.template load<std::uint64_t>(net, t.network, 5));
+  for (std::uint64_t d : dist) checksum = hash_combine(checksum, d);
+  space.free_object(net, t.network);
+  return checksum;
+}
+
+void mcf_taint(TaintClassSpace& space, const McfTypes& t,
+               std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  if (in.remaining() < 8) return;
+  const auto n = in.u32();
+  const auto m = in.u32();
+  if (n.value() == 0 || n.value() > 1000) return;
+  POLAR_COV_SITE();
+  void* net = space.alloc(t.network, n.label());
+  space.store_t(net, t.network, 2, n.cast<std::uint64_t>());
+  space.store_t(net, t.network, 3, m.cast<std::uint64_t>());
+  if (m.value() % 7 == 1) {
+    POLAR_COV_SITE();
+    void* bk = space.alloc(t.basket, m.label());
+    space.store_t(bk, t.basket, 0, m.cast<std::uint64_t>());
+    space.free_object(bk, t.basket);
+  }
+  space.free_object(net, t.network, n.label());
+}
+
+}  // namespace
+
+SpecEntry make_mcf(TypeRegistry& reg) {
+  auto types = std::make_shared<const McfTypes>(register_mcf(reg));
+  SpecEntry e;
+  e.name = "429.mcf";
+  e.paper_tainted_objects = 2;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return mcf_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return mcf_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    mcf_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t) {
+    return std::vector<std::uint8_t>{10, 0, 0, 0, 8, 0, 0, 0};
+  };
+  return e;
+}
+
+}  // namespace polar::spec

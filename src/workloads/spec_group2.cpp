@@ -1,0 +1,609 @@
+// Spec minis, group 2: 445.gobmk, 456.hmmer, 458.sjeng, 462.libquantum.
+#include <memory>
+
+#include "workloads/spec_common.h"
+#include "workloads/spec_suite.h"
+
+namespace polar::spec {
+
+// ===========================================================================
+// 445.gobmk — go-board group analysis: flood-fill worms, per-color dragon
+// aggregation, and a PRNG whose state lives in an object (paper: 4000
+// allocations but 72 BILLION member accesses — the access-heavy extreme).
+// ===========================================================================
+
+namespace {
+
+constexpr int kBoard = 19;
+
+struct GobmkTypes {
+  TypeId move_data, sgf_tree, rand_state, worm, dragon, hash_data, string_data;
+};
+
+GobmkTypes register_gobmk(TypeRegistry& reg) {
+  GobmkTypes t;
+  t.move_data = TypeBuilder(reg, "gobmk.move_data")
+                    .field<std::uint32_t>("pos")
+                    .field<std::uint32_t>("color")
+                    .field<std::uint64_t>("value")
+                    .build();
+  t.sgf_tree = TypeBuilder(reg, "gobmk.SGFTree_t")
+                   .ptr("root")
+                   .ptr("lastnode")
+                   .field<std::uint32_t>("size")
+                   .build();
+  t.rand_state = TypeBuilder(reg, "gobmk.gg_rand_state")
+                     .field<std::uint64_t>("state")
+                     .build();
+  t.worm = TypeBuilder(reg, "gobmk.worm_data")
+               .field<std::uint32_t>("origin")
+               .field<std::uint32_t>("color")
+               .field<std::uint32_t>("size")
+               .field<std::uint32_t>("liberties")
+               .build();
+  t.dragon = TypeBuilder(reg, "gobmk.dragon_data")
+                 .field<std::uint32_t>("color")
+                 .field<std::uint32_t>("worms")
+                 .field<std::uint64_t>("territory")
+                 .build();
+  t.hash_data = TypeBuilder(reg, "gobmk.Hash_data")
+                    .field<std::uint64_t>("hashval")
+                    .field<std::uint64_t>("hashval2")
+                    .build();
+  t.string_data = TypeBuilder(reg, "gobmk.string_data")
+                      .field<std::uint32_t>("color")
+                      .field<std::uint32_t>("size")
+                      .field<std::uint32_t>("mark")
+                      .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t gobmk_run(S& space, const GobmkTypes& t, std::uint32_t scale,
+                        std::uint64_t seed) {
+  std::uint64_t checksum = 0;
+  void* rand_obj = space.alloc(t.rand_state);
+  space.store(rand_obj, t.rand_state, 0, seed | 1);
+  // PRNG whose state is a member variable: every draw is load+store.
+  const auto gg_rand = [&]() {
+    auto s = space.template load<std::uint64_t>(rand_obj, t.rand_state, 0);
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    space.store(rand_obj, t.rand_state, 0, s);
+    return s;
+  };
+
+  for (std::uint32_t round = 0; round < scale * 4; ++round) {
+    // Random position.
+    std::array<std::uint8_t, kBoard * kBoard> board{};
+    for (auto& p : board) p = static_cast<std::uint8_t>(gg_rand() % 3);
+
+    void* dragons[2] = {space.alloc(t.dragon), space.alloc(t.dragon)};
+    space.store(dragons[0], t.dragon, 0, std::uint32_t{1});
+    space.store(dragons[1], t.dragon, 0, std::uint32_t{2});
+
+    // Flood-fill every stone group into a worm object.
+    std::array<bool, kBoard * kBoard> seen{};
+    std::vector<void*> worms;
+    for (int p = 0; p < kBoard * kBoard; ++p) {
+      if (board[p] == 0 || seen[p]) continue;
+      const std::uint8_t color = board[p];
+      void* worm = space.alloc(t.worm);
+      space.store(worm, t.worm, 0, static_cast<std::uint32_t>(p));
+      space.store(worm, t.worm, 1, static_cast<std::uint32_t>(color));
+      std::vector<int> stack{p};
+      seen[p] = true;
+      while (!stack.empty()) {
+        const int q = stack.back();
+        stack.pop_back();
+        space.store(worm, t.worm, 2,
+                    space.template load<std::uint32_t>(worm, t.worm, 2) + 1);
+        const int x = q % kBoard, y = q / kBoard;
+        const int neigh[4] = {q - 1, q + 1, q - kBoard, q + kBoard};
+        const bool ok[4] = {x > 0, x < kBoard - 1, y > 0, y < kBoard - 1};
+        for (int d = 0; d < 4; ++d) {
+          if (!ok[d]) continue;
+          const int r = neigh[d];
+          if (board[r] == 0) {
+            space.store(worm, t.worm, 3,
+                        space.template load<std::uint32_t>(worm, t.worm, 3) + 1);
+          } else if (board[r] == color && !seen[r]) {
+            seen[r] = true;
+            stack.push_back(r);
+          }
+        }
+      }
+      void* dragon = dragons[color - 1];
+      space.store(dragon, t.dragon, 1,
+                  space.template load<std::uint32_t>(dragon, t.dragon, 1) + 1);
+      space.store(dragon, t.dragon, 2,
+                  space.template load<std::uint64_t>(dragon, t.dragon, 2) +
+                      space.template load<std::uint32_t>(worm, t.worm, 3));
+      worms.push_back(worm);
+    }
+    for (int c = 0; c < 2; ++c) {
+      checksum = hash_combine(
+          checksum, space.template load<std::uint64_t>(dragons[c], t.dragon, 2));
+      space.free_object(dragons[c], t.dragon);
+    }
+    for (void* w : worms) space.free_object(w, t.worm);
+  }
+  space.free_object(rand_obj, t.rand_state);
+  return checksum;
+}
+
+void gobmk_taint(TaintClassSpace& space, const GobmkTypes& t,
+                 std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  // SGF-flavoured parser: "(;" then property bytes.
+  if (in.remaining() < 2) return;
+  if (in.u8().value() != '(' || in.u8().value() != ';') return;
+  POLAR_COV_SITE();
+  void* tree = space.alloc(t.sgf_tree);
+  int guard = 0;
+  std::uint32_t nodes = 0;
+  while (!in.empty() && ++guard < 256) {
+    const auto prop = in.u8();
+    switch (prop.value()) {
+      case 'B':
+      case 'W': {
+        POLAR_COV_SITE();
+        void* mv = space.alloc(t.move_data, prop.label());
+        space.store_t(mv, t.move_data, 0, in.u16().cast<std::uint32_t>());
+        space.store_t(mv, t.move_data, 1,
+                      Tainted<std::uint32_t>(prop.value() == 'B' ? 1 : 2,
+                                             prop.label()));
+        space.free_object(mv, t.move_data);
+        ++nodes;
+        break;
+      }
+      case 'H': {
+        POLAR_COV_SITE();
+        void* h = space.alloc(t.hash_data);
+        space.store_t(h, t.hash_data, 0, in.u64());
+        space.free_object(h, t.hash_data);
+        break;
+      }
+      case 'S': {
+        POLAR_COV_SITE();
+        void* sd = space.alloc(t.string_data);
+        space.store_t(sd, t.string_data, 1, in.u32());
+        space.free_object(sd, t.string_data);
+        break;
+      }
+      case 'R': {
+        POLAR_COV_SITE();
+        void* rs = space.alloc(t.rand_state);
+        space.store_t(rs, t.rand_state, 0, in.u64());
+        space.free_object(rs, t.rand_state);
+        break;
+      }
+      case 'D': {
+        POLAR_COV_SITE();
+        void* dr = space.alloc(t.dragon);
+        space.store_t(dr, t.dragon, 2, in.u64());
+        space.free_object(dr, t.dragon);
+        break;
+      }
+      case 'O': {
+        POLAR_COV_SITE();
+        void* wm = space.alloc(t.worm);
+        space.store_t(wm, t.worm, 0, in.u32());
+        space.free_object(wm, t.worm);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  space.store_t(tree, t.sgf_tree, 2, Tainted<std::uint32_t>(nodes));
+  space.free_object(tree, t.sgf_tree);
+}
+
+}  // namespace
+
+SpecEntry make_gobmk(TypeRegistry& reg) {
+  auto types = std::make_shared<const GobmkTypes>(register_gobmk(reg));
+  SpecEntry e;
+  e.name = "445.gobmk";
+  e.paper_tainted_objects = 21;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return gobmk_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return gobmk_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    gobmk_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    std::vector<std::uint8_t> v{'(', ';', 'B', 3, 4};
+    Rng rng(seed);
+    for (int i = 0; i < 12; ++i) {
+      v.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    return v;
+  };
+  e.dictionary = {tok("(;"), tok("B"), tok("W"), tok("H"),
+                  tok("S"), tok("R"), tok("D"), tok("O")};
+  return e;
+}
+
+// ===========================================================================
+// 456.hmmer — profile-HMM Viterbi: one plan/matrix object, dynamic
+// programming with running best-score updates through its members
+// (paper: 1 allocation, 4.3M member accesses).
+// ===========================================================================
+
+namespace {
+
+struct HmmerTypes {
+  TypeId seqinfo, comp, exec, ssifile;
+};
+
+HmmerTypes register_hmmer(TypeRegistry& reg) {
+  HmmerTypes t;
+  t.seqinfo = TypeBuilder(reg, "hmmer.seqinfo_s")
+                  .field<std::uint32_t>("len")
+                  .ptr("name")
+                  .field<std::uint32_t>("flags")
+                  .build();
+  t.comp = TypeBuilder(reg, "hmmer.comp")
+               .field<std::uint64_t>("score")
+               .field<std::uint32_t>("best_i")
+               .field<std::uint32_t>("best_j")
+               .build();
+  t.exec = TypeBuilder(reg, "hmmer.exec")
+               .ptr("dp")
+               .field<std::uint32_t>("rows")
+               .field<std::uint32_t>("cols")
+               .field<std::uint64_t>("cells")
+               .build();
+  t.ssifile = TypeBuilder(reg, "hmmer.ssifile_s")
+                  .field<std::uint64_t>("offset")
+                  .field<std::uint32_t>("nkeys")
+                  .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t hmmer_run(S& space, const HmmerTypes& t, std::uint32_t scale,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t rows = 64;
+  const std::size_t cols = static_cast<std::size_t>(scale) * 600;
+  std::vector<std::uint32_t> scores(rows * cols);
+  for (auto& s : scores) s = static_cast<std::uint32_t>(rng.below(16));
+  std::vector<std::uint64_t> dp(cols, 0);
+
+  void* plan = space.alloc(t.exec);
+  void* comp = space.alloc(t.comp);
+  space.store(plan, t.exec, 0, reinterpret_cast<std::uint64_t>(dp.data()));
+  space.store(plan, t.exec, 1, static_cast<std::uint32_t>(rows));
+  space.store(plan, t.exec, 2, static_cast<std::uint32_t>(cols));
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t diag = 0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const std::uint64_t up = dp[j];
+      const std::uint64_t left = j > 0 ? dp[j - 1] : 0;
+      const std::uint64_t best =
+          std::max(diag + scores[i * cols + j], std::max(up, left));
+      diag = dp[j];
+      dp[j] = best;
+      // Running counters live in the plan object — this is the member
+      // traffic of the original's P7Viterbi loop.
+      space.store(plan, t.exec, 3,
+                  space.template load<std::uint64_t>(plan, t.exec, 3) + 1);
+      if (best > space.template load<std::uint64_t>(comp, t.comp, 0)) {
+        space.store(comp, t.comp, 0, best);
+        space.store(comp, t.comp, 1, static_cast<std::uint32_t>(i));
+        space.store(comp, t.comp, 2, static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  const std::uint64_t checksum = hash_combine(
+      space.template load<std::uint64_t>(comp, t.comp, 0),
+      space.template load<std::uint64_t>(plan, t.exec, 3));
+  space.free_object(plan, t.exec);
+  space.free_object(comp, t.comp);
+  return checksum;
+}
+
+void hmmer_taint(TaintClassSpace& space, const HmmerTypes& t,
+                 std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  if (in.remaining() < 6) return;
+  const auto magic = in.u16();
+  if (magic.value() != 0x4d48) return;  // "HM"
+  POLAR_COV_SITE();
+  void* si = space.alloc(t.seqinfo);
+  const auto len = in.u32();
+  space.store_t(si, t.seqinfo, 0, len);
+  if (len.value() > 16) {
+    POLAR_COV_SITE();
+    void* ex = space.alloc(t.exec, len.label());
+    space.store_t(ex, t.exec, 2, len);
+    space.free_object(ex, t.exec);
+  }
+  if (!in.empty() && in.u8().value() == 'I') {
+    POLAR_COV_SITE();
+    void* ssi = space.alloc(t.ssifile);
+    space.store_t(ssi, t.ssifile, 0, in.u64());
+    space.free_object(ssi, t.ssifile);
+  }
+  Tainted<std::uint64_t> score(0);
+  int guard = 0;
+  while (!in.empty() && ++guard < 128) {
+    score = score + in.u8().cast<std::uint64_t>();
+  }
+  void* cp = space.alloc(t.comp);
+  space.store_t(cp, t.comp, 0, score);
+  space.free_object(cp, t.comp);
+  space.free_object(si, t.seqinfo);
+}
+
+}  // namespace
+
+SpecEntry make_hmmer(TypeRegistry& reg) {
+  auto types = std::make_shared<const HmmerTypes>(register_hmmer(reg));
+  SpecEntry e;
+  e.name = "456.hmmer";
+  e.paper_tainted_objects = 4;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return hmmer_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return hmmer_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    hmmer_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    std::vector<std::uint8_t> v{0x48, 0x4d, 32, 0, 0, 0, 'I'};
+    Rng rng(seed);
+    for (int i = 0; i < 10; ++i) {
+      v.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    return v;
+  };
+  e.dictionary = {tok("HM"), tok("I")};
+  return e;
+}
+
+// ===========================================================================
+// 458.sjeng — game-tree search: every node allocates a move object and
+// CLONES the search state (the paper's worst case: 20M allocs, 20M frees,
+// 18M object memcpys on top of 151B member accesses).
+// ===========================================================================
+
+namespace {
+
+struct SjengTypes {
+  TypeId move_s, move_x;
+};
+
+SjengTypes register_sjeng(TypeRegistry& reg) {
+  SjengTypes t;
+  t.move_s = TypeBuilder(reg, "sjeng.move_s")
+                 .field<std::uint8_t>("from")
+                 .field<std::uint8_t>("target")
+                 .field<std::uint8_t>("piece")
+                 .field<std::uint8_t>("captured")
+                 .field<std::uint64_t>("score")
+                 .build();
+  t.move_x = TypeBuilder(reg, "sjeng.move_x")
+                 .field<std::uint64_t>("hash")
+                 .field<std::uint32_t>("ply")
+                 .field<std::uint32_t>("castle")
+                 .field<std::uint64_t>("material")
+                 .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t sjeng_search(S& space, const SjengTypes& t, Rng& rng,
+                           void* state, int depth, std::uint64_t& checksum) {
+  if (depth == 0) {
+    return space.template load<std::uint64_t>(state, t.move_x, 3) & 0xffff;
+  }
+  std::uint64_t best = 0;
+  const int branching = 3;
+  for (int i = 0; i < branching; ++i) {
+    // Generate a move object, clone the state (make_move), recurse, free.
+    void* mv = space.alloc(t.move_s);
+    space.store(mv, t.move_s, 0, static_cast<std::uint8_t>(rng.below(64)));
+    space.store(mv, t.move_s, 1, static_cast<std::uint8_t>(rng.below(64)));
+    space.store(mv, t.move_s, 2, static_cast<std::uint8_t>(rng.below(6)));
+
+    void* next = space.clone_object(state, t.move_x);
+    space.store(next, t.move_x, 0,
+                mix64(space.template load<std::uint64_t>(next, t.move_x, 0) ^
+                      space.template load<std::uint8_t>(mv, t.move_s, 0) ^
+                      (std::uint64_t{space.template load<std::uint8_t>(
+                           mv, t.move_s, 1)}
+                       << 8)));
+    space.store(next, t.move_x, 1,
+                space.template load<std::uint32_t>(next, t.move_x, 1) + 1);
+    space.store(next, t.move_x, 3,
+                space.template load<std::uint64_t>(next, t.move_x, 3) +
+                    rng.below(8));
+
+    const std::uint64_t child =
+        sjeng_search(space, t, rng, next, depth - 1, checksum);
+    space.store(mv, t.move_s, 4, child);
+    best = std::max(best, child);
+    checksum = hash_combine(checksum,
+                            space.template load<std::uint64_t>(mv, t.move_s, 4));
+    space.free_object(next, t.move_x);
+    space.free_object(mv, t.move_s);
+  }
+  return best;
+}
+
+template <ObjectSpace S>
+std::uint64_t sjeng_run(S& space, const SjengTypes& t, std::uint32_t scale,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t checksum = 0;
+  for (std::uint32_t game = 0; game < scale; ++game) {
+    void* root = space.alloc(t.move_x);
+    space.store(root, t.move_x, 0, rng.next());
+    space.store(root, t.move_x, 3, std::uint64_t{3000});
+    const std::uint64_t best = sjeng_search(space, t, rng, root, 7, checksum);
+    checksum = hash_combine(checksum, best);
+    space.free_object(root, t.move_x);
+  }
+  return checksum;
+}
+
+void sjeng_taint(TaintClassSpace& space, const SjengTypes& t,
+                 std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  // EPD-flavoured: the initial chess position is the only input; it flows
+  // into the two state objects the paper reports.
+  int guard = 0;
+  while (!in.empty() && ++guard < 128) {
+    const auto c = in.u8();
+    if (c.value() == 'm') {
+      POLAR_COV_SITE();
+      void* mv = space.alloc(t.move_s);
+      space.store_t(mv, t.move_s, 0, in.u8());
+      space.store_t(mv, t.move_s, 1, in.u8());
+      space.free_object(mv, t.move_s);
+    } else if (c.value() == 'x') {
+      POLAR_COV_SITE();
+      void* st = space.alloc(t.move_x);
+      space.store_t(st, t.move_x, 3, in.u64());
+      space.free_object(st, t.move_x);
+    }
+  }
+}
+
+}  // namespace
+
+SpecEntry make_sjeng(TypeRegistry& reg) {
+  auto types = std::make_shared<const SjengTypes>(register_sjeng(reg));
+  SpecEntry e;
+  e.name = "458.sjeng";
+  e.paper_tainted_objects = 2;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return sjeng_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return sjeng_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    sjeng_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    std::vector<std::uint8_t> v{'m', 12, 28, 'x'};
+    Rng rng(seed);
+    for (int i = 0; i < 10; ++i) {
+      v.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    return v;
+  };
+  e.dictionary = {tok("m"), tok("x")};
+  return e;
+}
+
+// ===========================================================================
+// 462.libquantum — quantum register simulation. Input flows straight into
+// floating-point amplitude arrays; NO heap object is input-dependent,
+// which is why the paper's Table I reports zero tainted objects.
+// ===========================================================================
+
+namespace {
+
+template <ObjectSpace S>
+std::uint64_t libquantum_run(S& /*space*/, std::uint32_t scale,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t qubits = 10;
+  const std::size_t dim = std::size_t{1} << qubits;
+  std::vector<double> re(dim, 0.0), im(dim, 0.0);
+  re[0] = 1.0;
+  const double inv_sqrt2 = 0.7071067811865476;
+  for (std::uint32_t round = 0; round < scale * 40; ++round) {
+    const std::size_t target = rng.below(qubits);
+    const std::size_t stride = std::size_t{1} << target;
+    // Hadamard on `target`.
+    for (std::size_t i = 0; i < dim; i += stride * 2) {
+      for (std::size_t j = i; j < i + stride; ++j) {
+        const double ar = re[j], ai = im[j];
+        const double br = re[j + stride], bi = im[j + stride];
+        re[j] = (ar + br) * inv_sqrt2;
+        im[j] = (ai + bi) * inv_sqrt2;
+        re[j + stride] = (ar - br) * inv_sqrt2;
+        im[j + stride] = (ai - bi) * inv_sqrt2;
+      }
+    }
+  }
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < dim; i += 37) {
+    checksum = hash_combine(
+        checksum, static_cast<std::uint64_t>((re[i] * re[i] + im[i] * im[i]) *
+                                             1e6));
+  }
+  return checksum;
+}
+
+void libquantum_taint(TaintClassSpace& space,
+                      std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  // The input (command-line sized integer) drives arithmetic only.
+  Tainted<std::uint64_t> n = in.u64();
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 16 && n.value() > 1; ++i) {
+    n = (n.value() % 2 == 0) ? n >> Tainted<std::uint64_t>(1)
+                             : n * Tainted<std::uint64_t>(3) +
+                                   Tainted<std::uint64_t>(1);
+    acc += n.value();
+  }
+  (void)acc;  // no object ever sees tainted data
+}
+
+}  // namespace
+
+SpecEntry make_libquantum(TypeRegistry& /*reg*/) {
+  SpecEntry e;
+  e.name = "462.libquantum";
+  e.paper_tainted_objects = 0;
+  e.run_direct = [](DirectSpace& s, std::uint32_t scale, std::uint64_t seed) {
+    return libquantum_run(s, scale, seed);
+  };
+  e.run_polar = [](PolarSpace& s, std::uint32_t scale, std::uint64_t seed) {
+    return libquantum_run(s, scale, seed);
+  };
+  e.taint_parse = [](TaintClassSpace& s, std::span<const std::uint8_t> in) {
+    libquantum_taint(s, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(8);
+    for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+    return v;
+  };
+  return e;
+}
+
+}  // namespace polar::spec

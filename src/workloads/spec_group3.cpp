@@ -1,0 +1,919 @@
+// Spec minis, group 3: 464.h264ref, 471.omnetpp, 473.astar, 483.xalancbmk.
+#include <memory>
+#include <queue>
+
+#include "workloads/spec_common.h"
+#include "workloads/spec_suite.h"
+
+namespace polar::spec {
+
+// ===========================================================================
+// 464.h264ref — motion-estimation flavoured encoder: few long-lived
+// parameter objects but candidate macroblock state is *copied* for every
+// tested mode (paper: 450 allocations, 298M object memcpys, 2G accesses).
+// ===========================================================================
+
+namespace {
+
+struct H264Types {
+  TypeId input_params, dpb, pps, image_params, macroblock;
+};
+
+H264Types register_h264(TypeRegistry& reg) {
+  H264Types t;
+  t.input_params = TypeBuilder(reg, "h264.InputParameters")
+                       .field<std::uint32_t>("width")
+                       .field<std::uint32_t>("height")
+                       .field<std::uint32_t>("qp")
+                       .field<std::uint32_t>("search_range")
+                       .build();
+  t.dpb = TypeBuilder(reg, "h264.decoded_picture_buffer")
+              .ptr("frames")
+              .field<std::uint32_t>("size")
+              .field<std::uint32_t>("used")
+              .build();
+  t.pps = TypeBuilder(reg, "h264.pic_parameter_set_rbsp_t")
+              .field<std::uint32_t>("pps_id")
+              .field<std::uint32_t>("entropy_mode")
+              .field<std::uint32_t>("slice_groups")
+              .build();
+  t.image_params = TypeBuilder(reg, "h264.ImageParameters")
+                       .field<std::uint32_t>("frame_num")
+                       .field<std::uint32_t>("type")
+                       .field<std::uint64_t>("bits_used")
+                       .build();
+  t.macroblock = TypeBuilder(reg, "h264.macroblock")
+                     .field<std::uint32_t>("mode")
+                     .field<std::uint32_t>("mv_x")
+                     .field<std::uint32_t>("mv_y")
+                     .field<std::uint64_t>("cost")
+                     .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t h264_run(S& space, const H264Types& t, std::uint32_t scale,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  constexpr int kW = 64, kH = 64;
+  std::vector<std::uint8_t> cur(kW * kH), ref(kW * kH);
+  for (auto& p : cur) p = static_cast<std::uint8_t>(rng.next());
+  ref = cur;
+  for (auto& p : ref) p = static_cast<std::uint8_t>(p + rng.below(4));
+
+  void* params = space.alloc(t.input_params);
+  space.store(params, t.input_params, 0, std::uint32_t{kW});
+  space.store(params, t.input_params, 1, std::uint32_t{kH});
+  space.store(params, t.input_params, 3, std::uint32_t{4});
+  void* img = space.alloc(t.image_params);
+
+  std::uint64_t checksum = 0;
+  for (std::uint32_t frame = 0; frame < scale * 2; ++frame) {
+    space.store(img, t.image_params, 0, frame);
+    for (int by = 0; by + 8 <= kH; by += 8) {
+      for (int bx = 0; bx + 8 <= kW; bx += 8) {
+        void* best = space.alloc(t.macroblock);
+        space.store(best, t.macroblock, 3, ~0ULL);
+        const auto range =
+            static_cast<int>(space.template load<std::uint32_t>(
+                params, t.input_params, 3));
+        for (int dy = -range; dy <= range; ++dy) {
+          for (int dx = -range; dx <= range; ++dx) {
+            // Candidate state object per tested vector: clone + update —
+            // the memcpy traffic of the original.
+            void* cand = space.clone_object(best, t.macroblock);
+            space.store(cand, t.macroblock, 1,
+                        static_cast<std::uint32_t>(dx + range));
+            space.store(cand, t.macroblock, 2,
+                        static_cast<std::uint32_t>(dy + range));
+            std::uint64_t sad = 0;
+            for (int y = 0; y < 8; ++y) {
+              for (int x = 0; x < 8; ++x) {
+                const int cx = bx + x, cy = by + y;
+                int rx = cx + dx, ry = cy + dy;
+                rx = std::clamp(rx, 0, kW - 1);
+                ry = std::clamp(ry, 0, kH - 1);
+                const int d = static_cast<int>(cur[cy * kW + cx]) -
+                              static_cast<int>(ref[ry * kW + rx]);
+                sad += static_cast<std::uint64_t>(d < 0 ? -d : d);
+              }
+            }
+            space.store(cand, t.macroblock, 3, sad);
+            if (sad <
+                space.template load<std::uint64_t>(best, t.macroblock, 3)) {
+              space.copy_object(best, cand, t.macroblock);
+            }
+            space.free_object(cand, t.macroblock);
+          }
+        }
+        checksum = hash_combine(
+            checksum, space.template load<std::uint64_t>(best, t.macroblock, 3));
+        space.store(img, t.image_params, 2,
+                    space.template load<std::uint64_t>(img, t.image_params, 2) +
+                        space.template load<std::uint64_t>(best, t.macroblock,
+                                                           3));
+        space.free_object(best, t.macroblock);
+      }
+    }
+  }
+  checksum = hash_combine(
+      checksum, space.template load<std::uint64_t>(img, t.image_params, 2));
+  space.free_object(params, t.input_params);
+  space.free_object(img, t.image_params);
+  return checksum;
+}
+
+void h264_taint(TaintClassSpace& space, const H264Types& t,
+                std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  if (in.remaining() < 4) return;
+  if (in.u8().value() != 0 || in.u8().value() != 0) return;  // NAL-ish start
+  POLAR_COV_SITE();
+  const auto nal = in.u8();
+  if (nal.value() == 8) {  // PPS
+    POLAR_COV_SITE();
+    void* pps = space.alloc(t.pps, nal.label());
+    space.store_t(pps, t.pps, 0, in.u32());
+    space.store_t(pps, t.pps, 1, in.u8().cast<std::uint32_t>());
+    space.free_object(pps, t.pps);
+  } else if (nal.value() == 7) {  // SPS -> image/input parameters
+    POLAR_COV_SITE();
+    void* ip = space.alloc(t.input_params);
+    space.store_t(ip, t.input_params, 0, in.u16().cast<std::uint32_t>());
+    space.store_t(ip, t.input_params, 1, in.u16().cast<std::uint32_t>());
+    const auto frames = in.u8();
+    if (frames.value() > 0) {
+      POLAR_COV_SITE();
+      void* dpb = space.alloc(t.dpb, frames.label());
+      space.store_t(dpb, t.dpb, 1, frames.cast<std::uint32_t>());
+      space.free_object(dpb, t.dpb, frames.label());
+    }
+    space.free_object(ip, t.input_params);
+  } else if (nal.value() == 1) {  // slice
+    POLAR_COV_SITE();
+    void* img = space.alloc(t.image_params);
+    space.store_t(img, t.image_params, 0, in.u32());
+    void* mb = space.alloc(t.macroblock);
+    space.store_t(mb, t.macroblock, 1, in.u16().cast<std::uint32_t>());
+    space.store_t(mb, t.macroblock, 2, in.u16().cast<std::uint32_t>());
+    space.free_object(mb, t.macroblock);
+    space.free_object(img, t.image_params);
+  }
+}
+
+}  // namespace
+
+SpecEntry make_h264ref(TypeRegistry& reg) {
+  auto types = std::make_shared<const H264Types>(register_h264(reg));
+  SpecEntry e;
+  e.name = "464.h264ref";
+  e.paper_tainted_objects = 17;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return h264_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return h264_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    h264_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    std::vector<std::uint8_t> v{0, 0, 7, 64, 0, 64, 0, 3};
+    Rng rng(seed);
+    for (int i = 0; i < 8; ++i) {
+      v.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    return v;
+  };
+  e.dictionary = {{0, 0, 7}, {0, 0, 8}, {0, 0, 1}};
+  return e;
+}
+
+// ===========================================================================
+// 471.omnetpp — discrete-event network simulation: message objects flow
+// through a future-event set; every event allocates/frees and touches a
+// handful of members.
+// ===========================================================================
+
+namespace {
+
+struct OmnetTypes {
+  TypeId simulation, chead, task, app, cpar, carray, expr_elem, mac_address,
+      message;
+};
+
+OmnetTypes register_omnet(TypeRegistry& reg) {
+  OmnetTypes t;
+  t.simulation = TypeBuilder(reg, "omnet.cSimulation")
+                     .field<std::uint64_t>("sim_time")
+                     .field<std::uint64_t>("event_count")
+                     .ptr("fes")
+                     .build();
+  t.chead = TypeBuilder(reg, "omnet.cHead")
+                .ptr("first")
+                .field<std::uint32_t>("count")
+                .build();
+  t.task = TypeBuilder(reg, "omnet.Task")
+               .field<std::uint32_t>("id")
+               .field<std::uint64_t>("deadline")
+               .build();
+  t.app = TypeBuilder(reg, "omnet.TOmnetApp")
+              .ptr("args")
+              .field<std::uint32_t>("verbosity")
+              .build();
+  t.cpar = TypeBuilder(reg, "omnet.cPar")
+               .field<std::uint64_t>("value")
+               .field<std::uint32_t>("type")
+               .build();
+  t.carray = TypeBuilder(reg, "omnet.cArray")
+                 .ptr("vect")
+                 .field<std::uint32_t>("size")
+                 .field<std::uint32_t>("last")
+                 .build();
+  t.expr_elem = TypeBuilder(reg, "omnet.cPar::ExprElem")
+                    .field<std::uint32_t>("type")
+                    .field<std::uint64_t>("operand")
+                    .build();
+  t.mac_address = TypeBuilder(reg, "omnet.MACAddress")
+                      .bytes("addr", 6, 1)
+                      .field<std::uint16_t>("pad")
+                      .build();
+  t.message = TypeBuilder(reg, "omnet.cMessage")
+                  .field<std::uint64_t>("arrival")
+                  .field<std::uint32_t>("kind")
+                  .field<std::uint32_t>("dest")
+                  .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t omnet_run(S& space, const OmnetTypes& t, std::uint32_t scale,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  void* sim = space.alloc(t.simulation);
+
+  // Future-event set ordered by arrival time (read through the space).
+  const auto arrival = [&](void* m) {
+    return space.template load<std::uint64_t>(m, t.message, 0);
+  };
+  const auto cmp = [&](void* a, void* b) { return arrival(a) > arrival(b); };
+  std::vector<void*> fes;
+  const auto push = [&](void* m) {
+    fes.push_back(m);
+    std::push_heap(fes.begin(), fes.end(), cmp);
+  };
+  const auto pop = [&]() {
+    std::pop_heap(fes.begin(), fes.end(), cmp);
+    void* m = fes.back();
+    fes.pop_back();
+    return m;
+  };
+
+  for (int i = 0; i < 8; ++i) {
+    void* m = space.alloc(t.message);
+    space.store(m, t.message, 0, rng.below(100));
+    space.store(m, t.message, 2, static_cast<std::uint32_t>(rng.below(16)));
+    push(m);
+  }
+  std::uint64_t checksum = 0;
+  const std::uint64_t budget = static_cast<std::uint64_t>(scale) * 30000;
+  std::uint64_t processed = 0;
+  while (!fes.empty() && processed < budget) {
+    void* m = pop();
+    ++processed;
+    const std::uint64_t now = arrival(m);
+    space.store(sim, t.simulation, 0, now);
+    space.store(sim, t.simulation, 1,
+                space.template load<std::uint64_t>(sim, t.simulation, 1) + 1);
+    checksum = hash_combine(
+        checksum, now ^ space.template load<std::uint32_t>(m, t.message, 2));
+    // Each handled event schedules 0-2 follow-ups (kept near steady state).
+    const std::uint64_t fanout =
+        fes.size() < 4 ? 2 : (fes.size() > 64 ? 0 : rng.below(3));
+    for (std::uint64_t f = 0; f < fanout; ++f) {
+      void* next = space.alloc(t.message);
+      space.store(next, t.message, 0, now + 1 + rng.below(50));
+      space.store(next, t.message, 2,
+                  static_cast<std::uint32_t>(rng.below(16)));
+      push(next);
+    }
+    space.free_object(m, t.message);
+  }
+  for (void* m : fes) space.free_object(m, t.message);
+  checksum = hash_combine(
+      checksum, space.template load<std::uint64_t>(sim, t.simulation, 1));
+  space.free_object(sim, t.simulation);
+  return checksum;
+}
+
+void omnet_taint(TaintClassSpace& space, const OmnetTypes& t,
+                 std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  // omnetpp.ini-flavoured config parser.
+  int guard = 0;
+  while (!in.empty() && ++guard < 128) {
+    const auto key = in.u8();
+    switch (key.value()) {
+      case 'S': {
+        POLAR_COV_SITE();
+        void* sim = space.alloc(t.simulation);
+        space.store_t(sim, t.simulation, 0, in.u64());
+        space.free_object(sim, t.simulation);
+        break;
+      }
+      case 'T': {
+        POLAR_COV_SITE();
+        void* task = space.alloc(t.task, key.label());
+        space.store_t(task, t.task, 1, in.u64());
+        space.free_object(task, t.task);
+        break;
+      }
+      case 'A': {
+        POLAR_COV_SITE();
+        void* app = space.alloc(t.app);
+        space.store_t(app, t.app, 1, in.u32());
+        space.free_object(app, t.app);
+        break;
+      }
+      case 'P': {
+        POLAR_COV_SITE();
+        void* par = space.alloc(t.cpar);
+        space.store_t(par, t.cpar, 0, in.u64());
+        space.free_object(par, t.cpar);
+        break;
+      }
+      case 'V': {
+        POLAR_COV_SITE();
+        void* arr = space.alloc(t.carray);
+        space.store_t(arr, t.carray, 1, in.u32());
+        space.free_object(arr, t.carray);
+        break;
+      }
+      case 'E': {
+        POLAR_COV_SITE();
+        void* ee = space.alloc(t.expr_elem);
+        space.store_t(ee, t.expr_elem, 1, in.u64());
+        space.free_object(ee, t.expr_elem);
+        break;
+      }
+      case 'M': {
+        POLAR_COV_SITE();
+        void* mac = space.alloc(t.mac_address);
+        const auto window = in.bytes(6);
+        if (!window.empty()) {
+          space.store_bytes(mac, t.mac_address, 0, 0, window.data(),
+                            window.size());
+        }
+        space.free_object(mac, t.mac_address);
+        break;
+      }
+      case 'H': {
+        POLAR_COV_SITE();
+        void* head = space.alloc(t.chead);
+        space.store_t(head, t.chead, 1, in.u32());
+        space.free_object(head, t.chead);
+        break;
+      }
+      case 'Q': {
+        POLAR_COV_SITE();
+        void* msg = space.alloc(t.message, key.label());
+        space.store_t(msg, t.message, 0, in.u64());
+        space.free_object(msg, t.message, key.label());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+SpecEntry make_omnetpp(TypeRegistry& reg) {
+  auto types = std::make_shared<const OmnetTypes>(register_omnet(reg));
+  SpecEntry e;
+  e.name = "471.omnetpp";
+  e.paper_tainted_objects = 10;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return omnet_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return omnet_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    omnet_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    std::vector<std::uint8_t> v{'S', 1, 0, 0, 0, 0, 0, 0, 0, 'Q'};
+    Rng rng(seed);
+    for (int i = 0; i < 10; ++i) {
+      v.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    return v;
+  };
+  e.dictionary = {tok("S"), tok("T"), tok("A"), tok("P"), tok("V"),
+                  tok("E"), tok("M"), tok("H"), tok("Q")};
+  return e;
+}
+
+// ===========================================================================
+// 473.astar — grid pathfinding: node objects in an open list, f/g member
+// comparisons in the hot loop.
+// ===========================================================================
+
+namespace {
+
+struct AstarTypes {
+  TypeId wayobj, way2obj, regmngobj, workinfot, createwaymnginfot, regboundobj,
+      regobj, node;
+};
+
+AstarTypes register_astar(TypeRegistry& reg) {
+  AstarTypes t;
+  t.wayobj = TypeBuilder(reg, "astar.wayobj")
+                 .ptr("map")
+                 .field<std::uint32_t>("xsize")
+                 .field<std::uint32_t>("ysize")
+                 .build();
+  t.way2obj = TypeBuilder(reg, "astar.way2obj")
+                  .ptr("grid")
+                  .field<std::uint32_t>("bound")
+                  .build();
+  t.regmngobj = TypeBuilder(reg, "astar.regmngobj")
+                    .ptr("regions")
+                    .field<std::uint32_t>("count")
+                    .build();
+  t.workinfot = TypeBuilder(reg, "astar.workinfot")
+                    .field<std::uint32_t>("startx")
+                    .field<std::uint32_t>("starty")
+                    .field<std::uint32_t>("endx")
+                    .field<std::uint32_t>("endy")
+                    .build();
+  t.createwaymnginfot = TypeBuilder(reg, "astar.createwaymnginfot")
+                            .ptr("info")
+                            .field<std::uint32_t>("flags")
+                            .build();
+  t.regboundobj = TypeBuilder(reg, "astar.regboundobj")
+                      .field<std::uint32_t>("minx")
+                      .field<std::uint32_t>("maxx")
+                      .build();
+  t.regobj = TypeBuilder(reg, "astar.regobj")
+                 .field<std::uint32_t>("id")
+                 .field<std::uint32_t>("size")
+                 .build();
+  t.node = TypeBuilder(reg, "astar.node")
+               .field<std::uint32_t>("x")
+               .field<std::uint32_t>("y")
+               .field<std::uint64_t>("g")
+               .field<std::uint64_t>("f")
+               .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t astar_run(S& space, const AstarTypes& t, std::uint32_t scale,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  constexpr int kW = 96, kH = 96;
+  std::uint64_t checksum = 0;
+  for (std::uint32_t query = 0; query < scale * 3; ++query) {
+    std::vector<std::uint8_t> blocked(kW * kH);
+    for (auto& b : blocked) b = rng.chance(0.25);
+    const int sx = 1, sy = 1, ex = kW - 2, ey = kH - 2;
+    blocked[sy * kW + sx] = blocked[ey * kW + ex] = 0;
+
+    void* way = space.alloc(t.wayobj);
+    space.store(way, t.wayobj, 1, std::uint32_t{kW});
+    space.store(way, t.wayobj, 2, std::uint32_t{kH});
+
+    const auto heur = [&](int x, int y) {
+      return static_cast<std::uint64_t>(std::abs(ex - x) + std::abs(ey - y));
+    };
+    const auto fval = [&](void* n) {
+      return space.template load<std::uint64_t>(n, t.node, 3);
+    };
+    const auto cmp = [&](void* a, void* b) { return fval(a) > fval(b); };
+
+    std::vector<void*> open;
+    std::vector<std::uint64_t> best(kW * kH, ~0ULL);
+    void* start = space.alloc(t.node);
+    space.store(start, t.node, 0, static_cast<std::uint32_t>(sx));
+    space.store(start, t.node, 1, static_cast<std::uint32_t>(sy));
+    space.store(start, t.node, 3, heur(sx, sy));
+    open.push_back(start);
+    best[sy * kW + sx] = 0;
+
+    std::uint64_t path_cost = 0;
+    while (!open.empty()) {
+      std::pop_heap(open.begin(), open.end(), cmp);
+      void* cur = open.back();
+      open.pop_back();
+      const auto x = static_cast<int>(
+          space.template load<std::uint32_t>(cur, t.node, 0));
+      const auto y = static_cast<int>(
+          space.template load<std::uint32_t>(cur, t.node, 1));
+      const std::uint64_t g = space.template load<std::uint64_t>(cur, t.node, 2);
+      space.free_object(cur, t.node);
+      if (x == ex && y == ey) {
+        path_cost = g;
+        break;
+      }
+      if (g > best[y * kW + x]) continue;
+      constexpr int dx[4] = {1, -1, 0, 0};
+      constexpr int dy[4] = {0, 0, 1, -1};
+      for (int d = 0; d < 4; ++d) {
+        const int nx = x + dx[d], ny = y + dy[d];
+        if (nx < 0 || ny < 0 || nx >= kW || ny >= kH) continue;
+        if (blocked[ny * kW + nx]) continue;
+        const std::uint64_t ng = g + 1;
+        if (ng >= best[ny * kW + nx]) continue;
+        best[ny * kW + nx] = ng;
+        void* n = space.alloc(t.node);
+        space.store(n, t.node, 0, static_cast<std::uint32_t>(nx));
+        space.store(n, t.node, 1, static_cast<std::uint32_t>(ny));
+        space.store(n, t.node, 2, ng);
+        space.store(n, t.node, 3, ng + heur(nx, ny));
+        open.push_back(n);
+        std::push_heap(open.begin(), open.end(), cmp);
+      }
+    }
+    for (void* n : open) space.free_object(n, t.node);
+    space.free_object(way, t.wayobj);
+    checksum = hash_combine(checksum, path_cost);
+  }
+  return checksum;
+}
+
+void astar_taint(TaintClassSpace& space, const AstarTypes& t,
+                 std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  // .map header parser.
+  if (in.remaining() < 4) return;
+  const auto magic = in.u16();
+  if (magic.value() != 0x504d) return;  // "MP"
+  POLAR_COV_SITE();
+  void* way = space.alloc(t.wayobj);
+  space.store_t(way, t.wayobj, 1, in.u16().cast<std::uint32_t>());
+  space.store_t(way, t.wayobj, 2, in.u16().cast<std::uint32_t>());
+  int guard = 0;
+  while (!in.empty() && ++guard < 64) {
+    const auto sect = in.u8();
+    switch (sect.value()) {
+      case 'W': {
+        POLAR_COV_SITE();
+        void* w2 = space.alloc(t.way2obj);
+        space.store_t(w2, t.way2obj, 1, in.u32());
+        space.free_object(w2, t.way2obj);
+        break;
+      }
+      case 'G': {
+        POLAR_COV_SITE();
+        void* rm = space.alloc(t.regmngobj, sect.label());
+        space.store_t(rm, t.regmngobj, 1, in.u32());
+        space.free_object(rm, t.regmngobj);
+        break;
+      }
+      case 'I': {
+        POLAR_COV_SITE();
+        void* wi = space.alloc(t.workinfot);
+        space.store_t(wi, t.workinfot, 0, in.u32());
+        space.store_t(wi, t.workinfot, 2, in.u32());
+        space.free_object(wi, t.workinfot);
+        break;
+      }
+      case 'C': {
+        POLAR_COV_SITE();
+        void* cw = space.alloc(t.createwaymnginfot);
+        space.store_t(cw, t.createwaymnginfot, 1, in.u32());
+        space.free_object(cw, t.createwaymnginfot);
+        break;
+      }
+      case 'a': {  // region bounds
+        POLAR_COV_SITE();
+        void* rb = space.alloc(t.regboundobj);
+        space.store_t(rb, t.regboundobj, 0, in.u32());
+        space.free_object(rb, t.regboundobj);
+        break;
+      }
+      case 'r': {
+        POLAR_COV_SITE();
+        void* ro = space.alloc(t.regobj, sect.label());
+        space.store_t(ro, t.regobj, 1, in.u32());
+        space.free_object(ro, t.regobj, sect.label());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  space.free_object(way, t.wayobj);
+}
+
+}  // namespace
+
+SpecEntry make_astar(TypeRegistry& reg) {
+  auto types = std::make_shared<const AstarTypes>(register_astar(reg));
+  SpecEntry e;
+  e.name = "473.astar";
+  e.paper_tainted_objects = 7;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return astar_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return astar_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    astar_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    std::vector<std::uint8_t> v{0x4d, 0x50, 96, 0, 96, 0, 'W'};
+    Rng rng(seed);
+    for (int i = 0; i < 10; ++i) {
+      v.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    return v;
+  };
+  e.dictionary = {tok("MP"), tok("W"), tok("G"), tok("I"),
+                  tok("C"), tok("a"), tok("r")};
+  return e;
+}
+
+// ===========================================================================
+// 483.xalancbmk — XML parse + transform: a storm of small node objects
+// (the paper's biggest tainted-object census: 59 types).
+// ===========================================================================
+
+namespace {
+
+struct XalanTypes {
+  TypeId dom_string, xobject, qname_value, qname_ref, node_list, element, text,
+      attr, xpath_step, stylesheet, formatter, node;
+};
+
+XalanTypes register_xalan(TypeRegistry& reg) {
+  XalanTypes t;
+  t.dom_string = TypeBuilder(reg, "xalan.XalanDOMString")
+                     .ptr("data")
+                     .field<std::uint32_t>("length")
+                     .build();
+  t.xobject = TypeBuilder(reg, "xalan.XObjectPtr")
+                  .ptr("object")
+                  .field<std::uint32_t>("type")
+                  .build();
+  t.qname_value = TypeBuilder(reg, "xalan.XalanQNameByValue")
+                      .field<std::uint64_t>("namespace_hash")
+                      .field<std::uint64_t>("local_hash")
+                      .build();
+  t.qname_ref = TypeBuilder(reg, "xalan.XalanQNameByReference")
+                    .ptr("namespace_ref")
+                    .ptr("local_ref")
+                    .build();
+  t.node_list = TypeBuilder(reg, "xalan.MutableNodeRefList")
+                    .ptr("items")
+                    .field<std::uint32_t>("count")
+                    .build();
+  t.element = TypeBuilder(reg, "xalan.XalanElement")
+                  .field<std::uint64_t>("tag_hash")
+                  .ptr("first_attr")
+                  .field<std::uint32_t>("children")
+                  .build();
+  t.text = TypeBuilder(reg, "xalan.XalanText")
+               .field<std::uint64_t>("content_hash")
+               .field<std::uint32_t>("length")
+               .build();
+  t.attr = TypeBuilder(reg, "xalan.AttrEntry")
+               .field<std::uint64_t>("name_hash")
+               .field<std::uint64_t>("value_hash")
+               .build();
+  t.xpath_step = TypeBuilder(reg, "xalan.XPathStep")
+                     .field<std::uint32_t>("axis")
+                     .field<std::uint64_t>("test_hash")
+                     .build();
+  t.stylesheet = TypeBuilder(reg, "xalan.ElemTemplate")
+                     .field<std::uint64_t>("match_hash")
+                     .field<std::uint32_t>("priority")
+                     .build();
+  t.formatter = TypeBuilder(reg, "xalan.FormatterListener")
+                    .fn_ptr("characters_fn")
+                    .field<std::uint64_t>("emitted")
+                    .build();
+  t.node = TypeBuilder(reg, "xalan.XalanNode")
+               .field<std::uint32_t>("kind")
+               .ptr("parent")
+               .ptr("first_child")
+               .ptr("next_sibling")
+               .field<std::uint64_t>("value")
+               .build();
+  return t;
+}
+
+template <ObjectSpace S>
+std::uint64_t xalan_run(S& space, const XalanTypes& t, std::uint32_t scale,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t checksum = 0;
+  for (std::uint32_t doc = 0; doc < scale; ++doc) {
+    // Build a random tree of elements/text, depth-first.
+    std::vector<void*> all_nodes;
+    std::vector<void*> path;
+    void* root = space.alloc(t.node);
+    space.store(root, t.node, 0, std::uint32_t{1});
+    space.store(root, t.node, 4, rng.next());
+    all_nodes.push_back(root);
+    path.push_back(root);
+    for (int step = 0; step < 4000; ++step) {
+      const std::uint64_t action = rng.below(10);
+      if (action < 6) {  // add child
+        void* n = space.alloc(t.node);
+        space.store(n, t.node, 0,
+                    static_cast<std::uint32_t>(1 + rng.below(2)));
+        space.store(n, t.node, 4, rng.next() & 0xffff);
+        void* parent = path.back();
+        space.store(n, t.node, 1, reinterpret_cast<std::uint64_t>(parent));
+        space.store(n, t.node, 3, space.template load<std::uint64_t>(
+                                      parent, t.node, 2));
+        space.store(parent, t.node, 2, reinterpret_cast<std::uint64_t>(n));
+        all_nodes.push_back(n);
+        if (rng.chance(0.5) && path.size() < 24) path.push_back(n);
+      } else if (path.size() > 1) {  // close element
+        path.pop_back();
+      }
+    }
+    // "Transform": walk the tree, summing values into a formatter object
+    // and emitting a DOM string per element batch.
+    void* fmt = space.alloc(t.formatter);
+    std::vector<void*> stack{root};
+    std::uint32_t batch = 0;
+    while (!stack.empty()) {
+      void* n = stack.back();
+      stack.pop_back();
+      space.store(fmt, t.formatter, 1,
+                  space.template load<std::uint64_t>(fmt, t.formatter, 1) +
+                      space.template load<std::uint64_t>(n, t.node, 4));
+      if (++batch % 64 == 0) {
+        void* str = space.alloc(t.dom_string);
+        space.store(str, t.dom_string, 1, batch);
+        checksum = hash_combine(
+            checksum, space.template load<std::uint32_t>(str, t.dom_string, 1));
+        space.free_object(str, t.dom_string);
+      }
+      for (void* c = reinterpret_cast<void*>(
+               space.template load<std::uint64_t>(n, t.node, 2));
+           c != nullptr; c = reinterpret_cast<void*>(
+                             space.template load<std::uint64_t>(c, t.node, 3))) {
+        stack.push_back(c);
+      }
+    }
+    checksum = hash_combine(
+        checksum, space.template load<std::uint64_t>(fmt, t.formatter, 1));
+    space.free_object(fmt, t.formatter);
+    for (void* n : all_nodes) space.free_object(n, t.node);
+  }
+  return checksum;
+}
+
+void xalan_taint(TaintClassSpace& space, const XalanTypes& t,
+                 std::span<const std::uint8_t> input) {
+  TaintScope scope(space.domain());
+  TaintReader in(space, input);
+  POLAR_COV_SITE();
+  if (in.remaining() < 1 || in.u8().value() != '<') return;
+  POLAR_COV_SITE();
+  int guard = 0;
+  std::uint32_t depth = 0;
+  while (!in.empty() && ++guard < 200) {
+    const auto c = in.u8();
+    switch (c.value()) {
+      case '<': {
+        POLAR_COV_SITE();
+        void* el = space.alloc(t.element, c.label());
+        space.store_t(el, t.element, 0, in.u64());
+        space.free_object(el, t.element);
+        ++depth;
+        break;
+      }
+      case '>': {
+        if (depth > 0) --depth;
+        break;
+      }
+      case '=': {
+        POLAR_COV_SITE();
+        void* at = space.alloc(t.attr);
+        space.store_t(at, t.attr, 0, in.u64());
+        space.store_t(at, t.attr, 1, in.u64());
+        space.free_object(at, t.attr);
+        break;
+      }
+      case '"': {
+        POLAR_COV_SITE();
+        void* s = space.alloc(t.dom_string, c.label());
+        space.store_t(s, t.dom_string, 1, in.u32());
+        space.free_object(s, t.dom_string);
+        break;
+      }
+      case '.': {
+        POLAR_COV_SITE();
+        void* tx = space.alloc(t.text);
+        space.store_t(tx, t.text, 0, in.u64());
+        space.free_object(tx, t.text);
+        break;
+      }
+      case ':': {
+        POLAR_COV_SITE();
+        void* qv = space.alloc(t.qname_value);
+        space.store_t(qv, t.qname_value, 0, in.u64());
+        space.free_object(qv, t.qname_value);
+        void* qr = space.alloc(t.qname_ref);
+        space.free_object(qr, t.qname_ref, c.label());
+        break;
+      }
+      case '/': {
+        POLAR_COV_SITE();
+        void* xs = space.alloc(t.xpath_step);
+        space.store_t(xs, t.xpath_step, 1, in.u64());
+        space.free_object(xs, t.xpath_step);
+        break;
+      }
+      case '$': {
+        POLAR_COV_SITE();
+        void* xo = space.alloc(t.xobject);
+        space.store_t(xo, t.xobject, 1, in.u32());
+        space.free_object(xo, t.xobject);
+        break;
+      }
+      case '[': {
+        POLAR_COV_SITE();
+        void* nl = space.alloc(t.node_list, c.label());
+        space.store_t(nl, t.node_list, 1, in.u32());
+        space.free_object(nl, t.node_list);
+        break;
+      }
+      case '{': {
+        POLAR_COV_SITE();
+        void* st = space.alloc(t.stylesheet);
+        space.store_t(st, t.stylesheet, 0, in.u64());
+        space.free_object(st, t.stylesheet);
+        break;
+      }
+      case '!': {
+        POLAR_COV_SITE();
+        void* nd = space.alloc(t.node, c.label());
+        space.store_t(nd, t.node, 4, in.u64());
+        space.free_object(nd, t.node, c.label());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+SpecEntry make_xalancbmk(TypeRegistry& reg) {
+  auto types = std::make_shared<const XalanTypes>(register_xalan(reg));
+  SpecEntry e;
+  e.name = "483.xalancbmk";
+  e.paper_tainted_objects = 59;
+  e.run_direct = [types](DirectSpace& s, std::uint32_t scale,
+                         std::uint64_t seed) {
+    return xalan_run(s, *types, scale, seed);
+  };
+  e.run_polar = [types](PolarSpace& s, std::uint32_t scale,
+                        std::uint64_t seed) {
+    return xalan_run(s, *types, scale, seed);
+  };
+  e.taint_parse = [types](TaintClassSpace& s,
+                          std::span<const std::uint8_t> in) {
+    xalan_taint(s, *types, in);
+  };
+  e.sample_input = [](std::uint64_t seed) {
+    std::vector<std::uint8_t> v{'<', '<', 1, 2, 3, 4, 5, 6, 7, 8, '>'};
+    Rng rng(seed);
+    for (int i = 0; i < 12; ++i) {
+      v.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    return v;
+  };
+  e.dictionary = {tok("<"), tok(">"), tok("="), tok("\""), tok("."),
+                  tok(":"), tok("/"), tok("$"), tok("["), tok("{"),
+                  tok("!")};
+  return e;
+}
+
+}  // namespace polar::spec

@@ -1,0 +1,22 @@
+#include "workloads/spec_suite.h"
+
+namespace polar::spec {
+
+std::vector<SpecEntry> build_spec_suite(TypeRegistry& registry) {
+  std::vector<SpecEntry> suite;
+  suite.push_back(make_perlbench(registry));
+  suite.push_back(make_bzip2(registry));
+  suite.push_back(make_gcc(registry));
+  suite.push_back(make_mcf(registry));
+  suite.push_back(make_gobmk(registry));
+  suite.push_back(make_hmmer(registry));
+  suite.push_back(make_sjeng(registry));
+  suite.push_back(make_libquantum(registry));
+  suite.push_back(make_h264ref(registry));
+  suite.push_back(make_omnetpp(registry));
+  suite.push_back(make_astar(registry));
+  suite.push_back(make_xalancbmk(registry));
+  return suite;
+}
+
+}  // namespace polar::spec

@@ -1,0 +1,85 @@
+// SPEC2006-substitute workload suite (paper §V, Fig. 6, Tables I & III).
+//
+// SPEC CPU2006 is proprietary, so each benchmark the paper uses is
+// replaced by a miniature application with the same *object-traffic
+// profile* — the quantity that actually determines POLaR's overhead
+// (§V-B: "the performance impact will be high against applications that
+// excessively access object members, and ... low for applications that
+// focus on other operations"). Each mini reproduces its original's
+// character as reported in the paper's Table III:
+//
+//   400.perlbench  interpreter; massive SV allocation churn
+//   401.bzip2      block compressor; tiny object count, array work
+//   403.gcc        tree IR; allocation/free dominated
+//   429.mcf        network simplex; ONE object, member access in hot loop
+//   445.gobmk      go engine; board scans with many member accesses
+//   456.hmmer      profile HMM Viterbi; one matrix object, heavy access
+//   458.sjeng      chess search; alloc/free + state memcpy per node (the
+//                  paper's worst case)
+//   462.libquantum quantum simulator; pure float arrays, NO objects
+//   464.h264ref    video encoder; few objects, huge memcpy traffic
+//   471.omnetpp    discrete-event simulator; event objects through a queue
+//   473.astar      grid pathfinding; node objects, access heavy
+//   483.xalancbmk  XML transform; very many small node objects
+//
+// Every mini is written once against the ObjectSpace concept and compiled
+// twice — DirectSpace (the "default build") and PolarSpace (the
+// "POLaR build") — exactly mirroring the paper's two binaries. A third
+// entry point, taint_parse, processes untrusted input bytes under a
+// TaintClassSpace so the TaintClass framework (Table I) can discover the
+// input-dependent types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/space.h"
+#include "taintclass/taint_space.h"
+
+namespace polar::spec {
+
+struct SpecEntry {
+  std::string name;
+  /// Deterministic checksum so Direct/POLaR equivalence is testable.
+  std::function<std::uint64_t(DirectSpace&, std::uint32_t scale,
+                              std::uint64_t seed)>
+      run_direct;
+  std::function<std::uint64_t(PolarSpace&, std::uint32_t scale,
+                              std::uint64_t seed)>
+      run_polar;
+  /// TaintClass entry: parse untrusted input, touching this workload's
+  /// input-facing objects. Registered under a CoverageScope by callers
+  /// that fuzz it.
+  std::function<void(TaintClassSpace&, std::span<const std::uint8_t>)>
+      taint_parse;
+  /// A valid sample input for the fuzzer's seed corpus.
+  std::function<std::vector<std::uint8_t>(std::uint64_t seed)> sample_input;
+  /// Dictionary tokens (magics/keywords) for the mutator.
+  std::vector<std::vector<std::uint8_t>> dictionary;
+  /// The paper's Table I count for the original benchmark, for reference
+  /// in the reproduction report.
+  std::size_t paper_tainted_objects = 0;
+};
+
+/// Registers all workload types into `registry` and returns the suite.
+/// Must be called exactly once per registry.
+std::vector<SpecEntry> build_spec_suite(TypeRegistry& registry);
+
+// Individual factories (one per translation unit).
+SpecEntry make_perlbench(TypeRegistry& reg);
+SpecEntry make_bzip2(TypeRegistry& reg);
+SpecEntry make_gcc(TypeRegistry& reg);
+SpecEntry make_mcf(TypeRegistry& reg);
+SpecEntry make_gobmk(TypeRegistry& reg);
+SpecEntry make_hmmer(TypeRegistry& reg);
+SpecEntry make_sjeng(TypeRegistry& reg);
+SpecEntry make_libquantum(TypeRegistry& reg);
+SpecEntry make_h264ref(TypeRegistry& reg);
+SpecEntry make_omnetpp(TypeRegistry& reg);
+SpecEntry make_astar(TypeRegistry& reg);
+SpecEntry make_xalancbmk(TypeRegistry& reg);
+
+}  // namespace polar::spec

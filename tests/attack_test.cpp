@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "attack/attack.h"
+
+namespace polar {
+namespace {
+
+class AttackTest : public ::testing::Test {
+ protected:
+  AttackTest() : types_(register_attack_types(reg_)) {}
+
+  AttackConfig config(DefenseKind d) {
+    AttackConfig cfg;
+    cfg.defense = d;
+    cfg.trials = 300;
+    cfg.seed = 11;
+    return cfg;
+  }
+
+  TypeRegistry reg_;
+  AttackTypes types_;
+};
+
+// ------------------------------------------------------------ UAF (fake)
+
+TEST_F(AttackTest, UafFakeObjectSucceedsWithoutDefense) {
+  const AttackOutcome out =
+      run_uaf_fake_object(reg_, types_, config(DefenseKind::kNone));
+  EXPECT_EQ(out.successes, out.attempts);  // textbook exploit
+  EXPECT_EQ(out.detected, 0u);
+  EXPECT_EQ(out.distinct_outcomes, 1u);  // fully deterministic
+}
+
+TEST_F(AttackTest, UafFakeObjectStaticOlrBreaksOnBinaryExposure) {
+  // Hidden binary: the attacker guesses the natural layout and loses.
+  AttackConfig hidden = config(DefenseKind::kStaticOlr);
+  const AttackOutcome blind = run_uaf_fake_object(reg_, types_, hidden);
+  // Exposed binary (§III-B-1): same binary, attack works every time.
+  hidden.attacker_knows_binary = true;
+  const AttackOutcome informed = run_uaf_fake_object(reg_, types_, hidden);
+  EXPECT_EQ(informed.successes, informed.attempts);
+  EXPECT_LT(blind.successes, blind.attempts);
+  // Both are deterministic across retries — the Reproduction Problem.
+  EXPECT_EQ(blind.distinct_outcomes, 1u);
+  EXPECT_EQ(informed.distinct_outcomes, 1u);
+}
+
+TEST_F(AttackTest, UafFakeObjectPolarDetectsUntrackedFake) {
+  const AttackOutcome out =
+      run_uaf_fake_object(reg_, types_, config(DefenseKind::kPolar));
+  EXPECT_EQ(out.detected, out.attempts);  // no metadata record -> caught
+  EXPECT_EQ(out.successes, 0u);
+}
+
+// --------------------------------------------------------- UAF (tracked)
+
+TEST_F(AttackTest, UafReclaimNoDefenseSucceeds) {
+  const AttackOutcome out = run_uaf_reclaim(reg_, types_,
+                                            config(DefenseKind::kNone),
+                                            /*small_spray=*/false);
+  EXPECT_EQ(out.successes, out.attempts);
+}
+
+TEST_F(AttackTest, UafReclaimPolarStrictDetectsTypeMismatch) {
+  AttackConfig cfg = config(DefenseKind::kPolar);
+  cfg.strict_typed_access = true;
+  const AttackOutcome out =
+      run_uaf_reclaim(reg_, types_, cfg, /*small_spray=*/false);
+  EXPECT_EQ(out.successes, 0u);
+  EXPECT_GT(out.detected, 0u);  // every reclaimed trial is caught
+  EXPECT_EQ(out.detected + out.failed, out.attempts);
+}
+
+TEST_F(AttackTest, UafReclaimPolarSmallSprayHitsBadField) {
+  // SpraySmall has 3 fields; Victim code reads field index 3 -> kBadField
+  // even without the class-hash check.
+  AttackConfig cfg = config(DefenseKind::kPolar);
+  cfg.strict_typed_access = false;
+  const AttackOutcome out =
+      run_uaf_reclaim(reg_, types_, cfg, /*small_spray=*/true);
+  EXPECT_EQ(out.successes, 0u);
+  EXPECT_GT(out.detected, 0u);
+}
+
+TEST_F(AttackTest, UafReclaimPolarOutcomesVaryAcrossRetries) {
+  // Claim (ii) of the paper: repeating the attack under POLaR does not
+  // produce a deterministic result.
+  AttackConfig cfg = config(DefenseKind::kPolar);
+  cfg.strict_typed_access = false;
+  const AttackOutcome out =
+      run_uaf_reclaim(reg_, types_, cfg, /*small_spray=*/false);
+  EXPECT_GT(out.distinct_outcomes, 1u);
+}
+
+// ---------------------------------------------------------- type confusion
+
+TEST_F(AttackTest, TypeConfusionNoDefenseSucceeds) {
+  const AttackOutcome out =
+      run_type_confusion(reg_, types_, config(DefenseKind::kNone));
+  EXPECT_EQ(out.successes, out.attempts);
+  EXPECT_EQ(out.distinct_outcomes, 1u);
+}
+
+TEST_F(AttackTest, TypeConfusionStaticOlrBlindMostlyFails) {
+  const AttackOutcome out =
+      run_type_confusion(reg_, types_, config(DefenseKind::kStaticOlr));
+  // One binary, one outcome; overwhelmingly a failure for this seed space.
+  EXPECT_EQ(out.distinct_outcomes, 1u);
+  EXPECT_LT(out.success_rate(), 1.0);
+}
+
+TEST_F(AttackTest, TypeConfusionPolarStrictDetects) {
+  AttackConfig cfg = config(DefenseKind::kPolar);
+  cfg.strict_typed_access = true;
+  const AttackOutcome out = run_type_confusion(reg_, types_, cfg);
+  EXPECT_EQ(out.detected, out.attempts);
+  EXPECT_EQ(out.successes, 0u);
+}
+
+// ---------------------------------------------------------- linear overflow
+
+TEST_F(AttackTest, OverflowNoDefenseSucceedsSilently) {
+  const AttackOutcome out =
+      run_linear_overflow(reg_, types_, config(DefenseKind::kNone));
+  EXPECT_EQ(out.successes, out.attempts);
+  EXPECT_EQ(out.detected, 0u);
+}
+
+TEST_F(AttackTest, OverflowStaticOlrInformedAttackerAdapts) {
+  AttackConfig cfg = config(DefenseKind::kStaticOlr);
+  cfg.attacker_knows_binary = true;
+  const AttackOutcome out = run_linear_overflow(reg_, types_, cfg);
+  // With the binary in hand the attacker either wins outright (handler
+  // after buffer) or knows it is unexploitable — never "detected".
+  EXPECT_EQ(out.detected, 0u);
+  EXPECT_EQ(out.successes + out.failed, out.attempts);
+  EXPECT_EQ(out.distinct_outcomes, 1u);
+}
+
+TEST_F(AttackTest, OverflowPolarBoobyTrapsDetect) {
+  const AttackOutcome out =
+      run_linear_overflow(reg_, types_, config(DefenseKind::kPolar));
+  // The handler field is guarded by a prepended trap; a linear overwrite
+  // that reaches it must cross the trap. Short overflows that never reach
+  // the handler land in padding (failed, not detected), so detection is
+  // high but not total — and success is essentially gone.
+  EXPECT_GT(out.detection_rate(), 0.5);
+  EXPECT_LT(out.success_rate(), 0.05);
+  EXPECT_GT(out.distinct_outcomes, 1u);  // retries are non-deterministic
+}
+
+TEST_F(AttackTest, OverflowPolarMetadataLeakBypasses) {
+  // §VI-A: POLaR's metadata is hidden, not hardware-protected. An attacker
+  // who can read it reconstructs the layout and writes the canaries back.
+  AttackConfig cfg = config(DefenseKind::kPolar);
+  cfg.attacker_knows_metadata = true;
+  const AttackOutcome out = run_linear_overflow(reg_, types_, cfg);
+  // The leak wins whenever the drawn layout is forward-exploitable
+  // (handler placed after the buffer, ~half of all permutations) and is
+  // never detected: the attacker rewrites the canaries it read.
+  EXPECT_GT(out.success_rate(), 0.3);
+  EXPECT_LT(out.detection_rate(), 0.05);
+}
+
+TEST_F(AttackTest, OverflowSealedMetadataNeutralizesLeak) {
+  // §VI-A's planned hardening: with metadata in a protected region, the
+  // leak yields nothing and the attack degrades to the blind case.
+  AttackConfig cfg = config(DefenseKind::kPolar);
+  cfg.attacker_knows_metadata = true;
+  cfg.metadata_sealed = true;
+  const AttackOutcome out = run_linear_overflow(reg_, types_, cfg);
+  EXPECT_LT(out.success_rate(), 0.05);
+  EXPECT_GT(out.detection_rate(), 0.5);
+}
+
+// --------------------------------------------------------- use-before-init
+
+TEST_F(AttackTest, UseBeforeInitNoDefenseReadsGroomedPayload) {
+  const AttackOutcome out =
+      run_use_before_init(reg_, types_, config(DefenseKind::kNone));
+  EXPECT_EQ(out.successes, out.attempts);
+  EXPECT_EQ(out.distinct_outcomes, 1u);
+}
+
+TEST_F(AttackTest, UseBeforeInitStaticOlrDeterministicPerBinary) {
+  AttackConfig cfg = config(DefenseKind::kStaticOlr);
+  const AttackOutcome blind = run_use_before_init(reg_, types_, cfg);
+  cfg.attacker_knows_binary = true;
+  const AttackOutcome informed = run_use_before_init(reg_, types_, cfg);
+  EXPECT_EQ(informed.successes, informed.attempts);  // groom at true offsets
+  EXPECT_EQ(blind.distinct_outcomes, 1u);            // rehearsable either way
+}
+
+TEST_F(AttackTest, UseBeforeInitPolarZeroFillKills) {
+  const AttackOutcome out =
+      run_use_before_init(reg_, types_, config(DefenseKind::kPolar));
+  EXPECT_EQ(out.successes, 0u);
+}
+
+// --------------------------------------------------------------- invariants
+
+class AttackMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AttackMatrix, CountsAlwaysConsistent) {
+  TypeRegistry reg;
+  const AttackTypes types = register_attack_types(reg);
+  AttackConfig cfg;
+  cfg.defense = static_cast<DefenseKind>(std::get<0>(GetParam()));
+  cfg.trials = 60;
+  cfg.seed = 5 + static_cast<std::uint64_t>(std::get<1>(GetParam()));
+  cfg.attacker_knows_binary = (std::get<1>(GetParam()) % 2) == 0;
+  cfg.strict_typed_access = (std::get<1>(GetParam()) % 3) == 0;
+
+  for (const AttackOutcome& out :
+       {run_uaf_fake_object(reg, types, cfg),
+        run_uaf_reclaim(reg, types, cfg, false),
+        run_uaf_reclaim(reg, types, cfg, true),
+        run_type_confusion(reg, types, cfg),
+        run_linear_overflow(reg, types, cfg),
+        run_use_before_init(reg, types, cfg)}) {
+    EXPECT_EQ(out.attempts, cfg.trials);
+    EXPECT_EQ(out.successes + out.detected + out.failed, out.attempts);
+    EXPECT_GE(out.distinct_outcomes, 1u);
+    EXPECT_LE(out.distinct_outcomes, out.attempts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDefenses, AttackMatrix,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 4)));
+
+TEST(AttackTypes, ShapesMatchScenarioAssumptions) {
+  TypeRegistry reg;
+  const AttackTypes t = register_attack_types(reg);
+  // Victim and both sprays share a natural size class (32 bytes).
+  EXPECT_EQ(reg.info(t.victim).natural_size, 32u);
+  EXPECT_EQ(reg.info(t.spray_full).natural_size, 32u);
+  EXPECT_EQ(reg.info(t.spray_small).natural_size, 32u);
+  EXPECT_EQ(reg.info(t.spray_small).field_count(), 3u);  // < index 3
+  // Confused.user_id naturally overlaps Victim.handler (both offset 0).
+  EXPECT_EQ(reg.info(t.confused).natural_offsets[0], 0u);
+  EXPECT_EQ(reg.info(t.victim).natural_offsets[0], 0u);
+}
+
+}  // namespace
+}  // namespace polar

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/static_olr.h"
+
+namespace polar {
+namespace {
+
+TypeId make_people(TypeRegistry& reg) {
+  return TypeBuilder(reg, "People")
+      .fn_ptr("vtable")
+      .field<int>("age")
+      .field<int>("height")
+      .build();
+}
+
+TEST(StaticOlr, SameSeedSameLayoutAcrossExecutions) {
+  // The reproduction problem (§III-B-2): rebuilding the same "binary"
+  // yields identical layouts, and so does re-running it.
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  LayoutPolicy policy;
+  StaticOlr run1(reg, policy, /*binary_seed=*/77);
+  StaticOlr run2(reg, policy, /*binary_seed=*/77);
+  EXPECT_EQ(run1.layout_of(people).offsets, run2.layout_of(people).offsets);
+  EXPECT_EQ(run1.layout_of(people).size, run2.layout_of(people).size);
+}
+
+TEST(StaticOlr, DifferentBinarySeedsDiversify) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  LayoutPolicy policy;
+  std::set<std::vector<std::uint32_t>> layouts;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    layouts.insert(StaticOlr(reg, policy, seed).layout_of(people).offsets);
+  }
+  EXPECT_GE(layouts.size(), 4u);
+}
+
+TEST(StaticOlr, AllInstancesShareTheBinaryLayout) {
+  // The weakness POLaR fixes: every allocation of a type has one layout.
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  StaticOlr olr(reg, LayoutPolicy{}, 5);
+  void* a = olr.alloc(people);
+  void* b = olr.alloc(people);
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    const auto off_a = static_cast<unsigned char*>(olr.field_ptr(a, people, f)) -
+                       static_cast<unsigned char*>(a);
+    const auto off_b = static_cast<unsigned char*>(olr.field_ptr(b, people, f)) -
+                       static_cast<unsigned char*>(b);
+    EXPECT_EQ(off_a, off_b);
+  }
+  olr.free_object(a, people);
+  olr.free_object(b, people);
+}
+
+TEST(StaticOlr, LoadStoreRoundTrip) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  StaticOlr olr(reg, LayoutPolicy{}, 9);
+  void* p = olr.alloc(people);
+  olr.store<int>(p, people, 1, 30);
+  olr.store<int>(p, people, 2, 180);
+  EXPECT_EQ((olr.load<int>(p, people, 1)), 30);
+  EXPECT_EQ((olr.load<int>(p, people, 2)), 180);
+  void* q = olr.clone_object(p, people);
+  EXPECT_EQ((olr.load<int>(q, people, 2)), 180);
+  olr.free_object(p, people);
+  olr.free_object(q, people);
+}
+
+TEST(StaticOlr, LayoutDiffersFromNaturalUsually) {
+  TypeRegistry reg;
+  TypeBuilder b(reg, "Wide");
+  for (int i = 0; i < 8; ++i) b.field<std::uint64_t>("f" + std::to_string(i));
+  const TypeId id = b.build();
+  int same = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    StaticOlr olr(reg, LayoutPolicy{}, seed);
+    same += (olr.layout_of(id).offsets == reg.info(id).natural_offsets);
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(StaticOlr, MultiTypeRegistryEachTypeRandomized) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  const TypeId other = TypeBuilder(reg, "Other")
+                           .field<int>("a")
+                           .field<int>("b")
+                           .ptr("c")
+                           .build();
+  StaticOlr olr(reg, LayoutPolicy{}, 3);
+  EXPECT_EQ(olr.layout_of(people).offsets.size(), 3u);
+  EXPECT_EQ(olr.layout_of(other).offsets.size(), 3u);
+}
+
+}  // namespace
+}  // namespace polar

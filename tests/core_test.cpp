@@ -1,0 +1,788 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/layout.h"
+#include "core/metadata.h"
+#include "core/runtime.h"
+#include "core/space.h"
+#include "core/type_registry.h"
+
+namespace polar {
+namespace {
+
+// ----------------------------------------------------------- type registry
+
+TypeId make_people(TypeRegistry& reg) {
+  return TypeBuilder(reg, "People")
+      .fn_ptr("vtable")
+      .field<int>("age")
+      .field<int>("height")
+      .build();
+}
+
+TEST(TypeRegistry, NaturalLayoutMatchesCompilerRules) {
+  TypeRegistry reg;
+  const TypeId id = make_people(reg);
+  const TypeInfo& info = reg.info(id);
+  // vtable at 0, age at 8, height at 12 — the paper's Fig. 1 example.
+  ASSERT_EQ(info.natural_offsets.size(), 3u);
+  EXPECT_EQ(info.natural_offsets[0], 0u);
+  EXPECT_EQ(info.natural_offsets[1], 8u);
+  EXPECT_EQ(info.natural_offsets[2], 12u);
+  EXPECT_EQ(info.natural_size, 16u);
+  EXPECT_EQ(info.natural_align, 8u);
+}
+
+TEST(TypeRegistry, PaddingInsertedForAlignment) {
+  TypeRegistry reg;
+  const TypeId id = TypeBuilder(reg, "Padded")
+                        .field<char>("tag")
+                        .field<double>("value")
+                        .field<char>("tail")
+                        .build();
+  const TypeInfo& info = reg.info(id);
+  EXPECT_EQ(info.natural_offsets[0], 0u);
+  EXPECT_EQ(info.natural_offsets[1], 8u);
+  EXPECT_EQ(info.natural_offsets[2], 16u);
+  EXPECT_EQ(info.natural_size, 24u);
+}
+
+TEST(TypeRegistry, FindByNameAndHash) {
+  TypeRegistry reg;
+  const TypeId id = make_people(reg);
+  EXPECT_EQ(reg.find("People")->value, id.value);
+  EXPECT_FALSE(reg.find("NoSuch").has_value());
+  const std::uint64_t h = reg.info(id).class_hash;
+  EXPECT_EQ(reg.find_by_hash(h)->value, id.value);
+}
+
+TEST(TypeRegistry, ClassHashStableAcrossRegistries) {
+  TypeRegistry a, b;
+  const TypeId ia = make_people(a);
+  TypeBuilder(b, "Other").field<int>("x").build();
+  const TypeId ib = make_people(b);
+  EXPECT_EQ(a.info(ia).class_hash, b.info(ib).class_hash);
+}
+
+TEST(TypeRegistry, ClassHashSensitiveToFieldKind) {
+  TypeRegistry a, b;
+  const TypeId ia =
+      TypeBuilder(a, "T").field<std::uint64_t>("x").build();
+  const TypeId ib = TypeBuilder(b, "T").ptr("x").build();
+  EXPECT_NE(a.info(ia).class_hash, b.info(ib).class_hash);
+}
+
+// ------------------------------------------------------- layout properties
+
+struct LayoutCase {
+  const char* name;
+  std::vector<FieldInfo> fields;
+};
+
+const std::vector<LayoutCase>& layout_cases() {
+  static const std::vector<LayoutCase> kCases{
+      {"people",
+       {{"vtable", 8, 8, FieldKind::kFunctionPointer},
+        {"age", 4, 4, FieldKind::kScalar},
+        {"height", 4, 4, FieldKind::kScalar}}},
+      {"single", {{"only", 8, 8, FieldKind::kScalar}}},
+      {"mixed",
+       {{"a", 1, 1, FieldKind::kScalar},
+        {"b", 8, 8, FieldKind::kPointer},
+        {"c", 2, 2, FieldKind::kScalar},
+        {"d", 4, 4, FieldKind::kScalar},
+        {"e", 8, 8, FieldKind::kFunctionPointer},
+        {"f", 16, 1, FieldKind::kBytes}}},
+      {"many_small",
+       {{"f0", 1, 1, FieldKind::kScalar},
+        {"f1", 1, 1, FieldKind::kScalar},
+        {"f2", 1, 1, FieldKind::kScalar},
+        {"f3", 1, 1, FieldKind::kScalar},
+        {"f4", 1, 1, FieldKind::kScalar},
+        {"f5", 1, 1, FieldKind::kScalar},
+        {"f6", 1, 1, FieldKind::kScalar},
+        {"f7", 1, 1, FieldKind::kScalar}}},
+      {"big_blob",
+       {{"hdr", 8, 8, FieldKind::kPointer},
+        {"payload", 256, 8, FieldKind::kBytes},
+        {"len", 4, 4, FieldKind::kScalar}}},
+  };
+  return kCases;
+}
+
+class LayoutProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  TypeInfo make_type() {
+    const LayoutCase& c = layout_cases()[static_cast<std::size_t>(
+        std::get<0>(GetParam()))];
+    TypeInfo info;
+    info.name = c.name;
+    info.fields = c.fields;
+    compute_natural_layout(info);
+    return info;
+  }
+};
+
+bool regions_disjoint(
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> regions) {
+  std::sort(regions.begin(), regions.end());
+  for (std::size_t i = 1; i < regions.size(); ++i) {
+    if (regions[i - 1].first + regions[i - 1].second > regions[i].first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST_P(LayoutProperty, RandomizedLayoutIsWellFormed) {
+  const TypeInfo info = make_type();
+  Rng rng(std::get<1>(GetParam()));
+  LayoutPolicy policy;  // defaults: traps on, 1-3 dummies
+  for (int iter = 0; iter < 50; ++iter) {
+    const Layout layout = randomize_layout(info, policy, rng);
+
+    ASSERT_EQ(layout.offsets.size(), info.fields.size());
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> regions;
+    for (std::size_t f = 0; f < info.fields.size(); ++f) {
+      // Alignment respected.
+      EXPECT_EQ(layout.offsets[f] % info.fields[f].align, 0u)
+          << info.name << " field " << f;
+      // Field inside the object.
+      EXPECT_LE(layout.offsets[f] + info.fields[f].size, layout.size);
+      regions.emplace_back(layout.offsets[f], info.fields[f].size);
+    }
+    for (const TrapRegion& t : layout.traps) {
+      EXPECT_LE(t.offset + t.size, layout.size);
+      regions.emplace_back(t.offset, t.size);
+    }
+    // No overlaps among fields and traps.
+    EXPECT_TRUE(regions_disjoint(regions)) << info.name;
+    // Object at least as large as the natural representation.
+    EXPECT_GE(layout.size, info.natural_size);
+    EXPECT_EQ(layout.size % info.natural_align, 0u);
+    EXPECT_EQ(layout.hash, layout.compute_hash());
+  }
+}
+
+TEST_P(LayoutProperty, TrapsGuardEverySensitiveField) {
+  const TypeInfo info = make_type();
+  Rng rng(std::get<1>(GetParam()) ^ 0xbeef);
+  LayoutPolicy policy;
+  const Layout layout = randomize_layout(info, policy, rng);
+  for (std::size_t f = 0; f < info.fields.size(); ++f) {
+    if (!is_pointer_kind(info.fields[f].kind)) continue;
+    // Some trap must end at or before this field and be the closest
+    // preceding region (the "prepended booby trap" of §IV-A-3). We check
+    // the weaker, stable property: a guarding trap exists strictly below
+    // the field with no other *field* between them.
+    bool guarded = false;
+    for (const TrapRegion& t : layout.traps) {
+      if (!t.guards_sensitive || t.offset >= layout.offsets[f]) continue;
+      bool field_between = false;
+      for (std::size_t g = 0; g < info.fields.size(); ++g) {
+        if (g == f) continue;
+        if (layout.offsets[g] >= t.offset + t.size &&
+            layout.offsets[g] < layout.offsets[f]) {
+          field_between = true;
+          break;
+        }
+      }
+      if (!field_between) {
+        guarded = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(guarded) << info.name << " field " << info.fields[f].name;
+  }
+}
+
+TEST_P(LayoutProperty, NoPermuteNoTrapKeepsDeclaredOrder) {
+  const TypeInfo info = make_type();
+  Rng rng(std::get<1>(GetParam()));
+  LayoutPolicy policy;
+  policy.permute = false;
+  policy.booby_traps = false;
+  policy.min_dummies = 0;
+  policy.max_dummies = 0;
+  const Layout layout = randomize_layout(info, policy, rng);
+  EXPECT_EQ(layout.offsets, info.natural_offsets);
+  EXPECT_EQ(layout.size, info.natural_size);
+  EXPECT_TRUE(layout.traps.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutProperty,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(1u, 99u, 0xdeadu)),
+    [](const auto& pi) {
+      return std::string(layout_cases()[static_cast<std::size_t>(
+                             std::get<0>(pi.param))]
+                             .name) +
+             "_seed" + std::to_string(std::get<1>(pi.param));
+    });
+
+TEST(Layout, PermutationSpaceFactorial) {
+  TypeRegistry reg;
+  const TypeId id = make_people(reg);
+  LayoutPolicy policy;
+  EXPECT_EQ(permutation_space(reg.info(id), policy), 6u);  // 3!
+  policy.permute = false;
+  EXPECT_EQ(permutation_space(reg.info(id), policy), 1u);
+}
+
+TEST(Layout, PermutationSpaceSaturates) {
+  TypeRegistry reg;
+  TypeBuilder b(reg, "Wide");
+  for (int i = 0; i < 30; ++i) b.field<int>("f" + std::to_string(i));
+  const TypeId id = b.build();
+  EXPECT_EQ(permutation_space(reg.info(id), LayoutPolicy{}),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Layout, DistinctAllocationsGetDistinctLayouts) {
+  // The core claim: per-allocation diversity for one type. With 6 perms x
+  // dummy variation, 64 draws should produce many distinct layouts.
+  TypeRegistry reg;
+  const TypeId id = make_people(reg);
+  Rng rng(123);
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 64; ++i) {
+    hashes.insert(randomize_layout(reg.info(id), LayoutPolicy{}, rng).hash);
+  }
+  EXPECT_GE(hashes.size(), 20u);
+}
+
+TEST(Layout, AllPermutationsReachable) {
+  TypeRegistry reg;
+  const TypeId id = make_people(reg);
+  LayoutPolicy policy;
+  policy.min_dummies = 0;
+  policy.max_dummies = 0;
+  policy.booby_traps = false;
+  Rng rng(7);
+  std::set<std::vector<std::uint32_t>> orders;
+  for (int i = 0; i < 500; ++i) {
+    orders.insert(randomize_layout(reg.info(id), policy, rng).offsets);
+  }
+  EXPECT_EQ(orders.size(), 6u);  // all 3! orderings observed
+}
+
+// ---------------------------------------------------------------- interner
+
+TEST(LayoutInterner, DedupSharesIdenticalLayouts) {
+  TypeRegistry reg;
+  const TypeId id = make_people(reg);
+  LayoutPolicy policy;
+  policy.permute = false;
+  policy.booby_traps = false;
+  policy.min_dummies = 0;
+  policy.max_dummies = 0;
+  Rng rng(1);
+  LayoutInterner interner(/*dedup_enabled=*/true);
+  bool reused = false;
+  const Layout* a = interner.intern(randomize_layout(reg.info(id), policy, rng),
+                                    reused);
+  EXPECT_FALSE(reused);
+  const Layout* b = interner.intern(randomize_layout(reg.info(id), policy, rng),
+                                    reused);
+  EXPECT_TRUE(reused);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interner.live_layouts(), 1u);
+  interner.release(a);
+  EXPECT_EQ(interner.live_layouts(), 1u);  // still referenced by b
+  interner.release(b);
+  EXPECT_EQ(interner.live_layouts(), 0u);
+}
+
+TEST(LayoutInterner, NoDedupKeepsSeparateRecords) {
+  TypeRegistry reg;
+  const TypeId id = make_people(reg);
+  LayoutPolicy policy;
+  policy.permute = false;
+  policy.booby_traps = false;
+  policy.min_dummies = 0;
+  policy.max_dummies = 0;
+  Rng rng(1);
+  LayoutInterner interner(/*dedup_enabled=*/false);
+  bool reused = false;
+  const Layout* a = interner.intern(randomize_layout(reg.info(id), policy, rng),
+                                    reused);
+  const Layout* b = interner.intern(randomize_layout(reg.info(id), policy, rng),
+                                    reused);
+  EXPECT_FALSE(reused);
+  EXPECT_NE(a, b);
+  interner.release(a);
+  interner.release(b);
+}
+
+// ----------------------------------------------------------- metadata table
+
+TEST(MetadataTable, InsertFindRemove) {
+  MetadataTable table(16);
+  std::vector<std::uint64_t> storage(100);
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    { ObjectRecord rec{}; rec.base = &storage[i]; rec.object_id = i; table.insert(rec); }
+  }
+  EXPECT_EQ(table.size(), 100u);
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    const ObjectRecord* rec = table.find(&storage[i]);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->object_id, i);
+  }
+  // Remove every other entry; the rest must stay findable (backward-shift
+  // deletion correctness).
+  for (std::size_t i = 0; i < storage.size(); i += 2) {
+    EXPECT_TRUE(table.remove(&storage[i]));
+  }
+  EXPECT_EQ(table.size(), 50u);
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    const ObjectRecord* rec = table.find(&storage[i]);
+    if (i % 2 == 0) {
+      EXPECT_EQ(rec, nullptr);
+    } else {
+      ASSERT_NE(rec, nullptr);
+      EXPECT_EQ(rec->object_id, i);
+    }
+  }
+}
+
+TEST(MetadataTable, RemoveAbsentReturnsFalse) {
+  MetadataTable table;
+  int x = 0;
+  EXPECT_FALSE(table.remove(&x));
+}
+
+TEST(MetadataTable, GrowsUnderLoad) {
+  MetadataTable table(16);
+  std::vector<std::uint64_t> storage(5000);
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    { ObjectRecord rec{}; rec.base = &storage[i]; rec.object_id = i; table.insert(rec); }
+  }
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    ASSERT_NE(table.find(&storage[i]), nullptr);
+  }
+}
+
+TEST(MetadataTable, ChurnStressKeepsConsistency) {
+  // Randomized insert/remove churn cross-checked against a std::map.
+  MetadataTable table(16);
+  std::map<void*, std::uint64_t> model;
+  std::vector<std::uint64_t> storage(512);
+  Rng rng(31);
+  std::uint64_t next_id = 1;
+  for (int step = 0; step < 20000; ++step) {
+    void* addr = &storage[rng.below(storage.size())];
+    if (model.contains(addr)) {
+      EXPECT_TRUE(table.remove(addr));
+      model.erase(addr);
+    } else {
+      { ObjectRecord rec{}; rec.base = addr; rec.object_id = next_id; table.insert(rec); }
+      model[addr] = next_id;
+      ++next_id;
+    }
+    if (step % 1000 == 0) {
+      EXPECT_EQ(table.size(), model.size());
+      for (const auto& [a, id] : model) {
+        const ObjectRecord* rec = table.find(a);
+        ASSERT_NE(rec, nullptr);
+        EXPECT_EQ(rec->object_id, id);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ offset cache
+
+TEST(OffsetCache, HitAfterStore) {
+  OffsetCache cache(8);
+  int obj = 0;
+  cache.store(&obj, 3, 24);
+  std::uint32_t off = 0;
+  EXPECT_TRUE(cache.lookup(&obj, 3, off));
+  EXPECT_EQ(off, 24u);
+  EXPECT_FALSE(cache.lookup(&obj, 4, off));
+}
+
+TEST(OffsetCache, InvalidateObjectDropsAllFields) {
+  OffsetCache cache(8);
+  int obj = 0;
+  for (std::uint32_t f = 0; f < 10; ++f) cache.store(&obj, f, f * 8);
+  cache.invalidate_object(&obj, 10);
+  std::uint32_t off = 0;
+  for (std::uint32_t f = 0; f < 10; ++f) {
+    EXPECT_FALSE(cache.lookup(&obj, f, off));
+  }
+}
+
+TEST(OffsetCache, ClearDropsEverything) {
+  OffsetCache cache(4);
+  int a = 0, b = 0;
+  cache.store(&a, 0, 8);
+  cache.store(&b, 1, 16);
+  cache.clear();
+  std::uint32_t off = 0;
+  EXPECT_FALSE(cache.lookup(&a, 0, off));
+  EXPECT_FALSE(cache.lookup(&b, 1, off));
+}
+
+// ---------------------------------------------------------------- runtime
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() {
+    people_ = make_people(reg_);
+    RuntimeConfig cfg;
+    cfg.seed = 2026;
+    cfg.on_violation = ErrorAction::kReport;
+    rt_ = std::make_unique<Runtime>(reg_, cfg);
+  }
+
+  TypeRegistry reg_;
+  TypeId people_;
+  std::unique_ptr<Runtime> rt_;
+};
+
+TEST_F(RuntimeTest, LoadStoreRoundTrip) {
+  void* p = rt_->olr_malloc(people_);
+  ASSERT_NE(p, nullptr);
+  rt_->store<std::uint64_t>(p, 0, 0xf00dULL);
+  rt_->store<int>(p, 1, 44);
+  rt_->store<int>(p, 2, 177);
+  EXPECT_EQ(rt_->load<std::uint64_t>(p, 0), 0xf00dULL);
+  EXPECT_EQ(rt_->load<int>(p, 1), 44);
+  EXPECT_EQ(rt_->load<int>(p, 2), 177);
+  EXPECT_TRUE(rt_->olr_free(p));
+}
+
+TEST_F(RuntimeTest, SameTypeInstancesGetDifferentLayouts) {
+  // The titular property: two live objects of one type rarely share the
+  // in-object layout.
+  std::set<const Layout*> layouts;
+  std::vector<void*> objs;
+  for (int i = 0; i < 32; ++i) {
+    void* p = rt_->olr_malloc(people_);
+    objs.push_back(p);
+    layouts.insert(rt_->inspect(p)->layout);
+  }
+  EXPECT_GE(layouts.size(), 8u);
+  for (void* p : objs) rt_->olr_free(p);
+}
+
+TEST_F(RuntimeTest, UseAfterFreeDetected) {
+  void* p = rt_->olr_malloc(people_);
+  rt_->olr_free(p);
+  EXPECT_EQ(rt_->olr_getptr(p, 1), nullptr);
+  EXPECT_EQ(rt_->last_violation(), Violation::kUseAfterFree);
+  EXPECT_EQ(rt_->stats().uaf_detected, 1u);
+}
+
+TEST_F(RuntimeTest, DoubleFreeDetected) {
+  void* p = rt_->olr_malloc(people_);
+  EXPECT_TRUE(rt_->olr_free(p));
+  EXPECT_FALSE(rt_->olr_free(p));
+  EXPECT_EQ(rt_->last_violation(), Violation::kDoubleFree);
+}
+
+TEST_F(RuntimeTest, BadFieldIndexDetected) {
+  void* p = rt_->olr_malloc(people_);
+  EXPECT_EQ(rt_->olr_getptr(p, 17), nullptr);
+  EXPECT_EQ(rt_->last_violation(), Violation::kBadField);
+  rt_->olr_free(p);
+}
+
+TEST_F(RuntimeTest, CacheDoesNotMaskUseAfterFree) {
+  void* p = rt_->olr_malloc(people_);
+  // Warm the cache.
+  EXPECT_NE(rt_->olr_getptr(p, 1), nullptr);
+  EXPECT_NE(rt_->olr_getptr(p, 1), nullptr);
+  EXPECT_GE(rt_->stats().cache_hits, 1u);
+  rt_->olr_free(p);
+  EXPECT_EQ(rt_->olr_getptr(p, 1), nullptr);
+  EXPECT_EQ(rt_->last_violation(), Violation::kUseAfterFree);
+}
+
+TEST_F(RuntimeTest, TrapDamageDetectedOnFreeAndCheck) {
+  void* p = rt_->olr_malloc(people_);
+  const ObjectRecord* rec = rt_->inspect(p);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_FALSE(rec->layout->traps.empty());
+  // Simulate a linear overwrite clobbering the first trap region.
+  const TrapRegion& trap = rec->layout->traps.front();
+  std::memset(static_cast<unsigned char*>(p) + trap.offset, 0x41, trap.size);
+  EXPECT_FALSE(rt_->check_traps(p));
+  EXPECT_EQ(rt_->last_violation(), Violation::kTrapDamaged);
+  rt_->clear_violation();
+  EXPECT_TRUE(rt_->olr_free(p));  // frees, but records the damage
+  EXPECT_EQ(rt_->last_violation(), Violation::kTrapDamaged);
+  EXPECT_GE(rt_->stats().traps_triggered, 2u);
+}
+
+TEST_F(RuntimeTest, TrapsIntactForNormalUse) {
+  void* p = rt_->olr_malloc(people_);
+  rt_->store<std::uint64_t>(p, 0, ~0ULL);
+  rt_->store<int>(p, 1, -1);
+  rt_->store<int>(p, 2, -1);
+  EXPECT_TRUE(rt_->check_traps(p));
+  rt_->olr_free(p);
+  EXPECT_EQ(rt_->stats().traps_triggered, 0u);
+}
+
+TEST_F(RuntimeTest, CloneCopiesValuesWithFreshLayout) {
+  void* a = rt_->olr_malloc(people_);
+  rt_->store<std::uint64_t>(a, 0, 0x1122334455667788ULL);
+  rt_->store<int>(a, 1, 7);
+  rt_->store<int>(a, 2, 9);
+  void* b = rt_->olr_clone(a);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rt_->load<std::uint64_t>(b, 0), 0x1122334455667788ULL);
+  EXPECT_EQ(rt_->load<int>(b, 1), 7);
+  EXPECT_EQ(rt_->load<int>(b, 2), 9);
+  EXPECT_EQ(rt_->stats().memcpys, 1u);
+  rt_->olr_free(a);
+  rt_->olr_free(b);
+}
+
+TEST_F(RuntimeTest, MemcpyBetweenTrackedObjects) {
+  void* a = rt_->olr_malloc(people_);
+  void* b = rt_->olr_malloc(people_);
+  rt_->store<int>(a, 2, 1234);
+  EXPECT_TRUE(rt_->olr_memcpy(b, a));
+  EXPECT_EQ(rt_->load<int>(b, 2), 1234);
+  rt_->olr_free(a);
+  rt_->olr_free(b);
+}
+
+TEST_F(RuntimeTest, MemcpyTypeMismatchRejected) {
+  const TypeId other = TypeBuilder(reg_, "Other").field<int>("x").build();
+  void* a = rt_->olr_malloc(people_);
+  void* b = rt_->olr_malloc(other);
+  EXPECT_FALSE(rt_->olr_memcpy(b, a));
+  EXPECT_EQ(rt_->last_violation(), Violation::kBadField);
+  rt_->olr_free(a);
+  rt_->olr_free(b);
+}
+
+TEST_F(RuntimeTest, StatsCountSites) {
+  void* a = rt_->olr_malloc(people_);
+  void* b = rt_->olr_clone(a);
+  rt_->load<int>(a, 1);
+  rt_->load<int>(a, 1);
+  rt_->olr_free(a);
+  rt_->olr_free(b);
+  const RuntimeStats& s = rt_->stats();
+  EXPECT_EQ(s.allocations, 1u);  // clone counts as memcpy, not allocation
+  EXPECT_EQ(s.memcpys, 1u);
+  EXPECT_EQ(s.frees, 2u);
+  EXPECT_GE(s.member_accesses, 2u);
+  EXPECT_GE(s.cache_hits, 1u);
+  EXPECT_GT(s.bytes_allocated, s.bytes_requested);
+}
+
+TEST_F(RuntimeTest, FreeAllReleasesEverything) {
+  for (int i = 0; i < 10; ++i) rt_->olr_malloc(people_);
+  EXPECT_EQ(rt_->live_objects(), 10u);
+  rt_->free_all();
+  EXPECT_EQ(rt_->live_objects(), 0u);
+  EXPECT_EQ(rt_->live_layouts(), 0u);
+}
+
+TEST(RuntimeConfigured, CacheDisabledStillCorrect) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.enable_cache = false;
+  Runtime rt(reg, cfg);
+  void* p = rt.olr_malloc(people);
+  rt.store<int>(p, 2, 5);
+  EXPECT_EQ(rt.load<int>(p, 2), 5);
+  EXPECT_EQ(rt.stats().cache_hits, 0u);
+  rt.olr_free(p);
+}
+
+TEST(RuntimeConfigured, DedupDisabledCreatesLayoutPerObject) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.dedup_layouts = false;
+  Runtime rt(reg, cfg);
+  std::vector<void*> objs;
+  for (int i = 0; i < 20; ++i) objs.push_back(rt.olr_malloc(people));
+  EXPECT_EQ(rt.stats().layouts_created, 20u);
+  EXPECT_EQ(rt.stats().layouts_deduped, 0u);
+  for (void* p : objs) rt.olr_free(p);
+}
+
+TEST(RuntimeConfigured, DedupKicksInForNarrowPolicy) {
+  TypeRegistry reg;
+  const TypeId id = TypeBuilder(reg, "Two")
+                        .field<std::uint64_t>("a")
+                        .field<std::uint64_t>("b")
+                        .build();
+  RuntimeConfig cfg;
+  cfg.policy.min_dummies = 0;
+  cfg.policy.max_dummies = 0;
+  cfg.policy.booby_traps = false;
+  Runtime rt(reg, cfg);
+  // Only 2 layouts possible -> heavy dedup among 50 allocations.
+  std::vector<void*> objs;
+  for (int i = 0; i < 50; ++i) objs.push_back(rt.olr_malloc(id));
+  EXPECT_LE(rt.stats().layouts_created, 2u);
+  EXPECT_GE(rt.stats().layouts_deduped, 48u);
+  EXPECT_LE(rt.live_layouts(), 2u);
+  for (void* p : objs) rt.olr_free(p);
+}
+
+TEST(RuntimeConfigured, NoRerandomizeCloneSharesLayout) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.rerandomize_on_copy = false;
+  Runtime rt(reg, cfg);
+  void* a = rt.olr_malloc(people);
+  rt.store<int>(a, 1, 21);
+  void* b = rt.olr_clone(a);
+  EXPECT_EQ(rt.inspect(a)->layout, rt.inspect(b)->layout);
+  EXPECT_EQ(rt.load<int>(b, 1), 21);
+  rt.olr_free(a);
+  rt.olr_free(b);
+}
+
+TEST(RuntimeConfigured, CustomAllocatorHooksUsed) {
+  struct Counter {
+    std::size_t allocs = 0;
+    std::size_t frees = 0;
+  } counter;
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.alloc_fn = [](std::size_t size, void* ctx) {
+    ++static_cast<Counter*>(ctx)->allocs;
+    return ::operator new(size);
+  };
+  cfg.free_fn = [](void* p, std::size_t, void* ctx) {
+    ++static_cast<Counter*>(ctx)->frees;
+    ::operator delete(p);
+  };
+  cfg.alloc_ctx = &counter;
+  Runtime rt(reg, cfg);
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  EXPECT_EQ(counter.allocs, 1u);
+  EXPECT_EQ(counter.frees, 1u);
+}
+
+// Property sweep: load/store round trips hold for every policy variation.
+class RuntimePolicyProperty
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool, int>> {};
+
+TEST_P(RuntimePolicyProperty, RoundTripUnderAnyPolicy) {
+  const auto [cache, dedup, traps, dummies] = GetParam();
+  TypeRegistry reg;
+  const TypeId id = TypeBuilder(reg, "Rec")
+                        .ptr("next")
+                        .field<double>("weight")
+                        .field<std::uint16_t>("tag")
+                        .field<std::uint8_t>("flag")
+                        .bytes("name", 24)
+                        .build();
+  RuntimeConfig cfg;
+  cfg.enable_cache = cache;
+  cfg.dedup_layouts = dedup;
+  cfg.policy.booby_traps = traps;
+  cfg.policy.min_dummies = 0;
+  cfg.policy.max_dummies = static_cast<std::uint32_t>(dummies);
+  cfg.seed = 555;
+  Runtime rt(reg, cfg);
+
+  Rng data(99);
+  std::vector<void*> objs;
+  std::vector<std::tuple<std::uint64_t, double, std::uint16_t, std::uint8_t>>
+      expect;
+  for (int i = 0; i < 100; ++i) {
+    void* p = rt.olr_malloc(id);
+    const std::uint64_t next = data.next();
+    const double weight = data.uniform();
+    const auto tag = static_cast<std::uint16_t>(data.next());
+    const auto flag = static_cast<std::uint8_t>(data.next());
+    rt.store(p, 0, next);
+    rt.store(p, 1, weight);
+    rt.store(p, 2, tag);
+    rt.store(p, 3, flag);
+    objs.push_back(p);
+    expect.emplace_back(next, weight, tag, flag);
+  }
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    const auto& [next, weight, tag, flag] = expect[i];
+    EXPECT_EQ(rt.load<std::uint64_t>(objs[i], 0), next);
+    EXPECT_EQ(rt.load<double>(objs[i], 1), weight);
+    EXPECT_EQ(rt.load<std::uint16_t>(objs[i], 2), tag);
+    EXPECT_EQ(rt.load<std::uint8_t>(objs[i], 3), flag);
+    EXPECT_TRUE(rt.check_traps(objs[i]));
+  }
+  for (void* p : objs) EXPECT_TRUE(rt.olr_free(p));
+  EXPECT_EQ(rt.stats().traps_triggered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, RuntimePolicyProperty,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(0, 3)),
+    [](const auto& pi) {
+      return std::string("cache") + (std::get<0>(pi.param) ? "1" : "0") +
+             "_dedup" + (std::get<1>(pi.param) ? "1" : "0") + "_traps" +
+             (std::get<2>(pi.param) ? "1" : "0") + "_dum" +
+             std::to_string(std::get<3>(pi.param));
+    });
+
+// ------------------------------------------------------------------ spaces
+
+template <class MakeSpace>
+void exercise_space(MakeSpace make) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  auto space_holder = make(reg);
+  auto& space = *space_holder.space;
+
+  void* p = space.alloc(people);
+  space.template store<int>(p, people, 2, 17);
+  EXPECT_EQ((space.template load<int>(p, people, 2)), 17);
+  void* q = space.clone_object(p, people);
+  EXPECT_EQ((space.template load<int>(q, people, 2)), 17);
+  space.template store<int>(q, people, 2, 18);
+  space.copy_object(p, q, people);
+  EXPECT_EQ((space.template load<int>(p, people, 2)), 18);
+  space.free_object(p, people);
+  space.free_object(q, people);
+}
+
+TEST(Spaces, DirectSpaceSemantics) {
+  struct Holder {
+    std::unique_ptr<DirectSpace> space;
+  };
+  exercise_space([](TypeRegistry& reg) {
+    return Holder{std::make_unique<DirectSpace>(reg)};
+  });
+}
+
+TEST(Spaces, PolarSpaceSemantics) {
+  struct Holder {
+    std::unique_ptr<Runtime> rt;
+    std::unique_ptr<PolarSpace> space;
+  };
+  exercise_space([](TypeRegistry& reg) {
+    Holder h;
+    h.rt = std::make_unique<Runtime>(reg, RuntimeConfig{});
+    h.space = std::make_unique<PolarSpace>(*h.rt);
+    return h;
+  });
+}
+
+}  // namespace
+}  // namespace polar

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "fuzz/coverage.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/mutator.h"
+
+namespace polar {
+namespace {
+
+TEST(CoverageMap, BucketingMatchesAfl) {
+  EXPECT_EQ(CoverageMap::bucket(0), 0);
+  EXPECT_EQ(CoverageMap::bucket(1), 1);
+  EXPECT_EQ(CoverageMap::bucket(2), 2);
+  EXPECT_EQ(CoverageMap::bucket(3), 3);
+  EXPECT_EQ(CoverageMap::bucket(5), 4);
+  EXPECT_EQ(CoverageMap::bucket(12), 5);
+  EXPECT_EQ(CoverageMap::bucket(20), 6);
+  EXPECT_EQ(CoverageMap::bucket(100), 7);
+  EXPECT_EQ(CoverageMap::bucket(255), 8);
+}
+
+TEST(CoverageMap, MergeReportsOnlyNewFeatures) {
+  CoverageMap map;
+  map.hit_edge(5);
+  std::array<std::uint16_t, CoverageMap::kMapSize> global{};
+  EXPECT_EQ(map.merge_new_features(global), 1u);
+  EXPECT_EQ(map.merge_new_features(global), 0u);  // same features again
+  map.hit_edge(5);  // now count 2 -> new bucket
+  EXPECT_EQ(map.merge_new_features(global), 1u);
+}
+
+TEST(CoverageMap, EdgeIdentityDependsOnPath) {
+  // Visiting A then B covers a different edge than B then A.
+  CoverageMap ab, ba;
+  {
+    CoverageScope scope(ab);
+    cov_site(100);
+    cov_site(200);
+  }
+  {
+    CoverageScope scope(ba);
+    cov_site(200);
+    cov_site(100);
+  }
+  std::array<std::uint16_t, CoverageMap::kMapSize> global{};
+  ab.merge_new_features(global);
+  EXPECT_GT(ba.merge_new_features(global), 0u);  // ba found something new
+}
+
+TEST(CoverageMap, NoScopeNoCrash) {
+  cov_site(42);  // must be a no-op outside a scope
+  POLAR_COV_SITE();
+}
+
+TEST(Mutator, ProducesVariedOutputsWithinCap) {
+  Mutator m(5);
+  std::set<std::vector<std::uint8_t>> variants;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> data{'h', 'e', 'l', 'l', 'o'};
+    m.mutate(data, {}, 64);
+    EXPECT_LE(data.size(), 64u);
+    EXPECT_FALSE(data.empty());
+    variants.insert(data);
+  }
+  EXPECT_GT(variants.size(), 100u);
+}
+
+TEST(Mutator, RespectsMaxSizeOnGrowth) {
+  Mutator m(6);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> data(16, 0xaa);
+    m.mutate(data, {}, 16);
+    EXPECT_LE(data.size(), 16u);
+  }
+}
+
+TEST(Mutator, DictionaryTokensAppear) {
+  Mutator m(7);
+  const std::vector<std::uint8_t> token{'M', 'A', 'G', 'C'};
+  m.add_dictionary_token(token);
+  int appearances = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> data(12, 0);
+    m.mutate(data, {}, 64);
+    for (std::size_t j = 0; j + token.size() <= data.size(); ++j) {
+      if (std::memcmp(&data[j], token.data(), token.size()) == 0) {
+        ++appearances;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(appearances, 10);
+}
+
+TEST(Mutator, SpliceDrawsFromOtherInput) {
+  Mutator m(8);
+  const std::vector<std::uint8_t> other(32, 0x77);
+  int borrowed = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> data(8, 0x11);
+    m.mutate(data, other, 64);
+    borrowed += std::count(data.begin(), data.end(), 0x77) > 4;
+  }
+  EXPECT_GT(borrowed, 5);
+}
+
+// A toy target with nested input-dependent branches: reaching "deep" needs
+// the right magic bytes, which pure random search essentially never finds
+// but coverage guidance does.
+void toy_target(std::span<const std::uint8_t> in, bool* reached_deep) {
+  POLAR_COV_SITE();
+  if (in.size() < 4) return;
+  if (in[0] == 'P') {
+    POLAR_COV_SITE();
+    if (in[1] == 'O') {
+      POLAR_COV_SITE();
+      if (in[2] == 'L') {
+        POLAR_COV_SITE();
+        if (in[3] == 'R') {
+          POLAR_COV_SITE();
+          if (reached_deep != nullptr) *reached_deep = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(Fuzzer, CoverageGuidanceReachesDeepBranch) {
+  bool reached = false;
+  Fuzzer fuzzer([&](std::span<const std::uint8_t> in) {
+    toy_target(in, &reached);
+  }, Fuzzer::Options{.seed = 1234, .max_input_size = 16});
+  fuzzer.add_seed({'P', 'x', 'x', 'x'});
+  fuzzer.run(60000);
+  EXPECT_TRUE(reached);
+  EXPECT_GE(fuzzer.corpus().size(), 4u);  // one entry per peeled layer
+}
+
+TEST(Fuzzer, StatsAreConsistent) {
+  Fuzzer fuzzer([](std::span<const std::uint8_t> in) {
+    POLAR_COV_SITE();
+    if (!in.empty() && in[0] == 'A') POLAR_COV_SITE();
+  }, Fuzzer::Options{.seed = 5});
+  const FuzzStats& s = fuzzer.run(2000);
+  EXPECT_EQ(s.executions, 2001u);  // bootstrap + iterations
+  EXPECT_GE(s.corpus_additions, 1u);
+  EXPECT_EQ(fuzzer.corpus().size(), s.corpus_additions);
+  EXPECT_GT(s.features, 0u);
+}
+
+TEST(Fuzzer, StallLimitStopsEarly) {
+  Fuzzer fuzzer([](std::span<const std::uint8_t>) { POLAR_COV_SITE(); },
+                Fuzzer::Options{.seed = 6, .stall_limit = 100});
+  const FuzzStats& s = fuzzer.run(100000);
+  EXPECT_LT(s.executions, 1000u);
+}
+
+TEST(Fuzzer, TargetWithoutCoverageStillRuns) {
+  std::uint64_t calls = 0;
+  Fuzzer fuzzer([&](std::span<const std::uint8_t>) { ++calls; },
+                Fuzzer::Options{.seed = 7});
+  fuzzer.run(50);
+  EXPECT_GE(calls, 51u);
+}
+
+TEST(Fuzzer, DeterministicForSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Fuzzer fuzzer([](std::span<const std::uint8_t> in) {
+      POLAR_COV_SITE();
+      if (in.size() > 3 && in[0] == 'Z') POLAR_COV_SITE();
+      if (in.size() > 8) POLAR_COV_SITE();
+    }, Fuzzer::Options{.seed = seed});
+    fuzzer.run(500);
+    return fuzzer.stats().features;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+}
+
+}  // namespace
+}  // namespace polar

@@ -1,0 +1,217 @@
+// End-to-end pipeline tests: the full POLaR workflow of paper Fig. 3 —
+// TaintClass discovers input-dependent types, that feedback drives the
+// instrumentation pass selectively, and the hardened program keeps its
+// semantics while gaining detection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/heap.h"
+#include "fuzz/fuzzer.h"
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "ir/polar_pass.h"
+#include "ir/verifier.h"
+#include "taintclass/taint_space.h"
+#include "workloads/minipng.h"
+
+namespace polar {
+namespace {
+
+// A little "message server" scenario: Request objects are filled from
+// untrusted input, Config objects are internal. The IR program processes a
+// request; TaintClass should select Request (not Config), the pass should
+// instrument only Request sites, and the instrumented program must behave
+// identically.
+struct Scenario {
+  TypeRegistry reg;
+  TypeId request;
+  TypeId config;
+
+  Scenario() {
+    request = TypeBuilder(reg, "Request")
+                  .field<std::uint32_t>("opcode")
+                  .field<std::uint64_t>("payload")
+                  .ptr("next")
+                  .build();
+    config = TypeBuilder(reg, "Config")
+                 .field<std::uint32_t>("verbosity")
+                 .field<std::uint64_t>("limits")
+                 .build();
+  }
+
+  /// process(opcode, payload) -> opcode * 1000 + payload, via objects.
+  ir::Module build_program() const {
+    ir::FunctionBuilder b("process", 2);
+    const ir::Reg req = b.alloc(request);
+    const ir::Reg cfg = b.gep(b.alloc(config), config, 0);
+    b.store(cfg, b.const64(1), ir::Width::kW32);
+    b.store(b.gep(req, request, 0), b.param(0), ir::Width::kW32);
+    b.store(b.gep(req, request, 1), b.param(1));
+    const ir::Reg opcode = b.load(b.gep(req, request, 0), ir::Width::kW32);
+    const ir::Reg payload = b.load(b.gep(req, request, 1));
+    const ir::Reg out = b.add(b.mul(opcode, b.const64(1000)), payload);
+    b.free_obj(req, request);
+    b.ret(out);
+    ir::Module m;
+    m.functions.push_back(std::move(b).build());
+    return m;
+  }
+};
+
+TEST(Pipeline, TaintFeedbackDrivesSelectivePass) {
+  Scenario sc;
+
+  // --- stage 1: TaintClass run over the input-handling code ---------------
+  TaintDomain domain;
+  TaintClassMonitor monitor(sc.reg);
+  TaintClassSpace tspace(sc.reg, domain, monitor);
+  {
+    TaintScope scope(domain);
+    std::uint8_t wire[12] = {7, 0, 0, 0, 42, 0, 0, 0, 0, 0, 0, 0};
+    domain.taint_input(wire, sizeof(wire), "socket");
+    void* req = tspace.alloc(sc.request);
+    tspace.store_t(req, sc.request, 0, load_tainted<std::uint32_t>(domain, wire));
+    tspace.store_t(req, sc.request, 1,
+                   load_tainted<std::uint64_t>(domain, wire + 4));
+    void* cfg = tspace.alloc(sc.config);
+    tspace.store(cfg, sc.config, 0, std::uint32_t{3});  // internal constant
+    tspace.free_object(req, sc.request);
+    tspace.free_object(cfg, sc.config);
+  }
+  EXPECT_TRUE(monitor.is_tainted(sc.request));
+  EXPECT_FALSE(monitor.is_tainted(sc.config));
+  const auto selected_list = monitor.randomization_list();
+  const std::set<std::string> selected(selected_list.begin(),
+                                       selected_list.end());
+
+  // --- stage 2: instrument only what TaintClass selected ------------------
+  ir::Module hardened = sc.build_program();
+  const ir::PassReport report =
+      ir::run_polar_pass(hardened, sc.reg, selected);
+  EXPECT_EQ(report.allocs_rewritten, 1u);  // Request only
+  EXPECT_GT(report.sites_skipped, 0u);     // Config left direct
+  ASSERT_EQ(ir::verify(hardened, sc.reg), "");
+
+  // --- stage 3: identical semantics, hardened execution -------------------
+  ir::Module plain = sc.build_program();
+  ir::Interpreter direct(plain, sc.reg);
+  const auto base = direct.run("process", {7, 42});
+  ASSERT_EQ(base.status, ir::InterpResult::Status::kOk);
+  EXPECT_EQ(base.value, 7042u);
+
+  Runtime rt(sc.reg, RuntimeConfig{});
+  ir::Interpreter polar_interp(hardened, sc.reg, &rt);
+  const auto hard = polar_interp.run("process", {7, 42});
+  EXPECT_EQ(hard.status, ir::InterpResult::Status::kOk);
+  EXPECT_EQ(hard.value, base.value);
+  EXPECT_EQ(rt.stats().allocations, 1u);  // only Request went through POLaR
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(Pipeline, HardenedProgramsDifferInLayoutNotBehaviour) {
+  // Run the same instrumented program many times: behaviour is constant,
+  // the drawn layouts are not (the two POLaR primitives of the abstract).
+  Scenario sc;
+  ir::Module m = sc.build_program();
+  ir::run_polar_pass(m, sc.reg);
+  ASSERT_EQ(ir::verify(m, sc.reg), "");
+
+  std::set<std::vector<std::uint32_t>> layouts_seen;
+  for (std::uint64_t run = 0; run < 24; ++run) {
+    RuntimeConfig cfg;
+    cfg.seed = 1000 + run;  // fresh process
+    Runtime rt(sc.reg, cfg);
+    // Peek at one allocation's layout before running the program.
+    void* probe = rt.olr_malloc(sc.request);
+    layouts_seen.insert(rt.inspect(probe)->layout->offsets);
+    rt.olr_free(probe);
+
+    ir::Interpreter interp(m, sc.reg, &rt);
+    const auto r = interp.run("process", {3, 9});
+    ASSERT_EQ(r.status, ir::InterpResult::Status::kOk);
+    EXPECT_EQ(r.value, 3009u);
+  }
+  EXPECT_GT(layouts_seen.size(), 4u);
+}
+
+TEST(Pipeline, PolarOverDeterministicHeapStillDetectsIrUaf) {
+  // The runtime composed with the exploit-friendly allocator and driven
+  // from IR: UAF detection must survive address reuse.
+  Scenario sc;
+  ir::FunctionBuilder b("uaf", 0);
+  const ir::Reg a = b.alloc(sc.request);
+  b.free_obj(a, sc.request);
+  const ir::Reg reclaim = b.alloc(sc.request);  // likely same address
+  const ir::Reg addr = b.gep(a, sc.request, 1);  // via the dangling pointer
+  const ir::Reg v = b.load(addr);
+  b.free_obj(reclaim, sc.request);
+  b.ret(v);
+  ir::Module m;
+  m.functions.push_back(std::move(b).build());
+  ir::run_polar_pass(m, sc.reg);
+
+  SizeClassHeap heap;
+  RuntimeConfig cfg;
+  cfg.alloc_fn = SizeClassHeap::alloc_hook;
+  cfg.free_fn = SizeClassHeap::free_hook;
+  cfg.alloc_ctx = &heap;
+  Runtime rt(sc.reg, cfg);
+  ir::Interpreter interp(m, sc.reg, &rt);
+  const auto r = interp.run("uaf", {});
+  // Note: if the reclaiming allocation lands on the same base, the access
+  // is type-consistent and succeeds (address identity); if it lands
+  // elsewhere, the dangling access is detected. Either way nothing
+  // corrupts silently and the runtime stays consistent.
+  if (r.status == ir::InterpResult::Status::kViolation) {
+    EXPECT_EQ(r.violation, Violation::kUseAfterFree);
+  } else {
+    EXPECT_EQ(r.status, ir::InterpResult::Status::kOk);
+  }
+  rt.free_all();
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(Pipeline, MiniPngTaintFeedsIrPassSelection) {
+  // Cross-module: TaintClass census from fuzzing minipng selects the png
+  // types; the pass applied to an unrelated module instruments nothing.
+  TypeRegistry reg;
+  const auto png = minipng::register_types(reg);
+  const TypeId innocent =
+      TypeBuilder(reg, "InternalCounter").field<std::uint64_t>("n").build();
+
+  TaintDomain domain;
+  TaintClassMonitor monitor(reg);
+  TaintClassSpace space(reg, domain, monitor);
+  Fuzzer fuzzer(
+      [&](std::span<const std::uint8_t> in) {
+        domain.reset_shadow();
+        std::vector<std::uint8_t> buf(in.begin(), in.end());
+        if (buf.empty()) return;
+        domain.taint_input(buf.data(), buf.size(), "png");
+        minipng::taint_decode(space, png, buf);
+      },
+      Fuzzer::Options{.seed = 3, .max_input_size = 128});
+  fuzzer.add_seed(minipng::encode_test_image(16, 4, 1));
+  for (auto& token : minipng::dictionary()) fuzzer.add_dictionary_token(token);
+  fuzzer.run(3000);
+
+  const auto list = monitor.randomization_list();
+  const std::set<std::string> selected(list.begin(), list.end());
+  EXPECT_TRUE(selected.contains("png.png_struct_def"));
+  EXPECT_FALSE(selected.contains("InternalCounter"));
+
+  ir::FunctionBuilder b("internal", 0);
+  const ir::Reg c = b.alloc(innocent);
+  b.store(b.gep(c, innocent, 0), b.const64(5));
+  b.free_obj(c, innocent);
+  b.ret();
+  ir::Module m;
+  m.functions.push_back(std::move(b).build());
+  const ir::PassReport report = ir::run_polar_pass(m, reg, selected);
+  EXPECT_EQ(report.total(), 0u);
+  EXPECT_EQ(report.sites_skipped, 3u);
+}
+
+}  // namespace
+}  // namespace polar

@@ -1,0 +1,445 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "ir/ir.h"
+#include "ir/polar_pass.h"
+#include "ir/verifier.h"
+
+namespace polar::ir {
+namespace {
+
+TypeId make_people(TypeRegistry& reg) {
+  return TypeBuilder(reg, "People")
+      .fn_ptr("vtable")
+      .field<int>("age")
+      .field<int>("height")
+      .build();
+}
+
+/// sum(n) = 0 + 1 + ... + (n-1), via a loop.
+Function build_sum_loop() {
+  FunctionBuilder b("sum", 1);
+  const Reg n = b.param(0);
+  const Reg acc = b.const64(0);
+  const Reg i = b.const64(0);
+  const std::uint32_t head = b.new_block();
+  const std::uint32_t body = b.new_block();
+  const std::uint32_t done = b.new_block();
+  b.jump(head);
+  b.set_block(head);
+  const Reg cond = b.bin(Bin::kULt, i, n);
+  b.br(cond, body, done);
+  b.set_block(body);
+  b.move_into(acc, b.add(acc, i));
+  b.move_into(i, b.add(i, b.const64(1)));
+  b.jump(head);
+  b.set_block(done);
+  b.ret(acc);
+  return std::move(b).build();
+}
+
+/// Allocates a People, stores age/height, returns age*1000+height, frees.
+Function build_people_roundtrip(TypeId people) {
+  FunctionBuilder b("roundtrip", 2);  // (age, height)
+  const Reg obj = b.alloc(people);
+  b.store(b.gep(obj, people, 1), b.param(0), Width::kW32);
+  b.store(b.gep(obj, people, 2), b.param(1), Width::kW32);
+  const Reg age = b.load(b.gep(obj, people, 1), Width::kW32);
+  const Reg height = b.load(b.gep(obj, people, 2), Width::kW32);
+  const Reg result = b.add(b.mul(age, b.const64(1000)), height);
+  b.free_obj(obj, people);
+  b.ret(result);
+  return std::move(b).build();
+}
+
+TEST(IrInterp, ArithmeticLoop) {
+  Module m;
+  m.functions.push_back(build_sum_loop());
+  TypeRegistry reg;
+  EXPECT_EQ(verify(m, reg), "");
+  Interpreter interp(m, reg);
+  const InterpResult r = interp.run("sum", {100});
+  EXPECT_EQ(r.status, InterpResult::Status::kOk);
+  EXPECT_EQ(r.value, 4950u);
+}
+
+TEST(IrInterp, FloatOps) {
+  FunctionBuilder b("favg", 0);
+  const Reg x = b.constf(3.0);
+  const Reg y = b.constf(5.0);
+  const Reg sum = b.bin(Bin::kFAdd, x, y);
+  const Reg avg = b.bin(Bin::kFDiv, sum, b.constf(2.0));
+  b.ret(avg);
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  TypeRegistry reg;
+  Interpreter interp(m, reg);
+  const InterpResult r = interp.run("favg", {});
+  EXPECT_EQ(r.status, InterpResult::Status::kOk);
+  EXPECT_DOUBLE_EQ(as_f64(r.value), 4.0);
+}
+
+TEST(IrInterp, ObjectRoundTripUninstrumented) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Module m;
+  m.functions.push_back(build_people_roundtrip(people));
+  ASSERT_EQ(verify(m, reg), "");
+  Interpreter interp(m, reg);
+  const InterpResult r = interp.run("roundtrip", {44, 177});
+  EXPECT_EQ(r.status, InterpResult::Status::kOk);
+  EXPECT_EQ(r.value, 44177u);
+  EXPECT_EQ(interp.live_direct_objects(), 0u);
+  EXPECT_EQ(r.stats.allocs, 1u);
+  EXPECT_EQ(r.stats.geps, 4u);
+  EXPECT_EQ(r.stats.frees, 1u);
+}
+
+TEST(IrInterp, ObjectRoundTripInstrumented) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Module m;
+  m.functions.push_back(build_people_roundtrip(people));
+  const PassReport report = run_polar_pass(m, reg);
+  EXPECT_EQ(report.allocs_rewritten, 1u);
+  EXPECT_EQ(report.geps_rewritten, 4u);
+  EXPECT_EQ(report.frees_rewritten, 1u);
+  ASSERT_EQ(verify(m, reg), "");
+
+  Runtime rt(reg, RuntimeConfig{});
+  Interpreter interp(m, reg, &rt);
+  const InterpResult r = interp.run("roundtrip", {44, 177});
+  EXPECT_EQ(r.status, InterpResult::Status::kOk);
+  EXPECT_EQ(r.value, 44177u);  // same observable behaviour
+  EXPECT_EQ(rt.stats().allocations, 1u);
+  EXPECT_EQ(rt.stats().member_accesses, 4u);
+  EXPECT_EQ(rt.stats().frees, 1u);
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(IrInterp, InstrumentedCatchesUseAfterFree) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  FunctionBuilder b("uaf", 0);
+  const Reg obj = b.alloc(people);
+  b.free_obj(obj, people);
+  const Reg addr = b.gep(obj, people, 1);  // dangling access
+  b.ret(b.load(addr, Width::kW32));
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  run_polar_pass(m, reg);
+
+  Runtime rt(reg, RuntimeConfig{});
+  Interpreter interp(m, reg, &rt);
+  const InterpResult r = interp.run("uaf", {});
+  EXPECT_EQ(r.status, InterpResult::Status::kViolation);
+  EXPECT_EQ(r.violation, Violation::kUseAfterFree);
+}
+
+TEST(IrInterp, UninstrumentedDoubleFreeIsAnError) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  FunctionBuilder b("df", 0);
+  const Reg obj = b.alloc(people);
+  b.free_obj(obj, people);
+  b.free_obj(obj, people);
+  b.ret();
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  Interpreter interp(m, reg);
+  EXPECT_EQ(interp.run("df", {}).status, InterpResult::Status::kError);
+}
+
+TEST(IrInterp, InstrumentedDoubleFreeIsAViolation) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  FunctionBuilder b("df", 0);
+  const Reg obj = b.alloc(people);
+  b.free_obj(obj, people);
+  b.free_obj(obj, people);
+  b.ret();
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  run_polar_pass(m, reg);
+  Runtime rt(reg, RuntimeConfig{});
+  Interpreter interp(m, reg, &rt);
+  const InterpResult r = interp.run("df", {});
+  EXPECT_EQ(r.status, InterpResult::Status::kViolation);
+  EXPECT_EQ(r.violation, Violation::kDoubleFree);
+}
+
+TEST(IrInterp, CloneAndObjCopy) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  FunctionBuilder b("copies", 0);
+  const Reg a = b.alloc(people);
+  b.store(b.gep(a, people, 2), b.const64(55), Width::kW32);
+  const Reg c = b.clone(a, people);
+  const Reg d = b.alloc(people);
+  b.obj_copy(d, c, people);
+  const Reg out = b.load(b.gep(d, people, 2), Width::kW32);
+  b.free_obj(a, people);
+  b.free_obj(c, people);
+  b.free_obj(d, people);
+  b.ret(out);
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  ASSERT_EQ(verify(m, reg), "");
+
+  // Uninstrumented.
+  {
+    Interpreter interp(m, reg);
+    const InterpResult r = interp.run("copies", {});
+    EXPECT_EQ(r.status, InterpResult::Status::kOk);
+    EXPECT_EQ(r.value, 55u);
+  }
+  // Instrumented: same observable value, distinct layouts along the way.
+  {
+    Module pm = m;
+    run_polar_pass(pm, reg);
+    Runtime rt(reg, RuntimeConfig{});
+    Interpreter interp(pm, reg, &rt);
+    const InterpResult r = interp.run("copies", {});
+    EXPECT_EQ(r.status, InterpResult::Status::kOk);
+    EXPECT_EQ(r.value, 55u);
+    EXPECT_EQ(rt.stats().memcpys, 2u);  // clone + objcopy
+  }
+}
+
+TEST(IrInterp, CallsAndRecursion) {
+  TypeRegistry reg;
+  // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+  FunctionBuilder b("fib", 1);
+  const Reg n = b.param(0);
+  const std::uint32_t base = b.new_block();
+  const std::uint32_t rec = b.new_block();
+  b.br(b.bin(Bin::kULt, n, b.const64(2)), base, rec);
+  b.set_block(base);
+  b.ret(n);
+  b.set_block(rec);
+  const Reg f1 = b.call(0, {b.sub(n, b.const64(1))});
+  const Reg f2 = b.call(0, {b.sub(n, b.const64(2))});
+  b.ret(b.add(f1, f2));
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  ASSERT_EQ(verify(m, reg), "");
+  Interpreter interp(m, reg);
+  const InterpResult r = interp.run("fib", {15});
+  EXPECT_EQ(r.status, InterpResult::Status::kOk);
+  EXPECT_EQ(r.value, 610u);
+  EXPECT_GT(r.stats.calls, 100u);
+}
+
+TEST(IrInterp, FuelBoundsExecution) {
+  FunctionBuilder b("spin", 0);
+  const std::uint32_t loop = b.new_block();
+  b.jump(loop);
+  b.set_block(loop);
+  b.jump(loop);
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  TypeRegistry reg;
+  Interpreter interp(m, reg);
+  const InterpResult r = interp.run("spin", {}, /*fuel=*/1000);
+  EXPECT_EQ(r.status, InterpResult::Status::kFuelExhausted);
+  EXPECT_EQ(r.stats.instrs, 1000u);
+}
+
+TEST(IrInterp, InfiniteRecursionOverflowsCleanly) {
+  FunctionBuilder b("rec", 0);
+  b.ret(b.call(0, {}));
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  TypeRegistry reg;
+  Interpreter interp(m, reg);
+  const InterpResult r = interp.run("rec", {});
+  EXPECT_EQ(r.status, InterpResult::Status::kError);
+}
+
+TEST(IrInterp, DivisionByZeroFaults) {
+  FunctionBuilder b("div", 2);
+  b.ret(b.bin(Bin::kUDiv, b.param(0), b.param(1)));
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  TypeRegistry reg;
+  Interpreter interp(m, reg);
+  EXPECT_EQ(interp.run("div", {10, 0}).status, InterpResult::Status::kError);
+  EXPECT_EQ(interp.run("div", {10, 2}).value, 5u);
+}
+
+TEST(IrInterp, MissingFunctionAndArityErrors) {
+  Module m;
+  m.functions.push_back(build_sum_loop());
+  TypeRegistry reg;
+  Interpreter interp(m, reg);
+  EXPECT_EQ(interp.run("nope", {}).status, InterpResult::Status::kError);
+  EXPECT_EQ(interp.run("sum", {}).status, InterpResult::Status::kError);
+}
+
+// ------------------------------------------------------------------- pass
+
+TEST(PolarPass, SelectiveInstrumentationSkipsUnselectedTypes) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  const TypeId other =
+      TypeBuilder(reg, "Other").field<std::uint64_t>("x").build();
+
+  FunctionBuilder b("two_types", 0);
+  const Reg p = b.alloc(people);
+  const Reg o = b.alloc(other);
+  b.store(b.gep(p, people, 1), b.const64(1), Width::kW32);
+  b.store(b.gep(o, other, 0), b.const64(2));
+  b.free_obj(p, people);
+  b.free_obj(o, other);
+  b.ret();
+  Module m;
+  m.functions.push_back(std::move(b).build());
+
+  const PassReport report = run_polar_pass(m, reg, {"People"});
+  EXPECT_EQ(report.allocs_rewritten, 1u);
+  EXPECT_EQ(report.geps_rewritten, 1u);
+  EXPECT_EQ(report.frees_rewritten, 1u);
+  EXPECT_EQ(report.sites_skipped, 3u);
+  ASSERT_EQ(verify(m, reg), "");
+
+  // Mixed module still runs: People via the runtime, Other directly.
+  Runtime rt(reg, RuntimeConfig{});
+  Interpreter interp(m, reg, &rt);
+  EXPECT_EQ(interp.run("two_types", {}).status, InterpResult::Status::kOk);
+  EXPECT_EQ(rt.stats().allocations, 1u);
+  EXPECT_EQ(interp.live_direct_objects(), 0u);
+}
+
+TEST(PolarPass, IdempotentOnInstrumentedModule) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Module m;
+  m.functions.push_back(build_people_roundtrip(people));
+  run_polar_pass(m, reg);
+  const PassReport second = run_polar_pass(m, reg);
+  EXPECT_EQ(second.total(), 0u);
+}
+
+// --------------------------------------------------------------- verifier
+
+TEST(Verifier, RejectsEmptyModuleAndEmptyBlock) {
+  TypeRegistry reg;
+  Module m;
+  EXPECT_NE(verify(m, reg), "");
+  Function f;
+  f.name = "f";
+  f.blocks.emplace_back();
+  m.functions.push_back(f);
+  EXPECT_NE(verify(m, reg), "");
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  TypeRegistry reg;
+  Function f;
+  f.name = "f";
+  f.num_regs = 1;
+  Block blk;
+  blk.instrs.push_back({.op = Op::kConst, .dst = 0, .imm = 1});
+  f.blocks.push_back(blk);
+  Module m;
+  m.functions.push_back(f);
+  EXPECT_NE(verify(m, reg), "");
+}
+
+TEST(Verifier, RejectsInteriorTerminator) {
+  TypeRegistry reg;
+  Function f;
+  f.name = "f";
+  f.num_regs = 1;
+  Block blk;
+  blk.instrs.push_back({.op = Op::kRet});
+  blk.instrs.push_back({.op = Op::kRet});
+  f.blocks.push_back(blk);
+  Module m;
+  m.functions.push_back(f);
+  EXPECT_NE(verify(m, reg), "");
+}
+
+TEST(Verifier, RejectsBadRegisterAndBranchTarget) {
+  TypeRegistry reg;
+  {
+    Function f;
+    f.name = "f";
+    f.num_regs = 1;
+    Block blk;
+    blk.instrs.push_back({.op = Op::kMove, .dst = 0, .a = 9});
+    blk.instrs.push_back({.op = Op::kRet});
+    f.blocks.push_back(blk);
+    Module m;
+    m.functions.push_back(f);
+    EXPECT_NE(verify(m, reg), "");
+  }
+  {
+    Function f;
+    f.name = "f";
+    Block blk;
+    blk.instrs.push_back({.op = Op::kBr, .a = kNoReg, .target_a = 7});
+    f.blocks.push_back(blk);
+    Module m;
+    m.functions.push_back(f);
+    EXPECT_NE(verify(m, reg), "");
+  }
+}
+
+TEST(Verifier, RejectsBadGepFieldAndUnknownType) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  {
+    FunctionBuilder b("f", 0);
+    const Reg p = b.alloc(people);
+    b.gep(p, people, 99);  // out-of-range field
+    b.ret();
+    Module m;
+    m.functions.push_back(std::move(b).build());
+    EXPECT_NE(verify(m, reg), "");
+  }
+  {
+    Function f;
+    f.name = "f";
+    f.num_regs = 1;
+    Block blk;
+    blk.instrs.push_back({.op = Op::kAlloc, .dst = 0, .imm = 42});  // bad type
+    blk.instrs.push_back({.op = Op::kRet});
+    f.blocks.push_back(blk);
+    Module m;
+    m.functions.push_back(f);
+    EXPECT_NE(verify(m, reg), "");
+  }
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  TypeRegistry reg;
+  Module m;
+  m.functions.push_back(build_sum_loop());  // wants 1 arg
+  FunctionBuilder b("caller", 0);
+  b.call(0, {});  // zero args
+  b.ret();
+  m.functions.push_back(std::move(b).build());
+  EXPECT_NE(verify(m, reg), "");
+}
+
+TEST(IrPrinting, DisassemblyMentionsKeyPieces) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Module m;
+  m.functions.push_back(build_people_roundtrip(people));
+  const std::string text = to_string(m.functions[0]);
+  EXPECT_NE(text.find("alloc"), std::string::npos);
+  EXPECT_NE(text.find("gep"), std::string::npos);
+  EXPECT_NE(text.find("free"), std::string::npos);
+  run_polar_pass(m, reg);
+  const std::string inst = to_string(m.functions[0]);
+  EXPECT_NE(inst.find("polar.alloc"), std::string::npos);
+  EXPECT_NE(inst.find("polar.gep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polar::ir

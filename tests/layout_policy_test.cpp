@@ -1,0 +1,147 @@
+// Tests for the two randstruct-compatibility features (paper §II-C):
+// cache-line-aware partial randomization and __no_randomize_layout.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runtime.h"
+#include "ir/builder.h"
+#include "ir/polar_pass.h"
+
+namespace polar {
+namespace {
+
+TypeId make_wide(TypeRegistry& reg) {
+  // 8 x u64 = 64 bytes natural; with 32-byte groups, fields 0-3 must stay
+  // in the first half and 4-7 in the second.
+  TypeBuilder b(reg, "Wide8");
+  for (int i = 0; i < 8; ++i) b.field<std::uint64_t>("f" + std::to_string(i));
+  return b.build();
+}
+
+TEST(CacheLineGrouping, FieldsStayWithinTheirGroup) {
+  TypeRegistry reg;
+  const TypeId wide = make_wide(reg);
+  LayoutPolicy policy;
+  policy.cache_line_group = 32;
+  policy.min_dummies = 0;
+  policy.max_dummies = 0;
+  policy.booby_traps = false;
+  Rng rng(3);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Layout layout = randomize_layout(reg.info(wide), policy, rng);
+    for (std::uint32_t f = 0; f < 8; ++f) {
+      if (f < 4) {
+        EXPECT_LT(layout.offsets[f], 32u) << "field " << f;
+      } else {
+        EXPECT_GE(layout.offsets[f], 32u) << "field " << f;
+      }
+    }
+  }
+}
+
+TEST(CacheLineGrouping, StillRandomizesWithinGroups) {
+  TypeRegistry reg;
+  const TypeId wide = make_wide(reg);
+  LayoutPolicy policy;
+  policy.cache_line_group = 32;
+  policy.min_dummies = 0;
+  policy.max_dummies = 0;
+  policy.booby_traps = false;
+  Rng rng(5);
+  std::set<std::vector<std::uint32_t>> layouts;
+  for (int iter = 0; iter < 200; ++iter) {
+    layouts.insert(randomize_layout(reg.info(wide), policy, rng).offsets);
+  }
+  // 4! * 4! = 576 possible; 200 draws should find plenty.
+  EXPECT_GT(layouts.size(), 50u);
+}
+
+TEST(CacheLineGrouping, GroupLargerThanTypeEqualsFullShuffle) {
+  TypeRegistry reg;
+  const TypeId wide = make_wide(reg);
+  LayoutPolicy policy;
+  policy.cache_line_group = 1024;
+  policy.min_dummies = 0;
+  policy.max_dummies = 0;
+  policy.booby_traps = false;
+  Rng rng(7);
+  bool crossed = false;
+  for (int iter = 0; iter < 100 && !crossed; ++iter) {
+    const Layout layout = randomize_layout(reg.info(wide), policy, rng);
+    crossed = layout.offsets[0] >= 32;  // f0 escaped the first half
+  }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(NoRandomize, TypeKeepsNaturalLayoutEverywhere) {
+  TypeRegistry reg;
+  const TypeId packet = TypeBuilder(reg, "WirePacket")
+                            .field<std::uint32_t>("magic")
+                            .field<std::uint16_t>("version")
+                            .field<std::uint16_t>("flags")
+                            .field<std::uint64_t>("session")
+                            .no_randomize()
+                            .build();
+  EXPECT_TRUE(reg.info(packet).no_randomize);
+  Rng rng(1);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Layout layout = randomize_layout(reg.info(packet), LayoutPolicy{}, rng);
+    EXPECT_EQ(layout.offsets, reg.info(packet).natural_offsets);
+    EXPECT_TRUE(layout.traps.empty());
+    EXPECT_EQ(layout.size, reg.info(packet).natural_size);
+  }
+  EXPECT_EQ(permutation_space(reg.info(packet), LayoutPolicy{}), 1u);
+}
+
+TEST(NoRandomize, RuntimeStillTracksButDoesNotShuffle) {
+  TypeRegistry reg;
+  const TypeId packet = TypeBuilder(reg, "WirePacket")
+                            .field<std::uint32_t>("magic")
+                            .field<std::uint64_t>("session")
+                            .no_randomize()
+                            .build();
+  Runtime rt(reg, RuntimeConfig{});
+  void* p = rt.olr_malloc(packet);
+  // Offsets are the natural ones -> the wire format is intact.
+  EXPECT_EQ(rt.olr_getptr(p, 0), p);
+  EXPECT_EQ(static_cast<unsigned char*>(rt.olr_getptr(p, 1)) -
+                static_cast<unsigned char*>(p),
+            8);
+  // But UAF detection still applies: tracking is orthogonal to shuffling.
+  rt.olr_free(p);
+  EXPECT_EQ(rt.olr_getptr(p, 0), nullptr);
+  EXPECT_EQ(rt.last_violation(), Violation::kUseAfterFree);
+}
+
+TEST(NoRandomize, PassSkipsAnnotatedTypes) {
+  TypeRegistry reg;
+  const TypeId packet = TypeBuilder(reg, "WirePacket")
+                            .field<std::uint32_t>("magic")
+                            .no_randomize()
+                            .build();
+  const TypeId normal =
+      TypeBuilder(reg, "Normal").field<std::uint32_t>("x").build();
+  ir::FunctionBuilder b("f", 0);
+  const ir::Reg pk = b.alloc(packet);
+  b.store(b.gep(pk, packet, 0), b.const64(1), ir::Width::kW32);
+  b.free_obj(pk, packet);
+  const ir::Reg nm = b.alloc(normal);
+  b.free_obj(nm, normal);
+  b.ret();
+  ir::Module m;
+  m.functions.push_back(std::move(b).build());
+  const ir::PassReport report = ir::run_polar_pass(m, reg);
+  EXPECT_EQ(report.sites_skipped, 3u);  // all WirePacket sites
+  EXPECT_EQ(report.allocs_rewritten, 1u);  // Normal only
+}
+
+TEST(NoRandomize, AffectsClassHash) {
+  TypeRegistry a, b;
+  const TypeId ta = TypeBuilder(a, "T").field<int>("x").build();
+  const TypeId tb = TypeBuilder(b, "T").field<int>("x").no_randomize().build();
+  EXPECT_NE(a.info(ta).class_hash, b.info(tb).class_hash);
+}
+
+}  // namespace
+}  // namespace polar

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+#include "workloads/minijpg.h"
+
+namespace polar::minijpg {
+namespace {
+
+class MiniJpgTest : public ::testing::Test {
+ protected:
+  MiniJpgTest() : types_(register_types(reg_)) {}
+  TypeRegistry reg_;
+  JpgTypes types_;
+};
+
+TEST_F(MiniJpgTest, DecodesValidImage) {
+  DirectSpace space(reg_);
+  const auto file = encode_test_image(32, 24, 5);
+  const DecodeResult r = decode(space, types_, file);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.width, 32u);
+  EXPECT_EQ(r.height, 24u);
+  EXPECT_EQ(r.components, 3u);
+  EXPECT_NE(r.sample_hash, 0u);
+}
+
+TEST_F(MiniJpgTest, DirectAndPolarAgree) {
+  const auto file = encode_test_image(48, 32, 11);
+  DirectSpace direct(reg_);
+  const DecodeResult a = decode(direct, types_, file);
+
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kAbort;
+  Runtime rt(reg_, cfg);
+  PolarSpace polar_space(rt);
+  const DecodeResult b = decode(polar_space, types_, file);
+
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.sample_hash, b.sample_hash);
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST_F(MiniJpgTest, RejectsMalformedInput) {
+  DirectSpace space(reg_);
+  EXPECT_FALSE(decode(space, types_, {}).ok);
+  const std::vector<std::uint8_t> no_soi{0x00, 0x11};
+  EXPECT_FALSE(decode(space, types_, no_soi).ok);
+  const std::vector<std::uint8_t> soi_only{0xff, 0xd8};
+  EXPECT_FALSE(decode(space, types_, soi_only).ok);
+  // Scan before frame header.
+  std::vector<std::uint8_t> early_scan{0xff, 0xd8, 0xff, 0xda, 0x00, 0x02};
+  EXPECT_FALSE(decode(space, types_, early_scan).ok);
+  // Zero components.
+  std::vector<std::uint8_t> zero_comp{0xff, 0xd8, 0xff, 0xc0, 0x00, 0x08,
+                                      8,    0,    16,   0,    16,  0};
+  EXPECT_FALSE(decode(space, types_, zero_comp).ok);
+}
+
+TEST_F(MiniJpgTest, FuzzDecoderUnderAbortingPolarRuntime) {
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kAbort;
+  Runtime rt(reg_, cfg);
+  PolarSpace space(rt);
+  Fuzzer fuzzer(
+      [&](std::span<const std::uint8_t> in) {
+        decode(space, types_, in);
+        ASSERT_EQ(rt.live_objects(), 0u);
+      },
+      Fuzzer::Options{.seed = 29, .max_input_size = 256});
+  fuzzer.add_seed(encode_test_image(16, 16, 1));
+  for (auto& token : dictionary()) fuzzer.add_dictionary_token(token);
+  fuzzer.run(3000);
+  EXPECT_GE(fuzzer.stats().features, 10u);
+}
+
+TEST_F(MiniJpgTest, TaintClassMatchesPaperCensusMagnitude) {
+  // Table I reports 8 tainted object types for libjpeg-turbo.
+  TaintDomain domain;
+  TaintClassMonitor monitor(reg_);
+  TaintClassSpace space(reg_, domain, monitor);
+  Fuzzer fuzzer(
+      [&](std::span<const std::uint8_t> in) {
+        domain.reset_shadow();
+        std::vector<std::uint8_t> buf(in.begin(), in.end());
+        if (buf.empty()) return;
+        domain.taint_input(buf.data(), buf.size(), "jpg file");
+        taint_decode(space, types_, buf);
+      },
+      Fuzzer::Options{.seed = 13, .max_input_size = 192});
+  fuzzer.add_seed(encode_test_image(16, 16, 2));
+  for (auto& token : dictionary()) fuzzer.add_dictionary_token(token);
+  fuzzer.run(8000);
+  EXPECT_GE(monitor.tainted_type_count(), 6u);
+  EXPECT_LE(monitor.tainted_type_count(), 8u);
+}
+
+}  // namespace
+}  // namespace polar::minijpg

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "workloads/mjs/engine.h"
+#include "workloads/mjs/suites.h"
+
+namespace polar::mjs {
+namespace {
+
+class MjsTest : public ::testing::Test {
+ protected:
+  MjsTest() : types_(register_types(reg_)), direct_(reg_) {}
+
+  double run_direct(const std::string& script) {
+    Engine<DirectSpace> engine(direct_, types_);
+    const Value v = engine.run(script);
+    return engine.as_number(v);
+  }
+
+  TypeRegistry reg_;
+  MjsTypes types_;
+  DirectSpace direct_;
+};
+
+// ---------------------------------------------------------------- language
+
+TEST_F(MjsTest, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(run_direct("result = 2 + 3 * 4;"), 14);
+  EXPECT_DOUBLE_EQ(run_direct("result = (2 + 3) * 4;"), 20);
+  EXPECT_DOUBLE_EQ(run_direct("result = 10 / 4;"), 2.5);
+  EXPECT_DOUBLE_EQ(run_direct("result = 10 % 3;"), 1);
+  EXPECT_DOUBLE_EQ(run_direct("result = -5 + 2;"), -3);
+  EXPECT_DOUBLE_EQ(run_direct("result = 1 << 4;"), 16);
+  EXPECT_DOUBLE_EQ(run_direct("result = 255 & 15;"), 15);
+  EXPECT_DOUBLE_EQ(run_direct("result = 8 | 1;"), 9);
+  EXPECT_DOUBLE_EQ(run_direct("result = 5 ^ 3;"), 6);
+}
+
+TEST_F(MjsTest, ComparisonAndLogic) {
+  EXPECT_DOUBLE_EQ(run_direct("result = 1 < 2;"), 1);
+  EXPECT_DOUBLE_EQ(run_direct("result = 2 <= 1;"), 0);
+  EXPECT_DOUBLE_EQ(run_direct("result = 3 == 3;"), 1);
+  EXPECT_DOUBLE_EQ(run_direct("result = 3 != 3;"), 0);
+  EXPECT_DOUBLE_EQ(run_direct("result = true && false;"), 0);
+  EXPECT_DOUBLE_EQ(run_direct("result = false || true;"), 1);
+  EXPECT_DOUBLE_EQ(run_direct("result = !false;"), 1);
+  // Short-circuit: rhs must not run.
+  EXPECT_DOUBLE_EQ(run_direct("var x = 1; "
+                              "function boom() { x = 99; return true; } "
+                              "var y = false && boom(); result = x;"),
+                   1);
+}
+
+TEST_F(MjsTest, ControlFlow) {
+  EXPECT_DOUBLE_EQ(run_direct("var x = 0; if (1 < 2) { x = 7; } result = x;"),
+                   7);
+  EXPECT_DOUBLE_EQ(
+      run_direct("var x = 0; if (1 > 2) { x = 7; } else { x = 8; } result = x;"),
+      8);
+  EXPECT_DOUBLE_EQ(
+      run_direct("var s = 0; for (var i = 1; i <= 10; i = i + 1) { s = s + i; }"
+                 "result = s;"),
+      55);
+  EXPECT_DOUBLE_EQ(
+      run_direct("var s = 0; var i = 0; while (i < 5) { s = s + i; i = i + 1; }"
+                 "result = s;"),
+      10);
+  EXPECT_DOUBLE_EQ(
+      run_direct("var s = 0; for (var i = 0; i < 100; i = i + 1) {"
+                 "  if (i == 5) { break; } s = s + 1; } result = s;"),
+      5);
+}
+
+TEST_F(MjsTest, FunctionsAndRecursion) {
+  EXPECT_DOUBLE_EQ(run_direct("function add(a, b) { return a + b; }"
+                              "result = add(2, 3);"),
+                   5);
+  EXPECT_DOUBLE_EQ(run_direct("function f(n) { if (n < 2) { return n; }"
+                              "  return f(n - 1) + f(n - 2); }"
+                              "result = f(10);"),
+                   55);
+  // Locals shadow globals.
+  EXPECT_DOUBLE_EQ(run_direct("var x = 1;"
+                              "function g() { var x = 5; return x; }"
+                              "result = g() + x;"),
+                   6);
+}
+
+TEST_F(MjsTest, ObjectsAndArrays) {
+  EXPECT_DOUBLE_EQ(run_direct("var o = {a: 1, b: 2}; o.c = o.a + o.b;"
+                              "result = o.c;"),
+                   3);
+  EXPECT_DOUBLE_EQ(run_direct("var a = [10, 20, 30]; a[1] = 21;"
+                              "result = a[0] + a[1] + a[2];"),
+                   61);
+  EXPECT_DOUBLE_EQ(run_direct("var a = []; push(a, 4); push(a, 5);"
+                              "result = len(a) * 100 + a.length;"),
+                   202);
+  EXPECT_DOUBLE_EQ(run_direct("var a = [1]; a[5] = 9; result = len(a);"), 6);
+  EXPECT_DOUBLE_EQ(run_direct("var o = {x: 1}; result = o.missing == null;"),
+                   1);
+}
+
+TEST_F(MjsTest, Strings) {
+  Engine<DirectSpace> engine(direct_, types_);
+  const Value v = engine.run("result = 'foo' + 'bar' + 1;");
+  EXPECT_EQ(engine.to_display(v), "foobar1");
+  EXPECT_DOUBLE_EQ(run_direct("result = len('hello');"), 5);
+  EXPECT_DOUBLE_EQ(run_direct("result = charCodeAt('A', 0);"), 65);
+  EXPECT_DOUBLE_EQ(run_direct("result = 'ab' == 'ab';"), 1);
+  EXPECT_DOUBLE_EQ(run_direct("result = 'ab' == 'ac';"), 0);
+  EXPECT_DOUBLE_EQ(run_direct("result = len(str(1234));"), 4);
+}
+
+TEST_F(MjsTest, Builtins) {
+  EXPECT_DOUBLE_EQ(run_direct("result = sqrt(81);"), 9);
+  EXPECT_DOUBLE_EQ(run_direct("result = floor(3.9);"), 3);
+  EXPECT_DOUBLE_EQ(run_direct("result = abs(-4);"), 4);
+  EXPECT_DOUBLE_EQ(run_direct("result = pow(2, 10);"), 1024);
+  EXPECT_DOUBLE_EQ(run_direct("result = max(min(5, 3), 1);"), 3);
+}
+
+TEST_F(MjsTest, ErrorsAreEngineErrors) {
+  EXPECT_THROW(run_direct("result = undefined_var;"), EngineError);
+  EXPECT_THROW(run_direct("result = nosuchfn(1);"), EngineError);
+  EXPECT_THROW(run_direct("var x = 1; result = x.prop;"), EngineError);
+  EXPECT_THROW(run_direct("result = ;"), EngineError);  // parse error
+  // Fuel limit stops runaway scripts.
+  Engine<DirectSpace> engine(direct_, types_);
+  EXPECT_THROW(engine.run("while (true) { var x = 1; }", 10'000), EngineError);
+}
+
+TEST_F(MjsTest, ParserRejectsGarbage) {
+  const char* bad[] = {
+      "var = 3;",       "function () {}",      "if (1 {",
+      "result = (1;",   "var a = [1, 2;",      "var o = {a 1};",
+      "x.3 = 1;",       "result = 'unclosed;",
+  };
+  for (const char* script : bad) {
+    EXPECT_THROW(run_direct(script), EngineError) << script;
+  }
+}
+
+TEST_F(MjsTest, EngineObjectsAreManaged) {
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kAbort;
+  Runtime rt(reg_, cfg);
+  PolarSpace space(rt);
+  {
+    Engine<PolarSpace> engine(space, types_);
+    engine.run("var o = {a: 1}; var arr = [1, 2, 3]; var s = 'x' + 'y';"
+               "function f() { return 1; } result = f() + o.a + arr[2];");
+    EXPECT_GT(rt.stats().allocations, 4u);       // object, array, strings, fn
+    EXPECT_GT(rt.stats().member_accesses, 4u);   // slot/length traffic
+  }
+  EXPECT_EQ(rt.live_objects(), 0u);  // engine teardown released everything
+}
+
+// -------------------------------------------------------------- the suites
+
+class MjsSuiteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MjsSuiteTest, BenchmarkAgreesAcrossBuilds) {
+  const MjsBench& bench =
+      benchmark_suites()[static_cast<std::size_t>(GetParam())];
+
+  TypeRegistry reg;
+  const MjsTypes types = register_types(reg);
+  DirectSpace direct(reg);
+  Engine<DirectSpace> direct_engine(direct, types);
+  const Value dv = direct_engine.run(bench.script);
+  const double direct_result = direct_engine.as_number(dv);
+
+  if (bench.expected >= 0) {
+    EXPECT_DOUBLE_EQ(direct_result, bench.expected) << bench.name;
+  }
+
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kAbort;
+  Runtime rt(reg, cfg);
+  PolarSpace polar_space(rt);
+  Engine<PolarSpace> polar_engine(polar_space, types);
+  const Value pv = polar_engine.run(bench.script);
+  EXPECT_DOUBLE_EQ(polar_engine.as_number(pv), direct_result) << bench.name;
+  EXPECT_EQ(rt.stats().traps_triggered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, MjsSuiteTest,
+    ::testing::Range(0, static_cast<int>(benchmark_suites().size())),
+    [](const auto& pi) {
+      const MjsBench& b = benchmark_suites()[static_cast<std::size_t>(pi.param)];
+      std::string n = b.suite + "_" + b.name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(MjsSuites, FourSuitesPresent) {
+  std::set<std::string> suites;
+  for (const MjsBench& b : benchmark_suites()) suites.insert(b.suite);
+  EXPECT_EQ(suites, (std::set<std::string>{"sunspider", "kraken", "octane",
+                                           "jetstream"}));
+  EXPECT_TRUE(suite_is_score("octane"));
+  EXPECT_TRUE(suite_is_score("jetstream"));
+  EXPECT_FALSE(suite_is_score("sunspider"));
+  EXPECT_FALSE(suite_is_score("kraken"));
+  EXPECT_GE(benchmark_suites().size(), 24u);
+}
+
+}  // namespace
+}  // namespace polar::mjs

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "taintclass/report_io.h"
+#include "taintclass/taint_space.h"
+
+namespace polar {
+namespace {
+
+std::vector<TypeTaintReport> sample_reports() {
+  TypeTaintReport a;
+  a.type_name = "png.png_struct_def";
+  a.content_tainted = true;
+  a.alloc_tainted = false;
+  a.dealloc_tainted = true;
+  a.events = 42;
+  a.tainted_fields.push_back({"rowbytes", false, 40});
+  a.tainted_fields.push_back({"row_buf", false, 2});
+  TypeTaintReport b;
+  b.type_name = "png.png_text";
+  b.content_tainted = true;
+  b.events = 7;
+  b.tainted_fields.push_back({"free_fn", true, 7});
+  return {a, b};
+}
+
+TEST(ReportIo, RoundTripPreservesEverything) {
+  const auto original = sample_reports();
+  const std::string text = serialize_reports(original);
+  std::vector<TypeTaintReport> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_reports(text, parsed, error)) << error;
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].type_name, original[i].type_name);
+    EXPECT_EQ(parsed[i].content_tainted, original[i].content_tainted);
+    EXPECT_EQ(parsed[i].alloc_tainted, original[i].alloc_tainted);
+    EXPECT_EQ(parsed[i].dealloc_tainted, original[i].dealloc_tainted);
+    EXPECT_EQ(parsed[i].events, original[i].events);
+    ASSERT_EQ(parsed[i].tainted_fields.size(),
+              original[i].tainted_fields.size());
+    for (std::size_t f = 0; f < original[i].tainted_fields.size(); ++f) {
+      EXPECT_EQ(parsed[i].tainted_fields[f].name,
+                original[i].tainted_fields[f].name);
+      EXPECT_EQ(parsed[i].tainted_fields[f].pointer,
+                original[i].tainted_fields[f].pointer);
+      EXPECT_EQ(parsed[i].tainted_fields[f].tainted_stores,
+                original[i].tainted_fields[f].tainted_stores);
+    }
+  }
+}
+
+TEST(ReportIo, SelectionContainsOnlyTaintedTypes) {
+  auto reports = sample_reports();
+  TypeTaintReport clean;
+  clean.type_name = "ui_widget";  // nothing tainted
+  reports.push_back(clean);
+  const auto selected = selection_from_reports(reports);
+  EXPECT_EQ(selected, (std::set<std::string>{"png.png_struct_def",
+                                             "png.png_text"}));
+}
+
+TEST(ReportIo, CommentsAndUnknownKeysTolerated) {
+  const std::string text =
+      "# a comment\n"
+      "type T content=1 alloc=0 dealloc=0 events=3 future_key=9\n"
+      "\n"
+      "field T f pointer=1 stores=2 другое=x\n";
+  std::vector<TypeTaintReport> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_reports(text, parsed, error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].events, 3u);
+  ASSERT_EQ(parsed[0].tainted_fields.size(), 1u);
+  EXPECT_TRUE(parsed[0].tainted_fields[0].pointer);
+}
+
+TEST(ReportIo, MalformedInputsRejectedWithLineNumbers) {
+  std::vector<TypeTaintReport> parsed;
+  std::string error;
+  EXPECT_FALSE(parse_reports("bogus record\n", parsed, error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parse_reports("type\n", parsed, error));
+  EXPECT_FALSE(parse_reports("field Orphan f pointer=0\n", parsed, error));
+  EXPECT_NE(error.find("before its type"), std::string::npos);
+  EXPECT_FALSE(
+      parse_reports("type T events=1\ntype T events=2\n", parsed, error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(ReportIo, EndToEndMonitorToSelection) {
+  // Monitor -> serialize -> parse -> pass selection, as a build would.
+  TypeRegistry reg;
+  const TypeId req = TypeBuilder(reg, "Request")
+                         .field<std::uint32_t>("op")
+                         .field<std::uint64_t>("body")
+                         .build();
+  TypeBuilder(reg, "Internal").field<std::uint32_t>("x").build();
+  TaintDomain domain;
+  TaintClassMonitor monitor(reg);
+  TaintClassSpace space(reg, domain, monitor);
+  TaintScope scope(domain);
+  std::uint8_t wire[4] = {9, 9, 9, 9};
+  domain.taint_input(wire, 4, "net");
+  void* r = space.alloc(req);
+  space.store_t(r, req, 0, load_tainted<std::uint32_t>(domain, wire));
+  space.free_object(r, req);
+
+  std::vector<TypeTaintReport> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_reports(serialize_reports(monitor.report()), parsed,
+                            error));
+  const auto selected = selection_from_reports(parsed);
+  EXPECT_TRUE(selected.contains("Request"));
+  EXPECT_FALSE(selected.contains("Internal"));
+}
+
+}  // namespace
+}  // namespace polar

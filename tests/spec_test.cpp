@@ -1,0 +1,163 @@
+// The spec minis' correctness contract: each workload produces the same
+// checksum under the default build (DirectSpace) and the POLaR build
+// (PolarSpace) — the compatibility experiment of paper §V-A — and its
+// taint_parse entry discovers input-dependent objects under fuzzing
+// (Table I).
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+#include "workloads/spec_suite.h"
+
+namespace polar::spec {
+namespace {
+
+class SpecSuiteTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const std::vector<SpecEntry>& suite() {
+    static TypeRegistry* reg = new TypeRegistry();
+    static const auto* s = new std::vector<SpecEntry>(build_spec_suite(*reg));
+    return *s;
+  }
+  static TypeRegistry& registry() {
+    static TypeRegistry reg;
+    static const auto suite_once = build_spec_suite(reg);
+    return reg;
+  }
+};
+
+TEST_P(SpecSuiteTest, DirectAndPolarAgree) {
+  TypeRegistry reg;
+  const auto suite = build_spec_suite(reg);
+  const SpecEntry& entry = suite[static_cast<std::size_t>(GetParam())];
+
+  DirectSpace direct(reg);
+  const std::uint64_t direct_sum = entry.run_direct(direct, 1, 42);
+
+  RuntimeConfig cfg;
+  cfg.seed = 7;
+  cfg.on_violation = ErrorAction::kAbort;  // any misuse must blow up loudly
+  Runtime rt(reg, cfg);
+  PolarSpace polar_space(rt);
+  const std::uint64_t polar_sum = entry.run_polar(polar_space, 1, 42);
+
+  EXPECT_EQ(direct_sum, polar_sum) << entry.name;
+  EXPECT_EQ(rt.live_objects(), 0u) << entry.name << " leaked objects";
+  EXPECT_EQ(rt.stats().traps_triggered, 0u) << entry.name;
+}
+
+TEST_P(SpecSuiteTest, ChecksumDeterministicPerSeed) {
+  TypeRegistry reg;
+  const auto suite = build_spec_suite(reg);
+  const SpecEntry& entry = suite[static_cast<std::size_t>(GetParam())];
+  DirectSpace direct(reg);
+  EXPECT_EQ(entry.run_direct(direct, 1, 5), entry.run_direct(direct, 1, 5));
+  if (entry.name != "462.libquantum") {  // input-independent by design
+    EXPECT_NE(entry.run_direct(direct, 1, 5), entry.run_direct(direct, 1, 6));
+  }
+}
+
+TEST_P(SpecSuiteTest, PolarRunsUnderReportModeWithoutViolations) {
+  TypeRegistry reg;
+  const auto suite = build_spec_suite(reg);
+  const SpecEntry& entry = suite[static_cast<std::size_t>(GetParam())];
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kReport;
+  Runtime rt(reg, cfg);
+  PolarSpace space(rt);
+  entry.run_polar(space, 1, 9);
+  EXPECT_EQ(rt.last_violation(), Violation::kNone) << entry.name;
+  EXPECT_EQ(rt.stats().uaf_detected, 0u) << entry.name;
+}
+
+TEST_P(SpecSuiteTest, TaintParseSampleInputIsSafe) {
+  TypeRegistry reg;
+  const auto suite = build_spec_suite(reg);
+  const SpecEntry& entry = suite[static_cast<std::size_t>(GetParam())];
+  TaintDomain domain;
+  TaintClassMonitor monitor(reg);
+  TaintClassSpace space(reg, domain, monitor);
+  const auto input = entry.sample_input(3);
+  std::vector<std::uint8_t> buf = input;
+  domain.taint_input(buf.data(), buf.size(), entry.name);
+  entry.taint_parse(space, buf);
+  // Sample inputs exercise the happy path; except libquantum every
+  // workload should already show at least one tainted type.
+  if (entry.name == "462.libquantum") {
+    EXPECT_EQ(monitor.tainted_type_count(), 0u);
+  } else {
+    EXPECT_GE(monitor.tainted_type_count(), 1u) << entry.name;
+  }
+}
+
+TEST_P(SpecSuiteTest, FuzzingWidensTaintCoverage) {
+  TypeRegistry reg;
+  const auto suite = build_spec_suite(reg);
+  const SpecEntry& entry = suite[static_cast<std::size_t>(GetParam())];
+  if (entry.name == "462.libquantum") GTEST_SKIP();
+
+  TaintDomain domain;
+  TaintClassMonitor monitor(reg);
+  TaintClassSpace space(reg, domain, monitor);
+
+  // Single sample input baseline.
+  {
+    auto buf = entry.sample_input(1);
+    domain.taint_input(buf.data(), buf.size(), entry.name);
+    entry.taint_parse(space, buf);
+  }
+  const std::size_t baseline = monitor.tainted_type_count();
+
+  Fuzzer fuzzer(
+      [&](std::span<const std::uint8_t> in) {
+        domain.reset_shadow();
+        std::vector<std::uint8_t> buf(in.begin(), in.end());
+        if (buf.empty()) return;
+        domain.taint_input(buf.data(), buf.size(), entry.name);
+        entry.taint_parse(space, buf);
+      },
+      Fuzzer::Options{.seed = 77, .max_input_size = 64});
+  for (std::uint64_t s = 0; s < 4; ++s) fuzzer.add_seed(entry.sample_input(s));
+  for (const auto& token : entry.dictionary) {
+    fuzzer.add_dictionary_token(token);
+  }
+  fuzzer.run(4000);
+
+  EXPECT_GE(monitor.tainted_type_count(), baseline) << entry.name;
+  EXPECT_GE(monitor.tainted_type_count(), 2u) << entry.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SpecSuiteTest, ::testing::Range(0, 12),
+                         [](const auto& pi) {
+                           TypeRegistry reg;
+                           auto suite = build_spec_suite(reg);
+                           std::string name =
+                               suite[static_cast<std::size_t>(pi.param)].name;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SpecSuite, TwelveWorkloadsRegistered) {
+  TypeRegistry reg;
+  const auto suite = build_spec_suite(reg);
+  EXPECT_EQ(suite.size(), 12u);
+  EXPECT_GT(reg.size(), 60u);  // the census of registered types
+}
+
+TEST(SpecSuite, PaperTable1OrderingPreserved) {
+  // Table I's relative ordering: xalancbmk reports the most tainted
+  // objects, libquantum none. The suite encodes the paper's counts.
+  TypeRegistry reg;
+  const auto suite = build_spec_suite(reg);
+  std::size_t xalan = 0, libq = 1;
+  for (const auto& e : suite) {
+    if (e.name == "483.xalancbmk") xalan = e.paper_tainted_objects;
+    if (e.name == "462.libquantum") libq = e.paper_tainted_objects;
+  }
+  EXPECT_EQ(xalan, 59u);
+  EXPECT_EQ(libq, 0u);
+}
+
+}  // namespace
+}  // namespace polar::spec

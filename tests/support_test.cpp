@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace polar {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto sorted = v;
+  rng.shuffle(std::span<int>(v));
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Rng, ShuffleCoversManyPermutations) {
+  // 4 elements -> 24 permutations; 2000 shuffles should see nearly all.
+  Rng rng(19);
+  std::set<std::array<int, 4>> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::array<int, 4> a{0, 1, 2, 3};
+    rng.shuffle(std::span<int>(a));
+    seen.insert(a);
+  }
+  EXPECT_GE(seen.size(), 23u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(23);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kN = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kN; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(29);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (parent.next() == child.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(EntropySeed, ChangesBetweenCalls) {
+  EXPECT_NE(entropy_seed(), entropy_seed());
+}
+
+TEST(Hash, Fnv1aStableKnownValue) {
+  // FNV-1a reference: empty string hashes to the offset basis.
+  EXPECT_EQ(fnv1a(std::string_view{}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hash, Fnv1aDiffersByContent) {
+  EXPECT_NE(fnv1a("People"), fnv1a("Person"));
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+TEST(Hash, Mix64IsBijectiveish) {
+  // No collisions among a small dense range (mix64 is invertible, so none
+  // can exist; this guards against edits breaking that).
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10000; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace polar

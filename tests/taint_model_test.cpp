@@ -1,0 +1,114 @@
+// Model-based testing of the DFSan-style label algebra and shadow memory:
+// random sequences of label creation/union and shadow writes/copies are
+// cross-checked against trivial reference models (std::set of base labels
+// per label; a plain byte->set map for shadow).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/rng.h"
+#include "taint/domain.h"
+
+namespace polar {
+namespace {
+
+class LabelModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LabelModel, UnionAlgebraMatchesSetSemantics) {
+  LabelTable table;
+  Rng rng(GetParam());
+  std::vector<Label> labels{kNoLabel};
+  std::map<Label, std::set<Label>> bases;  // label -> base closure
+  bases[kNoLabel] = {};
+
+  for (int step = 0; step < 3000; ++step) {
+    if (labels.size() < 4 || rng.chance(0.15)) {
+      const Label fresh = table.fresh("b" + std::to_string(labels.size()));
+      bases[fresh] = {fresh};
+      labels.push_back(fresh);
+      continue;
+    }
+    const Label a = labels[rng.below(labels.size())];
+    const Label b = labels[rng.below(labels.size())];
+    const Label u = table.unite(a, b);
+    std::set<Label> expect = bases[a];
+    expect.insert(bases[b].begin(), bases[b].end());
+    if (bases.contains(u)) {
+      ASSERT_EQ(bases[u], expect) << "union closure mismatch";
+    } else {
+      bases[u] = expect;
+      labels.push_back(u);
+    }
+    // Spot-check includes() against the model.
+    for (int probe = 0; probe < 3; ++probe) {
+      const Label base = labels[rng.below(labels.size())];
+      if (bases[base].size() == 1) {  // base labels only
+        EXPECT_EQ(table.includes(u, base), expect.contains(base));
+      }
+    }
+    // bases_of must equal the closure exactly.
+    const auto flat = table.bases_of(u);
+    ASSERT_EQ(std::set<Label>(flat.begin(), flat.end()), expect);
+  }
+}
+
+TEST_P(LabelModel, ShadowMemoryMatchesByteMap) {
+  TaintDomain domain;
+  Rng rng(GetParam() ^ 0x511ad0);
+  std::vector<std::uint8_t> arena(512);
+  std::map<std::size_t, Label> model;  // offset -> label (absent = clean)
+
+  std::vector<Label> labels;
+  for (int i = 0; i < 6; ++i) {
+    labels.push_back(domain.labels().fresh("src" + std::to_string(i)));
+  }
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t op = rng.below(10);
+    const std::size_t at = rng.below(arena.size());
+    const std::size_t n =
+        1 + rng.below(std::min<std::size_t>(32, arena.size() - at));
+    if (op < 4) {  // set
+      const Label l = labels[rng.below(labels.size())];
+      domain.shadow().set(&arena[at], n, l);
+      for (std::size_t i = 0; i < n; ++i) model[at + i] = l;
+    } else if (op < 6) {  // clear
+      domain.shadow().clear(&arena[at], n);
+      for (std::size_t i = 0; i < n; ++i) model.erase(at + i);
+    } else if (op < 8) {  // copy (possibly overlapping)
+      const std::size_t to =
+          rng.below(arena.size() - n + 1);
+      domain.shadow().copy(&arena[to], &arena[at], n);
+      std::vector<Label> snapshot(n, kNoLabel);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto it = model.find(at + i);
+        if (it != model.end()) snapshot[i] = it->second;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (snapshot[i] == kNoLabel) {
+          model.erase(to + i);
+        } else {
+          model[to + i] = snapshot[i];
+        }
+      }
+    } else {  // verify a random window byte-by-byte
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto it = model.find(at + i);
+        const Label want = it == model.end() ? kNoLabel : it->second;
+        ASSERT_EQ(domain.shadow().get(&arena[at + i]), want)
+            << "offset " << at + i;
+      }
+    }
+  }
+  // Global invariant: tainted byte count matches the model (only bytes
+  // within our arena were ever labeled).
+  EXPECT_EQ(domain.shadow().tainted_bytes(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelModel,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+}  // namespace
+}  // namespace polar

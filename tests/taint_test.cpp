@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "taint/domain.h"
+#include "taint/label.h"
+#include "taint/shadow.h"
+#include "taint/tainted.h"
+
+namespace polar {
+namespace {
+
+TEST(LabelTable, FreshLabelsAreDistinctBases) {
+  LabelTable t;
+  const Label a = t.fresh("input-a");
+  const Label b = t.fresh("input-b");
+  EXPECT_NE(a, kNoLabel);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.description(a), "input-a");
+  EXPECT_EQ(t.description(b), "input-b");
+}
+
+TEST(LabelTable, UnionIdentities) {
+  LabelTable t;
+  const Label a = t.fresh("a");
+  EXPECT_EQ(t.unite(a, kNoLabel), a);
+  EXPECT_EQ(t.unite(kNoLabel, a), a);
+  EXPECT_EQ(t.unite(a, a), a);
+}
+
+TEST(LabelTable, UnionIsMemoized) {
+  LabelTable t;
+  const Label a = t.fresh("a");
+  const Label b = t.fresh("b");
+  const Label u1 = t.unite(a, b);
+  const Label u2 = t.unite(b, a);  // symmetric
+  EXPECT_EQ(u1, u2);
+  EXPECT_EQ(t.label_count(), 4u);  // 0, a, b, a|b
+}
+
+TEST(LabelTable, IncludesTracksClosure) {
+  LabelTable t;
+  const Label a = t.fresh("a");
+  const Label b = t.fresh("b");
+  const Label c = t.fresh("c");
+  const Label ab = t.unite(a, b);
+  const Label abc = t.unite(ab, c);
+  EXPECT_TRUE(t.includes(ab, a));
+  EXPECT_TRUE(t.includes(ab, b));
+  EXPECT_FALSE(t.includes(ab, c));
+  EXPECT_TRUE(t.includes(abc, a));
+  EXPECT_TRUE(t.includes(abc, c));
+  EXPECT_FALSE(t.includes(a, b));
+}
+
+TEST(LabelTable, SubsumptionAvoidsNewLabels) {
+  LabelTable t;
+  const Label a = t.fresh("a");
+  const Label b = t.fresh("b");
+  const Label ab = t.unite(a, b);
+  // a|b already includes a: union must return ab itself.
+  EXPECT_EQ(t.unite(ab, a), ab);
+  EXPECT_EQ(t.unite(b, ab), ab);
+}
+
+TEST(LabelTable, BasesOfFlattensDag) {
+  LabelTable t;
+  const Label a = t.fresh("a");
+  const Label b = t.fresh("b");
+  const Label c = t.fresh("c");
+  const Label abc = t.unite(t.unite(a, b), c);
+  EXPECT_EQ(t.bases_of(abc), (std::vector<Label>{a, b, c}));
+  EXPECT_EQ(t.bases_of(kNoLabel), std::vector<Label>{});
+  EXPECT_EQ(t.bases_of(a), std::vector<Label>{a});
+}
+
+TEST(ShadowMemory, SetAndGetByteGranularity) {
+  ShadowMemory shadow;
+  std::uint8_t buf[16] = {};
+  shadow.set(&buf[4], 4, 7);
+  EXPECT_EQ(shadow.get(&buf[3]), kNoLabel);
+  EXPECT_EQ(shadow.get(&buf[4]), 7);
+  EXPECT_EQ(shadow.get(&buf[7]), 7);
+  EXPECT_EQ(shadow.get(&buf[8]), kNoLabel);
+}
+
+TEST(ShadowMemory, ReadUnionCombinesLabels) {
+  LabelTable t;
+  const Label a = t.fresh("a");
+  const Label b = t.fresh("b");
+  ShadowMemory shadow;
+  std::uint8_t buf[8] = {};
+  shadow.set(&buf[0], 2, a);
+  shadow.set(&buf[6], 2, b);
+  const Label u = shadow.read_union(buf, 8, t);
+  EXPECT_TRUE(t.includes(u, a));
+  EXPECT_TRUE(t.includes(u, b));
+  EXPECT_EQ(shadow.read_union(&buf[2], 4, t), kNoLabel);
+}
+
+TEST(ShadowMemory, CopyMovesLabels) {
+  ShadowMemory shadow;
+  std::uint8_t src[8] = {}, dst[8] = {};
+  shadow.set(&src[2], 3, 5);
+  shadow.copy(dst, src, 8);
+  EXPECT_EQ(shadow.get(&dst[1]), kNoLabel);
+  EXPECT_EQ(shadow.get(&dst[2]), 5);
+  EXPECT_EQ(shadow.get(&dst[4]), 5);
+  EXPECT_EQ(shadow.get(&dst[5]), kNoLabel);
+}
+
+TEST(ShadowMemory, OverlappingCopyBehavesLikeMemmove) {
+  ShadowMemory shadow;
+  std::uint8_t buf[16] = {};
+  shadow.set(&buf[0], 4, 9);
+  shadow.copy(&buf[2], &buf[0], 4);  // overlap
+  EXPECT_EQ(shadow.get(&buf[2]), 9);
+  EXPECT_EQ(shadow.get(&buf[5]), 9);
+}
+
+TEST(ShadowMemory, ClearAndTaintedBytes) {
+  ShadowMemory shadow;
+  std::uint8_t buf[64] = {};
+  shadow.set(buf, 64, 3);
+  EXPECT_EQ(shadow.tainted_bytes(), 64u);
+  shadow.clear(&buf[0], 32);
+  EXPECT_EQ(shadow.tainted_bytes(), 32u);
+  shadow.reset();
+  EXPECT_EQ(shadow.tainted_bytes(), 0u);
+}
+
+TEST(ShadowMemory, CrossPageRanges) {
+  ShadowMemory shadow;
+  std::vector<std::uint8_t> big(10000);
+  shadow.set(big.data(), big.size(), 2);
+  EXPECT_EQ(shadow.get(&big[0]), 2);
+  EXPECT_EQ(shadow.get(&big[4096]), 2);
+  EXPECT_EQ(shadow.get(&big[9999]), 2);
+  EXPECT_EQ(shadow.tainted_bytes(), big.size());
+}
+
+TEST(TaintDomain, TaintInputLabelsBuffer) {
+  TaintDomain domain;
+  std::uint8_t input[32] = {};
+  const Label l = domain.taint_input(input, 32, "bmp file");
+  EXPECT_EQ(domain.shadow().get(&input[31]), l);
+  EXPECT_EQ(domain.labels().description(l), "bmp file");
+}
+
+TEST(TaintDomain, MemcpyAbiPropagates) {
+  TaintDomain domain;
+  std::uint8_t input[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::uint8_t copy[8] = {};
+  const Label l = domain.taint_input(input, 8, "file");
+  domain.t_memcpy(copy, input, 8);
+  EXPECT_EQ(0, std::memcmp(copy, input, 8));
+  EXPECT_EQ(domain.load_label(copy, 8), l);
+}
+
+TEST(TaintDomain, MemsetClearsTaint) {
+  TaintDomain domain;
+  std::uint8_t buf[8] = {};
+  domain.taint_input(buf, 8, "x");
+  domain.t_memset(buf, 0, 8);
+  EXPECT_EQ(domain.load_label(buf, 8), kNoLabel);
+}
+
+TEST(Tainted, ArithmeticPropagatesLabels) {
+  TaintDomain domain;
+  TaintScope scope(domain);
+  const Label la = domain.labels().fresh("a");
+  const Label lb = domain.labels().fresh("b");
+  const Tainted<int> a(10, la);
+  const Tainted<int> b(4, lb);
+  const Tainted<int> sum = a + b;
+  EXPECT_EQ(sum.value(), 14);
+  EXPECT_TRUE(domain.labels().includes(sum.label(), la));
+  EXPECT_TRUE(domain.labels().includes(sum.label(), lb));
+  const Tainted<int> shifted = a << Tainted<int>(2);
+  EXPECT_EQ(shifted.value(), 40);
+  EXPECT_EQ(shifted.label(), la);  // untainted shift amount adds nothing
+}
+
+TEST(Tainted, UntaintedStaysUntainted) {
+  const Tainted<int> a(3);
+  const Tainted<int> b(4);
+  // No TaintScope active: fine, both operands untainted.
+  EXPECT_EQ((a * b).value(), 12);
+  EXPECT_FALSE((a * b).tainted());
+}
+
+TEST(Tainted, MixedOpsKeepValueSemantics) {
+  TaintDomain domain;
+  TaintScope scope(domain);
+  const Label l = domain.labels().fresh("in");
+  Tainted<std::uint32_t> x(0x1234, l);
+  x = (x & Tainted<std::uint32_t>(0xff00)) >> Tainted<std::uint32_t>(8);
+  EXPECT_EQ(x.value(), 0x12u);
+  EXPECT_EQ(x.label(), l);
+  const Tainted<std::uint32_t> mod = x % Tainted<std::uint32_t>(7);
+  EXPECT_EQ(mod.value(), 0x12u % 7u);
+  EXPECT_TRUE(mod.tainted());
+}
+
+TEST(Tainted, CastPreservesLabel) {
+  TaintDomain domain;
+  TaintScope scope(domain);
+  const Label l = domain.labels().fresh("in");
+  const Tainted<std::uint32_t> big(0x1ffff, l);
+  const auto small = big.cast<std::uint16_t>();
+  EXPECT_EQ(small.value(), 0xffffu);
+  EXPECT_EQ(small.label(), l);
+}
+
+TEST(Tainted, ComparisonsDropTaint) {
+  TaintDomain domain;
+  TaintScope scope(domain);
+  const Label l = domain.labels().fresh("in");
+  const Tainted<int> a(5, l);
+  EXPECT_TRUE(a == Tainted<int>(5));
+  EXPECT_TRUE(a < Tainted<int>(9));
+}
+
+TEST(Tainted, LoadStoreRoundTripsShadow) {
+  TaintDomain domain;
+  TaintScope scope(domain);
+  const Label l = domain.labels().fresh("in");
+  std::uint64_t slot = 0;
+  store_tainted(domain, &slot, Tainted<std::uint64_t>(0xabcdULL, l));
+  EXPECT_EQ(slot, 0xabcdULL);
+  const auto back = load_tainted<std::uint64_t>(domain, &slot);
+  EXPECT_EQ(back.value(), 0xabcdULL);
+  EXPECT_EQ(back.label(), l);
+}
+
+TEST(Tainted, PartialOverwriteSplitsLabels) {
+  // Byte granularity: overwriting half a tainted word with clean data
+  // leaves the other half tainted — the DFSan behaviour TaintClass needs.
+  TaintDomain domain;
+  TaintScope scope(domain);
+  const Label l = domain.labels().fresh("in");
+  std::uint64_t slot = 0;
+  store_tainted(domain, &slot, Tainted<std::uint64_t>(~0ULL, l));
+  store_tainted(domain, &slot, Tainted<std::uint32_t>(0u));  // clean low half
+  EXPECT_EQ(domain.load_label(&slot, 4), kNoLabel);
+  EXPECT_EQ(domain.load_label(&slot, 8), l);
+}
+
+}  // namespace
+}  // namespace polar

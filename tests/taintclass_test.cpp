@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "taintclass/monitor.h"
+#include "taintclass/taint_space.h"
+
+namespace polar {
+namespace {
+
+struct Fixture {
+  TypeRegistry reg;
+  TypeId bmp_header;
+  TypeId pixel_row;
+  TypeId ui_widget;  // never touched by input
+  TaintDomain domain;
+  TaintClassMonitor monitor{reg};
+
+  Fixture() {
+    bmp_header = TypeBuilder(reg, "bmp_header")
+                     .field<std::uint32_t>("size")
+                     .field<std::uint32_t>("width")
+                     .field<std::uint32_t>("height")
+                     .ptr("pixels")
+                     .build();
+    pixel_row = TypeBuilder(reg, "pixel_row")
+                    .field<std::uint32_t>("len")
+                    .bytes("data", 64)
+                    .build();
+    ui_widget = TypeBuilder(reg, "ui_widget")
+                    .fn_ptr("on_click")
+                    .field<int>("x")
+                    .field<int>("y")
+                    .build();
+  }
+};
+
+TEST(TaintClass, ContentTaintDetected) {
+  Fixture fx;
+  TaintScope scope(fx.domain);
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+
+  std::uint8_t file[12] = {64, 0, 0, 0, 8, 0, 0, 0, 4, 0, 0, 0};
+  fx.domain.taint_input(file, sizeof(file), "bmp file");
+
+  void* hdr = space.alloc(fx.bmp_header);
+  const auto size = load_tainted<std::uint32_t>(fx.domain, &file[0]);
+  const auto width = load_tainted<std::uint32_t>(fx.domain, &file[4]);
+  space.store_t(hdr, fx.bmp_header, 0, size);
+  space.store_t(hdr, fx.bmp_header, 1, width);
+
+  void* widget = space.alloc(fx.ui_widget);
+  space.store(widget, fx.ui_widget, 1, 100);  // constant, untainted
+
+  EXPECT_TRUE(fx.monitor.is_tainted(fx.bmp_header));
+  EXPECT_FALSE(fx.monitor.is_tainted(fx.ui_widget));
+  EXPECT_EQ(fx.monitor.tainted_type_count(), 1u);
+
+  const auto reports = fx.monitor.report();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].type_name, "bmp_header");
+  EXPECT_TRUE(reports[0].content_tainted);
+  ASSERT_EQ(reports[0].tainted_fields.size(), 2u);
+
+  space.free_object(hdr, fx.bmp_header);
+  space.free_object(widget, fx.ui_widget);
+}
+
+TEST(TaintClass, DerivedValuesStayTainted) {
+  // width*height -> allocation size: the propagation chain of Fig. 5.
+  Fixture fx;
+  TaintScope scope(fx.domain);
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+
+  std::uint8_t file[8] = {8, 0, 0, 0, 4, 0, 0, 0};
+  fx.domain.taint_input(file, sizeof(file), "bmp");
+  const auto width = load_tainted<std::uint32_t>(fx.domain, &file[0]);
+  const auto height = load_tainted<std::uint32_t>(fx.domain, &file[4]);
+  const auto npixels = width * height;
+  EXPECT_TRUE(npixels.tainted());
+
+  // Allocation count decided by tainted data -> alloc_tainted.
+  void* row = space.alloc(fx.pixel_row, npixels.label());
+  space.store_t(row, fx.pixel_row, 0, npixels);
+  EXPECT_TRUE(fx.monitor.is_tainted(fx.pixel_row));
+  const auto reports = fx.monitor.report();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].alloc_tainted);
+  EXPECT_TRUE(reports[0].content_tainted);
+  space.free_object(row, fx.pixel_row);
+}
+
+TEST(TaintClass, DeallocUnderTaintedControl) {
+  Fixture fx;
+  TaintScope scope(fx.domain);
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+  std::uint8_t file[4] = {1, 0, 0, 0};
+  fx.domain.taint_input(file, 4, "cmd");
+  const auto cmd = load_tainted<std::uint32_t>(fx.domain, &file[0]);
+
+  void* w = space.alloc(fx.ui_widget);  // untainted alloc
+  if (cmd.value() == 1) {
+    space.free_object(w, fx.ui_widget, cmd.label());  // input decided this
+  }
+  EXPECT_TRUE(fx.monitor.is_tainted(fx.ui_widget));
+  const auto reports = fx.monitor.report();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].dealloc_tainted);
+  EXPECT_FALSE(reports[0].content_tainted);
+}
+
+TEST(TaintClass, CopyPropagatesIntoDestinationType) {
+  Fixture fx;
+  TaintScope scope(fx.domain);
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+  std::uint8_t file[4] = {9, 0, 0, 0};
+  fx.domain.taint_input(file, 4, "f");
+  void* a = space.alloc(fx.bmp_header);
+  space.store_t(a, fx.bmp_header, 2,
+                load_tainted<std::uint32_t>(fx.domain, &file[0]));
+  fx.monitor.reset();  // forget the original store; copy must re-detect
+
+  void* b = space.clone_object(a, fx.bmp_header);
+  EXPECT_TRUE(fx.monitor.is_tainted(fx.bmp_header));
+  EXPECT_EQ(space.load<std::uint32_t>(b, fx.bmp_header, 2), 9u);
+  space.free_object(a, fx.bmp_header);
+  space.free_object(b, fx.bmp_header);
+}
+
+TEST(TaintClass, UntaintedStoreClearsStaleShadow) {
+  Fixture fx;
+  TaintScope scope(fx.domain);
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+  std::uint8_t file[4] = {5, 0, 0, 0};
+  fx.domain.taint_input(file, 4, "f");
+  void* a = space.alloc(fx.bmp_header);
+  space.store_t(a, fx.bmp_header, 0,
+                load_tainted<std::uint32_t>(fx.domain, &file[0]));
+  // Program overwrites the field with a constant: taint must not linger.
+  space.store<std::uint32_t>(a, fx.bmp_header, 0, 0);
+  EXPECT_FALSE(space.load_t<std::uint32_t>(a, fx.bmp_header, 0).tainted());
+  space.free_object(a, fx.bmp_header);
+}
+
+TEST(TaintClass, FreeClearsShadowForAddressReuse) {
+  Fixture fx;
+  TaintScope scope(fx.domain);
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+  std::uint8_t file[4] = {5, 0, 0, 0};
+  fx.domain.taint_input(file, 4, "f");
+  void* a = space.alloc(fx.bmp_header);
+  space.store_t(a, fx.bmp_header, 1,
+                load_tainted<std::uint32_t>(fx.domain, &file[0]));
+  const auto addr = reinterpret_cast<std::uintptr_t>(a);
+  space.free_object(a, fx.bmp_header);
+  // Whatever reuses this address must start shadow-clean. (The shadow map
+  // is keyed by address value; no object is dereferenced here.)
+  EXPECT_EQ(fx.domain.shadow().read_union(reinterpret_cast<const void*>(addr),
+                                          8, fx.domain.labels()),
+            kNoLabel);
+}
+
+TEST(TaintClass, StoreBytesReportsBufferTaint) {
+  Fixture fx;
+  TaintScope scope(fx.domain);
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+  std::uint8_t file[16] = {};
+  fx.domain.taint_input(file, 16, "f");
+  void* row = space.alloc(fx.pixel_row);
+  space.store_bytes(row, fx.pixel_row, 1, 0, file, 16);
+  const auto reports = fx.monitor.report();
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_EQ(reports[0].tainted_fields.size(), 1u);
+  EXPECT_EQ(reports[0].tainted_fields[0].name, "data");
+  space.free_object(row, fx.pixel_row);
+}
+
+TEST(TaintClass, RandomizationListOrderedByEvidence) {
+  Fixture fx;
+  TaintScope scope(fx.domain);
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+  std::uint8_t file[8] = {};
+  fx.domain.taint_input(file, 8, "f");
+  void* hdr = space.alloc(fx.bmp_header);
+  void* row = space.alloc(fx.pixel_row);
+  const auto v = load_tainted<std::uint32_t>(fx.domain, &file[0]);
+  for (int i = 0; i < 5; ++i) space.store_t(row, fx.pixel_row, 0, v);
+  space.store_t(hdr, fx.bmp_header, 0, v);
+  const auto list = fx.monitor.randomization_list();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], "pixel_row");  // more events first
+  EXPECT_EQ(list[1], "bmp_header");
+  space.free_object(hdr, fx.bmp_header);
+  space.free_object(row, fx.pixel_row);
+}
+
+// End-to-end: fuzzing raises taint coverage on a branchy parser — the
+// §IV-B-2 claim that coverage guidance discovers more tainted objects than
+// a single input.
+TEST(TaintClass, FuzzingDiscoversMoreTaintedTypes) {
+  Fixture fx;
+  TaintClassSpace space(fx.reg, fx.domain, fx.monitor);
+
+  // Parser: only input starting with 'R' builds a pixel_row; only 'H'
+  // builds a bmp_header.
+  auto parse = [&](std::span<const std::uint8_t> in) {
+    POLAR_COV_SITE();
+    if (in.size() < 5) return;
+    TaintScope scope(fx.domain);
+    fx.domain.reset_shadow();
+    std::vector<std::uint8_t> buf(in.begin(), in.end());
+    fx.domain.taint_input(buf.data(), buf.size(), "fuzz input");
+    const auto tag = load_tainted<std::uint8_t>(fx.domain, &buf[0]);
+    if (tag.value() == 'R') {
+      POLAR_COV_SITE();
+      void* row = space.alloc(fx.pixel_row);
+      space.store_t(row, fx.pixel_row, 0,
+                    load_tainted<std::uint32_t>(fx.domain, &buf[1]));
+      space.free_object(row, fx.pixel_row);
+    } else if (tag.value() == 'H') {
+      POLAR_COV_SITE();
+      void* hdr = space.alloc(fx.bmp_header);
+      space.store_t(hdr, fx.bmp_header, 0,
+                    load_tainted<std::uint32_t>(fx.domain, &buf[1]));
+      space.free_object(hdr, fx.bmp_header);
+    }
+  };
+
+  // Single fixed input: sees at most one type.
+  const std::vector<std::uint8_t> seed{'x', 1, 2, 3, 4};
+  parse(seed);
+  const std::size_t without_fuzzing = fx.monitor.tainted_type_count();
+
+  Fuzzer fuzzer(parse, Fuzzer::Options{.seed = 99, .max_input_size = 16});
+  fuzzer.add_seed(seed);
+  fuzzer.run(20000);
+  EXPECT_GT(fx.monitor.tainted_type_count(), without_fuzzing);
+  EXPECT_EQ(fx.monitor.tainted_type_count(), 2u);
+}
+
+}  // namespace
+}  // namespace polar
