@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_spec_overhead.cpp" "bench/CMakeFiles/fig6_spec_overhead.dir/fig6_spec_overhead.cpp.o" "gcc" "bench/CMakeFiles/fig6_spec_overhead.dir/fig6_spec_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/polar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/taintclass/CMakeFiles/polar_taintclass.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/polar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/polar_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/polar_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mjs_series.dir/fig7_mjs_series.cpp.o"
+  "CMakeFiles/fig7_mjs_series.dir/fig7_mjs_series.cpp.o.d"
+  "fig7_mjs_series"
+  "fig7_mjs_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mjs_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

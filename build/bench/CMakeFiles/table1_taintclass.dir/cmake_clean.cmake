@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_taintclass.dir/table1_taintclass.cpp.o"
+  "CMakeFiles/table1_taintclass.dir/table1_taintclass.cpp.o.d"
+  "table1_taintclass"
+  "table1_taintclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_taintclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

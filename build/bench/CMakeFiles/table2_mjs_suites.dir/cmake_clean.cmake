@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mjs_suites.dir/table2_mjs_suites.cpp.o"
+  "CMakeFiles/table2_mjs_suites.dir/table2_mjs_suites.cpp.o.d"
+  "table2_mjs_suites"
+  "table2_mjs_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mjs_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cve_objects.dir/table4_cve_objects.cpp.o"
+  "CMakeFiles/table4_cve_objects.dir/table4_cve_objects.cpp.o.d"
+  "table4_cve_objects"
+  "table4_cve_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cve_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

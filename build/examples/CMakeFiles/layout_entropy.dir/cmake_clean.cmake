@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_entropy.dir/layout_entropy.cpp.o"
+  "CMakeFiles/layout_entropy.dir/layout_entropy.cpp.o.d"
+  "layout_entropy"
+  "layout_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjs_script.dir/mjs_script.cpp.o"
+  "CMakeFiles/mjs_script.dir/mjs_script.cpp.o.d"
+  "mjs_script"
+  "mjs_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjs_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

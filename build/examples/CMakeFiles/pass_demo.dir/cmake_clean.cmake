@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_demo.dir/pass_demo.cpp.o"
+  "CMakeFiles/pass_demo.dir/pass_demo.cpp.o.d"
+  "pass_demo"
+  "pass_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

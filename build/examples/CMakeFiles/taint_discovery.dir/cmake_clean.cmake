@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_discovery.dir/taint_discovery.cpp.o"
+  "CMakeFiles/taint_discovery.dir/taint_discovery.cpp.o.d"
+  "taint_discovery"
+  "taint_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

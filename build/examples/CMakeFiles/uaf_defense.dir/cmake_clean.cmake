@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uaf_defense.dir/uaf_defense.cpp.o"
+  "CMakeFiles/uaf_defense.dir/uaf_defense.cpp.o.d"
+  "uaf_defense"
+  "uaf_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uaf_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

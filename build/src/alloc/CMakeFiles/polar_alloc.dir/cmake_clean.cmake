@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_alloc.dir/heap.cpp.o"
+  "CMakeFiles/polar_alloc.dir/heap.cpp.o.d"
+  "libpolar_alloc.a"
+  "libpolar_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack.cpp" "src/attack/CMakeFiles/polar_attack.dir/attack.cpp.o" "gcc" "src/attack/CMakeFiles/polar_attack.dir/attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/polar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/polar_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/polar_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_attack.dir/attack.cpp.o"
+  "CMakeFiles/polar_attack.dir/attack.cpp.o.d"
+  "libpolar_attack.a"
+  "libpolar_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

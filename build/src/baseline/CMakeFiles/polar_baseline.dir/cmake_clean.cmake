@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_baseline.dir/static_olr.cpp.o"
+  "CMakeFiles/polar_baseline.dir/static_olr.cpp.o.d"
+  "libpolar_baseline.a"
+  "libpolar_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

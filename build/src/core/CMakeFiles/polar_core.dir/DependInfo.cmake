@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/layout.cpp" "src/core/CMakeFiles/polar_core.dir/layout.cpp.o" "gcc" "src/core/CMakeFiles/polar_core.dir/layout.cpp.o.d"
+  "/root/repo/src/core/metadata.cpp" "src/core/CMakeFiles/polar_core.dir/metadata.cpp.o" "gcc" "src/core/CMakeFiles/polar_core.dir/metadata.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/polar_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/polar_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/type_registry.cpp" "src/core/CMakeFiles/polar_core.dir/type_registry.cpp.o" "gcc" "src/core/CMakeFiles/polar_core.dir/type_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/polar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_core.dir/layout.cpp.o"
+  "CMakeFiles/polar_core.dir/layout.cpp.o.d"
+  "CMakeFiles/polar_core.dir/metadata.cpp.o"
+  "CMakeFiles/polar_core.dir/metadata.cpp.o.d"
+  "CMakeFiles/polar_core.dir/runtime.cpp.o"
+  "CMakeFiles/polar_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/polar_core.dir/type_registry.cpp.o"
+  "CMakeFiles/polar_core.dir/type_registry.cpp.o.d"
+  "libpolar_core.a"
+  "libpolar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

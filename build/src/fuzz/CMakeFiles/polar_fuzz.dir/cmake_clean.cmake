@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_fuzz.dir/fuzzer.cpp.o"
+  "CMakeFiles/polar_fuzz.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/polar_fuzz.dir/mutator.cpp.o"
+  "CMakeFiles/polar_fuzz.dir/mutator.cpp.o.d"
+  "libpolar_fuzz.a"
+  "libpolar_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

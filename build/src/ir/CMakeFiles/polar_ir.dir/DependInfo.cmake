@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/polar_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/polar_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/polar_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/polar_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/polar_pass.cpp" "src/ir/CMakeFiles/polar_ir.dir/polar_pass.cpp.o" "gcc" "src/ir/CMakeFiles/polar_ir.dir/polar_pass.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/polar_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/polar_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/polar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

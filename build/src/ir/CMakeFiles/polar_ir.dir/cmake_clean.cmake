@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_ir.dir/interp.cpp.o"
+  "CMakeFiles/polar_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/polar_ir.dir/ir.cpp.o"
+  "CMakeFiles/polar_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/polar_ir.dir/polar_pass.cpp.o"
+  "CMakeFiles/polar_ir.dir/polar_pass.cpp.o.d"
+  "CMakeFiles/polar_ir.dir/verifier.cpp.o"
+  "CMakeFiles/polar_ir.dir/verifier.cpp.o.d"
+  "libpolar_ir.a"
+  "libpolar_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

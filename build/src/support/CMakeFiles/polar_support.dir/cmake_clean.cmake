@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_support.dir/rng.cpp.o"
+  "CMakeFiles/polar_support.dir/rng.cpp.o.d"
+  "libpolar_support.a"
+  "libpolar_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_taint.dir/label.cpp.o"
+  "CMakeFiles/polar_taint.dir/label.cpp.o.d"
+  "CMakeFiles/polar_taint.dir/shadow.cpp.o"
+  "CMakeFiles/polar_taint.dir/shadow.cpp.o.d"
+  "libpolar_taint.a"
+  "libpolar_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

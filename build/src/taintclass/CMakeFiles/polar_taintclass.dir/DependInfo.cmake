@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taintclass/monitor.cpp" "src/taintclass/CMakeFiles/polar_taintclass.dir/monitor.cpp.o" "gcc" "src/taintclass/CMakeFiles/polar_taintclass.dir/monitor.cpp.o.d"
+  "/root/repo/src/taintclass/report_io.cpp" "src/taintclass/CMakeFiles/polar_taintclass.dir/report_io.cpp.o" "gcc" "src/taintclass/CMakeFiles/polar_taintclass.dir/report_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/polar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/polar_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/polar_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_taintclass.dir/monitor.cpp.o"
+  "CMakeFiles/polar_taintclass.dir/monitor.cpp.o.d"
+  "CMakeFiles/polar_taintclass.dir/report_io.cpp.o"
+  "CMakeFiles/polar_taintclass.dir/report_io.cpp.o.d"
+  "libpolar_taintclass.a"
+  "libpolar_taintclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_taintclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/minijpg.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/minijpg.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/minijpg.cpp.o.d"
+  "/root/repo/src/workloads/minipng.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/minipng.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/minipng.cpp.o.d"
+  "/root/repo/src/workloads/mjs/lexer.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/mjs/lexer.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/mjs/lexer.cpp.o.d"
+  "/root/repo/src/workloads/mjs/parser.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/mjs/parser.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/mjs/parser.cpp.o.d"
+  "/root/repo/src/workloads/mjs/suites.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/mjs/suites.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/mjs/suites.cpp.o.d"
+  "/root/repo/src/workloads/mjs/types.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/mjs/types.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/mjs/types.cpp.o.d"
+  "/root/repo/src/workloads/spec_group1.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/spec_group1.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/spec_group1.cpp.o.d"
+  "/root/repo/src/workloads/spec_group2.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/spec_group2.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/spec_group2.cpp.o.d"
+  "/root/repo/src/workloads/spec_group3.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/spec_group3.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/spec_group3.cpp.o.d"
+  "/root/repo/src/workloads/spec_suite.cpp" "src/workloads/CMakeFiles/polar_workloads.dir/spec_suite.cpp.o" "gcc" "src/workloads/CMakeFiles/polar_workloads.dir/spec_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/polar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/taintclass/CMakeFiles/polar_taintclass.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/polar_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/polar_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_workloads.dir/minijpg.cpp.o"
+  "CMakeFiles/polar_workloads.dir/minijpg.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/minipng.cpp.o"
+  "CMakeFiles/polar_workloads.dir/minipng.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/mjs/lexer.cpp.o"
+  "CMakeFiles/polar_workloads.dir/mjs/lexer.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/mjs/parser.cpp.o"
+  "CMakeFiles/polar_workloads.dir/mjs/parser.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/mjs/suites.cpp.o"
+  "CMakeFiles/polar_workloads.dir/mjs/suites.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/mjs/types.cpp.o"
+  "CMakeFiles/polar_workloads.dir/mjs/types.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/spec_group1.cpp.o"
+  "CMakeFiles/polar_workloads.dir/spec_group1.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/spec_group2.cpp.o"
+  "CMakeFiles/polar_workloads.dir/spec_group2.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/spec_group3.cpp.o"
+  "CMakeFiles/polar_workloads.dir/spec_group3.cpp.o.d"
+  "CMakeFiles/polar_workloads.dir/spec_suite.cpp.o"
+  "CMakeFiles/polar_workloads.dir/spec_suite.cpp.o.d"
+  "libpolar_workloads.a"
+  "libpolar_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_policy_test.dir/layout_policy_test.cpp.o"
+  "CMakeFiles/layout_policy_test.dir/layout_policy_test.cpp.o.d"
+  "layout_policy_test"
+  "layout_policy_test.pdb"
+  "layout_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minijpg_test.dir/minijpg_test.cpp.o"
+  "CMakeFiles/minijpg_test.dir/minijpg_test.cpp.o.d"
+  "minijpg_test"
+  "minijpg_test.pdb"
+  "minijpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minijpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipng_test.dir/minipng_test.cpp.o"
+  "CMakeFiles/minipng_test.dir/minipng_test.cpp.o.d"
+  "minipng_test"
+  "minipng_test.pdb"
+  "minipng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_model_test.dir/taint_model_test.cpp.o"
+  "CMakeFiles/taint_model_test.dir/taint_model_test.cpp.o.d"
+  "taint_model_test"
+  "taint_model_test.pdb"
+  "taint_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taintclass_test.dir/taintclass_test.cpp.o"
+  "CMakeFiles/taintclass_test.dir/taintclass_test.cpp.o.d"
+  "taintclass_test"
+  "taintclass_test.pdb"
+  "taintclass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taintclass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/alloc_test[1]_include.cmake")
+include("/root/repo/build/tests/taint_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/taintclass_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/minipng_test[1]_include.cmake")
+include("/root/repo/build/tests/minijpg_test[1]_include.cmake")
+include("/root/repo/build/tests/mjs_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_model_test[1]_include.cmake")
+include("/root/repo/build/tests/taint_model_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/report_io_test[1]_include.cmake")
