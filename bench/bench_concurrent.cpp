@@ -1,0 +1,113 @@
+// Scalability of the sharded runtime: N threads churning (alloc / field
+// access / free) against ONE shared Runtime, at 1/2/4/8 threads.
+//
+// Prints a JSON document (one object per thread count) so the numbers are
+// machine-readable, unlike the table-shaped paper benches. On a
+// single-core builder the >1-thread rows measure contention overhead
+// only — scaling needs real cores; the shard/TLS design is what this
+// bench certifies, the speedup itself is hardware-dependent.
+//
+// Usage: bench_concurrent [iters_per_thread]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+
+namespace {
+
+using namespace polar;
+
+struct Sample {
+  unsigned threads = 0;
+  std::uint64_t total_ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+/// One thread's share of the churn: a rolling window of live objects,
+/// each alloc followed by field writes/reads and eventually a free.
+void churn_thread(Runtime& rt, TypeId type, unsigned iters) {
+  Session s(rt);
+  std::vector<ObjRef> slots(16);
+  for (unsigned i = 0; i < iters; ++i) {
+    ObjRef& slot = slots[i % slots.size()];
+    if (slot) {
+      (void)s.write<std::uint64_t>(slot, 1, i);
+      (void)s.read<std::uint64_t>(slot, 1);
+      (void)s.destroy(slot);
+    }
+    slot = s.create(type).value();
+    (void)s.field(slot, 2);
+  }
+  for (ObjRef& slot : slots) {
+    if (slot) (void)s.destroy(slot);
+  }
+}
+
+Sample run(const TypeRegistry& reg, TypeId type, unsigned threads,
+           unsigned iters) {
+  RuntimeConfig cfg;
+  cfg.seed = 7;
+  cfg.on_violation = ErrorAction::kAbort;  // any race bug dies loudly
+  Runtime rt(reg, cfg);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back(churn_thread, std::ref(rt), type, iters);
+  }
+  for (std::thread& w : workers) w.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  const RuntimeStats st = rt.stats();
+  Sample out;
+  out.threads = threads;
+  // Every runtime entry counts as one operation.
+  out.total_ops = st.allocations + st.frees + st.member_accesses;
+  out.seconds = std::chrono::duration<double>(end - start).count();
+  out.ops_per_sec = out.seconds > 0 ? out.total_ops / out.seconds : 0.0;
+  out.cache_hit_rate = st.cache_hit_rate();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace polar;
+  const unsigned iters =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 50000u;
+
+  TypeRegistry reg;
+  const TypeId node = TypeBuilder(reg, "Node")
+                          .fn_ptr("vtable")
+                          .field<std::uint64_t>("value")
+                          .ptr("next")
+                          .field<std::uint64_t>("weight")
+                          .build();
+
+  std::printf("{\n  \"bench\": \"concurrent_churn\",\n");
+  std::printf("  \"iters_per_thread\": %u,\n", iters);
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"results\": [\n");
+  const unsigned counts[] = {1, 2, 4, 8};
+  double base_ops = 0.0;
+  for (std::size_t i = 0; i < std::size(counts); ++i) {
+    const Sample s = run(reg, node, counts[i], iters);
+    if (counts[i] == 1) base_ops = s.ops_per_sec;
+    std::printf("    {\"threads\": %u, \"total_ops\": %llu, "
+                "\"seconds\": %.4f, \"ops_per_sec\": %.0f, "
+                "\"speedup_vs_1t\": %.2f, \"cache_hit_rate\": %.3f}%s\n",
+                s.threads, static_cast<unsigned long long>(s.total_ops),
+                s.seconds, s.ops_per_sec,
+                base_ops > 0 ? s.ops_per_sec / base_ops : 0.0,
+                s.cache_hit_rate, i + 1 < std::size(counts) ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

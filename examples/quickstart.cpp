@@ -1,14 +1,16 @@
 // Quickstart: the POLaR public API in one file.
 //
 //   1. Describe a class (what the paper's CIE extracts from source).
-//   2. Allocate instances through the runtime: each gets its OWN layout.
-//   3. Access members through olr_getptr (what the LLVM pass would emit).
-//   4. See the detection features: use-after-free and booby traps.
+//   2. Allocate instances through a Session: each gets its OWN layout.
+//   3. Access members through checked ObjRef handles (what the LLVM pass
+//      would emit, upgraded from the legacy olr_* raw-pointer surface).
+//   4. See the detection features: use-after-free and booby traps —
+//      delivered as Result<T> error values, not hidden global state.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/runtime.h"
+#include "core/session.h"
 
 using namespace polar;
 
@@ -25,47 +27,47 @@ int main() {
   config.seed = entropy_seed();              // per-run randomness
   config.on_violation = ErrorAction::kReport;  // report instead of abort
   Runtime rt(registry, config);
+  Session polar(rt);  // cheap view over the engine; one per subsystem
 
   // --- 2. per-allocation randomization -------------------------------------
   std::printf("Three instances of the same type, three layouts:\n");
-  void* objs[3];
+  ObjRef objs[3];
   for (int i = 0; i < 3; ++i) {
-    objs[i] = rt.olr_malloc(people);
-    const ObjectRecord* rec = rt.inspect(objs[i]);
+    objs[i] = polar.create(people).value();
+    const ObjectRecord rec = polar.describe(objs[i]).value();
     std::printf("  obj%d: size=%2u  offsets{vtable=%2u age=%2u height=%2u}"
                 "  traps=%zu\n",
-                i, rec->layout->size, rec->layout->offsets[0],
-                rec->layout->offsets[1], rec->layout->offsets[2],
-                rec->layout->traps.size());
+                i, rec.layout->size, rec.layout->offsets[0],
+                rec.layout->offsets[1], rec.layout->offsets[2],
+                rec.layout->traps.size());
   }
 
   // --- 3. member access is position-independent ----------------------------
-  rt.store<int>(objs[0], 1, 44);   // age
-  rt.store<int>(objs[0], 2, 177);  // height
-  std::printf("obj0: age=%d height=%d (read back through olr_getptr)\n",
-              rt.load<int>(objs[0], 1), rt.load<int>(objs[0], 2));
+  (void)polar.write<int>(objs[0], 1, 44);   // age
+  (void)polar.write<int>(objs[0], 2, 177);  // height
+  std::printf("obj0: age=%d height=%d (read back through Session::read)\n",
+              polar.read<int>(objs[0], 1).value_or(0),
+              polar.read<int>(objs[0], 2).value_or(0));
 
   // --- 4a. use-after-free detection ----------------------------------------
-  rt.olr_free(objs[0]);
-  if (rt.olr_getptr(objs[0], 1) == nullptr) {
-    std::printf("dangling access detected: %s\n",
-                to_string(rt.last_violation()));
+  // The handle carries the allocation id, so the stale access is refused
+  // even if the address were already reused by a new object.
+  (void)polar.destroy(objs[0]);
+  if (const Result<int> r = polar.read<int>(objs[0], 1); !r.ok()) {
+    std::printf("dangling access detected: %s\n", to_string(r.error()));
   }
 
   // --- 4b. booby-trap detection ---------------------------------------------
   // Simulate a linear overwrite clobbering the start of obj1.
-  rt.clear_violation();
-  std::memset(objs[1], 0x41, 12);
-  if (!rt.check_traps(objs[1])) {
-    std::printf("overflow detected by booby trap: %s\n",
-                to_string(rt.last_violation()));
+  std::memset(objs[1].base, 0x41, 12);
+  if (const Result<void> r = polar.verify_traps(objs[1]); !r.ok()) {
+    std::printf("overflow detected by booby trap: %s\n", to_string(r.error()));
   }
 
-  rt.olr_free(objs[1]);
-  rt.olr_free(objs[2]);
-  rt.clear_violation();
+  (void)polar.destroy(objs[1]);
+  (void)polar.destroy(objs[2]);
 
-  const RuntimeStats& s = rt.stats();
+  const RuntimeStats s = polar.stats();
   std::printf("stats: %llu allocs, %llu frees, %llu member accesses "
               "(%.0f%% cache hits), %llu UAF detections, %llu trap hits\n",
               static_cast<unsigned long long>(s.allocations),

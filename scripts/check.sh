@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification gate:
+#   1. tier-1: regular build + complete ctest suite
+#   2. ThreadSanitizer build of the concurrency contract (concurrent_test)
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier-2: ThreadSanitizer concurrent_test =="
+cmake -B build-tsan -S . -DPOLAR_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target concurrent_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrent_test
+
+echo
+echo "check.sh: all gates passed"

@@ -2,11 +2,17 @@
 // caching mechanism that store the previous result of the lookup
 // procedure".
 //
-// Direct-mapped table keyed by (base address, field index). A hit skips
-// the metadata-table probe entirely, which is the dominant cost of
-// olr_getptr. Entries for an object are explicitly invalidated at free /
-// re-randomization time, so a hit is always for a live object and never
-// masks a use-after-free.
+// Two variants:
+//  * OffsetCache — the original shared direct-mapped table keyed by
+//    (base address, field index), with exact per-object invalidation.
+//    Single-threaded; kept for the baseline/ablation paths and tests.
+//  * ThreadOffsetCache — the concurrent runtime's per-thread cache. Each
+//    thread owns one, so stores never race; entries additionally carry the
+//    metadata-shard epoch they were filled under, and a hit is honored
+//    only while that epoch is still current. Freeing an object bumps its
+//    shard's epoch, which invalidates every thread's cached entries for
+//    that shard without the freeing thread ever touching a foreign cache —
+//    so a hit can never resurrect a freed object or mask a use-after-free.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +61,64 @@ class OffsetCache {
  private:
   struct Entry {
     const void* base = nullptr;
+    std::uint32_t field = 0;
+    std::uint32_t offset = 0;
+  };
+
+  [[nodiscard]] std::size_t slot_of(const void* base,
+                                    std::uint32_t field) const noexcept {
+    const std::uint64_t key =
+        mix64(reinterpret_cast<std::uintptr_t>(base) ^
+              (static_cast<std::uint64_t>(field) << 58) ^ field);
+    return static_cast<std::size_t>(key) & mask_;
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t mask_;
+};
+
+/// Per-thread offset cache keyed by (base, field, shard epoch). See the
+/// file comment for the invalidation protocol. 32 bytes per entry.
+///
+/// Entries also record the allocation id of the object they were filled
+/// for: an id-checked lookup (ObjRef handles) must match it, since a stale
+/// handle can share a base address with the current tenant without any
+/// epoch having changed since the entry was stored.
+class ThreadOffsetCache {
+ public:
+  explicit ThreadOffsetCache(std::uint32_t bits = 14)
+      : slots_(std::size_t{1} << bits), mask_((std::size_t{1} << bits) - 1) {}
+
+  /// Returns true and fills `offset` when the entry matches, was stored
+  /// under the epoch the caller just read from the owning shard, and —
+  /// for id-checked lookups (expect_id != 0) — belongs to that allocation.
+  [[nodiscard]] bool lookup(const void* base, std::uint32_t field,
+                            std::uint64_t shard_epoch,
+                            std::uint64_t expect_id,
+                            std::uint32_t& offset) const noexcept {
+    const Entry& e = slots_[slot_of(base, field)];
+    if (e.base == base && e.field == field && e.epoch == shard_epoch &&
+        (expect_id == 0 || e.object_id == expect_id)) {
+      offset = e.offset;
+      return true;
+    }
+    return false;
+  }
+
+  void store(const void* base, std::uint32_t field, std::uint32_t offset,
+             std::uint64_t shard_epoch, std::uint64_t object_id) noexcept {
+    slots_[slot_of(base, field)] = {base, shard_epoch, object_id, field, offset};
+  }
+
+  void clear() noexcept {
+    for (Entry& e : slots_) e = Entry{};
+  }
+
+ private:
+  struct Entry {
+    const void* base = nullptr;
+    std::uint64_t epoch = 0;
+    std::uint64_t object_id = 0;
     std::uint32_t field = 0;
     std::uint32_t offset = 0;
   };

@@ -10,6 +10,7 @@ namespace polar {
 // ---------------------------------------------------------------- interner
 
 const Layout* LayoutInterner::intern(Layout layout, bool& reused) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& bucket = entries_[layout.hash];
   if (dedup_) {
     for (Entry& e : bucket) {
@@ -27,8 +28,23 @@ const Layout* LayoutInterner::intern(Layout layout, bool& reused) {
   return bucket.back().layout.get();
 }
 
+void LayoutInterner::retain(const Layout* layout) {
+  POLAR_CHECK(layout != nullptr, "retain of null layout");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(layout->hash);
+  POLAR_CHECK(it != entries_.end(), "retain of unknown layout");
+  for (Entry& e : it->second) {
+    if (e.layout.get() == layout) {
+      ++e.refs;
+      return;
+    }
+  }
+  POLAR_CHECK(false, "layout not present in its hash bucket");
+}
+
 void LayoutInterner::release(const Layout* layout) {
   POLAR_CHECK(layout != nullptr, "release of null layout");
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(layout->hash);
   POLAR_CHECK(it != entries_.end(), "release of unknown layout");
   auto& bucket = it->second;

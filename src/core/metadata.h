@@ -1,22 +1,31 @@
 // POLaR object-tracking metadata — paper §IV-A-3 and Fig. 4.
 //
-// Two structures:
+// Three structures:
 //  * LayoutInterner: content-addressed store of Layout records with
 //    reference counts, implementing the paper's duplicate-metadata
 //    elimination ("Polar remove the duplicate metadata when two objects
-//    have the same randomized memory layout").
+//    have the same randomized memory layout"). Internally synchronized.
 //  * MetadataTable: open-addressing hash table from object base address to
 //    its ObjectRecord (type, interned layout, trap canary value). This is
 //    the "POLaR Metadata" table of Fig. 4 (base addr -> layout ptr).
+//    Unsynchronized; used directly in single-threaded contexts and as the
+//    per-shard table below.
+//  * ShardedMetadataTable: 2^k MetadataTable shards selected by address
+//    hash, each guarded by its own mutex (the snmalloc-style recipe for
+//    metadata that is written on every alloc/free), plus a per-shard
+//    epoch counter that thread-local offset caches validate hits against.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/layout.h"
 #include "core/type_registry.h"
+#include "support/hash.h"
 
 namespace polar {
 
@@ -33,7 +42,10 @@ struct ObjectRecord {
   std::uint64_t object_id = 0;
 };
 
-/// Content-addressed layout store with refcounts.
+/// Content-addressed layout store with refcounts. Thread-safe: interning
+/// and releasing are serialized on one mutex — the store is touched once
+/// per allocation/free, never per member access, so a single lock does not
+/// bottleneck the hot path.
 class LayoutInterner {
  public:
   explicit LayoutInterner(bool dedup_enabled) : dedup_(dedup_enabled) {}
@@ -43,10 +55,16 @@ class LayoutInterner {
   /// reports which happened.
   const Layout* intern(Layout layout, bool& reused);
 
+  /// Bumps the refcount of an already-interned layout. Used to keep a
+  /// layout alive while an operation (clone/copy) works on a record copy
+  /// outside its shard lock.
+  void retain(const Layout* layout);
+
   /// Drops one reference; destroys the record at zero.
   void release(const Layout* layout);
 
   [[nodiscard]] std::size_t live_layouts() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
   }
 
@@ -56,6 +74,7 @@ class LayoutInterner {
     std::uint64_t refs = 0;
   };
   bool dedup_;
+  mutable std::mutex mu_;
   // Keyed by layout hash; collisions resolved by full comparison within
   // the bucket vector.
   std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
@@ -101,6 +120,74 @@ class MetadataTable {
   std::vector<Slot> slots_;
   std::size_t size_ = 0;
   std::size_t mask_ = 0;
+};
+
+/// 2^k-way sharded metadata store. Each shard owns an independent
+/// MetadataTable and mutex; the shard for an address is picked by hashing
+/// the address, so unrelated objects contend only 1/2^k of the time.
+///
+/// The per-shard `epoch` is the invalidation protocol for the thread-local
+/// offset caches: it is bumped (under the shard mutex) every time a record
+/// leaves the shard, and a cached (base, field, offset) entry is only
+/// honored while the epoch it was stored under is still current. A free on
+/// any thread therefore invalidates every other thread's cached entries
+/// for that shard without touching their caches.
+class ShardedMetadataTable {
+ public:
+  /// Padded to a cache line so shard mutexes don't false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    MetadataTable table{64};
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
+  explicit ShardedMetadataTable(std::uint32_t shard_bits = 6)
+      : shards_(std::size_t{1} << shard_bits),
+        mask_((std::size_t{1} << shard_bits) - 1) {}
+
+  [[nodiscard]] Shard& shard_of(const void* base) noexcept {
+    return shards_[shard_index(base)];
+  }
+  [[nodiscard]] const Shard& shard_of(const void* base) const noexcept {
+    return shards_[shard_index(base)];
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Total live records (locks each shard in turn; the result is exact
+  /// only at quiescent points).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.table.size();
+    }
+    return n;
+  }
+
+  /// Visits every live record, one shard lock at a time. The callback must
+  /// not re-enter the table (it runs under a shard mutex).
+  template <class F>
+  void for_each(F&& fn) const {
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.table.for_each(fn);
+    }
+  }
+
+ private:
+  // Uses the high half of the mixed address so shard selection stays
+  // decorrelated from the low bits MetadataTable probes with.
+  [[nodiscard]] std::size_t shard_index(const void* base) const noexcept {
+    return static_cast<std::size_t>(
+               mix64(reinterpret_cast<std::uintptr_t>(base)) >> 32) &
+           mask_;
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t mask_;
 };
 
 }  // namespace polar

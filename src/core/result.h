@@ -1,0 +1,103 @@
+// Typed error surface of the redesigned runtime API.
+//
+// The legacy olr_* surface signals failure with sentinel returns (nullptr /
+// false) plus a mutable last_violation() the caller must remember to poll —
+// workable single-threaded, meaningless once two threads share a runtime.
+// The concurrent API instead returns Result<T>: either a value or the
+// Violation that refused the operation, and ObjRef handles that carry the
+// allocation id so stale handles are detected even after address reuse.
+#pragma once
+
+#include <cstdint>
+
+#include "core/type_registry.h"
+#include "support/assert.h"
+
+namespace polar {
+
+/// What the runtime detected when it refused an operation.
+enum class Violation : std::uint8_t {
+  kNone,
+  kUseAfterFree,  ///< access/copy/free of an untracked or stale base address
+  kDoubleFree,
+  kTrapDamaged,   ///< booby-trap canary overwritten
+  kBadField,      ///< field index out of range for the object's type
+  kTypeMismatch,  ///< typed access found an object of a different class
+};
+
+/// Human-readable violation name (diagnostics and test failure messages).
+[[nodiscard]] const char* to_string(Violation v) noexcept;
+
+/// Handle to a tracked object. `id` is the runtime's monotonically
+/// increasing allocation id: operations that receive a nonzero id verify it
+/// against the live record, so a handle to a freed-and-reused address is
+/// reported as kUseAfterFree instead of silently aliasing the new tenant.
+/// id 0 marks a legacy (unchecked) handle, used by the olr_* wrappers.
+struct ObjRef {
+  void* base = nullptr;
+  std::uint64_t id = 0;
+  TypeId type{};
+
+  [[nodiscard]] constexpr explicit operator bool() const noexcept {
+    return base != nullptr;
+  }
+  friend constexpr bool operator==(const ObjRef&, const ObjRef&) = default;
+};
+
+/// Value-or-Violation. Accessing value() on a failed result is a checked
+/// program error, never UB.
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  constexpr Result(T value) : value_(static_cast<T&&>(value)) {}  // NOLINT
+  [[nodiscard]] static constexpr Result failure(Violation v) noexcept {
+    Result r;
+    r.error_ = v;
+    return r;
+  }
+
+  [[nodiscard]] constexpr bool ok() const noexcept {
+    return error_ == Violation::kNone;
+  }
+  constexpr explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] constexpr Violation error() const noexcept { return error_; }
+
+  [[nodiscard]] constexpr T& value() {
+    POLAR_CHECK(ok(), to_string(error_));
+    return value_;
+  }
+  [[nodiscard]] constexpr const T& value() const {
+    POLAR_CHECK(ok(), to_string(error_));
+    return value_;
+  }
+  [[nodiscard]] constexpr T value_or(T fallback) const {
+    return ok() ? value_ : fallback;
+  }
+
+ private:
+  constexpr Result() = default;
+  T value_{};
+  Violation error_ = Violation::kNone;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  constexpr Result() = default;
+  [[nodiscard]] static constexpr Result failure(Violation v) noexcept {
+    Result r;
+    r.error_ = v;
+    return r;
+  }
+
+  [[nodiscard]] constexpr bool ok() const noexcept {
+    return error_ == Violation::kNone;
+  }
+  constexpr explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] constexpr Violation error() const noexcept { return error_; }
+
+ private:
+  Violation error_ = Violation::kNone;
+};
+
+}  // namespace polar

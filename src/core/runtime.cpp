@@ -1,9 +1,12 @@
 #include "core/runtime.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
+#include <unordered_map>
 
 #include "support/assert.h"
+#include "support/hash.h"
 
 namespace polar {
 
@@ -19,14 +22,59 @@ const char* to_string(Violation v) noexcept {
   return "unknown";
 }
 
+namespace {
+
+std::uint64_t next_runtime_id() noexcept {
+  // Never reused across a process, so a thread's TLS entry for a destroyed
+  // runtime can never be mistaken for a new runtime at the same address.
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+constexpr std::uint32_t clamp_shard_bits(std::uint32_t bits) noexcept {
+  return bits > 10 ? 10 : bits;
+}
+
+}  // namespace
+
 Runtime::Runtime(const TypeRegistry& registry, RuntimeConfig config)
     : registry_(registry),
       config_(config),
+      table_(clamp_shard_bits(config.shard_bits)),
       interner_(config.dedup_layouts),
-      cache_(config.cache_bits),
-      rng_(config.seed) {}
+      runtime_id_(next_runtime_id()) {}
 
 Runtime::~Runtime() { free_all(); }
+
+Runtime::ThreadState& Runtime::tls() const {
+  // Keyed by runtime id, not address: ids are process-unique, so stale
+  // entries left by destroyed runtimes are dead weight, never aliases.
+  thread_local std::unordered_map<std::uint64_t, ThreadState*> t_states;
+  thread_local std::uint64_t t_last_id = 0;
+  thread_local ThreadState* t_last = nullptr;
+  if (t_last_id == runtime_id_ && t_last != nullptr) return *t_last;
+  auto it = t_states.find(runtime_id_);
+  if (it == t_states.end()) {
+    std::lock_guard<std::mutex> lock(tls_mu_);
+    auto state =
+        std::make_unique<ThreadState>(config_.cache_bits, next_rng_stream());
+    it = t_states.emplace(runtime_id_, state.get()).first;
+    thread_states_.push_back(std::move(state));
+  }
+  t_last_id = runtime_id_;
+  t_last = it->second;
+  return *t_last;
+}
+
+Rng Runtime::next_rng_stream() const {
+  // Stream 0 — the first thread to touch the runtime — reproduces exactly
+  // the sequence the single-threaded runtime drew from config.seed, so
+  // every seeded workload and test keeps its pre-concurrency behaviour.
+  // Later threads get independent streams split off the same seed.
+  const std::uint64_t n = rng_streams_issued_++;
+  if (n == 0) return Rng(config_.seed);
+  return Rng(mix64(config_.seed + 0x9e3779b97f4a7c15ULL * n));
+}
 
 void* Runtime::raw_alloc(std::size_t size) {
   if (config_.alloc_fn != nullptr) {
@@ -43,22 +91,16 @@ void Runtime::raw_free(void* p, std::size_t size) {
   ::operator delete(p);
 }
 
-void Runtime::violation(Violation v) {
-  last_violation_ = v;
+void Runtime::violation(ThreadState& ts, Violation v) {
+  ts.last_violation = v;
   if (v == Violation::kUseAfterFree || v == Violation::kDoubleFree) {
-    ++stats_.uaf_detected;
+    ++ts.stats.uaf_detected;
   } else if (v == Violation::kTrapDamaged) {
-    ++stats_.traps_triggered;
+    ++ts.stats.traps_triggered;
   }
   if (config_.on_violation == ErrorAction::kAbort) {
     POLAR_CHECK(false, to_string(v));
   }
-}
-
-const ObjectRecord* Runtime::require(const void* base, Violation on_missing) {
-  const ObjectRecord* rec = table_.find(base);
-  if (rec == nullptr) violation(on_missing);
-  return rec;
 }
 
 void Runtime::fill_traps(const ObjectRecord& rec) {
@@ -84,15 +126,22 @@ bool Runtime::traps_intact(const ObjectRecord& rec) const noexcept {
   return true;
 }
 
-void* Runtime::olr_malloc(TypeId type) {
+ObjectRecord Runtime::create_object(ThreadState& ts, TypeId type,
+                                    const Layout* share_layout) {
   const TypeInfo& info = registry_.info(type);
   bool reused = false;
-  const Layout* layout =
-      interner_.intern(randomize_layout(info, config_.policy, rng_), reused);
-  if (reused) {
-    ++stats_.layouts_deduped;
+  const Layout* layout;
+  if (share_layout == nullptr) {
+    layout = interner_.intern(randomize_layout(info, config_.policy, ts.rng),
+                              reused);
   } else {
-    ++stats_.layouts_created;
+    Layout same = *share_layout;
+    layout = interner_.intern(std::move(same), reused);
+  }
+  if (reused) {
+    ++ts.stats.layouts_deduped;
+  } else {
+    ++ts.stats.layouts_created;
   }
 
   void* base = raw_alloc(layout->size);
@@ -101,154 +150,263 @@ void* Runtime::olr_malloc(TypeId type) {
   ObjectRecord rec{.base = base,
                    .type = type,
                    .layout = layout,
-                   .trap_value = rng_.next() | 1,  // never all-zero
-                   .object_id = next_object_id_++};
-  fill_traps(rec);
-  table_.insert(rec);
-
-  ++stats_.allocations;
-  stats_.bytes_requested += info.natural_size;
-  stats_.bytes_allocated += layout->size;
-  return base;
+                   .trap_value = ts.rng.next() | 1,  // never all-zero
+                   .object_id = next_object_id_.fetch_add(
+                       1, std::memory_order_relaxed)};
+  fill_traps(rec);  // before publication: no lock needed
+  {
+    ShardedMetadataTable::Shard& sh = table_.shard_of(base);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.table.insert(rec);
+  }
+  ts.stats.bytes_requested += info.natural_size;
+  ts.stats.bytes_allocated += layout->size;
+  return rec;
 }
 
-bool Runtime::olr_free(void* base) {
-  const ObjectRecord* rec = require(base, Violation::kDoubleFree);
-  if (rec == nullptr) return false;
-  if (!traps_intact(*rec)) {
+Result<ObjectRecord> Runtime::pin_record(ObjRef ref) const {
+  ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const ObjectRecord* rec = sh.table.find(ref.base);
+  if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
+    return Result<ObjectRecord>::failure(Violation::kUseAfterFree);
+  }
+  // Lock order is always shard -> interner (intern/release are never
+  // called with a shard mutex held in the other direction), so retaining
+  // here cannot deadlock.
+  interner_.retain(rec->layout);
+  return *rec;
+}
+
+Result<ObjRef> Runtime::obj_alloc(TypeId type) {
+  ThreadState& ts = tls();
+  const ObjectRecord rec = create_object(ts, type, nullptr);
+  ++ts.stats.allocations;
+  return ObjRef{rec.base, rec.object_id, type};
+}
+
+Result<void> Runtime::obj_free(ObjRef ref) {
+  ThreadState& ts = tls();
+  ObjectRecord copy{};
+  std::uint32_t alloc_size = 0;
+  bool trap_damaged = false;
+  bool found = false;
+  {
+    ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const ObjectRecord* rec = sh.table.find(ref.base);
+    if (rec != nullptr && (ref.id == 0 || rec->object_id == ref.id)) {
+      found = true;
+      copy = *rec;
+      alloc_size = copy.layout->size;
+      trap_damaged = !traps_intact(copy);
+      sh.table.remove(ref.base);
+      // Publish the removal to every thread's offset cache: any entry for
+      // this shard stored under an older epoch is now a guaranteed miss.
+      sh.epoch.fetch_add(1, std::memory_order_release);
+    }
+  }
+  if (!found) {
+    violation(ts, Violation::kDoubleFree);
+    return Result<void>::failure(Violation::kDoubleFree);
+  }
+  if (trap_damaged) {
     // Report the damage but still release the object: the paper's traps
     // are a detection mechanism, and tests want to continue afterwards.
-    violation(Violation::kTrapDamaged);
+    violation(ts, Violation::kTrapDamaged);
   }
-  const ObjectRecord copy = *rec;
-  const TypeInfo& info = registry_.info(copy.type);
-  if (config_.enable_cache) cache_.invalidate_object(base, info.field_count());
-  table_.remove(base);
   interner_.release(copy.layout);
-  raw_free(copy.base, copy.layout->size);
-  ++stats_.frees;
-  return true;
+  raw_free(copy.base, alloc_size);
+  ++ts.stats.frees;
+  return trap_damaged ? Result<void>::failure(Violation::kTrapDamaged)
+                      : Result<void>{};
 }
 
-void* Runtime::olr_getptr(void* base, std::uint32_t field) {
-  ++stats_.member_accesses;
+Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
+  ThreadState& ts = tls();
+  ++ts.stats.member_accesses;
+  ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
   if (config_.enable_cache) {
+    const std::uint64_t epoch = sh.epoch.load(std::memory_order_acquire);
     std::uint32_t offset = 0;
-    if (cache_.lookup(base, field, offset)) {
-      ++stats_.cache_hits;
-      return static_cast<unsigned char*>(base) + offset;
+    if (ts.cache.lookup(ref.base, field, epoch, ref.id, offset)) {
+      ++ts.stats.cache_hits;
+      return static_cast<unsigned char*>(ref.base) + offset;
     }
   }
-  const ObjectRecord* rec = require(base, Violation::kUseAfterFree);
-  if (rec == nullptr) return nullptr;
-  if (field >= rec->layout->offsets.size()) {
-    violation(Violation::kBadField);
-    return nullptr;
+  std::uint32_t offset = 0;
+  Violation v = Violation::kNone;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const ObjectRecord* rec = sh.table.find(ref.base);
+    if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
+      v = Violation::kUseAfterFree;
+    } else if (field >= rec->layout->offsets.size()) {
+      v = Violation::kBadField;
+    } else {
+      offset = rec->layout->offsets[field];
+      if (config_.enable_cache) {
+        ts.cache.store(ref.base, field, offset,
+                       sh.epoch.load(std::memory_order_relaxed),
+                       rec->object_id);
+      }
+    }
   }
-  const std::uint32_t offset = rec->layout->offsets[field];
-  if (config_.enable_cache) cache_.store(base, field, offset);
-  return static_cast<unsigned char*>(base) + offset;
+  if (v != Violation::kNone) {
+    violation(ts, v);
+    return Result<void*>::failure(v);
+  }
+  return static_cast<unsigned char*>(ref.base) + offset;
 }
 
-void* Runtime::olr_getptr_typed(void* base, TypeId expected,
-                                std::uint32_t field) {
-  // The cache is keyed by (base, field) only; a hit would skip the type
-  // check, so the strict path consults metadata first.
-  ++stats_.member_accesses;
-  const ObjectRecord* rec = require(base, Violation::kUseAfterFree);
-  if (rec == nullptr) return nullptr;
-  if (!(rec->type == expected)) {
-    violation(Violation::kTypeMismatch);
-    return nullptr;
+Result<void*> Runtime::obj_field_typed(ObjRef ref, TypeId expected,
+                                       std::uint32_t field) {
+  // The cache cannot carry the class of the cached object, and a hit would
+  // skip the type check, so the strict path always consults metadata.
+  ThreadState& ts = tls();
+  ++ts.stats.member_accesses;
+  std::uint32_t offset = 0;
+  Violation v = Violation::kNone;
+  {
+    ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const ObjectRecord* rec = sh.table.find(ref.base);
+    if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
+      v = Violation::kUseAfterFree;
+    } else if (!(rec->type == expected)) {
+      v = Violation::kTypeMismatch;
+    } else if (field >= rec->layout->offsets.size()) {
+      v = Violation::kBadField;
+    } else {
+      offset = rec->layout->offsets[field];
+    }
   }
-  if (field >= rec->layout->offsets.size()) {
-    violation(Violation::kBadField);
-    return nullptr;
+  if (v != Violation::kNone) {
+    violation(ts, v);
+    return Result<void*>::failure(v);
   }
-  return static_cast<unsigned char*>(base) + rec->layout->offsets[field];
+  return static_cast<unsigned char*>(ref.base) + offset;
 }
 
-void* Runtime::olr_clone(const void* src) {
-  const ObjectRecord* src_rec = require(src, Violation::kUseAfterFree);
-  if (src_rec == nullptr) return nullptr;
+Result<ObjRef> Runtime::obj_clone(ObjRef src) {
+  ThreadState& ts = tls();
+  const Result<ObjectRecord> pinned = pin_record(src);
+  if (!pinned.ok()) {
+    violation(ts, pinned.error());
+    return Result<ObjRef>::failure(pinned.error());
+  }
+  const ObjectRecord& src_rec = pinned.value();
   // Re-randomize by default; otherwise share the source layout so the
   // clone is byte-copyable (perf ablation mode).
-  const ObjectRecord src_copy = *src_rec;  // olr_malloc may rehash the table
-  void* dst = nullptr;
-  if (config_.rerandomize_on_copy) {
-    dst = olr_malloc(src_copy.type);
-    --stats_.allocations;  // counted as a memcpy, not an allocation site
+  const ObjectRecord dst_rec = create_object(
+      ts, src_rec.type,
+      config_.rerandomize_on_copy ? nullptr : src_rec.layout);
+  const TypeInfo& info = registry_.info(src_rec.type);
+  for (std::uint32_t f = 0; f < info.field_count(); ++f) {
+    std::memcpy(static_cast<unsigned char*>(dst_rec.base) +
+                    dst_rec.layout->offsets[f],
+                static_cast<const unsigned char*>(src_rec.base) +
+                    src_rec.layout->offsets[f],
+                info.fields[f].size);
+  }
+  interner_.release(src_rec.layout);
+  ++ts.stats.memcpys;
+  return ObjRef{dst_rec.base, dst_rec.object_id, src_rec.type};
+}
+
+Result<void> Runtime::obj_copy(ObjRef dst, ObjRef src) {
+  ThreadState& ts = tls();
+  const Result<ObjectRecord> src_pin = pin_record(src);
+  if (!src_pin.ok()) {
+    violation(ts, src_pin.error());
+    return Result<void>::failure(src_pin.error());
+  }
+  const Result<ObjectRecord> dst_pin = pin_record(dst);
+  if (!dst_pin.ok()) {
+    interner_.release(src_pin.value().layout);
+    violation(ts, dst_pin.error());
+    return Result<void>::failure(dst_pin.error());
+  }
+  const ObjectRecord& src_rec = src_pin.value();
+  const ObjectRecord& dst_rec = dst_pin.value();
+  Result<void> result{};
+  if (!(src_rec.type == dst_rec.type)) {
+    violation(ts, Violation::kBadField);
+    result = Result<void>::failure(Violation::kBadField);
   } else {
-    const TypeInfo& info = registry_.info(src_copy.type);
-    bool reused = false;
-    Layout same = *src_copy.layout;
-    const Layout* layout = interner_.intern(std::move(same), reused);
-    if (reused) {
-      ++stats_.layouts_deduped;
-    } else {
-      ++stats_.layouts_created;  // dedup disabled: a fresh copy record
+    const TypeInfo& info = registry_.info(src_rec.type);
+    for (std::uint32_t f = 0; f < info.field_count(); ++f) {
+      std::memmove(static_cast<unsigned char*>(dst_rec.base) +
+                       dst_rec.layout->offsets[f],
+                   static_cast<const unsigned char*>(src_rec.base) +
+                       src_rec.layout->offsets[f],
+                   info.fields[f].size);
     }
-    dst = raw_alloc(layout->size);
-    std::memset(dst, 0, layout->size);
-    ObjectRecord rec{.base = dst,
-                     .type = src_copy.type,
-                     .layout = layout,
-                     .trap_value = rng_.next() | 1,
-                     .object_id = next_object_id_++};
-    fill_traps(rec);
-    table_.insert(rec);
-    stats_.bytes_requested += info.natural_size;
-    stats_.bytes_allocated += layout->size;
+    ++ts.stats.memcpys;
   }
-  const ObjectRecord* dst_rec = table_.find(dst);
-  const TypeInfo& info = registry_.info(src_copy.type);
-  for (std::uint32_t f = 0; f < info.field_count(); ++f) {
-    std::memcpy(
-        static_cast<unsigned char*>(dst) + dst_rec->layout->offsets[f],
-        static_cast<const unsigned char*>(src) + src_copy.layout->offsets[f],
-        info.fields[f].size);
-  }
-  ++stats_.memcpys;
-  return dst;
+  interner_.release(dst_rec.layout);
+  interner_.release(src_rec.layout);
+  return result;
 }
 
-bool Runtime::olr_memcpy(void* dst, const void* src) {
-  const ObjectRecord* src_rec = require(src, Violation::kUseAfterFree);
-  if (src_rec == nullptr) return false;
-  const ObjectRecord* dst_rec = require(dst, Violation::kUseAfterFree);
-  if (dst_rec == nullptr) return false;
-  if (!(src_rec->type == dst_rec->type)) {
-    violation(Violation::kBadField);
-    return false;
+Result<void> Runtime::obj_check_traps(ObjRef ref) {
+  ThreadState& ts = tls();
+  Violation v = Violation::kNone;
+  {
+    ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const ObjectRecord* rec = sh.table.find(ref.base);
+    if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
+      v = Violation::kUseAfterFree;
+    } else if (!traps_intact(*rec)) {
+      v = Violation::kTrapDamaged;
+    }
   }
-  const TypeInfo& info = registry_.info(src_rec->type);
-  for (std::uint32_t f = 0; f < info.field_count(); ++f) {
-    std::memmove(
-        static_cast<unsigned char*>(dst) + dst_rec->layout->offsets[f],
-        static_cast<const unsigned char*>(src) + src_rec->layout->offsets[f],
-        info.fields[f].size);
+  if (v != Violation::kNone) {
+    violation(ts, v);
+    return Result<void>::failure(v);
   }
-  ++stats_.memcpys;
-  return true;
-}
-
-bool Runtime::check_traps(const void* base) {
-  const ObjectRecord* rec = require(base, Violation::kUseAfterFree);
-  if (rec == nullptr) return false;
-  if (!traps_intact(*rec)) {
-    violation(Violation::kTrapDamaged);
-    return false;
-  }
-  return true;
+  return Result<void>{};
 }
 
 const ObjectRecord* Runtime::inspect(const void* base) const noexcept {
-  return table_.find(base);
+  ShardedMetadataTable::Shard& sh = table_.shard_of(base);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.table.find(base);
+}
+
+Result<ObjectRecord> Runtime::describe(ObjRef ref) const {
+  ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const ObjectRecord* rec = sh.table.find(ref.base);
+  if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
+    return Result<ObjectRecord>::failure(Violation::kUseAfterFree);
+  }
+  return *rec;
+}
+
+RuntimeStats Runtime::stats() const noexcept {
+  std::lock_guard<std::mutex> lock(tls_mu_);
+  RuntimeStats total;
+  for (const auto& st : thread_states_) total.add(st->stats);
+  return total;
+}
+
+void Runtime::reset_stats() noexcept {
+  std::lock_guard<std::mutex> lock(tls_mu_);
+  for (const auto& st : thread_states_) st->stats.reset();
+}
+
+Violation Runtime::last_violation() const noexcept {
+  return tls().last_violation;
+}
+
+void Runtime::clear_violation() noexcept {
+  tls().last_violation = Violation::kNone;
 }
 
 void Runtime::free_all() {
   std::vector<void*> bases;
-  bases.reserve(table_.size());
   table_.for_each([&](const ObjectRecord& rec) { bases.push_back(rec.base); });
   for (void* b : bases) olr_free(b);
 }

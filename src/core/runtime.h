@@ -11,31 +11,51 @@
 // detection features: booby-trap canaries adjacent to sensitive fields,
 // and use-after-free detection on any access whose base address has no
 // live metadata record.
+//
+// Concurrency model (see DESIGN.md §8): one Runtime may be shared by any
+// number of threads.
+//   * Metadata lives in a ShardedMetadataTable — 2^k address-hash-keyed
+//     shards, each with its own mutex, so alloc/free/access of unrelated
+//     objects rarely contend.
+//   * Offset caching is per-thread (ThreadOffsetCache) and validated
+//     against per-shard epochs, so invalidation on free is race-free
+//     without cross-thread cache writes.
+//   * Each thread draws layouts from its own RNG stream split off the
+//     config seed; the first thread to touch a runtime gets the exact
+//     stream a single-threaded runtime would, preserving seeded
+//     reproducibility of every pre-existing workload.
+//   * Stats counters and last_violation() are per-thread; stats()
+//     aggregates across threads (exact at quiescent points).
+// Custom alloc_fn/free_fn hooks must themselves be thread-safe if the
+// runtime is shared (the default operator new/delete is).
+//
+// Two API surfaces share this engine:
+//   * The canonical Result-returning obj_* methods (consumed by the
+//     polar::Session facade in core/session.h): failures are values, and
+//     ObjRef handles carry the allocation id so stale handles are caught
+//     even after the address is reused.
+//   * The legacy olr_* methods — thin wrappers over obj_* kept for the
+//     instrumentation pass and existing workloads during migration; they
+//     signal failure via sentinel returns plus the per-thread
+//     last_violation().
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/cache.h"
 #include "core/layout.h"
 #include "core/metadata.h"
+#include "core/result.h"
 #include "core/stats.h"
 #include "core/type_registry.h"
 #include "support/rng.h"
 
 namespace polar {
-
-/// What olr_* detected when it refused an operation.
-enum class Violation : std::uint8_t {
-  kNone,
-  kUseAfterFree,  ///< access/copy/free of an untracked base address
-  kDoubleFree,
-  kTrapDamaged,   ///< booby-trap canary overwritten
-  kBadField,      ///< field index out of range for the object's type
-  kTypeMismatch,  ///< typed access found an object of a different class
-};
 
 /// Policy on violation: abort the process (production hardening) or record
 /// and refuse the single operation (used by tests and the attack
@@ -46,6 +66,9 @@ struct RuntimeConfig {
   LayoutPolicy policy;
   bool enable_cache = true;
   std::uint32_t cache_bits = 14;
+  /// log2 of the metadata shard count. 0 = one shard (a single global
+  /// lock); the default 6 gives 64 shards, plenty for 8-16 threads.
+  std::uint32_t shard_bits = 6;
   /// Share metadata between objects that drew identical layouts.
   bool dedup_layouts = true;
   /// olr_memcpy draws a fresh layout for the destination (paper default);
@@ -55,7 +78,8 @@ struct RuntimeConfig {
   std::uint64_t seed = 0x90'1a'12'00'5eedULL;
 
   /// Backing-memory hooks; default is operator new/delete. The attack
-  /// simulator plugs in a deterministic-reuse heap here.
+  /// simulator plugs in a deterministic-reuse heap here. Hooks must be
+  /// thread-safe when the runtime is shared across threads.
   void* (*alloc_fn)(std::size_t size, void* ctx) = nullptr;
   void (*free_fn)(void* p, std::size_t size, void* ctx) = nullptr;
   void* alloc_ctx = nullptr;
@@ -69,39 +93,66 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Allocates and tracks a fresh object of `type` with a per-allocation
-  /// randomized layout. Returns the base address. Object memory is
-  /// zero-initialized; trap regions are filled with the object's canary.
-  void* olr_malloc(TypeId type);
+  // --- canonical API (Result-returning; Session delegates here) -----------
 
-  /// Checks traps, unregisters, and releases the object. Returns false on
-  /// double free / foreign pointer (violation recorded).
-  bool olr_free(void* base);
+  /// Allocates and tracks a fresh object of `type` with a per-allocation
+  /// randomized layout. Object memory is zero-initialized; trap regions
+  /// are filled with the object's canary.
+  Result<ObjRef> obj_alloc(TypeId type);
+
+  /// Checks traps, unregisters, and releases the object. kDoubleFree for
+  /// untracked/stale handles; a damaged trap still releases the object but
+  /// reports kTrapDamaged.
+  Result<void> obj_free(ObjRef ref);
 
   /// Address of declared field `field` inside the (randomized) object.
-  /// Returns nullptr and records a violation for dead objects or bad
-  /// indices (when on_violation == kReport).
-  void* olr_getptr(void* base, std::uint32_t field);
+  Result<void*> obj_field(ObjRef ref, std::uint32_t field);
 
   /// Strict variant: additionally verifies that the live object really is
   /// of class `expected` (the class-hash check implied by Fig. 4's
   /// hash-keyed metadata). Turns type confusion from "unpredictable" into
   /// "detected"; the security ablation bench measures both modes.
-  void* olr_getptr_typed(void* base, TypeId expected, std::uint32_t field);
+  Result<void*> obj_field_typed(ObjRef ref, TypeId expected,
+                                std::uint32_t field);
 
-  /// Clones the object at `src` into a freshly allocated object of the
-  /// same type with its own (re-)randomized layout, copying field values
-  /// logically. Returns the new base, or nullptr on violation.
-  void* olr_clone(const void* src);
+  /// Clones the object into a freshly allocated object of the same type
+  /// with its own (re-)randomized layout, copying field values logically.
+  Result<ObjRef> obj_clone(ObjRef src);
 
-  /// In-place variant used for assignments between two tracked objects of
-  /// the same type (paper's instrumented memcpy where both sides exist):
+  /// In-place assignment between two tracked objects of the same type:
   /// copies field values from src to dst honoring both layouts.
-  bool olr_memcpy(void* dst, const void* src);
+  Result<void> obj_copy(ObjRef dst, ObjRef src);
 
-  /// Verifies every booby-trap canary of `base`. Records kTrapDamaged and
-  /// returns false if any trap byte changed.
-  bool check_traps(const void* base);
+  /// Verifies every booby-trap canary of the object.
+  Result<void> obj_check_traps(ObjRef ref);
+
+  // --- legacy API (thin wrappers; failure = sentinel + last_violation) -----
+
+  void* olr_malloc(TypeId type) {
+    return obj_alloc(type).value_or(ObjRef{}).base;
+  }
+  /// Returns false on double free / foreign pointer. A damaged trap is
+  /// reported via last_violation() but the free still succeeds (legacy
+  /// behaviour; obj_free distinguishes the two).
+  bool olr_free(void* base) {
+    const Result<void> r = obj_free(unchecked(base));
+    return r.ok() || r.error() == Violation::kTrapDamaged;
+  }
+  void* olr_getptr(void* base, std::uint32_t field) {
+    return obj_field(unchecked(base), field).value_or(nullptr);
+  }
+  void* olr_getptr_typed(void* base, TypeId expected, std::uint32_t field) {
+    return obj_field_typed(unchecked(base), expected, field).value_or(nullptr);
+  }
+  void* olr_clone(const void* src) {
+    return obj_clone(unchecked(const_cast<void*>(src))).value_or(ObjRef{}).base;
+  }
+  bool olr_memcpy(void* dst, const void* src) {
+    return obj_copy(unchecked(dst), unchecked(const_cast<void*>(src))).ok();
+  }
+  bool check_traps(const void* base) {
+    return obj_check_traps(unchecked(const_cast<void*>(base))).ok();
+  }
 
   // --- typed convenience used by instrumented workloads -------------------
 
@@ -123,15 +174,26 @@ class Runtime {
 
   /// Live record for a base address (nullptr if untracked). For tooling,
   /// tests, and the attack simulator's "attacker reads metadata" knob.
+  /// Single-threaded use only: the pointer is stable only until the next
+  /// mutation of the object's shard.
   [[nodiscard]] const ObjectRecord* inspect(const void* base) const noexcept;
 
-  [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_.reset(); }
+  /// Snapshot of the record behind a handle (safe under concurrency).
+  [[nodiscard]] Result<ObjectRecord> describe(ObjRef ref) const;
 
-  [[nodiscard]] Violation last_violation() const noexcept { return last_violation_; }
-  void clear_violation() noexcept { last_violation_ = Violation::kNone; }
+  /// Aggregated counters across every thread that used this runtime.
+  /// Exact when no thread is mid-operation (e.g. after joins).
+  [[nodiscard]] RuntimeStats stats() const noexcept;
+  void reset_stats() noexcept;
 
-  [[nodiscard]] std::size_t live_objects() const noexcept { return table_.size(); }
+  /// The calling thread's most recent violation (each thread sees only its
+  /// own; ErrorAction::kReport is therefore race-free).
+  [[nodiscard]] Violation last_violation() const noexcept;
+  void clear_violation() noexcept;
+
+  [[nodiscard]] std::size_t live_objects() const noexcept {
+    return table_.size();
+  }
   [[nodiscard]] std::size_t live_layouts() const noexcept {
     return interner_.live_layouts();
   }
@@ -139,28 +201,53 @@ class Runtime {
   [[nodiscard]] const RuntimeConfig& config() const noexcept { return config_; }
 
   /// Releases every live object (test teardown / workload reset helper).
+  /// Must not race other operations.
   void free_all();
 
  private:
+  /// Everything one thread touches on the hot path, created lazily on a
+  /// thread's first operation against this runtime. Padded so two threads'
+  /// counters never share a cache line.
+  struct alignas(64) ThreadState {
+    ThreadState(std::uint32_t cache_bits, Rng rng_stream)
+        : cache(cache_bits), rng(rng_stream) {}
+    ThreadOffsetCache cache;
+    Rng rng;
+    RuntimeStats stats;
+    Violation last_violation = Violation::kNone;
+  };
+
+  [[nodiscard]] static constexpr ObjRef unchecked(void* base) noexcept {
+    return ObjRef{base, 0, TypeId{}};
+  }
+
+  ThreadState& tls() const;
+  Rng next_rng_stream() const;  // called under tls_mu_
   void* raw_alloc(std::size_t size);
   void raw_free(void* p, std::size_t size);
   void fill_traps(const ObjectRecord& rec);
   [[nodiscard]] bool traps_intact(const ObjectRecord& rec) const noexcept;
-  void violation(Violation v);
-  const ObjectRecord* require(const void* base, Violation on_missing);
+  /// Records v in the calling thread's state and applies the error action.
+  void violation(ThreadState& ts, Violation v);
+  /// Allocates+registers an object; share_layout forces the given layout
+  /// (clone-without-rerandomization) instead of drawing a fresh one.
+  ObjectRecord create_object(ThreadState& ts, TypeId type,
+                             const Layout* share_layout);
+  /// Copies the record for ref out of its shard and retains its layout so
+  /// both outlive the shard lock; kUseAfterFree/stale-id on failure. The
+  /// caller must interner_.release(rec.layout).
+  Result<ObjectRecord> pin_record(ObjRef ref) const;
 
   const TypeRegistry& registry_;
   RuntimeConfig config_;
-  MetadataTable table_;
-  LayoutInterner interner_;
-  OffsetCache cache_;
-  Rng rng_;
-  RuntimeStats stats_;
-  Violation last_violation_ = Violation::kNone;
-  std::uint64_t next_object_id_ = 1;
-};
+  mutable ShardedMetadataTable table_;
+  mutable LayoutInterner interner_;
+  std::atomic<std::uint64_t> next_object_id_{1};
+  const std::uint64_t runtime_id_;  ///< process-unique; keys the TLS map
 
-/// Human-readable violation name (diagnostics and test failure messages).
-[[nodiscard]] const char* to_string(Violation v) noexcept;
+  mutable std::mutex tls_mu_;
+  mutable std::vector<std::unique_ptr<ThreadState>> thread_states_;
+  mutable std::uint64_t rng_streams_issued_ = 0;
+};
 
 }  // namespace polar

@@ -1,0 +1,184 @@
+// polar::Session — the redesigned public API of the POLaR runtime.
+//
+// The legacy surface (Runtime::olr_*) hands out raw void* base addresses,
+// signals failure with nullptr/false, and parks the reason in a mutable
+// last_violation() the caller must poll before the next operation clobbers
+// it. That contract cannot express concurrent use, and it lets a stale
+// pointer silently alias whatever object now lives at a reused address.
+//
+// Session replaces it with:
+//   * ObjRef handles — base address plus the allocation id, so every
+//     checked operation detects stale handles (freed, or freed-and-reused)
+//     as kUseAfterFree instead of corrupting the new tenant;
+//   * Result<T> returns — the violation that refused an operation travels
+//     with the call, so concurrent callers never race over shared error
+//     state;
+//   * no hidden globals — a Session is just a view over a Runtime engine,
+//     cheap to create per subsystem or per thread.
+//
+// Runtime's olr_* methods remain as thin wrappers over the same obj_*
+// engine during migration; new code should use Session.
+#pragma once
+
+#include <cstring>
+#include <unordered_map>
+
+#include "core/result.h"
+#include "core/runtime.h"
+#include "core/space.h"
+
+namespace polar {
+
+class Session {
+ public:
+  /// Borrows an existing engine; the Runtime must outlive the Session.
+  /// Sessions are cheap value-like views: copy freely, share across
+  /// threads (thread-affine state lives inside the Runtime).
+  explicit Session(Runtime& rt) : rt_(&rt) {}
+
+  // --- object lifecycle ----------------------------------------------------
+
+  /// Allocates a tracked object of `type` with its own randomized layout.
+  [[nodiscard]] Result<ObjRef> create(TypeId type) {
+    return rt_->obj_alloc(type);
+  }
+
+  /// Trap-checks and releases the object. kDoubleFree for stale handles;
+  /// kTrapDamaged if a booby trap was overwritten (object still released).
+  Result<void> destroy(ObjRef ref) { return rt_->obj_free(ref); }
+
+  /// Clones into a fresh object with its own (re-)randomized layout.
+  [[nodiscard]] Result<ObjRef> clone(ObjRef src) { return rt_->obj_clone(src); }
+
+  /// Field-wise assignment between two same-type objects.
+  Result<void> copy(ObjRef dst, ObjRef src) { return rt_->obj_copy(dst, src); }
+
+  // --- member access -------------------------------------------------------
+
+  /// Address of declared field `field` under the object's current layout.
+  [[nodiscard]] Result<void*> field(ObjRef ref, std::uint32_t field) {
+    return rt_->obj_field(ref, field);
+  }
+
+  /// Strict variant verifying the object's class first (detected type
+  /// confusion instead of garbage offsets).
+  [[nodiscard]] Result<void*> field_typed(ObjRef ref, TypeId expected,
+                                          std::uint32_t field) {
+    return rt_->obj_field_typed(ref, expected, field);
+  }
+
+  template <class T>
+  [[nodiscard]] Result<T> read(ObjRef ref, std::uint32_t field) {
+    const Result<void*> p = rt_->obj_field(ref, field);
+    if (!p.ok()) return Result<T>::failure(p.error());
+    T value{};
+    std::memcpy(&value, p.value(), sizeof(T));
+    return value;
+  }
+
+  template <class T>
+  Result<void> write(ObjRef ref, std::uint32_t field, const T& value) {
+    const Result<void*> p = rt_->obj_field(ref, field);
+    if (!p.ok()) return Result<void>::failure(p.error());
+    std::memcpy(p.value(), &value, sizeof(T));
+    return Result<void>{};
+  }
+
+  // --- detection & introspection -------------------------------------------
+
+  /// Verifies every booby-trap canary of the object.
+  Result<void> verify_traps(ObjRef ref) { return rt_->obj_check_traps(ref); }
+
+  /// Snapshot of the live record behind a handle.
+  [[nodiscard]] Result<ObjectRecord> describe(ObjRef ref) const {
+    return rt_->describe(ref);
+  }
+
+  [[nodiscard]] RuntimeStats stats() const { return rt_->stats(); }
+  [[nodiscard]] const TypeRegistry& registry() const {
+    return rt_->registry();
+  }
+  [[nodiscard]] Runtime& runtime() noexcept { return *rt_; }
+
+ private:
+  Runtime* rt_;
+};
+
+/// ObjectSpace adapter over the Session API: lets every existing workload
+/// template (minipng/minijpg/spec/mjs decoders) run against the redesigned
+/// surface with full stale-handle checking, unchanged. Single-threaded by
+/// design, like the workload templates themselves — it keeps a base->id
+/// side table to upgrade the concept's raw void* bases into checked
+/// ObjRef handles.
+class SessionSpace {
+ public:
+  explicit SessionSpace(Session session) : session_(session) {}
+  explicit SessionSpace(Runtime& rt) : session_(rt) {}
+
+  static constexpr bool kRandomized = true;
+
+  void* alloc(TypeId type) {
+    const Result<ObjRef> r = session_.create(type);
+    if (!r.ok()) return nullptr;
+    live_.emplace(r.value().base, r.value());
+    return r.value().base;
+  }
+
+  void free_object(void* base, TypeId type) {
+    (void)session_.destroy(ref_of(base, type));
+    live_.erase(base);
+  }
+
+  [[nodiscard]] void* field_ptr(void* base, TypeId type, std::uint32_t field) {
+    return session_.field(ref_of(base, type), field).value_or(nullptr);
+  }
+
+  template <class T>
+  [[nodiscard]] T load(void* base, TypeId type, std::uint32_t field) {
+    return session_.read<T>(ref_of(base, type), field).value_or(T{});
+  }
+
+  template <class T>
+  void store(void* base, TypeId type, std::uint32_t field, const T& v) {
+    (void)session_.write(ref_of(base, type), field, v);
+  }
+
+  [[nodiscard]] std::size_t object_bytes(const void* base, TypeId type) {
+    const Result<ObjectRecord> rec =
+        session_.describe(ref_of(const_cast<void*>(base), type));
+    return rec.ok() ? rec.value().layout->size : 0;
+  }
+
+  void copy_object(void* dst, const void* src, TypeId type) {
+    (void)session_.copy(ref_of(dst, type),
+                        ref_of(const_cast<void*>(src), type));
+  }
+
+  void* clone_object(const void* src, TypeId type) {
+    const Result<ObjRef> r =
+        session_.clone(ref_of(const_cast<void*>(src), type));
+    if (!r.ok()) return nullptr;
+    live_.emplace(r.value().base, r.value());
+    return r.value().base;
+  }
+
+  [[nodiscard]] const TypeRegistry& registry() const {
+    return session_.registry();
+  }
+  [[nodiscard]] Session& session() noexcept { return session_; }
+
+ private:
+  [[nodiscard]] ObjRef ref_of(void* base, TypeId type) const {
+    const auto it = live_.find(base);
+    // Unknown base: hand the runtime an unchecked ref so it reports the
+    // violation (instead of this adapter inventing policy).
+    return it != live_.end() ? it->second : ObjRef{base, 0, type};
+  }
+
+  Session session_;
+  std::unordered_map<void*, ObjRef> live_;
+};
+
+static_assert(ObjectSpace<SessionSpace>);
+
+}  // namespace polar

@@ -23,6 +23,22 @@ struct RuntimeStats {
 
   void reset() { *this = RuntimeStats{}; }
 
+  /// Accumulates another counter set (used to aggregate the concurrent
+  /// runtime's per-thread stats into one process-wide view).
+  void add(const RuntimeStats& o) noexcept {
+    allocations += o.allocations;
+    frees += o.frees;
+    memcpys += o.memcpys;
+    member_accesses += o.member_accesses;
+    cache_hits += o.cache_hits;
+    layouts_created += o.layouts_created;
+    layouts_deduped += o.layouts_deduped;
+    uaf_detected += o.uaf_detected;
+    traps_triggered += o.traps_triggered;
+    bytes_requested += o.bytes_requested;
+    bytes_allocated += o.bytes_allocated;
+  }
+
   [[nodiscard]] double cache_hit_rate() const noexcept {
     return member_accesses == 0
                ? 0.0

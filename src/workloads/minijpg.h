@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/space.h"
+#include "fuzz/coverage.h"
 #include "support/hash.h"
 #include "taintclass/taint_space.h"
 
@@ -71,6 +72,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
                     std::span<const std::uint8_t> data) {
   DecodeResult result;
   std::size_t at = 0;
+  POLAR_COV_SITE();
   const auto u8 = [&]() -> std::uint8_t {
     return at < data.size() ? data[at++] : 0;
   };
@@ -100,6 +102,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
     if (u8() != 0xff) return free_components(space, t, components), fail("bad marker");
     const std::uint8_t marker = u8();
     if (marker == 0xd9) {  // EOI
+      POLAR_COV_SITE();
       done = true;
       break;
     }
@@ -111,6 +114,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
 
     switch (marker) {
       case 0xc0: {  // frame header
+        POLAR_COV_SITE();
         if (saw_frame) {
           return free_components(space, t, components), fail("duplicate SOF");
         }
@@ -141,6 +145,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
         break;
       }
       case 0xc4: {  // huffman table stub: [class/id][16 counts]
+        POLAR_COV_SITE();
         void* h = space.alloc(t.huff_tbl);
         space.store(h, t.huff_tbl, 0, static_cast<std::uint32_t>(u8()));
         std::uint64_t sum = 0;
@@ -152,6 +157,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
         break;
       }
       case 0xdb: {  // quant table
+        POLAR_COV_SITE();
         void* q = space.alloc(t.quant_tbl);
         space.store(q, t.quant_tbl, 0, static_cast<std::uint32_t>(u8()));
         std::uint64_t sum = 0;
@@ -164,6 +170,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
         break;
       }
       case 0xfe: {  // comment
+        POLAR_COV_SITE();
         void* mk = space.alloc(t.marker_reader);
         space.store(mk, t.marker_reader, 1, static_cast<std::uint32_t>(len));
         while (at < body_end) u8();
@@ -171,6 +178,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
         break;
       }
       case 0xda: {  // scan: delta-coded samples until EOI
+        POLAR_COV_SITE();
         if (!saw_frame) {
           return free_components(space, t, components), fail("scan before frame");
         }
@@ -199,6 +207,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
         break;
       }
       default:  // skippable APPn etc.
+        POLAR_COV_SITE();
         while (at < body_end) u8();
         break;
     }
@@ -207,6 +216,7 @@ DecodeResult decode(S& space, const JpgTypes& t,
 
   if (!saw_frame) return free_components(space, t, components), fail("no frame");
   if (!done) return free_components(space, t, components), fail("missing EOI");
+  POLAR_COV_SITE();
   result.ok = true;
   result.width = space.template load<std::uint32_t>(dec, t.decompress, 0);
   result.height = space.template load<std::uint32_t>(dec, t.decompress, 1);

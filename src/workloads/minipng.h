@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/space.h"
+#include "fuzz/coverage.h"
 #include "taintclass/taint_space.h"
 
 namespace polar::minipng {
@@ -167,6 +168,7 @@ DecodeResult decode(S& space, const PngTypes& t,
   using namespace detail;
   DecodeResult result;
   Cursor in(data);
+  POLAR_COV_SITE();
   if (in.u32() != kMagic) {
     result.error = "bad magic";
     return result;
@@ -207,6 +209,7 @@ DecodeResult decode(S& space, const PngTypes& t,
 
     switch (chunk_tag) {
       case kIHDR: {
+        POLAR_COV_SITE();
         if (payload.size() < 10) return fail("short IHDR");
         if (info != nullptr) return fail("duplicate IHDR");
         info = space.alloc(t.png_info);
@@ -232,6 +235,7 @@ DecodeResult decode(S& space, const PngTypes& t,
         break;
       }
       case kPLTE: {
+        POLAR_COV_SITE();
         if (info == nullptr &&
             (bugs & bug(Bug::kNullDeref2016_10087)) == 0) {
           return fail("PLTE before IHDR");
@@ -271,6 +275,7 @@ DecodeResult decode(S& space, const PngTypes& t,
         break;
       }
       case kTIME: {
+        POLAR_COV_SITE();
         // CVE-2015-7981 analog: reads 9 bytes from a 7-byte payload; the
         // cursor zero-fills, modelling the out-of-bounds read's leak of
         // adjacent memory as deterministic zeros.
@@ -294,6 +299,7 @@ DecodeResult decode(S& space, const PngTypes& t,
         break;
       }
       case kTEXT: {
+        POLAR_COV_SITE();
         // keyword\0text; keyword copied into a fixed 16-byte field.
         std::size_t keylen = 0;
         while (keylen < payload.size() && payload[keylen] != 0) ++keylen;
@@ -316,6 +322,7 @@ DecodeResult decode(S& space, const PngTypes& t,
         break;
       }
       case kBKGD: {
+        POLAR_COV_SITE();
         if (payload.size() < 8) return fail("short bKGD");
         void* bg = space.alloc(t.png_color16);
         space.store(bg, t.png_color16, 0, body.u16());
@@ -329,6 +336,7 @@ DecodeResult decode(S& space, const PngTypes& t,
         break;
       }
       case kCHRM: {
+        POLAR_COV_SITE();
         if (payload.size() < 8) return fail("short cHRM");
         void* xy = space.alloc(t.png_xy);
         space.store(xy, t.png_xy, 0, body.u32());
@@ -346,6 +354,7 @@ DecodeResult decode(S& space, const PngTypes& t,
         break;
       }
       case kNOTE: {
+        POLAR_COV_SITE();
         // Custom/unknown chunk. CVE-2013-7353 analog: the stored size is
         // truncated to u16, so a 65536+e byte chunk records size e — later
         // consumers under-allocate.
@@ -363,6 +372,7 @@ DecodeResult decode(S& space, const PngTypes& t,
         break;
       }
       case kIDAT: {
+        POLAR_COV_SITE();
         if (info == nullptr) return fail("IDAT before IHDR");
         const auto rowbytes =
             space.template load<std::uint32_t>(ps, t.png_struct, 2);
@@ -402,6 +412,7 @@ DecodeResult decode(S& space, const PngTypes& t,
         break;
       }
       case kIEND:
+        POLAR_COV_SITE();
         saw_end = true;
         break;
       default:
@@ -411,6 +422,7 @@ DecodeResult decode(S& space, const PngTypes& t,
 
   if (info == nullptr) return fail("no IHDR");
   if (!saw_end) return fail("truncated file");
+  POLAR_COV_SITE();
   result.ok = true;
   result.width = space.template load<std::uint32_t>(info, t.png_info, 0);
   result.height = space.template load<std::uint32_t>(info, t.png_info, 1);
