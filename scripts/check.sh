@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full verification gate:
-#   1. tier-1: regular build + complete ctest suite
+#   1. tier-1: regular build + complete ctest suite + fault-injection matrix
 #   2. ThreadSanitizer build of the concurrency contract (concurrent_test)
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -12,6 +12,11 @@ echo "== tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier-1: fault-injection detection matrix =="
+./build/src/faultinject/fault_matrix
+./build/src/faultinject/fault_matrix --heap --quick
 
 echo
 echo "== tier-2: ThreadSanitizer concurrent_test =="

@@ -1,5 +1,6 @@
 #include "alloc/heap.h"
 
+#include <cstring>
 #include <new>
 
 #include "support/assert.h"
@@ -88,6 +89,9 @@ void SizeClassHeap::deallocate(void* p, std::size_t size) {
   }
   if (config_.quarantine_bytes > 0) {
     const std::size_t bytes = class_size(size);
+    if (config_.poison_quarantine) {
+      std::memset(p, kQuarantinePoison, bytes);
+    }
     quarantine_.push_back({p, cls, bytes});
     stats_.quarantined_bytes += bytes;
     drain_quarantine();
@@ -101,6 +105,19 @@ void SizeClassHeap::drain_quarantine() {
     const Quarantined q = quarantine_.front();
     quarantine_.pop_front();
     stats_.quarantined_bytes -= q.bytes;
+    // The block was dead the entire time it was parked, so any byte that
+    // no longer carries the poison fill is a write-after-free landing in
+    // quarantined memory — exactly the dangling-pointer write quarantine
+    // exists to starve.
+    if (config_.poison_quarantine) {
+      const auto* bytes = static_cast<const unsigned char*>(q.p);
+      for (std::size_t i = 0; i < q.bytes; ++i) {
+        if (bytes[i] != kQuarantinePoison) {
+          ++stats_.quarantine_poison_damage;
+          break;
+        }
+      }
+    }
     freelists_[static_cast<std::size_t>(q.cls)].push_back(q.p);
   }
 }

@@ -27,6 +27,11 @@ struct HeapConfig {
   /// Freed blocks sit in a FIFO quarantine until its total byte size
   /// exceeds this budget; 0 disables (immediate reuse).
   std::size_t quarantine_bytes = 0;
+  /// Fill quarantined blocks with kQuarantinePoison on entry and verify
+  /// the fill on drain: a mismatch means something wrote through a
+  /// dangling pointer while the block was parked (write-after-free into
+  /// quarantined memory), counted in HeapStats::quarantine_poison_damage.
+  bool poison_quarantine = true;
   /// Pick reuse victims at random instead of list order.
   bool randomize_reuse = false;
   std::uint64_t seed = 0xa110cULL;
@@ -38,6 +43,9 @@ struct HeapStats {
   std::uint64_t reuse_hits = 0;    ///< allocations served from a free list
   std::uint64_t slab_refills = 0;  ///< fresh slab carvings
   std::size_t quarantined_bytes = 0;
+  /// Quarantined blocks whose poison fill was damaged while parked —
+  /// each is one detected write-after-free into quarantined memory.
+  std::uint64_t quarantine_poison_damage = 0;
 };
 
 class SizeClassHeap {
@@ -62,6 +70,8 @@ class SizeClassHeap {
 
   /// Number of size classes (for tests/benches sweeping classes).
   static constexpr std::size_t kNumClasses = 40;
+  /// Byte written over quarantined blocks when poison_quarantine is on.
+  static constexpr unsigned char kQuarantinePoison = 0xf5;
   /// Rounded block size for a request, or 0 if it bypasses the classes.
   [[nodiscard]] static std::size_t class_size(std::size_t size) noexcept;
 

@@ -40,6 +40,26 @@ struct ObjectRecord {
   /// Monotonic allocation id; lets tooling distinguish reuse of the same
   /// address across allocations.
   std::uint64_t object_id = 0;
+  /// Self-check word over every other field (seal()/verify()). The runtime
+  /// verifies it on each lookup, so corruption of the metadata table itself
+  /// is detected as Violation::kMetadataDamaged instead of being trusted —
+  /// a damaged layout pointer or trap value would otherwise silently
+  /// misdirect accesses or disarm the canary check.
+  std::uint64_t checksum = 0;
+
+  /// Checksum over the payload fields (excluding `checksum` itself).
+  [[nodiscard]] std::uint64_t compute_checksum() const noexcept {
+    std::uint64_t h = mix64(reinterpret_cast<std::uintptr_t>(base));
+    h = hash_combine(h, static_cast<std::uint64_t>(type.value));
+    h = hash_combine(h, reinterpret_cast<std::uintptr_t>(layout));
+    h = hash_combine(h, trap_value);
+    h = hash_combine(h, object_id);
+    return h | 1;  // never the zero a fresh record carries
+  }
+  void seal() noexcept { checksum = compute_checksum(); }
+  [[nodiscard]] bool verify() const noexcept {
+    return checksum == compute_checksum();
+  }
 };
 
 /// Content-addressed layout store with refcounts. Thread-safe: interning
@@ -96,6 +116,12 @@ class MetadataTable {
   /// nullptr when `base` is not a live tracked object (freed or foreign):
   /// the runtime treats that as a potential use-after-free.
   [[nodiscard]] const ObjectRecord* find(const void* base) const noexcept;
+
+  /// Mutable lookup for the runtime's fault-injection backdoor
+  /// (Runtime::debug_corrupt_metadata). Same contract as find().
+  [[nodiscard]] ObjectRecord* find_mutable(const void* base) noexcept {
+    return const_cast<ObjectRecord*>(find(base));
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 

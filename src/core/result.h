@@ -8,6 +8,7 @@
 // allocation id so stale handles are detected even after address reuse.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/type_registry.h"
@@ -23,7 +24,13 @@ enum class Violation : std::uint8_t {
   kTrapDamaged,   ///< booby-trap canary overwritten
   kBadField,      ///< field index out of range for the object's type
   kTypeMismatch,  ///< typed access found an object of a different class
+  kMetadataDamaged,  ///< the runtime's own record failed its checksum
+  kOom,              ///< backing allocator returned nullptr
 };
+
+/// Number of Violation enumerators including kNone. Sizes the per-class
+/// tables of the violation-policy engine.
+inline constexpr std::size_t kViolationClassCount = 8;
 
 /// Human-readable violation name (diagnostics and test failure messages).
 [[nodiscard]] const char* to_string(Violation v) noexcept;

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <new>
+#include <thread>
 #include <unordered_map>
 
 #include "support/assert.h"
@@ -18,6 +20,8 @@ const char* to_string(Violation v) noexcept {
     case Violation::kTrapDamaged: return "trap-damaged";
     case Violation::kBadField: return "bad-field-index";
     case Violation::kTypeMismatch: return "type-mismatch";
+    case Violation::kMetadataDamaged: return "metadata-damaged";
+    case Violation::kOom: return "out-of-memory";
   }
   return "unknown";
 }
@@ -35,11 +39,31 @@ constexpr std::uint32_t clamp_shard_bits(std::uint32_t bits) noexcept {
   return bits > 10 ? 10 : bits;
 }
 
+/// A default-constructed violation_policy defers to the legacy one-knob
+/// ErrorAction; any customized policy wins.
+ViolationPolicy effective_policy(const RuntimeConfig& config) noexcept {
+  if (config.violation_policy == ViolationPolicy{}) {
+    return ViolationPolicy::from_legacy(config.on_violation ==
+                                        ErrorAction::kAbort);
+  }
+  return config.violation_policy;
+}
+
+/// Byte written over quarantined blocks so a write-after-free into parked
+/// memory is visible (and stale secrets don't linger).
+constexpr unsigned char kRuntimeQuarantinePoison = 0xd1;
+
+std::uint64_t this_thread_numeric_id() noexcept {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
 }  // namespace
 
 Runtime::Runtime(const TypeRegistry& registry, RuntimeConfig config)
     : registry_(registry),
       config_(config),
+      engine_(effective_policy(config)),
       table_(clamp_shard_bits(config.shard_bits)),
       interner_(config.dedup_layouts),
       runtime_id_(next_runtime_id()) {}
@@ -91,16 +115,69 @@ void Runtime::raw_free(void* p, std::size_t size) {
   ::operator delete(p);
 }
 
-void Runtime::violation(ThreadState& ts, Violation v) {
+ViolationAction Runtime::violation(ThreadState& ts, Violation v,
+                                   const void* address, TypeId type,
+                                   std::uint64_t object_id, RuntimeOp op) {
   ts.last_violation = v;
   if (v == Violation::kUseAfterFree || v == Violation::kDoubleFree) {
     ++ts.stats.uaf_detected;
   } else if (v == Violation::kTrapDamaged) {
     ++ts.stats.traps_triggered;
+  } else if (v == Violation::kMetadataDamaged) {
+    ++ts.stats.metadata_faults;
+  } else if (v == Violation::kOom) {
+    ++ts.stats.oom_refusals;
   }
-  if (config_.on_violation == ErrorAction::kAbort) {
+  const ViolationReport report{.violation = v,
+                               .address = address,
+                               .type = type,
+                               .object_id = object_id,
+                               .thread = this_thread_numeric_id(),
+                               .op = op};
+  const ViolationAction action = engine_.apply(report);
+  if (action == ViolationAction::kAbort) {
     POLAR_CHECK(false, to_string(v));
   }
+  return action;
+}
+
+const ObjectRecord* Runtime::find_checked(ShardedMetadataTable::Shard& sh,
+                                          const void* base,
+                                          bool& damaged) const {
+  damaged = false;
+  const ObjectRecord* rec = sh.table.find(base);
+  if (rec == nullptr) return nullptr;
+  if (config_.checksum_metadata && !rec->verify()) {
+    // The record lied about itself; nothing in it — layout pointer, size,
+    // canary — can be trusted. Evict it so it can't be consulted again.
+    // The block is deliberately leaked (its size lives behind the
+    // untrusted layout pointer) and the interner reference with it.
+    damaged = true;
+    sh.table.remove(base);
+    sh.epoch.fetch_add(1, std::memory_order_release);
+    return nullptr;
+  }
+  return rec;
+}
+
+void Runtime::quarantine_block(void* base, std::size_t size) {
+  std::memset(base, kRuntimeQuarantinePoison, size);
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantine_.emplace_back(base, size);
+}
+
+std::size_t Runtime::quarantined_blocks() const noexcept {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantine_.size();
+}
+
+bool Runtime::debug_corrupt_metadata(const void* base, std::uint64_t mask) {
+  ShardedMetadataTable::Shard& sh = table_.shard_of(base);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ObjectRecord* rec = sh.table.find_mutable(base);
+  if (rec == nullptr) return false;
+  rec->trap_value ^= mask == 0 ? 1 : mask;
+  return true;
 }
 
 void Runtime::fill_traps(const ObjectRecord& rec) {
@@ -126,8 +203,8 @@ bool Runtime::traps_intact(const ObjectRecord& rec) const noexcept {
   return true;
 }
 
-ObjectRecord Runtime::create_object(ThreadState& ts, TypeId type,
-                                    const Layout* share_layout) {
+Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
+                                            const Layout* share_layout) {
   const TypeInfo& info = registry_.info(type);
   bool reused = false;
   const Layout* layout;
@@ -138,13 +215,18 @@ ObjectRecord Runtime::create_object(ThreadState& ts, TypeId type,
     Layout same = *share_layout;
     layout = interner_.intern(std::move(same), reused);
   }
+  void* base = raw_alloc(layout->size);
+  if (base == nullptr) {
+    // A refused backing allocation is a value, not a crash: undo the
+    // layout reference and let the caller surface kOom.
+    interner_.release(layout);
+    return Result<ObjectRecord>::failure(Violation::kOom);
+  }
   if (reused) {
     ++ts.stats.layouts_deduped;
   } else {
     ++ts.stats.layouts_created;
   }
-
-  void* base = raw_alloc(layout->size);
   std::memset(base, 0, layout->size);
 
   ObjectRecord rec{.base = base,
@@ -153,6 +235,7 @@ ObjectRecord Runtime::create_object(ThreadState& ts, TypeId type,
                    .trap_value = ts.rng.next() | 1,  // never all-zero
                    .object_id = next_object_id_.fetch_add(
                        1, std::memory_order_relaxed)};
+  rec.seal();
   fill_traps(rec);  // before publication: no lock needed
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(base);
@@ -167,7 +250,11 @@ ObjectRecord Runtime::create_object(ThreadState& ts, TypeId type,
 Result<ObjectRecord> Runtime::pin_record(ObjRef ref) const {
   ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
   std::lock_guard<std::mutex> lock(sh.mu);
-  const ObjectRecord* rec = sh.table.find(ref.base);
+  bool damaged = false;
+  const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
+  if (damaged) {
+    return Result<ObjectRecord>::failure(Violation::kMetadataDamaged);
+  }
   if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
     return Result<ObjectRecord>::failure(Violation::kUseAfterFree);
   }
@@ -180,9 +267,13 @@ Result<ObjectRecord> Runtime::pin_record(ObjRef ref) const {
 
 Result<ObjRef> Runtime::obj_alloc(TypeId type) {
   ThreadState& ts = tls();
-  const ObjectRecord rec = create_object(ts, type, nullptr);
+  const Result<ObjectRecord> rec = create_object(ts, type, nullptr);
+  if (!rec.ok()) {
+    violation(ts, rec.error(), nullptr, type, 0, RuntimeOp::kAlloc);
+    return Result<ObjRef>::failure(rec.error());
+  }
   ++ts.stats.allocations;
-  return ObjRef{rec.base, rec.object_id, type};
+  return ObjRef{rec.value().base, rec.value().object_id, type};
 }
 
 Result<void> Runtime::obj_free(ObjRef ref) {
@@ -190,11 +281,12 @@ Result<void> Runtime::obj_free(ObjRef ref) {
   ObjectRecord copy{};
   std::uint32_t alloc_size = 0;
   bool trap_damaged = false;
+  bool meta_damaged = false;
   bool found = false;
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
     std::lock_guard<std::mutex> lock(sh.mu);
-    const ObjectRecord* rec = sh.table.find(ref.base);
+    const ObjectRecord* rec = find_checked(sh, ref.base, meta_damaged);
     if (rec != nullptr && (ref.id == 0 || rec->object_id == ref.id)) {
       found = true;
       copy = *rec;
@@ -206,14 +298,31 @@ Result<void> Runtime::obj_free(ObjRef ref) {
       sh.epoch.fetch_add(1, std::memory_order_release);
     }
   }
+  if (meta_damaged) {
+    violation(ts, Violation::kMetadataDamaged, ref.base, ref.type, ref.id,
+              RuntimeOp::kFree);
+    return Result<void>::failure(Violation::kMetadataDamaged);
+  }
   if (!found) {
-    violation(ts, Violation::kDoubleFree);
+    violation(ts, Violation::kDoubleFree, ref.base, ref.type, ref.id,
+              RuntimeOp::kFree);
     return Result<void>::failure(Violation::kDoubleFree);
   }
   if (trap_damaged) {
     // Report the damage but still release the object: the paper's traps
     // are a detection mechanism, and tests want to continue afterwards.
-    violation(ts, Violation::kTrapDamaged);
+    // Under kQuarantine the block is poisoned and withheld from the
+    // backing allocator instead of being handed back for reuse.
+    const ViolationAction action =
+        violation(ts, Violation::kTrapDamaged, copy.base, copy.type,
+                  copy.object_id, RuntimeOp::kFree);
+    if (action == ViolationAction::kQuarantine) {
+      interner_.release(copy.layout);
+      quarantine_block(copy.base, alloc_size);
+      ++ts.stats.quarantined_objects;
+      ++ts.stats.frees;
+      return Result<void>::failure(Violation::kTrapDamaged);
+    }
   }
   interner_.release(copy.layout);
   raw_free(copy.base, alloc_size);
@@ -238,8 +347,11 @@ Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
   Violation v = Violation::kNone;
   {
     std::lock_guard<std::mutex> lock(sh.mu);
-    const ObjectRecord* rec = sh.table.find(ref.base);
-    if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
+    bool damaged = false;
+    const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
+    if (damaged) {
+      v = Violation::kMetadataDamaged;
+    } else if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
       v = Violation::kUseAfterFree;
     } else if (field >= rec->layout->offsets.size()) {
       v = Violation::kBadField;
@@ -253,7 +365,7 @@ Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
     }
   }
   if (v != Violation::kNone) {
-    violation(ts, v);
+    violation(ts, v, ref.base, ref.type, ref.id, RuntimeOp::kFieldAccess);
     return Result<void*>::failure(v);
   }
   return static_cast<unsigned char*>(ref.base) + offset;
@@ -270,8 +382,11 @@ Result<void*> Runtime::obj_field_typed(ObjRef ref, TypeId expected,
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
     std::lock_guard<std::mutex> lock(sh.mu);
-    const ObjectRecord* rec = sh.table.find(ref.base);
-    if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
+    bool damaged = false;
+    const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
+    if (damaged) {
+      v = Violation::kMetadataDamaged;
+    } else if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
       v = Violation::kUseAfterFree;
     } else if (!(rec->type == expected)) {
       v = Violation::kTypeMismatch;
@@ -282,7 +397,7 @@ Result<void*> Runtime::obj_field_typed(ObjRef ref, TypeId expected,
     }
   }
   if (v != Violation::kNone) {
-    violation(ts, v);
+    violation(ts, v, ref.base, ref.type, ref.id, RuntimeOp::kTypedAccess);
     return Result<void*>::failure(v);
   }
   return static_cast<unsigned char*>(ref.base) + offset;
@@ -292,15 +407,23 @@ Result<ObjRef> Runtime::obj_clone(ObjRef src) {
   ThreadState& ts = tls();
   const Result<ObjectRecord> pinned = pin_record(src);
   if (!pinned.ok()) {
-    violation(ts, pinned.error());
+    violation(ts, pinned.error(), src.base, src.type, src.id,
+              RuntimeOp::kClone);
     return Result<ObjRef>::failure(pinned.error());
   }
   const ObjectRecord& src_rec = pinned.value();
   // Re-randomize by default; otherwise share the source layout so the
   // clone is byte-copyable (perf ablation mode).
-  const ObjectRecord dst_rec = create_object(
+  const Result<ObjectRecord> created = create_object(
       ts, src_rec.type,
       config_.rerandomize_on_copy ? nullptr : src_rec.layout);
+  if (!created.ok()) {
+    interner_.release(src_rec.layout);
+    violation(ts, created.error(), src.base, src_rec.type, src_rec.object_id,
+              RuntimeOp::kClone);
+    return Result<ObjRef>::failure(created.error());
+  }
+  const ObjectRecord& dst_rec = created.value();
   const TypeInfo& info = registry_.info(src_rec.type);
   for (std::uint32_t f = 0; f < info.field_count(); ++f) {
     std::memcpy(static_cast<unsigned char*>(dst_rec.base) +
@@ -318,20 +441,25 @@ Result<void> Runtime::obj_copy(ObjRef dst, ObjRef src) {
   ThreadState& ts = tls();
   const Result<ObjectRecord> src_pin = pin_record(src);
   if (!src_pin.ok()) {
-    violation(ts, src_pin.error());
+    violation(ts, src_pin.error(), src.base, src.type, src.id,
+              RuntimeOp::kCopy);
     return Result<void>::failure(src_pin.error());
   }
   const Result<ObjectRecord> dst_pin = pin_record(dst);
   if (!dst_pin.ok()) {
     interner_.release(src_pin.value().layout);
-    violation(ts, dst_pin.error());
+    violation(ts, dst_pin.error(), dst.base, dst.type, dst.id,
+              RuntimeOp::kCopy);
     return Result<void>::failure(dst_pin.error());
   }
   const ObjectRecord& src_rec = src_pin.value();
   const ObjectRecord& dst_rec = dst_pin.value();
   Result<void> result{};
   if (!(src_rec.type == dst_rec.type)) {
-    violation(ts, Violation::kBadField);
+    // Historically reported as kBadField (the copy addresses fields that
+    // don't exist on the destination type); kept for API stability.
+    violation(ts, Violation::kBadField, dst.base, dst_rec.type,
+              dst_rec.object_id, RuntimeOp::kCopy);
     result = Result<void>::failure(Violation::kBadField);
   } else {
     const TypeInfo& info = registry_.info(src_rec.type);
@@ -355,15 +483,18 @@ Result<void> Runtime::obj_check_traps(ObjRef ref) {
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
     std::lock_guard<std::mutex> lock(sh.mu);
-    const ObjectRecord* rec = sh.table.find(ref.base);
-    if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
+    bool damaged = false;
+    const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
+    if (damaged) {
+      v = Violation::kMetadataDamaged;
+    } else if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
       v = Violation::kUseAfterFree;
     } else if (!traps_intact(*rec)) {
       v = Violation::kTrapDamaged;
     }
   }
   if (v != Violation::kNone) {
-    violation(ts, v);
+    violation(ts, v, ref.base, ref.type, ref.id, RuntimeOp::kCheckTraps);
     return Result<void>::failure(v);
   }
   return Result<void>{};
@@ -372,13 +503,18 @@ Result<void> Runtime::obj_check_traps(ObjRef ref) {
 const ObjectRecord* Runtime::inspect(const void* base) const noexcept {
   ShardedMetadataTable::Shard& sh = table_.shard_of(base);
   std::lock_guard<std::mutex> lock(sh.mu);
-  return sh.table.find(base);
+  bool damaged = false;
+  return find_checked(sh, base, damaged);
 }
 
 Result<ObjectRecord> Runtime::describe(ObjRef ref) const {
   ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
   std::lock_guard<std::mutex> lock(sh.mu);
-  const ObjectRecord* rec = sh.table.find(ref.base);
+  bool damaged = false;
+  const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
+  if (damaged) {
+    return Result<ObjectRecord>::failure(Violation::kMetadataDamaged);
+  }
   if (rec == nullptr || (ref.id != 0 && rec->object_id != ref.id)) {
     return Result<ObjectRecord>::failure(Violation::kUseAfterFree);
   }
@@ -409,6 +545,15 @@ void Runtime::free_all() {
   std::vector<void*> bases;
   table_.for_each([&](const ObjectRecord& rec) { bases.push_back(rec.base); });
   for (void* b : bases) olr_free(b);
+  // Quarantined blocks have no metadata record anymore; hand their memory
+  // back to the backing allocator now that the reset/teardown point makes
+  // delayed reuse moot.
+  std::vector<std::pair<void*, std::size_t>> parked;
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    parked.swap(quarantine_);
+  }
+  for (const auto& [p, size] : parked) raw_free(p, size);
 }
 
 }  // namespace polar

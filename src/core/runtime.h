@@ -53,13 +53,16 @@
 #include "core/result.h"
 #include "core/stats.h"
 #include "core/type_registry.h"
+#include "core/violation_policy.h"
 #include "support/rng.h"
 
 namespace polar {
 
-/// Policy on violation: abort the process (production hardening) or record
-/// and refuse the single operation (used by tests and the attack
-/// simulator, which must observe detections without dying).
+/// Legacy one-knob policy: abort the process (production hardening) or
+/// record and refuse the single operation (tests and the attack simulator,
+/// which must observe detections without dying). Superseded by the
+/// per-class ViolationPolicy in core/violation_policy.h; kept because
+/// nearly every existing config site sets it.
 enum class ErrorAction : std::uint8_t { kAbort, kReport };
 
 struct RuntimeConfig {
@@ -75,6 +78,15 @@ struct RuntimeConfig {
   /// when false the copy inherits the source layout (perf ablation).
   bool rerandomize_on_copy = true;
   ErrorAction on_violation = ErrorAction::kReport;
+  /// Per-violation-class response (see core/violation_policy.h). A
+  /// default-constructed policy defers to `on_violation` (kAbort maps to
+  /// abort-on-everything); any customized policy takes precedence.
+  ViolationPolicy violation_policy{};
+  /// Verify the self-check word of every metadata record on lookup, so
+  /// corruption of the runtime's own table surfaces as kMetadataDamaged
+  /// instead of undefined behavior. Off = trust the table (perf ablation;
+  /// bench_faultpolicy measures the delta).
+  bool checksum_metadata = true;
   std::uint64_t seed = 0x90'1a'12'00'5eedULL;
 
   /// Backing-memory hooks; default is operator new/delete. The attack
@@ -97,7 +109,9 @@ class Runtime {
 
   /// Allocates and tracks a fresh object of `type` with a per-allocation
   /// randomized layout. Object memory is zero-initialized; trap regions
-  /// are filled with the object's canary.
+  /// are filled with the object's canary. kOom when the backing allocator
+  /// returns nullptr (the failure travels as a value; the runtime never
+  /// dereferences the null).
   Result<ObjRef> obj_alloc(TypeId type);
 
   /// Checks traps, unregisters, and releases the object. kDoubleFree for
@@ -191,6 +205,23 @@ class Runtime {
   [[nodiscard]] Violation last_violation() const noexcept;
   void clear_violation() noexcept;
 
+  /// The live policy engine: per-class report counters, escalation state,
+  /// and the effective policy the runtime was constructed with.
+  [[nodiscard]] const PolicyEngine& policy_engine() const noexcept {
+    return engine_;
+  }
+
+  /// Blocks parked by the kQuarantine action: withheld from the backing
+  /// allocator (and poisoned) until free_all()/destruction.
+  [[nodiscard]] std::size_t quarantined_blocks() const noexcept;
+
+  /// FAULT-INJECTION ONLY. XORs `mask` into the stored trap_value of the
+  /// live record for `base` without resealing the checksum — simulating a
+  /// stray write into the metadata table itself. Returns false if `base`
+  /// is untracked. The next checked lookup reports kMetadataDamaged (when
+  /// config().checksum_metadata) and evicts the record.
+  bool debug_corrupt_metadata(const void* base, std::uint64_t mask);
+
   [[nodiscard]] std::size_t live_objects() const noexcept {
     return table_.size();
   }
@@ -227,23 +258,43 @@ class Runtime {
   void raw_free(void* p, std::size_t size);
   void fill_traps(const ObjectRecord& rec);
   [[nodiscard]] bool traps_intact(const ObjectRecord& rec) const noexcept;
-  /// Records v in the calling thread's state and applies the error action.
-  void violation(ThreadState& ts, Violation v);
+  /// Records v in the calling thread's state, routes a structured report
+  /// through the policy engine, and returns the action to honor (aborting
+  /// here if the engine says so). Call sites only need to distinguish
+  /// kQuarantine from the refuse-style actions.
+  ViolationAction violation(ThreadState& ts, Violation v, const void* address,
+                            TypeId type, std::uint64_t object_id,
+                            RuntimeOp op);
+  /// Checked lookup under the shard lock: find + checksum verification.
+  /// A record that fails its checksum is evicted from the table (its block
+  /// is deliberately leaked — nothing in the damaged record can be
+  /// trusted, including the layout's size) and reported via `damaged`.
+  const ObjectRecord* find_checked(ShardedMetadataTable::Shard& sh,
+                                   const void* base, bool& damaged) const;
   /// Allocates+registers an object; share_layout forces the given layout
   /// (clone-without-rerandomization) instead of drawing a fresh one.
-  ObjectRecord create_object(ThreadState& ts, TypeId type,
-                             const Layout* share_layout);
+  /// kOom when the backing allocator refuses.
+  Result<ObjectRecord> create_object(ThreadState& ts, TypeId type,
+                                     const Layout* share_layout);
   /// Copies the record for ref out of its shard and retains its layout so
-  /// both outlive the shard lock; kUseAfterFree/stale-id on failure. The
-  /// caller must interner_.release(rec.layout).
+  /// both outlive the shard lock; kUseAfterFree/stale-id (or
+  /// kMetadataDamaged) on failure. The caller must
+  /// interner_.release(rec.layout).
   Result<ObjectRecord> pin_record(ObjRef ref) const;
+  /// Poisons the block and parks it instead of returning it to the backing
+  /// allocator (the kQuarantine action for trap-damaged frees).
+  void quarantine_block(void* base, std::size_t size);
 
   const TypeRegistry& registry_;
   RuntimeConfig config_;
+  PolicyEngine engine_;
   mutable ShardedMetadataTable table_;
   mutable LayoutInterner interner_;
   std::atomic<std::uint64_t> next_object_id_{1};
   const std::uint64_t runtime_id_;  ///< process-unique; keys the TLS map
+
+  mutable std::mutex quarantine_mu_;
+  std::vector<std::pair<void*, std::size_t>> quarantine_;
 
   mutable std::mutex tls_mu_;
   mutable std::vector<std::unique_ptr<ThreadState>> thread_states_;

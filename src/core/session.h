@@ -95,6 +95,18 @@ class Session {
   }
 
   [[nodiscard]] RuntimeStats stats() const { return rt_->stats(); }
+
+  /// Reports the engine has seen for one violation class (all threads).
+  /// Complements the per-call Result errors with an aggregate view — e.g.
+  /// "zero reports" is the fault-free assertion of the injection harness.
+  [[nodiscard]] std::uint64_t violation_reports(Violation v) const {
+    return rt_->policy_engine().reports(v);
+  }
+  /// The effective per-class response policy of the underlying runtime.
+  [[nodiscard]] const ViolationPolicy& violation_policy() const {
+    return rt_->policy_engine().policy();
+  }
+
   [[nodiscard]] const TypeRegistry& registry() const {
     return rt_->registry();
   }

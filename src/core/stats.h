@@ -18,6 +18,9 @@ struct RuntimeStats {
   std::uint64_t layouts_deduped = 0;  ///< allocations that reused a layout
   std::uint64_t uaf_detected = 0;     ///< accesses to freed/unknown objects
   std::uint64_t traps_triggered = 0;  ///< booby-trap canaries found damaged
+  std::uint64_t metadata_faults = 0;  ///< records that failed their checksum
+  std::uint64_t oom_refusals = 0;     ///< allocations refused with kOom
+  std::uint64_t quarantined_objects = 0;  ///< blocks parked by kQuarantine
   std::uint64_t bytes_requested = 0;  ///< sum of natural sizes
   std::uint64_t bytes_allocated = 0;  ///< sum of randomized sizes
 
@@ -35,6 +38,9 @@ struct RuntimeStats {
     layouts_deduped += o.layouts_deduped;
     uaf_detected += o.uaf_detected;
     traps_triggered += o.traps_triggered;
+    metadata_faults += o.metadata_faults;
+    oom_refusals += o.oom_refusals;
+    quarantined_objects += o.quarantined_objects;
     bytes_requested += o.bytes_requested;
     bytes_allocated += o.bytes_allocated;
   }

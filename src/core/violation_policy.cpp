@@ -1,0 +1,64 @@
+#include "core/violation_policy.h"
+
+namespace polar {
+
+const char* to_string(ViolationAction a) noexcept {
+  switch (a) {
+    case ViolationAction::kAbort: return "abort";
+    case ViolationAction::kReport: return "report";
+    case ViolationAction::kQuarantine: return "quarantine";
+    case ViolationAction::kHook: return "hook";
+  }
+  return "unknown";
+}
+
+const char* to_string(RuntimeOp op) noexcept {
+  switch (op) {
+    case RuntimeOp::kAlloc: return "alloc";
+    case RuntimeOp::kFree: return "free";
+    case RuntimeOp::kFieldAccess: return "field-access";
+    case RuntimeOp::kTypedAccess: return "typed-access";
+    case RuntimeOp::kClone: return "clone";
+    case RuntimeOp::kCopy: return "copy";
+    case RuntimeOp::kCheckTraps: return "check-traps";
+  }
+  return "unknown";
+}
+
+ViolationPolicy ViolationPolicy::uniform(ViolationAction a) noexcept {
+  ViolationPolicy p;
+  p.actions.fill(a);
+  return p;
+}
+
+ViolationPolicy ViolationPolicy::from_legacy(bool abort_on_violation) noexcept {
+  return abort_on_violation ? uniform(ViolationAction::kAbort)
+                            : ViolationPolicy{};
+}
+
+ViolationAction PolicyEngine::apply(const ViolationReport& report) noexcept {
+  const auto cls = static_cast<std::size_t>(report.violation);
+  const std::uint64_t nth =
+      counts_[cls].fetch_add(1, std::memory_order_relaxed) + 1;
+
+  ViolationAction action = policy_.action_for(report.violation);
+  if (action == ViolationAction::kHook && policy_.hook != nullptr) {
+    policy_.hook(report, policy_.hook_ctx);
+  }
+  // Escalation outranks any continue-style action: the N-th report of one
+  // class means the detectors are absorbing a sustained attack, not a bug.
+  if (policy_.escalate_after != 0 && nth >= policy_.escalate_after &&
+      action != ViolationAction::kAbort) {
+    escalations_.fetch_add(1, std::memory_order_relaxed);
+    return ViolationAction::kAbort;
+  }
+  return action;
+}
+
+std::uint64_t PolicyEngine::total_reports() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace polar

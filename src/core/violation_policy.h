@@ -1,0 +1,153 @@
+// Violation-response policy engine.
+//
+// The original runtime had one binary knob — ErrorAction::kAbort|kReport —
+// applied uniformly to every detection. Hardened allocators treat fault
+// response as a first-class subsystem (quarantine, checked metadata,
+// graceful OOM), and so does this engine:
+//
+//   * Each Violation class maps to its own ViolationAction: abort the
+//     process, report-and-refuse the operation, quarantine the object and
+//     continue, or invoke a registered hook with a structured
+//     ViolationReport.
+//   * A rate-limited escalation rule turns a drip of same-class reports
+//     into an abort: `escalate_after = N` means the N-th report of one
+//     class aborts even if that class is configured to continue. This is
+//     the "tolerate a glitch, refuse a campaign" posture — one damaged
+//     trap may be a bug, fifty is an attack.
+//
+// The engine is shared by every thread of a Runtime: per-class counters
+// are atomic, and the policy table itself is immutable after construction,
+// so apply() is lock-free. Hooks must be thread-safe when the runtime is
+// shared.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "core/result.h"
+
+namespace polar {
+
+/// What the engine does with one detected violation.
+enum class ViolationAction : std::uint8_t {
+  kAbort,       ///< kill the process (production hardening)
+  kReport,      ///< record, refuse the operation, continue
+  kQuarantine,  ///< like kReport, but the object's memory is withheld from
+                ///< reuse (poisoned + parked) where the site supports it
+  kHook,        ///< invoke the registered hook, then refuse like kReport
+};
+
+[[nodiscard]] const char* to_string(ViolationAction a) noexcept;
+
+/// Which runtime entry point detected the violation. Carried in the report
+/// so hooks and logs can tell a refused free from a refused access.
+enum class RuntimeOp : std::uint8_t {
+  kAlloc,
+  kFree,
+  kFieldAccess,
+  kTypedAccess,
+  kClone,
+  kCopy,
+  kCheckTraps,
+};
+
+[[nodiscard]] const char* to_string(RuntimeOp op) noexcept;
+
+/// Everything the runtime knows about one detection, delivered to hooks
+/// and usable for structured logging. `address`/`type`/`object_id` are
+/// best-effort: an OOM has no address yet, a foreign pointer no type.
+struct ViolationReport {
+  Violation violation = Violation::kNone;
+  const void* address = nullptr;
+  TypeId type{};
+  std::uint64_t object_id = 0;
+  std::uint64_t thread = 0;  ///< numeric id of the reporting thread
+  RuntimeOp op = RuntimeOp::kAlloc;
+};
+
+/// Called on kHook-class violations. Must be thread-safe if the runtime is
+/// shared; must not re-enter the runtime that reported.
+using ViolationHook = void (*)(const ViolationReport& report, void* ctx);
+
+/// Per-violation-class response table plus escalation rule. A value type:
+/// set it on RuntimeConfig before constructing the Runtime.
+///
+/// A default-constructed policy (all kReport, no escalation, no hook)
+/// defers to the legacy RuntimeConfig::on_violation knob; any customized
+/// policy takes precedence over it.
+struct ViolationPolicy {
+  std::array<ViolationAction, kViolationClassCount> actions{
+      ViolationAction::kReport, ViolationAction::kReport,
+      ViolationAction::kReport, ViolationAction::kReport,
+      ViolationAction::kReport, ViolationAction::kReport,
+      ViolationAction::kReport, ViolationAction::kReport};
+  /// N-th report of one class escalates to abort; 0 disables escalation.
+  std::uint32_t escalate_after = 0;
+  ViolationHook hook = nullptr;
+  void* hook_ctx = nullptr;
+
+  /// Same action for every class.
+  [[nodiscard]] static ViolationPolicy uniform(ViolationAction a) noexcept;
+  /// The policy the legacy ErrorAction knob implies (kAbort -> all abort,
+  /// kReport -> all report).
+  [[nodiscard]] static ViolationPolicy from_legacy(bool abort_on_violation) noexcept;
+
+  [[nodiscard]] ViolationAction action_for(Violation v) const noexcept {
+    return actions[static_cast<std::size_t>(v)];
+  }
+  /// Builder-style per-class override: `p.set(kTrapDamaged, kQuarantine)`.
+  ViolationPolicy& set(Violation v, ViolationAction a) noexcept {
+    actions[static_cast<std::size_t>(v)] = a;
+    return *this;
+  }
+  ViolationPolicy& on_report(ViolationHook h, void* ctx) noexcept {
+    hook = h;
+    hook_ctx = ctx;
+    return *this;
+  }
+
+  friend bool operator==(const ViolationPolicy&,
+                         const ViolationPolicy&) = default;
+};
+
+/// The live decision maker inside a Runtime: counts reports per class,
+/// applies the escalation rule, invokes hooks. Lock-free; shared by all
+/// threads of the owning runtime.
+class PolicyEngine {
+ public:
+  explicit PolicyEngine(ViolationPolicy policy) noexcept : policy_(policy) {}
+
+  PolicyEngine(const PolicyEngine&) = delete;
+  PolicyEngine& operator=(const PolicyEngine&) = delete;
+
+  /// Records the report, fires the hook when configured, and returns the
+  /// action the caller must honor. Never aborts itself: a returned kAbort
+  /// is the caller's order to die (so the caller can attach context to the
+  /// fatal message).
+  ViolationAction apply(const ViolationReport& report) noexcept;
+
+  /// Reports seen for one class since construction (kNone is always 0).
+  [[nodiscard]] std::uint64_t reports(Violation v) const noexcept {
+    return counts_[static_cast<std::size_t>(v)].load(
+        std::memory_order_relaxed);
+  }
+  /// Reports across every class.
+  [[nodiscard]] std::uint64_t total_reports() const noexcept;
+  /// How many reports were escalated to abort by the rate rule. (Observable
+  /// only by a hook or a death test: the process dies honoring the first.)
+  [[nodiscard]] std::uint64_t escalations() const noexcept {
+    return escalations_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const ViolationPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  ViolationPolicy policy_;
+  std::array<std::atomic<std::uint64_t>, kViolationClassCount> counts_{};
+  std::atomic<std::uint64_t> escalations_{0};
+};
+
+}  // namespace polar

@@ -1,0 +1,424 @@
+#include "faultinject/fault.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <iomanip>
+#include <new>
+#include <ostream>
+#include <span>
+
+#include "alloc/heap.h"
+#include "core/session.h"
+#include "core/space.h"
+#include "support/hash.h"
+#include "workloads/minijpg.h"
+#include "workloads/minipng.h"
+#include "workloads/mjs/engine.h"
+#include "workloads/spec_suite.h"
+
+namespace polar::faultinject {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTrapSmash: return "trap-smash";
+    case FaultKind::kLinearOverflow: return "linear-overflow";
+    case FaultKind::kUafRead: return "uaf-read";
+    case FaultKind::kUafWrite: return "uaf-write";
+    case FaultKind::kDoubleFree: return "double-free";
+    case FaultKind::kMetadataFlip: return "metadata-flip";
+    case FaultKind::kAllocFail: return "alloc-fail";
+  }
+  return "?";
+}
+
+Violation expected_violation(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNone: return Violation::kNone;
+    case FaultKind::kTrapSmash: return Violation::kTrapDamaged;
+    case FaultKind::kLinearOverflow: return Violation::kTrapDamaged;
+    case FaultKind::kUafRead: return Violation::kUseAfterFree;
+    case FaultKind::kUafWrite: return Violation::kUseAfterFree;
+    case FaultKind::kDoubleFree: return Violation::kDoubleFree;
+    case FaultKind::kMetadataFlip: return Violation::kMetadataDamaged;
+    case FaultKind::kAllocFail: return Violation::kOom;
+  }
+  return Violation::kNone;
+}
+
+const char* to_string(WorkloadKind w) noexcept {
+  switch (w) {
+    case WorkloadKind::kMinipng: return "minipng";
+    case WorkloadKind::kMinijpg: return "minijpg";
+    case WorkloadKind::kMjs: return "mjs";
+    case WorkloadKind::kSpec: return "spec";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Counts the runtime's backing allocations through the alloc_fn hook and
+/// performs the planned fault when the trigger count is reached. Every
+/// injection operates on a scratch object the injector creates itself, so
+/// the workload's own objects are never touched — detection must be a
+/// side effect the program survives, not a behavior change.
+///
+/// Reentrancy: the scratch operations run *inside* the workload's
+/// raw_alloc (which holds no runtime lock), so `injecting_` keeps the
+/// nested backing allocations out of the trigger count, and `fail_next_`
+/// is checked before anything else so the one-shot OOM only ever hits the
+/// injector's own scratch allocation.
+class Injector {
+ public:
+  Injector(const FaultPlan& plan, SizeClassHeap* heap) noexcept
+      : plan_(plan), heap_(heap) {}
+
+  void attach(Runtime& rt, TypeId scratch) noexcept {
+    rt_ = &rt;
+    scratch_ = scratch;
+  }
+
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+  static void* alloc_hook(std::size_t size, void* ctx) {
+    auto* in = static_cast<Injector*>(ctx);
+    if (in->fail_next_) {
+      in->fail_next_ = false;
+      return nullptr;
+    }
+    void* p = in->heap_ != nullptr ? in->heap_->allocate(size)
+                                   : ::operator new(size);
+    if (!in->injecting_ && in->rt_ != nullptr) {
+      ++in->count_;
+      if (!in->fired_ && in->plan_.kind != FaultKind::kNone &&
+          in->plan_.at_alloc != 0 && in->count_ == in->plan_.at_alloc) {
+        in->fired_ = true;
+        in->injecting_ = true;
+        in->trigger();
+        in->injecting_ = false;
+      }
+    }
+    return p;
+  }
+
+  static void free_hook(void* p, std::size_t size, void* ctx) {
+    auto* in = static_cast<Injector*>(ctx);
+    if (in->heap_ != nullptr) {
+      in->heap_->deallocate(p, size);
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+ private:
+  void trigger() {
+    Session session(*rt_);
+    switch (plan_.kind) {
+      case FaultKind::kAllocFail: {
+        fail_next_ = true;
+        (void)session.create(scratch_);  // consumed by the nested raw_alloc
+        fail_next_ = false;
+        break;
+      }
+      case FaultKind::kTrapSmash:
+      case FaultKind::kLinearOverflow: {
+        const Result<ObjRef> obj = session.create(scratch_);
+        if (!obj.ok()) break;
+        smash(obj.value().base);
+        (void)session.destroy(obj.value());  // trap check fires here
+        break;
+      }
+      case FaultKind::kUafRead:
+      case FaultKind::kUafWrite: {
+        const Result<ObjRef> obj = session.create(scratch_);
+        if (!obj.ok()) break;
+        (void)session.destroy(obj.value());
+        if (plan_.kind == FaultKind::kUafRead) {
+          (void)session.read<std::uint64_t>(obj.value(), 1);
+        } else {
+          (void)session.write<std::uint64_t>(obj.value(), 1,
+                                             std::uint64_t{0x4141414141414141});
+        }
+        break;
+      }
+      case FaultKind::kDoubleFree: {
+        const Result<ObjRef> obj = session.create(scratch_);
+        if (!obj.ok()) break;
+        (void)session.destroy(obj.value());
+        (void)session.destroy(obj.value());
+        break;
+      }
+      case FaultKind::kMetadataFlip: {
+        const Result<ObjRef> obj = session.create(scratch_);
+        if (!obj.ok()) break;
+        rt_->debug_corrupt_metadata(obj.value().base, 0xdeadbeefULL);
+        const Result<std::uint64_t> r =
+            session.read<std::uint64_t>(obj.value(), 1);
+        // With checksums on, the read evicted the record (the runtime
+        // deliberately leaks the block). Under the checksum_metadata=false
+        // ablation the damage goes unseen; undo the flip (XOR twice) so
+        // the release's trap check doesn't trip over the corrupted
+        // trap_value, keeping the run collateral-free.
+        if (r.ok()) {
+          rt_->debug_corrupt_metadata(obj.value().base, 0xdeadbeefULL);
+          (void)session.destroy(obj.value());
+        }
+        break;
+      }
+      case FaultKind::kNone:
+        break;
+    }
+  }
+
+  /// Damages the scratch object's booby traps in place.
+  void smash(void* base) {
+    const ObjectRecord* rec = rt_->inspect(base);
+    if (rec == nullptr) return;
+    auto* bytes = static_cast<unsigned char*>(base);
+    if (plan_.kind == FaultKind::kTrapSmash) {
+      // Precision strike: flip one byte of the first trap region.
+      if (!rec->layout->traps.empty()) {
+        bytes[rec->layout->traps.front().offset] ^= 0xffu;
+      }
+      return;
+    }
+    // Linear overflow: run off the lowest-offset declared field to the end
+    // of the allocation, the way an unchecked memcpy/loop would. If no
+    // trap happens to lie above that field in this draw, start at byte 0
+    // so canary damage is guaranteed.
+    std::uint32_t start = rec->layout->size;
+    for (const std::uint32_t off : rec->layout->offsets) {
+      start = std::min(start, off);
+    }
+    bool hits_trap = false;
+    for (const TrapRegion& tr : rec->layout->traps) {
+      hits_trap = hits_trap || tr.offset + tr.size > start;
+    }
+    if (!hits_trap) start = 0;
+    std::memset(bytes + start, 0x61, rec->layout->size - start);
+  }
+
+  const FaultPlan plan_;
+  SizeClassHeap* heap_;
+  Runtime* rt_ = nullptr;
+  TypeId scratch_{};
+  std::uint64_t count_ = 0;
+  bool fired_ = false;
+  bool injecting_ = false;
+  bool fail_next_ = false;
+};
+
+// --- workload drivers -------------------------------------------------------
+// Each runs the real workload over the injected runtime and compares its
+// output against an uninstrumented DirectSpace reference, so "workload_ok"
+// means bit-identical results despite the mid-run fault.
+
+bool run_minipng(Runtime& rt, const TypeRegistry& reg,
+                 const minipng::PngTypes& t, std::uint64_t seed) {
+  const std::vector<std::uint8_t> image =
+      minipng::encode_test_image(16, 16, seed);
+  const std::span<const std::uint8_t> data(image.data(), image.size());
+  DirectSpace direct(reg);
+  const minipng::DecodeResult want = minipng::decode(direct, t, data);
+  SessionSpace space(rt);
+  const minipng::DecodeResult got = minipng::decode(space, t, data);
+  return want.ok && got.ok && got.width == want.width &&
+         got.height == want.height && got.pixel_hash == want.pixel_hash;
+}
+
+bool run_minijpg(Runtime& rt, const TypeRegistry& reg,
+                 const minijpg::JpgTypes& t, std::uint64_t seed) {
+  const std::vector<std::uint8_t> image =
+      minijpg::encode_test_image(16, 16, seed);
+  const std::span<const std::uint8_t> data(image.data(), image.size());
+  DirectSpace direct(reg);
+  const minijpg::DecodeResult want = minijpg::decode(direct, t, data);
+  SessionSpace space(rt);
+  const minijpg::DecodeResult got = minijpg::decode(space, t, data);
+  return want.ok && got.ok && got.width == want.width &&
+         got.height == want.height && got.components == want.components &&
+         got.sample_hash == want.sample_hash;
+}
+
+/// Engine-internal objects, arrays, strings, and property records all
+/// churn through the runtime — enough traffic that any trigger point in
+/// the first dozen allocations is reached.
+constexpr const char* kMjsScript =
+    "function mix(o, i) { o.a = o.a + i; o.b = o.b * 2 + o.a;"
+    "  return o.a + o.b; }\n"
+    "var acc = 0;\n"
+    "var i = 0;\n"
+    "while (i < 24) {\n"
+    "  var o = {a: i, b: 1};\n"
+    "  var arr = [i, i + 1, i + 2];\n"
+    "  acc = acc + mix(o, i) + arr[1];\n"
+    "  i = i + 1;\n"
+    "}\n"
+    "var result = acc;\n";
+
+bool run_mjs(Runtime& rt, const TypeRegistry& reg, const mjs::MjsTypes& t) {
+  double want = 0;
+  try {
+    DirectSpace direct(reg);
+    mjs::Engine<DirectSpace> reference(direct, t);
+    want = reference.run(kMjsScript).num;
+
+    SessionSpace space(rt);
+    mjs::Engine<SessionSpace> engine(space, t);
+    const mjs::Value got = engine.run(kMjsScript);
+    return got.t == mjs::Value::T::kNum && got.num == want;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool run_spec(Runtime& rt, const TypeRegistry& reg,
+              const std::vector<spec::SpecEntry>& suite, std::uint32_t scale,
+              std::uint64_t seed) {
+  // 403.gcc is the suite's allocation/free-dominated entry — the densest
+  // stream of backing allocations, so every trigger point is reached.
+  const spec::SpecEntry* entry = nullptr;
+  for (const spec::SpecEntry& e : suite) {
+    if (e.name == "403.gcc") entry = &e;
+  }
+  if (entry == nullptr) return false;
+  DirectSpace direct(reg);
+  const std::uint64_t want = entry->run_direct(direct, scale, seed);
+  PolarSpace space(rt);
+  return entry->run_polar(space, scale, seed) == want;
+}
+
+}  // namespace
+
+FaultOutcome run_one(WorkloadKind workload, const FaultPlan& plan,
+                     const HarnessConfig& cfg) {
+  FaultOutcome out;
+  out.workload = workload;
+  out.plan = plan;
+  out.expected = expected_violation(plan.kind);
+
+  // Registration must finish before the Runtime takes its registry view.
+  TypeRegistry reg;
+  minipng::PngTypes png{};
+  minijpg::JpgTypes jpg{};
+  mjs::MjsTypes mjs_types{};
+  std::vector<spec::SpecEntry> suite;
+  switch (workload) {
+    case WorkloadKind::kMinipng: png = minipng::register_types(reg); break;
+    case WorkloadKind::kMinijpg: jpg = minijpg::register_types(reg); break;
+    case WorkloadKind::kMjs: mjs_types = mjs::register_types(reg); break;
+    case WorkloadKind::kSpec: suite = spec::build_spec_suite(reg); break;
+  }
+  // The injection target: pointer fields so the randomizer places booby
+  // traps, a scalar for the stale reads/writes, bytes for overflow reach.
+  const TypeId scratch = TypeBuilder(reg, "fault.scratch")
+                             .fn_ptr("vtable")
+                             .field<std::uint64_t>("a")
+                             .ptr("next")
+                             .bytes("buf", 32)
+                             .build();
+
+  SizeClassHeap heap(HeapConfig{
+      .lifo_reuse = true, .quarantine_bytes = cfg.heap_quarantine_bytes});
+  Injector inj(plan, cfg.use_heap ? &heap : nullptr);
+
+  RuntimeConfig rc;
+  rc.seed = hash_combine(cfg.seed, plan.seed);
+  rc.on_violation = ErrorAction::kReport;
+  rc.violation_policy = cfg.policy;
+  rc.checksum_metadata = cfg.checksum_metadata;
+  rc.alloc_fn = &Injector::alloc_hook;
+  rc.free_fn = &Injector::free_hook;
+  rc.alloc_ctx = &inj;
+  Runtime rt(reg, rc);
+  inj.attach(rt, scratch);
+
+  switch (workload) {
+    case WorkloadKind::kMinipng:
+      out.workload_ok = run_minipng(rt, reg, png, plan.seed);
+      break;
+    case WorkloadKind::kMinijpg:
+      out.workload_ok = run_minijpg(rt, reg, jpg, plan.seed);
+      break;
+    case WorkloadKind::kMjs:
+      out.workload_ok = run_mjs(rt, reg, mjs_types);
+      break;
+    case WorkloadKind::kSpec:
+      out.workload_ok = run_spec(rt, reg, suite, cfg.spec_scale, plan.seed);
+      break;
+  }
+
+  const PolicyEngine& engine = rt.policy_engine();
+  for (std::size_t i = 0; i < kViolationClassCount; ++i) {
+    const auto v = static_cast<Violation>(i);
+    const std::uint64_t n = engine.reports(v);
+    if (plan.kind != FaultKind::kNone && v == out.expected) {
+      out.expected_reports = n;
+    } else {
+      out.unexpected_reports += n;
+    }
+  }
+  out.escalations = engine.escalations();
+  out.injected = inj.fired();
+  out.leaked_objects = rt.live_objects();
+  out.quarantined_blocks = rt.quarantined_blocks();
+  out.stats = rt.stats();
+  rt.free_all();  // hand quarantined blocks back before the heap dies
+  return out;
+}
+
+std::vector<FaultOutcome> run_matrix(const HarnessConfig& cfg) {
+  std::vector<FaultOutcome> rows;
+  constexpr WorkloadKind kWorkloads[] = {
+      WorkloadKind::kMinipng, WorkloadKind::kMinijpg, WorkloadKind::kMjs,
+      WorkloadKind::kSpec};
+  for (const WorkloadKind w : kWorkloads) {
+    for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+      const auto kind = static_cast<FaultKind>(k);
+      FaultPlan plan;
+      plan.kind = kind;
+      // Allocation #4 is mid-stream for every workload: past its first
+      // long-lived objects, well before its last.
+      plan.at_alloc = kind == FaultKind::kNone ? 0 : 4;
+      plan.seed = hash_combine(
+          cfg.seed, static_cast<std::uint64_t>(k * kWorkloadKindCount * 2 +
+                                               static_cast<std::size_t>(w)));
+      rows.push_back(run_one(w, plan, cfg));
+    }
+  }
+  return rows;
+}
+
+bool matrix_passes(const std::vector<FaultOutcome>& outcomes) {
+  return std::all_of(outcomes.begin(), outcomes.end(),
+                     [](const FaultOutcome& o) { return o.passed(); });
+}
+
+void print_matrix(std::ostream& os, const std::vector<FaultOutcome>& outcomes,
+                  bool metadata_detectable) {
+  os << std::left << std::setw(9) << "workload" << std::setw(17) << "fault"
+     << std::setw(10) << "injected" << std::setw(10) << "workload"
+     << std::setw(18) << "expected-class" << std::setw(9) << "reports"
+     << std::setw(12) << "unexpected" << std::setw(12) << "quarantined"
+     << "result\n";
+  for (const FaultOutcome& o : outcomes) {
+    // With checksums off a metadata flip going unreported is the expected
+    // blind spot, not a harness failure — label it as such.
+    const bool expected_miss =
+        !metadata_detectable && o.plan.kind == FaultKind::kMetadataFlip &&
+        o.workload_ok && o.expected_reports == 0 && o.unexpected_reports == 0;
+    os << std::left << std::setw(9) << to_string(o.workload) << std::setw(17)
+       << to_string(o.plan.kind) << std::setw(10)
+       << (o.injected ? "yes" : "no") << std::setw(10)
+       << (o.workload_ok ? "ok" : "BROKEN") << std::setw(18)
+       << to_string(o.expected) << std::setw(9) << o.expected_reports
+       << std::setw(12) << o.unexpected_reports << std::setw(12)
+       << o.quarantined_blocks
+       << (o.passed() ? "PASS" : expected_miss ? "MISS (expected)" : "FAIL")
+       << "\n";
+  }
+}
+
+}  // namespace polar::faultinject

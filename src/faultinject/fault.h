@@ -1,0 +1,137 @@
+// Deterministic fault-injection harness — the robustness counterpart of
+// the attack simulator. Where src/attack drives *exploits* against the
+// randomization, this harness drives *faults* against the detection and
+// response machinery itself: it runs the real workloads (minipng, minijpg,
+// the mjs interpreter, the SPEC minis) over a live runtime and, at a
+// chosen backing allocation, injects one of seven fault classes — trap
+// smashes, linear overflows, stale reads/writes, double frees, bit flips
+// in the runtime's own metadata, allocation failure — then asserts the
+// detection matrix:
+//
+//   * every injected fault surfaces as exactly its expected Violation
+//     class through the policy engine (no misclassification),
+//   * no other class reports anything (zero false positives),
+//   * under a non-abort policy the workload still produces its fault-free
+//     result (injections are scoped to harness-owned scratch objects, so
+//     detection must cost the program nothing),
+//   * fault-free control runs report nothing at all.
+//
+// The injection point is the runtime's alloc_fn hook: backing allocations
+// are counted, and when the count reaches FaultPlan::at_alloc the fault is
+// performed mid-workload on a scratch object — the same mechanism for all
+// four workloads, whether they drive the runtime through SessionSpace or
+// the legacy PolarSpace surface.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/result.h"
+#include "core/stats.h"
+#include "core/violation_policy.h"
+
+namespace polar::faultinject {
+
+/// The fault classes the harness can inject. Each maps to exactly one
+/// expected Violation (see expected_violation) — together they cover every
+/// detector the runtime has.
+enum class FaultKind : std::uint8_t {
+  kNone,            ///< control run: no injection, zero reports expected
+  kTrapSmash,       ///< overwrite one booby-trap byte of a live object
+  kLinearOverflow,  ///< memset from a field to the end of the allocation
+  kUafRead,         ///< read a field through a destroyed handle
+  kUafWrite,        ///< write a field through a destroyed handle
+  kDoubleFree,      ///< destroy the same handle twice
+  kMetadataFlip,    ///< flip bits inside the runtime's own metadata record
+  kAllocFail,       ///< backing allocator returns nullptr mid-workload
+};
+inline constexpr std::size_t kFaultKindCount = 8;
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+/// The Violation class each fault must surface as (the detection matrix's
+/// ground truth). kNone for FaultKind::kNone.
+[[nodiscard]] Violation expected_violation(FaultKind k) noexcept;
+
+/// The four real workloads the harness drives.
+enum class WorkloadKind : std::uint8_t { kMinipng, kMinijpg, kMjs, kSpec };
+inline constexpr std::size_t kWorkloadKindCount = 4;
+
+[[nodiscard]] const char* to_string(WorkloadKind w) noexcept;
+
+/// One deterministic injection: trigger `kind` when the runtime performs
+/// its `at_alloc`-th backing allocation on behalf of the workload.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t at_alloc = 0;  ///< 1-based; 0 never triggers
+  std::uint64_t seed = 0xfa17ULL;
+};
+
+/// Everything one run produced, plus the matrix predicates over it.
+struct FaultOutcome {
+  WorkloadKind workload = WorkloadKind::kMinipng;
+  FaultPlan plan{};
+  bool injected = false;     ///< the trigger point was reached
+  bool workload_ok = false;  ///< workload matched its fault-free reference
+  Violation expected = Violation::kNone;
+  std::uint64_t expected_reports = 0;    ///< engine count for `expected`
+  std::uint64_t unexpected_reports = 0;  ///< sum over every other class
+  std::uint64_t escalations = 0;
+  std::size_t leaked_objects = 0;  ///< records still live after the run
+  std::size_t quarantined_blocks = 0;
+  RuntimeStats stats{};
+
+  /// The fault fired and surfaced as exactly its expected class.
+  [[nodiscard]] bool detected() const noexcept {
+    return injected && expected_reports >= 1 && unexpected_reports == 0;
+  }
+  /// The fault-free invariant: correct output, zero reports of any class.
+  [[nodiscard]] bool clean() const noexcept {
+    return workload_ok && expected_reports == 0 && unexpected_reports == 0;
+  }
+  /// What the matrix requires of this row: detection for injected rows
+  /// (plus an unharmed workload, since the harness never runs under an
+  /// abort policy), cleanliness for control rows.
+  [[nodiscard]] bool passed() const noexcept {
+    if (plan.kind == FaultKind::kNone) return clean();
+    return detected() && workload_ok && leaked_objects == 0;
+  }
+};
+
+/// Knobs shared by every run of one matrix sweep.
+struct HarnessConfig {
+  /// Must not abort for any class the matrix injects — the harness asserts
+  /// survival. Default (all kReport) is the report-and-refuse posture.
+  ViolationPolicy policy{};
+  bool checksum_metadata = true;  ///< off = kMetadataFlip goes undetected
+  /// Back the runtime with a SizeClassHeap instead of operator new
+  /// (realistic reuse dynamics under injected frees).
+  bool use_heap = false;
+  std::size_t heap_quarantine_bytes = 0;
+  std::uint64_t seed = 0x5eedfa17ULL;
+  std::uint32_t spec_scale = 1;
+};
+
+/// Runs one workload once with one injection plan and collects the
+/// evidence from the policy engine's per-class counters.
+[[nodiscard]] FaultOutcome run_one(WorkloadKind workload, const FaultPlan& plan,
+                                   const HarnessConfig& cfg);
+
+/// The full detection matrix: every workload crossed with every fault kind
+/// including the fault-free control — 4 x 8 rows.
+[[nodiscard]] std::vector<FaultOutcome> run_matrix(const HarnessConfig& cfg);
+
+/// True iff every row passed (see FaultOutcome::passed). When
+/// `cfg.checksum_metadata` was off, callers should expect kMetadataFlip
+/// rows to fail — that ablation is the point of the flag.
+[[nodiscard]] bool matrix_passes(const std::vector<FaultOutcome>& outcomes);
+
+/// Human-readable matrix table (one row per outcome).
+/// Pretty-print one matrix. With `metadata_detectable` false (the
+/// checksum ablation), undetected metadata-flip rows print as
+/// "MISS (expected)" rather than FAIL.
+void print_matrix(std::ostream& os, const std::vector<FaultOutcome>& outcomes,
+                  bool metadata_detectable = true);
+
+}  // namespace polar::faultinject

@@ -66,6 +66,44 @@ TEST(SizeClassHeap, QuarantineDelaysReuse) {
   EXPECT_TRUE(reused_a);
 }
 
+TEST(SizeClassHeap, QuarantinePoisonDetectsWriteAfterFree) {
+  SizeClassHeap heap(HeapConfig{.quarantine_bytes = 128});
+  void* a = heap.allocate(64);
+  heap.deallocate(a, 64);
+  // The parked block carries the poison fill.
+  EXPECT_EQ(static_cast<unsigned char*>(a)[0], SizeClassHeap::kQuarantinePoison);
+  // A dangling write lands in quarantined memory...
+  static_cast<unsigned char*>(a)[5] = 0x42;
+  // ...and is counted the moment the block drains.
+  std::vector<void*> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(heap.allocate(64));
+  for (void* p : blocks) heap.deallocate(p, 64);
+  EXPECT_EQ(heap.stats().quarantine_poison_damage, 1u);
+}
+
+TEST(SizeClassHeap, QuarantinePoisonSilentWhenUntouched) {
+  SizeClassHeap heap(HeapConfig{.quarantine_bytes = 64});
+  for (int i = 0; i < 64; ++i) {
+    void* p = heap.allocate(48);
+    heap.deallocate(p, 48);  // churn through quarantine, never touch parked
+  }
+  EXPECT_EQ(heap.stats().quarantine_poison_damage, 0u);
+}
+
+TEST(SizeClassHeap, QuarantinePoisonCanBeDisabled) {
+  SizeClassHeap heap(
+      HeapConfig{.quarantine_bytes = 128, .poison_quarantine = false});
+  void* a = heap.allocate(64);
+  static_cast<unsigned char*>(a)[0] = 0x7a;
+  heap.deallocate(a, 64);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[0], 0x7a);  // contents untouched
+  static_cast<unsigned char*>(a)[1] = 0x42;
+  std::vector<void*> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(heap.allocate(64));
+  for (void* p : blocks) heap.deallocate(p, 64);
+  EXPECT_EQ(heap.stats().quarantine_poison_damage, 0u);
+}
+
 TEST(SizeClassHeap, RandomizedReuseIsUnpredictable) {
   SizeClassHeap heap(HeapConfig{.randomize_reuse = true, .seed = 7});
   EXPECT_EQ(heap.peek_next(48), nullptr);  // oracle refuses

@@ -1,0 +1,469 @@
+// The violation-policy engine and the self-checking metadata layer:
+// per-class actions, structured reports, rate-limited escalation, checksum
+// verification of the runtime's own records, graceful OOM, and the
+// last_violation() contract of every legacy olr_* wrapper.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/session.h"
+
+namespace polar {
+namespace {
+
+TypeId make_people(TypeRegistry& reg) {
+  return TypeBuilder(reg, "People")
+      .fn_ptr("vtable")
+      .field<int>("age")
+      .field<int>("height")
+      .build();
+}
+
+// ------------------------------------------------------------- to_string
+
+TEST(ViolationToString, CoversEveryEnumerator) {
+  std::vector<std::string> seen;
+  for (std::size_t i = 0; i < kViolationClassCount; ++i) {
+    const std::string s = to_string(static_cast<Violation>(i));
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.find('?'), std::string::npos) << "unnamed enumerator " << i;
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), s), 0) << s << " repeats";
+    seen.push_back(s);
+  }
+  EXPECT_STREQ(to_string(Violation::kMetadataDamaged), "metadata-damaged");
+  EXPECT_STREQ(to_string(Violation::kOom), "out-of-memory");
+}
+
+TEST(ViolationToString, ActionAndOpNames) {
+  EXPECT_STREQ(to_string(ViolationAction::kAbort), "abort");
+  EXPECT_STREQ(to_string(ViolationAction::kReport), "report");
+  EXPECT_STREQ(to_string(ViolationAction::kQuarantine), "quarantine");
+  EXPECT_STREQ(to_string(ViolationAction::kHook), "hook");
+  EXPECT_STREQ(to_string(RuntimeOp::kAlloc), "alloc");
+  EXPECT_STREQ(to_string(RuntimeOp::kFree), "free");
+  EXPECT_STREQ(to_string(RuntimeOp::kFieldAccess), "field-access");
+  EXPECT_STREQ(to_string(RuntimeOp::kTypedAccess), "typed-access");
+  EXPECT_STREQ(to_string(RuntimeOp::kClone), "clone");
+  EXPECT_STREQ(to_string(RuntimeOp::kCopy), "copy");
+  EXPECT_STREQ(to_string(RuntimeOp::kCheckTraps), "check-traps");
+}
+
+// ------------------------------------------------------ policy value type
+
+TEST(ViolationPolicyValue, DefaultsReportEverything) {
+  const ViolationPolicy p;
+  for (std::size_t i = 0; i < kViolationClassCount; ++i) {
+    EXPECT_EQ(p.action_for(static_cast<Violation>(i)),
+              ViolationAction::kReport);
+  }
+  EXPECT_EQ(p.escalate_after, 0u);
+  EXPECT_EQ(p.hook, nullptr);
+}
+
+TEST(ViolationPolicyValue, FactoriesAndBuilder) {
+  EXPECT_EQ(ViolationPolicy::uniform(ViolationAction::kAbort)
+                .action_for(Violation::kOom),
+            ViolationAction::kAbort);
+  EXPECT_EQ(ViolationPolicy::from_legacy(true),
+            ViolationPolicy::uniform(ViolationAction::kAbort));
+  EXPECT_EQ(ViolationPolicy::from_legacy(false), ViolationPolicy{});
+
+  ViolationPolicy p;
+  p.set(Violation::kTrapDamaged, ViolationAction::kQuarantine)
+      .set(Violation::kOom, ViolationAction::kAbort);
+  EXPECT_EQ(p.action_for(Violation::kTrapDamaged),
+            ViolationAction::kQuarantine);
+  EXPECT_EQ(p.action_for(Violation::kOom), ViolationAction::kAbort);
+  EXPECT_EQ(p.action_for(Violation::kUseAfterFree), ViolationAction::kReport);
+  EXPECT_NE(p, ViolationPolicy{});
+}
+
+// ----------------------------------------------------------- PolicyEngine
+
+TEST(PolicyEngine, CountsPerClassAndReturnsConfiguredAction) {
+  ViolationPolicy p;
+  p.set(Violation::kDoubleFree, ViolationAction::kQuarantine);
+  PolicyEngine engine(p);
+  ViolationReport r;
+  r.violation = Violation::kUseAfterFree;
+  EXPECT_EQ(engine.apply(r), ViolationAction::kReport);
+  EXPECT_EQ(engine.apply(r), ViolationAction::kReport);
+  r.violation = Violation::kDoubleFree;
+  EXPECT_EQ(engine.apply(r), ViolationAction::kQuarantine);
+  EXPECT_EQ(engine.reports(Violation::kUseAfterFree), 2u);
+  EXPECT_EQ(engine.reports(Violation::kDoubleFree), 1u);
+  EXPECT_EQ(engine.reports(Violation::kOom), 0u);
+  EXPECT_EQ(engine.total_reports(), 3u);
+  EXPECT_EQ(engine.escalations(), 0u);
+}
+
+TEST(PolicyEngine, EscalatesNthReportOfOneClassToAbort) {
+  ViolationPolicy p;
+  p.escalate_after = 3;
+  PolicyEngine engine(p);
+  ViolationReport uaf;
+  uaf.violation = Violation::kUseAfterFree;
+  ViolationReport df;
+  df.violation = Violation::kDoubleFree;
+  EXPECT_EQ(engine.apply(uaf), ViolationAction::kReport);
+  EXPECT_EQ(engine.apply(uaf), ViolationAction::kReport);
+  EXPECT_EQ(engine.apply(df), ViolationAction::kReport);  // other class
+  EXPECT_EQ(engine.apply(uaf), ViolationAction::kAbort);  // 3rd of one class
+  EXPECT_EQ(engine.escalations(), 1u);
+}
+
+TEST(PolicyEngine, HookReceivesTheStructuredReport) {
+  struct Seen {
+    std::vector<ViolationReport> reports;
+  } seen;
+  ViolationPolicy p = ViolationPolicy::uniform(ViolationAction::kHook);
+  p.on_report(
+      [](const ViolationReport& r, void* ctx) {
+        static_cast<Seen*>(ctx)->reports.push_back(r);
+      },
+      &seen);
+  PolicyEngine engine(p);
+  ViolationReport r;
+  r.violation = Violation::kTrapDamaged;
+  r.address = &seen;
+  r.object_id = 42;
+  r.op = RuntimeOp::kFree;
+  EXPECT_EQ(engine.apply(r), ViolationAction::kHook);
+  ASSERT_EQ(seen.reports.size(), 1u);
+  EXPECT_EQ(seen.reports[0].violation, Violation::kTrapDamaged);
+  EXPECT_EQ(seen.reports[0].address, &seen);
+  EXPECT_EQ(seen.reports[0].object_id, 42u);
+  EXPECT_EQ(seen.reports[0].op, RuntimeOp::kFree);
+}
+
+// ------------------------------------------------- runtime policy wiring
+
+void* failing_alloc(std::size_t, void*) { return nullptr; }
+void nop_free(void*, std::size_t, void*) {}
+
+TEST(RuntimePolicy, OomTravelsAsAValueNotACrash) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.alloc_fn = &failing_alloc;
+  cfg.free_fn = &nop_free;
+  Runtime rt(reg, cfg);
+
+  const Result<ObjRef> r = rt.obj_alloc(people);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Violation::kOom);
+  EXPECT_EQ(rt.last_violation(), Violation::kOom);
+  EXPECT_EQ(rt.policy_engine().reports(Violation::kOom), 1u);
+  EXPECT_EQ(rt.stats().oom_refusals, 1u);
+  EXPECT_EQ(rt.live_objects(), 0u);
+  EXPECT_EQ(rt.live_layouts(), 0u);  // the drawn layout was released
+
+  rt.clear_violation();
+  EXPECT_EQ(rt.olr_malloc(people), nullptr);
+  EXPECT_EQ(rt.last_violation(), Violation::kOom);
+}
+
+TEST(RuntimePolicy, CloneReportsOomToo) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig ok_cfg;
+  Runtime rt(reg, ok_cfg);
+  const Result<ObjRef> obj = rt.obj_alloc(people);
+  ASSERT_TRUE(obj.ok());
+  // No way to flip the hook mid-run on this runtime, so use a second
+  // runtime for the failing clone source — instead verify the olr path on
+  // a fresh runtime whose allocator dies after the first allocation.
+  struct OneShot {
+    int budget = 1;
+    static void* alloc(std::size_t size, void* ctx) {
+      auto* self = static_cast<OneShot*>(ctx);
+      if (self->budget-- <= 0) return nullptr;
+      return ::operator new(size);
+    }
+    static void free(void* p, std::size_t, void*) { ::operator delete(p); }
+  } one_shot;
+  RuntimeConfig cfg;
+  cfg.alloc_fn = &OneShot::alloc;
+  cfg.free_fn = &OneShot::free;
+  cfg.alloc_ctx = &one_shot;
+  Runtime rt2(reg, cfg);
+  const Result<ObjRef> first = rt2.obj_alloc(people);
+  ASSERT_TRUE(first.ok());
+  const Result<ObjRef> clone = rt2.obj_clone(first.value());
+  ASSERT_FALSE(clone.ok());
+  EXPECT_EQ(clone.error(), Violation::kOom);
+  EXPECT_EQ(rt2.policy_engine().reports(Violation::kOom), 1u);
+}
+
+TEST(RuntimePolicy, MetadataDamageDetectedAndRecordEvicted) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  Runtime rt(reg, cfg);
+  const Result<ObjRef> obj = rt.obj_alloc(people);
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(rt.debug_corrupt_metadata(obj.value().base, 0xffULL));
+
+  const Result<void*> access = rt.obj_field(obj.value(), 1);
+  ASSERT_FALSE(access.ok());
+  EXPECT_EQ(access.error(), Violation::kMetadataDamaged);
+  EXPECT_EQ(rt.last_violation(), Violation::kMetadataDamaged);
+  EXPECT_EQ(rt.policy_engine().reports(Violation::kMetadataDamaged), 1u);
+  EXPECT_EQ(rt.stats().metadata_faults, 1u);
+  // The record is gone: nothing in it could be trusted.
+  EXPECT_EQ(rt.inspect(obj.value().base), nullptr);
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(RuntimePolicy, MetadataDamageSurfacesOnFreeToo) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, RuntimeConfig{});
+  const Result<ObjRef> obj = rt.obj_alloc(people);
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(rt.debug_corrupt_metadata(obj.value().base, 0x10ULL));
+  const Result<void> freed = rt.obj_free(obj.value());
+  ASSERT_FALSE(freed.ok());
+  EXPECT_EQ(freed.error(), Violation::kMetadataDamaged);
+}
+
+TEST(RuntimePolicy, ChecksumAblationTrustsTheTable) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.checksum_metadata = false;
+  Runtime rt(reg, cfg);
+  const Result<ObjRef> obj = rt.obj_alloc(people);
+  ASSERT_TRUE(obj.ok());
+  // Corrupt a benign mirror field: with verification off the access goes
+  // through — the ablation's documented blind spot.
+  ASSERT_TRUE(rt.debug_corrupt_metadata(obj.value().base, 0x10ULL));
+  EXPECT_TRUE(rt.obj_field(obj.value(), 1).ok());
+  EXPECT_EQ(rt.policy_engine().reports(Violation::kMetadataDamaged), 0u);
+  // Undo (XOR is involutive) so teardown's trap check stays quiet.
+  ASSERT_TRUE(rt.debug_corrupt_metadata(obj.value().base, 0x10ULL));
+  EXPECT_TRUE(rt.obj_free(obj.value()).ok());
+}
+
+TEST(RuntimePolicy, HealthyRecordsVerifyOnEveryLookupWithoutNoise) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, RuntimeConfig{});
+  for (int i = 0; i < 64; ++i) {
+    const Result<ObjRef> obj = rt.obj_alloc(people);
+    ASSERT_TRUE(obj.ok());
+    ASSERT_TRUE(rt.obj_field(obj.value(), 1).ok());
+    const Result<ObjRef> dup = rt.obj_clone(obj.value());
+    ASSERT_TRUE(dup.ok());
+    ASSERT_TRUE(rt.obj_copy(dup.value(), obj.value()).ok());
+    ASSERT_TRUE(rt.obj_free(dup.value()).ok());
+    ASSERT_TRUE(rt.obj_free(obj.value()).ok());
+  }
+  EXPECT_EQ(rt.policy_engine().total_reports(), 0u);
+}
+
+TEST(RuntimePolicy, QuarantineActionParksTrapDamagedBlocks) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.violation_policy.set(Violation::kTrapDamaged,
+                           ViolationAction::kQuarantine);
+  Runtime rt(reg, cfg);
+  const Result<ObjRef> obj = rt.obj_alloc(people);
+  ASSERT_TRUE(obj.ok());
+  const ObjectRecord* rec = rt.inspect(obj.value().base);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_FALSE(rec->layout->traps.empty());
+  const TrapRegion& trap = rec->layout->traps.front();
+  std::memset(static_cast<unsigned char*>(obj.value().base) + trap.offset,
+              0x41, trap.size);
+
+  const Result<void> freed = rt.obj_free(obj.value());
+  ASSERT_FALSE(freed.ok());
+  EXPECT_EQ(freed.error(), Violation::kTrapDamaged);
+  EXPECT_EQ(rt.live_objects(), 0u);  // released from the table...
+  EXPECT_EQ(rt.quarantined_blocks(), 1u);  // ...but the memory is parked
+  EXPECT_EQ(rt.stats().quarantined_objects, 1u);
+  // A stale touch of the parked address is still a detected UAF.
+  EXPECT_FALSE(rt.obj_field(obj.value(), 1).ok());
+
+  rt.free_all();
+  EXPECT_EQ(rt.quarantined_blocks(), 0u);
+}
+
+TEST(RuntimePolicy, CustomPolicyOverridesLegacyKnob) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kAbort;  // would die...
+  cfg.violation_policy.set(Violation::kUseAfterFree,
+                           ViolationAction::kQuarantine);  // ...but customized
+  Runtime rt(reg, cfg);
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  EXPECT_EQ(rt.olr_getptr(p, 1), nullptr);  // survives: refused, not abort
+  EXPECT_EQ(rt.last_violation(), Violation::kUseAfterFree);
+  // Caveat of the deferral rule: a policy "customized" back to all-report
+  // equals the default-constructed value, so it still defers to the legacy
+  // knob. Callers wanting report-everything set on_violation = kReport.
+  EXPECT_EQ(ViolationPolicy{}.set(Violation::kUseAfterFree,
+                                  ViolationAction::kReport),
+            ViolationPolicy{});
+}
+
+TEST(RuntimePolicy, HookPolicyDeliversRuntimeContext) {
+  struct Seen {
+    std::vector<ViolationReport> reports;
+  } seen;
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.violation_policy = ViolationPolicy::uniform(ViolationAction::kHook)
+                             .on_report(
+                                 [](const ViolationReport& r, void* ctx) {
+                                   static_cast<Seen*>(ctx)->reports.push_back(r);
+                                 },
+                                 &seen);
+  Runtime rt(reg, cfg);
+  const Result<ObjRef> obj = rt.obj_alloc(people);
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(rt.obj_free(obj.value()).ok());
+  EXPECT_FALSE(rt.obj_field(obj.value(), 1).ok());
+  ASSERT_EQ(seen.reports.size(), 1u);
+  EXPECT_EQ(seen.reports[0].violation, Violation::kUseAfterFree);
+  EXPECT_EQ(seen.reports[0].address, obj.value().base);
+  EXPECT_EQ(seen.reports[0].op, RuntimeOp::kFieldAccess);
+}
+
+// ------------------------------------------------ olr_* wrapper contract
+
+class OlrViolationAudit : public ::testing::Test {
+ protected:
+  OlrViolationAudit() : people_(make_people(reg_)) {
+    other_ = TypeBuilder(reg_, "Other").field<int>("x").build();
+    rt_ = std::make_unique<Runtime>(reg_, RuntimeConfig{});
+  }
+  TypeRegistry reg_;
+  TypeId people_;
+  TypeId other_;
+  std::unique_ptr<Runtime> rt_;
+};
+
+TEST_F(OlrViolationAudit, EveryFailurePathSetsLastViolation) {
+  void* p = rt_->olr_malloc(people_);
+  ASSERT_NE(p, nullptr);
+
+  rt_->clear_violation();
+  EXPECT_EQ(rt_->olr_getptr(p, 99), nullptr);
+  EXPECT_EQ(rt_->last_violation(), Violation::kBadField);
+
+  rt_->clear_violation();
+  EXPECT_EQ(rt_->olr_getptr_typed(p, other_, 0), nullptr);
+  EXPECT_EQ(rt_->last_violation(), Violation::kTypeMismatch);
+
+  void* q = rt_->olr_malloc(other_);
+  rt_->clear_violation();
+  EXPECT_FALSE(rt_->olr_memcpy(p, q));  // historic contract: kBadField
+  EXPECT_EQ(rt_->last_violation(), Violation::kBadField);
+  rt_->olr_free(q);
+
+  rt_->olr_free(p);
+  rt_->clear_violation();
+  EXPECT_EQ(rt_->olr_getptr(p, 1), nullptr);
+  EXPECT_EQ(rt_->last_violation(), Violation::kUseAfterFree);
+
+  rt_->clear_violation();
+  EXPECT_EQ(rt_->olr_clone(p), nullptr);
+  EXPECT_EQ(rt_->last_violation(), Violation::kUseAfterFree);
+
+  rt_->clear_violation();
+  EXPECT_FALSE(rt_->check_traps(p));
+  EXPECT_EQ(rt_->last_violation(), Violation::kUseAfterFree);
+
+  rt_->clear_violation();
+  EXPECT_FALSE(rt_->olr_free(p));
+  EXPECT_EQ(rt_->last_violation(), Violation::kDoubleFree);
+
+  int local = 0;
+  rt_->clear_violation();
+  EXPECT_FALSE(rt_->olr_free(&local));  // foreign pointer
+  EXPECT_EQ(rt_->last_violation(), Violation::kDoubleFree);
+}
+
+// --------------------------------------------------------- session facade
+
+TEST(SessionPolicy, ExposesEngineCountersAndPolicy) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.violation_policy.set(Violation::kTrapDamaged,
+                           ViolationAction::kQuarantine);
+  Runtime rt(reg, cfg);
+  Session session(rt);
+  EXPECT_EQ(session.violation_policy().action_for(Violation::kTrapDamaged),
+            ViolationAction::kQuarantine);
+  const Result<ObjRef> obj = session.create(people);
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(session.destroy(obj.value()).ok());
+  EXPECT_FALSE(session.destroy(obj.value()).ok());
+  EXPECT_EQ(session.violation_reports(Violation::kDoubleFree), 1u);
+  EXPECT_EQ(session.violation_reports(Violation::kUseAfterFree), 0u);
+}
+
+// ------------------------------------------------------------ death tests
+
+TEST(ViolationPolicyDeath, AbortActionKillsWithViolationName) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.violation_policy = ViolationPolicy::uniform(ViolationAction::kAbort);
+  Runtime rt(reg, cfg);
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  EXPECT_DEATH((void)rt.olr_getptr(p, 1), "use-after-free");
+}
+
+TEST(ViolationPolicyDeath, LegacyAbortKnobStillAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kAbort;
+  Runtime rt(reg, cfg);
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  EXPECT_DEATH((void)rt.olr_free(p), "double-free");
+}
+
+TEST(ViolationPolicyDeath, EscalationAbortsAfterNReports) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.violation_policy.escalate_after = 3;
+  Runtime rt(reg, cfg);
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  EXPECT_EQ(rt.olr_getptr(p, 1), nullptr);  // 1st: reported, survives
+  EXPECT_EQ(rt.olr_getptr(p, 1), nullptr);  // 2nd: reported, survives
+  EXPECT_DEATH((void)rt.olr_getptr(p, 1), "use-after-free");  // 3rd: dies
+}
+
+TEST(ViolationPolicyDeath, OomUnderAbortPolicyDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg;
+  cfg.alloc_fn = &failing_alloc;
+  cfg.free_fn = &nop_free;
+  cfg.violation_policy = ViolationPolicy::uniform(ViolationAction::kAbort);
+  Runtime rt(reg, cfg);
+  EXPECT_DEATH((void)rt.olr_malloc(people), "out-of-memory");
+}
+
+}  // namespace
+}  // namespace polar
