@@ -1,0 +1,232 @@
+// BENCH_pr4 — member-access fast-path ablation (DESIGN.md §10).
+//
+// Measures olr_getptr throughput (the paper's hottest instrumented site)
+// and alloc/free churn across the metadata-backend ablation ladder:
+//
+//   hash_locked       pre-PR lookup: hash probe under the shard mutex
+//   hash_checksum     pre-PR default: hash probe + per-lookup checksum
+//   pagemap_only      O(1) pagemap lookup, still under the shard mutex
+//   seqlock           pagemap + lock-free seqlock reads (the fast path)
+//   layout_pool_only  hash backend + batched layout generation (alloc-side)
+//   full              pagemap + seqlock + layout pool
+//   full_checksum     pagemap + layout pool with checksums (locked reads)
+//
+// The thread-local offset cache is DISABLED for the getptr measurement so
+// the numbers isolate the lookup machinery itself — with the cache on,
+// every mode converges to the cache hit path and the ablation says
+// nothing. Emits one JSON document on stdout (consumed by scripts/bench.sh
+// into BENCH_pr4.json).
+//
+// Usage: bench_getptr [--smoke]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/session.h"
+#include "core/type_registry.h"
+
+namespace {
+
+using namespace polar;
+
+struct ModeSpec {
+  const char* name;
+  bool pagemap;
+  bool lockfree;
+  bool checksum;
+  std::uint32_t pool_chunk;
+};
+
+constexpr ModeSpec kModes[] = {
+    {"hash_locked", false, false, false, 1},
+    {"hash_checksum", false, false, true, 1},
+    {"pagemap_only", true, false, false, 1},
+    {"seqlock", true, true, false, 1},
+    {"layout_pool_only", false, false, false, 8},
+    {"full", true, true, false, 8},
+    {"full_checksum", true, false, true, 8},
+};
+
+TypeId make_bench5(TypeRegistry& reg) {
+  return TypeBuilder(reg, "Bench5")
+      .fn_ptr("handler")
+      .field<std::uint64_t>("id")
+      .ptr("next")
+      .field<std::uint32_t>("len")
+      .field<std::uint32_t>("cap")
+      .build();
+}
+
+RuntimeConfig mode_config(const ModeSpec& mode, bool cache) {
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kAbort;  // any violation is a bench bug
+  cfg.enable_cache = cache;
+  cfg.enable_pagemap = mode.pagemap;
+  cfg.lockfree_reads = mode.lockfree;
+  cfg.checksum_metadata = mode.checksum;
+  cfg.layout_pool_chunk = mode.pool_chunk;
+  return cfg;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double median(std::vector<double> runs) {
+  std::sort(runs.begin(), runs.end());
+  const std::size_t n = runs.size();
+  return (n % 2 == 1) ? runs[n / 2] : 0.5 * (runs[n / 2 - 1] + runs[n / 2]);
+}
+
+/// Mops of olr_getptr on `live` resident objects, cache off, one thread.
+double getptr_mops(const ModeSpec& mode, std::size_t live,
+                   std::uint64_t iters) {
+  TypeRegistry reg;
+  const TypeId t = make_bench5(reg);
+  Runtime rt(reg, mode_config(mode, /*cache=*/false));
+  std::vector<void*> objs(live);
+  for (void*& p : objs) p = rt.olr_malloc(t);
+
+  volatile std::uintptr_t sink = 0;  // keep the loads observable
+  // Warm-up pass so first-touch faults don't land in the timed region.
+  for (std::size_t i = 0; i < live; ++i) {
+    sink = sink + reinterpret_cast<std::uintptr_t>(rt.olr_getptr(objs[i], 1));
+  }
+  const double start = now_s();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    void* base = objs[i & (live - 1)];
+    // Field index cycles a power-of-two subset so loop overhead stays flat
+    // across modes (a div/mod here would dilute the ablation ratio).
+    sink = sink + reinterpret_cast<std::uintptr_t>(
+                      rt.olr_getptr(base, static_cast<std::uint32_t>(i & 3)));
+  }
+  const double secs = now_s() - start;
+  for (void* p : objs) rt.olr_free(p);
+  return static_cast<double>(iters) / secs / 1e6;
+}
+
+/// Mops of alloc+free pairs, one thread (layout generation dominated).
+double churn_mops(const ModeSpec& mode, std::uint64_t iters) {
+  TypeRegistry reg;
+  const TypeId t = make_bench5(reg);
+  Runtime rt(reg, mode_config(mode, /*cache=*/true));
+  const double start = now_s();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    void* p = rt.olr_malloc(t);
+    rt.olr_free(p);
+  }
+  const double secs = now_s() - start;
+  return static_cast<double>(iters) / secs / 1e6;
+}
+
+/// Mops of mixed ops (1 alloc + 6 getptr + 1 free per round) across
+/// `threads` concurrent workers sharing one runtime.
+double concurrent_mops(const ModeSpec& mode, unsigned threads,
+                       std::uint64_t rounds_per_thread) {
+  TypeRegistry reg;
+  const TypeId t = make_bench5(reg);
+  Runtime rt(reg, mode_config(mode, /*cache=*/true));
+  const double start = now_s();
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&rt, t, rounds_per_thread] {
+      Session s(rt);
+      volatile std::uintptr_t sink = 0;
+      for (std::uint64_t i = 0; i < rounds_per_thread; ++i) {
+        const ObjRef r = s.create(t).value();
+        for (std::uint32_t f = 0; f < 5; ++f) {
+          sink = sink + reinterpret_cast<std::uintptr_t>(s.field(r, f).value());
+        }
+        sink = sink + reinterpret_cast<std::uintptr_t>(s.field(r, 1).value());
+        (void)s.destroy(r);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double secs = now_s() - start;
+  return static_cast<double>(threads) * rounds_per_thread * 8.0 / secs / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t kLive = 4096;  // power of two (index mask)
+  const std::uint64_t getptr_iters = smoke ? 400'000 : 4'000'000;
+  const std::uint64_t churn_iters = smoke ? 20'000 : 200'000;
+  const std::uint64_t conc_rounds = smoke ? 5'000 : 50'000;
+  const int reps = smoke ? 3 : 7;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"pr4_fastpath\",\n");
+  std::printf("  \"schema_version\": 1,\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf(
+      "  \"config\": {\"live_objects\": %zu, \"getptr_iters\": %llu, "
+      "\"churn_iters\": %llu, \"concurrent_rounds\": %llu},\n",
+      kLive, static_cast<unsigned long long>(getptr_iters),
+      static_cast<unsigned long long>(churn_iters),
+      static_cast<unsigned long long>(conc_rounds));
+
+  // Repetitions are interleaved across modes (full sweep, then repeat)
+  // rather than back-to-back: noise on a shared core arrives in bursts
+  // lasting whole sweeps, so back-to-back reps of one mode all land in the
+  // same burst while interleaving exposes every mode to the same windows.
+  // The per-mode median then cancels the burst instead of baking it into
+  // whichever mode ran during it.
+  const std::size_t n_modes = sizeof(kModes) / sizeof(kModes[0]);
+  std::vector<std::vector<double>> g_runs(n_modes), c_runs(n_modes);
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t m = 0; m < n_modes; ++m) {
+      g_runs[m].push_back(getptr_mops(kModes[m], kLive, getptr_iters));
+      c_runs[m].push_back(churn_mops(kModes[m], churn_iters));
+    }
+  }
+  // Two baselines: hash_locked is the stricter ablation rung (lock, no
+  // checksum); hash_checksum is what the pre-PR runtime actually shipped
+  // as its default (checksum_metadata was on).
+  const double base_locked = median(g_runs[0]);
+  const double base_default = median(g_runs[1]);
+  std::printf("  \"modes\": [\n");
+  for (std::size_t m = 0; m < n_modes; ++m) {
+    const double g = median(g_runs[m]);
+    const double c = median(c_runs[m]);
+    std::printf(
+        "    {\"name\": \"%s\", \"getptr_mops\": %.2f, "
+        "\"alloc_free_mops\": %.3f, \"speedup_vs_hash_locked\": %.2f, "
+        "\"speedup_vs_pre_pr_default\": %.2f}%s\n",
+        kModes[m].name, g, c, base_locked > 0 ? g / base_locked : 0.0,
+        base_default > 0 ? g / base_default : 0.0,
+        m + 1 < n_modes ? "," : "");
+    std::fflush(stdout);
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"concurrent\": [\n");
+  const ModeSpec conc_modes[] = {kModes[0], kModes[5]};  // hash_locked, full
+  const unsigned thread_counts[] = {1, 2, 4};
+  bool first = true;
+  for (const ModeSpec& mode : conc_modes) {
+    for (unsigned threads : thread_counts) {
+      const double mops = concurrent_mops(mode, threads, conc_rounds);
+      std::printf("    %s{\"mode\": \"%s\", \"threads\": %u, \"mops\": %.3f}",
+                  first ? "" : ",", mode.name, threads, mops);
+      std::printf("\n");
+      std::fflush(stdout);
+      first = false;
+    }
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

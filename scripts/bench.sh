@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Benchmark gate: runs the member-access fast-path ablation (bench_getptr),
+# the concurrent churn bench, the paper's Fig. 6 overhead table, and the
+# google-benchmark micro suite, then merges everything into one
+# schema-checked BENCH_pr4.json (scripts/bench_merge.py fails the run on
+# schema drift, so CI catches silently-changed output shapes).
+#
+# Usage: scripts/bench.sh [--smoke] [--out FILE]
+#   --smoke   reduced iteration counts for the CI gate (minutes, not tens)
+#   --out     output path (default: BENCH_pr4.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT="BENCH_pr4.json"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --out) OUT="${2:?--out needs a path}"; shift ;;
+    *) echo "bench.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+echo "== build bench binaries =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" \
+  --target bench_getptr bench_concurrent fig6_spec_overhead micro_runtime \
+  >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== bench_getptr: fast-path ablation =="
+if [ "$SMOKE" = 1 ]; then
+  ./build/bench/bench_getptr --smoke > "$TMP/getptr.json"
+else
+  ./build/bench/bench_getptr > "$TMP/getptr.json"
+fi
+
+echo "== bench_concurrent: shared-runtime churn =="
+if [ "$SMOKE" = 1 ]; then CONC_ITERS=5000; else CONC_ITERS=50000; fi
+./build/bench/bench_concurrent "$CONC_ITERS" > "$TMP/concurrent.json"
+
+echo "== fig6_spec_overhead: paper Fig. 6 substitutes =="
+./build/bench/fig6_spec_overhead > "$TMP/fig6.txt"
+
+echo "== micro_runtime: google-benchmark micro suite =="
+if [ "$SMOKE" = 1 ]; then MIN_TIME=0.05; else MIN_TIME=0.5; fi
+./build/bench/micro_runtime --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$TMP/micro.json"
+
+echo "== merge + schema check -> $OUT =="
+python3 scripts/bench_merge.py --smoke="$SMOKE" "$TMP" "$OUT"
+echo "bench.sh: wrote $OUT"

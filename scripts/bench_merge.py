@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Merge the per-binary bench outputs into BENCH_pr4.json, schema-checked.
+
+Reads from a directory produced by scripts/bench.sh:
+    getptr.json      bench_getptr     (fast-path ablation, native JSON)
+    concurrent.json  bench_concurrent (native JSON)
+    fig6.txt         fig6_spec_overhead (text table, parsed here)
+    micro.json       micro_runtime    (google-benchmark JSON)
+
+The schema check is deliberately strict — exact top-level key sets, exact
+ablation mode names in order, required fields per row — so any drift in a
+bench binary's output shape fails the merge (and with it the CI bench
+gate) instead of silently producing a BENCH_pr4.json that downstream
+tooling misreads.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+# The ablation ladder bench_getptr must emit, in order.
+EXPECTED_MODES = [
+    "hash_locked",
+    "hash_checksum",
+    "pagemap_only",
+    "seqlock",
+    "layout_pool_only",
+    "full",
+    "full_checksum",
+]
+
+MODE_FIELDS = {
+    "name": str,
+    "getptr_mops": (int, float),
+    "alloc_free_mops": (int, float),
+    "speedup_vs_hash_locked": (int, float),
+    "speedup_vs_pre_pr_default": (int, float),
+}
+
+FIG6_ROW = re.compile(
+    r"^(\S+)\s+(\d+\.\d+)\s+(\d+\.\d+)\s+([+-]\d+\.\d+)%\s*$"
+)
+FIG6_SUMMARY = re.compile(
+    r"average:\s*([+-]\d+\.\d+)%\s+worst case:\s*(\S+)\s*\(([+-]\d+\.\d+)%\)"
+)
+
+
+class SchemaError(Exception):
+    pass
+
+
+def need(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_fastpath(doc):
+    need(doc.get("bench") == "pr4_fastpath", "getptr: bench tag changed")
+    need(doc.get("schema_version") == SCHEMA_VERSION,
+         "getptr: schema_version != %d" % SCHEMA_VERSION)
+    modes = doc.get("modes")
+    need(isinstance(modes, list), "getptr: modes not a list")
+    names = [m.get("name") for m in modes]
+    need(names == EXPECTED_MODES,
+         "getptr: ablation modes drifted: %r" % (names,))
+    for m in modes:
+        need(set(m.keys()) == set(MODE_FIELDS),
+             "getptr: mode fields drifted in %r" % (m.get("name"),))
+        for key, ty in MODE_FIELDS.items():
+            need(isinstance(m[key], ty), "getptr: %s.%s wrong type"
+                 % (m.get("name"), key))
+    conc = doc.get("concurrent")
+    need(isinstance(conc, list) and conc, "getptr: concurrent rows missing")
+    for row in conc:
+        need(set(row.keys()) == {"mode", "threads", "mops"},
+             "getptr: concurrent row fields drifted")
+    return doc
+
+
+def check_concurrent(doc):
+    need(doc.get("bench") == "concurrent_churn",
+         "concurrent: bench tag changed")
+    rows = doc.get("results")
+    need(isinstance(rows, list) and rows, "concurrent: results missing")
+    for row in rows:
+        for key in ("threads", "total_ops", "ops_per_sec", "cache_hit_rate"):
+            need(key in row, "concurrent: row lacks %r" % key)
+    return doc
+
+
+def parse_fig6(text):
+    rows, summary = [], None
+    for line in text.splitlines():
+        m = FIG6_ROW.match(line)
+        if m:
+            rows.append({
+                "name": m.group(1),
+                "default_ms": float(m.group(2)),
+                "polar_ms": float(m.group(3)),
+                "overhead_pct": float(m.group(4)),
+            })
+            continue
+        m = FIG6_SUMMARY.search(line)
+        if m:
+            summary = {
+                "average_pct": float(m.group(1)),
+                "worst_name": m.group(2),
+                "worst_pct": float(m.group(3)),
+            }
+    need(rows, "fig6: no benchmark rows parsed — table format drifted")
+    need(summary is not None, "fig6: summary line missing — format drifted")
+    return {"rows": rows, **summary}
+
+
+def check_micro(doc):
+    benches = doc.get("benchmarks")
+    need(isinstance(benches, list) and benches,
+         "micro: google-benchmark output lacks benchmarks[]")
+    out = []
+    for b in benches:
+        for key in ("name", "real_time", "time_unit"):
+            need(key in b, "micro: benchmark row lacks %r" % key)
+        out.append({
+            "name": b["name"],
+            "real_time": b["real_time"],
+            "time_unit": b["time_unit"],
+        })
+    return {"benchmarks": out}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--smoke", default="0")
+    ap.add_argument("indir", type=Path)
+    ap.add_argument("out", type=Path)
+    args = ap.parse_args()
+
+    try:
+        merged = {
+            "bench": "BENCH_pr4",
+            "schema_version": SCHEMA_VERSION,
+            "smoke": args.smoke == "1",
+            "generated_by": "scripts/bench.sh",
+            "fastpath": check_fastpath(
+                json.loads((args.indir / "getptr.json").read_text())),
+            "concurrent_churn": check_concurrent(
+                json.loads((args.indir / "concurrent.json").read_text())),
+            "spec_overhead": parse_fig6(
+                (args.indir / "fig6.txt").read_text()),
+            "micro_runtime": check_micro(
+                json.loads((args.indir / "micro.json").read_text())),
+        }
+    except (SchemaError, json.JSONDecodeError, FileNotFoundError) as e:
+        print("bench_merge: SCHEMA DRIFT: %s" % e, file=sys.stderr)
+        return 1
+
+    args.out.write_text(json.dumps(merged, indent=2) + "\n")
+
+    fast = merged["fastpath"]["modes"]
+    by_name = {m["name"]: m for m in fast}
+    print("bench_merge: seqlock %.2fx / full %.2fx vs hash_locked "
+          "(%.2fx / %.2fx vs pre-PR default)" % (
+              by_name["seqlock"]["speedup_vs_hash_locked"],
+              by_name["full"]["speedup_vs_hash_locked"],
+              by_name["seqlock"]["speedup_vs_pre_pr_default"],
+              by_name["full"]["speedup_vs_pre_pr_default"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,7 +93,7 @@ void SizeClassHeap::deallocate(void* p, std::size_t size) {
       std::memset(p, kQuarantinePoison, bytes);
     }
     quarantine_.push_back({p, cls, bytes});
-    stats_.quarantined_bytes += bytes;
+    quarantine_held_bytes_ += bytes;
     drain_quarantine();
     return;
   }
@@ -101,10 +101,16 @@ void SizeClassHeap::deallocate(void* p, std::size_t size) {
 }
 
 void SizeClassHeap::drain_quarantine() {
-  while (stats_.quarantined_bytes > config_.quarantine_bytes) {
+  // Oldest-first (pop-front only), against the dedicated running counter.
+  // The empty() guard makes a counter/deque disagreement impossible to
+  // spin or underflow on — and the CHECK below turns one into a loud bug.
+  while (quarantine_held_bytes_ > config_.quarantine_bytes &&
+         !quarantine_.empty()) {
     const Quarantined q = quarantine_.front();
     quarantine_.pop_front();
-    stats_.quarantined_bytes -= q.bytes;
+    POLAR_CHECK(q.bytes <= quarantine_held_bytes_,
+                "quarantine byte accounting underflow");
+    quarantine_held_bytes_ -= q.bytes;
     // The block was dead the entire time it was parked, so any byte that
     // no longer carries the poison fill is a write-after-free landing in
     // quarantined memory — exactly the dangling-pointer write quarantine
@@ -120,6 +126,9 @@ void SizeClassHeap::drain_quarantine() {
     }
     freelists_[static_cast<std::size_t>(q.cls)].push_back(q.p);
   }
+  POLAR_CHECK(!quarantine_.empty() || quarantine_held_bytes_ == 0,
+              "quarantine drained empty but byte counter is nonzero");
+  stats_.quarantined_bytes = quarantine_held_bytes_;  // observable mirror
 }
 
 const void* SizeClassHeap::peek_next(std::size_t size) const {

@@ -102,6 +102,11 @@ class SizeClassHeap {
     std::size_t bytes;
   };
   std::deque<Quarantined> quarantine_;
+  /// Running byte total of the blocks parked in quarantine_. This — not
+  /// the observable HeapStats mirror — drives the drain loop, so stats
+  /// consumers can never skew reuse policy, and the drain can prove the
+  /// counter and the deque agree (empty deque <=> zero held bytes).
+  std::size_t quarantine_held_bytes_ = 0;
 
   // Slab bump allocation for small classes.
   std::vector<std::unique_ptr<std::byte[]>> slabs_;

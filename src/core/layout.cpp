@@ -12,39 +12,25 @@ namespace polar {
 
 namespace {
 
+using Slot = detail::LayoutSlot;
+
 constexpr std::uint32_t align_up(std::uint32_t x, std::uint32_t a) noexcept {
   return (x + a - 1) & ~(a - 1);
 }
 
-/// A slot in the permuted ordering: either declared field `index` or a
-/// dummy of `dummy_size` bytes.
-struct Slot {
-  bool is_dummy = false;
-  std::uint32_t index = 0;       // valid when !is_dummy
-  std::uint32_t dummy_size = 0;  // valid when is_dummy
-  bool guards_sensitive = false;
-};
-
-}  // namespace
-
-std::uint64_t Layout::compute_hash() const noexcept {
-  std::uint64_t h = fnv1a(std::span<const std::byte>{});
-  for (std::uint32_t off : offsets) h = hash_combine(h, off);
-  for (const TrapRegion& t : traps) {
-    h = hash_combine(h, (static_cast<std::uint64_t>(t.offset) << 32) | t.size);
-  }
-  return hash_combine(h, size);
-}
-
-Layout randomize_layout(const TypeInfo& type, const LayoutPolicy& policy,
-                        Rng& rng) {
+/// Shared randomizer core. `order` and `slots` are caller-owned scratch
+/// (cleared here) so batched callers can reuse their capacity; the RNG
+/// draw order is identical no matter who owns the scratch.
+Layout randomize_with_scratch(const TypeInfo& type, const LayoutPolicy& policy,
+                              Rng& rng, std::vector<std::uint32_t>& order,
+                              std::vector<Slot>& slots) {
   const std::uint32_t n = type.field_count();
   POLAR_CHECK(n > 0, "cannot randomize an empty type");
   if (type.no_randomize) return natural_layout(type);
 
   // 1. Permute the declared field order — fully, or within
   //    cache-line-sized groups of the natural layout.
-  std::vector<std::uint32_t> order(n);
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0u);
   if (policy.permute && !type.no_randomize) {
     if (policy.cache_line_group == 0) {
@@ -70,7 +56,7 @@ Layout randomize_layout(const TypeInfo& type, const LayoutPolicy& policy,
 
   // 2. Interleave dummies: one booby trap before each sensitive field,
   //    plus [min,max] pure-entropy dummies at random positions.
-  std::vector<Slot> slots;
+  slots.clear();
   slots.reserve(n * 2 + policy.max_dummies);
   for (std::uint32_t idx : order) {
     if (policy.booby_traps && is_pointer_kind(type.fields[idx].kind)) {
@@ -114,6 +100,33 @@ Layout randomize_layout(const TypeInfo& type, const LayoutPolicy& policy,
   layout.size = align_up(std::max(cursor, 1u), type.natural_align);
   layout.hash = layout.compute_hash();
   return layout;
+}
+
+}  // namespace
+
+std::uint64_t Layout::compute_hash() const noexcept {
+  std::uint64_t h = fnv1a(std::span<const std::byte>{});
+  for (std::uint32_t off : offsets) h = hash_combine(h, off);
+  for (const TrapRegion& t : traps) {
+    h = hash_combine(h, (static_cast<std::uint64_t>(t.offset) << 32) | t.size);
+  }
+  return hash_combine(h, size);
+}
+
+Layout randomize_layout(const TypeInfo& type, const LayoutPolicy& policy,
+                        Rng& rng) {
+  std::vector<std::uint32_t> order;
+  std::vector<Slot> slots;
+  return randomize_with_scratch(type, policy, rng, order, slots);
+}
+
+void LayoutBatcher::generate(const TypeInfo& type, const LayoutPolicy& policy,
+                             Rng& rng, std::size_t count,
+                             std::vector<Layout>& out) {
+  out.reserve(out.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(randomize_with_scratch(type, policy, rng, order_, slots_));
+  }
 }
 
 Layout natural_layout(const TypeInfo& type) {

@@ -16,6 +16,18 @@
 
 namespace polar {
 
+namespace detail {
+/// A slot in the permuted ordering: either declared field `index` or a
+/// dummy of `dummy_size` bytes. Exposed here (not an implementation detail
+/// of layout.cpp) so LayoutBatcher can keep a reusable scratch vector.
+struct LayoutSlot {
+  bool is_dummy = false;
+  std::uint32_t index = 0;       // valid when !is_dummy
+  std::uint32_t dummy_size = 0;  // valid when is_dummy
+  bool guards_sensitive = false;
+};
+}  // namespace detail
+
 /// A dummy/trap region inside a randomized object.
 struct TrapRegion {
   std::uint32_t offset = 0;
@@ -74,6 +86,23 @@ Layout randomize_layout(const TypeInfo& type, const LayoutPolicy& policy,
 /// The degenerate identity layout (natural offsets, no traps). Used by the
 /// static-OLR baseline's "no randomization" configuration and by tests.
 Layout natural_layout(const TypeInfo& type);
+
+/// Batched layout generation. Produces the exact same layout sequence as
+/// the equivalent series of randomize_layout() calls on the same Rng (the
+/// RNG draw order is shared with the single-shot path), but amortizes the
+/// per-call scratch allocations — the permutation order and slot vectors
+/// are reused across every layout the batcher ever generates. One batcher
+/// per thread; not synchronized.
+class LayoutBatcher {
+ public:
+  /// Appends `count` fresh layouts for `type` to `out`.
+  void generate(const TypeInfo& type, const LayoutPolicy& policy, Rng& rng,
+                std::size_t count, std::vector<Layout>& out);
+
+ private:
+  std::vector<std::uint32_t> order_;
+  std::vector<detail::LayoutSlot> slots_;
+};
 
 /// Number of distinct layouts reachable for `type` under `policy`
 /// considering permutations only (dummies multiply this further). Saturates

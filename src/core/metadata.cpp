@@ -1,15 +1,51 @@
 #include "core/metadata.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/assert.h"
 #include "support/hash.h"
 
 namespace polar {
 
+// ------------------------------------------------------------ offsets pool
+
+const StableOffsetsPool::Word* StableOffsetsPool::acquire(
+    const std::vector<std::uint32_t>& offsets) {
+  const std::size_t count = offsets.empty() ? 1 : offsets.size();
+  const std::size_t cap = std::bit_ceil(count);
+  const auto cls = static_cast<std::size_t>(std::countr_zero(cap));
+  POLAR_CHECK(cls < kCapClasses, "offsets blob capacity out of range");
+  Word* blob = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_[cls].empty()) {
+      blob = free_[cls].back();
+      free_[cls].pop_back();
+    } else {
+      all_.push_back(std::make_unique<Word[]>(cap));
+      blob = all_.back().get();
+    }
+  }
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    blob[i].store(offsets[i], std::memory_order_relaxed);
+  }
+  return blob;
+}
+
+void StableOffsetsPool::release(const Word* blob, std::size_t count) noexcept {
+  if (blob == nullptr) return;
+  const std::size_t cap = std::bit_ceil(count == 0 ? std::size_t{1} : count);
+  const auto cls = static_cast<std::size_t>(std::countr_zero(cap));
+  std::lock_guard<std::mutex> lock(mu_);
+  free_[cls].push_back(const_cast<Word*>(blob));
+}
+
 // ---------------------------------------------------------------- interner
 
-const Layout* LayoutInterner::intern(Layout layout, bool& reused) {
+const Layout* LayoutInterner::intern(
+    Layout layout, bool& reused,
+    const StableOffsetsPool::Word** fast_offsets) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& bucket = entries_[layout.hash];
   if (dedup_) {
@@ -19,12 +55,15 @@ const Layout* LayoutInterner::intern(Layout layout, bool& reused) {
         // offsets+size implies equal traps; assert in debug-minded spirit.
         ++e.refs;
         reused = true;
+        if (fast_offsets != nullptr) *fast_offsets = e.fast_offsets;
         return e.layout.get();
       }
     }
   }
   reused = false;
-  bucket.push_back({std::make_unique<Layout>(std::move(layout)), 1});
+  const StableOffsetsPool::Word* blob = offsets_pool_.acquire(layout.offsets);
+  bucket.push_back({std::make_unique<Layout>(std::move(layout)), 1, blob});
+  if (fast_offsets != nullptr) *fast_offsets = blob;
   return bucket.back().layout.get();
 }
 

@@ -62,6 +62,37 @@ struct ObjectRecord {
   }
 };
 
+/// Type-stable recycling store for the offsets blobs the lock-free read
+/// fast path dereferences (see core/pagemap.h). A blob is an array of
+/// relaxed-atomic u32 offsets, one per declared field of an interned
+/// layout. Blobs are recycled by capacity class when their layout dies,
+/// but their memory is never returned to the OS while the pool lives: a
+/// seqlock reader that loses the race with a free may read a recycled
+/// blob's (atomic, hence race-free) contents, discover the sequence moved,
+/// and discard the read — it can never touch an unmapped page.
+class StableOffsetsPool {
+ public:
+  using Word = std::atomic<std::uint32_t>;
+
+  StableOffsetsPool() = default;
+  StableOffsetsPool(const StableOffsetsPool&) = delete;
+  StableOffsetsPool& operator=(const StableOffsetsPool&) = delete;
+
+  /// A blob holding a copy of `offsets` (relaxed stores; publication
+  /// ordering is the caller's seqlock's business).
+  const Word* acquire(const std::vector<std::uint32_t>& offsets);
+
+  /// Recycles a blob previously acquired for `count` offsets.
+  void release(const Word* blob, std::size_t count) noexcept;
+
+ private:
+  static constexpr std::size_t kCapClasses = 32;  // capacities 2^0..2^31
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Word[]>> all_;  ///< owns every blob for life
+  std::vector<Word*> free_[kCapClasses];      ///< recycled, by log2 capacity
+};
+
 /// Content-addressed layout store with refcounts. Thread-safe: interning
 /// and releasing are serialized on one mutex — the store is touched once
 /// per allocation/free, never per member access, so a single lock does not
@@ -72,8 +103,11 @@ class LayoutInterner {
 
   /// Interns `layout`, returning a stable pointer. If an identical layout
   /// is already live and dedup is on, bumps its refcount instead; `reused`
-  /// reports which happened.
-  const Layout* intern(Layout layout, bool& reused);
+  /// reports which happened. When `fast_offsets` is non-null it receives
+  /// the entry's stable offsets blob (StableOffsetsPool) for seqlock
+  /// publication; the blob lives exactly as long as the interned entry.
+  const Layout* intern(Layout layout, bool& reused,
+                       const StableOffsetsPool::Word** fast_offsets = nullptr);
 
   /// Bumps the refcount of an already-interned layout. Used to keep a
   /// layout alive while an operation (clone/copy) works on a record copy
@@ -92,8 +126,11 @@ class LayoutInterner {
   struct Entry {
     std::unique_ptr<Layout> layout;
     std::uint64_t refs = 0;
+    /// Stable blob mirroring layout->offsets, recycled when refs hits 0.
+    const StableOffsetsPool::Word* fast_offsets = nullptr;
   };
   bool dedup_;
+  StableOffsetsPool offsets_pool_;
   mutable std::mutex mu_;
   // Keyed by layout hash; collisions resolved by full comparison within
   // the bucket vector.

@@ -1,0 +1,283 @@
+// Address pagemap + seqlock metadata cells — the O(1) lock-free
+// member-access fast path (DESIGN.md §10).
+//
+// The hash-based base→ObjectRecord lookup pays a shard mutex plus a probe
+// sequence on every metadata consultation. Flat-pagemap allocators
+// (snmalloc's ChunkMap, mimalloc's page map) show the alternative: index a
+// lazily-committed table directly by address bits so a lookup is dependent
+// loads with zero probing and zero locking. Three pieces implement that
+// here:
+//
+//  * AddressPagemap — a two-level table indexed by `addr >> granule_bits`.
+//    The root (one pointer per leaf-sized address range, calloc'd so
+//    untouched ranges stay uncommitted zero pages) points to leaves of
+//    2^kLeafBits entries, each entry the MetaCell* registered for that
+//    granule, or null. Only the granule containing an object's *base* is
+//    mapped: olr_getptr always receives the base address, exactly like the
+//    hash table it replaces, so spanning objects need one entry, not one
+//    per covered granule. Leaves are CAS-installed on first use and only
+//    reclaimed at destruction.
+//
+//  * MetaCell — the per-object metadata slot. It carries the authoritative
+//    ObjectRecord (guarded by the owning metadata shard's mutex, exactly
+//    like a hash-table slot was) plus a seqlock-published mirror of the
+//    fields the read fast path needs: base, allocation id, type, field
+//    count, and a pointer to the layout's stable offsets blob. Readers run
+//    the standard seqlock recipe (sequence even + unchanged across the
+//    data reads, all data reads relaxed atomics so the race with a
+//    concurrent re-publish is benign and TSan-clean) and fall back to the
+//    shard-locked checked path on any mismatch — so every violation-policy
+//    and UAF-detection guarantee of the locked path is preserved: the fast
+//    path can only ever *succeed* on a live, current record; it never
+//    classifies a failure itself.
+//
+//  * MetaCellArena — type-stable backing store for cells. Cells are
+//    recycled through a free list but their memory is never returned to
+//    the OS while the arena lives, so a stale reader dereferencing a
+//    just-freed cell reads stale-but-mapped memory (caught by the seqlock
+//    validation), never a dangling page. Sequence words survive recycling
+//    and only ever increase, which is what makes the ABA case (cell reused
+//    for a new object while a reader is mid-read) detectable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "core/metadata.h"
+#include "support/assert.h"
+
+namespace polar {
+
+/// Per-object metadata slot: authoritative record + lock-free read mirror.
+/// Sized and aligned so one cell never shares a cache line with another.
+struct alignas(64) MetaCell {
+  /// Offsets for the first kInlineOffsets fields are mirrored inside the
+  /// cell itself: together with seq and the other mirror fields they fill
+  /// the cell's first cache line exactly (8+8+8+8+4+4+6*4 = 64), so for
+  /// small types the fast path never takes the dependent load through the
+  /// offsets blob — one line holds everything it reads.
+  static constexpr std::uint32_t kInlineOffsets = 6;
+
+  /// Seqlock word: odd while a writer is mid-update, even and monotonically
+  /// increasing otherwise. Never reset on recycling.
+  std::atomic<std::uint64_t> seq{0};
+
+  // --- read-fast-path mirror (relaxed atomics, seqlock-validated) ---------
+  std::atomic<std::uintptr_t> fast_base{0};
+  std::atomic<std::uint64_t> fast_id{0};
+  /// Stable offsets blob of the record's interned layout (see
+  /// StableOffsetsPool): offsets[f] = byte offset of declared field f.
+  /// Consulted only for fields >= kInlineOffsets.
+  std::atomic<const std::atomic<std::uint32_t>*> fast_offsets{nullptr};
+  std::atomic<std::uint32_t> fast_field_count{0};
+  std::atomic<std::uint32_t> fast_type{0xffffffff};
+  std::atomic<std::uint32_t> fast_inline_offsets[kInlineOffsets] = {};
+
+  // --- slow-path state (owning shard's mutex) -----------------------------
+  ObjectRecord rec{};
+  MetaCell* next_free = nullptr;  ///< arena free-list link
+
+  /// Snapshot of the mirror taken by a fast-path reader.
+  struct FastView {
+    std::uintptr_t base = 0;
+    std::uint64_t object_id = 0;
+    const std::atomic<std::uint32_t>* offsets = nullptr;
+    std::uint32_t field_count = 0;
+    std::uint32_t type = 0xffffffff;
+  };
+
+  /// Publishes the mirror for `r` (writer side; caller holds the shard
+  /// mutex). Bumps the sequence odd, writes the fields, bumps it even.
+  void publish(const ObjectRecord& r,
+               const std::atomic<std::uint32_t>* offsets,
+               std::uint32_t field_count) noexcept {
+    const std::uint64_t s = seq.load(std::memory_order_relaxed);
+    seq.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    fast_base.store(reinterpret_cast<std::uintptr_t>(r.base),
+                    std::memory_order_relaxed);
+    fast_id.store(r.object_id, std::memory_order_relaxed);
+    fast_offsets.store(offsets, std::memory_order_relaxed);
+    fast_field_count.store(field_count, std::memory_order_relaxed);
+    fast_type.store(r.type.value, std::memory_order_relaxed);
+    if (offsets != nullptr) {
+      const std::uint32_t n =
+          field_count < kInlineOffsets ? field_count : kInlineOffsets;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        fast_inline_offsets[i].store(offsets[i].load(std::memory_order_relaxed),
+                                     std::memory_order_relaxed);
+      }
+    }
+    seq.store(s + 2, std::memory_order_release);
+  }
+
+  /// Invalidates the mirror (free/evict; caller holds the shard mutex).
+  /// Readers holding the old sequence fail validation and fall back.
+  void invalidate() noexcept {
+    const std::uint64_t s = seq.load(std::memory_order_relaxed);
+    seq.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    fast_base.store(0, std::memory_order_relaxed);
+    fast_id.store(0, std::memory_order_relaxed);
+    fast_offsets.store(nullptr, std::memory_order_relaxed);
+    fast_field_count.store(0, std::memory_order_relaxed);
+    fast_type.store(0xffffffff, std::memory_order_relaxed);
+    seq.store(s + 2, std::memory_order_release);
+  }
+
+  /// Reader side, step 1: snapshot the mirror. Returns the sequence the
+  /// snapshot was taken under; an odd value means a writer was mid-update
+  /// and the snapshot must be discarded.
+  [[nodiscard]] std::uint64_t read_begin(FastView& out) const noexcept {
+    const std::uint64_t s1 = seq.load(std::memory_order_acquire);
+    out.base = fast_base.load(std::memory_order_relaxed);
+    out.object_id = fast_id.load(std::memory_order_relaxed);
+    out.offsets = fast_offsets.load(std::memory_order_relaxed);
+    out.field_count = fast_field_count.load(std::memory_order_relaxed);
+    out.type = fast_type.load(std::memory_order_relaxed);
+    return s1;
+  }
+
+  /// Reader side, step 2: after every dependent data read (including the
+  /// offset fetched through `offsets`), confirm no writer intervened.
+  [[nodiscard]] bool read_validate(std::uint64_t s1) const noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq.load(std::memory_order_relaxed) == s1;
+  }
+};
+
+/// Type-stable allocator for MetaCells. Never returns memory to the OS
+/// while alive; recycles cells through an intrusive free list.
+class MetaCellArena {
+ public:
+  MetaCellArena() = default;
+  MetaCellArena(const MetaCellArena&) = delete;
+  MetaCellArena& operator=(const MetaCellArena&) = delete;
+
+  /// A cell ready for publication. Its seq continues from its previous
+  /// tenancy (never reset), its record is cleared.
+  [[nodiscard]] MetaCell* acquire();
+
+  /// Recycles a cell whose mirror has been invalidated and whose record
+  /// has been cleared by the caller (under the owning shard's mutex).
+  void release(MetaCell* cell);
+
+  /// Visits every cell whose record is live (rec.base != nullptr). Caller
+  /// must guarantee quiescence (free_all/teardown contract): record fields
+  /// are read without shard locks.
+  template <class F>
+  void for_each_live(F&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& block : blocks_) {
+      for (std::size_t i = 0; i < kBlockCells; ++i) {
+        const MetaCell& cell = block[i];
+        if (cell.rec.base != nullptr) fn(cell.rec);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.size() * kBlockCells;
+  }
+
+ private:
+  static constexpr std::size_t kBlockCells = 64;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MetaCell[]>> blocks_;
+  MetaCell* free_ = nullptr;
+};
+
+/// Two-level lazily-committed map from `base >> granule_bits` to the
+/// MetaCell registered for that granule. Reads are lock-free (two acquire
+/// loads); writes are serialized per base by the metadata shard mutexes,
+/// with leaf installation CAS-protected because two bases in one leaf
+/// range can belong to different shards.
+class AddressPagemap {
+ public:
+  /// Virtual-address bits covered. Linux user space tops out at 47 bits;
+  /// 48 leaves headroom for sanitizer shadow layouts.
+  static constexpr unsigned kAddressBits = 48;
+  /// log2 of granule entries per leaf: 2^19 entries × 8 bytes = 4 MiB of
+  /// (lazily committed) leaf per 2^19 granules of address space.
+  static constexpr unsigned kLeafBits = 19;
+  static constexpr std::uint32_t kDefaultGranule = 16;
+
+  /// granule_bytes must be a power of two in [8, 4096]
+  /// (RuntimeConfig::validate enforces this before construction).
+  explicit AddressPagemap(std::uint32_t granule_bytes = kDefaultGranule);
+  ~AddressPagemap();
+
+  AddressPagemap(const AddressPagemap&) = delete;
+  AddressPagemap& operator=(const AddressPagemap&) = delete;
+
+  /// Lock-free lookup against an externally cached (root, granule shift)
+  /// pair — the Runtime keeps both in its own hot cache line so the
+  /// per-access path skips the AddressPagemap object entirely.
+  [[nodiscard]] static MetaCell* lookup_in(std::uintptr_t* root,
+                                           unsigned granule_bits,
+                                           const void* addr) noexcept {
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    if ((a >> kAddressBits) != 0) return nullptr;
+    const std::size_t g = static_cast<std::size_t>(a) >> granule_bits;
+    const std::uintptr_t leaf =
+        std::atomic_ref<std::uintptr_t>(root[g >> kLeafBits])
+            .load(std::memory_order_acquire);
+    if (leaf == 0) return nullptr;
+    auto* cells = reinterpret_cast<std::uintptr_t*>(leaf);
+    return reinterpret_cast<MetaCell*>(
+        std::atomic_ref<std::uintptr_t>(cells[g & kLeafMask])
+            .load(std::memory_order_acquire));
+  }
+
+  /// Lock-free: the cell registered for addr's granule, or nullptr when
+  /// that granule was never mapped or is currently unmapped.
+  [[nodiscard]] MetaCell* lookup(const void* addr) const noexcept {
+    return lookup_in(root_, granule_bits_, addr);
+  }
+
+  [[nodiscard]] std::uintptr_t* root() const noexcept { return root_; }
+  [[nodiscard]] unsigned granule_bits() const noexcept {
+    return granule_bits_;
+  }
+
+  /// Registers `cell` for base's granule (creating the leaf on demand).
+  /// Caller holds the owning shard's mutex; the granule must be unmapped —
+  /// a mapped granule means two live objects share it, which only a
+  /// backing allocator with sub-granule placement can produce and is a
+  /// configuration error (shrink pagemap_granule).
+  void publish(const void* base, MetaCell* cell);
+
+  /// Unregisters base's granule (caller holds the owning shard's mutex).
+  void unpublish(const void* base) noexcept;
+
+  [[nodiscard]] std::uint32_t granule_bytes() const noexcept {
+    return std::uint32_t{1} << granule_bits_;
+  }
+  /// Leaves committed so far (observability/tests).
+  [[nodiscard]] std::size_t committed_leaves() const noexcept {
+    std::lock_guard<std::mutex> lock(leaves_mu_);
+    return leaves_.size();
+  }
+
+ private:
+  static constexpr std::size_t kLeafEntries = std::size_t{1} << kLeafBits;
+  static constexpr std::size_t kLeafMask = kLeafEntries - 1;
+
+  [[nodiscard]] std::uintptr_t* leaf_for(std::uintptr_t addr);
+
+  unsigned granule_bits_;
+  std::size_t root_entries_;
+  /// calloc'd so untouched root pages stay copy-on-write zero pages;
+  /// entries are std::uintptr_t accessed through std::atomic_ref (C++20
+  /// implicit object creation makes the calloc'd array well-formed).
+  std::uintptr_t* root_ = nullptr;
+  mutable std::mutex leaves_mu_;
+  std::vector<std::uintptr_t*> leaves_;  ///< for reclamation at destruction
+};
+
+}  // namespace polar

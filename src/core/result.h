@@ -26,11 +26,12 @@ enum class Violation : std::uint8_t {
   kTypeMismatch,  ///< typed access found an object of a different class
   kMetadataDamaged,  ///< the runtime's own record failed its checksum
   kOom,              ///< backing allocator returned nullptr
+  kBadConfig,        ///< RuntimeConfig::validate() rejected the settings
 };
 
 /// Number of Violation enumerators including kNone. Sizes the per-class
 /// tables of the violation-policy engine.
-inline constexpr std::size_t kViolationClassCount = 8;
+inline constexpr std::size_t kViolationClassCount = 9;
 
 /// Human-readable violation name (diagnostics and test failure messages).
 [[nodiscard]] const char* to_string(Violation v) noexcept;

@@ -1,6 +1,7 @@
 #include "core/runtime.h"
 
 #include <atomic>
+#include <bit>
 #include <cstdlib>
 #include <functional>
 #include <new>
@@ -22,6 +23,7 @@ const char* to_string(Violation v) noexcept {
     case Violation::kTypeMismatch: return "type-mismatch";
     case Violation::kMetadataDamaged: return "metadata-damaged";
     case Violation::kOom: return "out-of-memory";
+    case Violation::kBadConfig: return "bad-config";
   }
   return "unknown";
 }
@@ -33,10 +35,6 @@ std::uint64_t next_runtime_id() noexcept {
   // runtime can never be mistaken for a new runtime at the same address.
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
-}
-
-constexpr std::uint32_t clamp_shard_bits(std::uint32_t bits) noexcept {
-  return bits > 10 ? 10 : bits;
 }
 
 /// A default-constructed violation_policy defers to the legacy one-knob
@@ -60,23 +58,62 @@ std::uint64_t this_thread_numeric_id() noexcept {
 
 }  // namespace
 
+Result<void> RuntimeConfig::validate() const noexcept {
+  // Shard count and cache size are powers of two by construction (both are
+  // log2 knobs), so validation bounds the exponents; the pagemap granule
+  // is a byte count and must itself be a power of two.
+  if (shard_bits > 10) return Result<void>::failure(Violation::kBadConfig);
+  if (cache_bits > 24) return Result<void>::failure(Violation::kBadConfig);
+  if (!std::has_single_bit(pagemap_granule) || pagemap_granule < 8 ||
+      pagemap_granule > 4096) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
+  if (layout_pool_chunk == 0 || layout_pool_chunk > 1024) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
+  if (policy.dummy_granule == 0 || policy.dummy_max_granules == 0 ||
+      policy.max_dummies < policy.min_dummies) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
+  return Result<void>{};
+}
+
+namespace {
+/// Refuses an invalid config before any member that consumes it is
+/// constructed (an unchecked shard_bits of 40 would otherwise size the
+/// shard vector before the constructor body could object).
+RuntimeConfig checked_config(RuntimeConfig config) {
+  POLAR_CHECK(config.validate().ok(),
+              "bad-config: RuntimeConfig::validate() rejected these settings "
+              "(shard_bits<=10, cache_bits<=24, pagemap_granule a power of "
+              "two in [8,4096], layout_pool_chunk in [1,1024])");
+  return config;
+}
+}  // namespace
+
 Runtime::Runtime(const TypeRegistry& registry, RuntimeConfig config)
     : registry_(registry),
-      config_(config),
-      engine_(effective_policy(config)),
-      table_(clamp_shard_bits(config.shard_bits)),
-      interner_(config.dedup_layouts),
+      config_(checked_config(config)),
+      engine_(effective_policy(config_)),
+      table_(config_.shard_bits),
+      pagemap_(config_.enable_pagemap
+                   ? std::make_unique<AddressPagemap>(config_.pagemap_granule)
+                   : nullptr),
+      fast_reads_(config_.enable_pagemap && config_.lockfree_reads &&
+                  !config_.checksum_metadata),
+      pm_root_(pagemap_ != nullptr ? pagemap_->root() : nullptr),
+      pm_shift_(pagemap_ != nullptr ? pagemap_->granule_bits() : 0),
+      interner_(config_.dedup_layouts),
       runtime_id_(next_runtime_id()) {}
 
 Runtime::~Runtime() { free_all(); }
 
-Runtime::ThreadState& Runtime::tls() const {
+Runtime::ThreadState& Runtime::tls_slow() const {
   // Keyed by runtime id, not address: ids are process-unique, so stale
   // entries left by destroyed runtimes are dead weight, never aliases.
+  // The inline tls() memo (t_last_id_/t_last_) short-circuits this lookup
+  // for every call after a thread's first against a given runtime.
   thread_local std::unordered_map<std::uint64_t, ThreadState*> t_states;
-  thread_local std::uint64_t t_last_id = 0;
-  thread_local ThreadState* t_last = nullptr;
-  if (t_last_id == runtime_id_ && t_last != nullptr) return *t_last;
   auto it = t_states.find(runtime_id_);
   if (it == t_states.end()) {
     std::lock_guard<std::mutex> lock(tls_mu_);
@@ -85,9 +122,9 @@ Runtime::ThreadState& Runtime::tls() const {
     it = t_states.emplace(runtime_id_, state.get()).first;
     thread_states_.push_back(std::move(state));
   }
-  t_last_id = runtime_id_;
-  t_last = it->second;
-  return *t_last;
+  t_last_id_ = runtime_id_;
+  t_last_ = it->second;
+  return *t_last_;
 }
 
 Rng Runtime::next_rng_stream() const {
@@ -145,16 +182,35 @@ const ObjectRecord* Runtime::find_checked(ShardedMetadataTable::Shard& sh,
                                           const void* base,
                                           bool& damaged) const {
   damaged = false;
+  if (pagemap_ != nullptr) {
+    MetaCell* cell = pagemap_->lookup(base);
+    // A granule hit is not an object hit: an interior pointer within 16
+    // bytes of a base lands in the same granule, so the base must match.
+    if (cell == nullptr || cell->rec.base != base) return nullptr;
+    if (config_.checksum_metadata && !cell->rec.verify()) {
+      // The record lied about itself; nothing in it — layout pointer,
+      // size, canary — can be trusted. Evict it so it can't be consulted
+      // again. The block is deliberately leaked (its size lives behind the
+      // untrusted layout pointer) and the interner reference with it; the
+      // cell itself is recycled once its mirror is invalidated.
+      damaged = true;
+      pagemap_->unpublish(base);
+      cell->invalidate();
+      cell->rec = ObjectRecord{};
+      sh.epoch.fetch_add(1, std::memory_order_release);
+      live_count_.fetch_sub(1, std::memory_order_release);
+      cells_.release(cell);
+      return nullptr;
+    }
+    return &cell->rec;
+  }
   const ObjectRecord* rec = sh.table.find(base);
   if (rec == nullptr) return nullptr;
   if (config_.checksum_metadata && !rec->verify()) {
-    // The record lied about itself; nothing in it — layout pointer, size,
-    // canary — can be trusted. Evict it so it can't be consulted again.
-    // The block is deliberately leaked (its size lives behind the
-    // untrusted layout pointer) and the interner reference with it.
     damaged = true;
     sh.table.remove(base);
     sh.epoch.fetch_add(1, std::memory_order_release);
+    live_count_.fetch_sub(1, std::memory_order_release);
     return nullptr;
   }
   return rec;
@@ -174,7 +230,16 @@ std::size_t Runtime::quarantined_blocks() const noexcept {
 bool Runtime::debug_corrupt_metadata(const void* base, std::uint64_t mask) {
   ShardedMetadataTable::Shard& sh = table_.shard_of(base);
   std::lock_guard<std::mutex> lock(sh.mu);
-  ObjectRecord* rec = sh.table.find_mutable(base);
+  ObjectRecord* rec = nullptr;
+  if (pagemap_ != nullptr) {
+    MetaCell* cell = pagemap_->lookup(base);
+    // Corrupts the authoritative record only, not the seqlock mirror: the
+    // simulated stray write hits the metadata the checked path trusts,
+    // which is exactly what the checksum is there to catch.
+    if (cell != nullptr && cell->rec.base == base) rec = &cell->rec;
+  } else {
+    rec = sh.table.find_mutable(base);
+  }
   if (rec == nullptr) return false;
   rec->trap_value ^= mask == 0 ? 1 : mask;
   return true;
@@ -203,17 +268,35 @@ bool Runtime::traps_intact(const ObjectRecord& rec) const noexcept {
   return true;
 }
 
+Layout Runtime::next_layout(ThreadState& ts, TypeId type,
+                            const TypeInfo& info) {
+  const std::uint32_t chunk = config_.layout_pool_chunk;
+  if (chunk <= 1) return randomize_layout(info, config_.policy, ts.rng);
+  if (ts.layout_pools.size() <= type.value) {
+    ts.layout_pools.resize(type.value + 1);
+  }
+  ThreadState::TypeLayoutPool& pool = ts.layout_pools[type.value];
+  if (pool.cursor == pool.ready.size()) {
+    pool.ready.clear();
+    pool.cursor = 0;
+    ts.batcher.generate(info, config_.policy, ts.rng, chunk, pool.ready);
+    ++ts.stats.layout_pool_refills;
+  }
+  return std::move(pool.ready[pool.cursor++]);
+}
+
 Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
                                             const Layout* share_layout) {
   const TypeInfo& info = registry_.info(type);
   bool reused = false;
   const Layout* layout;
+  const StableOffsetsPool::Word* fast_offsets = nullptr;
   if (share_layout == nullptr) {
-    layout = interner_.intern(randomize_layout(info, config_.policy, ts.rng),
-                              reused);
+    layout = interner_.intern(next_layout(ts, type, info), reused,
+                              &fast_offsets);
   } else {
     Layout same = *share_layout;
-    layout = interner_.intern(std::move(same), reused);
+    layout = interner_.intern(std::move(same), reused, &fast_offsets);
   }
   void* base = raw_alloc(layout->size);
   if (base == nullptr) {
@@ -237,11 +320,21 @@ Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
                        1, std::memory_order_relaxed)};
   rec.seal();
   fill_traps(rec);  // before publication: no lock needed
-  {
+  if (pagemap_ != nullptr) {
+    MetaCell* cell = cells_.acquire();
+    ShardedMetadataTable::Shard& sh = table_.shard_of(base);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    cell->rec = rec;
+    // Mirror before pagemap entry: a reader that wins the race to the
+    // fresh cell must already see a consistent (or odd-sequence) mirror.
+    cell->publish(rec, fast_offsets, info.field_count());
+    pagemap_->publish(base, cell);
+  } else {
     ShardedMetadataTable::Shard& sh = table_.shard_of(base);
     std::lock_guard<std::mutex> lock(sh.mu);
     sh.table.insert(rec);
   }
+  live_count_.fetch_add(1, std::memory_order_release);
   ts.stats.bytes_requested += info.natural_size;
   ts.stats.bytes_allocated += layout->size;
   return rec;
@@ -283,6 +376,7 @@ Result<void> Runtime::obj_free(ObjRef ref) {
   bool trap_damaged = false;
   bool meta_damaged = false;
   bool found = false;
+  MetaCell* freed_cell = nullptr;
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
     std::lock_guard<std::mutex> lock(sh.mu);
@@ -292,12 +386,26 @@ Result<void> Runtime::obj_free(ObjRef ref) {
       copy = *rec;
       alloc_size = copy.layout->size;
       trap_damaged = !traps_intact(copy);
-      sh.table.remove(ref.base);
+      if (pagemap_ != nullptr) {
+        // Unmap-then-invalidate: a reader that raced past the pagemap
+        // entry still fails the seqlock validation, and the cell's memory
+        // stays mapped (type-stable arena) until quiescence.
+        freed_cell = pagemap_->lookup(ref.base);
+        POLAR_CHECK(freed_cell != nullptr,
+                    "live record has no pagemap cell");
+        pagemap_->unpublish(ref.base);
+        freed_cell->invalidate();
+        freed_cell->rec = ObjectRecord{};
+      } else {
+        sh.table.remove(ref.base);
+      }
       // Publish the removal to every thread's offset cache: any entry for
       // this shard stored under an older epoch is now a guaranteed miss.
       sh.epoch.fetch_add(1, std::memory_order_release);
+      live_count_.fetch_sub(1, std::memory_order_release);
     }
   }
+  if (freed_cell != nullptr) cells_.release(freed_cell);
   if (meta_damaged) {
     violation(ts, Violation::kMetadataDamaged, ref.base, ref.type, ref.id,
               RuntimeOp::kFree);
@@ -331,21 +439,12 @@ Result<void> Runtime::obj_free(ObjRef ref) {
                       : Result<void>{};
 }
 
-Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
-  ThreadState& ts = tls();
-  ++ts.stats.member_accesses;
-  ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
-  if (config_.enable_cache) {
-    const std::uint64_t epoch = sh.epoch.load(std::memory_order_acquire);
-    std::uint32_t offset = 0;
-    if (ts.cache.lookup(ref.base, field, epoch, ref.id, offset)) {
-      ++ts.stats.cache_hits;
-      return static_cast<unsigned char*>(ref.base) + offset;
-    }
-  }
+Result<void*> Runtime::obj_field_slow(ThreadState& ts, ObjRef ref,
+                                      std::uint32_t field) {
   std::uint32_t offset = 0;
   Violation v = Violation::kNone;
   {
+    ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
     std::lock_guard<std::mutex> lock(sh.mu);
     bool damaged = false;
     const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
@@ -374,9 +473,17 @@ Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
 Result<void*> Runtime::obj_field_typed(ObjRef ref, TypeId expected,
                                        std::uint32_t field) {
   // The cache cannot carry the class of the cached object, and a hit would
-  // skip the type check, so the strict path always consults metadata.
+  // skip the type check, so the strict path always consults metadata —
+  // except the seqlock mirror, which does carry the type and so supports
+  // the strict check lock-free.
   ThreadState& ts = tls();
   ++ts.stats.member_accesses;
+  if (fast_reads_ && expected.valid()) {
+    std::uint32_t offset = 0;
+    if (fast_field(ts, ref, field, expected, offset)) {
+      return static_cast<unsigned char*>(ref.base) + offset;
+    }
+  }
   std::uint32_t offset = 0;
   Violation v = Violation::kNone;
   {
@@ -543,7 +650,13 @@ void Runtime::clear_violation() noexcept {
 
 void Runtime::free_all() {
   std::vector<void*> bases;
-  table_.for_each([&](const ObjectRecord& rec) { bases.push_back(rec.base); });
+  if (pagemap_ != nullptr) {
+    cells_.for_each_live(
+        [&](const ObjectRecord& rec) { bases.push_back(rec.base); });
+  } else {
+    table_.for_each(
+        [&](const ObjectRecord& rec) { bases.push_back(rec.base); });
+  }
   for (void* b : bases) olr_free(b);
   // Quarantined blocks have no metadata record anymore; hand their memory
   // back to the backing allocator now that the reset/teardown point makes

@@ -50,6 +50,7 @@
 #include "core/cache.h"
 #include "core/layout.h"
 #include "core/metadata.h"
+#include "core/pagemap.h"
 #include "core/result.h"
 #include "core/stats.h"
 #include "core/type_registry.h"
@@ -87,7 +88,29 @@ struct RuntimeConfig {
   /// instead of undefined behavior. Off = trust the table (perf ablation;
   /// bench_faultpolicy measures the delta).
   bool checksum_metadata = true;
+  /// Replace the hash-probe base→record lookup with the O(1) address
+  /// pagemap (core/pagemap.h). The legacy hash path is kept selectable so
+  /// ablation benches can measure both backends on the same machine.
+  bool enable_pagemap = true;
+  /// Resolve member accesses through the seqlock-published mirror without
+  /// taking the shard mutex. Only effective when enable_pagemap is on and
+  /// checksum_metadata is off: checksum verification requires the locked
+  /// checked path, so checksum mode always uses it.
+  bool lockfree_reads = true;
+  /// Pagemap granule in bytes: one live object base per granule. Must be a
+  /// power of two in [8, 4096] (validate()); shrink it if the backing
+  /// allocator can place two object bases within 16 bytes of each other.
+  std::uint32_t pagemap_granule = AddressPagemap::kDefaultGranule;
+  /// Layouts pre-generated per (thread, type) refill of the layout pool.
+  /// 1 disables pooling (every allocation draws its layout inline); the
+  /// pooled sequence is RNG-identical to the serial sequence either way.
+  std::uint32_t layout_pool_chunk = 8;
   std::uint64_t seed = 0x90'1a'12'00'5eedULL;
+
+  /// Structural validation. kBadConfig names the first rejected setting in
+  /// the runtime's abort message; the Runtime constructor refuses (checked
+  /// abort) any config this rejects — no more silent clamping.
+  [[nodiscard]] Result<void> validate() const noexcept;
 
   /// Backing-memory hooks; default is operator new/delete. The attack
   /// simulator plugs in a deterministic-reuse heap here. Hooks must be
@@ -223,7 +246,9 @@ class Runtime {
   bool debug_corrupt_metadata(const void* base, std::uint64_t mask);
 
   [[nodiscard]] std::size_t live_objects() const noexcept {
-    return table_.size();
+    return pagemap_ != nullptr
+               ? live_count_.load(std::memory_order_acquire)
+               : table_.size();
   }
   [[nodiscard]] std::size_t live_layouts() const noexcept {
     return interner_.live_layouts();
@@ -246,13 +271,28 @@ class Runtime {
     Rng rng;
     RuntimeStats stats;
     Violation last_violation = Violation::kNone;
+    /// Pre-generated layouts for one type, consumed in generation order.
+    struct TypeLayoutPool {
+      std::vector<Layout> ready;
+      std::size_t cursor = 0;
+    };
+    /// Indexed by TypeId::value; grown on first allocation of a type.
+    std::vector<TypeLayoutPool> layout_pools;
+    LayoutBatcher batcher;
   };
 
   [[nodiscard]] static constexpr ObjRef unchecked(void* base) noexcept {
     return ObjRef{base, 0, TypeId{}};
   }
 
-  ThreadState& tls() const;
+  /// Per-runtime-id memo of the calling thread's state. The fast check is
+  /// inline (two TLS loads + a compare) so olr_getptr never pays a call
+  /// just to find its counters; the miss path lives in the .cpp.
+  ThreadState& tls() const {
+    if (t_last_id_ == runtime_id_ && t_last_ != nullptr) return *t_last_;
+    return tls_slow();
+  }
+  ThreadState& tls_slow() const;
   Rng next_rng_stream() const;  // called under tls_mu_
   void* raw_alloc(std::size_t size);
   void raw_free(void* p, std::size_t size);
@@ -265,12 +305,30 @@ class Runtime {
   ViolationAction violation(ThreadState& ts, Violation v, const void* address,
                             TypeId type, std::uint64_t object_id,
                             RuntimeOp op);
-  /// Checked lookup under the shard lock: find + checksum verification.
-  /// A record that fails its checksum is evicted from the table (its block
-  /// is deliberately leaked — nothing in the damaged record can be
-  /// trusted, including the layout's size) and reported via `damaged`.
+  /// Checked lookup under the shard lock, backend-agnostic: pagemap cell
+  /// or hash-table probe, plus checksum verification. A record that fails
+  /// its checksum is evicted (its block is deliberately leaked — nothing
+  /// in the damaged record can be trusted, including the layout's size)
+  /// and reported via `damaged`. The returned pointer is valid only while
+  /// the shard lock is held.
   const ObjectRecord* find_checked(ShardedMetadataTable::Shard& sh,
                                    const void* base, bool& damaged) const;
+  /// The next fresh layout for `type` on this thread: drawn inline, or
+  /// popped from the thread's per-type pool (refilled layout_pool_chunk at
+  /// a time by the batcher). Identical layout sequence either way.
+  Layout next_layout(ThreadState& ts, TypeId type, const TypeInfo& info);
+  /// The lock-free member-access fast path (pagemap + seqlock mirror).
+  /// On success stores `offset` and returns true; any mismatch — no cell,
+  /// stale id, writer mid-update, out-of-range field — returns false and
+  /// the caller runs the locked checked path, which owns all violation
+  /// classification. `expected` (when valid) adds the typed-access check.
+  bool fast_field(ThreadState& ts, const ObjRef& ref, std::uint32_t field,
+                  TypeId expected, std::uint32_t& offset);
+  /// The locked tail of obj_field: checked lookup, violation
+  /// classification, policy routing. Out of line; the inline prefix
+  /// (cache + seqlock fast path) is defined below the class.
+  Result<void*> obj_field_slow(ThreadState& ts, ObjRef ref,
+                               std::uint32_t field);
   /// Allocates+registers an object; share_layout forces the given layout
   /// (clone-without-rerandomization) instead of drawing a fresh one.
   /// kOom when the backing allocator refuses.
@@ -288,7 +346,23 @@ class Runtime {
   const TypeRegistry& registry_;
   RuntimeConfig config_;
   PolicyEngine engine_;
+  /// Shard mutexes + epochs guard both backends; the per-shard hash table
+  /// holds records only when the pagemap backend is off.
   mutable ShardedMetadataTable table_;
+  /// O(1) base→cell lookup (null when config.enable_pagemap is off).
+  std::unique_ptr<AddressPagemap> pagemap_;
+  /// Type-stable cell store backing the pagemap entries.
+  mutable MetaCellArena cells_;
+  /// True when member accesses may use the seqlock fast path: pagemap on,
+  /// lockfree_reads on, checksum_metadata off (checksums need the lock).
+  const bool fast_reads_;
+  /// Cached copies of the pagemap's root pointer and granule shift (both
+  /// immutable for the pagemap's lifetime) so the read fast path indexes
+  /// the table without touching the AddressPagemap object. Null/0 when
+  /// the pagemap backend is off.
+  std::uintptr_t* const pm_root_;
+  const unsigned pm_shift_;
+  mutable std::atomic<std::size_t> live_count_{0};
   mutable LayoutInterner interner_;
   std::atomic<std::uint64_t> next_object_id_{1};
   const std::uint64_t runtime_id_;  ///< process-unique; keys the TLS map
@@ -299,6 +373,82 @@ class Runtime {
   mutable std::mutex tls_mu_;
   mutable std::vector<std::unique_ptr<ThreadState>> thread_states_;
   mutable std::uint64_t rng_streams_issued_ = 0;
+
+  /// Last-runtime memo for tls(); keyed by process-unique runtime id so a
+  /// destroyed runtime's entry can never alias a new one.
+  static thread_local inline std::uint64_t t_last_id_ = 0;
+  static thread_local inline ThreadState* t_last_ = nullptr;
 };
+
+// --- inline member-access fast path ---------------------------------------
+// Defined in the header so olr_getptr call sites inline the whole hot path:
+// the compiler hoists the loop-invariant loads (config flags, pagemap root,
+// granule shift) out of access loops, which the out-of-line version cannot.
+
+inline bool Runtime::fast_field(ThreadState& ts, const ObjRef& ref,
+                                std::uint32_t field, TypeId expected,
+                                std::uint32_t& offset) {
+  MetaCell* cell = AddressPagemap::lookup_in(pm_root_, pm_shift_, ref.base);
+  if (cell == nullptr) return false;
+  // The shard is only consulted for the offset-cache epoch, so with the
+  // cache off the fast path never hashes the address at all. Epoch before
+  // read_begin: if the object dies between the two, the seqlock validation
+  // fails and we never store the (stale) entry; if it dies after
+  // read_validate, the entry was stored under the pre-free epoch and the
+  // cache rejects it on its next lookup.
+  const bool cache = config_.enable_cache;
+  std::uint64_t epoch = 0;
+  if (cache) {
+    epoch = table_.shard_of(ref.base).epoch.load(std::memory_order_acquire);
+  }
+  MetaCell::FastView view;
+  const std::uint64_t s1 = cell->read_begin(view);
+  if ((s1 & 1) != 0) return false;  // writer mid-update
+  if (view.base != reinterpret_cast<std::uintptr_t>(ref.base)) return false;
+  if (ref.id != 0 && view.object_id != ref.id) return false;
+  if (expected.valid() && view.type != expected.value) return false;
+  if (field >= view.field_count) return false;
+  std::uint32_t candidate;
+  if (field < MetaCell::kInlineOffsets) {
+    // Same cache line as seq/the mirror — no dependent load via the blob.
+    candidate =
+        cell->fast_inline_offsets[field].load(std::memory_order_relaxed);
+  } else {
+    if (view.offsets == nullptr) return false;
+    candidate = view.offsets[field].load(std::memory_order_relaxed);
+  }
+  // The offset came from a blob the layout may no longer own (type-stable,
+  // recycled): only the unchanged sequence proves it was current.
+  if (!cell->read_validate(s1)) return false;
+  offset = candidate;
+  ++ts.stats.fastpath_hits;
+  if (cache) {
+    ts.cache.store(ref.base, field, offset, epoch, view.object_id);
+  }
+  return true;
+}
+
+inline Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
+  ThreadState& ts = tls();
+  ++ts.stats.member_accesses;
+  if (config_.enable_cache) {
+    const std::uint64_t epoch =
+        table_.shard_of(ref.base).epoch.load(std::memory_order_acquire);
+    std::uint32_t offset = 0;
+    if (ts.cache.lookup(ref.base, field, epoch, ref.id, offset)) {
+      ++ts.stats.cache_hits;
+      return static_cast<unsigned char*>(ref.base) + offset;
+    }
+  }
+  if (fast_reads_) {
+    std::uint32_t offset = 0;
+    if (fast_field(ts, ref, field, TypeId{}, offset)) {
+      return static_cast<unsigned char*>(ref.base) + offset;
+    }
+    // Any fast-path miss — real violation or benign race — falls through
+    // to the locked path, which owns classification and policy.
+  }
+  return obj_field_slow(ts, ref, field);
+}
 
 }  // namespace polar

@@ -13,9 +13,12 @@ struct RuntimeStats {
   std::uint64_t memcpys = 0;
   std::uint64_t member_accesses = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t fastpath_hits = 0;  ///< accesses resolved by the lock-free
+                                    ///< pagemap+seqlock path (no shard lock)
 
   std::uint64_t layouts_created = 0;  ///< fresh randomized layouts drawn
   std::uint64_t layouts_deduped = 0;  ///< allocations that reused a layout
+  std::uint64_t layout_pool_refills = 0;  ///< batched layout-pool refill runs
   std::uint64_t uaf_detected = 0;     ///< accesses to freed/unknown objects
   std::uint64_t traps_triggered = 0;  ///< booby-trap canaries found damaged
   std::uint64_t metadata_faults = 0;  ///< records that failed their checksum
@@ -34,8 +37,10 @@ struct RuntimeStats {
     memcpys += o.memcpys;
     member_accesses += o.member_accesses;
     cache_hits += o.cache_hits;
+    fastpath_hits += o.fastpath_hits;
     layouts_created += o.layouts_created;
     layouts_deduped += o.layouts_deduped;
+    layout_pool_refills += o.layout_pool_refills;
     uaf_detected += o.uaf_detected;
     traps_triggered += o.traps_triggered;
     metadata_faults += o.metadata_faults;

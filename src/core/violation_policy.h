@@ -81,7 +81,8 @@ struct ViolationPolicy {
       ViolationAction::kReport, ViolationAction::kReport,
       ViolationAction::kReport, ViolationAction::kReport,
       ViolationAction::kReport, ViolationAction::kReport,
-      ViolationAction::kReport, ViolationAction::kReport};
+      ViolationAction::kReport, ViolationAction::kReport,
+      ViolationAction::kReport};
   /// N-th report of one class escalates to abort; 0 disables escalation.
   std::uint32_t escalate_after = 0;
   ViolationHook hook = nullptr;

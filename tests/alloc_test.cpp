@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <set>
 #include <vector>
 
@@ -64,6 +65,52 @@ TEST(SizeClassHeap, QuarantineDelaysReuse) {
   bool reused_a = false;
   for (int i = 0; i < 64 && !reused_a; ++i) reused_a = (heap.allocate(64) == a);
   EXPECT_TRUE(reused_a);
+}
+
+TEST(SizeClassHeap, QuarantineDrainKeepsExactByteAccounting) {
+  // Regression: the drain loop used to run against the observable stat
+  // instead of a dedicated running counter. Mixed-size churn must leave
+  // the reported quarantined_bytes exactly equal to the bytes actually
+  // parked, never exceed the budget after a drain, and drain oldest-first.
+  constexpr std::size_t kBudget = 512;
+  SizeClassHeap heap(HeapConfig{.quarantine_bytes = kBudget});
+  const std::size_t sizes[] = {16, 48, 64, 128, 256, 48, 16, 320};
+  std::size_t expected_held = 0;
+  std::deque<std::size_t> parked;  // class-rounded sizes, oldest first
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t sz : sizes) {
+      void* p = heap.allocate(sz);
+      heap.deallocate(p, sz);
+      const std::size_t bytes = SizeClassHeap::class_size(sz);
+      parked.push_back(bytes);
+      expected_held += bytes;
+      while (expected_held > kBudget && !parked.empty()) {
+        expected_held -= parked.front();  // oldest-first, pop-front only
+        parked.pop_front();
+      }
+      ASSERT_EQ(heap.stats().quarantined_bytes, expected_held);
+    }
+  }
+  // Post-drain the counter respects the budget (the loop stops at <=).
+  EXPECT_LE(heap.stats().quarantined_bytes, kBudget);
+}
+
+TEST(SizeClassHeap, QuarantineDrainReleasesOldestFirst) {
+  // FIFO reuse makes drain order observable: blocks must leave quarantine
+  // in the order they entered, regardless of which free triggered a drain.
+  SizeClassHeap heap(
+      HeapConfig{.lifo_reuse = false, .quarantine_bytes = 128});
+  void* a = heap.allocate(64);
+  void* b = heap.allocate(64);
+  void* c = heap.allocate(64);
+  void* d = heap.allocate(64);
+  heap.deallocate(a, 64);  // held: a (64)
+  heap.deallocate(b, 64);  // held: a b (128)
+  heap.deallocate(c, 64);  // 192 > 128 -> a drains
+  heap.deallocate(d, 64);  // 192 > 128 -> b drains
+  EXPECT_EQ(heap.allocate(64), a);
+  EXPECT_EQ(heap.allocate(64), b);
+  EXPECT_EQ(heap.stats().quarantined_bytes, 128u);  // c and d still parked
 }
 
 TEST(SizeClassHeap, QuarantinePoisonDetectsWriteAfterFree) {

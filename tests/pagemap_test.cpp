@@ -1,0 +1,454 @@
+// Tests for the O(1) member-access fast path: the address pagemap, the
+// seqlock metadata cells, RuntimeConfig validation, and the batched
+// layout-generation pool (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/heap.h"
+#include "core/pagemap.h"
+#include "core/runtime.h"
+#include "core/session.h"
+#include "core/type_registry.h"
+
+namespace polar {
+namespace {
+
+TypeId make_node(TypeRegistry& reg) {
+  return TypeBuilder(reg, "Node")
+      .fn_ptr("vtable")
+      .field<std::uint64_t>("key")
+      .ptr("next")
+      .field<int>("flags")
+      .build();
+}
+
+RuntimeConfig reporting_config() {
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kReport;
+  return cfg;
+}
+
+/// Lock-free fast-path configuration: checksum verification requires the
+/// locked path, so the seqlock mirror is only consulted without it.
+RuntimeConfig lockfree_config() {
+  RuntimeConfig cfg = reporting_config();
+  cfg.checksum_metadata = false;
+  cfg.lockfree_reads = true;
+  cfg.enable_pagemap = true;
+  return cfg;
+}
+
+// ----------------------------------------------------- pagemap unit tests
+
+TEST(AddressPagemap, PublishLookupUnpublishRoundTrip) {
+  AddressPagemap map(16);
+  MetaCellArena arena;
+  MetaCell* cell = arena.acquire();
+  alignas(16) unsigned char block[64];
+  map.publish(block, cell);
+  EXPECT_EQ(map.lookup(block), cell);
+  map.unpublish(block);
+  EXPECT_EQ(map.lookup(block), nullptr);
+  arena.release(cell);
+}
+
+TEST(AddressPagemap, OnlyTheBaseGranuleIsMapped) {
+  // A spanning object maps one entry: its base granule. Interior
+  // addresses — even inside the object — resolve to nothing, exactly like
+  // the hash table keyed by base address that the pagemap replaces.
+  AddressPagemap map(16);
+  MetaCellArena arena;
+  MetaCell* cell = arena.acquire();
+  alignas(16) unsigned char block[256];  // spans 16 granules
+  map.publish(block, cell);
+  EXPECT_EQ(map.lookup(block), cell);
+  EXPECT_EQ(map.lookup(block + 16), nullptr);
+  EXPECT_EQ(map.lookup(block + 240), nullptr);
+  // Addresses within the base granule but past the base also miss only at
+  // the cell-identity check (same granule -> same cell); the runtime
+  // compares rec.base so an interior hit can never be mistaken for the
+  // object.
+  EXPECT_EQ(map.lookup(block + 8), cell);
+  map.unpublish(block);
+  arena.release(cell);
+}
+
+TEST(AddressPagemap, NeverMappedAddressLooksUpNull) {
+  AddressPagemap map(16);
+  int local = 0;
+  EXPECT_EQ(map.lookup(&local), nullptr);
+  EXPECT_EQ(map.lookup(nullptr), nullptr);
+  // Beyond the 48-bit covered range: politely null, never an OOB index.
+  EXPECT_EQ(map.lookup(reinterpret_cast<const void*>(~std::uintptr_t{0})),
+            nullptr);
+}
+
+TEST(AddressPagemap, DistantAddressesCommitSeparateLeaves) {
+  AddressPagemap map(16);
+  MetaCellArena arena;
+  MetaCell* c1 = arena.acquire();
+  MetaCell* c2 = arena.acquire();
+  alignas(16) static unsigned char near_block[16];
+  auto* heap_block = new unsigned char[16];
+  map.publish(near_block, c1);
+  map.publish(heap_block, c2);
+  EXPECT_GE(map.committed_leaves(), 1u);
+  EXPECT_EQ(map.lookup(near_block), c1);
+  EXPECT_EQ(map.lookup(heap_block), c2);
+  map.unpublish(near_block);
+  map.unpublish(heap_block);
+  delete[] heap_block;
+}
+
+TEST(MetaCellArena, RecyclesCellsAndKeepsSequencesMonotonic) {
+  MetaCellArena arena;
+  MetaCell* a = arena.acquire();
+  const std::uint64_t seq_before = a->seq.load();
+  ObjectRecord rec{};
+  rec.base = &rec;
+  rec.object_id = 7;
+  a->publish(rec, nullptr, 0);
+  a->invalidate();
+  const std::uint64_t seq_after = a->seq.load();
+  EXPECT_GT(seq_after, seq_before);  // never reset, even across recycling
+  arena.release(a);
+  MetaCell* b = arena.acquire();
+  EXPECT_EQ(a, b);  // LIFO free list hands the cell back
+  EXPECT_GE(b->seq.load(), seq_after);
+  arena.release(b);
+}
+
+TEST(MetaCell, ReaderDiscardsTornSnapshot) {
+  MetaCell cell;
+  ObjectRecord rec{};
+  rec.base = &cell;
+  rec.object_id = 42;
+  cell.publish(rec, nullptr, 3);
+  MetaCell::FastView view;
+  const std::uint64_t s1 = cell.read_begin(view);
+  ASSERT_EQ(s1 & 1, 0u);
+  EXPECT_TRUE(cell.read_validate(s1));
+  cell.invalidate();  // writer intervenes after the snapshot
+  EXPECT_FALSE(cell.read_validate(s1));
+}
+
+// ------------------------------------------------- runtime integration
+
+TEST(PagemapRuntime, GranuleSpanningAllocationAccessesEveryField) {
+  // Node's randomized layout always exceeds one 16-byte granule (4 fields
+  // + traps), so every allocation spans granules; all fields must resolve.
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  Runtime rt(reg, lockfree_config());
+  void* base = rt.olr_malloc(node);
+  ASSERT_NE(base, nullptr);
+  const ObjectRecord* rec = rt.inspect(base);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_GT(rec->layout->size, rt.config().pagemap_granule);
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    void* p = rt.olr_getptr(base, f);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p, static_cast<unsigned char*>(base) + rec->layout->offsets[f]);
+  }
+  EXPECT_TRUE(rt.olr_free(base));
+}
+
+TEST(PagemapRuntime, HugeObjectOverOneMiB) {
+  TypeRegistry reg;
+  const TypeId big = TypeBuilder(reg, "Big")
+                         .ptr("head")
+                         .bytes("payload", 2u << 20, 8)  // 2 MiB
+                         .field<std::uint64_t>("tail")
+                         .build();
+  Runtime rt(reg, lockfree_config());
+  void* base = rt.olr_malloc(big);
+  ASSERT_NE(base, nullptr);
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    ASSERT_NE(rt.olr_getptr(base, f), nullptr);
+  }
+  // The payload is writable end to end.
+  auto* payload = static_cast<unsigned char*>(rt.olr_getptr(base, 1));
+  payload[0] = 0x11;
+  payload[(2u << 20) - 1] = 0x22;
+  EXPECT_TRUE(rt.olr_free(base));
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(PagemapRuntime, AddressReusePublishesTheNewRecord) {
+  // Deterministic LIFO heap: free then alloc of the same class returns the
+  // same base. The pagemap entry must describe the new tenant, and a stale
+  // handle carrying the old allocation id must be refused.
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  SizeClassHeap heap;
+  RuntimeConfig cfg = lockfree_config();
+  cfg.alloc_fn = SizeClassHeap::alloc_hook;
+  cfg.free_fn = SizeClassHeap::free_hook;
+  cfg.alloc_ctx = &heap;
+  cfg.dedup_layouts = false;  // distinct layouts make the swap observable
+  Runtime rt(reg, cfg);
+
+  Session session(rt);
+  auto first = session.create(node);
+  ASSERT_TRUE(first.ok());
+  const ObjRef stale = first.value();
+  ASSERT_TRUE(session.destroy(stale).ok());
+  auto second = session.create(node);
+  ASSERT_TRUE(second.ok());
+  const ObjRef fresh = second.value();
+  ASSERT_EQ(fresh.base, stale.base);  // LIFO reuse hit the same address
+  ASSERT_NE(fresh.id, stale.id);
+
+  // The published record is the new tenant's...
+  auto described = rt.describe(fresh);
+  ASSERT_TRUE(described.ok());
+  EXPECT_EQ(described.value().object_id, fresh.id);
+  EXPECT_TRUE(rt.obj_field(fresh, 1).ok());
+  // ...and the stale handle is detected, fast path or not.
+  auto refused = rt.obj_field(stale, 1);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error(), Violation::kUseAfterFree);
+  ASSERT_TRUE(session.destroy(fresh).ok());
+}
+
+TEST(PagemapRuntime, NeverMappedAddressReportsUntracked) {
+  TypeRegistry reg;
+  make_node(reg);
+  Runtime rt(reg, lockfree_config());
+  int local = 0;
+  auto r = rt.obj_field(ObjRef{&local, 0, TypeId{}}, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Violation::kUseAfterFree);
+  EXPECT_EQ(rt.last_violation(), Violation::kUseAfterFree);
+}
+
+TEST(PagemapRuntime, LockfreeReadsHitTheFastPath) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig cfg = lockfree_config();
+  cfg.enable_cache = false;  // force every access through the fast path
+  Runtime rt(reg, cfg);
+  void* base = rt.olr_malloc(node);
+  ASSERT_NE(base, nullptr);
+  const ObjectRecord* rec = rt.inspect(base);
+  ASSERT_NE(rec, nullptr);
+  const std::vector<std::uint32_t> offsets = rec->layout->offsets;
+  for (int i = 0; i < 100; ++i) {
+    for (std::uint32_t f = 0; f < 4; ++f) {
+      EXPECT_EQ(rt.olr_getptr(base, f),
+                static_cast<unsigned char*>(base) + offsets[f]);
+    }
+  }
+  EXPECT_GE(rt.stats().fastpath_hits, 400u);
+  EXPECT_TRUE(rt.olr_free(base));
+}
+
+TEST(PagemapRuntime, TypedAccessUsesFastPathAndStillChecksTypes) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  const TypeId other = TypeBuilder(reg, "Other").field<int>("x").build();
+  RuntimeConfig cfg = lockfree_config();
+  cfg.enable_cache = false;
+  Runtime rt(reg, cfg);
+  void* base = rt.olr_malloc(node);
+  ASSERT_NE(base, nullptr);
+  EXPECT_NE(rt.olr_getptr_typed(base, node, 1), nullptr);
+  EXPECT_GE(rt.stats().fastpath_hits, 1u);
+  // Type confusion is never serviced by the mirror: it falls back to the
+  // locked path, which classifies it.
+  EXPECT_EQ(rt.olr_getptr_typed(base, other, 0), nullptr);
+  EXPECT_EQ(rt.last_violation(), Violation::kTypeMismatch);
+  EXPECT_TRUE(rt.olr_free(base));
+}
+
+TEST(PagemapRuntime, ChecksumModeNeverUsesTheLockfreePath) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig cfg = reporting_config();
+  cfg.checksum_metadata = true;  // default; stated for emphasis
+  cfg.enable_cache = false;
+  Runtime rt(reg, cfg);
+  void* base = rt.olr_malloc(node);
+  for (int i = 0; i < 32; ++i) rt.olr_getptr(base, 1);
+  EXPECT_EQ(rt.stats().fastpath_hits, 0u);
+  EXPECT_TRUE(rt.olr_free(base));
+}
+
+TEST(PagemapRuntime, ChecksumStillCatchesMetadataDamage) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  Runtime rt(reg, reporting_config());
+  void* base = rt.olr_malloc(node);
+  ASSERT_TRUE(rt.debug_corrupt_metadata(base, 0xdeadULL));
+  EXPECT_EQ(rt.olr_getptr(base, 1), nullptr);
+  EXPECT_EQ(rt.last_violation(), Violation::kMetadataDamaged);
+  // The damaged record was evicted: the address is untracked now.
+  EXPECT_EQ(rt.inspect(base), nullptr);
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(PagemapRuntime, LegacyHashBackendStillWorks) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig cfg = reporting_config();
+  cfg.enable_pagemap = false;
+  Runtime rt(reg, cfg);
+  void* base = rt.olr_malloc(node);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(rt.live_objects(), 1u);
+  EXPECT_NE(rt.olr_getptr(base, 2), nullptr);
+  EXPECT_EQ(rt.stats().fastpath_hits, 0u);
+  EXPECT_TRUE(rt.olr_free(base));
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(PagemapRuntime, BackendsProduceIdenticalLayoutsForSameSeed) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig with_map = reporting_config();
+  RuntimeConfig without_map = reporting_config();
+  without_map.enable_pagemap = false;
+  Runtime a(reg, with_map);
+  Runtime b(reg, without_map);
+  for (int i = 0; i < 16; ++i) {
+    void* pa = a.olr_malloc(node);
+    void* pb = b.olr_malloc(node);
+    const ObjectRecord* ra = a.inspect(pa);
+    const ObjectRecord* rb = b.inspect(pb);
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_EQ(ra->layout->offsets, rb->layout->offsets);
+    EXPECT_EQ(ra->layout->size, rb->layout->size);
+  }
+}
+
+// -------------------------------------------------- config validation
+
+TEST(RuntimeConfigValidate, AcceptsDefaults) {
+  EXPECT_TRUE(RuntimeConfig{}.validate().ok());
+}
+
+TEST(RuntimeConfigValidate, RejectsNonPowerOfTwoGranule) {
+  RuntimeConfig cfg;
+  cfg.pagemap_granule = 24;
+  const auto r = cfg.validate();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Violation::kBadConfig);
+}
+
+TEST(RuntimeConfigValidate, RejectsGranuleOutOfRange) {
+  RuntimeConfig small;
+  small.pagemap_granule = 4;
+  EXPECT_EQ(small.validate().error(), Violation::kBadConfig);
+  RuntimeConfig large;
+  large.pagemap_granule = 8192;
+  EXPECT_EQ(large.validate().error(), Violation::kBadConfig);
+}
+
+TEST(RuntimeConfigValidate, RejectsOversizedShardBits) {
+  RuntimeConfig cfg;
+  cfg.shard_bits = 11;  // 2^11 shards: past the supported range
+  EXPECT_EQ(cfg.validate().error(), Violation::kBadConfig);
+  cfg.shard_bits = 10;
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg.shard_bits = 0;  // single global shard remains legal
+  EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(RuntimeConfigValidate, RejectsOversizedCacheBits) {
+  RuntimeConfig cfg;
+  cfg.cache_bits = 25;
+  EXPECT_EQ(cfg.validate().error(), Violation::kBadConfig);
+}
+
+TEST(RuntimeConfigValidate, RejectsBadLayoutPoolChunk) {
+  RuntimeConfig zero;
+  zero.layout_pool_chunk = 0;
+  EXPECT_EQ(zero.validate().error(), Violation::kBadConfig);
+  RuntimeConfig huge;
+  huge.layout_pool_chunk = 4096;
+  EXPECT_EQ(huge.validate().error(), Violation::kBadConfig);
+}
+
+TEST(RuntimeConfigValidate, RejectsDegenerateDummyPolicy) {
+  RuntimeConfig cfg;
+  cfg.policy.max_dummies = 0;
+  cfg.policy.min_dummies = 2;
+  EXPECT_EQ(cfg.validate().error(), Violation::kBadConfig);
+}
+
+TEST(RuntimeConfigDeathTest, ConstructorRefusesInvalidConfig) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TypeRegistry reg;
+  make_node(reg);
+  RuntimeConfig cfg;
+  cfg.pagemap_granule = 100;  // not a power of two
+  EXPECT_DEATH({ Runtime rt(reg, cfg); }, "bad-config");
+}
+
+// ------------------------------------------------------ layout pooling
+
+TEST(LayoutPool, SameConfigRuntimesDrawIdenticalSequences) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig cfg = reporting_config();
+  cfg.layout_pool_chunk = 8;
+  cfg.dedup_layouts = false;
+  Runtime a(reg, cfg);
+  Runtime b(reg, cfg);
+  for (int i = 0; i < 40; ++i) {  // crosses several refill boundaries
+    void* pa = a.olr_malloc(node);
+    void* pb = b.olr_malloc(node);
+    EXPECT_EQ(a.inspect(pa)->layout->offsets, b.inspect(pb)->layout->offsets);
+  }
+}
+
+TEST(LayoutPool, RefillsAreCountedAndChunked) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig cfg = reporting_config();
+  cfg.layout_pool_chunk = 8;
+  Runtime rt(reg, cfg);
+  std::vector<void*> objs;
+  for (int i = 0; i < 17; ++i) objs.push_back(rt.olr_malloc(node));
+  // 17 allocations at chunk 8 -> exactly 3 refills (8 + 8 + 8 generated).
+  EXPECT_EQ(rt.stats().layout_pool_refills, 3u);
+  for (void* p : objs) rt.olr_free(p);
+}
+
+TEST(LayoutPool, ChunkOneDisablesPooling) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig cfg = reporting_config();
+  cfg.layout_pool_chunk = 1;
+  Runtime rt(reg, cfg);
+  void* p = rt.olr_malloc(node);
+  EXPECT_EQ(rt.stats().layout_pool_refills, 0u);
+  rt.olr_free(p);
+}
+
+TEST(LayoutPool, PooledLayoutsStillRandomizeAcrossAllocations) {
+  // Pooling batches the RNG work; it must not batch the *results* — two
+  // consecutive allocations still draw from the per-allocation layout
+  // distribution (distinct with overwhelming probability for this type).
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig cfg = reporting_config();
+  cfg.dedup_layouts = false;
+  Runtime rt(reg, cfg);
+  std::vector<std::vector<std::uint32_t>> seen;
+  for (int i = 0; i < 16; ++i) {
+    void* p = rt.olr_malloc(node);
+    seen.push_back(rt.inspect(p)->layout->offsets);
+  }
+  bool any_different = false;
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    if (seen[i] != seen[0]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace polar
