@@ -15,7 +15,7 @@
 // the numbers isolate the lookup machinery itself — with the cache on,
 // every mode converges to the cache hit path and the ablation says
 // nothing. Emits one JSON document on stdout (consumed by scripts/bench.sh
-// into BENCH_pr4.json).
+// into BENCH.json).
 //
 // Usage: bench_getptr [--smoke]
 #include <algorithm>

@@ -1,0 +1,148 @@
+// bench_trace — tracing-overhead gate for the observability layer
+// (DESIGN.md §11).
+//
+// Re-runs the getptr ladder's hottest configuration (the `full` mode:
+// pagemap + seqlock + layout pool, offset cache off) with the trace ring
+// at several sampling intervals and reports each as overhead relative to
+// the interval-0 ("tracing off at runtime") run of the SAME binary:
+//
+//   off           trace_sample_interval = 0 — the countdown branch only
+//   sampled_4096  one op in 4096 takes the traced twin
+//   sampled_256   one op in 256 (the default CI posture)
+//   always        every op traced — the worst case, reported not gated
+//
+// The PR's acceptance bar is sampled tracing < 3% overhead on this
+// ladder's median; the compiled-out case (-DPOLAR_TRACE=OFF) is bit-code
+// identical and has no number to measure here. Methodology matches
+// bench_getptr: interleaved repetitions with per-mode medians, volatile
+// sink, power-of-two live set and field cycling. Emits one JSON document
+// on stdout (merged by scripts/bench.sh into BENCH.json).
+//
+// Usage: bench_trace [--smoke]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/type_registry.h"
+
+namespace {
+
+using namespace polar;
+
+struct TraceMode {
+  const char* name;
+  std::uint32_t interval;  ///< trace_sample_interval (0 = off)
+};
+
+constexpr TraceMode kTraceModes[] = {
+    {"off", 0},
+    {"sampled_4096", 4096},
+    {"sampled_256", 256},
+    {"always", 1},
+};
+
+TypeId make_bench5(TypeRegistry& reg) {
+  return TypeBuilder(reg, "Bench5")
+      .fn_ptr("handler")
+      .field<std::uint64_t>("id")
+      .ptr("next")
+      .field<std::uint32_t>("len")
+      .field<std::uint32_t>("cap")
+      .build();
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double median(std::vector<double> runs) {
+  std::sort(runs.begin(), runs.end());
+  const std::size_t n = runs.size();
+  return (n % 2 == 1) ? runs[n / 2] : 0.5 * (runs[n / 2 - 1] + runs[n / 2]);
+}
+
+/// Mops of olr_getptr on `live` resident objects in the full fast-path
+/// configuration, cache off, one thread, tracing per `mode`.
+double getptr_mops(const TraceMode& mode, std::size_t live,
+                   std::uint64_t iters) {
+  TypeRegistry reg;
+  const TypeId t = make_bench5(reg);
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kAbort;  // any violation is a bench bug
+  cfg.enable_cache = false;                // isolate the lookup machinery
+  cfg.enable_pagemap = true;
+  cfg.lockfree_reads = true;
+  cfg.checksum_metadata = false;
+  cfg.layout_pool_chunk = 8;
+  cfg.trace_sample_interval = mode.interval;
+  Runtime rt(reg, cfg);
+  std::vector<void*> objs(live);
+  for (void*& p : objs) p = rt.olr_malloc(t);
+
+  volatile std::uintptr_t sink = 0;  // keep the loads observable
+  for (std::size_t i = 0; i < live; ++i) {
+    sink = sink + reinterpret_cast<std::uintptr_t>(rt.olr_getptr(objs[i], 1));
+  }
+  const double start = now_s();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    void* base = objs[i & (live - 1)];
+    sink = sink + reinterpret_cast<std::uintptr_t>(
+                      rt.olr_getptr(base, static_cast<std::uint32_t>(i & 3)));
+  }
+  const double secs = now_s() - start;
+  for (void* p : objs) rt.olr_free(p);
+  return static_cast<double>(iters) / secs / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t kLive = 4096;  // power of two (index mask)
+  const std::uint64_t iters = smoke ? 400'000 : 4'000'000;
+  const int reps = smoke ? 3 : 7;
+
+  // Interleaved reps for the same burst-noise reason as bench_getptr.
+  const std::size_t n_modes = sizeof(kTraceModes) / sizeof(kTraceModes[0]);
+  std::vector<std::vector<double>> runs(n_modes);
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t m = 0; m < n_modes; ++m) {
+      runs[m].push_back(getptr_mops(kTraceModes[m], kLive, iters));
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"trace_overhead\",\n");
+  std::printf("  \"schema_version\": 1,\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"trace_compiled_in\": %s,\n",
+              Runtime::trace_compiled_in() ? "true" : "false");
+  std::printf(
+      "  \"config\": {\"live_objects\": %zu, \"getptr_iters\": %llu, "
+      "\"reps\": %d},\n",
+      kLive, static_cast<unsigned long long>(iters), reps);
+
+  const double base = median(runs[0]);  // interval 0: tracing off at runtime
+  std::printf("  \"modes\": [\n");
+  for (std::size_t m = 0; m < n_modes; ++m) {
+    const double g = median(runs[m]);
+    const double overhead_pct = base > 0 ? 100.0 * (base - g) / base : 0.0;
+    std::printf(
+        "    {\"name\": \"%s\", \"interval\": %u, \"getptr_mops\": %.2f, "
+        "\"overhead_pct\": %.2f}%s\n",
+        kTraceModes[m].name, kTraceModes[m].interval, g, overhead_pct,
+        m + 1 < n_modes ? "," : "");
+    std::fflush(stdout);
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # Benchmark gate: runs the member-access fast-path ablation (bench_getptr),
-# the concurrent churn bench, the paper's Fig. 6 overhead table, and the
-# google-benchmark micro suite, then merges everything into one
-# schema-checked BENCH_pr4.json (scripts/bench_merge.py fails the run on
-# schema drift, so CI catches silently-changed output shapes).
+# the tracing-overhead ladder (bench_trace), the concurrent churn bench,
+# the paper's Fig. 6 overhead table, and the google-benchmark micro suite,
+# then merges everything into one schema-checked BENCH.json
+# (scripts/bench_merge.py fails the run on schema drift, so CI catches
+# silently-changed output shapes).
 #
 # Usage: scripts/bench.sh [--smoke] [--out FILE]
 #   --smoke   reduced iteration counts for the CI gate (minutes, not tens)
-#   --out     output path (default: BENCH_pr4.json in the repo root)
+#   --out     output path (default: BENCH.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=0
-OUT="BENCH_pr4.json"
+OUT="BENCH.json"
 while [ $# -gt 0 ]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
@@ -25,8 +26,8 @@ done
 echo "== build bench binaries =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" \
-  --target bench_getptr bench_concurrent fig6_spec_overhead micro_runtime \
-  >/dev/null
+  --target bench_getptr bench_trace bench_concurrent fig6_spec_overhead \
+  micro_runtime >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -36,6 +37,13 @@ if [ "$SMOKE" = 1 ]; then
   ./build/bench/bench_getptr --smoke > "$TMP/getptr.json"
 else
   ./build/bench/bench_getptr > "$TMP/getptr.json"
+fi
+
+echo "== bench_trace: tracing-overhead ladder =="
+if [ "$SMOKE" = 1 ]; then
+  ./build/bench/bench_trace --smoke > "$TMP/trace.json"
+else
+  ./build/bench/bench_trace > "$TMP/trace.json"
 fi
 
 echo "== bench_concurrent: shared-runtime churn =="

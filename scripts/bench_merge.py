@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Merge the per-binary bench outputs into BENCH_pr4.json, schema-checked.
+"""Merge the per-binary bench outputs into BENCH.json, schema-checked.
 
 Reads from a directory produced by scripts/bench.sh:
     getptr.json      bench_getptr     (fast-path ablation, native JSON)
+    trace.json       bench_trace      (tracing-overhead ladder, native JSON)
     concurrent.json  bench_concurrent (native JSON)
     fig6.txt         fig6_spec_overhead (text table, parsed here)
     micro.json       micro_runtime    (google-benchmark JSON)
@@ -10,8 +11,8 @@ Reads from a directory produced by scripts/bench.sh:
 The schema check is deliberately strict — exact top-level key sets, exact
 ablation mode names in order, required fields per row — so any drift in a
 bench binary's output shape fails the merge (and with it the CI bench
-gate) instead of silently producing a BENCH_pr4.json that downstream
-tooling misreads.
+gate) instead of silently producing a BENCH.json that downstream tooling
+misreads.
 """
 
 import argparse
@@ -20,7 +21,12 @@ import re
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+# Version of the merged document. v2: neutral "BENCH" top-level tag
+# (previously the PR-specific "BENCH_pr4") and the trace_overhead section.
+MERGED_SCHEMA_VERSION = 2
+# Versions of the individual bench binaries' native outputs.
+GETPTR_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 1
 
 # The ablation ladder bench_getptr must emit, in order.
 EXPECTED_MODES = [
@@ -60,8 +66,8 @@ def need(cond, msg):
 
 def check_fastpath(doc):
     need(doc.get("bench") == "pr4_fastpath", "getptr: bench tag changed")
-    need(doc.get("schema_version") == SCHEMA_VERSION,
-         "getptr: schema_version != %d" % SCHEMA_VERSION)
+    need(doc.get("schema_version") == GETPTR_SCHEMA_VERSION,
+         "getptr: schema_version != %d" % GETPTR_SCHEMA_VERSION)
     modes = doc.get("modes")
     need(isinstance(modes, list), "getptr: modes not a list")
     names = [m.get("name") for m in modes]
@@ -78,6 +84,37 @@ def check_fastpath(doc):
     for row in conc:
         need(set(row.keys()) == {"mode", "threads", "mops"},
              "getptr: concurrent row fields drifted")
+    return doc
+
+
+# The sampling ladder bench_trace must emit, in order.
+EXPECTED_TRACE_MODES = ["off", "sampled_4096", "sampled_256", "always"]
+
+TRACE_MODE_FIELDS = {
+    "name": str,
+    "interval": int,
+    "getptr_mops": (int, float),
+    "overhead_pct": (int, float),
+}
+
+
+def check_trace(doc):
+    need(doc.get("bench") == "trace_overhead", "trace: bench tag changed")
+    need(doc.get("schema_version") == TRACE_SCHEMA_VERSION,
+         "trace: schema_version != %d" % TRACE_SCHEMA_VERSION)
+    need(isinstance(doc.get("trace_compiled_in"), bool),
+         "trace: trace_compiled_in missing")
+    modes = doc.get("modes")
+    need(isinstance(modes, list), "trace: modes not a list")
+    names = [m.get("name") for m in modes]
+    need(names == EXPECTED_TRACE_MODES,
+         "trace: sampling ladder drifted: %r" % (names,))
+    for m in modes:
+        need(set(m.keys()) == set(TRACE_MODE_FIELDS),
+             "trace: mode fields drifted in %r" % (m.get("name"),))
+        for key, ty in TRACE_MODE_FIELDS.items():
+            need(isinstance(m[key], ty), "trace: %s.%s wrong type"
+                 % (m.get("name"), key))
     return doc
 
 
@@ -141,12 +178,14 @@ def main():
 
     try:
         merged = {
-            "bench": "BENCH_pr4",
-            "schema_version": SCHEMA_VERSION,
+            "bench": "BENCH",
+            "schema_version": MERGED_SCHEMA_VERSION,
             "smoke": args.smoke == "1",
             "generated_by": "scripts/bench.sh",
             "fastpath": check_fastpath(
                 json.loads((args.indir / "getptr.json").read_text())),
+            "trace_overhead": check_trace(
+                json.loads((args.indir / "trace.json").read_text())),
             "concurrent_churn": check_concurrent(
                 json.loads((args.indir / "concurrent.json").read_text())),
             "spec_overhead": parse_fig6(
@@ -168,6 +207,14 @@ def main():
               by_name["full"]["speedup_vs_hash_locked"],
               by_name["seqlock"]["speedup_vs_pre_pr_default"],
               by_name["full"]["speedup_vs_pre_pr_default"]))
+    trace = {m["name"]: m for m in merged["trace_overhead"]["modes"]}
+    # Informational, not a hard gate: smoke runs on shared CI cores are too
+    # noisy to fail on; the full-iteration run is where the <3% bar is read.
+    print("bench_merge: tracing overhead sampled_256 %+.2f%% / "
+          "sampled_4096 %+.2f%% / always %+.2f%% vs off" % (
+              trace["sampled_256"]["overhead_pct"],
+              trace["sampled_4096"]["overhead_pct"],
+              trace["always"]["overhead_pct"]))
     return 0
 
 

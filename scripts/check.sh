@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Full verification gate:
 #   1. tier-1: regular build + complete ctest suite + fault-injection matrix
-#   2. ThreadSanitizer build of the concurrency contract (concurrent_test)
+#              + polar_stats self-consistency gate over the minipng workload
+#   2. ThreadSanitizer build of the concurrency contract (concurrent_test;
+#      CI runs the complete suite under TSan in its dedicated job)
+#
 # Usage: scripts/check.sh [jobs]
+# Extra configure flags (compiler launchers, -D overrides) pass through via
+# POLAR_CMAKE_ARGS, e.g. the CI matrix sets ccache launchers there.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+CMAKE_ARGS=(${POLAR_CMAKE_ARGS:-})
 
 echo "== tier-1: build + ctest =="
-cmake -B build -S . >/dev/null
+cmake -B build -S . "${CMAKE_ARGS[@]}" >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
@@ -19,8 +25,16 @@ echo "== tier-1: fault-injection detection matrix =="
 ./build/src/faultinject/fault_matrix --heap --quick
 
 echo
+echo "== tier-1: polar_stats self-consistency (minipng) =="
+# --selfcheck exits nonzero if any exported counter invariant fails
+# (allocations >= frees, cache_hits <= member_accesses, trace accounting,
+# histogram balance, ...) or the JSON exporter does not round-trip.
+./build/src/observe/polar_stats --workload=minipng --repeat=3 --selfcheck \
+  --format=json >/dev/null
+
+echo
 echo "== tier-2: ThreadSanitizer concurrent_test =="
-cmake -B build-tsan -S . -DPOLAR_SANITIZE=thread >/dev/null
+cmake -B build-tsan -S . -DPOLAR_SANITIZE=thread "${CMAKE_ARGS[@]}" >/dev/null
 cmake --build build-tsan -j "$JOBS" --target concurrent_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrent_test
 

@@ -202,6 +202,39 @@ class ShardedMetadataTable {
     mutable std::mutex mu;
     MetadataTable table{64};
     std::atomic<std::uint64_t> epoch{0};
+    /// Contention telemetry, written under `mu` by ShardLockGuard.
+    mutable std::uint64_t lock_acquisitions = 0;
+    mutable std::uint64_t lock_contended = 0;
+  };
+
+  /// Lock acquisition totals across every shard (see lock_stats()).
+  struct LockStats {
+    std::uint64_t acquisitions = 0;  ///< shard locks taken
+    std::uint64_t contended = 0;     ///< acquisitions that had to block
+  };
+
+  /// RAII shard lock that records whether the acquisition contended. The
+  /// try_lock probe may spuriously fail even on a free mutex, so
+  /// `lock_contended` is telemetry (an upper bound on real contention),
+  /// never a semantic signal. Counter writes happen after the lock is
+  /// held, so they race nothing.
+  class ShardLockGuard {
+   public:
+    explicit ShardLockGuard(const Shard& shard) : shard_(shard) {
+      bool contended = false;
+      if (!shard_.mu.try_lock()) {
+        shard_.mu.lock();
+        contended = true;
+      }
+      ++shard_.lock_acquisitions;
+      if (contended) ++shard_.lock_contended;
+    }
+    ~ShardLockGuard() { shard_.mu.unlock(); }
+    ShardLockGuard(const ShardLockGuard&) = delete;
+    ShardLockGuard& operator=(const ShardLockGuard&) = delete;
+
+   private:
+    const Shard& shard_;
   };
 
   explicit ShardedMetadataTable(std::uint32_t shard_bits = 6)
@@ -238,6 +271,19 @@ class ShardedMetadataTable {
       std::lock_guard<std::mutex> lock(s.mu);
       s.table.for_each(fn);
     }
+  }
+
+  /// Sums the per-shard lock telemetry. Exact only at quiescent points.
+  /// Uses a plain lock (not ShardLockGuard) so taking the snapshot does
+  /// not itself inflate the counters.
+  [[nodiscard]] LockStats lock_stats() const {
+    LockStats out;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      out.acquisitions += s.lock_acquisitions;
+      out.contended += s.lock_contended;
+    }
+    return out;
   }
 
  private:

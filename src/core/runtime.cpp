@@ -71,6 +71,12 @@ Result<void> RuntimeConfig::validate() const noexcept {
   if (layout_pool_chunk == 0 || layout_pool_chunk > 1024) {
     return Result<void>::failure(Violation::kBadConfig);
   }
+  // Ring capacity is validated even when tracing is off so a config that
+  // later flips tracing on can't smuggle in a non-power-of-two ring.
+  if (!std::has_single_bit(trace_ring_capacity) || trace_ring_capacity < 16 ||
+      trace_ring_capacity > (1u << 20)) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
   if (policy.dummy_granule == 0 || policy.dummy_max_granules == 0 ||
       policy.max_dummies < policy.min_dummies) {
     return Result<void>::failure(Violation::kBadConfig);
@@ -86,7 +92,8 @@ RuntimeConfig checked_config(RuntimeConfig config) {
   POLAR_CHECK(config.validate().ok(),
               "bad-config: RuntimeConfig::validate() rejected these settings "
               "(shard_bits<=10, cache_bits<=24, pagemap_granule a power of "
-              "two in [8,4096], layout_pool_chunk in [1,1024])");
+              "two in [8,4096], layout_pool_chunk in [1,1024], "
+              "trace_ring_capacity a power of two in [16,2^20])");
   return config;
 }
 }  // namespace
@@ -103,6 +110,9 @@ Runtime::Runtime(const TypeRegistry& registry, RuntimeConfig config)
                   !config_.checksum_metadata),
       pm_root_(pagemap_ != nullptr ? pagemap_->root() : nullptr),
       pm_shift_(pagemap_ != nullptr ? pagemap_->granule_bits() : 0),
+#if defined(POLAR_TRACE_ENABLED)
+      trace_interval_(config_.trace_sample_interval),
+#endif
       interner_(config_.dedup_layouts),
       runtime_id_(next_runtime_id()) {}
 
@@ -117,8 +127,8 @@ Runtime::ThreadState& Runtime::tls_slow() const {
   auto it = t_states.find(runtime_id_);
   if (it == t_states.end()) {
     std::lock_guard<std::mutex> lock(tls_mu_);
-    auto state =
-        std::make_unique<ThreadState>(config_.cache_bits, next_rng_stream());
+    auto state = std::make_unique<ThreadState>(config_, next_rng_stream(),
+                                               this_thread_numeric_id());
     it = t_states.emplace(runtime_id_, state.get()).first;
     thread_states_.push_back(std::move(state));
   }
@@ -169,8 +179,24 @@ ViolationAction Runtime::violation(ThreadState& ts, Violation v,
                                .address = address,
                                .type = type,
                                .object_id = object_id,
-                               .thread = this_thread_numeric_id(),
+                               .thread = ts.thread_tag,
                                .op = op};
+#if defined(POLAR_TRACE_ENABLED)
+  // Violation sink: violations are rare and load-bearing, so when tracing
+  // is on every one enters the ring — never sampled — and it is pushed
+  // before the policy engine runs so even an abort leaves the event behind
+  // for a post-mortem ring dump.
+  if (trace_interval_ != 0) {
+    observe::TraceEvent e;
+    e.timestamp = observe::trace_clock();
+    e.thread = ts.thread_tag;
+    e.object_id = object_id;
+    e.type = type.value;
+    e.kind = observe::TraceEventKind::kViolation;
+    e.detail = static_cast<std::uint8_t>(v);
+    ts.trace.push(e);
+  }
+#endif
   const ViolationAction action = engine_.apply(report);
   if (action == ViolationAction::kAbort) {
     POLAR_CHECK(false, to_string(v));
@@ -279,8 +305,27 @@ Layout Runtime::next_layout(ThreadState& ts, TypeId type,
   if (pool.cursor == pool.ready.size()) {
     pool.ready.clear();
     pool.cursor = 0;
+#if defined(POLAR_TRACE_ENABLED)
+    const std::uint64_t t0 = trace_interval_ != 0 ? observe::trace_clock() : 0;
+#endif
     ts.batcher.generate(info, config_.policy, ts.rng, chunk, pool.ready);
     ++ts.stats.layout_pool_refills;
+#if defined(POLAR_TRACE_ENABLED)
+    // Refills happen once per chunk of allocations — rare enough to record
+    // unsampled whenever tracing is on. object_id carries the chunk size.
+    if (trace_interval_ != 0) {
+      const std::uint64_t dt = observe::trace_clock() - t0;
+      observe::TraceEvent e;
+      e.timestamp = t0;
+      e.thread = ts.thread_tag;
+      e.object_id = chunk;
+      e.type = type.value;
+      e.duration = dt > 0xffffffffULL ? 0xffffffffu
+                                      : static_cast<std::uint32_t>(dt);
+      e.kind = observe::TraceEventKind::kLayoutRefill;
+      ts.trace.push(e);
+    }
+#endif
   }
   return std::move(pool.ready[pool.cursor++]);
 }
@@ -323,7 +368,7 @@ Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
   if (pagemap_ != nullptr) {
     MetaCell* cell = cells_.acquire();
     ShardedMetadataTable::Shard& sh = table_.shard_of(base);
-    std::lock_guard<std::mutex> lock(sh.mu);
+    ShardedMetadataTable::ShardLockGuard lock(sh);
     cell->rec = rec;
     // Mirror before pagemap entry: a reader that wins the race to the
     // fresh cell must already see a consistent (or odd-sequence) mirror.
@@ -331,7 +376,7 @@ Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
     pagemap_->publish(base, cell);
   } else {
     ShardedMetadataTable::Shard& sh = table_.shard_of(base);
-    std::lock_guard<std::mutex> lock(sh.mu);
+    ShardedMetadataTable::ShardLockGuard lock(sh);
     sh.table.insert(rec);
   }
   live_count_.fetch_add(1, std::memory_order_release);
@@ -342,7 +387,7 @@ Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
 
 Result<ObjectRecord> Runtime::pin_record(ObjRef ref) const {
   ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  ShardedMetadataTable::ShardLockGuard lock(sh);
   bool damaged = false;
   const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
   if (damaged) {
@@ -360,17 +405,68 @@ Result<ObjectRecord> Runtime::pin_record(ObjRef ref) const {
 
 Result<ObjRef> Runtime::obj_alloc(TypeId type) {
   ThreadState& ts = tls();
+#if defined(POLAR_TRACE_ENABLED)
+  // Allocation shares the thread's sampling countdown with member access,
+  // so "every Nth operation" means Nth traceable op, not Nth of each kind.
+  const bool sampled = trace_interval_ != 0 && --ts.trace_countdown == 0;
+  std::uint64_t t0 = 0;
+  if (sampled) {
+    ts.trace_countdown = trace_interval_;
+    t0 = observe::trace_clock();
+  }
+#endif
   const Result<ObjectRecord> rec = create_object(ts, type, nullptr);
   if (!rec.ok()) {
+    // A sampled failed allocation reaches the ring as the kViolation event
+    // the sink below records — no separate kAlloc event for it.
     violation(ts, rec.error(), nullptr, type, 0, RuntimeOp::kAlloc);
     return Result<ObjRef>::failure(rec.error());
   }
   ++ts.stats.allocations;
+#if defined(POLAR_TRACE_ENABLED)
+  if (sampled) {
+    const std::uint64_t dt = observe::trace_clock() - t0;
+    ts.latency.alloc_ns.record(dt);
+    observe::TraceEvent e;
+    e.timestamp = t0;
+    e.thread = ts.thread_tag;
+    e.object_id = rec.value().object_id;
+    e.type = type.value;
+    e.duration =
+        dt > 0xffffffffULL ? 0xffffffffu : static_cast<std::uint32_t>(dt);
+    e.kind = observe::TraceEventKind::kAlloc;
+    ts.trace.push(e);
+  }
+#endif
   return ObjRef{rec.value().base, rec.value().object_id, type};
 }
 
 Result<void> Runtime::obj_free(ObjRef ref) {
   ThreadState& ts = tls();
+#if defined(POLAR_TRACE_ENABLED)
+  const bool sampled = trace_interval_ != 0 && --ts.trace_countdown == 0;
+  std::uint64_t t0 = 0;
+  if (sampled) {
+    ts.trace_countdown = trace_interval_;
+    t0 = observe::trace_clock();
+  }
+  // Pushed on every path that releases the object (including a
+  // trap-damaged or quarantined free); pure failures surface through the
+  // violation sink instead.
+  auto record_free = [&](const ObjectRecord& rec) {
+    if (!sampled) return;
+    const std::uint64_t dt = observe::trace_clock() - t0;
+    observe::TraceEvent e;
+    e.timestamp = t0;
+    e.thread = ts.thread_tag;
+    e.object_id = rec.object_id;
+    e.type = rec.type.value;
+    e.duration =
+        dt > 0xffffffffULL ? 0xffffffffu : static_cast<std::uint32_t>(dt);
+    e.kind = observe::TraceEventKind::kFree;
+    ts.trace.push(e);
+  };
+#endif
   ObjectRecord copy{};
   std::uint32_t alloc_size = 0;
   bool trap_damaged = false;
@@ -379,7 +475,7 @@ Result<void> Runtime::obj_free(ObjRef ref) {
   MetaCell* freed_cell = nullptr;
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
-    std::lock_guard<std::mutex> lock(sh.mu);
+    ShardedMetadataTable::ShardLockGuard lock(sh);
     const ObjectRecord* rec = find_checked(sh, ref.base, meta_damaged);
     if (rec != nullptr && (ref.id == 0 || rec->object_id == ref.id)) {
       found = true;
@@ -429,12 +525,18 @@ Result<void> Runtime::obj_free(ObjRef ref) {
       quarantine_block(copy.base, alloc_size);
       ++ts.stats.quarantined_objects;
       ++ts.stats.frees;
+#if defined(POLAR_TRACE_ENABLED)
+      record_free(copy);
+#endif
       return Result<void>::failure(Violation::kTrapDamaged);
     }
   }
   interner_.release(copy.layout);
   raw_free(copy.base, alloc_size);
   ++ts.stats.frees;
+#if defined(POLAR_TRACE_ENABLED)
+  record_free(copy);
+#endif
   return trap_damaged ? Result<void>::failure(Violation::kTrapDamaged)
                       : Result<void>{};
 }
@@ -445,7 +547,7 @@ Result<void*> Runtime::obj_field_slow(ThreadState& ts, ObjRef ref,
   Violation v = Violation::kNone;
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
-    std::lock_guard<std::mutex> lock(sh.mu);
+    ShardedMetadataTable::ShardLockGuard lock(sh);
     bool damaged = false;
     const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
     if (damaged) {
@@ -470,6 +572,51 @@ Result<void*> Runtime::obj_field_slow(ThreadState& ts, ObjRef ref,
   return static_cast<unsigned char*>(ref.base) + offset;
 }
 
+#if defined(POLAR_TRACE_ENABLED)
+Result<void*> Runtime::obj_field_traced(ThreadState& ts, ObjRef ref,
+                                        std::uint32_t field) {
+  ts.trace_countdown = trace_interval_;
+  ++ts.stats.member_accesses;
+  const std::uint64_t t0 = observe::trace_clock();
+  // Mirrors the inline obj_field body exactly (cache, then seqlock fast
+  // path, then the locked tail) so a sampled access measures the same
+  // resolution it replaces — only the timing brackets differ.
+  bool slow = false;
+  Result<void*> out = [&]() -> Result<void*> {
+    if (config_.enable_cache) {
+      const std::uint64_t epoch =
+          table_.shard_of(ref.base).epoch.load(std::memory_order_acquire);
+      std::uint32_t offset = 0;
+      if (ts.cache.lookup(ref.base, field, epoch, ref.id, offset)) {
+        ++ts.stats.cache_hits;
+        return static_cast<unsigned char*>(ref.base) + offset;
+      }
+    }
+    if (fast_reads_) {
+      std::uint32_t offset = 0;
+      if (fast_field(ts, ref, field, TypeId{}, offset)) {
+        return static_cast<unsigned char*>(ref.base) + offset;
+      }
+    }
+    slow = true;
+    return obj_field_slow(ts, ref, field);
+  }();
+  const std::uint64_t dt = observe::trace_clock() - t0;
+  ts.latency.getptr_ns.record(dt);
+  observe::TraceEvent e;
+  e.timestamp = t0;
+  e.thread = ts.thread_tag;
+  e.object_id = ref.id;
+  e.type = ref.type.value;
+  e.duration =
+      dt > 0xffffffffULL ? 0xffffffffu : static_cast<std::uint32_t>(dt);
+  e.kind = slow ? observe::TraceEventKind::kGetptrSlow
+                : observe::TraceEventKind::kGetptrFast;
+  ts.trace.push(e);
+  return out;
+}
+#endif
+
 Result<void*> Runtime::obj_field_typed(ObjRef ref, TypeId expected,
                                        std::uint32_t field) {
   // The cache cannot carry the class of the cached object, and a hit would
@@ -488,7 +635,7 @@ Result<void*> Runtime::obj_field_typed(ObjRef ref, TypeId expected,
   Violation v = Violation::kNone;
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
-    std::lock_guard<std::mutex> lock(sh.mu);
+    ShardedMetadataTable::ShardLockGuard lock(sh);
     bool damaged = false;
     const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
     if (damaged) {
@@ -540,7 +687,8 @@ Result<ObjRef> Runtime::obj_clone(ObjRef src) {
                 info.fields[f].size);
   }
   interner_.release(src_rec.layout);
-  ++ts.stats.memcpys;
+  ++ts.stats.memcpys;  // clone counts as memcpy, not allocation (Table III)
+  ++ts.stats.clones;
   return ObjRef{dst_rec.base, dst_rec.object_id, src_rec.type};
 }
 
@@ -589,7 +737,7 @@ Result<void> Runtime::obj_check_traps(ObjRef ref) {
   Violation v = Violation::kNone;
   {
     ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
-    std::lock_guard<std::mutex> lock(sh.mu);
+    ShardedMetadataTable::ShardLockGuard lock(sh);
     bool damaged = false;
     const ObjectRecord* rec = find_checked(sh, ref.base, damaged);
     if (damaged) {
@@ -640,6 +788,33 @@ void Runtime::reset_stats() noexcept {
   for (const auto& st : thread_states_) st->stats.reset();
 }
 
+std::vector<observe::TraceEvent> Runtime::trace_events() const {
+  std::vector<observe::TraceEvent> out;
+#if defined(POLAR_TRACE_ENABLED)
+  std::lock_guard<std::mutex> lock(tls_mu_);
+  for (const auto& st : thread_states_) st->trace.snapshot(out);
+#endif
+  return out;
+}
+
+observe::TraceRingStats Runtime::trace_ring_stats() const noexcept {
+  observe::TraceRingStats total;
+#if defined(POLAR_TRACE_ENABLED)
+  std::lock_guard<std::mutex> lock(tls_mu_);
+  for (const auto& st : thread_states_) total.add(st->trace.stats());
+#endif
+  return total;
+}
+
+observe::LatencyHistograms Runtime::latency_histograms() const noexcept {
+  observe::LatencyHistograms total;
+#if defined(POLAR_TRACE_ENABLED)
+  std::lock_guard<std::mutex> lock(tls_mu_);
+  for (const auto& st : thread_states_) total.add(st->latency);
+#endif
+  return total;
+}
+
 Violation Runtime::last_violation() const noexcept {
   return tls().last_violation;
 }
@@ -666,7 +841,27 @@ void Runtime::free_all() {
     std::lock_guard<std::mutex> lock(quarantine_mu_);
     parked.swap(quarantine_);
   }
+#if defined(POLAR_TRACE_ENABLED)
+  const std::uint64_t t0 =
+      trace_interval_ != 0 && !parked.empty() ? observe::trace_clock() : 0;
+#endif
   for (const auto& [p, size] : parked) raw_free(p, size);
+#if defined(POLAR_TRACE_ENABLED)
+  // Drains are teardown-rare: recorded unsampled whenever tracing is on
+  // and any blocks were actually parked. object_id carries the count.
+  if (trace_interval_ != 0 && !parked.empty()) {
+    ThreadState& ts = tls();
+    const std::uint64_t dt = observe::trace_clock() - t0;
+    observe::TraceEvent e;
+    e.timestamp = t0;
+    e.thread = ts.thread_tag;
+    e.object_id = parked.size();
+    e.duration =
+        dt > 0xffffffffULL ? 0xffffffffu : static_cast<std::uint32_t>(dt);
+    e.kind = observe::TraceEventKind::kQuarantineDrain;
+    ts.trace.push(e);
+  }
+#endif
 }
 
 }  // namespace polar

@@ -55,6 +55,7 @@
 #include "core/stats.h"
 #include "core/type_registry.h"
 #include "core/violation_policy.h"
+#include "observe/trace_ring.h"
 #include "support/rng.h"
 
 namespace polar {
@@ -105,6 +106,22 @@ struct RuntimeConfig {
   /// 1 disables pooling (every allocation draws its layout inline); the
   /// pooled sequence is RNG-identical to the serial sequence either way.
   std::uint32_t layout_pool_chunk = 8;
+  /// Event-trace sampling period (see src/observe/trace_ring.h and
+  /// DESIGN.md §11). 0 = tracing off (the default: the member-access path
+  /// is identical to an untraced runtime up to one predictable branch).
+  /// N >= 1 = every Nth alloc/free/member-access per thread is timed and
+  /// recorded into that thread's trace ring; violations are always
+  /// recorded when tracing is on. Ignored (forced off) when the library
+  /// was built with -DPOLAR_TRACE=OFF.
+  std::uint32_t trace_sample_interval = 0;
+  /// Per-thread trace ring capacity in events. Must be a power of two in
+  /// [16, 2^20]. Memory is only committed on threads that trace (40 bytes
+  /// per slot), and only when trace_sample_interval != 0.
+  std::uint32_t trace_ring_capacity = 4096;
+  /// Full-ring policy: true = overwrite the oldest event (post-mortem
+  /// keeps the newest history), false = drop new events (profiling keeps
+  /// the steady-state beginning). Dropped events are counted either way.
+  bool trace_keep_latest = true;
   std::uint64_t seed = 0x90'1a'12'00'5eedULL;
 
   /// Structural validation. kBadConfig names the first rejected setting in
@@ -238,6 +255,50 @@ class Runtime {
   /// allocator (and poisoned) until free_all()/destruction.
   [[nodiscard]] std::size_t quarantined_blocks() const noexcept;
 
+  // --- observability (src/observe/, DESIGN.md §11) -------------------------
+  // All of these are declared unconditionally so tooling links against one
+  // API; in a -DPOLAR_TRACE=OFF build (or with trace_sample_interval == 0)
+  // they return empty/zero data.
+
+  /// Whether hot-path trace hooks were compiled into this library.
+  [[nodiscard]] static constexpr bool trace_compiled_in() noexcept {
+#if defined(POLAR_TRACE_ENABLED)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Every stored trace event across every thread's ring, oldest first
+  /// per thread. Exact at quiescent points (same contract as stats()).
+  [[nodiscard]] std::vector<observe::TraceEvent> trace_events() const;
+
+  /// Ring accounting summed across threads: recorded == stored + dropped.
+  [[nodiscard]] observe::TraceRingStats trace_ring_stats() const noexcept;
+
+  /// Sampled getptr/alloc latency distributions summed across threads.
+  [[nodiscard]] observe::LatencyHistograms latency_histograms() const noexcept;
+
+  /// Shard-lock acquisition/contention totals (metadata backend).
+  [[nodiscard]] ShardedMetadataTable::LockStats lock_stats() const {
+    return table_.lock_stats();
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return table_.shard_count();
+  }
+
+  /// Visits a snapshot-quality copy of every live ObjectRecord (order
+  /// unspecified). Quiescent use only — the census walk for introspection
+  /// dumps, not a concurrent-safe iterator.
+  template <class F>
+  void for_each_live(F&& fn) const {
+    if (pagemap_ != nullptr) {
+      cells_.for_each_live(fn);
+    } else {
+      table_.for_each(fn);
+    }
+  }
+
   /// FAULT-INJECTION ONLY. XORs `mask` into the stored trap_value of the
   /// live record for `base` without resealing the checksum — simulating a
   /// stray write into the metadata table itself. Returns false if `base`
@@ -265,12 +326,28 @@ class Runtime {
   /// thread's first operation against this runtime. Padded so two threads'
   /// counters never share a cache line.
   struct alignas(64) ThreadState {
-    ThreadState(std::uint32_t cache_bits, Rng rng_stream)
-        : cache(cache_bits), rng(rng_stream) {}
+    ThreadState(const RuntimeConfig& cfg, Rng rng_stream,
+                std::uint64_t thread_tag_in)
+        : cache(cfg.cache_bits),
+          rng(rng_stream),
+          thread_tag(thread_tag_in)
+#if defined(POLAR_TRACE_ENABLED)
+          ,
+          trace(cfg.trace_sample_interval != 0 ? cfg.trace_ring_capacity : 0,
+                cfg.trace_keep_latest ? observe::TraceRing::Mode::kKeepLatest
+                                      : observe::TraceRing::Mode::kKeepOldest),
+          trace_countdown(cfg.trace_sample_interval)
+#endif
+    {
+      (void)cfg;
+    }
     ThreadOffsetCache cache;
     Rng rng;
     RuntimeStats stats;
     Violation last_violation = Violation::kNone;
+    /// Numeric id of the owning thread (stamped into trace events and
+    /// violation reports without re-deriving it per event).
+    std::uint64_t thread_tag = 0;
     /// Pre-generated layouts for one type, consumed in generation order.
     struct TypeLayoutPool {
       std::vector<Layout> ready;
@@ -279,6 +356,13 @@ class Runtime {
     /// Indexed by TypeId::value; grown on first allocation of a type.
     std::vector<TypeLayoutPool> layout_pools;
     LayoutBatcher batcher;
+#if defined(POLAR_TRACE_ENABLED)
+    observe::TraceRing trace;
+    observe::LatencyHistograms latency;
+    /// Ticks down once per traceable operation; the operation that takes
+    /// it to zero is sampled and resets it to trace_sample_interval.
+    std::uint32_t trace_countdown = 0;
+#endif
   };
 
   [[nodiscard]] static constexpr ObjRef unchecked(void* base) noexcept {
@@ -329,6 +413,14 @@ class Runtime {
   /// (cache + seqlock fast path) is defined below the class.
   Result<void*> obj_field_slow(ThreadState& ts, ObjRef ref,
                                std::uint32_t field);
+#if defined(POLAR_TRACE_ENABLED)
+  /// The sampled twin of obj_field's body: times the resolution, records a
+  /// kGetptrFast/kGetptrSlow event plus the latency histogram, and resets
+  /// the thread's sampling countdown. Out of line — the untraced inline
+  /// path never grows by more than the countdown branch.
+  Result<void*> obj_field_traced(ThreadState& ts, ObjRef ref,
+                                 std::uint32_t field);
+#endif
   /// Allocates+registers an object; share_layout forces the given layout
   /// (clone-without-rerandomization) instead of drawing a fresh one.
   /// kOom when the backing allocator refuses.
@@ -362,6 +454,11 @@ class Runtime {
   /// the pagemap backend is off.
   std::uintptr_t* const pm_root_;
   const unsigned pm_shift_;
+#if defined(POLAR_TRACE_ENABLED)
+  /// config_.trace_sample_interval, hoisted to a dedicated const member so
+  /// the inline hot path tests one immutable word. 0 = tracing off.
+  const std::uint32_t trace_interval_;
+#endif
   mutable std::atomic<std::size_t> live_count_{0};
   mutable LayoutInterner interner_;
   std::atomic<std::uint64_t> next_object_id_{1};
@@ -430,6 +527,14 @@ inline bool Runtime::fast_field(ThreadState& ts, const ObjRef& ref,
 
 inline Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
   ThreadState& ts = tls();
+#if defined(POLAR_TRACE_ENABLED)
+  // Sampling gate: one test of an immutable word, and only when tracing is
+  // runtime-enabled does the countdown tick. The sampled operation runs the
+  // out-of-line traced twin so the common path stays branch-predictable.
+  if (trace_interval_ != 0 && --ts.trace_countdown == 0) [[unlikely]] {
+    return obj_field_traced(ts, ref, field);
+  }
+#endif
   ++ts.stats.member_accesses;
   if (config_.enable_cache) {
     const std::uint64_t epoch =

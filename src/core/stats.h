@@ -10,7 +10,11 @@ namespace polar {
 struct RuntimeStats {
   std::uint64_t allocations = 0;
   std::uint64_t frees = 0;
-  std::uint64_t memcpys = 0;
+  std::uint64_t memcpys = 0;  ///< obj_clone + obj_copy (paper Table III)
+  /// obj_clone successes. Clones create tracked objects without counting
+  /// as `allocations` (a pinned historical choice), so accounting-style
+  /// invariants need: allocations + clones >= frees.
+  std::uint64_t clones = 0;
   std::uint64_t member_accesses = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t fastpath_hits = 0;  ///< accesses resolved by the lock-free
@@ -29,12 +33,16 @@ struct RuntimeStats {
 
   void reset() { *this = RuntimeStats{}; }
 
+  /// Field-wise equality; the exporter round-trip tests rely on it.
+  friend bool operator==(const RuntimeStats&, const RuntimeStats&) = default;
+
   /// Accumulates another counter set (used to aggregate the concurrent
   /// runtime's per-thread stats into one process-wide view).
   void add(const RuntimeStats& o) noexcept {
     allocations += o.allocations;
     frees += o.frees;
     memcpys += o.memcpys;
+    clones += o.clones;
     member_accesses += o.member_accesses;
     cache_hits += o.cache_hits;
     fastpath_hits += o.fastpath_hits;

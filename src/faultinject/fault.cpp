@@ -332,6 +332,7 @@ FaultOutcome run_one(WorkloadKind workload, const FaultPlan& plan,
   rc.alloc_fn = &Injector::alloc_hook;
   rc.free_fn = &Injector::free_hook;
   rc.alloc_ctx = &inj;
+  rc.trace_sample_interval = cfg.trace_sample_interval;
   Runtime rt(reg, rc);
   inj.attach(rt, scratch);
 
@@ -365,6 +366,9 @@ FaultOutcome run_one(WorkloadKind workload, const FaultPlan& plan,
   out.leaked_objects = rt.live_objects();
   out.quarantined_blocks = rt.quarantined_blocks();
   out.stats = rt.stats();
+  const observe::TraceRingStats trace = rt.trace_ring_stats();
+  out.trace_recorded = trace.recorded;
+  out.trace_dropped = trace.dropped;
   rt.free_all();  // hand quarantined blocks back before the heap dies
   return out;
 }

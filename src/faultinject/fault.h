@@ -81,6 +81,10 @@ struct FaultOutcome {
   std::size_t leaked_objects = 0;  ///< records still live after the run
   std::size_t quarantined_blocks = 0;
   RuntimeStats stats{};
+  /// Trace-ring accounting for the run (zero unless the harness enables
+  /// sampling and the runtime was built with POLAR_TRACE=ON).
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
 
   /// The fault fired and surfaced as exactly its expected class.
   [[nodiscard]] bool detected() const noexcept {
@@ -111,6 +115,10 @@ struct HarnessConfig {
   std::size_t heap_quarantine_bytes = 0;
   std::uint64_t seed = 0x5eedfa17ULL;
   std::uint32_t spec_scale = 1;
+  /// Sample every Nth runtime op into the trace ring (0 = tracing off).
+  /// Violations injected by the harness land in the ring regardless of the
+  /// sampling phase, so `fault_matrix --stats` can show the full context.
+  std::uint32_t trace_sample_interval = 0;
 };
 
 /// Runs one workload once with one injection plan and collects the

@@ -5,12 +5,15 @@
 // row fails: an injected fault that went undetected or misclassified, a
 // false positive, or a workload whose output a fault managed to change.
 //
-//   fault_matrix [--seed=N] [--heap] [--no-checksum] [--quick]
+//   fault_matrix [--seed=N] [--heap] [--no-checksum] [--quick] [--stats]
 //
 // --heap backs the runtime with the SizeClassHeap (realistic reuse
 // dynamics); --no-checksum runs the metadata-checksum ablation, under
 // which the metadata-flip rows are expected to fail — the tool reports
-// them but only counts the rows the configuration can detect.
+// them but only counts the rows the configuration can detect. --stats
+// turns on trace-ring sampling inside every run and appends a JSON
+// summary of the aggregated runtime counters and trace accounting (the
+// observability layer's view of the whole sweep; DESIGN.md §11).
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -28,10 +31,31 @@ void counting_hook(const polar::ViolationReport&, void*) {
   g_hook_reports.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// Sweep-wide aggregate for --stats: every row of every policy config
+/// folds its counters in here.
+struct SweepStats {
+  polar::RuntimeStats stats{};
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t rows = 0;
+
+  void fold(const std::vector<polar::faultinject::FaultOutcome>& outcomes) {
+    for (const auto& row : outcomes) {
+      stats.add(row.stats);
+      trace_recorded += row.trace_recorded;
+      trace_dropped += row.trace_dropped;
+      ++rows;
+    }
+  }
+};
+
+SweepStats g_sweep;
+
 bool run_config(const char* label, const polar::faultinject::HarnessConfig& cfg,
                 bool expect_metadata_detection) {
   using polar::faultinject::FaultKind;
   const auto rows = polar::faultinject::run_matrix(cfg);
+  g_sweep.fold(rows);
   std::cout << "=== policy: " << label
             << (cfg.use_heap ? " (sizeclass heap)" : "")
             << (cfg.checksum_metadata ? "" : " (checksums off)") << " ===\n";
@@ -55,6 +79,7 @@ bool run_config(const char* label, const polar::faultinject::HarnessConfig& cfg,
 int main(int argc, char** argv) {
   polar::faultinject::HarnessConfig base;
   bool quick = false;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
@@ -65,9 +90,12 @@ int main(int argc, char** argv) {
       base.checksum_metadata = false;
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--stats") {
+      stats = true;
+      base.trace_sample_interval = 64;
     } else {
       std::cerr << "usage: fault_matrix [--seed=N] [--heap] [--no-checksum]"
-                   " [--quick]\n";
+                   " [--quick] [--stats]\n";
       return 2;
     }
   }
@@ -92,6 +120,7 @@ int main(int argc, char** argv) {
             .on_report(&counting_hook, nullptr);
     g_hook_reports.store(0, std::memory_order_relaxed);
     const auto rows = polar::faultinject::run_matrix(hooked);
+    g_sweep.fold(rows);
     std::uint64_t engine_total = 0;
     for (const auto& row : rows) {
       engine_total += row.expected_reports + row.unexpected_reports;
@@ -121,5 +150,25 @@ int main(int argc, char** argv) {
   std::cout << (ok ? "fault matrix: all rows passed"
                    : "fault matrix: FAILURES above")
             << "\n";
+
+  if (stats) {
+    const polar::RuntimeStats& s = g_sweep.stats;
+    std::cout << "{\"fault_matrix_stats\": {"
+              << "\"rows\": " << g_sweep.rows
+              << ", \"allocations\": " << s.allocations
+              << ", \"frees\": " << s.frees
+              << ", \"clones\": " << s.clones
+              << ", \"member_accesses\": " << s.member_accesses
+              << ", \"cache_hits\": " << s.cache_hits
+              << ", \"uaf_detected\": " << s.uaf_detected
+              << ", \"traps_triggered\": " << s.traps_triggered
+              << ", \"metadata_faults\": " << s.metadata_faults
+              << ", \"oom_refusals\": " << s.oom_refusals
+              << ", \"quarantined_objects\": " << s.quarantined_objects
+              << ", \"trace\": {\"sample_interval\": "
+              << base.trace_sample_interval
+              << ", \"recorded\": " << g_sweep.trace_recorded
+              << ", \"dropped\": " << g_sweep.trace_dropped << "}}}\n";
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,127 @@
+#include "observe/introspect.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/layout.h"
+#include "core/runtime.h"
+
+namespace polar::observe {
+
+namespace {
+
+std::size_t entropy_band(double bits) {
+  if (bits < 0.0) return 0;
+  const double band = bits / kEntropyBandWidth;
+  return band >= static_cast<double>(kEntropyBands - 1) ? kEntropyBands - 1
+                                                        : static_cast<std::size_t>(band);
+}
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+IntrospectionReport introspect(const Runtime& rt) {
+  IntrospectionReport r;
+  const TypeRegistry& reg = rt.registry();
+  const std::size_t n_types = reg.size();
+  r.census.resize(n_types);
+  std::vector<std::unordered_set<const Layout*>> seen_layouts(n_types);
+
+  std::uint32_t id = 0;
+  for (const TypeInfo& info : reg) {
+    TypeCensusRow& row = r.census[id];
+    row.type_name = info.name;
+    row.type_id = id;
+    // permutation_space saturates at uint64 max; log2 of that reads as
+    // "64 bits", an honest floor since dummies multiply the true space.
+    row.entropy_bits = std::log2(
+        static_cast<double>(permutation_space(info, rt.config().policy)));
+    ++r.entropy_histogram[entropy_band(row.entropy_bits)];
+    ++id;
+  }
+
+  rt.for_each_live([&](const ObjectRecord& rec) {
+    const std::uint32_t t = rec.type.value;
+    if (t >= n_types) return;  // foreign/damaged record; census skips it
+    TypeCensusRow& row = r.census[t];
+    ++row.live_objects;
+    row.live_bytes += rec.layout->size;
+    seen_layouts[t].insert(rec.layout);
+    ++r.live_objects;
+  });
+  for (std::size_t i = 0; i < n_types; ++i) {
+    r.census[i].distinct_layouts = seen_layouts[i].size();
+  }
+
+  r.live_layouts = rt.live_layouts();
+  const RuntimeStats stats = rt.stats();
+  const std::uint64_t drawn = stats.layouts_created + stats.layouts_deduped;
+  r.layout_dedup_ratio =
+      drawn == 0 ? 0.0
+                 : static_cast<double>(stats.layouts_deduped) /
+                       static_cast<double>(drawn);
+  return r;
+}
+
+std::string to_json(const IntrospectionReport& r) {
+  std::string out;
+  out.reserve(1024 + r.census.size() * 160);
+  out += "{\n  \"census\": [\n";
+  for (std::size_t i = 0; i < r.census.size(); ++i) {
+    const TypeCensusRow& row = r.census[i];
+    append_fmt(out,
+               "    {\"type\": \"%s\", \"type_id\": %" PRIu32
+               ", \"live_objects\": %" PRIu64 ", \"live_bytes\": %" PRIu64
+               ", \"distinct_layouts\": %" PRIu64
+               ", \"entropy_bits\": %.2f}%s\n",
+               row.type_name.c_str(), row.type_id, row.live_objects,
+               row.live_bytes, row.distinct_layouts, row.entropy_bits,
+               i + 1 < r.census.size() ? "," : "");
+  }
+  out += "  ],\n";
+  append_fmt(out, "  \"live_objects\": %" PRIu64 ",\n", r.live_objects);
+  append_fmt(out, "  \"live_layouts\": %" PRIu64 ",\n", r.live_layouts);
+  append_fmt(out, "  \"layout_dedup_ratio\": %.4f,\n", r.layout_dedup_ratio);
+  out += "  \"entropy_histogram_bits_per_band\": 8,\n";
+  out += "  \"entropy_histogram\": [";
+  for (std::size_t i = 0; i < r.entropy_histogram.size(); ++i) {
+    append_fmt(out, "%s%" PRIu64, i == 0 ? "" : ", ", r.entropy_histogram[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string to_table(const IntrospectionReport& r) {
+  std::string out;
+  append_fmt(out, "%-24s %8s %10s %12s %9s %8s\n", "type", "live", "bytes",
+             "layouts", "entropy", "dedup%");
+  for (const TypeCensusRow& row : r.census) {
+    const double dedup_pct =
+        row.live_objects == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(row.distinct_layouts) /
+                                 static_cast<double>(row.live_objects));
+    append_fmt(out, "%-24s %8" PRIu64 " %10" PRIu64 " %12" PRIu64
+               " %8.1fb %7.1f%%\n",
+               row.type_name.c_str(), row.live_objects, row.live_bytes,
+               row.distinct_layouts, row.entropy_bits, dedup_pct);
+  }
+  append_fmt(out,
+             "total: %" PRIu64 " live objects, %" PRIu64
+             " interned layouts, dedup ratio %.3f\n",
+             r.live_objects, r.live_layouts, r.layout_dedup_ratio);
+  return out;
+}
+
+}  // namespace polar::observe

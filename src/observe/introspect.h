@@ -1,0 +1,64 @@
+// Live-state introspection — the census plane of the observability layer
+// (DESIGN.md §11).
+//
+// Where metrics.h answers "how many operations ran", introspect() answers
+// "what is alive right now and how random is it": a per-type census of
+// live objects and bytes, how many distinct layouts those objects share
+// (the dedup ratio the paper's duplicate-metadata elimination targets),
+// and the per-type randomization entropy in bits — log2 of the layout
+// permutation space reachable under the runtime's LayoutPolicy.
+//
+// Quiescent use only: the census walks Runtime::for_each_live, which has
+// the free_all/teardown contract (no concurrent mutators).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polar {
+class Runtime;
+}
+
+namespace polar::observe {
+
+/// One registered type's slice of the live set.
+struct TypeCensusRow {
+  std::string type_name;
+  std::uint32_t type_id = 0;
+  std::uint64_t live_objects = 0;
+  std::uint64_t live_bytes = 0;        ///< randomized (inflated) sizes
+  std::uint64_t distinct_layouts = 0;  ///< among this type's live objects
+  /// log2 of the permutation space reachable for this type under the
+  /// runtime's layout policy (dummies multiply the true space further).
+  double entropy_bits = 0.0;
+};
+
+/// Entropy bands for the census histogram: [0,8), [8,16), ... [56,inf).
+inline constexpr std::size_t kEntropyBands = 8;
+inline constexpr double kEntropyBandWidth = 8.0;
+
+struct IntrospectionReport {
+  /// One row per registered type (including types with zero live objects,
+  /// so entropy coverage is visible before a workload runs).
+  std::vector<TypeCensusRow> census;
+  std::uint64_t live_objects = 0;
+  std::uint64_t live_layouts = 0;  ///< interner entries (across all types)
+  /// layouts_deduped / (layouts_created + layouts_deduped), 0 when no
+  /// layout was ever drawn. The paper's duplicate-elimination win rate.
+  double layout_dedup_ratio = 0.0;
+  /// Types per entropy band (band i = [8*i, 8*(i+1)) bits, last open).
+  std::array<std::uint64_t, kEntropyBands> entropy_histogram{};
+};
+
+/// Snapshots the live set of `rt`. Quiescent use only.
+[[nodiscard]] IntrospectionReport introspect(const Runtime& rt);
+
+/// Deterministic JSON document.
+[[nodiscard]] std::string to_json(const IntrospectionReport& r);
+
+/// Human-readable fixed-width table (one row per type plus totals).
+[[nodiscard]] std::string to_table(const IntrospectionReport& r);
+
+}  // namespace polar::observe

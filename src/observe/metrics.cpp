@@ -1,0 +1,553 @@
+#include "observe/metrics.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "core/runtime.h"
+
+namespace polar::observe {
+
+namespace {
+
+/// One table drives all three exporters, so a counter added to
+/// RuntimeStats shows up in JSON, Prometheus, and the round-trip parser by
+/// adding a single row here (observe_test's aggregation test fails if the
+/// row is forgotten, because equality then ignores the new field).
+struct StatField {
+  const char* name;
+  std::uint64_t RuntimeStats::* member;
+};
+constexpr StatField kStatFields[] = {
+    {"allocations", &RuntimeStats::allocations},
+    {"frees", &RuntimeStats::frees},
+    {"memcpys", &RuntimeStats::memcpys},
+    {"clones", &RuntimeStats::clones},
+    {"member_accesses", &RuntimeStats::member_accesses},
+    {"cache_hits", &RuntimeStats::cache_hits},
+    {"fastpath_hits", &RuntimeStats::fastpath_hits},
+    {"layouts_created", &RuntimeStats::layouts_created},
+    {"layouts_deduped", &RuntimeStats::layouts_deduped},
+    {"layout_pool_refills", &RuntimeStats::layout_pool_refills},
+    {"uaf_detected", &RuntimeStats::uaf_detected},
+    {"traps_triggered", &RuntimeStats::traps_triggered},
+    {"metadata_faults", &RuntimeStats::metadata_faults},
+    {"oom_refusals", &RuntimeStats::oom_refusals},
+    {"quarantined_objects", &RuntimeStats::quarantined_objects},
+    {"bytes_requested", &RuntimeStats::bytes_requested},
+    {"bytes_allocated", &RuntimeStats::bytes_allocated},
+};
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool trailing_comma) {
+  out += "\"";
+  out += key;
+  out += "\": ";
+  append_u64(out, v);
+  if (trailing_comma) out += ",";
+  out += "\n";
+}
+
+void append_histogram_json(std::string& out, const char* key,
+                           const Log2Histogram& h, bool trailing_comma) {
+  out += "    \"";
+  out += key;
+  out += "\": {\"count\": ";
+  append_u64(out, h.count);
+  out += ", \"sum\": ";
+  append_u64(out, h.sum);
+  out += ", \"buckets\": [";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i != 0) out += ", ";
+    append_u64(out, h.buckets[i]);
+  }
+  out += "]}";
+  if (trailing_comma) out += ",";
+  out += "\n";
+}
+
+// ---- minimal JSON reader ---------------------------------------------------
+// Just enough grammar for the documents to_json emits (objects, arrays,
+// strings, unsigned integers, booleans). Not a general-purpose parser —
+// no floats, escapes, or nulls — but it rejects instead of misreading
+// anything outside that subset, which is all a round-trip gate needs.
+
+struct JsonValue {
+  enum class Kind : std::uint8_t { kBool, kUint, kString, kObject, kArray };
+  Kind kind = Kind::kUint;
+  bool b = false;
+  std::uint64_t u = 0;
+  std::string s;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse(JsonValue& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    return p_ == end_;  // trailing garbage is a parse error
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (static_cast<std::size_t>(end_ - p_) < n) return false;
+    if (std::memcmp(p_, word, n) != 0) return false;
+    p_ += n;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') return false;  // escapes never emitted, so rejected
+      out += *p_++;
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (p_ == end_) return false;
+    if (*p_ == '{') {
+      ++p_;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (p_ != end_ && *p_ == '}') {
+        ++p_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (p_ == end_ || *p_ != ':') return false;
+        ++p_;
+        JsonValue v;
+        if (!value(v)) return false;
+        out.object.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (p_ == end_) return false;
+        if (*p_ == ',') {
+          ++p_;
+          continue;
+        }
+        if (*p_ == '}') {
+          ++p_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*p_ == '[') {
+      ++p_;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (p_ != end_ && *p_ == ']') {
+        ++p_;
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!value(v)) return false;
+        out.array.push_back(std::move(v));
+        skip_ws();
+        if (p_ == end_) return false;
+        if (*p_ == ',') {
+          ++p_;
+          continue;
+        }
+        if (*p_ == ']') {
+          ++p_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*p_ == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.s);
+    }
+    if (*p_ == 't' || *p_ == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.b = *p_ == 't';
+      return literal(out.b ? "true" : "false");
+    }
+    if (std::isdigit(static_cast<unsigned char>(*p_)) != 0) {
+      out.kind = JsonValue::Kind::kUint;
+      out.u = 0;
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_)) != 0) {
+        const std::uint64_t digit = static_cast<std::uint64_t>(*p_ - '0');
+        if (out.u > (UINT64_MAX - digit) / 10) return false;  // overflow
+        out.u = out.u * 10 + digit;
+        ++p_;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+bool read_u64(const JsonValue& obj, std::string_view key, std::uint64_t& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kUint) return false;
+  out = v->u;
+  return true;
+}
+
+bool read_u32(const JsonValue& obj, std::string_view key, std::uint32_t& out) {
+  std::uint64_t wide = 0;
+  if (!read_u64(obj, key, wide) || wide > UINT32_MAX) return false;
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool read_bool(const JsonValue& obj, std::string_view key, bool& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) return false;
+  out = v->b;
+  return true;
+}
+
+bool read_histogram(const JsonValue& parent, std::string_view key,
+                    Log2Histogram& out) {
+  const JsonValue* h = parent.find(key);
+  if (h == nullptr || h->kind != JsonValue::Kind::kObject) return false;
+  if (!read_u64(*h, "count", out.count)) return false;
+  if (!read_u64(*h, "sum", out.sum)) return false;
+  const JsonValue* buckets = h->find("buckets");
+  if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray ||
+      buckets->array.size() != out.buckets.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+    const JsonValue& b = buckets->array[i];
+    if (b.kind != JsonValue::Kind::kUint) return false;
+    out.buckets[i] = b.u;
+  }
+  return true;
+}
+
+/// Upper bound of log2 bucket i (values with bit_width == i): 2^i - 1.
+std::uint64_t bucket_upper_bound(std::size_t i) {
+  return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+}
+
+void append_prometheus_histogram(std::string& out, const char* name,
+                                 const Log2Histogram& h) {
+  out += "# TYPE ";
+  out += name;
+  out += " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    cumulative += h.buckets[i];
+    // Empty tail buckets are elided (a 64-bucket page per histogram is
+    // scrape noise); cumulative semantics make elision lossless.
+    if (h.buckets[i] == 0 && i != 0) continue;
+    out += name;
+    out += "_bucket{le=\"";
+    append_u64(out, bucket_upper_bound(i));
+    out += "\"} ";
+    append_u64(out, cumulative);
+    out += "\n";
+  }
+  out += name;
+  out += "_bucket{le=\"+Inf\"} ";
+  append_u64(out, h.count);
+  out += "\n";
+  out += name;
+  out += "_sum ";
+  append_u64(out, h.sum);
+  out += "\n";
+  out += name;
+  out += "_count ";
+  append_u64(out, h.count);
+  out += "\n";
+}
+
+}  // namespace
+
+MetricsSnapshot collect_metrics(const Runtime& rt) {
+  MetricsSnapshot m;
+  m.trace_compiled_in = Runtime::trace_compiled_in();
+  m.trace_sample_interval = rt.config().trace_sample_interval;
+  m.stats = rt.stats();
+  for (std::size_t i = 0; i < kViolationClassCount; ++i) {
+    m.violation_reports[i] =
+        rt.policy_engine().reports(static_cast<Violation>(i));
+  }
+  const ShardedMetadataTable::LockStats locks = rt.lock_stats();
+  m.contention.shards = rt.shard_count();
+  m.contention.acquisitions = locks.acquisitions;
+  m.contention.contended = locks.contended;
+  m.live_objects = rt.live_objects();
+  m.live_layouts = rt.live_layouts();
+  m.quarantined_blocks = rt.quarantined_blocks();
+  m.trace = rt.trace_ring_stats();
+  m.latency = rt.latency_histograms();
+  return m;
+}
+
+std::string to_json(const MetricsSnapshot& m) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n";
+  out += "  \"polar_metrics_version\": 1,\n";
+  out += "  \"trace\": {\n";
+  out += "    \"compiled_in\": ";
+  out += m.trace_compiled_in ? "true" : "false";
+  out += ",\n    ";
+  append_kv(out, "sample_interval", m.trace_sample_interval, true);
+  out += "    ";
+  append_kv(out, "recorded", m.trace.recorded, true);
+  out += "    ";
+  append_kv(out, "stored", m.trace.stored, true);
+  out += "    ";
+  append_kv(out, "dropped", m.trace.dropped, true);
+  out += "    ";
+  append_kv(out, "threads", m.trace.threads, true);
+  out += "    \"by_kind\": {";
+  for (std::size_t i = 0; i < kTraceEventKindCount; ++i) {
+    if (i != 0) out += ", ";
+    out += "\"";
+    out += to_string(static_cast<TraceEventKind>(i));
+    out += "\": ";
+    append_u64(out, m.trace.by_kind[i]);
+  }
+  out += "}\n  },\n";
+  out += "  \"stats\": {\n";
+  for (std::size_t i = 0; i < std::size(kStatFields); ++i) {
+    out += "    ";
+    append_kv(out, kStatFields[i].name, m.stats.*kStatFields[i].member,
+              i + 1 < std::size(kStatFields));
+  }
+  out += "  },\n";
+  out += "  \"violations\": {\n";
+  for (std::size_t i = 0; i < kViolationClassCount; ++i) {
+    out += "    ";
+    append_kv(out, to_string(static_cast<Violation>(i)),
+              m.violation_reports[i], i + 1 < kViolationClassCount);
+  }
+  out += "  },\n";
+  out += "  \"contention\": {";
+  out += "\"shards\": ";
+  append_u64(out, m.contention.shards);
+  out += ", \"acquisitions\": ";
+  append_u64(out, m.contention.acquisitions);
+  out += ", \"contended\": ";
+  append_u64(out, m.contention.contended);
+  out += "},\n";
+  out += "  \"live\": {";
+  out += "\"objects\": ";
+  append_u64(out, m.live_objects);
+  out += ", \"layouts\": ";
+  append_u64(out, m.live_layouts);
+  out += ", \"quarantined_blocks\": ";
+  append_u64(out, m.quarantined_blocks);
+  out += "},\n";
+  out += "  \"latency\": {\n";
+  append_histogram_json(out, "getptr_ns", m.latency.getptr_ns, true);
+  append_histogram_json(out, "alloc_ns", m.latency.alloc_ns, false);
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool from_json(std::string_view json, MetricsSnapshot& out) {
+  JsonValue root;
+  if (!JsonReader(json).parse(root)) return false;
+  std::uint64_t version = 0;
+  if (!read_u64(root, "polar_metrics_version", version) || version != 1) {
+    return false;
+  }
+  out = MetricsSnapshot{};
+
+  const JsonValue* trace = root.find("trace");
+  if (trace == nullptr || trace->kind != JsonValue::Kind::kObject) return false;
+  if (!read_bool(*trace, "compiled_in", out.trace_compiled_in)) return false;
+  if (!read_u32(*trace, "sample_interval", out.trace_sample_interval)) return false;
+  if (!read_u64(*trace, "recorded", out.trace.recorded)) return false;
+  if (!read_u64(*trace, "stored", out.trace.stored)) return false;
+  if (!read_u64(*trace, "dropped", out.trace.dropped)) return false;
+  if (!read_u64(*trace, "threads", out.trace.threads)) return false;
+  const JsonValue* by_kind = trace->find("by_kind");
+  if (by_kind == nullptr || by_kind->kind != JsonValue::Kind::kObject) return false;
+  for (std::size_t i = 0; i < kTraceEventKindCount; ++i) {
+    if (!read_u64(*by_kind, to_string(static_cast<TraceEventKind>(i)),
+                  out.trace.by_kind[i])) {
+      return false;
+    }
+  }
+
+  const JsonValue* stats = root.find("stats");
+  if (stats == nullptr || stats->kind != JsonValue::Kind::kObject) return false;
+  for (const StatField& f : kStatFields) {
+    if (!read_u64(*stats, f.name, out.stats.*f.member)) return false;
+  }
+
+  const JsonValue* violations = root.find("violations");
+  if (violations == nullptr || violations->kind != JsonValue::Kind::kObject) {
+    return false;
+  }
+  for (std::size_t i = 0; i < kViolationClassCount; ++i) {
+    if (!read_u64(*violations, to_string(static_cast<Violation>(i)),
+                  out.violation_reports[i])) {
+      return false;
+    }
+  }
+
+  const JsonValue* contention = root.find("contention");
+  if (contention == nullptr || contention->kind != JsonValue::Kind::kObject) {
+    return false;
+  }
+  if (!read_u64(*contention, "shards", out.contention.shards)) return false;
+  if (!read_u64(*contention, "acquisitions", out.contention.acquisitions)) return false;
+  if (!read_u64(*contention, "contended", out.contention.contended)) return false;
+
+  const JsonValue* live = root.find("live");
+  if (live == nullptr || live->kind != JsonValue::Kind::kObject) return false;
+  if (!read_u64(*live, "objects", out.live_objects)) return false;
+  if (!read_u64(*live, "layouts", out.live_layouts)) return false;
+  if (!read_u64(*live, "quarantined_blocks", out.quarantined_blocks)) return false;
+
+  const JsonValue* latency = root.find("latency");
+  if (latency == nullptr || latency->kind != JsonValue::Kind::kObject) return false;
+  if (!read_histogram(*latency, "getptr_ns", out.latency.getptr_ns)) return false;
+  if (!read_histogram(*latency, "alloc_ns", out.latency.alloc_ns)) return false;
+  return true;
+}
+
+std::string to_prometheus(const MetricsSnapshot& m) {
+  std::string out;
+  out.reserve(4096);
+  for (const StatField& f : kStatFields) {
+    out += "# TYPE polar_";
+    out += f.name;
+    out += "_total counter\npolar_";
+    out += f.name;
+    out += "_total ";
+    append_u64(out, m.stats.*f.member);
+    out += "\n";
+  }
+  out += "# TYPE polar_violation_reports_total counter\n";
+  for (std::size_t i = 0; i < kViolationClassCount; ++i) {
+    // Class kNone never accumulates reports; skip its constant-zero row.
+    if (static_cast<Violation>(i) == Violation::kNone) continue;
+    out += "polar_violation_reports_total{class=\"";
+    out += to_string(static_cast<Violation>(i));
+    out += "\"} ";
+    append_u64(out, m.violation_reports[i]);
+    out += "\n";
+  }
+  out += "# TYPE polar_trace_events_total counter\n";
+  for (std::size_t i = 0; i < kTraceEventKindCount; ++i) {
+    out += "polar_trace_events_total{kind=\"";
+    out += to_string(static_cast<TraceEventKind>(i));
+    out += "\"} ";
+    append_u64(out, m.trace.by_kind[i]);
+    out += "\n";
+  }
+  out += "# TYPE polar_trace_events_dropped_total counter\n"
+         "polar_trace_events_dropped_total ";
+  append_u64(out, m.trace.dropped);
+  out += "\n";
+  out += "# TYPE polar_shard_lock_acquisitions_total counter\n"
+         "polar_shard_lock_acquisitions_total ";
+  append_u64(out, m.contention.acquisitions);
+  out += "\n";
+  out += "# TYPE polar_shard_lock_contended_total counter\n"
+         "polar_shard_lock_contended_total ";
+  append_u64(out, m.contention.contended);
+  out += "\n";
+  out += "# TYPE polar_metadata_shards gauge\npolar_metadata_shards ";
+  append_u64(out, m.contention.shards);
+  out += "\n";
+  out += "# TYPE polar_live_objects gauge\npolar_live_objects ";
+  append_u64(out, m.live_objects);
+  out += "\n";
+  out += "# TYPE polar_live_layouts gauge\npolar_live_layouts ";
+  append_u64(out, m.live_layouts);
+  out += "\n";
+  out += "# TYPE polar_quarantined_blocks gauge\npolar_quarantined_blocks ";
+  append_u64(out, m.quarantined_blocks);
+  out += "\n";
+  append_prometheus_histogram(out, "polar_getptr_latency_ns",
+                              m.latency.getptr_ns);
+  append_prometheus_histogram(out, "polar_alloc_latency_ns",
+                              m.latency.alloc_ns);
+  return out;
+}
+
+std::vector<std::string> consistency_violations(const MetricsSnapshot& m) {
+  std::vector<std::string> out;
+  auto check = [&out](bool ok, const char* what) {
+    if (!ok) out.emplace_back(what);
+  };
+  // obj_clone creates a tracked object but counts as a memcpy, not an
+  // allocation (core_test pins that semantic), so the object-count balance
+  // needs the clone counter on the left. Workloads that never clone get
+  // the plain `allocations >= frees` relation for free.
+  check(m.stats.allocations + m.stats.clones >= m.stats.frees,
+        "allocations + clones >= frees");
+  check(m.stats.clones <= m.stats.memcpys, "clones <= memcpys");
+  check(m.stats.cache_hits <= m.stats.member_accesses,
+        "cache_hits <= member_accesses");
+  check(m.stats.fastpath_hits <= m.stats.member_accesses,
+        "fastpath_hits <= member_accesses");
+  check(m.stats.bytes_allocated >= m.stats.bytes_requested,
+        "bytes_allocated >= bytes_requested (layout inflation >= 1)");
+  check(m.stats.layouts_created + m.stats.layouts_deduped >=
+            m.stats.allocations,
+        "layouts_created + layouts_deduped >= allocations");
+  check(m.trace.recorded == m.trace.stored + m.trace.dropped,
+        "trace recorded == stored + dropped");
+  check(m.contention.contended <= m.contention.acquisitions,
+        "shard lock contended <= acquisitions");
+  auto bucket_sum = [](const Log2Histogram& h) {
+    std::uint64_t n = 0;
+    for (const std::uint64_t b : h.buckets) n += b;
+    return n;
+  };
+  check(bucket_sum(m.latency.getptr_ns) == m.latency.getptr_ns.count,
+        "getptr histogram bucket sum == count");
+  check(bucket_sum(m.latency.alloc_ns) == m.latency.alloc_ns.count,
+        "alloc histogram bucket sum == count");
+  check(m.latency.getptr_ns.count <= m.stats.member_accesses,
+        "sampled getptr count <= member_accesses");
+  check(m.latency.alloc_ns.count <= m.stats.allocations,
+        "sampled alloc count <= allocations");
+  return out;
+}
+
+}  // namespace polar::observe

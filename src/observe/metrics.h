@@ -1,0 +1,88 @@
+// Metrics registry + exporters — the aggregation plane of the
+// observability layer (DESIGN.md §11).
+//
+// collect_metrics() freezes everything a Runtime knows about itself into
+// one MetricsSnapshot: the Table-III operation counters (RuntimeStats),
+// per-class violation report counts, shard-lock contention, live-set
+// gauges, trace-ring accounting, and the sampled latency histograms. The
+// snapshot is all integers, so the JSON exporter round-trips exactly:
+// from_json(to_json(m)) == m, which observe_test asserts and polar_stats
+// --selfcheck re-asserts against live workload data.
+//
+// Exporters:
+//   to_json        one deterministic JSON document (machine diffable)
+//   to_prometheus  Prometheus text exposition format, counters suffixed
+//                  _total, histograms as cumulative le-labeled buckets
+//
+// consistency_violations() checks the cross-counter invariants that must
+// hold for any snapshot taken at a quiescent point; scripts/check.sh gates
+// on it via `polar_stats --selfcheck`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.h"
+#include "core/stats.h"
+#include "observe/trace_ring.h"
+
+namespace polar {
+class Runtime;
+}
+
+namespace polar::observe {
+
+/// Shard-lock telemetry for the metadata table.
+struct ShardContention {
+  std::uint64_t shards = 0;        ///< shard count (2^shard_bits)
+  std::uint64_t acquisitions = 0;  ///< workload-path shard locks taken
+  std::uint64_t contended = 0;     ///< acquisitions that had to block
+
+  friend bool operator==(const ShardContention&,
+                         const ShardContention&) = default;
+};
+
+/// Everything collect_metrics() can see, frozen at one quiescent point.
+struct MetricsSnapshot {
+  bool trace_compiled_in = false;
+  std::uint32_t trace_sample_interval = 0;
+
+  RuntimeStats stats;
+  /// PolicyEngine::reports per Violation class, indexed like the enum.
+  std::array<std::uint64_t, kViolationClassCount> violation_reports{};
+  ShardContention contention;
+
+  std::uint64_t live_objects = 0;
+  std::uint64_t live_layouts = 0;
+  std::uint64_t quarantined_blocks = 0;
+
+  TraceRingStats trace;
+  LatencyHistograms latency;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+/// Snapshots `rt`. Same quiescence contract as Runtime::stats(): exact
+/// when no thread is mid-operation.
+[[nodiscard]] MetricsSnapshot collect_metrics(const Runtime& rt);
+
+/// Deterministic JSON document (stable key order, integers only).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& m);
+
+/// Parses a to_json() document back into a snapshot. Returns false (and
+/// leaves `out` unspecified) on malformed input or schema mismatch.
+[[nodiscard]] bool from_json(std::string_view json, MetricsSnapshot& out);
+
+/// Prometheus text exposition format (one scrape page).
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& m);
+
+/// Cross-counter invariants that must hold at quiescent points. Returns
+/// one human-readable line per violated invariant; empty = consistent.
+[[nodiscard]] std::vector<std::string> consistency_violations(
+    const MetricsSnapshot& m);
+
+}  // namespace polar::observe

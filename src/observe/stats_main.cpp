@@ -1,0 +1,254 @@
+// polar_stats — run real workloads over an instrumented runtime and export
+// the observability snapshot (DESIGN.md §11, README "Metrics & tracing").
+//
+//   polar_stats [--workload=minipng|minijpg|mjs|spec|all] [--repeat=N]
+//               [--trace-interval=N] [--live=N] [--format=json|prometheus|table]
+//               [--introspect] [--selfcheck]
+//
+// Every workload run is self-validating: its output is compared against an
+// uninstrumented DirectSpace reference, so the exported counters describe a
+// run that provably computed the right answer. --selfcheck additionally
+// gates on the snapshot's cross-counter invariants and on the JSON
+// exporter round-trip (from_json(to_json(m)) == m); scripts/check.sh runs
+// it as a tier-1 stage. Exit codes: 0 ok, 1 check/workload failure, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/session.h"
+#include "core/space.h"
+#include "observe/introspect.h"
+#include "observe/metrics.h"
+#include "workloads/minijpg.h"
+#include "workloads/minipng.h"
+#include "workloads/mjs/engine.h"
+#include "workloads/spec_suite.h"
+
+namespace {
+
+using namespace polar;
+
+enum class Format : std::uint8_t { kJson, kPrometheus, kTable };
+
+struct Options {
+  bool minipng = false;
+  bool minijpg = false;
+  bool mjs = false;
+  bool spec = false;
+  std::uint32_t repeat = 1;
+  std::uint32_t trace_interval = 64;
+  std::uint32_t live = 0;
+  Format format = Format::kJson;
+  bool introspect = false;
+  bool selfcheck = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload=minipng|minijpg|mjs|spec|all] [--repeat=N]\n"
+      "          [--trace-interval=N] [--live=N]\n"
+      "          [--format=json|prometheus|table] [--introspect] "
+      "[--selfcheck]\n",
+      argv0);
+  return 2;
+}
+
+bool parse_u32(const char* s, std::uint32_t& out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || v > 0xffffffffUL) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+constexpr const char* kScript =
+    "function mix(o, i) { o.a = o.a + i; o.b = o.b * 2 + o.a;"
+    "  return o.a + o.b; }\n"
+    "var acc = 0;\n"
+    "var i = 0;\n"
+    "while (i < 24) {\n"
+    "  var o = {a: i, b: 1};\n"
+    "  var arr = [i, i + 1, i + 2];\n"
+    "  acc = acc + mix(o, i) + arr[1];\n"
+    "  i = i + 1;\n"
+    "}\n"
+    "var result = acc;\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool any_workload = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--workload=", 11) == 0) {
+      const char* w = a + 11;
+      any_workload = true;
+      if (std::strcmp(w, "minipng") == 0) {
+        opt.minipng = true;
+      } else if (std::strcmp(w, "minijpg") == 0) {
+        opt.minijpg = true;
+      } else if (std::strcmp(w, "mjs") == 0) {
+        opt.mjs = true;
+      } else if (std::strcmp(w, "spec") == 0) {
+        opt.spec = true;
+      } else if (std::strcmp(w, "all") == 0) {
+        opt.minipng = opt.minijpg = opt.mjs = opt.spec = true;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strncmp(a, "--repeat=", 9) == 0) {
+      if (!parse_u32(a + 9, opt.repeat) || opt.repeat == 0) return usage(argv[0]);
+    } else if (std::strncmp(a, "--trace-interval=", 17) == 0) {
+      if (!parse_u32(a + 17, opt.trace_interval)) return usage(argv[0]);
+    } else if (std::strncmp(a, "--live=", 7) == 0) {
+      if (!parse_u32(a + 7, opt.live)) return usage(argv[0]);
+    } else if (std::strncmp(a, "--format=", 9) == 0) {
+      const char* f = a + 9;
+      if (std::strcmp(f, "json") == 0) {
+        opt.format = Format::kJson;
+      } else if (std::strcmp(f, "prometheus") == 0) {
+        opt.format = Format::kPrometheus;
+      } else if (std::strcmp(f, "table") == 0) {
+        opt.format = Format::kTable;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(a, "--introspect") == 0) {
+      opt.introspect = true;
+    } else if (std::strcmp(a, "--selfcheck") == 0) {
+      opt.selfcheck = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!any_workload) opt.minipng = true;  // the default tier-1 workload
+
+  TypeRegistry reg;
+  minipng::PngTypes png{};
+  minijpg::JpgTypes jpg{};
+  mjs::MjsTypes mjs_types{};
+  std::vector<spec::SpecEntry> suite;
+  if (opt.minipng) png = minipng::register_types(reg);
+  if (opt.minijpg) jpg = minijpg::register_types(reg);
+  if (opt.mjs) mjs_types = mjs::register_types(reg);
+  if (opt.spec) suite = spec::build_spec_suite(reg);
+  // Census ballast: objects of this type are held live across the
+  // introspection pass so per-type layout dedup is observable.
+  const TypeId ballast = TypeBuilder(reg, "stats.ballast")
+                             .fn_ptr("vtable")
+                             .field<std::uint64_t>("id")
+                             .ptr("next")
+                             .field<std::uint32_t>("len")
+                             .build();
+
+  RuntimeConfig rc;
+  rc.on_violation = ErrorAction::kReport;
+  rc.trace_sample_interval = opt.trace_interval;
+  Runtime rt(reg, rc);
+
+  bool workloads_ok = true;
+  for (std::uint32_t rep = 0; rep < opt.repeat; ++rep) {
+    const std::uint64_t seed = 0x57a7ULL + rep;
+    if (opt.minipng) {
+      const std::vector<std::uint8_t> image =
+          minipng::encode_test_image(16, 16, seed);
+      const std::span<const std::uint8_t> data(image.data(), image.size());
+      DirectSpace direct(reg);
+      const minipng::DecodeResult want = minipng::decode(direct, png, data);
+      SessionSpace space(rt);
+      const minipng::DecodeResult got = minipng::decode(space, png, data);
+      workloads_ok = workloads_ok && want.ok && got.ok &&
+                     got.pixel_hash == want.pixel_hash;
+    }
+    if (opt.minijpg) {
+      const std::vector<std::uint8_t> image =
+          minijpg::encode_test_image(16, 16, seed);
+      const std::span<const std::uint8_t> data(image.data(), image.size());
+      DirectSpace direct(reg);
+      const minijpg::DecodeResult want = minijpg::decode(direct, jpg, data);
+      SessionSpace space(rt);
+      const minijpg::DecodeResult got = minijpg::decode(space, jpg, data);
+      workloads_ok = workloads_ok && want.ok && got.ok &&
+                     got.sample_hash == want.sample_hash;
+    }
+    if (opt.mjs) {
+      try {
+        DirectSpace direct(reg);
+        mjs::Engine<DirectSpace> reference(direct, mjs_types);
+        const double want = reference.run(kScript).num;
+        SessionSpace space(rt);
+        mjs::Engine<SessionSpace> engine(space, mjs_types);
+        const mjs::Value got = engine.run(kScript);
+        workloads_ok = workloads_ok && got.t == mjs::Value::T::kNum &&
+                       got.num == want;
+      } catch (const std::exception&) {
+        workloads_ok = false;
+      }
+    }
+    if (opt.spec) {
+      for (const spec::SpecEntry& entry : suite) {
+        DirectSpace direct(reg);
+        const std::uint64_t want = entry.run_direct(direct, 1, seed);
+        PolarSpace space(rt);
+        workloads_ok = workloads_ok && entry.run_polar(space, 1, seed) == want;
+      }
+    }
+  }
+
+  std::vector<ObjRef> held;
+  for (std::uint32_t i = 0; i < opt.live; ++i) {
+    const Result<ObjRef> r = rt.obj_alloc(ballast);
+    if (r.ok()) held.push_back(r.value());
+  }
+
+  const observe::MetricsSnapshot m = observe::collect_metrics(rt);
+
+  int rcode = 0;
+  if (!workloads_ok) {
+    std::fprintf(stderr,
+                 "polar_stats: workload output diverged from its "
+                 "DirectSpace reference\n");
+    rcode = 1;
+  }
+  if (opt.selfcheck) {
+    for (const std::string& line : observe::consistency_violations(m)) {
+      std::fprintf(stderr, "polar_stats: inconsistent counters: %s\n",
+                   line.c_str());
+      rcode = 1;
+    }
+    observe::MetricsSnapshot round;
+    if (!observe::from_json(observe::to_json(m), round) || !(round == m)) {
+      std::fprintf(stderr,
+                   "polar_stats: JSON exporter round-trip mismatch\n");
+      rcode = 1;
+    }
+  }
+
+  switch (opt.format) {
+    case Format::kJson:
+      std::fputs(observe::to_json(m).c_str(), stdout);
+      break;
+    case Format::kPrometheus:
+      std::fputs(observe::to_prometheus(m).c_str(), stdout);
+      break;
+    case Format::kTable: {
+      // The table format leads with the introspection census; the raw
+      // counter dump is JSON/Prometheus territory.
+      std::fputs(observe::to_table(observe::introspect(rt)).c_str(), stdout);
+      break;
+    }
+  }
+  if (opt.introspect && opt.format != Format::kTable) {
+    std::fputs(observe::to_json(observe::introspect(rt)).c_str(), stdout);
+  }
+
+  for (const ObjRef& r : held) (void)rt.obj_free(r);
+  rt.free_all();
+  return rcode;
+}

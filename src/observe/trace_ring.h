@@ -1,0 +1,229 @@
+// Event tracing primitives — the data plane of the observability layer
+// (DESIGN.md §11).
+//
+// The paper's evaluation is counter-based (Table III operation counts);
+// counters answer "how many" but not "which allocation tripped the
+// violation" or "where does fast-path time go". This header provides the
+// event-level complement:
+//
+//  * TraceEvent — one fixed-size binary record (timestamp, thread, event
+//    kind, object id, type id, duration) cheap enough to write on a
+//    sampled hot path.
+//  * TraceRing — a bounded per-thread ring of TraceEvents. The producer is
+//    always the owning thread and never takes a lock; readers snapshot at
+//    quiescent points (the same contract as Runtime::stats()). Two full
+//    policies: keep-latest (wrap, overwriting the oldest) or keep-oldest
+//    (drop new arrivals); either way every lost event is counted, so the
+//    accounting identity recorded == stored + dropped always holds.
+//  * Log2Histogram — power-of-two latency buckets for the sampled
+//    getptr/alloc durations; aggregates across threads with add().
+//
+// Everything here compiles unconditionally (tests exercise the ring even
+// in no-trace builds); only the runtime's hot-path *hooks* are guarded by
+// POLAR_TRACE_ENABLED, so a no-trace build's member-access path is
+// bit-identical to the pre-observability runtime.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace polar::observe {
+
+/// Which runtime site emitted an event.
+enum class TraceEventKind : std::uint8_t {
+  kAlloc,            ///< obj_alloc (sampled; duration = whole allocation)
+  kFree,             ///< obj_free (sampled)
+  kGetptrFast,       ///< member access resolved by cache or seqlock mirror
+  kGetptrSlow,       ///< member access that fell to the shard-locked path
+  kViolation,        ///< policy engine report (always recorded, not sampled;
+                     ///< detail = the Violation class)
+  kQuarantineDrain,  ///< free_all handed parked blocks back (object_id =
+                     ///< number of blocks drained)
+  kLayoutRefill,     ///< a thread's per-type layout pool was refilled
+                     ///< (object_id = layouts generated)
+};
+inline constexpr std::size_t kTraceEventKindCount = 7;
+
+[[nodiscard]] constexpr const char* to_string(TraceEventKind k) noexcept {
+  switch (k) {
+    case TraceEventKind::kAlloc: return "alloc";
+    case TraceEventKind::kFree: return "free";
+    case TraceEventKind::kGetptrFast: return "getptr-fast";
+    case TraceEventKind::kGetptrSlow: return "getptr-slow";
+    case TraceEventKind::kViolation: return "violation";
+    case TraceEventKind::kQuarantineDrain: return "quarantine-drain";
+    case TraceEventKind::kLayoutRefill: return "layout-refill";
+  }
+  return "?";
+}
+
+/// Monotonic tick source for event timestamps and durations. Nanoseconds
+/// on every platform this repo targets (steady_clock's period is nano).
+[[nodiscard]] inline std::uint64_t trace_clock() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+/// One fixed-size binary trace record. 40 bytes so a 4096-entry ring is
+/// 160 KiB per tracing thread — bounded by construction, never growing.
+struct TraceEvent {
+  std::uint64_t timestamp = 0;  ///< trace_clock() at the event
+  std::uint64_t thread = 0;     ///< numeric id of the emitting thread
+  std::uint64_t object_id = 0;  ///< allocation id (or a kind-specific count)
+  std::uint32_t type = 0xffffffff;  ///< TypeId::value, 0xffffffff = none
+  std::uint32_t duration = 0;       ///< ticks, saturated at 2^32-1; 0 = unmeasured
+  TraceEventKind kind = TraceEventKind::kAlloc;
+  std::uint8_t detail = 0;  ///< Violation class for kViolation, else 0
+  std::uint16_t reserved = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+static_assert(sizeof(TraceEvent) == 40, "TraceEvent is a wire format");
+
+/// Accounting snapshot of one or more rings (see Runtime::trace_ring_stats
+/// — per-ring numbers are summed across threads).
+struct TraceRingStats {
+  std::uint64_t recorded = 0;  ///< push() calls (stored + dropped)
+  std::uint64_t stored = 0;    ///< events that entered a ring slot
+  std::uint64_t dropped = 0;   ///< overwritten (keep-latest) or refused
+                               ///< (keep-oldest) events
+  std::uint64_t threads = 0;   ///< rings aggregated into this snapshot
+  /// push() calls per event kind, including dropped ones.
+  std::array<std::uint64_t, kTraceEventKindCount> by_kind{};
+
+  void add(const TraceRingStats& o) noexcept {
+    recorded += o.recorded;
+    stored += o.stored;
+    dropped += o.dropped;
+    threads += o.threads;
+    for (std::size_t i = 0; i < by_kind.size(); ++i) by_kind[i] += o.by_kind[i];
+  }
+
+  friend bool operator==(const TraceRingStats&,
+                         const TraceRingStats&) = default;
+};
+
+/// Bounded single-producer event ring. The owning thread pushes without
+/// locks or atomics; snapshot()/stats() are for quiescent readers (the
+/// aggregation side holds the runtime's thread-registry mutex, so two
+/// aggregators never race each other — only a still-running producer
+/// would, which the quiescence contract excludes).
+class TraceRing {
+ public:
+  /// What to do when the ring is full.
+  enum class Mode : std::uint8_t {
+    kKeepLatest,  ///< overwrite the oldest event (post-mortem posture:
+                  ///< the most recent history explains the failure)
+    kKeepOldest,  ///< drop the new event (profiling posture: the steady
+                  ///< state beginning is what's being measured)
+  };
+
+  /// `capacity` must be zero (a counting-only ring that stores nothing —
+  /// used when tracing is runtime-disabled so no memory is committed) or a
+  /// power of two.
+  explicit TraceRing(std::uint32_t capacity = 0, Mode mode = Mode::kKeepLatest)
+      : slots_(capacity), mode_(mode) {}
+
+  void push(const TraceEvent& e) noexcept {
+    ++recorded_;
+    ++by_kind_[static_cast<std::size_t>(e.kind)];
+    if (slots_.empty()) {
+      ++dropped_;
+      return;
+    }
+    if (mode_ == Mode::kKeepOldest && head_ >= slots_.size()) {
+      ++dropped_;
+      return;
+    }
+    if (mode_ == Mode::kKeepLatest && head_ >= slots_.size()) {
+      ++dropped_;  // the slot being reused held an event now lost
+    }
+    slots_[head_ & (slots_.size() - 1)] = e;
+    ++head_;
+  }
+
+  /// Appends the stored events, oldest first, to `out`.
+  void snapshot(std::vector<TraceEvent>& out) const {
+    const std::uint64_t n =
+        head_ < slots_.size() ? head_ : static_cast<std::uint64_t>(slots_.size());
+    const std::uint64_t first = head_ - n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out.push_back(slots_[(first + i) & (slots_.size() - 1)]);
+    }
+  }
+
+  [[nodiscard]] TraceRingStats stats() const noexcept {
+    TraceRingStats s;
+    s.recorded = recorded_;
+    s.dropped = dropped_;
+    s.stored = recorded_ - dropped_;
+    s.threads = 1;
+    s.by_kind = by_kind_;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Events currently held (min(events stored, capacity)).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return head_ < slots_.size() ? static_cast<std::size_t>(head_)
+                                 : slots_.size();
+  }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::uint64_t head_ = 0;      ///< events written into slots (monotonic)
+  std::uint64_t recorded_ = 0;  ///< push() calls
+  std::uint64_t dropped_ = 0;   ///< events lost (either mode)
+  std::array<std::uint64_t, kTraceEventKindCount> by_kind_{};
+  Mode mode_;
+};
+
+/// Power-of-two latency histogram: bucket i counts values whose bit width
+/// is i (i.e. v in [2^(i-1), 2^i)), bucket 0 counts zeros. 64 buckets
+/// cover the full uint64 range, so record() never branches on range.
+struct Log2Histogram {
+  std::array<std::uint64_t, 64> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  [[nodiscard]] static constexpr std::uint32_t bucket_of(
+      std::uint64_t v) noexcept {
+    return v == 0 ? 0u
+                  : (std::bit_width(v) > 63 ? 63u
+                                            : static_cast<std::uint32_t>(
+                                                  std::bit_width(v)));
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++count;
+    sum += v;
+    ++buckets[bucket_of(v)];
+  }
+
+  void add(const Log2Histogram& o) noexcept {
+    count += o.count;
+    sum += o.sum;
+    for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += o.buckets[i];
+  }
+
+  friend bool operator==(const Log2Histogram&, const Log2Histogram&) = default;
+};
+
+/// The two hot-path latency distributions the runtime samples.
+struct LatencyHistograms {
+  Log2Histogram getptr_ns;
+  Log2Histogram alloc_ns;
+
+  void add(const LatencyHistograms& o) noexcept {
+    getptr_ns.add(o.getptr_ns);
+    alloc_ns.add(o.alloc_ns);
+  }
+
+  friend bool operator==(const LatencyHistograms&,
+                         const LatencyHistograms&) = default;
+};
+
+}  // namespace polar::observe

@@ -1,0 +1,444 @@
+// Tests for the observability layer (DESIGN.md §11): the trace ring and
+// histogram primitives, the runtime's sampled instrumentation, the metrics
+// registry's exporters (including the JSON round-trip the --selfcheck gate
+// relies on), the consistency invariants, and the live-set introspection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/type_registry.h"
+#include "observe/introspect.h"
+#include "observe/metrics.h"
+#include "observe/trace_ring.h"
+
+namespace polar {
+namespace {
+
+using observe::Log2Histogram;
+using observe::TraceEvent;
+using observe::TraceEventKind;
+using observe::TraceRing;
+
+TypeId make_people(TypeRegistry& reg) {
+  return TypeBuilder(reg, "People")
+      .field<std::uint64_t>("id")
+      .field<int>("age")
+      .field<int>("score")
+      .build();
+}
+
+// ------------------------------------------------------------- primitives
+
+TEST(Log2Histogram, BucketBoundaries) {
+  Log2Histogram h;
+  EXPECT_EQ(h.bucket_of(0), 0u);
+  EXPECT_EQ(h.bucket_of(1), 1u);
+  EXPECT_EQ(h.bucket_of(2), 2u);
+  EXPECT_EQ(h.bucket_of(3), 2u);
+  EXPECT_EQ(h.bucket_of(4), 3u);
+  EXPECT_EQ(h.bucket_of(255), 8u);
+  EXPECT_EQ(h.bucket_of(256), 9u);
+  EXPECT_EQ(h.bucket_of(~0ULL), 63u);
+}
+
+TEST(Log2Histogram, RecordAccumulatesCountAndSum) {
+  Log2Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 10u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[3], 2u);  // 5 -> bucket 3 ([4, 8))
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : h.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, h.count);
+}
+
+TEST(Log2Histogram, AddMergesAndEqualityIsFieldWise) {
+  Log2Histogram a;
+  Log2Histogram b;
+  a.record(7);
+  b.record(7);
+  EXPECT_TRUE(a == b);
+  b.record(100);
+  EXPECT_FALSE(a == b);
+  a.add(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 114u);
+}
+
+TEST(TraceRing, CapacityZeroCountsWithoutStoring) {
+  TraceRing ring(0, TraceRing::Mode::kKeepLatest);
+  TraceEvent e{};
+  e.kind = TraceEventKind::kAlloc;
+  for (int i = 0; i < 5; ++i) ring.push(e);
+  const observe::TraceRingStats s = ring.stats();
+  EXPECT_EQ(s.recorded, 5u);
+  EXPECT_EQ(s.stored, 0u);
+  EXPECT_EQ(s.dropped, 5u);
+  EXPECT_EQ(s.by_kind[static_cast<std::size_t>(TraceEventKind::kAlloc)], 5u);
+  std::vector<TraceEvent> out;
+  ring.snapshot(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceRing, KeepLatestOverwritesOldest) {
+  TraceRing ring(16, TraceRing::Mode::kKeepLatest);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    TraceEvent e{};
+    e.kind = TraceEventKind::kFree;
+    e.object_id = i;
+    ring.push(e);
+  }
+  const observe::TraceRingStats s = ring.stats();
+  EXPECT_EQ(s.recorded, 40u);
+  EXPECT_EQ(s.stored, 16u);
+  EXPECT_EQ(s.dropped, 24u);
+  EXPECT_EQ(s.recorded, s.stored + s.dropped);
+  std::vector<TraceEvent> out;
+  ring.snapshot(out);
+  ASSERT_EQ(out.size(), 16u);
+  // Oldest-first snapshot of the 16 NEWEST events: ids 24..39.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].object_id, 24u + i);
+  }
+}
+
+TEST(TraceRing, KeepOldestDropsNew) {
+  TraceRing ring(16, TraceRing::Mode::kKeepOldest);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    TraceEvent e{};
+    e.kind = TraceEventKind::kViolation;
+    e.object_id = i;
+    ring.push(e);
+  }
+  const observe::TraceRingStats s = ring.stats();
+  EXPECT_EQ(s.recorded, 40u);
+  EXPECT_EQ(s.stored, 16u);
+  EXPECT_EQ(s.dropped, 24u);
+  std::vector<TraceEvent> out;
+  ring.snapshot(out);
+  ASSERT_EQ(out.size(), 16u);
+  // The FIRST 16 events survive: ids 0..15.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].object_id, i);
+  }
+}
+
+TEST(TraceRing, EventKindNamesRoundTrip) {
+  for (std::size_t k = 0; k < observe::kTraceEventKindCount; ++k) {
+    const char* name = observe::to_string(static_cast<TraceEventKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+// ---------------------------------------------------------- RuntimeStats
+
+TEST(RuntimeStats, AddAggregatesEveryField) {
+  // One distinct prime per field so a missed field breaks the sum.
+  RuntimeStats a;
+  a.allocations = 2;
+  a.frees = 3;
+  a.memcpys = 5;
+  a.clones = 7;
+  a.member_accesses = 11;
+  a.cache_hits = 13;
+  a.fastpath_hits = 17;
+  a.layouts_created = 19;
+  a.layouts_deduped = 23;
+  a.layout_pool_refills = 29;
+  a.uaf_detected = 31;
+  a.traps_triggered = 37;
+  a.metadata_faults = 41;
+  a.oom_refusals = 43;
+  a.quarantined_objects = 47;
+  a.bytes_requested = 53;
+  a.bytes_allocated = 59;
+  RuntimeStats b = a;
+  b.add(a);
+  RuntimeStats doubled = a;
+  doubled.allocations *= 2;
+  doubled.frees *= 2;
+  doubled.memcpys *= 2;
+  doubled.clones *= 2;
+  doubled.member_accesses *= 2;
+  doubled.cache_hits *= 2;
+  doubled.fastpath_hits *= 2;
+  doubled.layouts_created *= 2;
+  doubled.layouts_deduped *= 2;
+  doubled.layout_pool_refills *= 2;
+  doubled.uaf_detected *= 2;
+  doubled.traps_triggered *= 2;
+  doubled.metadata_faults *= 2;
+  doubled.oom_refusals *= 2;
+  doubled.quarantined_objects *= 2;
+  doubled.bytes_requested *= 2;
+  doubled.bytes_allocated *= 2;
+  EXPECT_TRUE(b == doubled);
+}
+
+TEST(RuntimeStats, ResetZeroesEveryField) {
+  RuntimeStats a;
+  a.allocations = 1;
+  a.clones = 2;
+  a.bytes_allocated = 3;
+  a.reset();
+  EXPECT_TRUE(a == RuntimeStats{});
+}
+
+// ------------------------------------------------------- runtime tracing
+
+RuntimeConfig traced_config(std::uint32_t interval) {
+  RuntimeConfig cfg;
+  cfg.seed = 2026;
+  cfg.on_violation = ErrorAction::kReport;
+  cfg.trace_sample_interval = interval;
+  return cfg;
+}
+
+TEST(RuntimeTracing, ConfigRejectsBadRingCapacity) {
+  RuntimeConfig cfg = traced_config(8);
+  cfg.trace_ring_capacity = 48;  // not a power of two
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.trace_ring_capacity = 8;  // below the floor
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.trace_ring_capacity = 1u << 21;  // above the ceiling
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.trace_ring_capacity = 4096;
+  EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(RuntimeTracing, IntervalZeroRecordsNothing) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(0));
+  void* p = rt.olr_malloc(people);
+  (void)rt.olr_getptr(p, 1);
+  rt.olr_free(p);
+  EXPECT_TRUE(rt.trace_events().empty());
+  EXPECT_EQ(rt.trace_ring_stats().recorded, 0u);
+  EXPECT_EQ(rt.latency_histograms().getptr_ns.count, 0u);
+}
+
+TEST(RuntimeTracing, IntervalOneRecordsEveryOpKind) {
+  if (!Runtime::trace_compiled_in()) GTEST_SKIP() << "POLAR_TRACE=OFF build";
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(1));
+  void* p = rt.olr_malloc(people);
+  for (int i = 0; i < 4; ++i) (void)rt.olr_getptr(p, 1);
+  rt.olr_free(p);
+  const std::vector<observe::TraceEvent> events = rt.trace_events();
+  std::set<TraceEventKind> kinds;
+  for (const observe::TraceEvent& e : events) kinds.insert(e.kind);
+  EXPECT_TRUE(kinds.count(TraceEventKind::kAlloc));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kFree));
+  // The getptr twin classifies each access as fast or slow; either way at
+  // least one member-access event must be present.
+  EXPECT_TRUE(kinds.count(TraceEventKind::kGetptrFast) ||
+              kinds.count(TraceEventKind::kGetptrSlow));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kLayoutRefill));
+  const observe::LatencyHistograms lat = rt.latency_histograms();
+  EXPECT_EQ(lat.getptr_ns.count, 4u);
+  EXPECT_EQ(lat.alloc_ns.count, 1u);
+  // Events carry a timestamp and one consistent producer thread tag.
+  ASSERT_FALSE(events.empty());
+  for (const observe::TraceEvent& e : events) {
+    EXPECT_GT(e.timestamp, 0u);
+    EXPECT_EQ(e.thread, events.front().thread);
+  }
+}
+
+TEST(RuntimeTracing, SamplingRecordsRoughlyOneInN) {
+  if (!Runtime::trace_compiled_in()) GTEST_SKIP() << "POLAR_TRACE=OFF build";
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(4));
+  void* p = rt.olr_malloc(people);
+  const int kAccesses = 400;
+  for (int i = 0; i < kAccesses; ++i) (void)rt.olr_getptr(p, 1);
+  rt.olr_free(p);
+  const std::uint64_t sampled = rt.latency_histograms().getptr_ns.count;
+  // The countdown is shared across op kinds, so allow slack around N/4.
+  EXPECT_GE(sampled, static_cast<std::uint64_t>(kAccesses / 4 - 3));
+  EXPECT_LE(sampled, static_cast<std::uint64_t>(kAccesses / 4 + 3));
+}
+
+TEST(RuntimeTracing, ViolationsRecordedRegardlessOfSamplingPhase) {
+  if (!Runtime::trace_compiled_in()) GTEST_SKIP() << "POLAR_TRACE=OFF build";
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  // Interval so large the countdown never fires during this test; the
+  // violation sink must still land its event in the ring.
+  Runtime rt(reg, traced_config(1000000));
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  EXPECT_EQ(rt.olr_getptr(p, 1), nullptr);  // use-after-free
+  const std::vector<observe::TraceEvent> events = rt.trace_events();
+  const auto it = std::find_if(
+      events.begin(), events.end(), [](const observe::TraceEvent& e) {
+        return e.kind == TraceEventKind::kViolation;
+      });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(static_cast<Violation>(it->detail), Violation::kUseAfterFree);
+}
+
+TEST(RuntimeTracing, RingStatsBalance) {
+  if (!Runtime::trace_compiled_in()) GTEST_SKIP() << "POLAR_TRACE=OFF build";
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  RuntimeConfig cfg = traced_config(1);
+  cfg.trace_ring_capacity = 16;  // force overflow
+  Runtime rt(reg, cfg);
+  std::vector<void*> objs;
+  for (int i = 0; i < 64; ++i) objs.push_back(rt.olr_malloc(people));
+  for (void* p : objs) rt.olr_free(p);
+  const observe::TraceRingStats s = rt.trace_ring_stats();
+  EXPECT_GE(s.recorded, 128u);  // 64 allocs + 64 frees at least
+  EXPECT_EQ(s.recorded, s.stored + s.dropped);
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_EQ(rt.trace_events().size(), s.stored);
+}
+
+// ------------------------------------------------------ metrics exporters
+
+TEST(Metrics, JsonRoundTripIsExact) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(Runtime::trace_compiled_in() ? 2 : 0));
+  std::vector<void*> objs;
+  for (int i = 0; i < 32; ++i) objs.push_back(rt.olr_malloc(people));
+  for (void* p : objs) {
+    for (int f = 0; f < 3; ++f) (void)rt.olr_getptr(p, f);
+  }
+  rt.olr_free(objs.back());
+  objs.pop_back();
+  (void)rt.olr_getptr(nullptr, 0);  // one violation for the report table
+
+  const observe::MetricsSnapshot m = observe::collect_metrics(rt);
+  observe::MetricsSnapshot round;
+  ASSERT_TRUE(observe::from_json(observe::to_json(m), round));
+  EXPECT_TRUE(round == m);
+  EXPECT_TRUE(round.stats == m.stats);
+
+  for (void* p : objs) rt.olr_free(p);
+}
+
+TEST(Metrics, FromJsonRejectsGarbage) {
+  observe::MetricsSnapshot out;
+  EXPECT_FALSE(observe::from_json("", out));
+  EXPECT_FALSE(observe::from_json("{", out));
+  EXPECT_FALSE(observe::from_json("[1,2,3]", out));
+  EXPECT_FALSE(observe::from_json("{\"polar_metrics_version\": 2}", out));
+  EXPECT_FALSE(observe::from_json("{\"polar_metrics_version\": 1} trailing",
+                                  out));
+}
+
+TEST(Metrics, PrometheusExportNamesEveryCounterFamily) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(0));
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  const std::string text =
+      observe::to_prometheus(observe::collect_metrics(rt));
+  EXPECT_NE(text.find("polar_allocations_total 1"), std::string::npos);
+  EXPECT_NE(text.find("polar_frees_total 1"), std::string::npos);
+  EXPECT_NE(text.find("polar_violation_reports_total{class="),
+            std::string::npos);
+  EXPECT_NE(text.find("polar_trace_events_total{kind=\"alloc\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("polar_metadata_shards "), std::string::npos);
+  EXPECT_NE(text.find("polar_getptr_latency_ns_count"), std::string::npos);
+  EXPECT_NE(text.find("polar_alloc_latency_ns_sum"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Metrics, ConsistencyCleanOnRealSnapshotDirtyOnCorrupted) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(Runtime::trace_compiled_in() ? 1 : 0));
+  std::vector<void*> objs;
+  for (int i = 0; i < 8; ++i) objs.push_back(rt.olr_malloc(people));
+  for (void* p : objs) (void)rt.olr_getptr(p, 0);
+  for (void* p : objs) rt.olr_free(p);
+  observe::MetricsSnapshot m = observe::collect_metrics(rt);
+  EXPECT_TRUE(observe::consistency_violations(m).empty());
+
+  m.stats.frees = m.stats.allocations + m.stats.clones + 1;
+  m.stats.cache_hits = m.stats.member_accesses + 1;
+  const std::vector<std::string> bad = observe::consistency_violations(m);
+  EXPECT_GE(bad.size(), 2u);
+}
+
+TEST(Metrics, ShardLockStatsCountUncontendedAcquisitions) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(0));
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  const ShardedMetadataTable::LockStats ls = rt.lock_stats();
+  EXPECT_GT(ls.acquisitions, 0u);
+  EXPECT_EQ(ls.contended, 0u);  // single thread never waits
+  EXPECT_GT(rt.shard_count(), 0u);
+}
+
+// ---------------------------------------------------------- introspection
+
+TEST(Introspect, CensusCountsLiveObjectsPerType) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  const TypeId other = TypeBuilder(reg, "Other").field<int>("x").build();
+  Runtime rt(reg, traced_config(0));
+  std::vector<void*> objs;
+  for (int i = 0; i < 12; ++i) objs.push_back(rt.olr_malloc(people));
+  void* o = rt.olr_malloc(other);
+
+  const observe::IntrospectionReport r = observe::introspect(rt);
+  ASSERT_EQ(r.census.size(), 2u);
+  EXPECT_EQ(r.census[people.value].type_name, "People");
+  EXPECT_EQ(r.census[people.value].live_objects, 12u);
+  EXPECT_GT(r.census[people.value].live_bytes, 0u);
+  EXPECT_GE(r.census[people.value].distinct_layouts, 2u);
+  EXPECT_EQ(r.census[other.value].live_objects, 1u);
+  EXPECT_EQ(r.live_objects, 13u);
+  EXPECT_EQ(r.live_objects, rt.live_objects());
+  EXPECT_GT(r.census[people.value].entropy_bits, 0.0);
+
+  // Every registered type lands in exactly one entropy band.
+  std::uint64_t banded = 0;
+  for (const std::uint64_t b : r.entropy_histogram) banded += b;
+  EXPECT_EQ(banded, 2u);
+
+  const std::string json = observe::to_json(r);
+  EXPECT_NE(json.find("\"People\""), std::string::npos);
+  const std::string table = observe::to_table(r);
+  EXPECT_NE(table.find("People"), std::string::npos);
+
+  rt.olr_free(o);
+  for (void* p : objs) rt.olr_free(p);
+}
+
+TEST(Introspect, ForEachLiveMatchesLiveObjects) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(0));
+  std::vector<void*> objs;
+  for (int i = 0; i < 9; ++i) objs.push_back(rt.olr_malloc(people));
+  std::size_t n = 0;
+  rt.for_each_live([&](const ObjectRecord& rec) {
+    EXPECT_EQ(rec.type.value, people.value);
+    ++n;
+  });
+  EXPECT_EQ(n, rt.live_objects());
+  for (void* p : objs) rt.olr_free(p);
+}
+
+}  // namespace
+}  // namespace polar
