@@ -2,7 +2,7 @@
 // every lookup plus the violation-policy engine on the detection path.
 //
 // Runs the same single-threaded alloc/access/free churn three ways —
-// checksums off (the perf ablation RuntimeConfig::checksum_metadata
+// checksums off (the perf ablation BackendOptions::checksum
 // exists for), checksums on (the default), and checksums on with a custom
 // hook policy — and reports each configuration's overhead against the
 // ablation baseline as JSON. The fault-free churn never reports a
@@ -62,7 +62,7 @@ double best_seconds(const Config& c, const TypeRegistry& reg, TypeId type,
   for (unsigned r = 0; r < repeats; ++r) {
     RuntimeConfig cfg;
     cfg.seed = 7;
-    cfg.checksum_metadata = c.checksum;
+    cfg.backend.options.checksum = c.checksum;
     if (c.hook_policy) {
       cfg.violation_policy =
           ViolationPolicy::uniform(ViolationAction::kHook)

@@ -75,10 +75,8 @@ double getptr_mops(const TraceMode& mode, std::size_t live,
   RuntimeConfig cfg;
   cfg.on_violation = ErrorAction::kAbort;  // any violation is a bench bug
   cfg.enable_cache = false;                // isolate the lookup machinery
-  cfg.enable_pagemap = true;
-  cfg.lockfree_reads = true;
-  cfg.checksum_metadata = false;
-  cfg.layout_pool_chunk = 8;
+  cfg.backend = BackendConfig::stored();  // pagemap + seqlock + layout pool
+  cfg.backend.options.checksum = false;
   cfg.trace_sample_interval = mode.interval;
   Runtime rt(reg, cfg);
   std::vector<void*> objs(live);

@@ -8,7 +8,7 @@
 #include <map>
 #include <vector>
 
-#include "core/runtime.h"
+#include "core/session.h"
 
 using namespace polar;
 
@@ -94,11 +94,14 @@ int main() {
     cfg.dedup_layouts = dedup;
     cfg.seed = 5;
     Runtime rt(registry, cfg);
-    std::vector<void*> objs;
-    for (int i = 0; i < 10000; ++i) objs.push_back(rt.olr_malloc(small));
+    Session session(rt);
+    std::vector<ObjRef> objs;
+    for (int i = 0; i < 10000; ++i) {
+      objs.push_back(session.create(small).value());
+    }
     std::printf("  dedup %-3s -> %5zu layout records for 10000 objects\n",
                 dedup ? "on" : "off", rt.live_layouts());
-    for (void* p : objs) rt.olr_free(p);
+    for (const ObjRef& r : objs) (void)session.destroy(r);
   }
   std::printf(
       "\ntakeaway: permutations alone give log2(n!) bits; dummy insertion\n"

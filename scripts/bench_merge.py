@@ -21,11 +21,13 @@ import re
 import sys
 from pathlib import Path
 
-# Version of the merged document. v2: neutral "BENCH" top-level tag
-# (previously the PR-specific "BENCH_pr4") and the trace_overhead section.
-MERGED_SCHEMA_VERSION = 2
+# Version of the merged document. v3: the randomization-backend ladder
+# grew stateless and hybrid rows (getptr schema v2, typed-handle
+# measurement loop). v2: neutral "BENCH" top-level tag (previously the
+# PR-specific "BENCH_pr4") and the trace_overhead section.
+MERGED_SCHEMA_VERSION = 3
 # Versions of the individual bench binaries' native outputs.
-GETPTR_SCHEMA_VERSION = 1
+GETPTR_SCHEMA_VERSION = 2
 TRACE_SCHEMA_VERSION = 1
 
 # The ablation ladder bench_getptr must emit, in order.
@@ -37,6 +39,8 @@ EXPECTED_MODES = [
     "layout_pool_only",
     "full",
     "full_checksum",
+    "stateless",
+    "hybrid",
 ]
 
 MODE_FIELDS = {
@@ -207,6 +211,12 @@ def main():
               by_name["full"]["speedup_vs_hash_locked"],
               by_name["seqlock"]["speedup_vs_pre_pr_default"],
               by_name["full"]["speedup_vs_pre_pr_default"]))
+    print("bench_merge: stateless %.2f Mops vs seqlock %.2f Mops; "
+          "full_checksum %.2f Mops vs full %.2f Mops (digest-in-seqword)"
+          % (by_name["stateless"]["getptr_mops"],
+             by_name["seqlock"]["getptr_mops"],
+             by_name["full_checksum"]["getptr_mops"],
+             by_name["full"]["getptr_mops"]))
     trace = {m["name"]: m for m in merged["trace_overhead"]["modes"]}
     # Informational, not a hard gate: smoke runs on shared CI cores are too
     # noisy to fail on; the full-iteration run is where the <3% bar is read.

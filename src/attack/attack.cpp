@@ -264,6 +264,10 @@ struct PolarWorld {
     RuntimeConfig rc;
     rc.policy = cfg.policy;
     rc.on_violation = ErrorAction::kReport;
+    // Attack outcomes quantify per-allocation stored randomization (layout
+    // variance across reallocations, metadata-leak bypass); pin the backend
+    // so a POLAR_BACKEND override doesn't change what is being measured.
+    rc.backend = BackendConfig::stored();
     rc.seed = cfg.seed ^ 0x90a1;
     rc.alloc_fn = SizeClassHeap::alloc_hook;
     rc.free_fn = SizeClassHeap::free_hook;

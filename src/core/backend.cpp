@@ -1,0 +1,100 @@
+#include "core/backend.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "support/rng.h"
+
+namespace polar {
+
+const char* to_string(BackendKind k) noexcept {
+  switch (k) {
+    case BackendKind::kStored: return "stored";
+    case BackendKind::kStateless: return "stateless";
+    case BackendKind::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+bool parse_backend(std::string_view name, BackendKind& out) noexcept {
+  if (name == "stored") {
+    out = BackendKind::kStored;
+  } else if (name == "stateless") {
+    out = BackendKind::kStateless;
+  } else if (name == "hybrid") {
+    out = BackendKind::kHybrid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+BackendKind env_backend_kind() noexcept {
+  static const BackendKind kind = [] {
+    const char* e = std::getenv("POLAR_BACKEND");
+    BackendKind k = BackendKind::kStored;
+    if (e != nullptr) (void)parse_backend(e, k);
+    return k;
+  }();
+  return kind;
+}
+
+Result<void> BackendConfig::validate() const noexcept {
+  if (options.layout_pool_chunk == 0 || options.layout_pool_chunk > 1024) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
+  if (kind == BackendKind::kStored) return Result<void>{};
+  // Derived (stateless/hybrid) kinds. Checksumming is incoherent — there
+  // is no per-object stored layout the checksum could protect — and the
+  // pagemap is mandatory: liveness registration (free, legacy handles,
+  // enumeration) lives there.
+  if (options.checksum || !options.pagemap) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
+  if (options.schedule_bits == 0 || options.schedule_bits > 16) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
+  return Result<void>{};
+}
+
+StatelessSchedule::StatelessSchedule(const TypeInfo& info,
+                                     const LayoutPolicy& policy,
+                                     std::uint64_t type_seed,
+                                     std::uint32_t schedule_bits)
+    : type_seed_(type_seed),
+      field_count_(info.field_count()),
+      stride_(std::max<std::uint32_t>(1, info.field_count())) {
+  const std::size_t n = std::size_t{1} << schedule_bits;
+  mask_ = n - 1;
+  // The schedule's RNG stream is its own domain, keyed only by the type
+  // seed: layouts here are independent of (and do not perturb) the
+  // per-thread draw sequences the stored backend consumes.
+  Rng rng(mix64(type_seed ^ 0x5c4e'd01e'0f75'ee1dULL));
+  layouts_.reserve(n);
+  LayoutBatcher batcher;
+  batcher.generate(info, policy, rng, n, layouts_);
+  // Pad every entry to the schedule-wide maximum size so the allocation
+  // size of an object is independent of which entry its base selects.
+  std::uint32_t max_size = 1;
+  for (const Layout& l : layouts_) max_size = std::max(max_size, l.size);
+  alloc_size_ = max_size;
+  offsets_ = std::make_unique<StableOffsetsPool::Word[]>(n * stride_);
+  for (std::size_t i = 0; i < n; ++i) {
+    Layout& l = layouts_[i];
+    l.size = max_size;
+    l.hash = l.compute_hash();
+    for (std::uint32_t f = 0; f < field_count_; ++f) {
+      offsets_[i * stride_ + f].store(l.offsets[f],
+                                      std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t StatelessSchedule::distinct_layouts() const noexcept {
+  std::unordered_set<std::uint64_t> hashes;
+  for (const Layout& l : layouts_) hashes.insert(l.hash);
+  return hashes.size();
+}
+
+}  // namespace polar

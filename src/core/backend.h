@@ -1,0 +1,229 @@
+// Pluggable randomization backends — the LayoutBackend abstraction.
+//
+// POLaR as described in the paper is a *stored-state* design: every
+// allocation draws a layout, interns it, and records the (base -> layout)
+// binding in metadata the access path must consult. SPAM and "Fully
+// Randomized Pointers" (see PAPERS.md) demonstrate the opposite point in
+// the design space: derive the permutation from a keyed function of the
+// address, so member access needs no stored state at all. This header
+// makes the choice explicit and per type class:
+//
+//   kStored     today's pagemap + seqlock path: per-allocation layout
+//               draw, interned metadata, UAF/type/field checking on every
+//               access. Maximum detection, metadata cost per access.
+//   kStateless  SPAM-style: the layout of an object at `base` is
+//               schedule[mix64(base ^ type_seed) & mask], a pure function
+//               of the address. The typed access path touches no shared
+//               metadata at all — no pagemap, no seqlock, no cache — so
+//               it cannot detect use-after-free or stale handles either.
+//   kHybrid     derived offsets (stateless) + a pagemap/seqlock liveness
+//               check per access: UAF detection is back, the per-access
+//               layout lookup stays a pure computation.
+//
+// Liveness bookkeeping (a MetaCell + ObjectRecord published at alloc,
+// removed at free) is kept for *all* backends: free needs the allocation
+// size and trap map, legacy untyped olr_* handles need a base->layout
+// lookup, and free_all/census need enumeration. What kStateless removes is
+// every metadata consultation on the typed member-access path — the hot
+// path the paper's Table III shows dominating runtime cost — plus the
+// per-allocation layout draw and interner traffic (the layout is a
+// schedule index, not a fresh draw). DESIGN.md §12 quantifies the
+// detection each backend gives up in exchange.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/layout.h"
+#include "core/metadata.h"
+#include "core/result.h"
+#include "core/type_registry.h"
+#include "support/hash.h"
+
+namespace polar {
+
+enum class BackendKind : std::uint8_t { kStored, kStateless, kHybrid };
+
+[[nodiscard]] const char* to_string(BackendKind k) noexcept;
+
+/// Parses "stored" / "stateless" / "hybrid"; false on anything else.
+[[nodiscard]] bool parse_backend(std::string_view name,
+                                 BackendKind& out) noexcept;
+
+/// The process default backend kind: POLAR_BACKEND=stored|stateless|hybrid
+/// in the environment, read once per process; kStored otherwise. Lets CI
+/// run the full suite under a different default without touching configs.
+[[nodiscard]] BackendKind env_backend_kind() noexcept;
+
+/// Per-backend tuning. One struct for all kinds; validate() rejects
+/// combinations a kind cannot honor.
+struct BackendOptions {
+  /// kStored: O(1) address-pagemap base→record lookup instead of the
+  /// legacy hash-probe tables (kept selectable for ablation benches).
+  /// Derived kinds require it (liveness registration lives there).
+  bool pagemap = true;
+  /// kStored: resolve member accesses through the seqlock-published mirror
+  /// without taking the shard mutex. Advisory where the pagemap is off.
+  bool lockfree_reads = true;
+  /// kStored: seal/verify every ObjectRecord, and verify the seqlock
+  /// mirror against the digest folded into its sequence word, so a stray
+  /// write into the runtime's own metadata surfaces as kMetadataDamaged.
+  /// Incoherent for derived kinds (there is no stored layout to protect):
+  /// validate() rejects stateless/hybrid + checksum.
+  bool checksum = true;
+  /// Layouts pre-generated per (thread, type) refill of the layout pool
+  /// (kStored only; derived kinds never draw per-allocation layouts).
+  /// 1 disables pooling. Must be in [1, 1024].
+  std::uint32_t layout_pool_chunk = 8;
+  /// Derived kinds: log2 of the per-type schedule size — the number of
+  /// pre-generated layouts addresses index into. Must be in [1, 16].
+  /// Effective per-type entropy is min(schedule_bits, log2(permutation
+  /// space)); 8 bits = 256 layouts is the paper-comparable default.
+  std::uint32_t schedule_bits = 8;
+  /// Derived kinds: overrides the per-type key. 0 = derive from the
+  /// runtime seed and the class hash (the default, and what keeps two
+  /// same-seed runtimes permutation-identical for the determinism test).
+  std::uint64_t type_seed = 0;
+
+  friend bool operator==(const BackendOptions&,
+                         const BackendOptions&) = default;
+};
+
+/// One validated backend choice: the kind plus its options. RuntimeConfig
+/// carries one as the default for every type class plus optional per-type
+/// overrides keyed by type name.
+struct BackendConfig {
+  BackendKind kind = BackendKind::kStored;
+  BackendOptions options{};
+
+  /// Structural validation; kBadConfig on incoherent combos (stateless or
+  /// hybrid with checksum on or pagemap off, out-of-range pool chunk or
+  /// schedule size).
+  [[nodiscard]] Result<void> validate() const noexcept;
+
+  // Factory helpers for the common shapes.
+  [[nodiscard]] static BackendConfig stored() noexcept {
+    return BackendConfig{};
+  }
+  /// Legacy hash-probe tables (no pagemap, locked reads) — the ablation
+  /// baseline the bench ladder starts from.
+  [[nodiscard]] static BackendConfig stored_hash(bool checksum = false) noexcept {
+    BackendConfig c;
+    c.options.pagemap = false;
+    c.options.lockfree_reads = false;
+    c.options.checksum = checksum;
+    return c;
+  }
+  [[nodiscard]] static BackendConfig stateless(
+      std::uint32_t schedule_bits = 8) noexcept {
+    BackendConfig c;
+    c.kind = BackendKind::kStateless;
+    c.options.checksum = false;
+    c.options.schedule_bits = schedule_bits;
+    return c;
+  }
+  [[nodiscard]] static BackendConfig hybrid(
+      std::uint32_t schedule_bits = 8) noexcept {
+    BackendConfig c = stateless(schedule_bits);
+    c.kind = BackendKind::kHybrid;
+    return c;
+  }
+  [[nodiscard]] static BackendConfig of(BackendKind k) noexcept {
+    switch (k) {
+      case BackendKind::kStateless: return stateless();
+      case BackendKind::kHybrid: return hybrid();
+      case BackendKind::kStored: break;
+    }
+    return stored();
+  }
+  /// The default RuntimeConfig backend: BackendConfig::of(env_backend_kind()).
+  [[nodiscard]] static BackendConfig env_default() noexcept {
+    return of(env_backend_kind());
+  }
+
+  friend bool operator==(const BackendConfig&, const BackendConfig&) = default;
+};
+
+/// The pre-generated layout schedule of one stateless/hybrid type class.
+///
+/// Construction draws 2^schedule_bits layouts with the same randomizer the
+/// stored backend uses (permutation + dummies + booby traps), then pads
+/// every layout's allocation size up to the schedule-wide maximum so the
+/// byte size of an object is base-independent — free and heap accounting
+/// never need to know which schedule entry an address selected. The whole
+/// schedule is immutable after construction and derived entirely from
+/// (type_seed, policy, schedule_bits): same inputs, same schedule, which
+/// is what makes `layout_for(base)` a pure function of the address.
+class StatelessSchedule {
+ public:
+  StatelessSchedule(const TypeInfo& info, const LayoutPolicy& policy,
+                    std::uint64_t type_seed, std::uint32_t schedule_bits);
+
+  StatelessSchedule(const StatelessSchedule&) = delete;
+  StatelessSchedule& operator=(const StatelessSchedule&) = delete;
+
+  /// The keyed address→entry map: mix64(base ^ type_seed) & mask. This is
+  /// the whole per-access cost of the stateless backend.
+  [[nodiscard]] std::size_t index_of(const void* base) const noexcept {
+    return static_cast<std::size_t>(
+               mix64(reinterpret_cast<std::uintptr_t>(base) ^ type_seed_)) &
+           mask_;
+  }
+  [[nodiscard]] const Layout& layout_for(const void* base) const noexcept {
+    return layouts_[index_of(base)];
+  }
+  /// Byte offset of declared field `field` for an object at `base`.
+  /// Precondition: field < field_count().
+  [[nodiscard]] std::uint32_t offset_of(const void* base,
+                                        std::uint32_t field) const noexcept {
+    return offsets_[index_of(base) * stride_ + field].load(
+        std::memory_order_relaxed);
+  }
+  /// The entry's stable offsets blob, for seqlock mirror publication (same
+  /// shape the LayoutInterner hands the stored backend). Lives as long as
+  /// the schedule.
+  [[nodiscard]] const StableOffsetsPool::Word* blob_for(
+      const void* base) const noexcept {
+    return &offsets_[index_of(base) * stride_];
+  }
+
+  [[nodiscard]] std::uint32_t field_count() const noexcept {
+    return field_count_;
+  }
+  /// Common allocation size of every schedule entry (max over entries).
+  [[nodiscard]] std::uint32_t alloc_size() const noexcept {
+    return alloc_size_;
+  }
+  [[nodiscard]] std::size_t entries() const noexcept {
+    return layouts_.size();
+  }
+  [[nodiscard]] std::uint64_t type_seed() const noexcept { return type_seed_; }
+  /// Distinct layouts actually present (a no_randomize or tiny type can
+  /// collapse the schedule to fewer distinct arrangements than entries).
+  [[nodiscard]] std::size_t distinct_layouts() const noexcept;
+
+ private:
+  std::uint64_t type_seed_ = 0;
+  std::size_t mask_ = 0;
+  std::uint32_t stride_ = 1;
+  std::uint32_t field_count_ = 0;
+  std::uint32_t alloc_size_ = 0;
+  std::vector<Layout> layouts_;
+  /// Flat [entries() * stride_] relaxed-atomic offsets: row i mirrors
+  /// layouts_[i].offsets. Written once at construction; relaxed loads
+  /// compile to plain loads on the access path.
+  std::unique_ptr<StableOffsetsPool::Word[]> offsets_;
+};
+
+/// The per-type key the schedule derives from when options.type_seed == 0:
+/// mixes the runtime seed with the stable class hash so the permutation
+/// survives process restarts with the same seed but differs per class.
+[[nodiscard]] constexpr std::uint64_t derive_type_seed(
+    std::uint64_t runtime_seed, std::uint64_t class_hash) noexcept {
+  return mix64(hash_combine(runtime_seed, class_hash) ^
+               0x5b4d'1a7e'57a7'e1e5ULL);  // schedule-domain salt
+}
+
+}  // namespace polar

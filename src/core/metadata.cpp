@@ -99,6 +99,18 @@ void LayoutInterner::release(const Layout* layout) {
   POLAR_CHECK(false, "layout not present in its hash bucket");
 }
 
+const StableOffsetsPool::Word* LayoutInterner::fast_offsets_of(
+    const Layout* layout) const {
+  if (layout == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(layout->hash);
+  if (it == entries_.end()) return nullptr;
+  for (const Entry& e : it->second) {
+    if (e.layout.get() == layout) return e.fast_offsets;
+  }
+  return nullptr;
+}
+
 // ------------------------------------------------------------------- table
 
 namespace {

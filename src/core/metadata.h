@@ -117,6 +117,13 @@ class LayoutInterner {
   /// Drops one reference; destroys the record at zero.
   void release(const Layout* layout);
 
+  /// The stable offsets blob of an already-interned layout (nullptr if the
+  /// pointer is not a live entry). Used to re-publish a seqlock mirror
+  /// whose contents failed the digest check — the blob is the
+  /// authoritative copy, independent of anything the damaged mirror held.
+  [[nodiscard]] const StableOffsetsPool::Word* fast_offsets_of(
+      const Layout* layout) const;
+
   [[nodiscard]] std::size_t live_layouts() const noexcept {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();

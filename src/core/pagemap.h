@@ -35,9 +35,10 @@
 //    recycled through a free list but their memory is never returned to
 //    the OS while the arena lives, so a stale reader dereferencing a
 //    just-freed cell reads stale-but-mapped memory (caught by the seqlock
-//    validation), never a dangling page. Sequence words survive recycling
-//    and only ever increase, which is what makes the ABA case (cell reused
-//    for a new object while a reader is mid-read) detectable.
+//    validation), never a dangling page. Sequence counters (the low half
+//    of the seq word; the high half carries the mirror digest) survive
+//    recycling and keep advancing, which is what makes the ABA case (cell
+//    reused for a new object while a reader is mid-read) detectable.
 #pragma once
 
 #include <atomic>
@@ -56,76 +57,184 @@ namespace polar {
 struct alignas(64) MetaCell {
   /// Offsets for the first kInlineOffsets fields are mirrored inside the
   /// cell itself: together with seq and the other mirror fields they fill
-  /// the cell's first cache line exactly (8+8+8+8+4+4+6*4 = 64), so for
+  /// the cell's first cache line exactly (8+8+8+8+8+3*8 = 64), so for
   /// small types the fast path never takes the dependent load through the
   /// offsets blob — one line holds everything it reads.
   static constexpr std::uint32_t kInlineOffsets = 6;
 
-  /// Seqlock word: odd while a writer is mid-update, even and monotonically
-  /// increasing otherwise. Never reset on recycling.
+  /// Seqlock word. The low 32 bits are the classic sequence counter: odd
+  /// while a writer is mid-update, even otherwise, advancing by 2 per
+  /// publication and never reset on recycling. The high 32 bits carry the
+  /// mirror digest folded in at publish time (see mirror_digest): a reader
+  /// that validated the counter can compare the digest against what it
+  /// read, turning a stray write into the mirror — which a benign racing
+  /// re-publish always distinguishes by moving the counter — into a
+  /// detected kMetadataDamaged instead of a misdirected access. This is
+  /// what lets checksum mode keep the lock-free read path: verification
+  /// rides the word the reader already loads twice. The counter wraps at
+  /// 2^32 publications of one cell; a reader would have to stall across
+  /// exactly 2^32 re-publications landing on an identical digest to
+  /// mis-validate, which is not a realistic schedule.
   std::atomic<std::uint64_t> seq{0};
+  static constexpr std::uint64_t kSeqCounterMask = 0xffffffffULL;
 
   // --- read-fast-path mirror (relaxed atomics, seqlock-validated) ---------
+  // Every mirror word is 64 bits wide: the narrow fields are packed in
+  // pairs so a reader snapshots the whole line in seven loads and the
+  // digest (below) is a flat xor of words already in registers — the
+  // packing is what keeps checksum-mode reads within noise of checksum-off.
   std::atomic<std::uintptr_t> fast_base{0};
   std::atomic<std::uint64_t> fast_id{0};
   /// Stable offsets blob of the record's interned layout (see
   /// StableOffsetsPool): offsets[f] = byte offset of declared field f.
   /// Consulted only for fields >= kInlineOffsets.
   std::atomic<const std::atomic<std::uint32_t>*> fast_offsets{nullptr};
-  std::atomic<std::uint32_t> fast_field_count{0};
-  std::atomic<std::uint32_t> fast_type{0xffffffff};
-  std::atomic<std::uint32_t> fast_inline_offsets[kInlineOffsets] = {};
+  /// (field_count << 32) | type. The empty-cell value keeps the legacy
+  /// defaults: field_count 0, type 0xffffffff (no valid type).
+  std::atomic<std::uint64_t> fast_fc_type{0xffffffffULL};
+  /// Inline offsets packed in pairs: pair p = (off[2p+1] << 32) | off[2p].
+  std::atomic<std::uint64_t> fast_inline_pairs[kInlineOffsets / 2] = {};
 
   // --- slow-path state (owning shard's mutex) -----------------------------
   ObjectRecord rec{};
   MetaCell* next_free = nullptr;  ///< arena free-list link
 
-  /// Snapshot of the mirror taken by a fast-path reader.
+  /// Snapshot of the mirror taken by a fast-path reader. Carries the
+  /// inline offsets too so the digest covers every word the fast path may
+  /// act on.
   struct FastView {
     std::uintptr_t base = 0;
     std::uint64_t object_id = 0;
     const std::atomic<std::uint32_t>* offsets = nullptr;
-    std::uint32_t field_count = 0;
-    std::uint32_t type = 0xffffffff;
+    std::uint64_t fc_type = 0xffffffffULL;
+    std::uint64_t inline_pairs[kInlineOffsets / 2] = {};
+
+    [[nodiscard]] std::uint32_t field_count() const noexcept {
+      return static_cast<std::uint32_t>(fc_type >> 32);
+    }
+    [[nodiscard]] std::uint32_t type() const noexcept {
+      return static_cast<std::uint32_t>(fc_type);
+    }
+    /// Precondition: f < kInlineOffsets.
+    [[nodiscard]] std::uint32_t inline_off(std::uint32_t f) const noexcept {
+      return static_cast<std::uint32_t>(inline_pairs[f >> 1] >>
+                                        ((f & 1u) * 32u));
+    }
   };
 
+  /// 32-bit digest over the mirror words the fast path *trusts* — the
+  /// checksum folded into the sequence word's high half at publish time.
+  /// Covers the blob pointer (not the blob contents), matching what
+  /// ObjectRecord::compute_checksum protects on the locked path, plus the
+  /// field count and the inline offsets the fast path dereferences through
+  /// directly. fast_base and fast_id are deliberately NOT covered: the
+  /// reader compares both against caller-supplied values, so corrupting
+  /// either can only force a miss into the locked path, where the sealed
+  /// record classifies the damage — they are self-checking by comparison.
+  ///
+  /// Latency, not collision resistance, is the design constraint: this runs
+  /// on every verified fast-path hit, and a serial fold + full mix64 here
+  /// showed up as a ~30% getptr gap between the full and full_checksum
+  /// bench rows. With the mirror packed into 64-bit words the combine is a
+  /// flat xor of five registers (depth-3 tree), one odd-constant multiply
+  /// for diffusion (odd => invertible mod 2^64, so any nonzero combine
+  /// delta changes the product), and a 32-bit fold. A stray write to any
+  /// single covered word changes the combine and therefore the digest, up
+  /// to the fold's 2^-32 collision class — the same class the old digest
+  /// had. Simultaneous identical deltas in two words cancel in the xor;
+  /// that needs a coordinated multi-word write, outside the stray-write
+  /// model this check exists for.
+  [[nodiscard]] static std::uint32_t mirror_digest(
+      const FastView& v) noexcept {
+    static_assert(kInlineOffsets == 6, "digest xors the packed offset pairs");
+    const std::uint64_t m =
+        (static_cast<std::uint64_t>(
+             reinterpret_cast<std::uintptr_t>(v.offsets)) ^
+         v.fc_type ^ v.inline_pairs[0] ^ v.inline_pairs[1] ^
+         v.inline_pairs[2]) *
+        0x2545f4914f6cdd1dULL;
+    return static_cast<std::uint32_t>(m >> 32) ^ static_cast<std::uint32_t>(m);
+  }
+
   /// Publishes the mirror for `r` (writer side; caller holds the shard
-  /// mutex). Bumps the sequence odd, writes the fields, bumps it even.
+  /// mutex). Bumps the counter odd, writes the fields, then releases the
+  /// word with the counter even and the fresh digest in the high half.
+  /// Unused inline slots are zeroed so the digest is well-defined over
+  /// recycled cells.
   void publish(const ObjectRecord& r,
                const std::atomic<std::uint32_t>* offsets,
                std::uint32_t field_count) noexcept {
     const std::uint64_t s = seq.load(std::memory_order_relaxed);
-    seq.store(s + 1, std::memory_order_relaxed);
+    const std::uint64_t c = s & kSeqCounterMask;
+    seq.store((s & ~kSeqCounterMask) | ((c + 1) & kSeqCounterMask),
+              std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
-    fast_base.store(reinterpret_cast<std::uintptr_t>(r.base),
-                    std::memory_order_relaxed);
-    fast_id.store(r.object_id, std::memory_order_relaxed);
-    fast_offsets.store(offsets, std::memory_order_relaxed);
-    fast_field_count.store(field_count, std::memory_order_relaxed);
-    fast_type.store(r.type.value, std::memory_order_relaxed);
+    FastView v;
+    v.base = reinterpret_cast<std::uintptr_t>(r.base);
+    v.object_id = r.object_id;
+    v.offsets = offsets;
+    v.fc_type = (static_cast<std::uint64_t>(field_count) << 32) |
+                r.type.value;
     if (offsets != nullptr) {
       const std::uint32_t n =
           field_count < kInlineOffsets ? field_count : kInlineOffsets;
+      std::uint32_t off[kInlineOffsets] = {};
       for (std::uint32_t i = 0; i < n; ++i) {
-        fast_inline_offsets[i].store(offsets[i].load(std::memory_order_relaxed),
-                                     std::memory_order_relaxed);
+        off[i] = offsets[i].load(std::memory_order_relaxed);
+      }
+      for (std::uint32_t p = 0; p < kInlineOffsets / 2; ++p) {
+        v.inline_pairs[p] =
+            (static_cast<std::uint64_t>(off[2 * p + 1]) << 32) | off[2 * p];
       }
     }
-    seq.store(s + 2, std::memory_order_release);
+    fast_base.store(v.base, std::memory_order_relaxed);
+    fast_id.store(v.object_id, std::memory_order_relaxed);
+    fast_offsets.store(v.offsets, std::memory_order_relaxed);
+    fast_fc_type.store(v.fc_type, std::memory_order_relaxed);
+    for (std::uint32_t p = 0; p < kInlineOffsets / 2; ++p) {
+      fast_inline_pairs[p].store(v.inline_pairs[p], std::memory_order_relaxed);
+    }
+    seq.store((static_cast<std::uint64_t>(mirror_digest(v)) << 32) |
+                  ((c + 2) & kSeqCounterMask),
+              std::memory_order_release);
   }
 
   /// Invalidates the mirror (free/evict; caller holds the shard mutex).
   /// Readers holding the old sequence fail validation and fall back.
   void invalidate() noexcept {
     const std::uint64_t s = seq.load(std::memory_order_relaxed);
-    seq.store(s + 1, std::memory_order_relaxed);
+    const std::uint64_t c = s & kSeqCounterMask;
+    seq.store((s & ~kSeqCounterMask) | ((c + 1) & kSeqCounterMask),
+              std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
     fast_base.store(0, std::memory_order_relaxed);
     fast_id.store(0, std::memory_order_relaxed);
     fast_offsets.store(nullptr, std::memory_order_relaxed);
-    fast_field_count.store(0, std::memory_order_relaxed);
-    fast_type.store(0xffffffff, std::memory_order_relaxed);
-    seq.store(s + 2, std::memory_order_release);
+    fast_fc_type.store(0xffffffffULL, std::memory_order_relaxed);
+    for (std::uint32_t p = 0; p < kInlineOffsets / 2; ++p) {
+      fast_inline_pairs[p].store(0, std::memory_order_relaxed);
+    }
+    seq.store((c + 2) & kSeqCounterMask, std::memory_order_release);
+  }
+
+  /// FAULT-INJECTION ONLY. XORs masks into mirror words *without* moving
+  /// the sequence counter — simulating a stray write that hit the cell.
+  /// A nonzero base_mask forces every reader off the fast path (base
+  /// mismatch), so the locked path sees the record; a nonzero offset_mask
+  /// corrupts inline offset 0, the misdirection only the seq-word digest
+  /// can catch. XOR twice to undo.
+  void debug_corrupt_mirror(std::uint64_t base_mask,
+                            std::uint32_t offset_mask) noexcept {
+    if (base_mask != 0) {
+      fast_base.store(fast_base.load(std::memory_order_relaxed) ^ base_mask,
+                      std::memory_order_relaxed);
+    }
+    if (offset_mask != 0) {
+      // Inline offset 0 is the low half of pair 0.
+      fast_inline_pairs[0].store(
+          fast_inline_pairs[0].load(std::memory_order_relaxed) ^ offset_mask,
+          std::memory_order_relaxed);
+    }
   }
 
   /// Reader side, step 1: snapshot the mirror. Returns the sequence the
@@ -136,8 +245,11 @@ struct alignas(64) MetaCell {
     out.base = fast_base.load(std::memory_order_relaxed);
     out.object_id = fast_id.load(std::memory_order_relaxed);
     out.offsets = fast_offsets.load(std::memory_order_relaxed);
-    out.field_count = fast_field_count.load(std::memory_order_relaxed);
-    out.type = fast_type.load(std::memory_order_relaxed);
+    out.fc_type = fast_fc_type.load(std::memory_order_relaxed);
+    for (std::uint32_t p = 0; p < kInlineOffsets / 2; ++p) {
+      out.inline_pairs[p] =
+          fast_inline_pairs[p].load(std::memory_order_relaxed);
+    }
     return s1;
   }
 

@@ -68,8 +68,20 @@ Result<void> RuntimeConfig::validate() const noexcept {
       pagemap_granule > 4096) {
     return Result<void>::failure(Violation::kBadConfig);
   }
-  if (layout_pool_chunk == 0 || layout_pool_chunk > 1024) {
+  // Backend choices validate themselves (pool chunk, schedule bits, and
+  // the incoherent combos like stateless + checksum); per-type derived
+  // overrides additionally require the default backend's pagemap, since
+  // that is the pagemap their liveness registration shares.
+  if (!backend.validate().ok()) {
     return Result<void>::failure(Violation::kBadConfig);
+  }
+  for (const auto& [name, override_cfg] : type_backends) {
+    if (name.empty() || !override_cfg.validate().ok()) {
+      return Result<void>::failure(Violation::kBadConfig);
+    }
+    if (override_cfg.kind != BackendKind::kStored && !backend.options.pagemap) {
+      return Result<void>::failure(Violation::kBadConfig);
+    }
   }
   // Ring capacity is validated even when tracing is off so a config that
   // later flips tracing on can't smuggle in a non-power-of-two ring.
@@ -92,9 +104,22 @@ RuntimeConfig checked_config(RuntimeConfig config) {
   POLAR_CHECK(config.validate().ok(),
               "bad-config: RuntimeConfig::validate() rejected these settings "
               "(shard_bits<=10, cache_bits<=24, pagemap_granule a power of "
-              "two in [8,4096], layout_pool_chunk in [1,1024], "
-              "trace_ring_capacity a power of two in [16,2^20])");
+              "two in [8,4096], trace_ring_capacity a power of two in "
+              "[16,2^20], backend/type_backends must each pass "
+              "BackendConfig::validate() and derived per-type overrides "
+              "require the default backend's pagemap)");
   return config;
+}
+
+/// Whether any type class — default or override — checksums its records.
+/// One runtime-wide bool: records are always sealed, so verifying a
+/// checksum-off type's record is merely redundant, never wrong.
+bool any_checksum(const RuntimeConfig& config) noexcept {
+  if (config.backend.options.checksum) return true;
+  for (const auto& entry : config.type_backends) {
+    if (entry.second.options.checksum) return true;
+  }
+  return false;
 }
 }  // namespace
 
@@ -103,18 +128,52 @@ Runtime::Runtime(const TypeRegistry& registry, RuntimeConfig config)
       config_(checked_config(config)),
       engine_(effective_policy(config_)),
       table_(config_.shard_bits),
-      pagemap_(config_.enable_pagemap
+      pagemap_(config_.backend.options.pagemap
                    ? std::make_unique<AddressPagemap>(config_.pagemap_granule)
                    : nullptr),
-      fast_reads_(config_.enable_pagemap && config_.lockfree_reads &&
-                  !config_.checksum_metadata),
+      fast_reads_(config_.backend.options.pagemap &&
+                  config_.backend.options.lockfree_reads),
+      checksum_records_(any_checksum(config_)),
+      verify_mirror_(checksum_records_),
       pm_root_(pagemap_ != nullptr ? pagemap_->root() : nullptr),
       pm_shift_(pagemap_ != nullptr ? pagemap_->granule_bits() : 0),
 #if defined(POLAR_TRACE_ENABLED)
       trace_interval_(config_.trace_sample_interval),
 #endif
       interner_(config_.dedup_layouts),
-      runtime_id_(next_runtime_id()) {}
+      runtime_id_(next_runtime_id()) {
+  // Resolve the backend of every type class known right now. Types
+  // registered later fall back to kStored via the n_types_ bounds check —
+  // schedules are built eagerly here, so a late registration cannot
+  // retroactively become stateless.
+  const auto n = static_cast<std::uint32_t>(registry_.size());
+  type_configs_.assign(n, config_.backend);
+  for (const auto& [name, override_cfg] : config_.type_backends) {
+    const std::optional<TypeId> t = registry_.find(name);
+    POLAR_CHECK(t.has_value(),
+                "bad-config: type_backends names a type the registry does "
+                "not know");
+    type_configs_[t->value] = override_cfg;
+  }
+  type_kinds_.resize(n);
+  schedules_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const BackendConfig& bc = type_configs_[i];
+    type_kinds_[i] = bc.kind;
+    if (bc.kind == BackendKind::kStored) continue;
+    any_derived_ = true;
+    const TypeInfo& info = registry_.info(TypeId{i});
+    const std::uint64_t seed =
+        bc.options.type_seed != 0
+            ? bc.options.type_seed
+            : derive_type_seed(config_.seed, info.class_hash);
+    schedules_[i] = std::make_unique<StatelessSchedule>(
+        info, config_.policy, seed, bc.options.schedule_bits);
+  }
+  type_kinds_p_ = type_kinds_.data();
+  schedules_p_ = schedules_.data();
+  n_types_ = n;
+}
 
 Runtime::~Runtime() { free_all(); }
 
@@ -213,7 +272,7 @@ const ObjectRecord* Runtime::find_checked(ShardedMetadataTable::Shard& sh,
     // A granule hit is not an object hit: an interior pointer within 16
     // bytes of a base lands in the same granule, so the base must match.
     if (cell == nullptr || cell->rec.base != base) return nullptr;
-    if (config_.checksum_metadata && !cell->rec.verify()) {
+    if (checksum_records_ && !cell->rec.verify()) {
       // The record lied about itself; nothing in it — layout pointer,
       // size, canary — can be trusted. Evict it so it can't be consulted
       // again. The block is deliberately leaked (its size lives behind the
@@ -232,7 +291,7 @@ const ObjectRecord* Runtime::find_checked(ShardedMetadataTable::Shard& sh,
   }
   const ObjectRecord* rec = sh.table.find(base);
   if (rec == nullptr) return nullptr;
-  if (config_.checksum_metadata && !rec->verify()) {
+  if (checksum_records_ && !rec->verify()) {
     damaged = true;
     sh.table.remove(base);
     sh.epoch.fetch_add(1, std::memory_order_release);
@@ -259,15 +318,30 @@ bool Runtime::debug_corrupt_metadata(const void* base, std::uint64_t mask) {
   ObjectRecord* rec = nullptr;
   if (pagemap_ != nullptr) {
     MetaCell* cell = pagemap_->lookup(base);
-    // Corrupts the authoritative record only, not the seqlock mirror: the
-    // simulated stray write hits the metadata the checked path trusts,
-    // which is exactly what the checksum is there to catch.
-    if (cell != nullptr && cell->rec.base == base) rec = &cell->rec;
+    if (cell != nullptr && cell->rec.base == base) {
+      rec = &cell->rec;
+      // The simulated stray write hits both copies of the metadata: the
+      // authoritative record (trap_value below) and the seqlock mirror's
+      // base word, so lock-free readers are forced off the fast path onto
+      // the locked lookup that verifies the record. XORing the same mask
+      // twice restores both.
+      cell->debug_corrupt_mirror(mask == 0 ? 1 : mask, 0);
+    }
   } else {
     rec = sh.table.find_mutable(base);
   }
   if (rec == nullptr) return false;
   rec->trap_value ^= mask == 0 ? 1 : mask;
+  return true;
+}
+
+bool Runtime::debug_corrupt_mirror(const void* base, std::uint32_t mask) {
+  if (pagemap_ == nullptr) return false;
+  ShardedMetadataTable::Shard& sh = table_.shard_of(base);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  MetaCell* cell = pagemap_->lookup(base);
+  if (cell == nullptr || cell->rec.base != base) return false;
+  cell->debug_corrupt_mirror(0, mask == 0 ? 1 : mask);
   return true;
 }
 
@@ -296,7 +370,7 @@ bool Runtime::traps_intact(const ObjectRecord& rec) const noexcept {
 
 Layout Runtime::next_layout(ThreadState& ts, TypeId type,
                             const TypeInfo& info) {
-  const std::uint32_t chunk = config_.layout_pool_chunk;
+  const std::uint32_t chunk = backend_config(type).options.layout_pool_chunk;
   if (chunk <= 1) return randomize_layout(info, config_.policy, ts.rng);
   if (ts.layout_pools.size() <= type.value) {
     ts.layout_pools.resize(type.value + 1);
@@ -333,6 +407,41 @@ Layout Runtime::next_layout(ThreadState& ts, TypeId type,
 Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
                                             const Layout* share_layout) {
   const TypeInfo& info = registry_.info(type);
+  if (kind_of(type) != BackendKind::kStored) {
+    // Derived backends: the layout is a pure function of the base address
+    // via the type's schedule — no per-allocation draw, no interner
+    // traffic, and share_layout cannot be honored (a clone's layout is
+    // whatever its own address selects). Liveness registration (cell +
+    // record + mirror) is identical to the stored path: free, legacy
+    // untyped handles and enumeration all rely on it.
+    const StatelessSchedule& sch = *schedules_p_[type.value];
+    void* base = raw_alloc(sch.alloc_size());
+    if (base == nullptr) return Result<ObjectRecord>::failure(Violation::kOom);
+    // Counted as a dedup: the allocation bound an existing (immortal)
+    // schedule entry rather than creating a layout, which keeps the
+    // exporter invariant layouts_created + layouts_deduped >= allocations.
+    ++ts.stats.layouts_deduped;
+    const Layout& layout = sch.layout_for(base);
+    std::memset(base, 0, layout.size);
+    ObjectRecord rec{.base = base,
+                     .type = type,
+                     .layout = &layout,
+                     .trap_value = ts.rng.next() | 1,
+                     .object_id = next_object_id_.fetch_add(
+                         1, std::memory_order_relaxed)};
+    rec.seal();
+    fill_traps(rec);
+    MetaCell* cell = cells_.acquire();  // pagemap is mandatory for derived
+    ShardedMetadataTable::Shard& sh = table_.shard_of(base);
+    ShardedMetadataTable::ShardLockGuard lock(sh);
+    cell->rec = rec;
+    cell->publish(rec, sch.blob_for(base), info.field_count());
+    pagemap_->publish(base, cell);
+    live_count_.fetch_add(1, std::memory_order_release);
+    ts.stats.bytes_requested += info.natural_size;
+    ts.stats.bytes_allocated += layout.size;
+    return rec;
+  }
   bool reused = false;
   const Layout* layout;
   const StableOffsetsPool::Word* fast_offsets = nullptr;
@@ -398,8 +507,9 @@ Result<ObjectRecord> Runtime::pin_record(ObjRef ref) const {
   }
   // Lock order is always shard -> interner (intern/release are never
   // called with a shard mutex held in the other direction), so retaining
-  // here cannot deadlock.
-  interner_.retain(rec->layout);
+  // here cannot deadlock. Derived-backend layouts are schedule-owned and
+  // immortal; retain_layout skips them.
+  retain_layout(*rec);
   return *rec;
 }
 
@@ -521,7 +631,7 @@ Result<void> Runtime::obj_free(ObjRef ref) {
         violation(ts, Violation::kTrapDamaged, copy.base, copy.type,
                   copy.object_id, RuntimeOp::kFree);
     if (action == ViolationAction::kQuarantine) {
-      interner_.release(copy.layout);
+      release_layout(copy);
       quarantine_block(copy.base, alloc_size);
       ++ts.stats.quarantined_objects;
       ++ts.stats.frees;
@@ -531,7 +641,7 @@ Result<void> Runtime::obj_free(ObjRef ref) {
       return Result<void>::failure(Violation::kTrapDamaged);
     }
   }
-  interner_.release(copy.layout);
+  release_layout(copy);
   raw_free(copy.base, alloc_size);
   ++ts.stats.frees;
 #if defined(POLAR_TRACE_ENABLED)
@@ -572,6 +682,35 @@ Result<void*> Runtime::obj_field_slow(ThreadState& ts, ObjRef ref,
   return static_cast<unsigned char*>(ref.base) + offset;
 }
 
+Result<void*> Runtime::obj_field_mirror_damaged(ThreadState& ts, ObjRef ref,
+                                                std::uint32_t field) {
+  // The mirror was stable under its sequence but failed the digest — a
+  // stray write into the runtime's own fast-path metadata. When the
+  // authoritative record still verifies, heal the cell by re-publishing
+  // the mirror from it (the blob comes from the interner or the schedule,
+  // never from the damaged mirror), then report. When the record is also
+  // damaged, the locked path owns classification and eviction.
+  bool healed = false;
+  {
+    ShardedMetadataTable::Shard& sh = table_.shard_of(ref.base);
+    ShardedMetadataTable::ShardLockGuard lock(sh);
+    MetaCell* cell = pagemap_->lookup(ref.base);
+    if (cell != nullptr && cell->rec.base == ref.base && cell->rec.verify()) {
+      const ObjectRecord& rec = cell->rec;
+      const StableOffsetsPool::Word* blob =
+          kind_of(rec.type) != BackendKind::kStored
+              ? schedules_p_[rec.type.value]->blob_for(ref.base)
+              : interner_.fast_offsets_of(rec.layout);
+      cell->publish(rec, blob, registry_.info(rec.type).field_count());
+      healed = true;
+    }
+  }
+  if (!healed) return obj_field_slow(ts, ref, field);
+  violation(ts, Violation::kMetadataDamaged, ref.base, ref.type, ref.id,
+            RuntimeOp::kFieldAccess);
+  return Result<void*>::failure(Violation::kMetadataDamaged);
+}
+
 #if defined(POLAR_TRACE_ENABLED)
 Result<void*> Runtime::obj_field_traced(ThreadState& ts, ObjRef ref,
                                         std::uint32_t field) {
@@ -583,6 +722,10 @@ Result<void*> Runtime::obj_field_traced(ThreadState& ts, ObjRef ref,
   // resolution it replaces — only the timing brackets differ.
   bool slow = false;
   Result<void*> out = [&]() -> Result<void*> {
+    if (any_derived_ && ref.type.value < n_types_) {
+      const BackendKind k = type_kinds_p_[ref.type.value];
+      if (k != BackendKind::kStored) return derived_field(ts, ref, field, k);
+    }
     if (config_.enable_cache) {
       const std::uint64_t epoch =
           table_.shard_of(ref.base).epoch.load(std::memory_order_acquire);
@@ -594,8 +737,13 @@ Result<void*> Runtime::obj_field_traced(ThreadState& ts, ObjRef ref,
     }
     if (fast_reads_) {
       std::uint32_t offset = 0;
-      if (fast_field(ts, ref, field, TypeId{}, offset)) {
+      const FastField r = fast_field(ts, ref, field, TypeId{}, offset);
+      if (r == FastField::kHit) {
         return static_cast<unsigned char*>(ref.base) + offset;
+      }
+      if (r == FastField::kDamaged) {
+        slow = true;
+        return obj_field_mirror_damaged(ts, ref, field);
       }
     }
     slow = true;
@@ -625,10 +773,43 @@ Result<void*> Runtime::obj_field_typed(ObjRef ref, TypeId expected,
   // the strict check lock-free.
   ThreadState& ts = tls();
   ++ts.stats.member_accesses;
-  if (fast_reads_ && expected.valid()) {
+  if (any_derived_ && expected.valid() && expected.value < n_types_ &&
+      type_kinds_p_[expected.value] != BackendKind::kStored) {
+    // Derived backends under the strict check: offsets come from the
+    // schedule, but strictness is the whole point here, so even the
+    // stateless kind consults the liveness mirror (every backend keeps it
+    // populated) to verify the object is live and of the claimed class.
+    const StatelessSchedule& sch = *schedules_p_[expected.value];
+    if (field < sch.field_count()) {
+      MetaCell* cell =
+          AddressPagemap::lookup_in(pm_root_, pm_shift_, ref.base);
+      if (cell != nullptr) {
+        MetaCell::FastView view;
+        const std::uint64_t s1 = cell->read_begin(view);
+        if ((s1 & 1) == 0 &&
+            view.base == reinterpret_cast<std::uintptr_t>(ref.base) &&
+            (ref.id == 0 || view.object_id == ref.id) &&
+            view.type() == expected.value && cell->read_validate(s1)) {
+          if (type_kinds_p_[expected.value] == BackendKind::kHybrid) {
+            ++ts.stats.hybrid_accesses;
+          } else {
+            ++ts.stats.stateless_accesses;
+          }
+          return static_cast<unsigned char*>(ref.base) +
+                 sch.offset_of(ref.base, field);
+        }
+      }
+    }
+    // Any mismatch falls through to the locked tail below, which owns
+    // classification (UAF vs type mismatch vs bad field) for every backend.
+  } else if (fast_reads_ && expected.valid()) {
     std::uint32_t offset = 0;
-    if (fast_field(ts, ref, field, expected, offset)) {
+    const FastField r = fast_field(ts, ref, field, expected, offset);
+    if (r == FastField::kHit) {
       return static_cast<unsigned char*>(ref.base) + offset;
+    }
+    if (r == FastField::kDamaged) [[unlikely]] {
+      return obj_field_mirror_damaged(ts, ref, field);
     }
   }
   std::uint32_t offset = 0;
@@ -667,12 +848,16 @@ Result<ObjRef> Runtime::obj_clone(ObjRef src) {
   }
   const ObjectRecord& src_rec = pinned.value();
   // Re-randomize by default; otherwise share the source layout so the
-  // clone is byte-copyable (perf ablation mode).
-  const Result<ObjectRecord> created = create_object(
-      ts, src_rec.type,
-      config_.rerandomize_on_copy ? nullptr : src_rec.layout);
+  // clone is byte-copyable (perf ablation mode). Derived backends always
+  // re-derive: the clone's layout is a function of its own address.
+  const Layout* share =
+      !config_.rerandomize_on_copy &&
+              kind_of(src_rec.type) == BackendKind::kStored
+          ? src_rec.layout
+          : nullptr;
+  const Result<ObjectRecord> created = create_object(ts, src_rec.type, share);
   if (!created.ok()) {
-    interner_.release(src_rec.layout);
+    release_layout(src_rec);
     violation(ts, created.error(), src.base, src_rec.type, src_rec.object_id,
               RuntimeOp::kClone);
     return Result<ObjRef>::failure(created.error());
@@ -686,7 +871,7 @@ Result<ObjRef> Runtime::obj_clone(ObjRef src) {
                     src_rec.layout->offsets[f],
                 info.fields[f].size);
   }
-  interner_.release(src_rec.layout);
+  release_layout(src_rec);
   ++ts.stats.memcpys;  // clone counts as memcpy, not allocation (Table III)
   ++ts.stats.clones;
   return ObjRef{dst_rec.base, dst_rec.object_id, src_rec.type};
@@ -702,7 +887,7 @@ Result<void> Runtime::obj_copy(ObjRef dst, ObjRef src) {
   }
   const Result<ObjectRecord> dst_pin = pin_record(dst);
   if (!dst_pin.ok()) {
-    interner_.release(src_pin.value().layout);
+    release_layout(src_pin.value());
     violation(ts, dst_pin.error(), dst.base, dst.type, dst.id,
               RuntimeOp::kCopy);
     return Result<void>::failure(dst_pin.error());
@@ -727,8 +912,8 @@ Result<void> Runtime::obj_copy(ObjRef dst, ObjRef src) {
     }
     ++ts.stats.memcpys;
   }
-  interner_.release(dst_rec.layout);
-  interner_.release(src_rec.layout);
+  release_layout(dst_rec);
+  release_layout(src_rec);
   return result;
 }
 

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.h"
 #include "core/cache.h"
 #include "core/layout.h"
 #include "core/metadata.h"
@@ -84,28 +85,23 @@ struct RuntimeConfig {
   /// default-constructed policy defers to `on_violation` (kAbort maps to
   /// abort-on-everything); any customized policy takes precedence.
   ViolationPolicy violation_policy{};
-  /// Verify the self-check word of every metadata record on lookup, so
-  /// corruption of the runtime's own table surfaces as kMetadataDamaged
-  /// instead of undefined behavior. Off = trust the table (perf ablation;
-  /// bench_faultpolicy measures the delta).
-  bool checksum_metadata = true;
-  /// Replace the hash-probe base→record lookup with the O(1) address
-  /// pagemap (core/pagemap.h). The legacy hash path is kept selectable so
-  /// ablation benches can measure both backends on the same machine.
-  bool enable_pagemap = true;
-  /// Resolve member accesses through the seqlock-published mirror without
-  /// taking the shard mutex. Only effective when enable_pagemap is on and
-  /// checksum_metadata is off: checksum verification requires the locked
-  /// checked path, so checksum mode always uses it.
-  bool lockfree_reads = true;
+  /// The randomization backend every type class uses unless overridden
+  /// below (see core/backend.h): kind (stored / stateless / hybrid) plus
+  /// the knobs that used to sprawl across this struct (pagemap, checksum,
+  /// lock-free reads, layout pooling, schedule size). Defaults to the
+  /// stored backend — or whatever POLAR_BACKEND names in the environment,
+  /// which is how CI runs the whole suite under the stateless backend.
+  BackendConfig backend = BackendConfig::env_default();
+  /// Per-type-class backend overrides, keyed by registered type name. Each
+  /// entry must validate, must name a type known to the registry the
+  /// Runtime is constructed with, and derived (stateless/hybrid) overrides
+  /// additionally require the default backend's pagemap (liveness
+  /// registration shares it). Later entries win on duplicate names.
+  std::vector<std::pair<std::string, BackendConfig>> type_backends;
   /// Pagemap granule in bytes: one live object base per granule. Must be a
   /// power of two in [8, 4096] (validate()); shrink it if the backing
   /// allocator can place two object bases within 16 bytes of each other.
   std::uint32_t pagemap_granule = AddressPagemap::kDefaultGranule;
-  /// Layouts pre-generated per (thread, type) refill of the layout pool.
-  /// 1 disables pooling (every allocation draws its layout inline); the
-  /// pooled sequence is RNG-identical to the serial sequence either way.
-  std::uint32_t layout_pool_chunk = 8;
   /// Event-trace sampling period (see src/observe/trace_ring.h and
   /// DESIGN.md §11). 0 = tracing off (the default: the member-access path
   /// is identical to an untraced runtime up to one predictable branch).
@@ -301,10 +297,40 @@ class Runtime {
 
   /// FAULT-INJECTION ONLY. XORs `mask` into the stored trap_value of the
   /// live record for `base` without resealing the checksum — simulating a
-  /// stray write into the metadata table itself. Returns false if `base`
-  /// is untracked. The next checked lookup reports kMetadataDamaged (when
-  /// config().checksum_metadata) and evicts the record.
+  /// stray write into the metadata table itself — and, on the pagemap
+  /// backend, also XORs the mask into the seqlock mirror's base word so
+  /// readers are forced off the fast path onto the locked lookup that
+  /// verifies the record. Returns false if `base` is untracked. The next
+  /// checked lookup reports kMetadataDamaged (when the backend checksums
+  /// records) and evicts the record. Call again with the same mask to
+  /// undo.
   bool debug_corrupt_metadata(const void* base, std::uint64_t mask);
+
+  /// FAULT-INJECTION ONLY. XORs `mask` into inline offset 0 of the
+  /// seqlock mirror for `base` without moving the sequence counter — the
+  /// stray-write misdirection that only the digest folded into the
+  /// sequence word can catch. The next fast-path read reports
+  /// kMetadataDamaged and heals the mirror from the (intact) record.
+  /// Returns false if `base` has no pagemap cell.
+  bool debug_corrupt_mirror(const void* base, std::uint32_t mask);
+
+  // --- backend introspection ----------------------------------------------
+
+  /// Resolved backend kind of one type class: the per-type override if the
+  /// config named this type, the config default otherwise. Types
+  /// registered after Runtime construction fall back to kStored (their
+  /// allocations run the stored machinery regardless of the default).
+  [[nodiscard]] BackendKind backend_kind(TypeId t) const noexcept {
+    return kind_of(t);
+  }
+  /// Resolved BackendConfig of one type class (same resolution rule).
+  [[nodiscard]] const BackendConfig& backend_config(TypeId t) const noexcept {
+    return t.value < n_types_ ? type_configs_[t.value] : config_.backend;
+  }
+  /// The layout schedule of a stateless/hybrid type; nullptr for stored.
+  [[nodiscard]] const StatelessSchedule* schedule(TypeId t) const noexcept {
+    return t.value < n_types_ ? schedules_[t.value].get() : nullptr;
+  }
 
   [[nodiscard]] std::size_t live_objects() const noexcept {
     return pagemap_ != nullptr
@@ -401,18 +427,57 @@ class Runtime {
   /// popped from the thread's per-type pool (refilled layout_pool_chunk at
   /// a time by the batcher). Identical layout sequence either way.
   Layout next_layout(ThreadState& ts, TypeId type, const TypeInfo& info);
+  /// Outcome of the lock-free fast path. kMiss covers every benign reason
+  /// to fall back to the locked path (no cell, stale id, writer
+  /// mid-update, out-of-range field); kDamaged means the mirror was
+  /// stable under its sequence but failed the digest folded into the
+  /// sequence word — a genuine stray write, routed to the out-of-line
+  /// damage handler instead of being silently retried under the lock.
+  enum class FastField : std::uint8_t { kMiss, kHit, kDamaged };
   /// The lock-free member-access fast path (pagemap + seqlock mirror).
-  /// On success stores `offset` and returns true; any mismatch — no cell,
-  /// stale id, writer mid-update, out-of-range field — returns false and
-  /// the caller runs the locked checked path, which owns all violation
-  /// classification. `expected` (when valid) adds the typed-access check.
-  bool fast_field(ThreadState& ts, const ObjRef& ref, std::uint32_t field,
-                  TypeId expected, std::uint32_t& offset);
+  /// On kHit stores `offset`; on kMiss the caller runs the locked checked
+  /// path, which owns all violation classification. `expected` (when
+  /// valid) adds the typed-access check.
+  FastField fast_field(ThreadState& ts, const ObjRef& ref,
+                       std::uint32_t field, TypeId expected,
+                       std::uint32_t& offset);
+  /// The derived-offset access path of the stateless/hybrid backends:
+  /// offsets come from the type's schedule (a pure function of the base
+  /// address); kHybrid additionally runs a seqlock liveness check and
+  /// falls back to the locked path on any mismatch. Inline, like the
+  /// stored fast path.
+  Result<void*> derived_field(ThreadState& ts, const ObjRef& ref,
+                              std::uint32_t field, BackendKind kind);
   /// The locked tail of obj_field: checked lookup, violation
   /// classification, policy routing. Out of line; the inline prefix
   /// (cache + seqlock fast path) is defined below the class.
   Result<void*> obj_field_slow(ThreadState& ts, ObjRef ref,
                                std::uint32_t field);
+  /// Out-of-line handler for FastField::kDamaged: reports
+  /// kMetadataDamaged, re-publishes the mirror from the record when the
+  /// record itself verifies (healing the cell), then resolves the access
+  /// through the locked path.
+  Result<void*> obj_field_mirror_damaged(ThreadState& ts, ObjRef ref,
+                                         std::uint32_t field);
+  /// Resolved backend kind for a type id (kStored for ids the runtime did
+  /// not see at construction, including TypeId{}).
+  [[nodiscard]] BackendKind kind_of(TypeId t) const noexcept {
+    return any_derived_ && t.value < n_types_ ? type_kinds_p_[t.value]
+                                              : BackendKind::kStored;
+  }
+  /// Layout lifetime helpers: schedule layouts (derived backends) are
+  /// immortal and never interned, so retain/release must be skipped for
+  /// them.
+  void retain_layout(const ObjectRecord& rec) const {
+    if (kind_of(rec.type) == BackendKind::kStored) {
+      interner_.retain(rec.layout);
+    }
+  }
+  void release_layout(const ObjectRecord& rec) const {
+    if (kind_of(rec.type) == BackendKind::kStored) {
+      interner_.release(rec.layout);
+    }
+  }
 #if defined(POLAR_TRACE_ENABLED)
   /// The sampled twin of obj_field's body: times the resolution, records a
   /// kGetptrFast/kGetptrSlow event plus the latency histogram, and resets
@@ -429,7 +494,7 @@ class Runtime {
   /// Copies the record for ref out of its shard and retains its layout so
   /// both outlive the shard lock; kUseAfterFree/stale-id (or
   /// kMetadataDamaged) on failure. The caller must
-  /// interner_.release(rec.layout).
+  /// release_layout(rec) when done.
   Result<ObjectRecord> pin_record(ObjRef ref) const;
   /// Poisons the block and parks it instead of returning it to the backing
   /// allocator (the kQuarantine action for trap-damaged frees).
@@ -441,13 +506,22 @@ class Runtime {
   /// Shard mutexes + epochs guard both backends; the per-shard hash table
   /// holds records only when the pagemap backend is off.
   mutable ShardedMetadataTable table_;
-  /// O(1) base→cell lookup (null when config.enable_pagemap is off).
+  /// O(1) base→cell lookup (null when the default backend's pagemap
+  /// option is off — a legacy-hash-tables configuration).
   std::unique_ptr<AddressPagemap> pagemap_;
   /// Type-stable cell store backing the pagemap entries.
   mutable MetaCellArena cells_;
-  /// True when member accesses may use the seqlock fast path: pagemap on,
-  /// lockfree_reads on, checksum_metadata off (checksums need the lock).
+  /// True when member accesses may use the seqlock fast path: pagemap on
+  /// and lockfree_reads on. Checksum mode no longer forces the locked
+  /// path — record verification rides the digest in the sequence word.
   const bool fast_reads_;
+  /// True when checked lookups verify ObjectRecord checksums (any type
+  /// class configured with options.checksum; records are always sealed,
+  /// so verifying a checksum-off type's record is harmless).
+  const bool checksum_records_;
+  /// True when fast-path reads verify the mirror digest folded into the
+  /// sequence word (same condition as checksum_records_).
+  const bool verify_mirror_;
   /// Cached copies of the pagemap's root pointer and granule shift (both
   /// immutable for the pagemap's lifetime) so the read fast path indexes
   /// the table without touching the AddressPagemap object. Null/0 when
@@ -459,6 +533,21 @@ class Runtime {
   /// the inline hot path tests one immutable word. 0 = tracing off.
   const std::uint32_t trace_interval_;
 #endif
+  // --- per-type backend resolution (immutable after construction) ---------
+  /// Resolved BackendConfig per TypeId known at construction.
+  std::vector<BackendConfig> type_configs_;
+  /// type_configs_[i].kind, split out for the one-load hot-path dispatch.
+  std::vector<BackendKind> type_kinds_;
+  /// Layout schedules for derived types (null for stored types).
+  std::vector<std::unique_ptr<StatelessSchedule>> schedules_;
+  /// Hot-path copies: raw pointers into the vectors above plus the type
+  /// count they were sized for, and whether any type is non-stored at all
+  /// (false folds the whole dispatch to one predictable test).
+  const BackendKind* type_kinds_p_ = nullptr;
+  const std::unique_ptr<StatelessSchedule>* schedules_p_ = nullptr;
+  std::uint32_t n_types_ = 0;
+  bool any_derived_ = false;
+
   mutable std::atomic<std::size_t> live_count_{0};
   mutable LayoutInterner interner_;
   std::atomic<std::uint64_t> next_object_id_{1};
@@ -482,11 +571,13 @@ class Runtime {
 // the compiler hoists the loop-invariant loads (config flags, pagemap root,
 // granule shift) out of access loops, which the out-of-line version cannot.
 
-inline bool Runtime::fast_field(ThreadState& ts, const ObjRef& ref,
-                                std::uint32_t field, TypeId expected,
-                                std::uint32_t& offset) {
+inline Runtime::FastField Runtime::fast_field(ThreadState& ts,
+                                              const ObjRef& ref,
+                                              std::uint32_t field,
+                                              TypeId expected,
+                                              std::uint32_t& offset) {
   MetaCell* cell = AddressPagemap::lookup_in(pm_root_, pm_shift_, ref.base);
-  if (cell == nullptr) return false;
+  if (cell == nullptr) return FastField::kMiss;
   // The shard is only consulted for the offset-cache epoch, so with the
   // cache off the fast path never hashes the address at all. Epoch before
   // read_begin: if the object dies between the two, the seqlock validation
@@ -500,29 +591,75 @@ inline bool Runtime::fast_field(ThreadState& ts, const ObjRef& ref,
   }
   MetaCell::FastView view;
   const std::uint64_t s1 = cell->read_begin(view);
-  if ((s1 & 1) != 0) return false;  // writer mid-update
-  if (view.base != reinterpret_cast<std::uintptr_t>(ref.base)) return false;
-  if (ref.id != 0 && view.object_id != ref.id) return false;
-  if (expected.valid() && view.type != expected.value) return false;
-  if (field >= view.field_count) return false;
+  if ((s1 & 1) != 0) return FastField::kMiss;  // writer mid-update
+  if (view.base != reinterpret_cast<std::uintptr_t>(ref.base)) {
+    return FastField::kMiss;
+  }
+  if (ref.id != 0 && view.object_id != ref.id) return FastField::kMiss;
+  if (expected.valid() && view.type() != expected.value) {
+    return FastField::kMiss;
+  }
+  if (field >= view.field_count()) return FastField::kMiss;
   std::uint32_t candidate;
   if (field < MetaCell::kInlineOffsets) {
     // Same cache line as seq/the mirror — no dependent load via the blob.
-    candidate =
-        cell->fast_inline_offsets[field].load(std::memory_order_relaxed);
+    // Taken from the snapshot so the digest check below covers the very
+    // word the access will use.
+    candidate = view.inline_off(field);
   } else {
-    if (view.offsets == nullptr) return false;
+    if (view.offsets == nullptr) return FastField::kMiss;
     candidate = view.offsets[field].load(std::memory_order_relaxed);
   }
   // The offset came from a blob the layout may no longer own (type-stable,
   // recycled): only the unchanged sequence proves it was current.
-  if (!cell->read_validate(s1)) return false;
+  if (!cell->read_validate(s1)) return FastField::kMiss;
+  // Digest check after validation: the snapshot is known stable at s1, so
+  // a mismatch is a stray write into the mirror (a racing re-publish
+  // always moves the counter), not a torn read.
+  if (verify_mirror_ &&
+      static_cast<std::uint32_t>(s1 >> 32) != MetaCell::mirror_digest(view)) {
+    return FastField::kDamaged;
+  }
   offset = candidate;
   ++ts.stats.fastpath_hits;
   if (cache) {
     ts.cache.store(ref.base, field, offset, epoch, view.object_id);
   }
-  return true;
+  return FastField::kHit;
+}
+
+inline Result<void*> Runtime::derived_field(ThreadState& ts, const ObjRef& ref,
+                                            std::uint32_t field,
+                                            BackendKind kind) {
+  const StatelessSchedule& sch = *schedules_p_[ref.type.value];
+  if (field >= sch.field_count()) {
+    // The locked path classifies (kBadField on a live object, kUseAfterFree
+    // on a dead one) — derived records still exist, so it works unchanged.
+    return obj_field_slow(ts, ref, field);
+  }
+  if (kind == BackendKind::kHybrid) {
+    // Liveness gate: the seqlock mirror must name this base (and id, for
+    // checked handles) as live right now. Offsets still come from the
+    // schedule — the mirror is consulted, never dereferenced through.
+    MetaCell* cell = AddressPagemap::lookup_in(pm_root_, pm_shift_, ref.base);
+    if (cell == nullptr) return obj_field_slow(ts, ref, field);
+    MetaCell::FastView view;
+    const std::uint64_t s1 = cell->read_begin(view);
+    if ((s1 & 1) != 0 ||
+        view.base != reinterpret_cast<std::uintptr_t>(ref.base) ||
+        (ref.id != 0 && view.object_id != ref.id) ||
+        view.type() != ref.type.value || !cell->read_validate(s1)) {
+      // Includes the type-confusion case: a live object of another class
+      // at this base resolves through its true record, not our schedule.
+      return obj_field_slow(ts, ref, field);
+    }
+    ++ts.stats.hybrid_accesses;
+  } else {
+    // Stateless: no metadata touch at all. The cost of that purity is
+    // spelled out in DESIGN.md §12 — no UAF/stale-handle detection here.
+    ++ts.stats.stateless_accesses;
+  }
+  return static_cast<unsigned char*>(ref.base) + sch.offset_of(ref.base, field);
 }
 
 inline Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
@@ -536,6 +673,14 @@ inline Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
   }
 #endif
   ++ts.stats.member_accesses;
+  // Backend dispatch: for a runtime whose types are all stored (the common
+  // case) this folds to one test of an immutable bool. Untyped legacy
+  // handles (olr_getptr's TypeId{}) always take the stored machinery,
+  // which every backend keeps populated.
+  if (any_derived_ && ref.type.value < n_types_) {
+    const BackendKind k = type_kinds_p_[ref.type.value];
+    if (k != BackendKind::kStored) return derived_field(ts, ref, field, k);
+  }
   if (config_.enable_cache) {
     const std::uint64_t epoch =
         table_.shard_of(ref.base).epoch.load(std::memory_order_acquire);
@@ -547,8 +692,12 @@ inline Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
   }
   if (fast_reads_) {
     std::uint32_t offset = 0;
-    if (fast_field(ts, ref, field, TypeId{}, offset)) {
+    const FastField r = fast_field(ts, ref, field, TypeId{}, offset);
+    if (r == FastField::kHit) {
       return static_cast<unsigned char*>(ref.base) + offset;
+    }
+    if (r == FastField::kDamaged) [[unlikely]] {
+      return obj_field_mirror_damaged(ts, ref, field);
     }
     // Any fast-path miss — real violation or benign race — falls through
     // to the locked path, which owns classification and policy.

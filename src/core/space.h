@@ -79,29 +79,45 @@ class DirectSpace {
 };
 
 /// Instrumented build: every site goes through the POLaR runtime.
+///
+/// Routed through the canonical obj_* engine with typed handles (the
+/// workload templates pass the static type at every site, exactly like
+/// the LLVM pass would), so per-type-class backend selection applies to
+/// these accesses too. The handles carry id 0 — the concept's surface is
+/// raw void* bases, so stale-handle detection stays address-based here;
+/// SessionSpace is the adapter that upgrades to full id checking.
 class PolarSpace {
  public:
   explicit PolarSpace(Runtime& rt) : rt_(&rt) {}
 
   static constexpr bool kRandomized = true;
 
-  void* alloc(TypeId type) { return rt_->olr_malloc(type); }
+  void* alloc(TypeId type) {
+    const Result<ObjRef> r = rt_->obj_alloc(type);
+    return r.ok() ? r.value().base : nullptr;
+  }
 
-  void free_object(void* base, TypeId /*type*/) { rt_->olr_free(base); }
+  void free_object(void* base, TypeId type) {
+    (void)rt_->obj_free(ref_of(base, type));
+  }
 
-  [[nodiscard]] void* field_ptr(void* base, TypeId /*type*/,
+  [[nodiscard]] void* field_ptr(void* base, TypeId type,
                                 std::uint32_t field) const {
-    return rt_->olr_getptr(base, field);
+    return rt_->obj_field(ref_of(base, type), field).value_or(nullptr);
   }
 
   template <class T>
-  [[nodiscard]] T load(void* base, TypeId /*type*/, std::uint32_t field) const {
-    return rt_->load<T>(base, field);
+  [[nodiscard]] T load(void* base, TypeId type, std::uint32_t field) const {
+    const Result<void*> p = rt_->obj_field(ref_of(base, type), field);
+    T v{};
+    if (p.ok()) std::memcpy(&v, p.value(), sizeof(T));
+    return v;
   }
 
   template <class T>
-  void store(void* base, TypeId /*type*/, std::uint32_t field, const T& v) const {
-    rt_->store<T>(base, field, v);
+  void store(void* base, TypeId type, std::uint32_t field, const T& v) const {
+    const Result<void*> p = rt_->obj_field(ref_of(base, type), field);
+    if (p.ok()) std::memcpy(p.value(), &v, sizeof(T));
   }
 
   [[nodiscard]] std::size_t object_bytes(const void* base,
@@ -110,18 +126,25 @@ class PolarSpace {
     return rec == nullptr ? 0 : rec->layout->size;
   }
 
-  void copy_object(void* dst, const void* src, TypeId /*type*/) {
-    rt_->olr_memcpy(dst, src);
+  void copy_object(void* dst, const void* src, TypeId type) {
+    (void)rt_->obj_copy(ref_of(dst, type),
+                        ref_of(const_cast<void*>(src), type));
   }
 
-  void* clone_object(const void* src, TypeId /*type*/) {
-    return rt_->olr_clone(src);
+  void* clone_object(const void* src, TypeId type) {
+    const Result<ObjRef> r =
+        rt_->obj_clone(ref_of(const_cast<void*>(src), type));
+    return r.ok() ? r.value().base : nullptr;
   }
 
   [[nodiscard]] const TypeRegistry& registry() const { return rt_->registry(); }
   [[nodiscard]] Runtime& runtime() { return *rt_; }
 
  private:
+  [[nodiscard]] static ObjRef ref_of(void* base, TypeId type) noexcept {
+    return ObjRef{base, 0, type};
+  }
+
   Runtime* rt_;
 };
 

@@ -19,6 +19,10 @@ struct RuntimeStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t fastpath_hits = 0;  ///< accesses resolved by the lock-free
                                     ///< pagemap+seqlock path (no shard lock)
+  std::uint64_t stateless_accesses = 0;  ///< accesses resolved by a derived
+                                         ///< schedule with no metadata touch
+  std::uint64_t hybrid_accesses = 0;  ///< derived-offset accesses that also
+                                      ///< passed the seqlock liveness gate
 
   std::uint64_t layouts_created = 0;  ///< fresh randomized layouts drawn
   std::uint64_t layouts_deduped = 0;  ///< allocations that reused a layout
@@ -46,6 +50,8 @@ struct RuntimeStats {
     member_accesses += o.member_accesses;
     cache_hits += o.cache_hits;
     fastpath_hits += o.fastpath_hits;
+    stateless_accesses += o.stateless_accesses;
+    hybrid_accesses += o.hybrid_accesses;
     layouts_created += o.layouts_created;
     layouts_deduped += o.layouts_deduped;
     layout_pool_refills += o.layout_pool_refills;

@@ -14,7 +14,11 @@
 //   * under a non-abort policy the workload still produces its fault-free
 //     result (injections are scoped to harness-owned scratch objects, so
 //     detection must cost the program nothing),
-//   * fault-free control runs report nothing at all.
+//   * fault-free control runs report nothing at all,
+//   * fault classes the configured randomization backend cannot detect
+//     (fault_detectable) are never injected — those rows run fault-free,
+//     must come back clean, and are reported as SKIP instead of being
+//     silently passed or expected-to-fail.
 //
 // The injection point is the runtime's alloc_fn hook: backing allocations
 // are counted, and when the count reaches FaultPlan::at_alloc the fault is
@@ -27,6 +31,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "core/backend.h"
 #include "core/result.h"
 #include "core/stats.h"
 #include "core/violation_policy.h"
@@ -54,6 +59,25 @@ inline constexpr std::size_t kFaultKindCount = 8;
 /// ground truth). kNone for FaultKind::kNone.
 [[nodiscard]] Violation expected_violation(FaultKind k) noexcept;
 
+/// Whether `backend` can detect fault class `k` at all — the capability
+/// table the matrix consults BEFORE injecting. Undetectable combinations
+/// are never injected (a stateless backend would turn an injected stale
+/// read into a genuine dangling dereference, since the whole point of
+/// that backend is to not consult liveness metadata on the access path);
+/// instead the row runs fault-free and must come back clean, and the
+/// report labels it SKIP rather than silently passing.
+///
+///   * kUafRead/kUafWrite   — stored and hybrid gate accesses on liveness
+///                            metadata; pure stateless does not.
+///   * kMetadataFlip        — only record checksums catch stray writes
+///                            into the runtime's own metadata (derived
+///                            backends run checksum-free by construction).
+///   * everything else      — alloc/free-path detectors (trap check,
+///                            double-free, OOM) that every backend routes
+///                            through the shared record machinery.
+[[nodiscard]] bool fault_detectable(FaultKind k,
+                                    const BackendConfig& backend) noexcept;
+
 /// The four real workloads the harness drives.
 enum class WorkloadKind : std::uint8_t { kMinipng, kMinijpg, kMjs, kSpec };
 inline constexpr std::size_t kWorkloadKindCount = 4;
@@ -73,6 +97,10 @@ struct FaultOutcome {
   WorkloadKind workload = WorkloadKind::kMinipng;
   FaultPlan plan{};
   bool injected = false;     ///< the trigger point was reached
+  /// The configured backend cannot detect this fault class, so the
+  /// harness ran the row WITHOUT injecting (see fault_detectable) and
+  /// requires cleanliness instead of detection.
+  bool skipped = false;
   bool workload_ok = false;  ///< workload matched its fault-free reference
   Violation expected = Violation::kNone;
   std::uint64_t expected_reports = 0;    ///< engine count for `expected`
@@ -96,9 +124,11 @@ struct FaultOutcome {
   }
   /// What the matrix requires of this row: detection for injected rows
   /// (plus an unharmed workload, since the harness never runs under an
-  /// abort policy), cleanliness for control rows.
+  /// abort policy), cleanliness for control rows and for rows the backend
+  /// cannot detect (which run fault-free — a skipped row that reports
+  /// anything is a false positive).
   [[nodiscard]] bool passed() const noexcept {
-    if (plan.kind == FaultKind::kNone) return clean();
+    if (plan.kind == FaultKind::kNone || skipped) return clean();
     return detected() && workload_ok && leaked_objects == 0;
   }
 };
@@ -108,7 +138,10 @@ struct HarnessConfig {
   /// Must not abort for any class the matrix injects — the harness asserts
   /// survival. Default (all kReport) is the report-and-refuse posture.
   ViolationPolicy policy{};
-  bool checksum_metadata = true;  ///< off = kMetadataFlip goes undetected
+  /// The randomization backend every run uses. Fault classes the backend
+  /// cannot detect (fault_detectable) become SKIP rows: run fault-free,
+  /// required clean. The default stored backend detects everything.
+  BackendConfig backend = BackendConfig::stored();
   /// Back the runtime with a SizeClassHeap instead of operator new
   /// (realistic reuse dynamics under injected frees).
   bool use_heap = false;
@@ -130,16 +163,14 @@ struct HarnessConfig {
 /// including the fault-free control — 4 x 8 rows.
 [[nodiscard]] std::vector<FaultOutcome> run_matrix(const HarnessConfig& cfg);
 
-/// True iff every row passed (see FaultOutcome::passed). When
-/// `cfg.checksum_metadata` was off, callers should expect kMetadataFlip
-/// rows to fail — that ablation is the point of the flag.
+/// True iff every row passed (see FaultOutcome::passed): detectable rows
+/// detected, skipped and control rows clean. Skipped rows can no longer
+/// fail a matrix silently — they are exercised fault-free and any report
+/// they produce is a false positive.
 [[nodiscard]] bool matrix_passes(const std::vector<FaultOutcome>& outcomes);
 
-/// Human-readable matrix table (one row per outcome).
-/// Pretty-print one matrix. With `metadata_detectable` false (the
-/// checksum ablation), undetected metadata-flip rows print as
-/// "MISS (expected)" rather than FAIL.
-void print_matrix(std::ostream& os, const std::vector<FaultOutcome>& outcomes,
-                  bool metadata_detectable = true);
+/// Human-readable matrix table (one row per outcome). Rows the backend
+/// cannot detect print as "SKIP (undetectable)".
+void print_matrix(std::ostream& os, const std::vector<FaultOutcome>& outcomes);
 
 }  // namespace polar::faultinject

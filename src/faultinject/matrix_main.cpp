@@ -5,15 +5,18 @@
 // row fails: an injected fault that went undetected or misclassified, a
 // false positive, or a workload whose output a fault managed to change.
 //
-//   fault_matrix [--seed=N] [--heap] [--no-checksum] [--quick] [--stats]
+//   fault_matrix [--seed=N] [--backend=stored|stateless|hybrid] [--heap]
+//                [--no-checksum] [--quick] [--stats]
 //
-// --heap backs the runtime with the SizeClassHeap (realistic reuse
-// dynamics); --no-checksum runs the metadata-checksum ablation, under
-// which the metadata-flip rows are expected to fail — the tool reports
-// them but only counts the rows the configuration can detect. --stats
-// turns on trace-ring sampling inside every run and appends a JSON
-// summary of the aggregated runtime counters and trace accounting (the
-// observability layer's view of the whole sweep; DESIGN.md §11).
+// --backend selects the randomization backend every run uses; fault
+// classes that backend cannot detect are never injected — the matrix runs
+// those rows fault-free, requires them to come back clean, and prints them
+// as SKIP so the blind spot stays visible. --heap backs the runtime with
+// the SizeClassHeap (realistic reuse dynamics); --no-checksum runs the
+// metadata-checksum ablation, under which metadata-flip rows become SKIP
+// rows. --stats turns on trace-ring sampling inside every run and appends
+// a JSON summary of the aggregated runtime counters and trace accounting
+// (the observability layer's view of the whole sweep; DESIGN.md §11).
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -51,25 +54,17 @@ struct SweepStats {
 
 SweepStats g_sweep;
 
-bool run_config(const char* label, const polar::faultinject::HarnessConfig& cfg,
-                bool expect_metadata_detection) {
-  using polar::faultinject::FaultKind;
+bool run_config(const char* label,
+                const polar::faultinject::HarnessConfig& cfg) {
   const auto rows = polar::faultinject::run_matrix(cfg);
   g_sweep.fold(rows);
-  std::cout << "=== policy: " << label
+  std::cout << "=== policy: " << label << " (backend: "
+            << polar::to_string(cfg.backend.kind) << ")"
             << (cfg.use_heap ? " (sizeclass heap)" : "")
-            << (cfg.checksum_metadata ? "" : " (checksums off)") << " ===\n";
-  polar::faultinject::print_matrix(std::cout, rows, expect_metadata_detection);
-  bool ok = true;
-  for (const auto& row : rows) {
-    if (!expect_metadata_detection && row.plan.kind == FaultKind::kMetadataFlip) {
-      // The ablation cannot detect its own blind spot; still require the
-      // workload to have survived and nothing else to have fired.
-      ok = ok && row.workload_ok && row.unexpected_reports == 0;
-      continue;
-    }
-    ok = ok && row.passed();
-  }
+            << (cfg.backend.options.checksum ? "" : " (checksums off)")
+            << " ===\n";
+  polar::faultinject::print_matrix(std::cout, rows);
+  const bool ok = polar::faultinject::matrix_passes(rows);
   std::cout << (ok ? "OK" : "FAILED") << "\n\n";
   return ok;
 }
@@ -80,37 +75,49 @@ int main(int argc, char** argv) {
   polar::faultinject::HarnessConfig base;
   bool quick = false;
   bool stats = false;
+  bool no_checksum = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
       base.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      polar::BackendKind kind{};
+      if (!polar::parse_backend(arg.c_str() + 10, kind)) {
+        std::cerr << "unknown backend: " << arg.c_str() + 10 << "\n";
+        return 2;
+      }
+      base.backend = polar::BackendConfig::of(kind);
     } else if (arg == "--heap") {
       base.use_heap = true;
     } else if (arg == "--no-checksum") {
-      base.checksum_metadata = false;
+      no_checksum = true;
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--stats") {
       stats = true;
       base.trace_sample_interval = 64;
     } else {
-      std::cerr << "usage: fault_matrix [--seed=N] [--heap] [--no-checksum]"
-                   " [--quick] [--stats]\n";
+      std::cerr << "usage: fault_matrix [--seed=N]"
+                   " [--backend=stored|stateless|hybrid] [--heap]"
+                   " [--no-checksum] [--quick] [--stats]\n";
       return 2;
     }
   }
+  // Applied after --backend so the flags compose in either order (derived
+  // backends are checksum-free already).
+  if (no_checksum) base.backend.options.checksum = false;
 
   bool ok = true;
 
   // Report-and-refuse everywhere (the default policy).
-  ok = run_config("report", base, base.checksum_metadata) && ok;
+  ok = run_config("report", base) && ok;
 
   if (!quick) {
     // Quarantine trap-damaged objects instead of recycling their memory.
     auto quarantine = base;
     quarantine.policy.set(polar::Violation::kTrapDamaged,
                           polar::ViolationAction::kQuarantine);
-    ok = run_config("quarantine", quarantine, base.checksum_metadata) && ok;
+    ok = run_config("quarantine", quarantine) && ok;
 
     // Route every report through a registered hook; the hook must see
     // exactly as many reports as the engine counted.
@@ -125,17 +132,10 @@ int main(int argc, char** argv) {
     for (const auto& row : rows) {
       engine_total += row.expected_reports + row.unexpected_reports;
     }
-    std::cout << "=== policy: hook ===\n";
-    polar::faultinject::print_matrix(std::cout, rows, base.checksum_metadata);
-    bool hook_ok = true;
-    for (const auto& row : rows) {
-      if (!base.checksum_metadata &&
-          row.plan.kind == polar::faultinject::FaultKind::kMetadataFlip) {
-        hook_ok = hook_ok && row.workload_ok && row.unexpected_reports == 0;
-        continue;
-      }
-      hook_ok = hook_ok && row.passed();
-    }
+    std::cout << "=== policy: hook (backend: "
+              << polar::to_string(base.backend.kind) << ") ===\n";
+    polar::faultinject::print_matrix(std::cout, rows);
+    bool hook_ok = polar::faultinject::matrix_passes(rows);
     const std::uint64_t hook_seen =
         g_hook_reports.load(std::memory_order_relaxed);
     if (hook_seen != engine_total) {

@@ -1,5 +1,6 @@
 #include "observe/introspect.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdarg>
@@ -43,10 +44,21 @@ IntrospectionReport introspect(const Runtime& rt) {
     TypeCensusRow& row = r.census[id];
     row.type_name = info.name;
     row.type_id = id;
+    row.backend = rt.backend_kind(TypeId{id});
     // permutation_space saturates at uint64 max; log2 of that reads as
     // "64 bits", an honest floor since dummies multiply the true space.
     row.entropy_bits = std::log2(
         static_cast<double>(permutation_space(info, rt.config().policy)));
+    // A derived type realizes at most its schedule's distinct entries —
+    // report the diversity an attacker actually faces, not the policy's
+    // theoretical space.
+    if (const StatelessSchedule* sch = rt.schedule(TypeId{id})) {
+      const double cap =
+          std::log2(static_cast<double>(sch->distinct_layouts() == 0
+                                            ? 1
+                                            : sch->distinct_layouts()));
+      row.entropy_bits = std::min(row.entropy_bits, cap);
+    }
     ++r.entropy_histogram[entropy_band(row.entropy_bits)];
     ++id;
   }
@@ -82,12 +94,12 @@ std::string to_json(const IntrospectionReport& r) {
     const TypeCensusRow& row = r.census[i];
     append_fmt(out,
                "    {\"type\": \"%s\", \"type_id\": %" PRIu32
-               ", \"live_objects\": %" PRIu64 ", \"live_bytes\": %" PRIu64
-               ", \"distinct_layouts\": %" PRIu64
+               ", \"backend\": \"%s\", \"live_objects\": %" PRIu64
+               ", \"live_bytes\": %" PRIu64 ", \"distinct_layouts\": %" PRIu64
                ", \"entropy_bits\": %.2f}%s\n",
-               row.type_name.c_str(), row.type_id, row.live_objects,
-               row.live_bytes, row.distinct_layouts, row.entropy_bits,
-               i + 1 < r.census.size() ? "," : "");
+               row.type_name.c_str(), row.type_id, to_string(row.backend),
+               row.live_objects, row.live_bytes, row.distinct_layouts,
+               row.entropy_bits, i + 1 < r.census.size() ? "," : "");
   }
   out += "  ],\n";
   append_fmt(out, "  \"live_objects\": %" PRIu64 ",\n", r.live_objects);
@@ -104,18 +116,19 @@ std::string to_json(const IntrospectionReport& r) {
 
 std::string to_table(const IntrospectionReport& r) {
   std::string out;
-  append_fmt(out, "%-24s %8s %10s %12s %9s %8s\n", "type", "live", "bytes",
-             "layouts", "entropy", "dedup%");
+  append_fmt(out, "%-24s %-10s %8s %10s %12s %9s %8s\n", "type", "backend",
+             "live", "bytes", "layouts", "entropy", "dedup%");
   for (const TypeCensusRow& row : r.census) {
     const double dedup_pct =
         row.live_objects == 0
             ? 0.0
             : 100.0 * (1.0 - static_cast<double>(row.distinct_layouts) /
                                  static_cast<double>(row.live_objects));
-    append_fmt(out, "%-24s %8" PRIu64 " %10" PRIu64 " %12" PRIu64
+    append_fmt(out, "%-24s %-10s %8" PRIu64 " %10" PRIu64 " %12" PRIu64
                " %8.1fb %7.1f%%\n",
-               row.type_name.c_str(), row.live_objects, row.live_bytes,
-               row.distinct_layouts, row.entropy_bits, dedup_pct);
+               row.type_name.c_str(), to_string(row.backend), row.live_objects,
+               row.live_bytes, row.distinct_layouts, row.entropy_bits,
+               dedup_pct);
   }
   append_fmt(out,
              "total: %" PRIu64 " live objects, %" PRIu64

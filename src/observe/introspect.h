@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.h"
+
 namespace polar {
 class Runtime;
 }
@@ -30,8 +32,14 @@ struct TypeCensusRow {
   std::uint64_t live_objects = 0;
   std::uint64_t live_bytes = 0;        ///< randomized (inflated) sizes
   std::uint64_t distinct_layouts = 0;  ///< among this type's live objects
-  /// log2 of the permutation space reachable for this type under the
-  /// runtime's layout policy (dummies multiply the true space further).
+  /// Which randomization backend resolves this type's accesses (per-type
+  /// overrides make this vary across rows of one runtime).
+  BackendKind backend = BackendKind::kStored;
+  /// log2 of the layout space realizable for this type: the permutation
+  /// space reachable under the runtime's layout policy, capped for
+  /// derived (stateless/hybrid) types by the schedule's distinct entries
+  /// — a 2^schedule_bits table cannot realize more diversity than it
+  /// holds, no matter how large the permutation space is.
   double entropy_bits = 0.0;
 };
 

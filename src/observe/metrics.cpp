@@ -27,6 +27,8 @@ constexpr StatField kStatFields[] = {
     {"member_accesses", &RuntimeStats::member_accesses},
     {"cache_hits", &RuntimeStats::cache_hits},
     {"fastpath_hits", &RuntimeStats::fastpath_hits},
+    {"stateless_accesses", &RuntimeStats::stateless_accesses},
+    {"hybrid_accesses", &RuntimeStats::hybrid_accesses},
     {"layouts_created", &RuntimeStats::layouts_created},
     {"layouts_deduped", &RuntimeStats::layouts_deduped},
     {"layout_pool_refills", &RuntimeStats::layout_pool_refills},
@@ -525,6 +527,9 @@ std::vector<std::string> consistency_violations(const MetricsSnapshot& m) {
         "cache_hits <= member_accesses");
   check(m.stats.fastpath_hits <= m.stats.member_accesses,
         "fastpath_hits <= member_accesses");
+  check(m.stats.stateless_accesses + m.stats.hybrid_accesses <=
+            m.stats.member_accesses,
+        "derived accesses <= member_accesses");
   check(m.stats.bytes_allocated >= m.stats.bytes_requested,
         "bytes_allocated >= bytes_requested (layout inflation >= 1)");
   check(m.stats.layouts_created + m.stats.layouts_deduped >=

@@ -1,0 +1,409 @@
+// The randomization-backend API: BackendConfig validation, the
+// stored/stateless/hybrid parity contract (same lifecycle and access
+// semantics through the Session surface), stateless determinism (the
+// permutation is a pure function of (base, type_seed)), and per-type-class
+// backend overrides.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/session.h"
+#include "core/type_registry.h"
+
+namespace polar {
+namespace {
+
+TypeId make_widget(TypeRegistry& reg) {
+  return TypeBuilder(reg, "Widget")
+      .fn_ptr("vtable")
+      .field<std::uint64_t>("value")
+      .ptr("next")
+      .field<std::uint32_t>("len")
+      .field<std::uint32_t>("cap")
+      .build();
+}
+
+// --- BackendConfig validation ----------------------------------------------
+
+TEST(BackendValidate, StatelessPlusChecksumIsIncoherent) {
+  BackendConfig c = BackendConfig::stateless();
+  EXPECT_TRUE(c.validate().ok());
+  c.options.checksum = true;  // nothing to checksum on the access path
+  EXPECT_FALSE(c.validate().ok());
+  BackendConfig h = BackendConfig::hybrid();
+  EXPECT_TRUE(h.validate().ok());
+  h.options.checksum = true;
+  EXPECT_FALSE(h.validate().ok());
+}
+
+TEST(BackendValidate, ScheduleBitsMustBeInRange) {
+  EXPECT_FALSE(BackendConfig::stateless(0).validate().ok());
+  EXPECT_TRUE(BackendConfig::stateless(1).validate().ok());
+  EXPECT_TRUE(BackendConfig::stateless(16).validate().ok());
+  EXPECT_FALSE(BackendConfig::stateless(17).validate().ok());
+}
+
+TEST(BackendValidate, DerivedKindsRequireThePagemap) {
+  BackendConfig c = BackendConfig::hybrid();
+  c.options.pagemap = false;  // liveness mirror lives in the pagemap
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(BackendValidate, RuntimeConfigRejectsBadTypeOverrides) {
+  RuntimeConfig cfg;
+  cfg.backend = BackendConfig::stored();
+  BackendConfig bad = BackendConfig::stateless();
+  bad.options.checksum = true;
+  cfg.type_backends.emplace_back("Widget", bad);
+  EXPECT_FALSE(cfg.validate().ok());
+
+  cfg.type_backends.clear();
+  cfg.type_backends.emplace_back("", BackendConfig::stateless());
+  EXPECT_FALSE(cfg.validate().ok());
+
+  // A derived override needs the default backend's pagemap for its
+  // liveness registration.
+  cfg.type_backends.clear();
+  cfg.backend = BackendConfig::stored_hash();
+  cfg.type_backends.emplace_back("Widget", BackendConfig::stateless());
+  EXPECT_FALSE(cfg.validate().ok());
+}
+
+TEST(BackendNames, ParseRoundTripsEveryKind) {
+  for (const BackendKind k : {BackendKind::kStored, BackendKind::kStateless,
+                              BackendKind::kHybrid}) {
+    BackendKind parsed{};
+    ASSERT_TRUE(parse_backend(to_string(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  BackendKind parsed{};
+  EXPECT_FALSE(parse_backend("quantum", parsed));
+  EXPECT_FALSE(parse_backend("", parsed));
+}
+
+// --- cross-backend parity ---------------------------------------------------
+
+struct BackendCase {
+  const char* name;
+  BackendConfig config;
+};
+
+class BackendParity : public ::testing::TestWithParam<BackendCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendParity,
+    ::testing::Values(BackendCase{"stored", BackendConfig::stored()},
+                      BackendCase{"stateless", BackendConfig::stateless()},
+                      BackendCase{"hybrid", BackendConfig::hybrid()}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return info.param.name;
+    });
+
+RuntimeConfig parity_config(const BackendCase& c) {
+  RuntimeConfig cfg;
+  cfg.seed = 0xb4c3ULL;
+  cfg.on_violation = ErrorAction::kReport;
+  cfg.backend = c.config;
+  return cfg;
+}
+
+TEST_P(BackendParity, AllocAccessFreeRoundTrips) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, parity_config(GetParam()));
+  Session s(rt);
+
+  std::vector<ObjRef> objs;
+  for (int i = 0; i < 64; ++i) {
+    const Result<ObjRef> r = s.create(t);
+    ASSERT_TRUE(r.ok()) << i;
+    objs.push_back(r.value());
+    ASSERT_TRUE(s.write<std::uint64_t>(objs.back(), 1, 1000u + i).ok());
+    ASSERT_TRUE(
+        s.write<std::uint32_t>(objs.back(), 3, static_cast<std::uint32_t>(i))
+            .ok());
+  }
+  EXPECT_EQ(rt.live_objects(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    const Result<std::uint64_t> v = s.read<std::uint64_t>(objs[i], 1);
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(v.value(), 1000u + static_cast<std::uint64_t>(i));
+    const Result<std::uint32_t> len = s.read<std::uint32_t>(objs[i], 3);
+    ASSERT_TRUE(len.ok()) << i;
+    EXPECT_EQ(len.value(), static_cast<std::uint32_t>(i));
+  }
+  // Distinct fields resolve to distinct, in-bounds addresses.
+  for (const ObjRef& r : objs) {
+    std::set<void*> seen;
+    for (std::uint32_t f = 0; f < 5; ++f) {
+      const Result<void*> p = s.field(r, f);
+      ASSERT_TRUE(p.ok()) << f;
+      EXPECT_TRUE(seen.insert(p.value()).second) << f;
+      EXPECT_GE(p.value(), r.base);
+    }
+  }
+  for (const ObjRef& r : objs) EXPECT_TRUE(s.destroy(r).ok());
+  EXPECT_EQ(rt.live_objects(), 0u);
+  const RuntimeStats st = rt.stats();
+  EXPECT_EQ(st.allocations, st.frees);
+  EXPECT_EQ(rt.policy_engine().total_reports(), 0u);
+}
+
+TEST_P(BackendParity, OutOfRangeFieldIsRefused) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, parity_config(GetParam()));
+  Session s(rt);
+  const ObjRef r = s.create(t).value();
+  const Result<void*> p = s.field(r, 99);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.error(), Violation::kBadField);
+  EXPECT_TRUE(s.destroy(r).ok());
+}
+
+TEST_P(BackendParity, DoubleFreeIsDetected) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, parity_config(GetParam()));
+  Session s(rt);
+  const ObjRef r = s.create(t).value();
+  ASSERT_TRUE(s.destroy(r).ok());
+  const Result<void> second = s.destroy(r);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(rt.policy_engine().reports(Violation::kDoubleFree) +
+                rt.policy_engine().reports(Violation::kUseAfterFree),
+            1u);
+}
+
+TEST_P(BackendParity, TrapDamageIsDetectedAtRelease) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, parity_config(GetParam()));
+  Session s(rt);
+  const ObjRef r = s.create(t).value();
+  const ObjectRecord rec = s.describe(r).value();
+  ASSERT_FALSE(rec.layout->traps.empty());
+  static_cast<unsigned char*>(r.base)[rec.layout->traps.front().offset] ^= 0xff;
+  const Result<void> freed = s.destroy(r);
+  EXPECT_FALSE(freed.ok());
+  EXPECT_EQ(rt.policy_engine().reports(Violation::kTrapDamaged), 1u);
+  EXPECT_EQ(rt.live_objects(), 0u);  // still released
+}
+
+TEST_P(BackendParity, TypedAccessDetectsStaleHandles) {
+  // obj_field_typed opts back into metadata consultation even under the
+  // stateless backend — strictness is the caller's choice, and the
+  // liveness gate comes with it.
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, parity_config(GetParam()));
+  Session s(rt);
+  const ObjRef r = s.create(t).value();
+  ASSERT_TRUE(s.field_typed(r, t, 1).ok());
+  ASSERT_TRUE(s.destroy(r).ok());
+  const Result<void*> stale = s.field_typed(r, t, 1);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error(), Violation::kUseAfterFree);
+}
+
+TEST_P(BackendParity, CloneAndCopyPreserveFieldValues) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, parity_config(GetParam()));
+  Session s(rt);
+  const ObjRef a = s.create(t).value();
+  ASSERT_TRUE(s.write<std::uint64_t>(a, 1, 0xfeedULL).ok());
+  ASSERT_TRUE(s.write<std::uint32_t>(a, 4, 77u).ok());
+
+  const Result<ObjRef> b = s.clone(a);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(s.read<std::uint64_t>(b.value(), 1).value(), 0xfeedULL);
+  EXPECT_EQ(s.read<std::uint32_t>(b.value(), 4).value(), 77u);
+
+  const ObjRef c = s.create(t).value();
+  ASSERT_TRUE(s.copy(c, a).ok());
+  EXPECT_EQ(s.read<std::uint64_t>(c, 1).value(), 0xfeedULL);
+
+  for (const ObjRef& r : {a, b.value(), c}) EXPECT_TRUE(s.destroy(r).ok());
+  EXPECT_EQ(rt.policy_engine().total_reports(), 0u);
+}
+
+// --- stateless determinism --------------------------------------------------
+
+TEST(StatelessDeterminism, SameBaseAndSeedGiveTheSamePermutation) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  const TypeInfo& info = reg.info(t);
+  const std::uint64_t seed = derive_type_seed(42, info.class_hash);
+
+  const StatelessSchedule a(info, LayoutPolicy{}, seed, 8);
+  const StatelessSchedule b(info, LayoutPolicy{}, seed, 8);
+  ASSERT_EQ(a.entries(), b.entries());
+  ASSERT_EQ(a.alloc_size(), b.alloc_size());
+  // Probe synthetic addresses: never dereferenced, only hashed.
+  for (std::uintptr_t base = 0x1000; base < 0x1000 + 4096; base += 64) {
+    const void* p = reinterpret_cast<const void*>(base);
+    ASSERT_EQ(a.index_of(p), b.index_of(p));
+    for (std::uint32_t f = 0; f < a.field_count(); ++f) {
+      ASSERT_EQ(a.offset_of(p, f), b.offset_of(p, f)) << base << "/" << f;
+    }
+  }
+}
+
+TEST(StatelessDeterminism, DifferentSeedsGiveDifferentAddressMaps) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  const TypeInfo& info = reg.info(t);
+  const StatelessSchedule a(info, LayoutPolicy{}, 0x1111, 8);
+  const StatelessSchedule b(info, LayoutPolicy{}, 0x2222, 8);
+  std::size_t differing = 0;
+  for (std::uintptr_t base = 0x1000; base < 0x1000 + 8192; base += 64) {
+    const void* p = reinterpret_cast<const void*>(base);
+    differing += a.index_of(p) != b.index_of(p) ? 1 : 0;
+  }
+  // The keyed hash should disagree on nearly every address.
+  EXPECT_GT(differing, 100u);
+}
+
+TEST(StatelessDeterminism, TwoSameSeedRuntimesLayOutTheSameAddressesAlike) {
+  // End-to-end: two runtimes with the same seed and a shared deterministic
+  // arena produce byte-identical field placement for identical bases.
+  struct Arena {
+    alignas(64) unsigned char bytes[1 << 16];
+    std::size_t used = 0;
+    static void* alloc(std::size_t size, void* ctx) {
+      auto* a = static_cast<Arena*>(ctx);
+      const std::size_t at = (a->used + 63) & ~std::size_t{63};
+      if (at + size > sizeof(a->bytes)) return nullptr;
+      a->used = at + size;
+      return a->bytes + at;
+    }
+    static void free(void*, std::size_t, void*) {}
+  };
+
+  const auto offsets_of = [](Arena& arena) {
+    TypeRegistry reg;
+    const TypeId t = make_widget(reg);
+    RuntimeConfig cfg;
+    cfg.seed = 99;
+    cfg.backend = BackendConfig::stateless();
+    cfg.alloc_fn = &Arena::alloc;
+    cfg.free_fn = &Arena::free;
+    cfg.alloc_ctx = &arena;
+    Runtime rt(reg, cfg);
+    Session s(rt);
+    std::vector<std::uintptr_t> out;
+    std::vector<ObjRef> objs;
+    for (int i = 0; i < 16; ++i) {
+      objs.push_back(s.create(t).value());
+      for (std::uint32_t f = 0; f < 5; ++f) {
+        out.push_back(reinterpret_cast<std::uintptr_t>(
+                          s.field(objs.back(), f).value()) -
+                      reinterpret_cast<std::uintptr_t>(objs.back().base));
+      }
+    }
+    for (const ObjRef& r : objs) (void)s.destroy(r);
+    return out;
+  };
+
+  auto arena1 = std::make_unique<Arena>();
+  auto arena2 = std::make_unique<Arena>();
+  const std::vector<std::uintptr_t> first = offsets_of(*arena1);
+  std::vector<std::uintptr_t> second = offsets_of(*arena2);
+  // Identical bases only if both arenas start at the same address — they
+  // don't, so compare via schedule determinism instead: same arena reused
+  // from scratch gives identical bases and must give identical offsets.
+  arena1->used = 0;
+  second = offsets_of(*arena1);
+  EXPECT_EQ(first, second);
+}
+
+TEST(StatelessSchedules, EntriesArePaddedToACommonSize) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  const TypeInfo& info = reg.info(t);
+  const StatelessSchedule sch(info, LayoutPolicy{}, 0xabc, 6);
+  EXPECT_EQ(sch.entries(), std::size_t{1} << 6);
+  EXPECT_GT(sch.distinct_layouts(), 1u);
+  EXPECT_GE(sch.alloc_size(), info.natural_size);
+  for (std::uintptr_t base = 0x40; base < 0x40 + (1 << 12); base += 8) {
+    const void* p = reinterpret_cast<const void*>(base);
+    const Layout& l = sch.layout_for(p);
+    EXPECT_EQ(l.size, sch.alloc_size());
+    for (std::uint32_t f = 0; f < sch.field_count(); ++f) {
+      EXPECT_LT(sch.offset_of(p, f), sch.alloc_size());
+    }
+  }
+}
+
+// --- per-type-class overrides ----------------------------------------------
+
+TEST(TypeBackends, PerTypeOverrideSelectsTheBackendPerClass) {
+  TypeRegistry reg;
+  const TypeId widget = make_widget(reg);
+  const TypeId plain = TypeBuilder(reg, "Plain")
+                           .field<std::uint64_t>("x")
+                           .field<std::uint64_t>("y")
+                           .build();
+  RuntimeConfig cfg;
+  cfg.seed = 7;
+  cfg.backend = BackendConfig::stored();
+  cfg.type_backends.emplace_back("Widget", BackendConfig::stateless());
+  ASSERT_TRUE(cfg.validate().ok());
+  Runtime rt(reg, cfg);
+
+  EXPECT_EQ(rt.backend_kind(widget), BackendKind::kStateless);
+  EXPECT_EQ(rt.backend_kind(plain), BackendKind::kStored);
+  EXPECT_NE(rt.schedule(widget), nullptr);
+  EXPECT_EQ(rt.schedule(plain), nullptr);
+
+  Session s(rt);
+  const ObjRef w = s.create(widget).value();
+  const ObjRef p = s.create(plain).value();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(s.field(w, 1).ok());
+    ASSERT_TRUE(s.field(p, 1).ok());
+  }
+  const RuntimeStats st = rt.stats();
+  EXPECT_GE(st.stateless_accesses, 8u);  // widget accesses took the schedule
+  (void)s.destroy(w);
+  (void)s.destroy(p);
+}
+
+TEST(TypeBackends, HybridAccessesAreCountedSeparately) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  RuntimeConfig cfg;
+  cfg.backend = BackendConfig::hybrid();
+  Runtime rt(reg, cfg);
+  Session s(rt);
+  const ObjRef r = s.create(t).value();
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(s.field(r, 2).ok());
+  EXPECT_GE(rt.stats().hybrid_accesses, 16u);
+  EXPECT_EQ(rt.stats().stateless_accesses, 0u);
+  (void)s.destroy(r);
+}
+
+TEST(TypeBackends, HybridRefusesStaleUntypedAccess) {
+  // The hybrid liveness gate works even through the plain (untyped-check)
+  // obj_field path: a destroyed handle must not yield a pointer.
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  RuntimeConfig cfg;
+  cfg.backend = BackendConfig::hybrid();
+  Runtime rt(reg, cfg);
+  Session s(rt);
+  const ObjRef r = s.create(t).value();
+  ASSERT_TRUE(s.field(r, 1).ok());
+  ASSERT_TRUE(s.destroy(r).ok());
+  const Result<void*> stale = s.field(r, 1);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error(), Violation::kUseAfterFree);
+}
+
+}  // namespace
+}  // namespace polar

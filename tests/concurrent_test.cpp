@@ -28,6 +28,11 @@ RuntimeConfig reporting_config(std::uint32_t shard_bits = 6) {
   RuntimeConfig cfg;
   cfg.shard_bits = shard_bits;
   cfg.on_violation = ErrorAction::kReport;
+  // This suite asserts the stored backend's concurrency machinery (shard
+  // locks, seqlock mirrors, cross-thread UAF detection on the plain field
+  // path) — pin it so a POLAR_BACKEND override can't reroute the
+  // assertions onto the stateless path, which waives liveness checks.
+  cfg.backend = BackendConfig::stored();
   return cfg;
 }
 
@@ -304,7 +309,8 @@ TEST(ConcurrentTest, LockfreeReadersRaceFreesWithoutTornResults) {
   TypeRegistry reg;
   const TypeId node = make_node(reg);
   RuntimeConfig cfg = reporting_config();
-  cfg.checksum_metadata = false;  // enables the lock-free read path
+  cfg.backend = BackendConfig::stored();
+  cfg.backend.options.checksum = false;  // bare seqlock path, no digest
   cfg.enable_cache = false;       // every access exercises the seqlock
   Runtime rt(reg, cfg);
   Session owner(rt);

@@ -610,6 +610,9 @@ TEST(RuntimeConfigured, DedupDisabledCreatesLayoutPerObject) {
   TypeRegistry reg;
   const TypeId people = make_people(reg);
   RuntimeConfig cfg;
+  // dedup_layouts shapes the stored per-allocation pool; the stateless
+  // schedule reuses its fixed layout set by design, so pin the backend.
+  cfg.backend = BackendConfig::stored();
   cfg.dedup_layouts = false;
   Runtime rt(reg, cfg);
   std::vector<void*> objs;
@@ -644,6 +647,9 @@ TEST(RuntimeConfigured, NoRerandomizeCloneSharesLayout) {
   const TypeId people = make_people(reg);
   RuntimeConfig cfg;
   cfg.rerandomize_on_copy = false;
+  // Layout sharing is a stored-backend notion: a derived clone's layout is
+  // a function of its own address, so only stored records can alias one.
+  cfg.backend = BackendConfig::stored();
   Runtime rt(reg, cfg);
   void* a = rt.olr_malloc(people);
   rt.store<int>(a, 1, 21);

@@ -75,21 +75,86 @@ TEST(FaultHarness, MatrixPassesUnderQuarantinePolicyWithHeapBacking) {
   }
 }
 
-TEST(FaultHarness, ChecksumAblationMissesMetadataFlipsOnly) {
+TEST(FaultHarness, ChecksumAblationSkipsMetadataFlipRowsOnly) {
   HarnessConfig cfg;
-  cfg.checksum_metadata = false;
+  cfg.backend.options.checksum = false;
   const auto rows = run_matrix(cfg);
   for (const FaultOutcome& row : rows) {
     if (row.plan.kind == FaultKind::kMetadataFlip) {
-      // The documented blind spot: undetected, but still collateral-free.
-      EXPECT_FALSE(row.detected()) << to_string(row.workload);
-      EXPECT_TRUE(row.workload_ok) << to_string(row.workload);
-      EXPECT_EQ(row.unexpected_reports, 0u) << to_string(row.workload);
+      // The documented blind spot: never injected, reported as a skip,
+      // and the fault-free run must be collateral-free.
+      EXPECT_TRUE(row.skipped) << to_string(row.workload);
+      EXPECT_FALSE(row.injected) << to_string(row.workload);
+      EXPECT_TRUE(row.clean()) << to_string(row.workload);
     } else {
-      EXPECT_TRUE(row.passed())
+      EXPECT_FALSE(row.skipped)
           << to_string(row.workload) << "/" << to_string(row.plan.kind);
     }
+    EXPECT_TRUE(row.passed())
+        << to_string(row.workload) << "/" << to_string(row.plan.kind);
   }
+  EXPECT_TRUE(matrix_passes(rows));
+}
+
+TEST(FaultCapabilities, TableMatchesBackendSemantics) {
+  const BackendConfig stored = BackendConfig::stored();
+  const BackendConfig stateless = BackendConfig::stateless();
+  const BackendConfig hybrid = BackendConfig::hybrid();
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    // The default stored backend (checksums on) detects everything.
+    EXPECT_TRUE(fault_detectable(static_cast<FaultKind>(i), stored));
+  }
+  // Stateless never consults liveness metadata on the access path, and no
+  // derived backend carries record checksums.
+  EXPECT_FALSE(fault_detectable(FaultKind::kUafRead, stateless));
+  EXPECT_FALSE(fault_detectable(FaultKind::kUafWrite, stateless));
+  EXPECT_FALSE(fault_detectable(FaultKind::kMetadataFlip, stateless));
+  EXPECT_FALSE(fault_detectable(FaultKind::kMetadataFlip, hybrid));
+  // Hybrid's seqlock gate restores stale-handle detection.
+  EXPECT_TRUE(fault_detectable(FaultKind::kUafRead, hybrid));
+  EXPECT_TRUE(fault_detectable(FaultKind::kUafWrite, hybrid));
+  // Lifecycle detectors are backend-independent.
+  for (const BackendConfig* b : {&stateless, &hybrid}) {
+    EXPECT_TRUE(fault_detectable(FaultKind::kTrapSmash, *b));
+    EXPECT_TRUE(fault_detectable(FaultKind::kLinearOverflow, *b));
+    EXPECT_TRUE(fault_detectable(FaultKind::kDoubleFree, *b));
+    EXPECT_TRUE(fault_detectable(FaultKind::kAllocFail, *b));
+  }
+}
+
+TEST(FaultHarness, StatelessBackendSkipsUndetectableRowsAndPassesTheRest) {
+  HarnessConfig cfg;
+  cfg.backend = BackendConfig::stateless();
+  const auto rows = run_matrix(cfg);
+  ASSERT_EQ(rows.size(), kWorkloadKindCount * kFaultKindCount);
+  for (const FaultOutcome& row : rows) {
+    const bool expect_skip = row.plan.kind == FaultKind::kUafRead ||
+                             row.plan.kind == FaultKind::kUafWrite ||
+                             row.plan.kind == FaultKind::kMetadataFlip;
+    EXPECT_EQ(row.skipped, expect_skip)
+        << to_string(row.workload) << "/" << to_string(row.plan.kind);
+    EXPECT_TRUE(row.passed())
+        << to_string(row.workload) << " / " << to_string(row.plan.kind)
+        << ": injected=" << row.injected << " skipped=" << row.skipped
+        << " ok=" << row.workload_ok
+        << " expected=" << row.expected_reports
+        << " unexpected=" << row.unexpected_reports;
+  }
+  EXPECT_TRUE(matrix_passes(rows));
+}
+
+TEST(FaultHarness, HybridBackendStillDetectsStaleHandles) {
+  HarnessConfig cfg;
+  cfg.backend = BackendConfig::hybrid();
+  FaultPlan plan;
+  plan.kind = FaultKind::kUafRead;
+  plan.at_alloc = 4;
+  const FaultOutcome out = run_one(WorkloadKind::kMinipng, plan, cfg);
+  EXPECT_FALSE(out.skipped);
+  EXPECT_TRUE(out.injected);
+  EXPECT_TRUE(out.passed())
+      << "expected=" << out.expected_reports
+      << " unexpected=" << out.unexpected_reports;
 }
 
 TEST(FaultHarness, RunsAreDeterministicPerSeed) {

@@ -230,7 +230,11 @@ TEST(RuntimeTracing, IntervalOneRecordsEveryOpKind) {
   if (!Runtime::trace_compiled_in()) GTEST_SKIP() << "POLAR_TRACE=OFF build";
   TypeRegistry reg;
   const TypeId people = make_people(reg);
-  Runtime rt(reg, traced_config(1));
+  RuntimeConfig cfg = traced_config(1);
+  // kLayoutRefill only fires on the stored per-allocation pool (the
+  // stateless schedule is built once up front) — pin the op-kind census.
+  cfg.backend = BackendConfig::stored();
+  Runtime rt(reg, cfg);
   void* p = rt.olr_malloc(people);
   for (int i = 0; i < 4; ++i) (void)rt.olr_getptr(p, 1);
   rt.olr_free(p);
@@ -423,6 +427,48 @@ TEST(Introspect, CensusCountsLiveObjectsPerType) {
 
   rt.olr_free(o);
   for (void* p : objs) rt.olr_free(p);
+}
+
+TEST(Introspect, CensusReportsBackendAndCapsDerivedEntropy) {
+  TypeRegistry reg;
+  const TypeId wide = TypeBuilder(reg, "Wide")
+                          .fn_ptr("vtable")
+                          .field<std::uint64_t>("a")
+                          .field<std::uint64_t>("b")
+                          .ptr("next")
+                          .field<std::uint32_t>("len")
+                          .field<std::uint32_t>("cap")
+                          .field<std::uint16_t>("tag")
+                          .build();
+  const TypeId twin = TypeBuilder(reg, "Twin")
+                          .fn_ptr("vtable")
+                          .field<std::uint64_t>("a")
+                          .field<std::uint64_t>("b")
+                          .ptr("next")
+                          .field<std::uint32_t>("len")
+                          .field<std::uint32_t>("cap")
+                          .field<std::uint16_t>("tag")
+                          .build();
+  RuntimeConfig cfg;
+  cfg.seed = 11;
+  cfg.backend = BackendConfig::stored();
+  cfg.type_backends.emplace_back("Wide", BackendConfig::stateless(4));
+  Runtime rt(reg, cfg);
+
+  const observe::IntrospectionReport r = observe::introspect(rt);
+  ASSERT_EQ(r.census.size(), 2u);
+  EXPECT_EQ(r.census[wide.value].backend, BackendKind::kStateless);
+  EXPECT_EQ(r.census[twin.value].backend, BackendKind::kStored);
+  // A 2^4-entry schedule cannot realize more than 4 bits of diversity,
+  // while the identical stored twin keeps the full permutation space.
+  EXPECT_LE(r.census[wide.value].entropy_bits, 4.0);
+  EXPECT_GT(r.census[twin.value].entropy_bits,
+            r.census[wide.value].entropy_bits);
+
+  const std::string json = observe::to_json(r);
+  EXPECT_NE(json.find("\"backend\": \"stateless\""), std::string::npos);
+  const std::string table = observe::to_table(r);
+  EXPECT_NE(table.find("stateless"), std::string::npos);
 }
 
 TEST(Introspect, ForEachLiveMatchesLiveObjects) {

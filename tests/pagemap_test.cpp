@@ -27,16 +27,19 @@ TypeId make_node(TypeRegistry& reg) {
 RuntimeConfig reporting_config() {
   RuntimeConfig cfg;
   cfg.on_violation = ErrorAction::kReport;
+  // This suite exercises the stored machinery (pagemap, seqlock mirror,
+  // layout pool); pin the backend so a POLAR_BACKEND env default cannot
+  // reroute it.
+  cfg.backend = BackendConfig::stored();
   return cfg;
 }
 
-/// Lock-free fast-path configuration: checksum verification requires the
-/// locked path, so the seqlock mirror is only consulted without it.
+/// Lock-free fast-path configuration with checksums off: the mirror is
+/// consulted without the digest verification the default adds.
 RuntimeConfig lockfree_config() {
   RuntimeConfig cfg = reporting_config();
-  cfg.checksum_metadata = false;
-  cfg.lockfree_reads = true;
-  cfg.enable_pagemap = true;
+  cfg.backend = BackendConfig::stored();
+  cfg.backend.options.checksum = false;
   return cfg;
 }
 
@@ -263,16 +266,40 @@ TEST(PagemapRuntime, TypedAccessUsesFastPathAndStillChecksTypes) {
   EXPECT_TRUE(rt.olr_free(base));
 }
 
-TEST(PagemapRuntime, ChecksumModeNeverUsesTheLockfreePath) {
+TEST(PagemapRuntime, ChecksumModeStillUsesTheLockfreePath) {
+  // Record verification used to force every read onto the locked path;
+  // the digest folded into the seqlock sequence word restored the fast
+  // path under checksum mode.
   TypeRegistry reg;
   const TypeId node = make_node(reg);
   RuntimeConfig cfg = reporting_config();
-  cfg.checksum_metadata = true;  // default; stated for emphasis
+  cfg.backend.options.checksum = true;  // default; stated for emphasis
   cfg.enable_cache = false;
   Runtime rt(reg, cfg);
   void* base = rt.olr_malloc(node);
-  for (int i = 0; i < 32; ++i) rt.olr_getptr(base, 1);
-  EXPECT_EQ(rt.stats().fastpath_hits, 0u);
+  for (int i = 0; i < 32; ++i) EXPECT_NE(rt.olr_getptr(base, 1), nullptr);
+  EXPECT_GE(rt.stats().fastpath_hits, 32u);
+  EXPECT_TRUE(rt.olr_free(base));
+}
+
+TEST(PagemapRuntime, MirrorDigestCatchesStrayWriteAndHeals) {
+  TypeRegistry reg;
+  const TypeId node = make_node(reg);
+  RuntimeConfig cfg = reporting_config();
+  cfg.enable_cache = false;
+  Runtime rt(reg, cfg);
+  void* base = rt.olr_malloc(node);
+  ASSERT_NE(rt.olr_getptr(base, 1), nullptr);  // fast path established
+  // Flip a mirror offset word without moving the sequence counter — the
+  // misdirection only the digest can catch.
+  ASSERT_TRUE(rt.debug_corrupt_mirror(base, 0x40u));
+  EXPECT_EQ(rt.olr_getptr(base, 0), nullptr);
+  EXPECT_EQ(rt.last_violation(), Violation::kMetadataDamaged);
+  // The record itself was intact, so the mirror was re-published from it:
+  // subsequent accesses are clean and lock-free again.
+  rt.clear_violation();
+  EXPECT_NE(rt.olr_getptr(base, 0), nullptr);
+  EXPECT_EQ(rt.last_violation(), Violation::kNone);
   EXPECT_TRUE(rt.olr_free(base));
 }
 
@@ -293,7 +320,7 @@ TEST(PagemapRuntime, LegacyHashBackendStillWorks) {
   TypeRegistry reg;
   const TypeId node = make_node(reg);
   RuntimeConfig cfg = reporting_config();
-  cfg.enable_pagemap = false;
+  cfg.backend = BackendConfig::stored_hash();
   Runtime rt(reg, cfg);
   void* base = rt.olr_malloc(node);
   ASSERT_NE(base, nullptr);
@@ -309,7 +336,7 @@ TEST(PagemapRuntime, BackendsProduceIdenticalLayoutsForSameSeed) {
   const TypeId node = make_node(reg);
   RuntimeConfig with_map = reporting_config();
   RuntimeConfig without_map = reporting_config();
-  without_map.enable_pagemap = false;
+  without_map.backend = BackendConfig::stored_hash();
   Runtime a(reg, with_map);
   Runtime b(reg, without_map);
   for (int i = 0; i < 16; ++i) {
@@ -365,10 +392,10 @@ TEST(RuntimeConfigValidate, RejectsOversizedCacheBits) {
 
 TEST(RuntimeConfigValidate, RejectsBadLayoutPoolChunk) {
   RuntimeConfig zero;
-  zero.layout_pool_chunk = 0;
+  zero.backend.options.layout_pool_chunk = 0;
   EXPECT_EQ(zero.validate().error(), Violation::kBadConfig);
   RuntimeConfig huge;
-  huge.layout_pool_chunk = 4096;
+  huge.backend.options.layout_pool_chunk = 4096;
   EXPECT_EQ(huge.validate().error(), Violation::kBadConfig);
 }
 
@@ -394,7 +421,7 @@ TEST(LayoutPool, SameConfigRuntimesDrawIdenticalSequences) {
   TypeRegistry reg;
   const TypeId node = make_node(reg);
   RuntimeConfig cfg = reporting_config();
-  cfg.layout_pool_chunk = 8;
+  cfg.backend.options.layout_pool_chunk = 8;
   cfg.dedup_layouts = false;
   Runtime a(reg, cfg);
   Runtime b(reg, cfg);
@@ -409,7 +436,7 @@ TEST(LayoutPool, RefillsAreCountedAndChunked) {
   TypeRegistry reg;
   const TypeId node = make_node(reg);
   RuntimeConfig cfg = reporting_config();
-  cfg.layout_pool_chunk = 8;
+  cfg.backend.options.layout_pool_chunk = 8;
   Runtime rt(reg, cfg);
   std::vector<void*> objs;
   for (int i = 0; i < 17; ++i) objs.push_back(rt.olr_malloc(node));
@@ -422,7 +449,7 @@ TEST(LayoutPool, ChunkOneDisablesPooling) {
   TypeRegistry reg;
   const TypeId node = make_node(reg);
   RuntimeConfig cfg = reporting_config();
-  cfg.layout_pool_chunk = 1;
+  cfg.backend.options.layout_pool_chunk = 1;
   Runtime rt(reg, cfg);
   void* p = rt.olr_malloc(node);
   EXPECT_EQ(rt.stats().layout_pool_refills, 0u);

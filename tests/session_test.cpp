@@ -13,6 +13,11 @@ namespace {
 RuntimeConfig reporting_config() {
   RuntimeConfig cfg;
   cfg.on_violation = ErrorAction::kReport;
+  // This suite documents the checked-handle contract (stale handles are
+  // refused on the plain field path), which the stateless backend
+  // deliberately waives — pin the backend so a POLAR_BACKEND override
+  // can't change what is being asserted.
+  cfg.backend = BackendConfig::stored();
   return cfg;
 }
 

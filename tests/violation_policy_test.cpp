@@ -202,6 +202,10 @@ TEST(RuntimePolicy, MetadataDamageDetectedAndRecordEvicted) {
   TypeRegistry reg;
   const TypeId people = make_people(reg);
   RuntimeConfig cfg;
+  // Metadata-damage detection on the plain field path is a stored-backend
+  // contract (stateless never consults the record there) — pin it so a
+  // POLAR_BACKEND override can't change what is being asserted.
+  cfg.backend = BackendConfig::stored();
   Runtime rt(reg, cfg);
   const Result<ObjRef> obj = rt.obj_alloc(people);
   ASSERT_TRUE(obj.ok());
@@ -221,7 +225,9 @@ TEST(RuntimePolicy, MetadataDamageDetectedAndRecordEvicted) {
 TEST(RuntimePolicy, MetadataDamageSurfacesOnFreeToo) {
   TypeRegistry reg;
   const TypeId people = make_people(reg);
-  Runtime rt(reg, RuntimeConfig{});
+  RuntimeConfig cfg;
+  cfg.backend = BackendConfig::stored();  // checksum verification on free
+  Runtime rt(reg, cfg);
   const Result<ObjRef> obj = rt.obj_alloc(people);
   ASSERT_TRUE(obj.ok());
   ASSERT_TRUE(rt.debug_corrupt_metadata(obj.value().base, 0x10ULL));
@@ -234,7 +240,8 @@ TEST(RuntimePolicy, ChecksumAblationTrustsTheTable) {
   TypeRegistry reg;
   const TypeId people = make_people(reg);
   RuntimeConfig cfg;
-  cfg.checksum_metadata = false;
+  cfg.backend = BackendConfig::stored();
+  cfg.backend.options.checksum = false;
   Runtime rt(reg, cfg);
   const Result<ObjRef> obj = rt.obj_alloc(people);
   ASSERT_TRUE(obj.ok());
@@ -269,6 +276,9 @@ TEST(RuntimePolicy, QuarantineActionParksTrapDamagedBlocks) {
   TypeRegistry reg;
   const TypeId people = make_people(reg);
   RuntimeConfig cfg;
+  // The "stale touch of a parked address is a detected UAF" assertion below
+  // is a checked plain-path contract the stateless backend waives.
+  cfg.backend = BackendConfig::stored();
   cfg.violation_policy.set(Violation::kTrapDamaged,
                            ViolationAction::kQuarantine);
   Runtime rt(reg, cfg);
@@ -321,6 +331,8 @@ TEST(RuntimePolicy, HookPolicyDeliversRuntimeContext) {
   TypeRegistry reg;
   const TypeId people = make_people(reg);
   RuntimeConfig cfg;
+  // Relies on the plain field path refusing a stale handle (stored-only).
+  cfg.backend = BackendConfig::stored();
   cfg.violation_policy = ViolationPolicy::uniform(ViolationAction::kHook)
                              .on_report(
                                  [](const ViolationReport& r, void* ctx) {
