@@ -1,17 +1,29 @@
 // Security ablation — the quantitative form of the paper's §III security
 // argument and §V-C case studies: attack success/detection rates for four
 // canonical heap attacks against no defense, static OLR (hidden and
-// exposed binary), and POLaR (paper-faithful strict mode plus ablations).
+// exposed binary), and POLaR (paper-faithful strict mode plus ablations,
+// now including the stateless/hybrid randomization backends — the rows
+// that turn DESIGN.md §12's UAF-replay prose into measured numbers).
 //
 // 'distinct' counts observably different outcomes across retries of the
 // same attack: 1 = the attacker can rehearse deterministically (the
 // Reproduction Problem of §III-B-2), large = every retry behaves
 // differently (POLaR's claim (ii)).
+//
+//   ablation_security [--json] [--smoke]
+//
+// --json appends a machine-readable security_ablation block (tag-line
+// format, merged into BENCH.json by scripts/bench_merge.py) including the
+// measured member-access Mops per defense/backend — the overhead axis the
+// red-team curve joins against. --smoke cuts trials for CI.
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "attack/attack.h"
+#include "attack/campaign.h"
 #include "bench_util.h"
 
 namespace {
@@ -24,7 +36,17 @@ struct Row {
   AttackConfig cfg;
 };
 
-void run_grid(const char* title, const TypeRegistry& reg,
+struct JsonRow {
+  std::string grid;
+  std::string label;
+  AttackOutcome out;
+};
+
+std::vector<JsonRow> g_json_rows;
+bool g_json = false;
+std::uint32_t g_trials = 2000;
+
+void run_grid(const char* title, const char* tag, const TypeRegistry& reg,
               const AttackTypes& types,
               const std::function<AttackOutcome(const AttackConfig&)>& attack) {
   print_header(title);
@@ -35,7 +57,7 @@ void run_grid(const char* title, const TypeRegistry& reg,
   std::vector<Row> rows;
   {
     AttackConfig c;
-    c.trials = 2000;
+    c.trials = g_trials;
     c.seed = 42;
 
     c.defense = DefenseKind::kNone;
@@ -53,6 +75,14 @@ void run_grid(const char* title, const TypeRegistry& reg,
     rows.push_back({"polar (strict, paper-faithful)", c});
     c.strict_typed_access = false;
     rows.push_back({"polar (no class-hash check)", c});
+    // Same untyped-access posture over the derived backends: what the
+    // address-keyed schedule still catches (hybrid's liveness gate) and
+    // what it gives up (stateless stale reads replay the old layout).
+    c.backend = BackendConfig::stateless();
+    rows.push_back({"polar (no check) [stateless]", c});
+    c.backend = BackendConfig::hybrid();
+    rows.push_back({"polar (no check) [hybrid]", c});
+    c.backend = BackendConfig::stored();
     c.strict_typed_access = true;
     c.attacker_knows_metadata = true;
     rows.push_back({"polar + metadata leak (SVI-A)", c});
@@ -67,6 +97,7 @@ void run_grid(const char* title, const TypeRegistry& reg,
                 100.0 * static_cast<double>(out.failed) /
                     static_cast<double>(out.attempts),
                 static_cast<unsigned long long>(out.distinct_outcomes));
+    if (g_json) g_json_rows.push_back({tag, row.label, out});
   }
   (void)reg;
   (void)types;
@@ -74,33 +105,46 @@ void run_grid(const char* title, const TypeRegistry& reg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      g_json = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: ablation_security [--json] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (smoke) g_trials = 500;
+
   TypeRegistry registry;
   const AttackTypes types = register_attack_types(registry);
 
   run_grid("Security ablation A — UAF + raw fake-object spray "
            "(CVE-2018-4878 pattern)",
-           registry, types, [&](const AttackConfig& c) {
+           "uaf_fake_object", registry, types, [&](const AttackConfig& c) {
              return run_uaf_fake_object(registry, types, c);
            });
   run_grid("Security ablation B — UAF + managed-object reclaim (same arity)",
-           registry, types, [&](const AttackConfig& c) {
+           "uaf_reclaim_full", registry, types, [&](const AttackConfig& c) {
              return run_uaf_reclaim(registry, types, c, /*small_spray=*/false);
            });
   run_grid("Security ablation C — UAF + managed-object reclaim (small arity)",
-           registry, types, [&](const AttackConfig& c) {
+           "uaf_reclaim_small", registry, types, [&](const AttackConfig& c) {
              return run_uaf_reclaim(registry, types, c, /*small_spray=*/true);
            });
   run_grid("Security ablation D — type confusion (paper SIII-A-1)",
-           registry, types, [&](const AttackConfig& c) {
+           "type_confusion", registry, types, [&](const AttackConfig& c) {
              return run_type_confusion(registry, types, c);
            });
   run_grid("Security ablation E — in-object linear overflow vs booby traps",
-           registry, types, [&](const AttackConfig& c) {
+           "linear_overflow", registry, types, [&](const AttackConfig& c) {
              return run_linear_overflow(registry, types, c);
            });
   run_grid("Security ablation F — use-before-initialization (SIII-B-2)",
-           registry, types, [&](const AttackConfig& c) {
+           "use_before_init", registry, types, [&](const AttackConfig& c) {
              return run_use_before_init(registry, types, c);
            });
 
@@ -109,6 +153,57 @@ int main() {
       "static-olr protects ONLY while the binary is hidden and is always\n"
       "deterministic across retries; polar keeps success ~0 regardless of\n"
       "binary exposure, detects instead, and retries are non-deterministic;\n"
-      "a full metadata leak (SVI-A) partially re-enables the overflow.\n");
+      "a full metadata leak (SVI-A) partially re-enables the overflow;\n"
+      "the stateless backend alone re-admits stale-handle replay (SPAM's\n"
+      "trade-off), which the hybrid liveness gate closes again.\n");
+
+  if (g_json) {
+    // Measured access-path throughput per defense/backend: the overhead
+    // axis attack_surface.json's curve joins against.
+    struct Mops {
+      const char* defense;
+      const char* backend;
+      double mops;
+    };
+    const std::uint64_t iters = smoke ? 200'000 : 2'000'000;
+    const LayoutPolicy policy{};
+    std::vector<Mops> mops;
+    mops.push_back({"none", "stored",
+                    measure_access_mops(registry, types, DefenseKind::kNone,
+                                        BackendConfig::stored(), policy, 42,
+                                        64, iters)});
+    mops.push_back({"static-olr", "stored",
+                    measure_access_mops(registry, types,
+                                        DefenseKind::kStaticOlr,
+                                        BackendConfig::stored(), policy, 42,
+                                        64, iters)});
+    for (const BackendKind k :
+         {BackendKind::kStored, BackendKind::kStateless, BackendKind::kHybrid}) {
+      mops.push_back({"polar", to_string(k),
+                      measure_access_mops(registry, types, DefenseKind::kPolar,
+                                          BackendConfig::of(k), policy, 42, 64,
+                                          iters)});
+    }
+
+    std::printf("{\"security_ablation\": {\"schema_version\": 1, "
+                "\"trials\": %u, \"rows\": [", g_trials);
+    for (std::size_t i = 0; i < g_json_rows.size(); ++i) {
+      const JsonRow& r = g_json_rows[i];
+      std::printf("%s{\"grid\": \"%s\", \"label\": \"%s\", "
+                  "\"success_rate\": %.6f, \"detection_rate\": %.6f, "
+                  "\"distinct_outcomes\": %llu}",
+                  i == 0 ? "" : ", ", r.grid.c_str(), r.label.c_str(),
+                  r.out.success_rate(), r.out.detection_rate(),
+                  static_cast<unsigned long long>(r.out.distinct_outcomes));
+    }
+    std::printf("], \"overhead\": [");
+    for (std::size_t i = 0; i < mops.size(); ++i) {
+      std::printf("%s{\"defense\": \"%s\", \"backend\": \"%s\", "
+                  "\"mops\": %.2f}",
+                  i == 0 ? "" : ", ", mops[i].defense, mops[i].backend,
+                  mops[i].mops);
+    }
+    std::printf("]}}\n");
+  }
   return 0;
 }

@@ -27,7 +27,7 @@ echo "== build bench binaries =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" \
   --target bench_getptr bench_trace bench_concurrent fig6_spec_overhead \
-  micro_runtime >/dev/null
+  micro_runtime ablation_security >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -57,6 +57,15 @@ echo "== micro_runtime: google-benchmark micro suite =="
 if [ "$SMOKE" = 1 ]; then MIN_TIME=0.05; else MIN_TIME=0.5; fi
 ./build/bench/micro_runtime --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json > "$TMP/micro.json"
+
+echo "== ablation_security: per-backend attack rows + access Mops =="
+if [ "$SMOKE" = 1 ]; then
+  ./build/bench/ablation_security --json --smoke > "$TMP/security.txt"
+else
+  ./build/bench/ablation_security --json > "$TMP/security.txt"
+fi
+# The machine-readable block is the final stdout line (tag-line format).
+grep '"security_ablation"' "$TMP/security.txt" | tail -n 1 > "$TMP/security.json"
 
 echo "== merge + schema check -> $OUT =="
 python3 scripts/bench_merge.py --smoke="$SMOKE" "$TMP" "$OUT"

@@ -21,14 +21,18 @@ import re
 import sys
 from pathlib import Path
 
-# Version of the merged document. v3: the randomization-backend ladder
-# grew stateless and hybrid rows (getptr schema v2, typed-handle
-# measurement loop). v2: neutral "BENCH" top-level tag (previously the
-# PR-specific "BENCH_pr4") and the trace_overhead section.
-MERGED_SCHEMA_VERSION = 3
+# Version of the merged document. v4: the security ablation block
+# (per-defense/backend attack rows from ablation_security plus measured
+# access-path Mops — the overhead axis attack_surface.json joins against).
+# v3: the randomization-backend ladder grew stateless and hybrid rows
+# (getptr schema v2, typed-handle measurement loop). v2: neutral "BENCH"
+# top-level tag (previously the PR-specific "BENCH_pr4") and the
+# trace_overhead section.
+MERGED_SCHEMA_VERSION = 4
 # Versions of the individual bench binaries' native outputs.
 GETPTR_SCHEMA_VERSION = 2
 TRACE_SCHEMA_VERSION = 1
+SECURITY_SCHEMA_VERSION = 1
 
 # The ablation ladder bench_getptr must emit, in order.
 EXPECTED_MODES = [
@@ -173,6 +177,72 @@ def check_micro(doc):
     return {"benchmarks": out}
 
 
+# The defense ladder ablation_security must emit per attack grid, in order.
+EXPECTED_SECURITY_GRIDS = [
+    "uaf_fake_object",
+    "uaf_reclaim_full",
+    "uaf_reclaim_small",
+    "type_confusion",
+    "linear_overflow",
+    "use_before_init",
+]
+EXPECTED_SECURITY_LABELS = [
+    "none",
+    "static-olr (binary hidden)",
+    "static-olr (binary exposed)",
+    "polar (strict, paper-faithful)",
+    "polar (no class-hash check)",
+    "polar (no check) [stateless]",
+    "polar (no check) [hybrid]",
+    "polar + metadata leak (SVI-A)",
+    "polar + leak, metadata sealed",
+]
+EXPECTED_SECURITY_OVERHEAD = [
+    ("none", "stored"),
+    ("static-olr", "stored"),
+    ("polar", "stored"),
+    ("polar", "stateless"),
+    ("polar", "hybrid"),
+]
+
+
+def check_security(doc):
+    inner = doc.get("security_ablation")
+    need(isinstance(inner, dict), "security: security_ablation block missing")
+    need(inner.get("schema_version") == SECURITY_SCHEMA_VERSION,
+         "security: schema_version != %d" % SECURITY_SCHEMA_VERSION)
+    need(isinstance(inner.get("trials"), int) and inner["trials"] > 0,
+         "security: trials missing")
+    rows = inner.get("rows")
+    need(isinstance(rows, list), "security: rows not a list")
+    per_grid = {}
+    for row in rows:
+        need(set(row.keys()) == {"grid", "label", "success_rate",
+                                 "detection_rate", "distinct_outcomes"},
+             "security: row fields drifted")
+        need(isinstance(row["success_rate"], (int, float)) and
+             isinstance(row["detection_rate"], (int, float)),
+             "security: rates wrong type in %r" % (row.get("label"),))
+        per_grid.setdefault(row["grid"], []).append(row["label"])
+    need(list(per_grid.keys()) == EXPECTED_SECURITY_GRIDS,
+         "security: attack grids drifted: %r" % (list(per_grid.keys()),))
+    for grid, labels in per_grid.items():
+        need(labels == EXPECTED_SECURITY_LABELS,
+             "security: defense ladder drifted in %r: %r" % (grid, labels))
+    over = inner.get("overhead")
+    need(isinstance(over, list), "security: overhead not a list")
+    for row in over:
+        need(set(row.keys()) == {"defense", "backend", "mops"},
+             "security: overhead row fields drifted")
+        need(isinstance(row["mops"], (int, float)) and row["mops"] > 0,
+             "security: nonpositive mops for %r/%r"
+             % (row.get("defense"), row.get("backend")))
+    combos = [(r["defense"], r["backend"]) for r in over]
+    need(combos == EXPECTED_SECURITY_OVERHEAD,
+         "security: overhead combos drifted: %r" % (combos,))
+    return inner
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--smoke", default="0")
@@ -196,6 +266,8 @@ def main():
                 (args.indir / "fig6.txt").read_text()),
             "micro_runtime": check_micro(
                 json.loads((args.indir / "micro.json").read_text())),
+            "security": check_security(
+                json.loads((args.indir / "security.json").read_text())),
         }
     except (SchemaError, json.JSONDecodeError, FileNotFoundError) as e:
         print("bench_merge: SCHEMA DRIFT: %s" % e, file=sys.stderr)
@@ -225,6 +297,15 @@ def main():
               trace["sampled_256"]["overhead_pct"],
               trace["sampled_4096"]["overhead_pct"],
               trace["always"]["overhead_pct"]))
+    sec = merged["security"]
+    strict = [r for r in sec["rows"]
+              if r["label"] == "polar (strict, paper-faithful)"]
+    polar_mops = next(r["mops"] for r in sec["overhead"]
+                      if (r["defense"], r["backend"]) == ("polar", "stored"))
+    print("bench_merge: security: worst strict-polar success %.2f%% over "
+          "%d attack grids; polar/stored access %.2f Mops" % (
+              max(r["success_rate"] for r in strict) * 100.0,
+              len(strict), polar_mops))
     return 0
 
 

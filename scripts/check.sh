@@ -25,6 +25,11 @@ echo "== tier-1: fault-injection detection matrix =="
 ./build/src/faultinject/fault_matrix --heap --quick
 
 echo
+echo "== tier-1: red-team smoke (campaign budgets + schema) =="
+./build/src/attack/polar_redteam --smoke --out=build/attack_surface.json
+python3 scripts/redteam_check.py build/attack_surface.json
+
+echo
 echo "== tier-1: polar_stats self-consistency (minipng) =="
 # --selfcheck exits nonzero if any exported counter invariant fails
 # (allocations >= frees, cache_hits <= member_accesses, trace accounting,

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Schema + coverage gate for polar_redteam's attack_surface.json.
+
+Deliberately strict, mirroring scripts/bench_merge.py: exact top-level key
+sets, exact per-row key sets, and full-grid coverage — every campaign kind
+against every defense x backend combination at every sweep point, plus the
+metadata-leak rows, the attack-free control rows (campaign-level and the
+fault-injection workload controls), and the measured overhead block. Any
+drift in polar_redteam's output shape fails CI here instead of silently
+producing a curve downstream tooling misreads.
+
+Usage: redteam_check.py ATTACK_SURFACE_JSON
+Exit 0 on a well-formed, all-pass surface; 1 on schema drift, missing
+coverage, a budget violation, or a control false positive.
+"""
+
+import json
+import sys
+
+CAMPAIGNS = ["heap-spray", "partial-overwrite", "overflow-march",
+             "probe-oracle"]
+DEFENSES = ["none", "static-olr", "polar"]
+BACKENDS = ["stored", "stateless", "hybrid"]
+SWEEPS = ["sparse", "default", "dense"]
+WORKLOADS = ["minipng", "minijpg", "mjs", "spec"]
+
+TOP_KEYS = {"bench", "schema_version", "seed", "smoke", "rows", "controls",
+            "workload_controls", "overhead", "all_pass"}
+ROW_KEYS = {"campaign", "knowledge", "defense", "backend", "sweep",
+            "dummies_min", "dummies_max", "booby_traps", "schedule_bits",
+            "entropy_bits", "rounds", "attempts", "successes", "detected",
+            "failed", "distinct_outcomes", "success_rate", "detection_rate",
+            "converged", "converged_round", "probes", "budget", "exempt",
+            "gated", "pass"}
+CONTROL_KEYS = {"defense", "backend", "sweep", "attempts",
+                "control_violations", "successes", "pass"}
+WORKLOAD_CONTROL_KEYS = {"backend", "workload", "clean"}
+OVERHEAD_KEYS = {"defense", "backend", "mops"}
+EXPECTED_OVERHEAD = [("none", "stored"), ("static-olr", "stored"),
+                     ("polar", "stored"), ("polar", "stateless"),
+                     ("polar", "hybrid")]
+KNOWN_EXEMPTIONS = {"uaf-replay", "address-replay", "metadata-leak"}
+
+
+class DriftError(Exception):
+    pass
+
+
+def need(cond, msg):
+    if not cond:
+        raise DriftError(msg)
+
+
+def check(doc):
+    need(set(doc.keys()) == TOP_KEYS, "top-level keys drifted: %r"
+         % (sorted(doc.keys()),))
+    need(doc["bench"] == "attack_surface", "bench tag changed")
+    need(doc["schema_version"] == 1, "schema_version != 1")
+    need(isinstance(doc["seed"], int), "seed not an int")
+    need(isinstance(doc["smoke"], bool), "smoke not a bool")
+
+    rows = doc["rows"]
+    need(isinstance(rows, list) and rows, "rows missing")
+    public = set()
+    leak_rows = []
+    for r in rows:
+        need(set(r.keys()) == ROW_KEYS,
+             "row keys drifted: %r" % (sorted(set(r.keys()) ^ ROW_KEYS),))
+        need(r["campaign"] in CAMPAIGNS, "unknown campaign %r" % r["campaign"])
+        need(r["defense"] in DEFENSES, "unknown defense %r" % r["defense"])
+        need(r["backend"] in BACKENDS, "unknown backend %r" % r["backend"])
+        need(r["sweep"] in SWEEPS, "unknown sweep %r" % r["sweep"])
+        need(r["knowledge"] in ("public", "metadata-leak"),
+             "unknown knowledge %r" % r["knowledge"])
+        need(r["exempt"] is None or r["exempt"] in KNOWN_EXEMPTIONS,
+             "undocumented exemption %r" % r["exempt"])
+        need((r["budget"] is None) == (r["exempt"] is not None),
+             "budget/exempt disagree on %s/%s/%s"
+             % (r["campaign"], r["backend"], r["sweep"]))
+        need(0.0 <= r["success_rate"] <= 1.0 and
+             0.0 <= r["detection_rate"] <= 1.0, "rate out of [0,1]")
+        if r["knowledge"] == "public":
+            public.add((r["campaign"], r["defense"], r["backend"], r["sweep"]))
+        else:
+            leak_rows.append(r)
+        if r["gated"] and r["exempt"] is None:
+            need(r["pass"] == (r["success_rate"] <= r["budget"]),
+                 "pass flag inconsistent with budget on %s/%s/%s"
+                 % (r["campaign"], r["backend"], r["sweep"]))
+            need(r["pass"], "BUDGET VIOLATION: %s/%s/%s success %.4f > %.4f"
+                 % (r["campaign"], r["backend"], r["sweep"],
+                    r["success_rate"], r["budget"]))
+
+    # Full-grid coverage: every campaign x defense x backend x sweep point.
+    for c in CAMPAIGNS:
+        for d in DEFENSES:
+            for b in BACKENDS:
+                for s in SWEEPS:
+                    need((c, d, b, s) in public,
+                         "coverage hole: no public row for %s/%s/%s/%s"
+                         % (c, d, b, s))
+    need(len(leak_rows) >= len(BACKENDS),
+         "metadata-leak rows missing (%d < %d)"
+         % (len(leak_rows), len(BACKENDS)))
+    for r in leak_rows:
+        need(r["exempt"] == "metadata-leak",
+             "leak row not marked metadata-leak exempt")
+
+    controls = doc["controls"]
+    need(isinstance(controls, list), "controls missing")
+    seen_controls = set()
+    for c in controls:
+        need(set(c.keys()) == CONTROL_KEYS, "control row keys drifted")
+        need(c["control_violations"] == 0 and c["successes"] == 0 and c["pass"],
+             "FALSE POSITIVE: control row %s/%s"
+             % (c["defense"], c["backend"]))
+        seen_controls.add((c["defense"], c["backend"]))
+    need(seen_controls == {(d, b) for d in DEFENSES for b in BACKENDS},
+         "control rows do not cover defense x backend")
+
+    wc = doc["workload_controls"]
+    need(isinstance(wc, list), "workload_controls missing")
+    seen_wc = set()
+    for w in wc:
+        need(set(w.keys()) == WORKLOAD_CONTROL_KEYS,
+             "workload control keys drifted")
+        need(w["clean"], "FALSE POSITIVE: workload control %s/%s dirty"
+             % (w["backend"], w["workload"]))
+        seen_wc.add((w["backend"], w["workload"]))
+    need(seen_wc == {(b, w) for b in BACKENDS for w in WORKLOADS},
+         "workload controls do not cover backend x workload")
+
+    over = doc["overhead"]
+    need(isinstance(over, list), "overhead missing")
+    if over:  # empty only under --no-overhead
+        for o in over:
+            need(set(o.keys()) == OVERHEAD_KEYS, "overhead keys drifted")
+            need(isinstance(o["mops"], (int, float)) and o["mops"] > 0,
+                 "nonpositive mops for %s/%s" % (o["defense"], o["backend"]))
+        combos = [(o["defense"], o["backend"]) for o in over]
+        need(combos == EXPECTED_OVERHEAD,
+             "overhead combos drifted: %r" % (combos,))
+
+    need(doc["all_pass"] is True, "all_pass is false")
+    return len(rows), len(controls), len(wc)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: redteam_check.py ATTACK_SURFACE_JSON", file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(open(argv[1]).read())
+        n_rows, n_controls, n_wc = check(doc)
+    except (DriftError, json.JSONDecodeError, OSError) as e:
+        print("redteam_check: FAIL: %s" % e, file=sys.stderr)
+        return 1
+    print("redteam_check: OK — %d campaign rows, %d controls, %d workload"
+          " controls, budgets met, zero false positives" %
+          (n_rows, n_controls, n_wc))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -170,29 +170,35 @@ Observation observe_bytes(const std::vector<std::uint8_t>& block,
 }
 
 /// POLaR-world observation: program reads Victim fields through the
-/// runtime; any refused access aborts the use (detection).
-Observation observe_polar(Runtime& rt, void* base, TypeId victim,
+/// runtime using `ref` — a real typed handle for live-object scenarios, or
+/// a dangling "address-typed" handle (ObjRef{base, 0, type}: the shape the
+/// instrumentation pass produces for a raw pointer whose static type is
+/// known at the access site) for the UAF scenarios. Any refused access
+/// aborts the use (detection). A granted access is consumed as bytes
+/// bounded by the backing heap block, mirroring read_block's guard-page
+/// behaviour — under the stateless backend a granted access to a dead
+/// object is precisely the measured UAF-replay hole, so the read must go
+/// through even though no metadata record backs it.
+Observation observe_polar(Runtime& rt, ObjRef ref, TypeId expected,
                           const AttackConfig& cfg, std::size_t block_cap) {
   Observation obs;
   const auto read_field = [&](std::uint32_t field,
                               std::uint32_t width) -> std::uint64_t {
-    void* p = cfg.strict_typed_access
-                  ? rt.olr_getptr_typed(base, victim, field)
-                  : rt.olr_getptr(base, field);
-    if (p == nullptr) {
+    const Result<void*> r = cfg.strict_typed_access
+                                ? rt.obj_field_typed(ref, expected, field)
+                                : rt.obj_field(ref, field);
+    if (!r.ok()) {
       obs.detected = true;
       return 0;
     }
-    // Bound the read to the heap block backing the object, mirroring
-    // read_block's guard-page behaviour.
-    const ObjectRecord* rec = rt.inspect(base);
+    const auto off = static_cast<std::size_t>(
+        static_cast<const unsigned char*>(r.value()) -
+        static_cast<const unsigned char*>(ref.base));
     std::uint64_t v = 0;
-    const auto off = static_cast<std::size_t>(static_cast<unsigned char*>(p) -
-                                              static_cast<unsigned char*>(base));
     for (std::uint32_t i = 0; i < width; ++i) {
-      if (off + i < block_cap && rec != nullptr) {
+      if (off + i < block_cap) {
         v |= static_cast<std::uint64_t>(
-                 static_cast<unsigned char*>(base)[off + i])
+                 static_cast<const unsigned char*>(ref.base)[off + i])
              << (8 * i);
       }
     }
@@ -204,6 +210,15 @@ Observation observe_polar(Runtime& rt, void* base, TypeId victim,
   if (obs.detected) return obs;
   obs.len = read_field(kLenField, 4);
   return obs;
+}
+
+/// The handle a dangling raw pointer becomes at an instrumented access
+/// site: the static type is known to the compiler, the allocation id is
+/// not. Stored/hybrid machinery treats id 0 as an unchecked legacy handle;
+/// the stateless backend derives offsets from (type, base) alone — which
+/// is exactly the replay surface the campaign rows quantify.
+ObjRef dangling_as(void* base, TypeId type) {
+  return ObjRef{base, 0, type};
 }
 
 /// Byte-world helper: materializes an object of `info` whose FIELD VALUES
@@ -264,10 +279,10 @@ struct PolarWorld {
     RuntimeConfig rc;
     rc.policy = cfg.policy;
     rc.on_violation = ErrorAction::kReport;
-    // Attack outcomes quantify per-allocation stored randomization (layout
-    // variance across reallocations, metadata-leak bypass); pin the backend
-    // so a POLAR_BACKEND override doesn't change what is being measured.
-    rc.backend = BackendConfig::stored();
+    // The backend under attack comes from the config (default: stored).
+    // Deliberately not env_default(): a POLAR_BACKEND override must not
+    // silently change what an attack row is measuring.
+    rc.backend = cfg.backend;
     rc.seed = cfg.seed ^ 0x90a1;
     rc.alloc_fn = SizeClassHeap::alloc_hook;
     rc.free_fn = SizeClassHeap::free_hook;
@@ -301,21 +316,33 @@ AttackOutcome run_uaf_fake_object(const TypeRegistry& reg,
 
   PolarWorld world(reg, cfg);
   for (std::uint32_t t = 0; t < cfg.trials; ++t) {
-    void* v = world.rt.olr_malloc(types.victim);
-    world.rt.store<std::uint64_t>(v, kHandlerField, kBenignHandler);
-    world.rt.store<std::uint64_t>(v, kRefcountField, 3);
-    const std::size_t size = world.rt.inspect(v)->layout->size;
-    world.rt.olr_free(v);
+    const ObjRef v = world.rt.obj_alloc(types.victim).value();
+    world.rt.store<std::uint64_t>(v.base, kHandlerField, kBenignHandler);
+    world.rt.store<std::uint64_t>(v.base, kRefcountField, 3);
+    const std::size_t size = world.rt.inspect(v.base)->layout->size;
+    (void)world.rt.obj_free(v);
 
     // Raw (untracked) spray buffer reclaims the chunk.
     void* raw = world.heap.allocate(size);
-    const Layout assumed = natural_layout(victim_info);
+    Layout assumed = natural_layout(victim_info);
+    if (cfg.attacker_knows_metadata && !cfg.metadata_sealed) {
+      // Derived backends have no per-object metadata to leak, but their
+      // schedule is a pure function of the (leaked) type seed and the base
+      // address — an attacker who exfiltrated the schedule computes the
+      // reclaimed chunk's layout exactly (§VI-A's residual risk, derived
+      // form). Stored keeps nothing after the free: the guess stays blind.
+      if (const StatelessSchedule* sch = world.rt.schedule(types.victim)) {
+        assumed = sch->layout_for(raw);
+      }
+    }
     const std::vector<std::uint8_t> image = fake_victim_image(assumed, size);
     std::memcpy(raw, image.data(), size);
 
     // Program uses the dangling pointer; the metadata table has no record
-    // for this base anymore.
-    acc.add(observe_polar(world.rt, v, types.victim, cfg,
+    // for this base anymore (stateless never looks for one — the access
+    // goes through and reads the attacker's spray).
+    acc.add(observe_polar(world.rt, dangling_as(v.base, types.victim),
+                          types.victim, cfg,
                           block_size_for(static_cast<std::uint32_t>(size))));
     world.rt.clear_violation();
     world.heap.deallocate(raw, size);
@@ -361,11 +388,11 @@ AttackOutcome run_uaf_reclaim(const TypeRegistry& reg,
 
   PolarWorld world(reg, cfg);
   for (std::uint32_t t = 0; t < cfg.trials; ++t) {
-    void* v = world.rt.olr_malloc(types.victim);
-    world.rt.store<std::uint64_t>(v, kHandlerField, kBenignHandler);
-    world.rt.store<std::uint64_t>(v, kRefcountField, 3);
-    const std::size_t victim_size = world.rt.inspect(v)->layout->size;
-    world.rt.olr_free(v);
+    const ObjRef v = world.rt.obj_alloc(types.victim).value();
+    world.rt.store<std::uint64_t>(v.base, kHandlerField, kBenignHandler);
+    world.rt.store<std::uint64_t>(v.base, kRefcountField, 3);
+    const std::size_t victim_size = world.rt.inspect(v.base)->layout->size;
+    (void)world.rt.obj_free(v);
 
     // Spray managed objects hoping one reclaims the victim's chunk.
     const std::vector<std::uint8_t> desired =
@@ -376,7 +403,7 @@ AttackOutcome run_uaf_reclaim(const TypeRegistry& reg,
     for (int s = 0; s < 8 && !reclaimed; ++s) {
       void* obj = world.rt.olr_malloc(spray_type);
       sprays.push_back(obj);
-      reclaimed = (obj == v);
+      reclaimed = (obj == v.base);
     }
     // Attacker fills every spray object's fields with the sliced image.
     for (void* obj : sprays) {
@@ -397,9 +424,8 @@ AttackOutcome run_uaf_reclaim(const TypeRegistry& reg,
       acc.add(miss);
     } else {
       acc.add(observe_polar(
-          world.rt, v, types.victim, cfg,
-          block_size_for(
-              static_cast<std::uint32_t>(std::max(victim_size, victim_size)))));
+          world.rt, dangling_as(v.base, types.victim), types.victim, cfg,
+          block_size_for(static_cast<std::uint32_t>(victim_size))));
     }
     world.rt.clear_violation();
     for (void* obj : sprays) world.rt.olr_free(obj);
@@ -449,26 +475,30 @@ AttackOutcome run_type_confusion(const TypeRegistry& reg,
 
   PolarWorld world(reg, cfg);
   for (std::uint32_t t = 0; t < cfg.trials; ++t) {
-    void* c = world.rt.olr_malloc(types.confused);
-    world.rt.store<std::uint32_t>(c, kKind, 1);
-    world.rt.store<std::uint32_t>(c, kTag, 0);
+    const ObjRef c = world.rt.obj_alloc(types.confused).value();
+    world.rt.store<std::uint32_t>(c.base, kKind, 1);
+    world.rt.store<std::uint32_t>(c.base, kTag, 0);
     // Attacker-controlled values go in through the legitimate API.
     const std::vector<std::uint8_t> desired =
         fake_victim_image(natural_layout(victim_info), 64);
     const Layout conf_assumed = natural_layout(conf_info);
     for (std::uint32_t f : {kUserId, kBlob}) {
-      void* p = world.rt.olr_getptr(c, f);
+      void* p = world.rt.olr_getptr(c.base, f);
       for (std::uint32_t i = 0; i < conf_info.fields[f].size; ++i) {
         const std::size_t src = conf_assumed.offsets[f] + i;
         static_cast<unsigned char*>(p)[i] =
             src < desired.size() ? desired[src] : 0;
       }
     }
-    // The bug: Victim code runs over the Confused object.
-    acc.add(observe_polar(world.rt, c, types.victim, cfg,
-                          block_size_for(world.rt.inspect(c)->layout->size)));
+    // The bug: Victim code runs over the Confused object — the pointer it
+    // received is statically typed as Victim, so its accesses carry the
+    // wrong class (and, under derived backends, consult the wrong
+    // schedule).
+    acc.add(observe_polar(world.rt, dangling_as(c.base, types.victim),
+                          types.victim, cfg,
+                          block_size_for(world.rt.inspect(c.base)->layout->size)));
     world.rt.clear_violation();
-    world.rt.olr_free(c);
+    (void)world.rt.obj_free(c);
     world.rt.clear_violation();
   }
   return acc.take();
@@ -522,10 +552,10 @@ AttackOutcome run_linear_overflow(const TypeRegistry& reg,
 
   PolarWorld world(reg, cfg);
   for (std::uint32_t t = 0; t < cfg.trials; ++t) {
-    void* o = world.rt.olr_malloc(types.overflowable);
-    world.rt.store<std::uint64_t>(o, kHandler, kBenignHandler);
-    world.rt.store<std::uint32_t>(o, kLenF, 5);
-    const ObjectRecord* rec = world.rt.inspect(o);
+    const ObjRef o = world.rt.obj_alloc(types.overflowable).value();
+    world.rt.store<std::uint64_t>(o.base, kHandler, kBenignHandler);
+    world.rt.store<std::uint32_t>(o.base, kLenF, 5);
+    const ObjectRecord* rec = world.rt.inspect(o.base);
     const Layout truth = *rec->layout;
 
     std::vector<std::uint8_t> overflow;
@@ -537,7 +567,8 @@ AttackOutcome run_linear_overflow(const TypeRegistry& reg,
             truth.offsets[kHandler] - truth.offsets[kData] + 8;
         overflow.resize(len);
         std::memcpy(overflow.data(),
-                    static_cast<unsigned char*>(o) + truth.offsets[kData], len);
+                    static_cast<unsigned char*>(o.base) + truth.offsets[kData],
+                    len);
         for (int i = 0; i < 8; ++i) {
           overflow[len - 8 + static_cast<std::uint32_t>(i)] =
               static_cast<std::uint8_t>(kPayload >> (8 * i));
@@ -548,36 +579,38 @@ AttackOutcome run_linear_overflow(const TypeRegistry& reg,
     }
 
     // The bug: unchecked copy into the 32-byte data field.
-    void* data_ptr = world.rt.olr_getptr(o, kData);
+    void* data_ptr = world.rt.obj_field(o, kData).value_or(nullptr);
     const auto data_off = static_cast<std::size_t>(
-        static_cast<unsigned char*>(data_ptr) - static_cast<unsigned char*>(o));
+        static_cast<unsigned char*>(data_ptr) -
+        static_cast<unsigned char*>(o.base));
     const std::size_t cap = block_size_for(truth.size);
     for (std::size_t i = 0; i < overflow.size(); ++i) {
       if (data_off + i < cap) {
-        static_cast<unsigned char*>(o)[data_off + i] = overflow[i];
+        static_cast<unsigned char*>(o.base)[data_off + i] = overflow[i];
       }
     }
 
     Observation obs;
     // Program validates its booby traps before trusting the object
     // (§IV-A-3's detection mechanism).
-    if (!world.rt.check_traps(o)) {
+    if (!world.rt.obj_check_traps(o).ok()) {
       obs.detected = true;
     } else {
-      void* p = cfg.strict_typed_access
-                    ? world.rt.olr_getptr_typed(o, types.overflowable, kHandler)
-                    : world.rt.olr_getptr(o, kHandler);
-      if (p == nullptr) {
+      const Result<void*> p =
+          cfg.strict_typed_access
+              ? world.rt.obj_field_typed(o, types.overflowable, kHandler)
+              : world.rt.obj_field(o, kHandler);
+      if (!p.ok()) {
         obs.detected = true;
       } else {
-        std::memcpy(&obs.handler, p, 8);
+        std::memcpy(&obs.handler, p.value(), 8);
         obs.refcount = 1;
         obs.len = 0;
       }
     }
     acc.add(obs);
     world.rt.clear_violation();
-    world.rt.olr_free(o);
+    (void)world.rt.obj_free(o);
     world.rt.clear_violation();
   }
   return acc.take();
@@ -618,14 +651,14 @@ AttackOutcome run_use_before_init(const TypeRegistry& reg,
     std::memcpy(groom, image.data(), groom_size);
     world.heap.deallocate(groom, groom_size);
 
-    // The victim may reclaim the groomed block — but olr_malloc zero-fills
+    // The victim may reclaim the groomed block — but obj_alloc zero-fills
     // and draws fresh offsets, so the stale payload is gone either way.
-    void* v = world.rt.olr_malloc(types.victim);
-    world.rt.store<std::uint32_t>(v, 4, 1);  // program inits flags only
+    const ObjRef v = world.rt.obj_alloc(types.victim).value();
+    world.rt.store<std::uint32_t>(v.base, 4, 1);  // program inits flags only
     acc.add(observe_polar(world.rt, v, types.victim, cfg,
-                          block_size_for(world.rt.inspect(v)->layout->size)));
+                          block_size_for(world.rt.inspect(v.base)->layout->size)));
     world.rt.clear_violation();
-    world.rt.olr_free(v);
+    (void)world.rt.obj_free(v);
   }
   return acc.take();
 }

@@ -17,10 +17,23 @@
 // across retries — the measurable form of the paper's Reproduction
 // Problem (§III-B-2): 1 means the attacker can rehearse the exploit
 // deterministically; large means every retry behaves differently.
+//
+// Determinism contract: every scenario draws exclusively from RNG streams
+// forked off AttackConfig::seed, so outcome COUNTS (attempts / successes /
+// detected / failed) are reproducible for a fixed config. The
+// `distinct_outcomes` signature set is additionally bit-identical across
+// reruns for kNone/kStaticOlr and for kPolar over the stored backend;
+// under the derived (stateless/hybrid) backends the case studies run the
+// real Runtime, whose schedule entry selection hashes real heap addresses,
+// so signature values are deterministic only within one process. The
+// adaptive campaign harness (attack/campaign.h) closes that gap: it draws
+// schedule indices from a per-campaign forked stream and its red-team JSON
+// is bit-identical across reruns with the same seed.
 #pragma once
 
 #include <cstdint>
 
+#include "core/backend.h"
 #include "core/layout.h"
 #include "core/type_registry.h"
 
@@ -47,6 +60,14 @@ struct AttackConfig {
   /// hardening §VI-A plans as future work). A metadata *leak* then yields
   /// nothing useful, so attacker_knows_metadata is neutralized.
   bool metadata_sealed = false;
+  /// POLaR only: the randomization backend the victim runtime uses. The
+  /// default pins the stored backend (maximum detection — the historical
+  /// single-backend behaviour every fixed expectation was written against);
+  /// sweeping it over stateless/hybrid turns DESIGN.md §12's prose about
+  /// the derived backends' UAF-replay blind spot into measured rows.
+  /// Deliberately NOT env_default(): a POLAR_BACKEND override must not
+  /// silently change what a test or bench is measuring.
+  BackendConfig backend = BackendConfig::stored();
   std::uint32_t trials = 1000;
   std::uint64_t seed = 1;
   LayoutPolicy policy{};

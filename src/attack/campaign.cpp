@@ -1,0 +1,549 @@
+#include "attack/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "baseline/static_olr.h"
+#include "core/runtime.h"
+#include "observe/introspect.h"
+#include "support/assert.h"
+#include "support/hash.h"
+
+namespace polar {
+
+const char* to_string(CampaignKind k) noexcept {
+  switch (k) {
+    case CampaignKind::kHeapSpray: return "heap-spray";
+    case CampaignKind::kPartialOverwrite: return "partial-overwrite";
+    case CampaignKind::kOverflowMarch: return "overflow-march";
+    case CampaignKind::kProbeOracle: return "probe-oracle";
+  }
+  return "?";
+}
+
+Result<void> CampaignConfig::validate() const noexcept {
+  if (static_cast<std::size_t>(kind) >= kCampaignKindCount ||
+      rounds == 0 || trials_per_round == 0) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
+  if (converge_streak == 0 || converge_streak > rounds) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
+  return backend.validate();
+}
+
+namespace {
+
+// Field roles (the AttackTypes shape; see the header contract).
+constexpr std::uint32_t kHandlerField = 0;
+constexpr std::uint32_t kRefcountField = 1;
+constexpr std::uint32_t kLenField = 3;
+constexpr std::uint32_t kOvData = 0;
+constexpr std::uint32_t kOvHandler = 1;
+constexpr std::uint64_t kBenignHandler = 0x00005afe5afe5afeULL;
+constexpr std::uint8_t kTrapFill = 0xa5;
+constexpr std::uint64_t kPartialMark = 0x4242;
+constexpr std::uint8_t kOverflowByte = 0x41;  // marching 'A's spell kPayload
+
+std::uint64_t read_block(const std::vector<std::uint8_t>& block,
+                         std::uint32_t offset, std::uint32_t width) {
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const std::size_t at = offset + i;
+    if (at < block.size()) {
+      v |= static_cast<std::uint64_t>(block[at]) << (8 * i);
+    }
+  }
+  return v;
+}
+
+void write_block(std::vector<std::uint8_t>& block, std::uint32_t offset,
+                 std::uint64_t value, std::uint32_t width) {
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const std::size_t at = offset + i;
+    if (at < block.size()) {
+      block[at] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+  }
+}
+
+/// What the program observed when it used the (possibly attacked) object.
+struct Observation {
+  bool detected = false;
+  std::uint64_t handler = 0;
+  std::uint64_t refcount = 0;
+  std::uint64_t len = 0;
+
+  [[nodiscard]] std::uint64_t signature() const noexcept {
+    std::uint64_t h = detected ? 0x1 : 0x2;
+    h = hash_combine(h, handler);
+    h = hash_combine(h, refcount);
+    h = hash_combine(h, len);
+    return h;
+  }
+};
+
+/// The defender side of a campaign: one recycled heap slot whose
+/// (re)allocations draw truth layouts per the defense/backend rules. The
+/// byte block persists across free (stale memory), exactly like the LIFO
+/// SizeClassHeap the case studies run on.
+struct SlotWorld {
+  const TypeInfo& info;
+  const CampaignConfig& cfg;
+  bool victim_shape;  ///< AttackTypes victim roles vs overflowable roles
+  Rng draw;           ///< defender's per-allocation layout stream (stored)
+  Layout fixed;       ///< kNone / kStaticOlr truth
+  const StatelessSchedule* sch = nullptr;  ///< derived; owned by `rt`
+  std::size_t slot_entry = 0;  ///< the slot address's fixed schedule index
+  std::unique_ptr<Runtime> rt;  ///< entropy join + schedule owner (kPolar)
+
+  Layout truth;
+  std::vector<std::uint8_t> block;
+  bool live = false;
+
+  SlotWorld(const TypeRegistry& reg, TypeId type, const CampaignConfig& c,
+            bool victim_roles, Rng defender_stream)
+      : info(reg.info(type)),
+        cfg(c),
+        victim_shape(victim_roles),
+        draw(defender_stream) {
+    switch (cfg.defense) {
+      case DefenseKind::kNone:
+        fixed = natural_layout(info);
+        break;
+      case DefenseKind::kStaticOlr: {
+        // One layout per "binary build" — the Reproduction Problem.
+        StaticOlr olr(reg, cfg.policy, hash_combine(cfg.seed, 0x57a71cULL));
+        fixed = olr.layout_of(type);
+        break;
+      }
+      case DefenseKind::kPolar: {
+        RuntimeConfig rc;
+        rc.policy = cfg.policy;
+        rc.backend = cfg.backend;  // not env_default(); see attack.h
+        rc.on_violation = ErrorAction::kReport;
+        rc.seed = cfg.seed ^ 0x90a1;
+        rt = std::make_unique<Runtime>(reg, rc);
+        sch = rt->schedule(type);  // null for the stored backend
+        if (sch != nullptr) {
+          // The slot's base address never changes (LIFO reuse), so its
+          // keyed hash selects ONE immortal schedule entry. Drawing the
+          // index from the campaign stream instead of a real address is
+          // what makes derived rows bit-identical across processes.
+          slot_entry = static_cast<std::size_t>(draw.below(sch->entries()));
+        }
+        break;
+      }
+    }
+  }
+
+  void allocate() {
+    switch (cfg.defense) {
+      case DefenseKind::kNone:
+      case DefenseKind::kStaticOlr:
+        truth = fixed;
+        break;
+      case DefenseKind::kPolar:
+        truth = sch != nullptr ? sch->layout_at(slot_entry)
+                               : randomize_layout(info, cfg.policy, draw);
+        break;
+    }
+    block.assign(truth.size, 0);  // POLaR zero-fills; byte world mirrors it
+    live = true;
+  }
+
+  /// The program initializes its object and arms the booby traps.
+  void program_init() {
+    if (victim_shape) {
+      write_block(block, truth.offsets[kHandlerField], kBenignHandler, 8);
+      write_block(block, truth.offsets[kRefcountField], 3, 8);
+      write_block(block, truth.offsets[kLenField], 5, 4);
+    } else {
+      write_block(block, truth.offsets[kOvHandler], kBenignHandler, 8);
+    }
+    for (const TrapRegion& trap : truth.traps) {
+      for (std::uint32_t i = 0; i < trap.size; ++i) {
+        if (trap.offset + i < block.size()) {
+          block[trap.offset + i] = kTrapFill;
+        }
+      }
+    }
+  }
+
+  void free_object() { live = false; }  // bytes stay — stale memory
+
+  [[nodiscard]] bool traps_intact() const {
+    for (const TrapRegion& trap : truth.traps) {
+      for (std::uint32_t i = 0; i < trap.size; ++i) {
+        if (trap.offset + i < block.size() &&
+            block[trap.offset + i] != kTrapFill) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// The program uses the object. `stale_handle` models a dangling typed
+  /// pointer: stored/hybrid POLaR gates every access on liveness metadata
+  /// and refuses it; pure stateless derives offsets from the address alone
+  /// and reads whatever the slot holds (the UAF-replay hole); kNone and
+  /// static OLR never check. Live objects are trap-validated first (the
+  /// program's use protocol) — a freed object's traps are nobody's to
+  /// check, its detection is the liveness gate's job.
+  [[nodiscard]] Observation use(bool stale_handle) const {
+    Observation obs;
+    if (stale_handle && cfg.defense == DefenseKind::kPolar &&
+        cfg.backend.kind != BackendKind::kStateless) {
+      obs.detected = true;  // kUseAfterFree via pagemap/seqlock liveness
+      return obs;
+    }
+    if (!stale_handle && !traps_intact()) {
+      obs.detected = true;  // kTrapDamaged
+      return obs;
+    }
+    if (victim_shape) {
+      obs.handler = read_block(block, truth.offsets[kHandlerField], 8);
+      obs.refcount = read_block(block, truth.offsets[kRefcountField], 8);
+      obs.len = read_block(block, truth.offsets[kLenField], 4);
+    } else {
+      obs.handler = read_block(block, truth.offsets[kOvHandler], 8);
+      obs.refcount = 1;
+      obs.len = 0;
+    }
+    return obs;
+  }
+};
+
+/// RUMA-style probe: the attacker allocates a training object of the
+/// victim's type in the victim's slot, plants a distinct marker in every
+/// field through the legitimate API (it is the attacker's own object), and
+/// recovers the field->offset map with one overlapping byte-granular scan
+/// of the raw block. Returns one offset per declared field; empty when any
+/// marker was not found. Raw reads trip nothing (booby traps detect
+/// writes), but every scan window is counted in `probes` — the oracle's
+/// query cost.
+std::vector<std::uint32_t> probe_layout(SlotWorld& w, std::uint64_t& probes) {
+  w.allocate();
+  const std::uint32_t n = w.info.field_count();
+  std::vector<std::uint64_t> markers(n);
+  for (std::uint32_t f = 0; f < n; ++f) {
+    markers[f] = 0xb10c'0000'0000'0000ULL | (0x1111'1111ULL * (f + 1));
+    const std::uint32_t width = std::min<std::uint32_t>(w.info.fields[f].size, 8);
+    write_block(w.block, w.truth.offsets[f], markers[f], width);
+    ++probes;
+  }
+  std::vector<std::uint32_t> learned(n, 0);
+  std::vector<bool> found(n, false);
+  const std::size_t size = w.block.size();
+  for (std::size_t off = 0; off + 1 < size; ++off) {
+    ++probes;  // one misaligned window read
+    for (std::uint32_t f = 0; f < n; ++f) {
+      if (found[f]) continue;
+      const std::uint32_t width = std::min<std::uint32_t>(w.info.fields[f].size, 8);
+      if (off + width > size) continue;
+      const std::uint64_t window =
+          read_block(w.block, static_cast<std::uint32_t>(off), width);
+      const std::uint64_t mask =
+          width == 8 ? ~0ULL : ((1ULL << (8 * width)) - 1);
+      if (window == (markers[f] & mask)) {
+        learned[f] = static_cast<std::uint32_t>(off);
+        found[f] = true;
+      }
+    }
+  }
+  w.free_object();
+  if (!std::all_of(found.begin(), found.end(), [](bool b) { return b; })) {
+    return {};
+  }
+  return learned;
+}
+
+struct TrialClass {
+  bool detected = false;
+  bool success = false;
+};
+
+TrialClass classify_hijack(const Observation& obs) {
+  TrialClass c;
+  c.detected = obs.detected;
+  c.success = !obs.detected && obs.handler == kPayload && obs.refcount != 0 &&
+              obs.len < 100;
+  return c;
+}
+
+TrialClass classify_partial(const Observation& obs) {
+  TrialClass c;
+  c.detected = obs.detected;
+  // A partial overwrite "wins" when the pointer's low bytes were swapped
+  // while the rest still points into the benign region — a plausible
+  // in-segment redirect rather than a wild pointer.
+  c.success = !obs.detected && (obs.handler & 0xffffULL) == kPartialMark &&
+              (obs.handler >> 16) == (kBenignHandler >> 16);
+  return c;
+}
+
+}  // namespace
+
+CampaignOutcome run_campaign(const TypeRegistry& registry,
+                             const AttackTypes& types,
+                             const CampaignConfig& config) {
+  POLAR_CHECK(config.validate().ok(), "invalid CampaignConfig");
+
+  const bool victim_shape = config.kind != CampaignKind::kOverflowMarch;
+  const TypeId type =
+      victim_shape ? types.victim : types.overflowable;
+
+  Rng stream(hash_combine(config.seed,
+                          0xca4'0000ULL + static_cast<std::uint64_t>(config.kind)));
+  Rng defender = stream.fork();
+  Rng attacker = stream.fork();
+  SlotWorld world(registry, type, config, victim_shape, defender);
+
+  CampaignOutcome out;
+  if (config.defense == DefenseKind::kPolar) {
+    out.entropy_bits = observe::type_entropy_bits(*world.rt, type);
+  }
+
+  const bool metadata_leak =
+      config.attacker_knows_metadata && !config.metadata_sealed;
+
+  std::set<std::uint64_t> signatures;
+  const auto record = [&](const TrialClass& c, const Observation& obs) {
+    ++out.totals.attempts;
+    if (c.detected) {
+      ++out.totals.detected;
+    } else if (c.success) {
+      ++out.totals.successes;
+    } else {
+      ++out.totals.failed;
+    }
+    signatures.insert(obs.signature());
+  };
+
+  // Adaptive state carried between rounds.
+  std::vector<std::uint32_t> learned;       // probe-oracle / heap-spray
+  std::vector<std::uint32_t> candidates;    // partial-overwrite
+  std::uint32_t march_len = 8;              // overflow-march
+  std::uint64_t prev_belief = 0;
+  std::uint32_t streak = 0;
+
+  for (std::uint32_t round = 1; round <= config.rounds; ++round) {
+    out.rounds_run = round;
+    std::uint64_t belief = 0;
+    bool belief_valid = false;
+    std::uint64_t round_successes = 0;
+
+    if (!config.control &&
+        (config.kind == CampaignKind::kProbeOracle ||
+         config.kind == CampaignKind::kHeapSpray)) {
+      if (metadata_leak) {
+        belief = 1;  // ground truth is re-read per trial; trivially stable
+        belief_valid = true;
+      } else {
+        learned = probe_layout(world, out.probes);
+        belief_valid = !learned.empty();
+        belief = 0;
+        for (const std::uint32_t off : learned) belief = hash_combine(belief, off);
+      }
+    }
+
+    for (std::uint32_t trial = 0; trial < config.trials_per_round; ++trial) {
+      if (config.control) {
+        // Attack-free control: allocate, init, use, free. Any detection
+        // is a false positive.
+        world.allocate();
+        world.program_init();
+        const Observation obs = world.use(false);
+        if (obs.detected) ++out.control_violations;
+        record(classify_hijack(obs), obs);
+        world.free_object();
+        continue;
+      }
+
+      switch (config.kind) {
+        case CampaignKind::kProbeOracle: {
+          world.allocate();
+          world.program_init();
+          const std::uint32_t strike_off =
+              metadata_leak ? world.truth.offsets[kHandlerField]
+                            : (learned.empty() ? 0 : learned[kHandlerField]);
+          // The strike: a surgical 8-byte OOB write at the believed
+          // handler offset of the LIVE victim.
+          write_block(world.block, strike_off, kPayload, 8);
+          const Observation obs = world.use(false);
+          const TrialClass c = classify_hijack(obs);
+          round_successes += c.success ? 1 : 0;
+          record(c, obs);
+          world.free_object();
+          break;
+        }
+        case CampaignKind::kHeapSpray: {
+          world.allocate();
+          world.program_init();
+          world.free_object();  // the program drops it; the handle dangles
+          if (!learned.empty()) {
+            // Reclaim spray: a fake victim image laid out under the belief.
+            write_block(world.block, learned[kHandlerField], kPayload, 8);
+            write_block(world.block, learned[kRefcountField], 1, 8);
+            write_block(world.block, learned[kLenField], 10, 4);
+          }
+          const Observation obs = world.use(true);
+          const TrialClass c = classify_hijack(obs);
+          round_successes += c.success ? 1 : 0;
+          record(c, obs);
+          break;
+        }
+        case CampaignKind::kPartialOverwrite: {
+          world.allocate();
+          world.program_init();
+          if (candidates.empty()) {
+            for (std::uint32_t off = 0; off + 2 <= world.truth.size; off += 2) {
+              candidates.push_back(off);
+            }
+          }
+          const std::size_t pick =
+              static_cast<std::size_t>(attacker.below(candidates.size()));
+          const std::uint32_t off = std::min<std::uint32_t>(
+              candidates[pick],
+              static_cast<std::uint32_t>(world.block.size()) - 2);
+          write_block(world.block, off, kPartialMark, 2);
+          const Observation obs = world.use(false);
+          const TrialClass c = classify_partial(obs);
+          round_successes += c.success ? 1 : 0;
+          record(c, obs);
+          // Elimination learning: an offset that observably did nothing
+          // (clean benign read-back) is not the pointer; a detected strike
+          // mapped a trap zone. Both are only *true* eliminations when the
+          // layout is stable across allocations — against the stored
+          // backend this learning is systematically stale, which is the
+          // measured point.
+          const bool untouched = !obs.detected &&
+                                 obs.handler == kBenignHandler &&
+                                 obs.refcount == 3 && obs.len == 5;
+          if ((untouched || obs.detected) && candidates.size() > 1) {
+            candidates.erase(candidates.begin() +
+                             static_cast<std::ptrdiff_t>(pick));
+          }
+          world.free_object();
+          break;
+        }
+        case CampaignKind::kOverflowMarch: {
+          world.allocate();
+          world.program_init();
+          const std::uint32_t start =
+              world.truth.offsets[kOvData] + world.info.fields[kOvData].size;
+          for (std::uint32_t i = 0; i < march_len; ++i) {
+            if (start + i < world.block.size()) {
+              world.block[start + i] = kOverflowByte;
+            }
+          }
+          const Observation obs = world.use(false);
+          const TrialClass c = classify_hijack(obs);
+          round_successes += c.success ? 1 : 0;
+          record(c, obs);
+          world.free_object();
+          break;
+        }
+      }
+    }
+
+    if (config.control) continue;
+
+    if (config.kind == CampaignKind::kPartialOverwrite) {
+      belief_valid = candidates.size() == 1;
+      belief = belief_valid ? candidates[0] : 0;
+    } else if (config.kind == CampaignKind::kOverflowMarch) {
+      belief_valid = round_successes > 0;
+      belief = march_len;
+      if (round_successes == 0 && march_len < 256) march_len += 8;
+    }
+
+    if (belief_valid && belief == prev_belief) {
+      ++streak;
+    } else {
+      streak = belief_valid ? 1 : 0;
+    }
+    prev_belief = belief;
+    if (streak >= config.converge_streak && round_successes > 0) {
+      out.converged = true;
+      out.converged_round = round;
+      break;  // layout recovered; further rounds only repeat the win
+    }
+  }
+
+  out.totals.distinct_outcomes = signatures.size();
+  return out;
+}
+
+double measure_access_mops(const TypeRegistry& registry,
+                           const AttackTypes& types, DefenseKind defense,
+                           const BackendConfig& backend,
+                           const LayoutPolicy& policy, std::uint64_t seed,
+                           std::uint32_t objects, std::uint64_t iters) {
+  POLAR_CHECK(objects > 0 && iters > 0, "measure_access_mops: empty workload");
+  const TypeId t = types.victim;
+  const TypeInfo& info = registry.info(t);
+  const std::uint32_t fields = info.field_count();
+  volatile std::uint32_t sink = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  switch (defense) {
+    case DefenseKind::kNone: {
+      // Stock compiler: natural offsets into flat storage.
+      std::vector<std::vector<std::uint8_t>> objs(
+          objects, std::vector<std::uint8_t>(info.natural_size, 0));
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        const auto& o = objs[i % objects];
+        std::uint32_t v;
+        std::memcpy(&v, o.data() + info.natural_offsets[i % fields],
+                    sizeof(v));
+        sink = sink + v;
+      }
+      break;
+    }
+    case DefenseKind::kStaticOlr: {
+      StaticOlr olr(registry, policy, seed);
+      std::vector<void*> objs(objects);
+      for (auto& o : objs) o = olr.alloc(t);
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        std::uint32_t v;
+        std::memcpy(&v, olr.field_ptr(objs[i % objects], t, i % fields),
+                    sizeof(v));
+        sink = sink + v;
+      }
+      for (void* o : objs) olr.free_object(o, t);
+      break;
+    }
+    case DefenseKind::kPolar: {
+      RuntimeConfig rc;
+      rc.policy = policy;
+      rc.backend = backend;  // not env_default(); see attack.h
+      rc.seed = seed;
+      Runtime rt(registry, rc);
+      std::vector<ObjRef> objs(objects);
+      for (auto& o : objs) o = rt.obj_alloc(t).value();
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        std::uint32_t v;
+        std::memcpy(&v,
+                    rt.obj_field(objs[i % objects],
+                                 static_cast<std::uint32_t>(i % fields))
+                        .value(),
+                    sizeof(v));
+        sink = sink + v;
+      }
+      for (const ObjRef& o : objs) (void)rt.obj_free(o);
+      break;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  return us <= 0.0 ? 0.0 : static_cast<double>(iters) / us;
+}
+
+}  // namespace polar

@@ -1,0 +1,151 @@
+// Adaptive red-team campaign harness — the learning counterpart of the
+// fixed case studies in attack.h.
+//
+// Where attack.h mounts each exploit as independent identically-configured
+// trials, a campaign is a multi-round attacker that carries state BETWEEN
+// trials: it probes the defense, updates a belief about the victim's field
+// offsets, and only then strikes. Four campaign kinds cover the adaptive
+// strategies the literature shows defeating layout defenses:
+//
+//   kProbeOracle      RUMA-style layout recovery: the attacker allocates a
+//                     training object of the victim's type in the victim's
+//                     (recycled) heap slot, plants markers through the
+//                     legitimate API, and scans raw memory with overlapping
+//                     misaligned reads to recover the field->offset map —
+//                     then performs a surgical 8-byte overwrite at the
+//                     believed handler offset of a live victim. When
+//                     `attacker_knows_metadata` (and metadata is not
+//                     sealed) the probe phase is replaced by a direct
+//                     metadata read — the §VI-A residual leak channel.
+//   kHeapSpray        stale-handle mass allocation: victim freed, the slot
+//                     reclaimed with a crafted fake-victim byte image laid
+//                     out under the probed belief, then the program uses
+//                     the dangling handle.
+//   kOverflowMarch    linear overflow from Overflowable.data, marching 8
+//                     bytes further each round until it reaches the fn-ptr
+//                     or trips a booby trap — the trap-density study.
+//   kPartialOverwrite 2-byte partial pointer overwrite at an adaptively
+//                     chosen offset, eliminating candidate offsets that
+//                     observably did nothing — converges on any defense
+//                     whose layout is stable across allocations.
+//
+// The campaign world is a byte-level simulation of one recycled heap slot
+// (LIFO reuse pins every (re)allocation to the same address, which is what
+// the real SizeClassHeap gives an attacker anyway), but the LAYOUTS are the
+// real thing: natural_layout for kNone, StaticOlr's per-binary draw for
+// kStaticOlr, randomize_layout per allocation for the stored POLaR backend,
+// and a real StatelessSchedule entry — fixed per address — for the derived
+// (stateless/hybrid) backends. Detection is modelled from each backend's
+// actual capabilities: stored/hybrid refuse stale-handle access (liveness
+// metadata), every POLaR/static layout validates its booby-trap bytes
+// before the program trusts a live object, and pure stateless checks
+// nothing on the access path.
+//
+// Determinism contract: every draw — defender layouts, schedule entry
+// selection, attacker choices — comes from streams forked off
+// CampaignConfig::seed, and the simulation never touches a real heap
+// address, so a campaign's outcome (counts AND distinct-outcome
+// signatures) is bit-identical across processes for a fixed config. This
+// is the property the per-backend case studies in attack.cpp cannot give
+// (their derived backends hash real addresses) and what makes
+// attack_surface.json diffable in CI.
+//
+// Field-role contract: campaigns read the AttackTypes shape — victim field
+// 0 is the hijack target (fn-ptr), field 1 a nonzero refcount, field 3 a
+// small length; overflowable field 0 is the inline buffer, field 1 the
+// fn-ptr. Wider victim types (extra trailing fields) are fine and raise
+// entropy; that is how the high-entropy tests drive the oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attack.h"
+#include "core/backend.h"
+#include "core/layout.h"
+#include "core/result.h"
+#include "core/type_registry.h"
+
+namespace polar {
+
+enum class CampaignKind : std::uint8_t {
+  kHeapSpray,
+  kPartialOverwrite,
+  kOverflowMarch,
+  kProbeOracle,
+};
+inline constexpr std::size_t kCampaignKindCount = 4;
+
+[[nodiscard]] const char* to_string(CampaignKind k) noexcept;
+
+struct CampaignConfig {
+  CampaignKind kind = CampaignKind::kProbeOracle;
+  DefenseKind defense = DefenseKind::kPolar;
+  /// Which randomization backend resolves the victim's accesses. Only
+  /// meaningful under kPolar; rows for kNone/kStaticOlr carry it anyway so
+  /// the sweep emits a full defense x backend grid.
+  BackendConfig backend = BackendConfig::stored();
+  LayoutPolicy policy{};
+  /// The §VI-A metadata leak: the probe phase reads ground truth instead
+  /// of scanning memory. Neutralized by metadata_sealed.
+  bool attacker_knows_metadata = false;
+  bool metadata_sealed = false;
+  /// Attack-free control row: the attacker never acts; any detection the
+  /// defense reports is a false positive (CampaignOutcome::
+  /// control_violations must be zero).
+  bool control = false;
+  std::uint32_t rounds = 24;
+  std::uint32_t trials_per_round = 32;
+  /// Rounds of stable belief (plus a successful strike) before the
+  /// campaign declares convergence and stops early.
+  std::uint32_t converge_streak = 4;
+  std::uint64_t seed = 1;
+
+  /// kBadConfig on zero rounds/trials, a zero or out-of-range convergence
+  /// streak, or a backend the runtime itself would reject.
+  [[nodiscard]] Result<void> validate() const noexcept;
+};
+
+struct CampaignOutcome {
+  /// Strike trials only (probe-phase allocations are accounted under
+  /// `probes`, not `attempts`).
+  AttackOutcome totals;
+  std::uint32_t rounds_run = 0;
+  /// The attacker's belief stabilized for converge_streak rounds AND the
+  /// strikes under that belief succeed — the layout is effectively
+  /// recovered. Campaigns stop early once converged.
+  bool converged = false;
+  std::uint32_t converged_round = 0;  ///< 1-based; 0 = never
+  /// Probe-phase work: marker writes + overlapping scan reads performed
+  /// across all rounds (the oracle's query cost).
+  std::uint64_t probes = 0;
+  /// Detections reported on control (attack-free) trials. Must be zero.
+  std::uint64_t control_violations = 0;
+  /// The census entropy axis this row joins against: per-allocation layout
+  /// entropy the attacker faces (observe::type_entropy_bits for kPolar —
+  /// schedule-capped for derived backends — and 0 for kNone/kStaticOlr,
+  /// whose layout is fixed at every allocation of one binary).
+  double entropy_bits = 0.0;
+};
+
+/// Runs one campaign. Aborts (POLAR_CHECK) on an invalid config — sweep
+/// drivers validate at parse time; reaching this with a bad config is a
+/// harness bug.
+[[nodiscard]] CampaignOutcome run_campaign(const TypeRegistry& registry,
+                                           const AttackTypes& types,
+                                           const CampaignConfig& config);
+
+/// Measured member-access throughput (million accesses per second) of the
+/// configuration a campaign row attacks: raw natural-offset loads for
+/// kNone, StaticOlr loads for kStaticOlr, the real Runtime access path for
+/// kPolar under `backend`. This is the overhead axis of the red-team curve
+/// (the only non-deterministic column in attack_surface.json).
+[[nodiscard]] double measure_access_mops(const TypeRegistry& registry,
+                                         const AttackTypes& types,
+                                         DefenseKind defense,
+                                         const BackendConfig& backend,
+                                         const LayoutPolicy& policy,
+                                         std::uint64_t seed,
+                                         std::uint32_t objects,
+                                         std::uint64_t iters);
+
+}  // namespace polar

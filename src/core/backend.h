@@ -199,6 +199,12 @@ class StatelessSchedule {
   [[nodiscard]] std::size_t entries() const noexcept {
     return layouts_.size();
   }
+  /// Direct entry access for offline consumers (red-team campaigns, census
+  /// tooling) that model address→entry selection themselves instead of
+  /// hashing real heap addresses. Precondition: index < entries().
+  [[nodiscard]] const Layout& layout_at(std::size_t index) const noexcept {
+    return layouts_[index];
+  }
   [[nodiscard]] std::uint64_t type_seed() const noexcept { return type_seed_; }
   /// Distinct layouts actually present (a no_randomize or tiny type can
   /// collapse the schedule to fewer distinct arrangements than entries).

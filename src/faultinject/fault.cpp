@@ -435,6 +435,19 @@ std::vector<FaultOutcome> run_matrix(const HarnessConfig& cfg) {
   return rows;
 }
 
+std::vector<FaultOutcome> run_controls(const HarnessConfig& cfg) {
+  std::vector<FaultOutcome> rows;
+  constexpr WorkloadKind kWorkloads[] = {
+      WorkloadKind::kMinipng, WorkloadKind::kMinijpg, WorkloadKind::kMjs,
+      WorkloadKind::kSpec};
+  for (const WorkloadKind w : kWorkloads) {
+    FaultPlan plan;  // kNone, at_alloc 0: never triggers
+    plan.seed = hash_combine(cfg.seed, static_cast<std::uint64_t>(w));
+    rows.push_back(run_one(w, plan, cfg));
+  }
+  return rows;
+}
+
 bool matrix_passes(const std::vector<FaultOutcome>& outcomes) {
   return std::all_of(outcomes.begin(), outcomes.end(),
                      [](const FaultOutcome& o) { return o.passed(); });

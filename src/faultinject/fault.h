@@ -163,6 +163,12 @@ struct HarnessConfig {
 /// including the fault-free control — 4 x 8 rows.
 [[nodiscard]] std::vector<FaultOutcome> run_matrix(const HarnessConfig& cfg);
 
+/// Attack-free control rows only: every workload run with a kNone plan —
+/// the zero-false-positive gate shared by fault_matrix and polar_redteam.
+/// Each row must come back FaultOutcome::clean(); a report of any class on
+/// an attack-free run is a false positive regardless of backend.
+[[nodiscard]] std::vector<FaultOutcome> run_controls(const HarnessConfig& cfg);
+
 /// True iff every row passed (see FaultOutcome::passed): detectable rows
 /// detected, skipped and control rows clean. Skipped rows can no longer
 /// fail a matrix silently — they are exercised fault-free and any report

@@ -32,6 +32,23 @@ void append_fmt(std::string& out, const char* fmt, ...) {
 
 }  // namespace
 
+double type_entropy_bits(const Runtime& rt, TypeId t) {
+  const TypeInfo& info = rt.registry().info(t);
+  // permutation_space saturates at uint64 max; log2 of that reads as
+  // "64 bits", an honest floor since dummies multiply the true space.
+  double bits = std::log2(
+      static_cast<double>(permutation_space(info, rt.config().policy)));
+  // A derived type realizes at most its schedule's distinct entries —
+  // report the diversity an attacker actually faces, not the policy's
+  // theoretical space.
+  if (const StatelessSchedule* sch = rt.schedule(t)) {
+    const double cap = std::log2(static_cast<double>(
+        sch->distinct_layouts() == 0 ? 1 : sch->distinct_layouts()));
+    bits = std::min(bits, cap);
+  }
+  return bits;
+}
+
 IntrospectionReport introspect(const Runtime& rt) {
   IntrospectionReport r;
   const TypeRegistry& reg = rt.registry();
@@ -45,20 +62,7 @@ IntrospectionReport introspect(const Runtime& rt) {
     row.type_name = info.name;
     row.type_id = id;
     row.backend = rt.backend_kind(TypeId{id});
-    // permutation_space saturates at uint64 max; log2 of that reads as
-    // "64 bits", an honest floor since dummies multiply the true space.
-    row.entropy_bits = std::log2(
-        static_cast<double>(permutation_space(info, rt.config().policy)));
-    // A derived type realizes at most its schedule's distinct entries —
-    // report the diversity an attacker actually faces, not the policy's
-    // theoretical space.
-    if (const StatelessSchedule* sch = rt.schedule(TypeId{id})) {
-      const double cap =
-          std::log2(static_cast<double>(sch->distinct_layouts() == 0
-                                            ? 1
-                                            : sch->distinct_layouts()));
-      row.entropy_bits = std::min(row.entropy_bits, cap);
-    }
+    row.entropy_bits = type_entropy_bits(rt, TypeId{id});
     ++r.entropy_histogram[entropy_band(row.entropy_bits)];
     ++id;
   }

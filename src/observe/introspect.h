@@ -63,6 +63,13 @@ struct IntrospectionReport {
 /// Snapshots the live set of `rt`. Quiescent use only.
 [[nodiscard]] IntrospectionReport introspect(const Runtime& rt);
 
+/// The per-type entropy the census reports for `t`, without walking the
+/// live set: log2 of the permutation space reachable under the runtime's
+/// LayoutPolicy, capped for derived (stateless/hybrid) types by the
+/// schedule's distinct entries. This is the `entropy_bits` axis the
+/// red-team curve (attack/campaign.h) joins its detection rates against.
+[[nodiscard]] double type_entropy_bits(const Runtime& rt, TypeId t);
+
 /// Deterministic JSON document.
 [[nodiscard]] std::string to_json(const IntrospectionReport& r);
 

@@ -1,0 +1,225 @@
+// Tests for the adaptive red-team campaign harness (attack/campaign.h):
+// convergence behaviour of the probing oracle per defense/backend, trap
+// monotonicity, the zero-false-positive control contract, the determinism
+// contract attack_surface.json relies on, and config validation.
+#include "attack/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "attack/attack.h"
+#include "core/backend.h"
+#include "core/type_registry.h"
+
+namespace polar {
+namespace {
+
+struct CampaignFixture : ::testing::Test {
+  TypeRegistry registry;
+  AttackTypes types;
+
+  void SetUp() override { types = register_attack_types(registry); }
+
+  CampaignConfig base(CampaignKind kind, DefenseKind defense,
+                      BackendKind backend) const {
+    CampaignConfig cfg;
+    cfg.kind = kind;
+    cfg.defense = defense;
+    cfg.backend = BackendConfig::of(backend);
+    cfg.rounds = 12;
+    cfg.trials_per_round = 16;
+    cfg.converge_streak = 3;
+    cfg.seed = 0xc0ffee;
+    return cfg;
+  }
+};
+
+// Against no defense the oracle learns the (fixed, natural) layout in the
+// first probe, the belief never moves, and the surgical strike lands —
+// convergence in exactly converge_streak rounds of the bounded budget.
+TEST_F(CampaignFixture, ProbeOracleConvergesOnNoDefense) {
+  const CampaignConfig cfg =
+      base(CampaignKind::kProbeOracle, DefenseKind::kNone, BackendKind::kStored);
+  const CampaignOutcome out = run_campaign(registry, types, cfg);
+  EXPECT_TRUE(out.converged);
+  EXPECT_GE(out.converged_round, cfg.converge_streak);
+  EXPECT_LE(out.converged_round, cfg.converge_streak + 1);
+  EXPECT_LE(out.rounds_run, cfg.converge_streak + 1);
+  EXPECT_GT(out.totals.success_rate(), 0.9);
+  EXPECT_GT(out.probes, 0u);
+}
+
+// Static OLR's layout is fixed per binary (the Reproduction Problem): one
+// probe recovers it and the campaign converges just like kNone.
+TEST_F(CampaignFixture, ProbeOracleConvergesOnStaticOlr) {
+  const CampaignConfig cfg = base(CampaignKind::kProbeOracle,
+                                  DefenseKind::kStaticOlr, BackendKind::kStored);
+  const CampaignOutcome out = run_campaign(registry, types, cfg);
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.totals.success_rate(), 0.9);
+}
+
+// Per-allocation randomization with a wide victim (>= 16 bits of layout
+// entropy): every probe's knowledge is stale by the next allocation, the
+// belief never stabilizes, and the campaign burns its whole round budget.
+TEST_F(CampaignFixture, ProbeOracleNeverConvergesUnderPolarHighEntropy) {
+  TypeBuilder wide(registry, "WideVictim");
+  wide.fn_ptr("handler").field<std::uint64_t>("refcount").ptr("name").field<
+      std::uint32_t>("len");
+  for (int i = 0; i < 6; ++i) {
+    wide.field<std::uint64_t>("pad" + std::to_string(i));
+  }
+  AttackTypes wide_types = types;
+  wide_types.victim = wide.build();
+
+  const CampaignConfig cfg =
+      base(CampaignKind::kProbeOracle, DefenseKind::kPolar, BackendKind::kStored);
+  const CampaignOutcome out = run_campaign(registry, wide_types, cfg);
+  // 10 permutable fields alone give log2(10!) ~ 21.8 bits.
+  EXPECT_GE(out.entropy_bits, 16.0);
+  EXPECT_FALSE(out.converged);
+  EXPECT_EQ(out.converged_round, 0u);
+  EXPECT_EQ(out.rounds_run, cfg.rounds);
+  EXPECT_LT(out.totals.success_rate(), 0.5);
+}
+
+// Booby traps are the partial-overwrite detector: with traps disarmed the
+// defense observes nothing; arming them turns blind 2-byte pokes into
+// detections, and detection never decreases when traps come on.
+TEST_F(CampaignFixture, TrapDensityMonotonicity) {
+  CampaignConfig cfg = base(CampaignKind::kPartialOverwrite, DefenseKind::kPolar,
+                            BackendKind::kStored);
+  cfg.policy.booby_traps = false;
+  cfg.policy.min_dummies = 0;
+  cfg.policy.max_dummies = 0;
+  const double det_off =
+      run_campaign(registry, types, cfg).totals.detection_rate();
+
+  cfg.policy.booby_traps = true;
+  cfg.policy.min_dummies = 1;
+  cfg.policy.max_dummies = 3;
+  const double det_default =
+      run_campaign(registry, types, cfg).totals.detection_rate();
+
+  cfg.policy.min_dummies = 4;
+  cfg.policy.max_dummies = 6;
+  const double det_dense =
+      run_campaign(registry, types, cfg).totals.detection_rate();
+
+  EXPECT_EQ(det_off, 0.0);  // no traps -> nothing to trip
+  EXPECT_GT(det_default, 0.05);
+  EXPECT_GE(det_default, det_off);
+  EXPECT_GE(det_dense, det_off);
+  EXPECT_GT(det_dense, 0.05);
+}
+
+// Attack-free control rows: the program allocates, initializes, uses and
+// frees its object with no attacker in the loop. Any detection is a false
+// positive; any "success" a classifier bug. Required zero across the whole
+// defense x backend grid — this is polar_redteam's control gate.
+TEST_F(CampaignFixture, ZeroFalsePositiveControls) {
+  for (const DefenseKind d :
+       {DefenseKind::kNone, DefenseKind::kStaticOlr, DefenseKind::kPolar}) {
+    for (const BackendKind b : {BackendKind::kStored, BackendKind::kStateless,
+                                BackendKind::kHybrid}) {
+      CampaignConfig cfg = base(CampaignKind::kProbeOracle, d, b);
+      cfg.control = true;
+      cfg.rounds = 4;
+      const CampaignOutcome out = run_campaign(registry, types, cfg);
+      EXPECT_EQ(out.control_violations, 0u)
+          << to_string(d) << "/" << to_string(b);
+      EXPECT_EQ(out.totals.successes, 0u) << to_string(d) << "/" << to_string(b);
+      EXPECT_GT(out.totals.attempts, 0u);
+    }
+  }
+}
+
+// The determinism contract attack_surface.json's CI diffing relies on:
+// identical config -> bit-identical counts, signatures and probe totals.
+TEST_F(CampaignFixture, DeterminismBitIdentical) {
+  for (const CampaignKind kind :
+       {CampaignKind::kHeapSpray, CampaignKind::kPartialOverwrite,
+        CampaignKind::kOverflowMarch, CampaignKind::kProbeOracle}) {
+    for (const BackendKind b : {BackendKind::kStored, BackendKind::kStateless,
+                                BackendKind::kHybrid}) {
+      CampaignConfig cfg = base(kind, DefenseKind::kPolar, b);
+      cfg.rounds = 6;
+      const CampaignOutcome a = run_campaign(registry, types, cfg);
+      const CampaignOutcome c = run_campaign(registry, types, cfg);
+      EXPECT_EQ(a.totals.attempts, c.totals.attempts);
+      EXPECT_EQ(a.totals.successes, c.totals.successes);
+      EXPECT_EQ(a.totals.detected, c.totals.detected);
+      EXPECT_EQ(a.totals.failed, c.totals.failed);
+      EXPECT_EQ(a.totals.distinct_outcomes, c.totals.distinct_outcomes);
+      EXPECT_EQ(a.rounds_run, c.rounds_run);
+      EXPECT_EQ(a.converged, c.converged);
+      EXPECT_EQ(a.converged_round, c.converged_round);
+      EXPECT_EQ(a.probes, c.probes);
+      EXPECT_EQ(a.entropy_bits, c.entropy_bits);
+    }
+  }
+}
+
+// The measured UAF-replay hole: the pure stateless backend derives offsets
+// from the (reused) address alone, so a probed-then-sprayed stale handle
+// replays perfectly; stored and hybrid refuse the stale access outright.
+TEST_F(CampaignFixture, StatelessReplayMeasuredStoredBlocks) {
+  const CampaignConfig stateless = base(CampaignKind::kHeapSpray,
+                                        DefenseKind::kPolar,
+                                        BackendKind::kStateless);
+  const CampaignOutcome replay = run_campaign(registry, types, stateless);
+  EXPECT_GT(replay.totals.success_rate(), 0.9);
+
+  for (const BackendKind b : {BackendKind::kStored, BackendKind::kHybrid}) {
+    const CampaignConfig cfg =
+        base(CampaignKind::kHeapSpray, DefenseKind::kPolar, b);
+    const CampaignOutcome out = run_campaign(registry, types, cfg);
+    EXPECT_EQ(out.totals.successes, 0u) << to_string(b);
+    EXPECT_GT(out.totals.detection_rate(), 0.9) << to_string(b);
+  }
+}
+
+// Campaigns report the entropy axis only where layouts actually vary per
+// allocation; fixed-layout defenses sit at zero by definition.
+TEST_F(CampaignFixture, EntropyAxisPerDefense) {
+  CampaignConfig cfg =
+      base(CampaignKind::kProbeOracle, DefenseKind::kPolar, BackendKind::kStored);
+  cfg.rounds = 3;
+  cfg.converge_streak = 2;
+  EXPECT_GT(run_campaign(registry, types, cfg).entropy_bits, 0.0);
+  cfg.defense = DefenseKind::kNone;
+  EXPECT_EQ(run_campaign(registry, types, cfg).entropy_bits, 0.0);
+  cfg.defense = DefenseKind::kStaticOlr;
+  EXPECT_EQ(run_campaign(registry, types, cfg).entropy_bits, 0.0);
+}
+
+using CampaignDeathTest = CampaignFixture;
+
+// Sweep drivers validate configs at parse time; reaching run_campaign with
+// an invalid one is a harness bug and must abort loudly, not produce rows.
+TEST_F(CampaignDeathTest, InvalidSweepConfigAborts) {
+  CampaignConfig cfg = base(CampaignKind::kProbeOracle, DefenseKind::kPolar,
+                            BackendKind::kStored);
+  cfg.rounds = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  EXPECT_DEATH((void)run_campaign(registry, types, cfg),
+               "invalid CampaignConfig");
+
+  cfg = base(CampaignKind::kProbeOracle, DefenseKind::kPolar,
+             BackendKind::kStored);
+  cfg.converge_streak = cfg.rounds + 1;
+  EXPECT_FALSE(cfg.validate().ok());
+  EXPECT_DEATH((void)run_campaign(registry, types, cfg),
+               "invalid CampaignConfig");
+
+  cfg = base(CampaignKind::kProbeOracle, DefenseKind::kPolar,
+             BackendKind::kStored);
+  cfg.kind = static_cast<CampaignKind>(200);
+  EXPECT_FALSE(cfg.validate().ok());
+  EXPECT_DEATH((void)run_campaign(registry, types, cfg),
+               "invalid CampaignConfig");
+}
+
+}  // namespace
+}  // namespace polar
