@@ -1,0 +1,207 @@
+// Allocator substrate bench: raw alloc/free throughput of the ScalableHeap
+// (per-thread slab heaps, message-passing remote free) against the model
+// SizeClassHeap and plain operator new/delete, across the size-class sweep
+// and a 1/2/4/8-thread churn ladder with cross-thread frees.
+//
+// Prints one JSON document (schema-checked by scripts/bench_merge.py).
+// Mops counts alloc+free *pairs* per second, matching bench_getptr's
+// alloc_free_mops axis. On a single-core builder the >1-thread ladder rows
+// measure protocol overhead (CAS pushes, batch drains), not scaling —
+// what they certify is that the remote-free path stays flat instead of
+// collapsing under a global lock.
+//
+// Usage: bench_alloc [--smoke]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "alloc/heap.h"
+#include "alloc/scalable_heap.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace polar;
+
+constexpr std::size_t kSweepSizes[] = {16, 48, 64, 256, 1024, 4096};
+constexpr unsigned kLadder[] = {1, 2, 4, 8};
+constexpr std::size_t kWindow = 256;  ///< live blocks per churning thread
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Windowed alloc/free churn; returns pairs per second in Mops. The
+/// window keeps kWindow blocks live so frees hit warm slabs rather than
+/// ping-ponging one block.
+template <typename AllocFn, typename FreeFn>
+double churn_pairs(std::size_t size, std::uint64_t iters, AllocFn&& alloc,
+                   FreeFn&& dealloc) {
+  std::vector<void*> window(kWindow, nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    void*& slot = window[i % kWindow];
+    if (slot != nullptr) dealloc(slot, size);
+    slot = alloc(size);
+  }
+  for (void*& slot : window) {
+    if (slot != nullptr) dealloc(slot, size);
+  }
+  const double secs = seconds_since(start);
+  return secs > 0 ? static_cast<double>(iters) / secs / 1e6 : 0.0;
+}
+
+struct SweepRow {
+  std::size_t size;
+  double scalable_mops;
+  double model_mops;
+  double new_mops;
+};
+
+SweepRow sweep_one(std::size_t size, std::uint64_t iters) {
+  SweepRow row{size, 0, 0, 0};
+  {
+    ScalableHeap heap;
+    row.scalable_mops = churn_pairs(
+        size, iters, [&](std::size_t s) { return heap.allocate(s); },
+        [&](void* p, std::size_t) { heap.deallocate(p); });
+  }
+  {
+    SizeClassHeap heap;
+    row.model_mops = churn_pairs(
+        size, iters, [&](std::size_t s) { return heap.allocate(s); },
+        [&](void* p, std::size_t s) { heap.deallocate(p, s); });
+  }
+  row.new_mops = churn_pairs(
+      size, iters, [](std::size_t s) { return ::operator new(s); },
+      [](void* p, std::size_t) { ::operator delete(p); });
+  return row;
+}
+
+struct LadderRow {
+  unsigned threads;
+  double mops;            ///< aggregate pairs/sec across all threads
+  double remote_share;    ///< fraction of frees that crossed threads
+};
+
+/// Thread ladder: each thread churns its own window but hands every 8th
+/// block to its ring neighbour, whose free is then a cross-thread
+/// (remote-stack) free. Mailboxes are mutexed vectors — the contention
+/// under measure is the heap's, not the harness's, so handoffs are
+/// batched.
+LadderRow ladder_one(unsigned threads, std::uint64_t iters) {
+  ScalableHeap heap;
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<void*> q;
+  };
+  std::vector<Mailbox> boxes(threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<void*> window(kWindow, nullptr);
+      std::vector<void*> outbound, inbound;
+      Mailbox& neighbour = boxes[(t + 1) % threads];
+      Mailbox& own = boxes[t];
+      Rng rng(42 + t);
+      const std::size_t sizes[] = {16, 64, 256, 1024};
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        void*& slot = window[i % kWindow];
+        if (slot != nullptr) {
+          if (threads > 1 && i % 8 == 0) {
+            outbound.push_back(slot);
+          } else {
+            heap.deallocate(slot);
+          }
+          slot = nullptr;
+        }
+        slot = heap.allocate(sizes[rng.below(std::size(sizes))]);
+        if (outbound.size() >= 32) {
+          std::lock_guard<std::mutex> lock(neighbour.mu);
+          neighbour.q.insert(neighbour.q.end(), outbound.begin(),
+                             outbound.end());
+          outbound.clear();
+        }
+        if (i % 64 == 0) {
+          {
+            std::lock_guard<std::mutex> lock(own.mu);
+            inbound.swap(own.q);
+          }
+          for (void* p : inbound) heap.deallocate(p);
+          inbound.clear();
+        }
+      }
+      for (void* p : window) {
+        if (p != nullptr) heap.deallocate(p);
+      }
+      {
+        std::lock_guard<std::mutex> lock(neighbour.mu);
+        neighbour.q.insert(neighbour.q.end(), outbound.begin(),
+                           outbound.end());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double secs = seconds_since(start);
+  // Stragglers left in mailboxes after the join (the harness stops
+  // draining when its iterations run out).
+  for (Mailbox& box : boxes) {
+    for (void* p : box.q) heap.deallocate(p);
+  }
+
+  const ScalableHeapStats s = heap.stats();
+  LadderRow row;
+  row.threads = threads;
+  const auto pairs = static_cast<double>(threads) * static_cast<double>(iters);
+  row.mops = secs > 0 ? pairs / secs / 1e6 : 0.0;
+  row.remote_share =
+      s.frees > 0 ? static_cast<double>(s.remote_frees) /
+                        static_cast<double>(s.frees)
+                  : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::uint64_t sweep_iters = smoke ? 200'000 : 2'000'000;
+  const std::uint64_t ladder_iters = smoke ? 100'000 : 1'000'000;
+
+  std::printf("{\n  \"bench\": \"alloc_slab\",\n  \"schema_version\": 1,\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+
+  std::printf("  \"sweep\": [\n");
+  for (std::size_t i = 0; i < std::size(kSweepSizes); ++i) {
+    const SweepRow r = sweep_one(kSweepSizes[i], sweep_iters);
+    std::printf("    {\"size\": %zu, \"scalable_mops\": %.3f, "
+                "\"model_mops\": %.3f, \"new_mops\": %.3f}%s\n",
+                r.size, r.scalable_mops, r.model_mops, r.new_mops,
+                i + 1 < std::size(kSweepSizes) ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"ladder\": [\n");
+  for (std::size_t i = 0; i < std::size(kLadder); ++i) {
+    const LadderRow r = ladder_one(kLadder[i], ladder_iters);
+    std::printf("    {\"threads\": %u, \"mops\": %.3f, "
+                "\"remote_share\": %.3f}%s\n",
+                r.threads, r.mops, r.remote_share,
+                i + 1 < std::size(kLadder) ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

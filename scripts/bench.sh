@@ -26,8 +26,8 @@ done
 echo "== build bench binaries =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" \
-  --target bench_getptr bench_trace bench_concurrent fig6_spec_overhead \
-  micro_runtime ablation_security >/dev/null
+  --target bench_getptr bench_trace bench_concurrent bench_alloc \
+  fig6_spec_overhead micro_runtime ablation_security >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -44,6 +44,13 @@ if [ "$SMOKE" = 1 ]; then
   ./build/bench/bench_trace --smoke > "$TMP/trace.json"
 else
   ./build/bench/bench_trace > "$TMP/trace.json"
+fi
+
+echo "== bench_alloc: slab allocator sweep + thread ladder =="
+if [ "$SMOKE" = 1 ]; then
+  ./build/bench/bench_alloc --smoke > "$TMP/alloc.json"
+else
+  ./build/bench/bench_alloc > "$TMP/alloc.json"
 fi
 
 echo "== bench_concurrent: shared-runtime churn =="

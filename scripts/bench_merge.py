@@ -5,6 +5,7 @@ Reads from a directory produced by scripts/bench.sh:
     getptr.json      bench_getptr     (fast-path ablation, native JSON)
     trace.json       bench_trace      (tracing-overhead ladder, native JSON)
     concurrent.json  bench_concurrent (native JSON)
+    alloc.json       bench_alloc      (slab allocator sweep + ladder)
     fig6.txt         fig6_spec_overhead (text table, parsed here)
     micro.json       micro_runtime    (google-benchmark JSON)
 
@@ -21,18 +22,22 @@ import re
 import sys
 from pathlib import Path
 
-# Version of the merged document. v4: the security ablation block
+# Version of the merged document. v5: the alloc_slab block (bench_alloc's
+# ScalableHeap size-class sweep vs the model heap and operator new, plus
+# the 1/2/4/8-thread remote-free churn ladder).
+# v4: the security ablation block
 # (per-defense/backend attack rows from ablation_security plus measured
 # access-path Mops — the overhead axis attack_surface.json joins against).
 # v3: the randomization-backend ladder grew stateless and hybrid rows
 # (getptr schema v2, typed-handle measurement loop). v2: neutral "BENCH"
 # top-level tag (previously the PR-specific "BENCH_pr4") and the
 # trace_overhead section.
-MERGED_SCHEMA_VERSION = 4
+MERGED_SCHEMA_VERSION = 5
 # Versions of the individual bench binaries' native outputs.
 GETPTR_SCHEMA_VERSION = 2
 TRACE_SCHEMA_VERSION = 1
 SECURITY_SCHEMA_VERSION = 1
+ALLOC_SCHEMA_VERSION = 1
 
 # The ablation ladder bench_getptr must emit, in order.
 EXPECTED_MODES = [
@@ -243,6 +248,49 @@ def check_security(doc):
     return inner
 
 
+# The size-class sweep and thread ladder bench_alloc must emit, in order.
+EXPECTED_ALLOC_SIZES = [16, 48, 64, 256, 1024, 4096]
+EXPECTED_ALLOC_THREADS = [1, 2, 4, 8]
+
+
+def check_alloc(doc):
+    need(doc.get("bench") == "alloc_slab", "alloc: bench tag changed")
+    need(doc.get("schema_version") == ALLOC_SCHEMA_VERSION,
+         "alloc: schema_version != %d" % ALLOC_SCHEMA_VERSION)
+    sweep = doc.get("sweep")
+    need(isinstance(sweep, list), "alloc: sweep not a list")
+    need([r.get("size") for r in sweep] == EXPECTED_ALLOC_SIZES,
+         "alloc: size-class sweep drifted: %r"
+         % ([r.get("size") for r in sweep],))
+    for row in sweep:
+        need(set(row.keys()) == {"size", "scalable_mops", "model_mops",
+                                 "new_mops"},
+             "alloc: sweep row fields drifted")
+        for key in ("scalable_mops", "model_mops", "new_mops"):
+            need(isinstance(row[key], (int, float)) and row[key] > 0,
+                 "alloc: nonpositive %s at size %r" % (key, row.get("size")))
+    ladder = doc.get("ladder")
+    need(isinstance(ladder, list), "alloc: ladder not a list")
+    need([r.get("threads") for r in ladder] == EXPECTED_ALLOC_THREADS,
+         "alloc: thread ladder drifted: %r"
+         % ([r.get("threads") for r in ladder],))
+    for row in ladder:
+        need(set(row.keys()) == {"threads", "mops", "remote_share"},
+             "alloc: ladder row fields drifted")
+        need(isinstance(row["mops"], (int, float)) and row["mops"] > 0,
+             "alloc: nonpositive mops at %r threads" % (row.get("threads"),))
+        need(isinstance(row["remote_share"], (int, float)) and
+             0.0 <= row["remote_share"] <= 1.0,
+             "alloc: remote_share out of [0,1] at %r threads"
+             % (row.get("threads"),))
+    # Cross-thread traffic must actually flow once there is more than one
+    # thread — a ladder with zero remote frees isn't measuring the
+    # message-passing path at all.
+    need(any(r["remote_share"] > 0 for r in ladder if r["threads"] > 1),
+         "alloc: no remote frees observed in the multi-thread ladder")
+    return doc
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--smoke", default="0")
@@ -262,6 +310,8 @@ def main():
                 json.loads((args.indir / "trace.json").read_text())),
             "concurrent_churn": check_concurrent(
                 json.loads((args.indir / "concurrent.json").read_text())),
+            "alloc_slab": check_alloc(
+                json.loads((args.indir / "alloc.json").read_text())),
             "spec_overhead": parse_fig6(
                 (args.indir / "fig6.txt").read_text()),
             "micro_runtime": check_micro(
@@ -297,6 +347,19 @@ def main():
               trace["sampled_256"]["overhead_pct"],
               trace["sampled_4096"]["overhead_pct"],
               trace["always"]["overhead_pct"]))
+    alloc = merged["alloc_slab"]
+    lad = {r["threads"]: r for r in alloc["ladder"]}
+    print("bench_merge: alloc ladder 1t %.1f Mops -> 4t %.1f Mops "
+          "(remote share %.0f%%); 64B sweep scalable %.1f / model %.1f / "
+          "new %.1f Mops" % (
+              lad[1]["mops"], lad[4]["mops"],
+              lad[4]["remote_share"] * 100.0,
+              next(r["scalable_mops"] for r in alloc["sweep"]
+                   if r["size"] == 64),
+              next(r["model_mops"] for r in alloc["sweep"]
+                   if r["size"] == 64),
+              next(r["new_mops"] for r in alloc["sweep"]
+                   if r["size"] == 64)))
     sec = merged["security"]
     strict = [r for r in sec["rows"]
               if r["label"] == "polar (strict, paper-faithful)"]

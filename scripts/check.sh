@@ -2,8 +2,10 @@
 # Full verification gate:
 #   1. tier-1: regular build + complete ctest suite + fault-injection matrix
 #              + polar_stats self-consistency gate over the minipng workload
-#   2. ThreadSanitizer build of the concurrency contract (concurrent_test;
-#      CI runs the complete suite under TSan in its dedicated job)
+#   2. ThreadSanitizer build of the concurrency contracts: concurrent_test
+#      (sharded runtime) and alloc_stress_test (ScalableHeap remote-free /
+#      thread-retire protocol); CI runs the complete suite under TSan in
+#      its dedicated job
 #
 # Usage: scripts/check.sh [jobs]
 # Extra configure flags (compiler launchers, -D overrides) pass through via
@@ -38,10 +40,11 @@ echo "== tier-1: polar_stats self-consistency (minipng) =="
   --format=json >/dev/null
 
 echo
-echo "== tier-2: ThreadSanitizer concurrent_test =="
+echo "== tier-2: ThreadSanitizer concurrent_test + alloc_stress_test =="
 cmake -B build-tsan -S . -DPOLAR_SANITIZE=thread "${CMAKE_ARGS[@]}" >/dev/null
-cmake --build build-tsan -j "$JOBS" --target concurrent_test
+cmake --build build-tsan -j "$JOBS" --target concurrent_test alloc_stress_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrent_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/alloc_stress_test
 
 echo
 echo "check.sh: all gates passed"

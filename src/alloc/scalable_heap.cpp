@@ -1,0 +1,490 @@
+#include "alloc/scalable_heap.h"
+
+#include <cstring>
+#include <new>
+
+#include "support/assert.h"
+
+namespace polar {
+
+// ------------------------------------------------------------ process state
+//
+// The live-heap registry maps heap id -> heap for the thread-exit hook: a
+// dying thread must only retire LocalHeaps whose owning heap still exists.
+// Leaked (never destroyed) so the hook stays safe during process exit no
+// matter how static destruction interleaves with thread teardown.
+
+namespace {
+std::mutex& heaps_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::uint64_t, ScalableHeap*>& live_heaps() {
+  static auto* m = new std::unordered_map<std::uint64_t, ScalableHeap*>();
+  return *m;
+}
+
+std::uint64_t register_heap(ScalableHeap* heap) {
+  static std::uint64_t next_id = 1;  // guarded by heaps_mu
+  std::lock_guard<std::mutex> lock(heaps_mu());
+  const std::uint64_t id = next_id++;
+  live_heaps().emplace(id, heap);
+  return id;
+}
+}  // namespace
+
+/// Per-thread map of heap id -> LocalHeap, whose destructor is the
+/// thread-exit hook: each LocalHeap of a still-live heap is retired
+/// (remotes drained, quarantine flushed, free lists donated, chunks
+/// orphaned) so late cross-thread frees against the dead thread neither
+/// leak nor crash.
+struct ScalableHeapTls {
+  struct Slot {
+    ScalableHeap* heap;
+    void* local;  // ScalableHeap::LocalHeap*
+  };
+  std::unordered_map<std::uint64_t, Slot> locals;
+
+  ~ScalableHeapTls() {
+    for (auto& [id, slot] : locals) {
+      std::lock_guard<std::mutex> lock(heaps_mu());
+      if (live_heaps().count(id) != 0) {
+        slot.heap->retire(
+            *static_cast<ScalableHeap::LocalHeap*>(slot.local));
+      }
+    }
+  }
+};
+
+namespace {
+thread_local ScalableHeapTls t_heap_tls;
+}  // namespace
+
+// ------------------------------------------------------------- size classes
+
+std::size_t ScalableHeap::class_size(std::size_t size) noexcept {
+  // Identical geometry to SizeClassHeap::class_size: 16-byte steps to 256,
+  // 64-byte steps to 1024, 256-byte steps to 4096.
+  if (size == 0) size = 1;
+  auto step_round = [](std::size_t s, std::size_t step, std::size_t base) {
+    return base + ((s - base + step - 1) / step) * step;
+  };
+  if (size <= 256) return step_round(size, 16, 0);
+  if (size <= 1024) return step_round(size, 64, 256);
+  if (size <= kMaxSmall) return step_round(size, 256, 1024);
+  return 0;
+}
+
+int ScalableHeap::class_index(std::size_t size) noexcept {
+  const std::size_t cs = class_size(size);
+  if (cs == 0) return -1;
+  if (cs <= 256) return static_cast<int>(cs / 16 - 1);                // 0..15
+  if (cs <= 1024) return static_cast<int>(16 + (cs - 256) / 64 - 1);  // 16..27
+  return static_cast<int>(28 + (cs - 1024) / 256 - 1);                // 28..39
+}
+
+// ------------------------------------------------------------------- carves
+
+void* ScalableHeap::carve_randomized(std::byte* begin, std::size_t block_size,
+                                     std::size_t count, Rng& rng) {
+  POLAR_CHECK(count > 0 && block_size >= sizeof(void*),
+              "carve needs link-sized blocks");
+  auto slot = [&](std::size_t i) { return begin + i * block_size; };
+  auto link = [&](std::byte* b) -> void*& {
+    return *reinterpret_cast<void**>(b);
+  };
+  // Sattolo's inside-out construction (snmalloc's slab randomisation):
+  // after the loop the links form exactly one cycle covering every block,
+  // uniform over the (count-1)! cyclic permutations of the slab.
+  link(slot(0)) = slot(0);
+  for (std::size_t i = 1; i < count; ++i) {
+    const std::size_t j = rng.below(i);  // j in [0, i-1]
+    link(slot(i)) = link(slot(j));
+    link(slot(j)) = slot(i);
+  }
+  // Break the cycle at a random link so the head is uniform too: the free
+  // list becomes a random Hamiltonian path over the slab's blocks.
+  const std::size_t end = rng.below(count);
+  void* head = link(slot(end));
+  link(slot(end)) = nullptr;
+  return head;
+}
+
+void* ScalableHeap::carve_sequential(std::byte* begin, std::size_t block_size,
+                                     std::size_t count) {
+  POLAR_CHECK(count > 0 && block_size >= sizeof(void*),
+              "carve needs link-sized blocks");
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    *reinterpret_cast<void**>(begin + i * block_size) =
+        begin + (i + 1) * block_size;
+  }
+  *reinterpret_cast<void**>(begin + (count - 1) * block_size) = nullptr;
+  return begin;
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+ScalableHeap::ScalableHeap(ScalableHeapConfig config)
+    : config_(config),
+      heap_id_(register_heap(this)),
+      chunk_map_(static_cast<unsigned>(kChunkBits)) {}
+
+ScalableHeap::~ScalableHeap() {
+  {
+    std::lock_guard<std::mutex> lock(heaps_mu());
+    live_heaps().erase(heap_id_);
+  }
+  for (void* c : chunk_memory_) {
+    ::operator delete(c, std::align_val_t{kChunkBytes});
+  }
+  for (auto& [p, size] : large_allocs_) {
+    (void)size;
+    ::operator delete(p);
+  }
+}
+
+ScalableHeap& ScalableHeap::process_heap() {
+  static ScalableHeap* heap = new ScalableHeap(ScalableHeapConfig{});
+  return *heap;
+}
+
+ScalableHeap::LocalHeap& ScalableHeap::local() {
+  if (t_last_heap_ == heap_id_ && t_last_local_ != nullptr) {
+    return *t_last_local_;
+  }
+  return local_slow();
+}
+
+ScalableHeap::LocalHeap& ScalableHeap::local_slow() {
+  auto& slots = t_heap_tls.locals;
+  auto it = slots.find(heap_id_);
+  if (it == slots.end() ||
+      static_cast<LocalHeap*>(it->second.local)
+          ->retired.load(std::memory_order_relaxed)) {
+    auto fresh = std::make_unique<LocalHeap>();
+    LocalHeap* lh = fresh.get();
+    {
+      std::lock_guard<std::mutex> lock(locals_mu_);
+      lh->id = next_local_id_++;
+      lh->rng = Rng(config_.seed ^ (lh->id * 0x9e3779b97f4a7c15ULL));
+      locals_.push_back(std::move(fresh));
+    }
+    it = slots.insert_or_assign(heap_id_, ScalableHeapTls::Slot{this, lh})
+             .first;
+  }
+  t_last_heap_ = heap_id_;
+  t_last_local_ = static_cast<LocalHeap*>(it->second.local);
+  return *t_last_local_;
+}
+
+void ScalableHeap::retire_current_thread() {
+  auto& slots = t_heap_tls.locals;
+  auto it = slots.find(heap_id_);
+  if (it == slots.end()) return;
+  retire(*static_cast<LocalHeap*>(it->second.local));
+  slots.erase(it);
+  if (t_last_heap_ == heap_id_) {
+    t_last_heap_ = 0;
+    t_last_local_ = nullptr;
+  }
+}
+
+// -------------------------------------------------------------- allocation
+
+void* ScalableHeap::allocate(std::size_t size) {
+  const int cls = class_index(size);
+  if (cls < 0) return allocate_large(size);
+  LocalHeap& lh = local();
+  lh.allocations.bump();
+  LocalHeap::FreeList& fl = lh.free_lists[cls];
+  if (fl.head != nullptr) {
+    void* p = fl.head;
+    fl.head = *static_cast<void**>(p);
+    --fl.count;
+    lh.reuse_hits.bump();
+    return p;
+  }
+  return allocate_slow(lh, cls, class_size(size));
+}
+
+void* ScalableHeap::allocate_slow(LocalHeap& lh, int cls, std::size_t block) {
+  LocalHeap::FreeList& fl = lh.free_lists[cls];
+  auto pop = [&]() {
+    void* p = fl.head;
+    fl.head = *static_cast<void**>(p);
+    --fl.count;
+    return p;
+  };
+
+  // 1. Message-passing first: batch-drain the remote stacks of every chunk
+  //    this thread owns in the class.
+  if (drain_remote(lh, cls) > 0) return pop();
+
+  // 2. Adopt what dead threads left behind: donated free-list segments
+  //    splice in O(1); orphaned chunks change owner so future frees route
+  //    here, and their parked remote blocks drain on the spot.
+  {
+    bool adopted = false;
+    {
+      std::lock_guard<std::mutex> lock(orphan_mu_);
+      auto& segments = orphan_segments_[cls];
+      for (OrphanSegment& seg : segments) {
+        // Splice the whole segment: walk to its tail once.
+        void* tail = seg.head;
+        while (*static_cast<void**>(tail) != nullptr) {
+          tail = *static_cast<void**>(tail);
+        }
+        *static_cast<void**>(tail) = fl.head;
+        fl.head = seg.head;
+        fl.count += seg.count;
+        adopted = true;
+      }
+      segments.clear();
+      auto& chunks = orphan_chunks_[cls];
+      for (ChunkMeta* m : chunks) {
+        m->owner_id.store(lh.id, std::memory_order_relaxed);
+        m->next_owned = lh.chunks[cls];
+        lh.chunks[cls] = m;
+        adopted = true;
+      }
+      chunks.clear();
+    }
+    if (adopted) {
+      lh.orphan_adoptions.bump();
+      drain_remote(lh, cls);
+      if (fl.head != nullptr) return pop();
+    }
+  }
+
+  // 3. Carve a fresh chunk-aligned slab and thread its free list in
+  //    Sattolo-randomized order.
+  auto* mem = static_cast<std::byte*>(
+      ::operator new(kChunkBytes, std::align_val_t{kChunkBytes}));
+  auto meta = std::make_unique<ChunkMeta>();
+  ChunkMeta* m = meta.get();
+  m->begin = mem;
+  m->block_size = static_cast<std::uint32_t>(block);
+  m->cls = static_cast<std::uint32_t>(cls);
+  m->owner_id.store(lh.id, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(chunk_mu_);
+    chunk_memory_.push_back(mem);
+    chunk_metas_.push_back(std::move(meta));
+  }
+  // Distinct chunks occupy distinct granules, so concurrent carves never
+  // contend on a slot; a collision would mean aligned operator new handed
+  // out overlapping memory.
+  POLAR_CHECK(chunk_map_.publish(mem, m), "chunk granule collision");
+  const std::size_t count = kChunkBytes / block;
+  fl.head = config_.randomize_slabs
+                ? carve_randomized(mem, block, count, lh.rng)
+                : carve_sequential(mem, block, count);
+  fl.count = count;
+  m->next_owned = lh.chunks[cls];
+  lh.chunks[cls] = m;
+  lh.slab_carves.bump();
+  return pop();
+}
+
+void* ScalableHeap::allocate_large(std::size_t size) {
+  void* p = ::operator new(size);
+  LocalHeap& lh = local();
+  lh.large_allocs.bump();
+  std::lock_guard<std::mutex> lock(large_mu_);
+  large_allocs_.emplace(p, size);
+  return p;
+}
+
+// -------------------------------------------------------------------- free
+
+void ScalableHeap::deallocate(void* p, std::size_t size_hint) {
+  POLAR_CHECK(p != nullptr, "deallocate(null)");
+  ChunkMeta* m = chunk_map_.lookup(p);
+  if (m == nullptr) {
+    POLAR_CHECK(free_large(p), "deallocate of a pointer this heap never "
+                               "allocated");
+    return;
+  }
+  LocalHeap& lh = local();
+  // Sized-delete decoupling: the slab metadata is authoritative. A caller
+  // size that rounds to a different class is a sized-delete bug in the
+  // caller — surfaced in the stats, never trusted.
+  if (size_hint != 0 && class_size(size_hint) != m->block_size) {
+    lh.size_mismatches.bump();
+  }
+  lh.frees.bump();
+  if (config_.quarantine_bytes > 0) {
+    if (config_.poison_quarantine) {
+      std::memset(p, kQuarantinePoison, m->block_size);
+    }
+    lh.quarantine.push_back({p, m});
+    lh.quarantine_held += m->block_size;
+    lh.quarantined_bytes.bump(m->block_size);
+    while (lh.quarantine_held > config_.quarantine_bytes &&
+           !lh.quarantine.empty()) {
+      drain_quarantine(lh);
+    }
+    return;
+  }
+  free_block(lh, m, p);
+}
+
+void ScalableHeap::free_block(LocalHeap& lh, ChunkMeta* m, void* p) {
+  if (m->owner_id.load(std::memory_order_relaxed) == lh.id) {
+    LocalHeap::FreeList& fl = lh.free_lists[m->cls];
+    *static_cast<void**>(p) = fl.head;
+    fl.head = p;
+    ++fl.count;
+    return;
+  }
+  // Cross-thread (or orphaned-chunk) free: message-pass the block to the
+  // owning chunk's MPSC stack. Push-only CAS — nothing ever pops single
+  // nodes, so there is no ABA window; the owner takes the whole stack with
+  // one exchange. A stale owner_id read only mis-routes the block onto the
+  // remote stack, where the (new) owner's next drain recovers it.
+  void* head = m->remote_head.load(std::memory_order_relaxed);
+  do {
+    *static_cast<void**>(p) = head;
+  } while (!m->remote_head.compare_exchange_weak(
+      head, p, std::memory_order_release, std::memory_order_relaxed));
+  lh.remote_frees.bump();
+}
+
+bool ScalableHeap::free_large(void* p) {
+  std::size_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(large_mu_);
+    auto it = large_allocs_.find(p);
+    if (it == large_allocs_.end()) return false;
+    size = it->second;
+    large_allocs_.erase(it);
+  }
+  (void)size;
+  ::operator delete(p);
+  local().large_frees.bump();
+  return true;
+}
+
+std::uint64_t ScalableHeap::drain_remote(LocalHeap& lh, int cls) {
+  std::uint64_t got = 0;
+  LocalHeap::FreeList& fl = lh.free_lists[cls];
+  for (ChunkMeta* m = lh.chunks[cls]; m != nullptr; m = m->next_owned) {
+    // The acquire exchange synchronizes with every pusher's release CAS
+    // (release sequences extend through the RMW chain), so the link words
+    // written by each remote freer are visible before we chase them.
+    void* list = m->remote_head.exchange(nullptr, std::memory_order_acquire);
+    while (list != nullptr) {
+      void* next = *static_cast<void**>(list);
+      *static_cast<void**>(list) = fl.head;
+      fl.head = list;
+      ++fl.count;
+      list = next;
+      ++got;
+    }
+  }
+  if (got > 0) {
+    lh.remote_drains.bump();
+    lh.remote_drained_blocks.bump(got);
+  }
+  return got;
+}
+
+void ScalableHeap::drain_quarantine(LocalHeap& lh) {
+  const LocalHeap::Quarantined q = lh.quarantine.front();
+  lh.quarantine.pop_front();
+  const std::size_t bytes = q.meta->block_size;
+  POLAR_CHECK(bytes <= lh.quarantine_held,
+              "quarantine byte accounting underflow");
+  lh.quarantine_held -= bytes;
+  lh.quarantined_bytes.drop(bytes);
+  // The block was dead the whole time it was parked: any byte that lost
+  // the poison fill is a detected write-after-free into quarantined
+  // memory (same detector the SizeClassHeap runs).
+  if (config_.poison_quarantine) {
+    const auto* b = static_cast<const unsigned char*>(q.p);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      if (b[i] != kQuarantinePoison) {
+        lh.quarantine_poison_damage.bump();
+        break;
+      }
+    }
+  }
+  free_block(lh, q.meta, q.p);
+}
+
+// ------------------------------------------------------------- thread exit
+
+void ScalableHeap::retire(LocalHeap& lh) {
+  if (lh.retired.load(std::memory_order_relaxed)) return;
+  // Quarantine first: parked blocks re-enter the free lists (with their
+  // poison verified) before those lists are donated.
+  while (!lh.quarantine.empty()) drain_quarantine(lh);
+  // Orphan the chunks *before* the final remote drain: from here on, new
+  // cross-thread frees route to the remote stacks (owner 0 matches no
+  // thread), and the drain below sweeps everything that arrived earlier.
+  // A free that lands in the tiny window after the drain parks on the
+  // orphaned chunk's stack until an adopter sweeps it — never lost, never
+  // dangling (ChunkMeta is immortal while the heap lives).
+  std::lock_guard<std::mutex> lock(orphan_mu_);
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    for (ChunkMeta* m = lh.chunks[cls]; m != nullptr; m = m->next_owned) {
+      m->owner_id.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    drain_remote(lh, static_cast<int>(cls));
+    LocalHeap::FreeList& fl = lh.free_lists[cls];
+    if (fl.head != nullptr) {
+      orphan_segments_[cls].push_back({fl.head, fl.count});
+      fl.head = nullptr;
+      fl.count = 0;
+    }
+    ChunkMeta* m = lh.chunks[cls];
+    while (m != nullptr) {
+      ChunkMeta* next = m->next_owned;
+      m->next_owned = nullptr;
+      orphan_chunks_[cls].push_back(m);
+      m = next;
+    }
+    lh.chunks[cls] = nullptr;
+  }
+  lh.retired.store(true, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------- stats
+
+ScalableHeapStats ScalableHeap::stats() const {
+  ScalableHeapStats s;
+  {
+    std::lock_guard<std::mutex> lock(locals_mu_);
+    for (const auto& lh : locals_) {
+      s.allocations += lh->allocations.read();
+      s.frees += lh->frees.read();
+      s.reuse_hits += lh->reuse_hits.read();
+      s.slab_carves += lh->slab_carves.read();
+      s.remote_frees += lh->remote_frees.read();
+      s.remote_drains += lh->remote_drains.read();
+      s.remote_drained_blocks += lh->remote_drained_blocks.read();
+      s.orphan_adoptions += lh->orphan_adoptions.read();
+      s.large_allocs += lh->large_allocs.read();
+      s.large_frees += lh->large_frees.read();
+      s.size_mismatches += lh->size_mismatches.read();
+      s.quarantine_poison_damage += lh->quarantine_poison_damage.read();
+      s.quarantined_bytes += lh->quarantined_bytes.read();
+      if (lh->retired.load(std::memory_order_relaxed)) ++s.thread_retires;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(chunk_mu_);
+    s.live_chunks = chunk_metas_.size();
+  }
+  return s;
+}
+
+std::size_t ScalableHeap::lookup_block_size(const void* p) const noexcept {
+  const ChunkMeta* m = chunk_map_.lookup(p);
+  return m != nullptr ? m->block_size : 0;
+}
+
+}  // namespace polar

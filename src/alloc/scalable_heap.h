@@ -1,0 +1,298 @@
+// Scalable slab/chunk allocator — per-thread heaps with message-passing
+// remote free (snmalloc's design point, SNIPPETS.md Snippet 2) carrying
+// POLaR's randomized-reuse and quarantine semantics.
+//
+// The SizeClassHeap next door is a *model*: a single-owner heap whose
+// reuse order is a knob, built so the UAF case studies can dial allocator
+// determinism. This heap is the *substrate*: the thing the runtime
+// actually allocates object memory from when nobody installed a hook. Its
+// design goals are the opposite of the model's — no lock on either hot
+// path, no caller-supplied size on free, and reuse order that is
+// randomized by construction rather than by retrofit:
+//
+//  * Chunks. Memory is carved from 64 KiB chunk-aligned regions. A global
+//    RadixPointerMap<ChunkMeta> (the same two-level lazily-committed radix
+//    machinery the metadata pagemap uses) maps `addr >> 16` to the chunk's
+//    metadata, so deallocate(p) derives the block size and owning thread
+//    from the pointer alone — the caller's size is advisory, checked
+//    against the metadata and counted in `size_mismatches` when it
+//    disagrees (metadata wins; see the sized-delete parity test).
+//
+//  * LocalHeaps. Each thread owns a LocalHeap: per-size-class intrusive
+//    free lists plus the list of chunks it carved. Allocation pops the
+//    local list; same-thread free pushes it. Neither takes a lock.
+//
+//  * Randomized carve. A fresh slab's free list is permuted at carve time
+//    with Sattolo's inside-out cyclic construction (one RNG draw per
+//    block, a single random cycle broken at a random link), so the reuse
+//    order an attacker grooms against is a fresh random walk per slab —
+//    snmalloc's Randomisation design, replacing the deque-index shuffling
+//    of the model heap.
+//
+//  * Remote free. Freeing memory another thread's LocalHeap owns CAS-
+//    pushes the block onto the owning chunk's MPSC Treiber stack (push
+//    only — no ABA), message-passing style. The owner batch-drains its
+//    chunks' stacks when a free list runs dry, so cross-thread traffic
+//    costs the *freer* one CAS and the *owner* one exchange per batch.
+//
+//  * Quarantine. Each LocalHeap parks its frees in a FIFO poison-verified
+//    quarantine (0xf5, same byte and same write-after-free detection the
+//    model heap pioneered) before they re-enter circulation, when a byte
+//    budget is configured.
+//
+//  * Thread exit. A dying thread drains its remote stacks, flushes its
+//    quarantine, donates its free lists to a global orphan pool, and marks
+//    its chunks ownerless. Late frees against a dead owner CAS onto the
+//    orphaned chunk's remote stack (always valid — ChunkMeta is immortal
+//    while the heap lives); the next thread that runs dry adopts orphaned
+//    lists and chunks wholesale.
+//
+// Stats are per-LocalHeap relaxed atomics (single writer, any reader) and
+// aggregated on demand, mirroring RuntimeStats — safe to read while other
+// threads allocate, which is what lets polar_stats export them live.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "support/radix_map.h"
+#include "support/rng.h"
+
+namespace polar {
+
+struct ScalableHeapConfig {
+  /// Per-thread quarantine byte budget; 0 disables (immediate reuse).
+  std::size_t quarantine_bytes = 0;
+  /// Fill quarantined blocks with kQuarantinePoison and verify on drain
+  /// (write-after-free detection, counted per thread).
+  bool poison_quarantine = true;
+  /// Sattolo-permute each fresh slab's free list. Off = address order
+  /// (ablation; reuse order then leaks carve order exactly like a bump
+  /// allocator's).
+  bool randomize_slabs = true;
+  std::uint64_t seed = 0x5ca1'ab1e'5eedULL;
+};
+
+/// Aggregated snapshot across every LocalHeap the heap ever created
+/// (retired threads' heaps are kept for accounting until destruction).
+struct ScalableHeapStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t reuse_hits = 0;     ///< served from a local free list
+  std::uint64_t slab_carves = 0;    ///< fresh chunk carvings
+  std::uint64_t remote_frees = 0;   ///< frees pushed to another owner
+  std::uint64_t remote_drains = 0;  ///< batch drains of remote stacks
+  std::uint64_t remote_drained_blocks = 0;  ///< blocks received via drains
+  std::uint64_t orphan_adoptions = 0;  ///< orphaned lists/chunks adopted
+  std::uint64_t large_allocs = 0;   ///< > kMaxSmall, routed to operator new
+  std::uint64_t large_frees = 0;
+  /// deallocate() calls whose caller-supplied size disagreed with the slab
+  /// metadata (the metadata won; each is one sized-delete bug surfaced).
+  std::uint64_t size_mismatches = 0;
+  std::uint64_t quarantine_poison_damage = 0;  ///< write-after-free hits
+  std::uint64_t quarantined_bytes = 0;  ///< currently parked (sum)
+  std::uint64_t thread_retires = 0;     ///< LocalHeaps flushed at thread exit
+  std::uint64_t live_chunks = 0;        ///< chunks carved and still resident
+
+  friend bool operator==(const ScalableHeapStats&,
+                         const ScalableHeapStats&) = default;
+};
+
+class ScalableHeap {
+ public:
+  static constexpr std::size_t kChunkBits = 16;  ///< 64 KiB chunks
+  static constexpr std::size_t kChunkBytes = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxSmall = 4096;
+  static constexpr std::size_t kNumClasses = 40;
+  static constexpr unsigned char kQuarantinePoison = 0xf5;
+
+  explicit ScalableHeap(ScalableHeapConfig config = {});
+  ~ScalableHeap();
+
+  ScalableHeap(const ScalableHeap&) = delete;
+  ScalableHeap& operator=(const ScalableHeap&) = delete;
+
+  /// Lock-free except on refill (carve/adopt) and for large requests.
+  void* allocate(std::size_t size);
+
+  /// Size-oblivious free: the block's class comes from its chunk's
+  /// metadata. `size_hint` (0 = unknown) is only *checked*: a hint that
+  /// rounds to a different class than the metadata records increments
+  /// size_mismatches and is otherwise ignored.
+  void deallocate(void* p, std::size_t size_hint = 0);
+
+  /// Runtime::alloc_fn / free_fn adapters (hook-compatible with
+  /// SizeClassHeap's, so harnesses can swap substrates).
+  static void* alloc_hook(std::size_t size, void* ctx) {
+    return static_cast<ScalableHeap*>(ctx)->allocate(size);
+  }
+  static void free_hook(void* p, std::size_t size, void* ctx) {
+    static_cast<ScalableHeap*>(ctx)->deallocate(p, size);
+  }
+
+  /// Same class geometry as SizeClassHeap (16-byte steps to 256, 64 to
+  /// 1024, 256 to 4096): benches sweep identical classes on both heaps.
+  [[nodiscard]] static std::size_t class_size(std::size_t size) noexcept;
+  [[nodiscard]] static int class_index(std::size_t size) noexcept;
+
+  /// Aggregates every LocalHeap's relaxed-atomic counters plus heap-level
+  /// gauges. Safe to call while other threads allocate (counters may be
+  /// mid-flight by a few operations; exact at quiescent points).
+  [[nodiscard]] ScalableHeapStats stats() const;
+
+  [[nodiscard]] const ScalableHeapConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The block size deallocate() would derive for `p`, or 0 when p is not
+  /// a chunk block (large allocation or foreign pointer). Test oracle for
+  /// the sized-delete decoupling.
+  [[nodiscard]] std::size_t lookup_block_size(const void* p) const noexcept;
+
+  /// Flushes the calling thread's LocalHeap as if the thread were exiting:
+  /// drains remote stacks, flushes quarantine, donates free lists, orphans
+  /// chunks. The thread may keep allocating — it gets a fresh LocalHeap on
+  /// its next call. Regression-test hook for the thread-exit path.
+  void retire_current_thread();
+
+  /// Builds a Sattolo-randomized (single random cycle, broken at a random
+  /// link) free list over `count` blocks of `block_size` bytes starting at
+  /// `begin`: returns the head, null-terminates the tail, threads links
+  /// through each block's first word. Exposed for the determinism /
+  /// cycle-coverage unit tests; `rng` advances exactly `count` draws.
+  [[nodiscard]] static void* carve_randomized(std::byte* begin,
+                                              std::size_t block_size,
+                                              std::size_t count, Rng& rng);
+  /// Address-order carve (randomize_slabs off): head = begin.
+  [[nodiscard]] static void* carve_sequential(std::byte* begin,
+                                              std::size_t block_size,
+                                              std::size_t count);
+
+  /// The process-wide heap the Runtime routes raw_alloc through when no
+  /// alloc hook is installed (RuntimeConfig::scalable_heap). Constructed
+  /// on first use, never destroyed (teardown-order safety: Runtimes with
+  /// static storage duration may free into it during exit).
+  [[nodiscard]] static ScalableHeap& process_heap();
+
+ private:
+  friend struct ScalableHeapTls;  ///< thread-exit hook (scalable_heap.cpp)
+
+  struct LocalHeap;
+
+  /// Per-chunk metadata, immortal while the heap lives (allocated from a
+  /// never-shrinking registry), so a late remote free can always reach the
+  /// remote stack of a long-orphaned chunk. Alignment keeps the hot words
+  /// of different chunks off each other's cache lines.
+  struct alignas(64) ChunkMeta {
+    /// MPSC Treiber stack of remotely freed blocks. Push-only CAS from any
+    /// thread; the owner (or an adopter) drains with exchange(nullptr).
+    /// Push-only means no ABA window: nothing pops single nodes.
+    std::atomic<void*> remote_head{nullptr};
+    /// Owning LocalHeap's id; 0 = orphaned. Routing hint only — a stale
+    /// read routes a block to the remote stack, never corrupts it.
+    std::atomic<std::uint64_t> owner_id{0};
+    std::byte* begin = nullptr;
+    std::uint32_t block_size = 0;
+    std::uint32_t cls = 0;
+    ChunkMeta* next_owned = nullptr;  ///< owner's per-class chunk list
+  };
+
+  /// One thread's view of the heap. Stats are relaxed atomics: the owner
+  /// is the only writer, aggregation reads concurrently (TSan-clean).
+  struct alignas(64) LocalHeap {
+    struct Counter {
+      std::atomic<std::uint64_t> v{0};
+      void bump(std::uint64_t n = 1) noexcept {
+        v.store(v.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+      }
+      void drop(std::uint64_t n) noexcept {
+        v.store(v.load(std::memory_order_relaxed) - n,
+                std::memory_order_relaxed);
+      }
+      [[nodiscard]] std::uint64_t read() const noexcept {
+        return v.load(std::memory_order_relaxed);
+      }
+    };
+
+    std::uint64_t id = 0;  ///< process-unique, nonzero
+    Rng rng{0};
+    struct FreeList {
+      void* head = nullptr;
+      std::uint64_t count = 0;
+    };
+    FreeList free_lists[kNumClasses] = {};
+    ChunkMeta* chunks[kNumClasses] = {};  ///< owned chunks, per class
+
+    struct Quarantined {
+      void* p;
+      ChunkMeta* meta;
+    };
+    std::deque<Quarantined> quarantine;
+    std::size_t quarantine_held = 0;  ///< bytes parked (drives the drain)
+
+    Counter allocations, frees, reuse_hits, slab_carves, remote_frees,
+        remote_drains, remote_drained_blocks, orphan_adoptions, large_allocs,
+        large_frees, size_mismatches, quarantine_poison_damage,
+        quarantined_bytes;
+    // Written by the owning thread at exit, read by any stats() caller
+    // (which holds locals_mu_, not the retiring thread's lock) — atomic
+    // for the same single-writer/any-reader reason as the counters.
+    std::atomic<bool> retired{false};
+  };
+
+  /// Free-list segment donated by a retiring thread (whole list, spliced
+  /// in O(1) by an adopter).
+  struct OrphanSegment {
+    void* head = nullptr;
+    std::uint64_t count = 0;
+  };
+
+  [[nodiscard]] LocalHeap& local();
+  [[nodiscard]] LocalHeap& local_slow();
+  void* allocate_slow(LocalHeap& lh, int cls, std::size_t block);
+  void free_block(LocalHeap& lh, ChunkMeta* m, void* p);
+  /// Drains every remote stack of lh's chunks for `cls` into the local
+  /// free list; returns the number of blocks received.
+  std::uint64_t drain_remote(LocalHeap& lh, int cls);
+  /// Pops one quarantined block past the budget and routes it home.
+  void drain_quarantine(LocalHeap& lh);
+  void retire(LocalHeap& lh);
+
+  void* allocate_large(std::size_t size);
+  bool free_large(void* p);
+
+  ScalableHeapConfig config_;
+  const std::uint64_t heap_id_;  ///< process-unique; keys the TLS memo
+
+  /// chunk address >> kChunkBits -> ChunkMeta*. Lock-free lookups on the
+  /// free path; publications serialized by chunk_mu_.
+  RadixPointerMap<ChunkMeta> chunk_map_;
+
+  mutable std::mutex chunk_mu_;
+  std::vector<void*> chunk_memory_;  ///< 64 KiB aligned regions (owned)
+  std::vector<std::unique_ptr<ChunkMeta>> chunk_metas_;
+
+  mutable std::mutex locals_mu_;
+  std::vector<std::unique_ptr<LocalHeap>> locals_;  ///< live + retired
+  std::uint64_t next_local_id_ = 1;                 ///< guarded by locals_mu_
+
+  mutable std::mutex orphan_mu_;
+  std::vector<OrphanSegment> orphan_segments_[kNumClasses];
+  std::vector<ChunkMeta*> orphan_chunks_[kNumClasses];
+
+  mutable std::mutex large_mu_;
+  std::unordered_map<void*, std::size_t> large_allocs_;
+
+  /// Last-heap TLS memo (same pattern as Runtime::tls()).
+  static thread_local inline std::uint64_t t_last_heap_ = 0;
+  static thread_local inline LocalHeap* t_last_local_ = nullptr;
+};
+
+}  // namespace polar

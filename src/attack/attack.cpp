@@ -283,6 +283,11 @@ struct PolarWorld {
     // Deliberately not env_default(): a POLAR_BACKEND override must not
     // silently change what an attack row is measuring.
     rc.backend = cfg.backend;
+    // Attack rows measure the paper-faithful entropy budget: every
+    // allocation draws a fresh permutation. The layout-reuse window is a
+    // perf knob that would hand a reclaim attacker ~1/window odds of an
+    // exact layout replay, so it is pinned off for every measured row.
+    rc.backend.options.layout_reuse_window = 0;
     rc.seed = cfg.seed ^ 0x90a1;
     rc.alloc_fn = SizeClassHeap::alloc_hook;
     rc.free_fn = SizeClassHeap::free_hook;

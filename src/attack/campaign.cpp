@@ -125,6 +125,9 @@ struct SlotWorld {
         RuntimeConfig rc;
         rc.policy = cfg.policy;
         rc.backend = cfg.backend;  // not env_default(); see attack.h
+        // Fresh permutation per allocation — the reuse window would give
+        // campaign grooming ~1/window layout-replay odds (see attack.cpp).
+        rc.backend.options.layout_reuse_window = 0;
         rc.on_violation = ErrorAction::kReport;
         rc.seed = cfg.seed ^ 0x90a1;
         rt = std::make_unique<Runtime>(reg, rc);

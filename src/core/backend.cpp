@@ -44,6 +44,9 @@ Result<void> BackendConfig::validate() const noexcept {
   if (options.layout_pool_chunk == 0 || options.layout_pool_chunk > 1024) {
     return Result<void>::failure(Violation::kBadConfig);
   }
+  if (options.layout_reuse_window > 4096) {
+    return Result<void>::failure(Violation::kBadConfig);
+  }
   if (kind == BackendKind::kStored) return Result<void>{};
   // Derived (stateless/hybrid) kinds. Checksumming is incoherent — there
   // is no per-object stored layout the checksum could protect — and the

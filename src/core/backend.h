@@ -77,6 +77,18 @@ struct BackendOptions {
   /// (kStored only; derived kinds never draw per-allocation layouts).
   /// 1 disables pooling. Must be in [1, 1024].
   std::uint32_t layout_pool_chunk = 8;
+  /// kStored: per-(thread, type) window of recently drawn layouts that
+  /// allocations sample uniformly instead of drawing + interning a fresh
+  /// layout every time — one fresh draw per `window` allocations, the
+  /// draw replacing a random slot. Amortizes the dominant alloc-time cost
+  /// (layout generation + interner traffic) by ~window x while keeping
+  /// per-allocation layout choice unpredictable; cross-object diversity
+  /// drops (≈ window live layouts per thread-type steady-state), which is
+  /// why the attack harnesses pin this to 0. 0 or 1 = paper-faithful
+  /// fresh draw per allocation. Must be <= 4096. Ignored by derived kinds
+  /// (their schedules already amortize) and when share_layout forces a
+  /// specific layout.
+  std::uint32_t layout_reuse_window = 64;
   /// Derived kinds: log2 of the per-type schedule size — the number of
   /// pre-generated layouts addresses index into. Must be in [1, 16].
   /// Effective per-type entropy is min(schedule_bits, log2(permutation

@@ -46,6 +46,11 @@ struct Layout {
   std::vector<TrapRegion> traps;
   std::uint32_t size = 0;   ///< total allocation size for this layout
   std::uint64_t hash = 0;   ///< identity for dedup
+  /// LayoutInterner backref (its Entry), stamped on the interner-owned
+  /// copy only; null on every value copy. Lets retain/release reach the
+  /// entry's atomic refcount without a hash lookup or a lock. Not part of
+  /// the layout's identity (never hashed or compared).
+  void* intern_entry = nullptr;
 
   [[nodiscard]] std::uint64_t compute_hash() const noexcept;
 };

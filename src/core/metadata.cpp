@@ -49,50 +49,78 @@ const Layout* LayoutInterner::intern(
   std::lock_guard<std::mutex> lock(mu_);
   auto& bucket = entries_[layout.hash];
   if (dedup_) {
-    for (Entry& e : bucket) {
-      if (e.layout->offsets == layout.offsets && e.layout->size == layout.size) {
+    for (auto& e : bucket) {
+      if (e->layout->offsets == layout.offsets &&
+          e->layout->size == layout.size) {
         // Trap regions are derived from the same slot sequence, so equal
-        // offsets+size implies equal traps; assert in debug-minded spirit.
-        ++e.refs;
-        reused = true;
-        if (fast_offsets != nullptr) *fast_offsets = e.fast_offsets;
-        return e.layout.get();
+        // offsets+size implies equal traps.
+        //
+        // Bump-from-nonzero: a refs==0 twin is dying — its last releaser
+        // is en route to erase it — and must not be handed out, or two
+        // releasers could both see a 1 -> 0 transition. The CAS races
+        // only the lock-free fetch_sub in release().
+        std::uint64_t r = e->refs.load(std::memory_order_relaxed);
+        while (r != 0 && !e->refs.compare_exchange_weak(
+                             r, r + 1, std::memory_order_relaxed)) {
+        }
+        if (r != 0) {
+          reused = true;
+          if (fast_offsets != nullptr) *fast_offsets = e->fast_offsets;
+          return e->layout.get();
+        }
       }
     }
   }
   reused = false;
   const StableOffsetsPool::Word* blob = offsets_pool_.acquire(layout.offsets);
-  bucket.push_back({std::make_unique<Layout>(std::move(layout)), 1, blob});
+  auto entry = std::make_unique<Entry>();
+  entry->layout = std::make_unique<Layout>(std::move(layout));
+  entry->layout->intern_entry = entry.get();
+  entry->refs.store(1, std::memory_order_relaxed);
+  entry->fast_offsets = blob;
   if (fast_offsets != nullptr) *fast_offsets = blob;
-  return bucket.back().layout.get();
+  const Layout* stable = entry->layout.get();
+  bucket.push_back(std::move(entry));
+  ++live_entries_;
+  return stable;
 }
 
 void LayoutInterner::retain(const Layout* layout) {
   POLAR_CHECK(layout != nullptr, "retain of null layout");
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(layout->hash);
-  POLAR_CHECK(it != entries_.end(), "retain of unknown layout");
-  for (Entry& e : it->second) {
-    if (e.layout.get() == layout) {
-      ++e.refs;
-      return;
-    }
-  }
-  POLAR_CHECK(false, "layout not present in its hash bucket");
+  Entry* e = entry_of(layout);
+  POLAR_CHECK(e != nullptr && e->layout.get() == layout,
+              "retain of unknown layout");
+  const std::uint64_t prev = e->refs.fetch_add(1, std::memory_order_relaxed);
+  POLAR_CHECK(prev > 0, "retain of dead layout");
 }
 
 void LayoutInterner::release(const Layout* layout) {
   POLAR_CHECK(layout != nullptr, "release of null layout");
+  Entry* e = entry_of(layout);
+  POLAR_CHECK(e != nullptr && e->layout.get() == layout,
+              "release of unknown layout");
+  // acq_rel: the final release must happen-after every use of the layout
+  // on other threads (their fetch_subs), and the erase below must not be
+  // reordered before this drop.
+  const std::uint64_t prev = e->refs.fetch_sub(1, std::memory_order_acq_rel);
+  POLAR_CHECK(prev > 0, "release of dead layout");
+  if (prev != 1) return;
+  // Unique last release (intern never revives a refs==0 entry): unlink
+  // under the mutex and recycle the offsets blob. The blob stays readable
+  // forever (StableOffsetsPool is type-stable) for seqlock readers that
+  // lose the race.
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(layout->hash);
   POLAR_CHECK(it != entries_.end(), "release of unknown layout");
   auto& bucket = it->second;
   for (std::size_t i = 0; i < bucket.size(); ++i) {
-    if (bucket[i].layout.get() == layout) {
-      if (--bucket[i].refs == 0) {
-        bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
-        if (bucket.empty()) entries_.erase(it);
-      }
+    if (bucket[i]->layout.get() == layout) {
+      offsets_pool_.release(bucket[i]->fast_offsets,
+                            layout->offsets.empty() ? 1
+                                                    : layout->offsets.size());
+      bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+      if (bucket.empty()) entries_.erase(it);
+      --live_entries_;
       return;
     }
   }
@@ -105,8 +133,8 @@ const StableOffsetsPool::Word* LayoutInterner::fast_offsets_of(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(layout->hash);
   if (it == entries_.end()) return nullptr;
-  for (const Entry& e : it->second) {
-    if (e.layout.get() == layout) return e.fast_offsets;
+  for (const auto& e : it->second) {
+    if (e->layout.get() == layout) return e->fast_offsets;
   }
   return nullptr;
 }

@@ -93,10 +93,14 @@ class StableOffsetsPool {
   std::vector<Word*> free_[kCapClasses];      ///< recycled, by log2 capacity
 };
 
-/// Content-addressed layout store with refcounts. Thread-safe: interning
-/// and releasing are serialized on one mutex — the store is touched once
-/// per allocation/free, never per member access, so a single lock does not
-/// bottleneck the hot path.
+/// Content-addressed layout store with refcounts. Thread-safe with
+/// lock-free retain/release: each entry's refcount is an atomic reached
+/// through the layout's `intern_entry` backref, so the alloc/free hot
+/// paths never take the interner mutex. The mutex serializes only
+/// structural changes — the dedup scan in intern() and the erase when the
+/// unique last release drops a count to zero (the scan skips refs==0
+/// entries, so a 1 -> 0 transition is final and exactly one releaser
+/// erases).
 class LayoutInterner {
  public:
   explicit LayoutInterner(bool dedup_enabled) : dedup_(dedup_enabled) {}
@@ -111,10 +115,14 @@ class LayoutInterner {
 
   /// Bumps the refcount of an already-interned layout. Used to keep a
   /// layout alive while an operation (clone/copy) works on a record copy
-  /// outside its shard lock.
+  /// outside its shard lock. Lock-free; the caller must itself hold a
+  /// reference (which every call site does — the layout came from a live
+  /// record or a pool slot).
   void retain(const Layout* layout);
 
-  /// Drops one reference; destroys the record at zero.
+  /// Drops one reference; destroys the record at zero. Lock-free except
+  /// for the final release of an entry, which takes the mutex to unlink
+  /// it from the store.
   void release(const Layout* layout);
 
   /// The stable offsets blob of an already-interned layout (nullptr if the
@@ -126,22 +134,35 @@ class LayoutInterner {
 
   [[nodiscard]] std::size_t live_layouts() const noexcept {
     std::lock_guard<std::mutex> lock(mu_);
-    return entries_.size();
+    return live_entries_;
   }
 
  private:
   struct Entry {
     std::unique_ptr<Layout> layout;
-    std::uint64_t refs = 0;
+    /// Atomic so retain/release run lock-free. 0 means the entry is dying:
+    /// its last releaser is on the way to erase it, and the dedup scan
+    /// must not hand it out (no resurrection — that is what makes the
+    /// 1 -> 0 transition unique).
+    std::atomic<std::uint64_t> refs{0};
     /// Stable blob mirroring layout->offsets, recycled when refs hits 0.
     const StableOffsetsPool::Word* fast_offsets = nullptr;
   };
+  /// The entry a layout's backref points to. Valid only while the caller
+  /// holds a reference.
+  [[nodiscard]] static Entry* entry_of(const Layout* layout) noexcept {
+    return static_cast<Entry*>(layout->intern_entry);
+  }
   bool dedup_;
   StableOffsetsPool offsets_pool_;
   mutable std::mutex mu_;
   // Keyed by layout hash; collisions resolved by full comparison within
-  // the bucket vector.
-  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  // the bucket vector. Entries are heap-allocated so their atomic
+  // refcounts (and the backrefs pointing at them) survive bucket
+  // reallocation.
+  std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<Entry>>>
+      entries_;
+  std::size_t live_entries_ = 0;  ///< exact entry count, guarded by mu_
 };
 
 /// Open-addressing (linear probing, power-of-two capacity) map from base

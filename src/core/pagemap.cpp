@@ -1,7 +1,6 @@
 #include "core/pagemap.h"
 
 #include <bit>
-#include <cstring>
 
 namespace polar {
 
@@ -9,6 +8,10 @@ namespace polar {
 
 MetaCell* MetaCellArena::acquire() {
   std::lock_guard<std::mutex> lock(mu_);
+  return acquire_locked();
+}
+
+MetaCell* MetaCellArena::acquire_locked() {
   if (free_ == nullptr) {
     blocks_.push_back(std::make_unique<MetaCell[]>(kBlockCells));
     MetaCell* block = blocks_.back().get();
@@ -30,78 +33,42 @@ void MetaCellArena::release(MetaCell* cell) {
   free_ = cell;
 }
 
+void MetaCellArena::acquire_batch(std::vector<MetaCell*>& out,
+                                  std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(acquire_locked());
+}
+
+void MetaCellArena::release_batch(std::vector<MetaCell*>& cache,
+                                  std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (n-- > 0 && !cache.empty()) {
+    MetaCell* cell = cache.back();
+    cache.pop_back();
+    cell->next_free = free_;
+    free_ = cell;
+  }
+}
+
 // ----------------------------------------------------------------- pagemap
 
-AddressPagemap::AddressPagemap(std::uint32_t granule_bytes) {
+namespace {
+unsigned checked_granule_bits(std::uint32_t granule_bytes) {
   POLAR_CHECK(std::has_single_bit(granule_bytes) && granule_bytes >= 8 &&
                   granule_bytes <= 4096,
               "pagemap granule must be a power of two in [8, 4096]");
-  granule_bits_ = static_cast<unsigned>(std::countr_zero(granule_bytes));
-  root_entries_ = std::size_t{1} << (kAddressBits - granule_bits_ - kLeafBits);
-  // calloc: the root spans up to 2^26 entries (512 MiB of virtual address
-  // space at granule 8) but the kernel commits only the pages actually
-  // touched — heap addresses cluster, so in practice a handful.
-  root_ = static_cast<std::uintptr_t*>(
-      std::calloc(root_entries_, sizeof(std::uintptr_t)));
-  POLAR_CHECK(root_ != nullptr, "pagemap root reservation failed");
+  return static_cast<unsigned>(std::countr_zero(granule_bytes));
 }
+}  // namespace
 
-AddressPagemap::~AddressPagemap() {
-  for (std::uintptr_t* leaf : leaves_) std::free(leaf);
-  std::free(root_);
-}
-
-std::uintptr_t* AddressPagemap::leaf_for(std::uintptr_t addr) {
-  const std::size_t g = static_cast<std::size_t>(addr) >> granule_bits_;
-  const std::size_t ri = g >> kLeafBits;
-  std::atomic_ref<std::uintptr_t> slot(root_[ri]);
-  std::uintptr_t leaf = slot.load(std::memory_order_acquire);
-  if (leaf == 0) {
-    auto* fresh = static_cast<std::uintptr_t*>(
-        std::calloc(kLeafEntries, sizeof(std::uintptr_t)));
-    POLAR_CHECK(fresh != nullptr, "pagemap leaf allocation failed");
-    // Two bases in this leaf's range can hash to different shards, so leaf
-    // installation must tolerate a concurrent installer: first CAS wins.
-    std::uintptr_t expected = 0;
-    if (slot.compare_exchange_strong(
-            expected, reinterpret_cast<std::uintptr_t>(fresh),
-            std::memory_order_acq_rel, std::memory_order_acquire)) {
-      leaf = reinterpret_cast<std::uintptr_t>(fresh);
-      std::lock_guard<std::mutex> lock(leaves_mu_);
-      leaves_.push_back(fresh);
-    } else {
-      std::free(fresh);
-      leaf = expected;
-    }
-  }
-  return reinterpret_cast<std::uintptr_t*>(leaf);
-}
+AddressPagemap::AddressPagemap(std::uint32_t granule_bytes)
+    : map_(checked_granule_bits(granule_bytes)) {}
 
 void AddressPagemap::publish(const void* base, MetaCell* cell) {
-  const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(base);
-  POLAR_CHECK((a >> kAddressBits) == 0,
-              "object base beyond the pagemap's address range");
-  std::uintptr_t* cells = leaf_for(a);
-  const std::size_t g = static_cast<std::size_t>(a) >> granule_bits_;
-  std::atomic_ref<std::uintptr_t> slot(cells[g & kLeafMask]);
-  POLAR_CHECK(slot.load(std::memory_order_relaxed) == 0,
+  POLAR_CHECK(map_.publish(base, cell),
               "pagemap granule collision: two live objects share a granule "
               "(shrink RuntimeConfig::pagemap_granule)");
-  slot.store(reinterpret_cast<std::uintptr_t>(cell),
-             std::memory_order_release);
-}
-
-void AddressPagemap::unpublish(const void* base) noexcept {
-  const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(base);
-  if ((a >> kAddressBits) != 0) return;
-  const std::size_t g = static_cast<std::size_t>(a) >> granule_bits_;
-  const std::uintptr_t leaf =
-      std::atomic_ref<std::uintptr_t>(root_[g >> kLeafBits])
-          .load(std::memory_order_acquire);
-  if (leaf == 0) return;
-  auto* cells = reinterpret_cast<std::uintptr_t*>(leaf);
-  std::atomic_ref<std::uintptr_t>(cells[g & kLeafMask])
-      .store(0, std::memory_order_release);
 }
 
 }  // namespace polar

@@ -49,6 +49,7 @@
 
 #include "core/metadata.h"
 #include "support/assert.h"
+#include "support/radix_map.h"
 
 namespace polar {
 
@@ -277,6 +278,15 @@ class MetaCellArena {
   /// has been cleared by the caller (under the owning shard's mutex).
   void release(MetaCell* cell);
 
+  /// Appends `n` ready cells to `out` under one lock — the refill half of
+  /// a caller-owned cell cache (the runtime keeps one per thread so the
+  /// alloc/free hot paths touch this mutex once per batch, not per op).
+  void acquire_batch(std::vector<MetaCell*>& out, std::size_t n);
+
+  /// Returns the last `n` cells of `cache` (fewer if it is shorter) to
+  /// the free list under one lock. Same caller contract as release().
+  void release_batch(std::vector<MetaCell*>& cache, std::size_t n);
+
   /// Visits every cell whose record is live (rec.base != nullptr). Caller
   /// must guarantee quiescence (free_all/teardown contract): record fields
   /// are read without shard locks.
@@ -299,30 +309,32 @@ class MetaCellArena {
  private:
   static constexpr std::size_t kBlockCells = 64;
 
+  [[nodiscard]] MetaCell* acquire_locked();  // under mu_
+
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<MetaCell[]>> blocks_;
   MetaCell* free_ = nullptr;
 };
 
 /// Two-level lazily-committed map from `base >> granule_bits` to the
-/// MetaCell registered for that granule. Reads are lock-free (two acquire
-/// loads); writes are serialized per base by the metadata shard mutexes,
-/// with leaf installation CAS-protected because two bases in one leaf
-/// range can belong to different shards.
+/// MetaCell registered for that granule — a thin policy wrapper over the
+/// generic RadixPointerMap (support/radix_map.h), which the scalable heap
+/// shares for its chunk map. Reads are lock-free (two acquire loads);
+/// writes are serialized per base by the metadata shard mutexes, with leaf
+/// installation CAS-protected because two bases in one leaf range can
+/// belong to different shards.
 class AddressPagemap {
  public:
-  /// Virtual-address bits covered. Linux user space tops out at 47 bits;
-  /// 48 leaves headroom for sanitizer shadow layouts.
-  static constexpr unsigned kAddressBits = 48;
-  /// log2 of granule entries per leaf: 2^19 entries × 8 bytes = 4 MiB of
-  /// (lazily committed) leaf per 2^19 granules of address space.
-  static constexpr unsigned kLeafBits = 19;
+  using Map = RadixPointerMap<MetaCell>;
+
+  /// Virtual-address bits covered (see RadixPointerMap).
+  static constexpr unsigned kAddressBits = Map::kAddressBits;
+  static constexpr unsigned kLeafBits = Map::kLeafBits;
   static constexpr std::uint32_t kDefaultGranule = 16;
 
   /// granule_bytes must be a power of two in [8, 4096]
   /// (RuntimeConfig::validate enforces this before construction).
   explicit AddressPagemap(std::uint32_t granule_bytes = kDefaultGranule);
-  ~AddressPagemap();
 
   AddressPagemap(const AddressPagemap&) = delete;
   AddressPagemap& operator=(const AddressPagemap&) = delete;
@@ -333,28 +345,18 @@ class AddressPagemap {
   [[nodiscard]] static MetaCell* lookup_in(std::uintptr_t* root,
                                            unsigned granule_bits,
                                            const void* addr) noexcept {
-    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
-    if ((a >> kAddressBits) != 0) return nullptr;
-    const std::size_t g = static_cast<std::size_t>(a) >> granule_bits;
-    const std::uintptr_t leaf =
-        std::atomic_ref<std::uintptr_t>(root[g >> kLeafBits])
-            .load(std::memory_order_acquire);
-    if (leaf == 0) return nullptr;
-    auto* cells = reinterpret_cast<std::uintptr_t*>(leaf);
-    return reinterpret_cast<MetaCell*>(
-        std::atomic_ref<std::uintptr_t>(cells[g & kLeafMask])
-            .load(std::memory_order_acquire));
+    return Map::lookup_in(root, granule_bits, addr);
   }
 
   /// Lock-free: the cell registered for addr's granule, or nullptr when
   /// that granule was never mapped or is currently unmapped.
   [[nodiscard]] MetaCell* lookup(const void* addr) const noexcept {
-    return lookup_in(root_, granule_bits_, addr);
+    return map_.lookup(addr);
   }
 
-  [[nodiscard]] std::uintptr_t* root() const noexcept { return root_; }
+  [[nodiscard]] std::uintptr_t* root() const noexcept { return map_.root(); }
   [[nodiscard]] unsigned granule_bits() const noexcept {
-    return granule_bits_;
+    return map_.granule_bits();
   }
 
   /// Registers `cell` for base's granule (creating the leaf on demand).
@@ -365,31 +367,18 @@ class AddressPagemap {
   void publish(const void* base, MetaCell* cell);
 
   /// Unregisters base's granule (caller holds the owning shard's mutex).
-  void unpublish(const void* base) noexcept;
+  void unpublish(const void* base) noexcept { map_.unpublish(base); }
 
   [[nodiscard]] std::uint32_t granule_bytes() const noexcept {
-    return std::uint32_t{1} << granule_bits_;
+    return std::uint32_t{1} << map_.granule_bits();
   }
   /// Leaves committed so far (observability/tests).
   [[nodiscard]] std::size_t committed_leaves() const noexcept {
-    std::lock_guard<std::mutex> lock(leaves_mu_);
-    return leaves_.size();
+    return map_.committed_leaves();
   }
 
  private:
-  static constexpr std::size_t kLeafEntries = std::size_t{1} << kLeafBits;
-  static constexpr std::size_t kLeafMask = kLeafEntries - 1;
-
-  [[nodiscard]] std::uintptr_t* leaf_for(std::uintptr_t addr);
-
-  unsigned granule_bits_;
-  std::size_t root_entries_;
-  /// calloc'd so untouched root pages stay copy-on-write zero pages;
-  /// entries are std::uintptr_t accessed through std::atomic_ref (C++20
-  /// implicit object creation makes the calloc'd array well-formed).
-  std::uintptr_t* root_ = nullptr;
-  mutable std::mutex leaves_mu_;
-  std::vector<std::uintptr_t*> leaves_;  ///< for reclamation at destruction
+  Map map_;
 };
 
 }  // namespace polar

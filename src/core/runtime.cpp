@@ -8,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "alloc/scalable_heap.h"
 #include "support/assert.h"
 #include "support/hash.h"
 
@@ -126,6 +127,9 @@ bool any_checksum(const RuntimeConfig& config) noexcept {
 Runtime::Runtime(const TypeRegistry& registry, RuntimeConfig config)
     : registry_(registry),
       config_(checked_config(config)),
+      substrate_(config.alloc_fn == nullptr && config.scalable_heap
+                     ? &ScalableHeap::process_heap()
+                     : nullptr),
       engine_(effective_policy(config_)),
       table_(config_.shard_bits),
       pagemap_(config_.backend.options.pagemap
@@ -207,6 +211,7 @@ Rng Runtime::next_rng_stream() const {
 }
 
 void* Runtime::raw_alloc(std::size_t size) {
+  if (substrate_ != nullptr) return substrate_->allocate(size);
   if (config_.alloc_fn != nullptr) {
     return config_.alloc_fn(size, config_.alloc_ctx);
   }
@@ -214,6 +219,12 @@ void* Runtime::raw_alloc(std::size_t size) {
 }
 
 void Runtime::raw_free(void* p, std::size_t size) {
+  if (substrate_ != nullptr) {
+    // size is a hint only: the heap derives the true block size from slab
+    // metadata and counts any disagreement as a sized-delete bug.
+    substrate_->deallocate(p, size);
+    return;
+  }
   if (config_.free_fn != nullptr) {
     config_.free_fn(p, size, config_.alloc_ctx);
     return;
@@ -345,24 +356,44 @@ bool Runtime::debug_corrupt_mirror(const void* base, std::uint32_t mask) {
   return true;
 }
 
+// Each trap region holds trap_value repeated as a little-endian 8-byte
+// pattern restarting at the region's start (byte i of a region is
+// trap_value >> ((i % 8) * 8)). Both walkers go a word at a time —
+// regions are written and checked on every alloc/free pair, so the byte
+// loops showed up in the churn profile.
+
 void Runtime::fill_traps(const ObjectRecord& rec) {
   auto* bytes = static_cast<unsigned char*>(rec.base);
+  const std::uint64_t v = rec.trap_value;
   for (const TrapRegion& t : rec.layout->traps) {
-    for (std::uint32_t i = 0; i < t.size; ++i) {
-      bytes[t.offset + i] =
-          static_cast<unsigned char>(rec.trap_value >> ((i % 8) * 8));
+    unsigned char* p = bytes + t.offset;
+    std::uint32_t n = t.size;
+    while (n >= 8) {
+      std::memcpy(p, &v, 8);
+      p += 8;
+      n -= 8;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      p[i] = static_cast<unsigned char>(v >> (i * 8));
     }
   }
 }
 
 bool Runtime::traps_intact(const ObjectRecord& rec) const noexcept {
   const auto* bytes = static_cast<const unsigned char*>(rec.base);
+  const std::uint64_t v = rec.trap_value;
   for (const TrapRegion& t : rec.layout->traps) {
-    for (std::uint32_t i = 0; i < t.size; ++i) {
-      if (bytes[t.offset + i] !=
-          static_cast<unsigned char>(rec.trap_value >> ((i % 8) * 8))) {
-        return false;
-      }
+    const unsigned char* p = bytes + t.offset;
+    std::uint32_t n = t.size;
+    while (n >= 8) {
+      std::uint64_t got;
+      std::memcpy(&got, p, 8);
+      if (got != v) return false;
+      p += 8;
+      n -= 8;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (p[i] != static_cast<unsigned char>(v >> (i * 8))) return false;
     }
   }
   return true;
@@ -431,7 +462,7 @@ Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
                          1, std::memory_order_relaxed)};
     rec.seal();
     fill_traps(rec);
-    MetaCell* cell = cells_.acquire();  // pagemap is mandatory for derived
+    MetaCell* cell = acquire_cell(ts);  // pagemap is mandatory for derived
     ShardedMetadataTable::Shard& sh = table_.shard_of(base);
     ShardedMetadataTable::ShardLockGuard lock(sh);
     cell->rec = rec;
@@ -443,11 +474,56 @@ Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
     return rec;
   }
   bool reused = false;
-  const Layout* layout;
+  const Layout* layout = nullptr;
   const StableOffsetsPool::Word* fast_offsets = nullptr;
+  ThreadState::TypeLayoutPool* reuse_pool = nullptr;
   if (share_layout == nullptr) {
-    layout = interner_.intern(next_layout(ts, type, info), reused,
-                              &fast_offsets);
+    // Layout-reuse window (BackendOptions::layout_reuse_window): once a
+    // thread has drawn `window` fresh layouts for a type, allocations
+    // sample that window uniformly — a lock-free retain instead of a
+    // generate + intern, which is the dominant alloc-time cost — with one
+    // fresh draw per `window` allocations replacing a random slot. The
+    // grow phase means short-lived bursts keep full per-allocation
+    // diversity; only sustained churn amortizes. Sampling uses the
+    // dedicated reuse_rng, so the layout-draw stream (ts.rng) advances
+    // exactly as it would with the window off. The window is a form of
+    // layout dedup, so dedup_layouts=false disables it.
+    const std::uint32_t window =
+        config_.dedup_layouts
+            ? backend_config(type).options.layout_reuse_window
+            : 0;
+    if (window > 1) {
+      if (ts.layout_pools.size() <= type.value) {
+        ts.layout_pools.resize(type.value + 1);
+      }
+      ThreadState::TypeLayoutPool& pool = ts.layout_pools[type.value];
+      reuse_pool = &pool;
+      if (pool.reuse.size() >= window && pool.reuse_left > 0) {
+        --pool.reuse_left;
+        const auto& slot =
+            pool.reuse[ts.reuse_rng.below(pool.reuse.size())];
+        interner_.retain(slot.layout);
+        layout = slot.layout;
+        fast_offsets = slot.fast_offsets;
+        reused = true;
+      } else {
+        layout = interner_.intern(next_layout(ts, type, info), reused,
+                                  &fast_offsets);
+        // The window holds its own reference per slot.
+        interner_.retain(layout);
+        if (pool.reuse.size() < window) {
+          pool.reuse.push_back({layout, fast_offsets});
+        } else {
+          auto& slot = pool.reuse[ts.reuse_rng.below(window)];
+          interner_.release(slot.layout);
+          slot = {layout, fast_offsets};
+        }
+        if (pool.reuse.size() >= window) pool.reuse_left = window - 1;
+      }
+    } else {
+      layout = interner_.intern(next_layout(ts, type, info), reused,
+                                &fast_offsets);
+    }
   } else {
     Layout same = *share_layout;
     layout = interner_.intern(std::move(same), reused, &fast_offsets);
@@ -455,8 +531,15 @@ Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
   void* base = raw_alloc(layout->size);
   if (base == nullptr) {
     // A refused backing allocation is a value, not a crash: undo the
-    // layout reference and let the caller surface kOom.
+    // layout reference and let the caller surface kOom. The reuse window
+    // is flushed too (OOM is rare; holding layouts past a refused
+    // allocation would make live_layouts() nonzero with nothing live).
     interner_.release(layout);
+    if (reuse_pool != nullptr) {
+      for (auto& slot : reuse_pool->reuse) interner_.release(slot.layout);
+      reuse_pool->reuse.clear();
+      reuse_pool->reuse_left = 0;
+    }
     return Result<ObjectRecord>::failure(Violation::kOom);
   }
   if (reused) {
@@ -475,7 +558,7 @@ Result<ObjectRecord> Runtime::create_object(ThreadState& ts, TypeId type,
   rec.seal();
   fill_traps(rec);  // before publication: no lock needed
   if (pagemap_ != nullptr) {
-    MetaCell* cell = cells_.acquire();
+    MetaCell* cell = acquire_cell(ts);
     ShardedMetadataTable::Shard& sh = table_.shard_of(base);
     ShardedMetadataTable::ShardLockGuard lock(sh);
     cell->rec = rec;
@@ -611,7 +694,7 @@ Result<void> Runtime::obj_free(ObjRef ref) {
       live_count_.fetch_sub(1, std::memory_order_release);
     }
   }
-  if (freed_cell != nullptr) cells_.release(freed_cell);
+  if (freed_cell != nullptr) release_cell(ts, freed_cell);
   if (meta_damaged) {
     violation(ts, Violation::kMetadataDamaged, ref.base, ref.type, ref.id,
               RuntimeOp::kFree);
@@ -1018,6 +1101,17 @@ void Runtime::free_all() {
         [&](const ObjectRecord& rec) { bases.push_back(rec.base); });
   }
   for (void* b : bases) olr_free(b);
+  // Flush every thread's layout-reuse windows (free_all must not race
+  // other operations, so touching foreign ThreadStates is safe here).
+  // With no objects left, this leaves the interner empty — the invariant
+  // tests and the stats exporter's consistency checks rely on.
+  for (auto& st : thread_states_) {
+    for (auto& pool : st->layout_pools) {
+      for (auto& slot : pool.reuse) interner_.release(slot.layout);
+      pool.reuse.clear();
+      pool.reuse_left = 0;
+    }
+  }
   // Quarantined blocks have no metadata record anymore; hand their memory
   // back to the backing allocator now that the reset/teardown point makes
   // delayed reuse moot.

@@ -61,6 +61,8 @@
 
 namespace polar {
 
+class ScalableHeap;  // alloc/scalable_heap.h — default raw-alloc substrate
+
 /// Legacy one-knob policy: abort the process (production hardening) or
 /// record and refuse the single operation (tests and the attack simulator,
 /// which must observe detections without dying). Superseded by the
@@ -125,12 +127,20 @@ struct RuntimeConfig {
   /// abort) any config this rejects — no more silent clamping.
   [[nodiscard]] Result<void> validate() const noexcept;
 
-  /// Backing-memory hooks; default is operator new/delete. The attack
-  /// simulator plugs in a deterministic-reuse heap here. Hooks must be
-  /// thread-safe when the runtime is shared across threads.
+  /// Backing-memory hooks; the attack simulator plugs in a deterministic-
+  /// reuse heap here. Hooks must be thread-safe when the runtime is shared
+  /// across threads. When no hook is installed, `scalable_heap` picks the
+  /// default substrate.
   void* (*alloc_fn)(std::size_t size, void* ctx) = nullptr;
   void (*free_fn)(void* p, std::size_t size, void* ctx) = nullptr;
   void* alloc_ctx = nullptr;
+  /// With no alloc hook installed: true (default) routes raw allocation
+  /// through the process-wide ScalableHeap (per-thread slab heaps,
+  /// Sattolo-randomized reuse, message-passing remote free — see
+  /// alloc/scalable_heap.h); false falls back to plain operator
+  /// new/delete. The UAF case studies install SizeClassHeap hooks instead,
+  /// whose deterministic-reuse knobs their peek_next oracles require.
+  bool scalable_heap = true;
 };
 
 class Runtime {
@@ -366,6 +376,8 @@ class Runtime {
 #endif
     {
       (void)cfg;
+      // Decorrelated from the layout-draw stream; see reuse_rng below.
+      reuse_rng = Rng(mix64(cfg.seed ^ (thread_tag_in * 0x9e3779b97f4a7c15ULL)));
     }
     ThreadOffsetCache cache;
     Rng rng;
@@ -374,14 +386,32 @@ class Runtime {
     /// Numeric id of the owning thread (stamped into trace events and
     /// violation reports without re-deriving it per event).
     std::uint64_t thread_tag = 0;
-    /// Pre-generated layouts for one type, consumed in generation order.
+    /// Pre-generated layouts for one type, consumed in generation order,
+    /// plus the layout-reuse window (BackendOptions::layout_reuse_window):
+    /// interned layouts this thread recently drew for the type, each slot
+    /// holding one interner reference, sampled uniformly by allocations
+    /// between fresh draws. Released in ~Runtime.
     struct TypeLayoutPool {
       std::vector<Layout> ready;
       std::size_t cursor = 0;
+      struct ReuseSlot {
+        const Layout* layout = nullptr;
+        const StableOffsetsPool::Word* fast_offsets = nullptr;
+      };
+      std::vector<ReuseSlot> reuse;
+      /// Samples remaining before the next fresh draw refreshes a slot.
+      std::uint32_t reuse_left = 0;
     };
     /// Indexed by TypeId::value; grown on first allocation of a type.
     std::vector<TypeLayoutPool> layout_pools;
     LayoutBatcher batcher;
+    /// Spare MetaCells (acquire_cell/release_cell): refilled/flushed from
+    /// the arena in batches so the hot paths skip the arena mutex.
+    std::vector<MetaCell*> cell_cache;
+    /// Dedicated stream for reuse-window sampling so the layout-draw
+    /// stream (ts.rng) stays bit-identical whether the window is on or
+    /// off — seeded determinism tests pin the window, not the stream.
+    Rng reuse_rng{0};
 #if defined(POLAR_TRACE_ENABLED)
     observe::TraceRing trace;
     observe::LatencyHistograms latency;
@@ -478,6 +508,22 @@ class Runtime {
       interner_.release(rec.layout);
     }
   }
+
+  /// Per-thread cell cache over the arena (see ThreadState::cell_cache):
+  /// one arena-mutex acquisition per kCellBatch cells instead of per op.
+  static constexpr std::size_t kCellBatch = 32;
+  [[nodiscard]] MetaCell* acquire_cell(ThreadState& ts) const {
+    if (ts.cell_cache.empty()) cells_.acquire_batch(ts.cell_cache, kCellBatch);
+    MetaCell* cell = ts.cell_cache.back();
+    ts.cell_cache.pop_back();
+    return cell;
+  }
+  void release_cell(ThreadState& ts, MetaCell* cell) const {
+    ts.cell_cache.push_back(cell);
+    if (ts.cell_cache.size() > 2 * kCellBatch) {
+      cells_.release_batch(ts.cell_cache, kCellBatch);
+    }
+  }
 #if defined(POLAR_TRACE_ENABLED)
   /// The sampled twin of obj_field's body: times the resolution, records a
   /// kGetptrFast/kGetptrSlow event plus the latency histogram, and resets
@@ -502,6 +548,10 @@ class Runtime {
 
   const TypeRegistry& registry_;
   RuntimeConfig config_;
+  /// Cached once at construction: &ScalableHeap::process_heap() when no
+  /// alloc hook is installed and config_.scalable_heap is on, else null.
+  /// Keeps raw_alloc's hot path to one pointer test.
+  ScalableHeap* substrate_ = nullptr;
   PolicyEngine engine_;
   /// Shard mutexes + epochs guard both backends; the per-shard hash table
   /// holds records only when the pagemap backend is off.

@@ -41,6 +41,35 @@ constexpr StatField kStatFields[] = {
     {"bytes_allocated", &RuntimeStats::bytes_allocated},
 };
 
+/// Same single-table discipline for the allocator substrate's counters:
+/// one row here feeds JSON, Prometheus, the round-trip parser, and the
+/// consistency gate. `gauge` rows (point-in-time values) skip the
+/// Prometheus `_total` suffix.
+struct HeapField {
+  const char* name;
+  std::uint64_t ScalableHeapStats::* member;
+  bool gauge;
+};
+constexpr HeapField kHeapFields[] = {
+    {"allocations", &ScalableHeapStats::allocations, false},
+    {"frees", &ScalableHeapStats::frees, false},
+    {"reuse_hits", &ScalableHeapStats::reuse_hits, false},
+    {"slab_carves", &ScalableHeapStats::slab_carves, false},
+    {"remote_frees", &ScalableHeapStats::remote_frees, false},
+    {"remote_drains", &ScalableHeapStats::remote_drains, false},
+    {"remote_drained_blocks", &ScalableHeapStats::remote_drained_blocks,
+     false},
+    {"orphan_adoptions", &ScalableHeapStats::orphan_adoptions, false},
+    {"large_allocs", &ScalableHeapStats::large_allocs, false},
+    {"large_frees", &ScalableHeapStats::large_frees, false},
+    {"size_mismatches", &ScalableHeapStats::size_mismatches, false},
+    {"quarantine_poison_damage", &ScalableHeapStats::quarantine_poison_damage,
+     false},
+    {"quarantined_bytes", &ScalableHeapStats::quarantined_bytes, true},
+    {"thread_retires", &ScalableHeapStats::thread_retires, false},
+    {"live_chunks", &ScalableHeapStats::live_chunks, true},
+};
+
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
@@ -316,6 +345,10 @@ MetricsSnapshot collect_metrics(const Runtime& rt) {
   m.live_objects = rt.live_objects();
   m.live_layouts = rt.live_layouts();
   m.quarantined_blocks = rt.quarantined_blocks();
+  if (rt.config().alloc_fn == nullptr && rt.config().scalable_heap) {
+    m.heap_attached = true;
+    m.heap = ScalableHeap::process_heap().stats();
+  }
   m.trace = rt.trace_ring_stats();
   m.latency = rt.latency_histograms();
   return m;
@@ -325,7 +358,7 @@ std::string to_json(const MetricsSnapshot& m) {
   std::string out;
   out.reserve(4096);
   out += "{\n";
-  out += "  \"polar_metrics_version\": 1,\n";
+  out += "  \"polar_metrics_version\": 2,\n";
   out += "  \"trace\": {\n";
   out += "    \"compiled_in\": ";
   out += m.trace_compiled_in ? "true" : "false";
@@ -378,6 +411,16 @@ std::string to_json(const MetricsSnapshot& m) {
   out += ", \"quarantined_blocks\": ";
   append_u64(out, m.quarantined_blocks);
   out += "},\n";
+  out += "  \"heap\": {\n";
+  out += "    \"attached\": ";
+  out += m.heap_attached ? "true" : "false";
+  out += ",\n";
+  for (std::size_t i = 0; i < std::size(kHeapFields); ++i) {
+    out += "    ";
+    append_kv(out, kHeapFields[i].name, m.heap.*kHeapFields[i].member,
+              i + 1 < std::size(kHeapFields));
+  }
+  out += "  },\n";
   out += "  \"latency\": {\n";
   append_histogram_json(out, "getptr_ns", m.latency.getptr_ns, true);
   append_histogram_json(out, "alloc_ns", m.latency.alloc_ns, false);
@@ -390,7 +433,7 @@ bool from_json(std::string_view json, MetricsSnapshot& out) {
   JsonValue root;
   if (!JsonReader(json).parse(root)) return false;
   std::uint64_t version = 0;
-  if (!read_u64(root, "polar_metrics_version", version) || version != 1) {
+  if (!read_u64(root, "polar_metrics_version", version) || version != 2) {
     return false;
   }
   out = MetricsSnapshot{};
@@ -442,6 +485,13 @@ bool from_json(std::string_view json, MetricsSnapshot& out) {
   if (!read_u64(*live, "objects", out.live_objects)) return false;
   if (!read_u64(*live, "layouts", out.live_layouts)) return false;
   if (!read_u64(*live, "quarantined_blocks", out.quarantined_blocks)) return false;
+
+  const JsonValue* heap = root.find("heap");
+  if (heap == nullptr || heap->kind != JsonValue::Kind::kObject) return false;
+  if (!read_bool(*heap, "attached", out.heap_attached)) return false;
+  for (const HeapField& f : kHeapFields) {
+    if (!read_u64(*heap, f.name, out.heap.*f.member)) return false;
+  }
 
   const JsonValue* latency = root.find("latency");
   if (latency == nullptr || latency->kind != JsonValue::Kind::kObject) return false;
@@ -504,6 +554,24 @@ std::string to_prometheus(const MetricsSnapshot& m) {
   out += "# TYPE polar_quarantined_blocks gauge\npolar_quarantined_blocks ";
   append_u64(out, m.quarantined_blocks);
   out += "\n";
+  // Substrate heap counters only scrape meaningfully when the runtime is
+  // actually backed by the process heap; an unattached snapshot would
+  // export constant zeros that alert rules could misread as "heap idle".
+  if (m.heap_attached) {
+    for (const HeapField& f : kHeapFields) {
+      const char* suffix = f.gauge ? "" : "_total";
+      out += "# TYPE polar_heap_";
+      out += f.name;
+      out += suffix;
+      out += f.gauge ? " gauge\n" : " counter\n";
+      out += "polar_heap_";
+      out += f.name;
+      out += suffix;
+      out += " ";
+      append_u64(out, m.heap.*f.member);
+      out += "\n";
+    }
+  }
   append_prometheus_histogram(out, "polar_getptr_latency_ns",
                               m.latency.getptr_ns);
   append_prometheus_histogram(out, "polar_alloc_latency_ns",
@@ -535,6 +603,20 @@ std::vector<std::string> consistency_violations(const MetricsSnapshot& m) {
   check(m.stats.layouts_created + m.stats.layouts_deduped >=
             m.stats.allocations,
         "layouts_created + layouts_deduped >= allocations");
+  if (m.heap_attached) {
+    // Substrate heap balance: every free (remote or not) had an
+    // allocation, every drained block was remote-freed first, and the
+    // large path's books balance independently of the slab path's.
+    check(m.heap.frees <= m.heap.allocations, "heap frees <= allocations");
+    check(m.heap.reuse_hits <= m.heap.allocations,
+          "heap reuse_hits <= allocations");
+    check(m.heap.remote_drained_blocks <= m.heap.remote_frees,
+          "heap remote_drained_blocks <= remote_frees");
+    check(m.heap.large_frees <= m.heap.large_allocs,
+          "heap large_frees <= large_allocs");
+  } else {
+    check(m.heap == ScalableHeapStats{}, "unattached heap section is zero");
+  }
   check(m.trace.recorded == m.trace.stored + m.trace.dropped,
         "trace recorded == stored + dropped");
   check(m.contention.contended <= m.contention.acquisitions,

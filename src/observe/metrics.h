@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "alloc/scalable_heap.h"
 #include "core/result.h"
 #include "core/stats.h"
 #include "observe/trace_ring.h"
@@ -58,6 +59,15 @@ struct MetricsSnapshot {
   std::uint64_t live_objects = 0;
   std::uint64_t live_layouts = 0;
   std::uint64_t quarantined_blocks = 0;
+
+  /// ScalableHeap substrate counters (reuse/refill/remote-drain rates for
+  /// polar_stats). attached=false — and every field zero — when the
+  /// runtime routes raw allocation elsewhere (custom alloc hook, or
+  /// RuntimeConfig::scalable_heap off). The counters are process-wide:
+  /// the substrate is ScalableHeap::process_heap(), shared by every
+  /// hook-less Runtime in the process.
+  bool heap_attached = false;
+  ScalableHeapStats heap;
 
   TraceRingStats trace;
   LatencyHistograms latency;

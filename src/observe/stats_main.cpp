@@ -241,6 +241,24 @@ int main(int argc, char** argv) {
       // The table format leads with the introspection census; the raw
       // counter dump is JSON/Prometheus territory.
       std::fputs(observe::to_table(observe::introspect(rt)).c_str(), stdout);
+      if (m.heap_attached && m.heap.allocations > 0) {
+        const auto rate = [](std::uint64_t n, std::uint64_t d) {
+          return d > 0 ? 100.0 * static_cast<double>(n) /
+                             static_cast<double>(d)
+                       : 0.0;
+        };
+        std::printf(
+            "substrate heap: %llu allocs | reuse %.1f%% | "
+            "refill %.2f carves/kalloc | remote drain %.1f%% of %llu "
+            "remote frees | %llu chunks live\n",
+            static_cast<unsigned long long>(m.heap.allocations),
+            rate(m.heap.reuse_hits, m.heap.allocations),
+            1000.0 * static_cast<double>(m.heap.slab_carves) /
+                static_cast<double>(m.heap.allocations),
+            rate(m.heap.remote_drained_blocks, m.heap.remote_frees),
+            static_cast<unsigned long long>(m.heap.remote_frees),
+            static_cast<unsigned long long>(m.heap.live_chunks));
+      }
       break;
     }
   }

@@ -1,0 +1,167 @@
+// Generic two-level lazily-committed radix map — the address-indexed
+// lookup machinery shared by the metadata pagemap (core/pagemap.h) and the
+// scalable heap's chunk map (alloc/scalable_heap.h).
+//
+// Both consumers need the same thing: an O(1), lock-free map from
+// `addr >> granule_bits` to a pointer, committed lazily so covering 48
+// bits of virtual address space costs only the pages actually touched.
+// The root is one calloc'd array (untouched ranges stay copy-on-write
+// zero pages); leaves of 2^kLeafBits entries are CAS-installed on first
+// use and reclaimed only at destruction, so a reader can never chase a
+// pointer into unmapped memory. Reads are two acquire loads with zero
+// probing; publication is a release store into a slot the caller has
+// serialized by its own discipline (shard mutex, carve mutex, ...). Leaf
+// installation alone is CAS-protected because two granules in one leaf
+// range can be published by different writers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace polar {
+
+/// Two-level map from `addr >> granule_bits` to a T*. T is opaque here —
+/// the map stores pointers and never dereferences them.
+template <class T>
+class RadixPointerMap {
+ public:
+  /// Virtual-address bits covered. Linux user space tops out at 47 bits;
+  /// 48 leaves headroom for sanitizer shadow layouts.
+  static constexpr unsigned kAddressBits = 48;
+  /// log2 of granule entries per leaf: 2^19 entries × 8 bytes = 4 MiB of
+  /// (lazily committed) leaf per 2^19 granules of address space.
+  static constexpr unsigned kLeafBits = 19;
+
+  explicit RadixPointerMap(unsigned granule_bits)
+      : granule_bits_(granule_bits) {
+    POLAR_CHECK(granule_bits >= 3 && granule_bits + kLeafBits < kAddressBits,
+                "radix map granule out of range");
+    root_entries_ =
+        std::size_t{1} << (kAddressBits - granule_bits_ - kLeafBits);
+    // calloc: the root can span millions of entries but the kernel commits
+    // only the pages actually touched — heap addresses cluster, so in
+    // practice a handful.
+    root_ = static_cast<std::uintptr_t*>(
+        std::calloc(root_entries_, sizeof(std::uintptr_t)));
+    POLAR_CHECK(root_ != nullptr, "radix map root reservation failed");
+  }
+
+  ~RadixPointerMap() {
+    for (std::uintptr_t* leaf : leaves_) std::free(leaf);
+    std::free(root_);
+  }
+
+  RadixPointerMap(const RadixPointerMap&) = delete;
+  RadixPointerMap& operator=(const RadixPointerMap&) = delete;
+
+  /// Lock-free lookup against an externally cached (root, granule shift)
+  /// pair — hot callers keep both in their own cache line and skip the
+  /// map object entirely.
+  [[nodiscard]] static T* lookup_in(std::uintptr_t* root,
+                                    unsigned granule_bits,
+                                    const void* addr) noexcept {
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    if ((a >> kAddressBits) != 0) return nullptr;
+    const std::size_t g = static_cast<std::size_t>(a) >> granule_bits;
+    const std::uintptr_t leaf =
+        std::atomic_ref<std::uintptr_t>(root[g >> kLeafBits])
+            .load(std::memory_order_acquire);
+    if (leaf == 0) return nullptr;
+    auto* slots = reinterpret_cast<std::uintptr_t*>(leaf);
+    return reinterpret_cast<T*>(
+        std::atomic_ref<std::uintptr_t>(slots[g & kLeafMask])
+            .load(std::memory_order_acquire));
+  }
+
+  /// Lock-free: the pointer registered for addr's granule, or nullptr.
+  [[nodiscard]] T* lookup(const void* addr) const noexcept {
+    return lookup_in(root_, granule_bits_, addr);
+  }
+
+  /// Registers `value` for addr's granule (creating the leaf on demand).
+  /// Returns false — and leaves the slot untouched — if the granule is
+  /// already mapped; the caller decides whether that is a hard error.
+  /// Writers to the *same* granule must be externally serialized.
+  [[nodiscard]] bool publish(const void* addr, T* value) {
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    POLAR_CHECK((a >> kAddressBits) == 0,
+                "address beyond the radix map's range");
+    std::uintptr_t* slots = leaf_for(a);
+    const std::size_t g = static_cast<std::size_t>(a) >> granule_bits_;
+    std::atomic_ref<std::uintptr_t> slot(slots[g & kLeafMask]);
+    if (slot.load(std::memory_order_relaxed) != 0) return false;
+    slot.store(reinterpret_cast<std::uintptr_t>(value),
+               std::memory_order_release);
+    return true;
+  }
+
+  /// Unregisters addr's granule. A no-op for never-mapped granules.
+  void unpublish(const void* addr) noexcept {
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    if ((a >> kAddressBits) != 0) return;
+    const std::size_t g = static_cast<std::size_t>(a) >> granule_bits_;
+    const std::uintptr_t leaf =
+        std::atomic_ref<std::uintptr_t>(root_[g >> kLeafBits])
+            .load(std::memory_order_acquire);
+    if (leaf == 0) return;
+    auto* slots = reinterpret_cast<std::uintptr_t*>(leaf);
+    std::atomic_ref<std::uintptr_t>(slots[g & kLeafMask])
+        .store(0, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uintptr_t* root() const noexcept { return root_; }
+  [[nodiscard]] unsigned granule_bits() const noexcept {
+    return granule_bits_;
+  }
+  /// Leaves committed so far (observability/tests).
+  [[nodiscard]] std::size_t committed_leaves() const noexcept {
+    std::lock_guard<std::mutex> lock(leaves_mu_);
+    return leaves_.size();
+  }
+
+ private:
+  static constexpr std::size_t kLeafEntries = std::size_t{1} << kLeafBits;
+  static constexpr std::size_t kLeafMask = kLeafEntries - 1;
+
+  [[nodiscard]] std::uintptr_t* leaf_for(std::uintptr_t addr) {
+    const std::size_t g = static_cast<std::size_t>(addr) >> granule_bits_;
+    const std::size_t ri = g >> kLeafBits;
+    std::atomic_ref<std::uintptr_t> slot(root_[ri]);
+    std::uintptr_t leaf = slot.load(std::memory_order_acquire);
+    if (leaf == 0) {
+      auto* fresh = static_cast<std::uintptr_t*>(
+          std::calloc(kLeafEntries, sizeof(std::uintptr_t)));
+      POLAR_CHECK(fresh != nullptr, "radix map leaf allocation failed");
+      // Two granules in this leaf's range can be published by different
+      // writers, so installation must tolerate a concurrent installer:
+      // first CAS wins.
+      std::uintptr_t expected = 0;
+      if (slot.compare_exchange_strong(
+              expected, reinterpret_cast<std::uintptr_t>(fresh),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        leaf = reinterpret_cast<std::uintptr_t>(fresh);
+        std::lock_guard<std::mutex> lock(leaves_mu_);
+        leaves_.push_back(fresh);
+      } else {
+        std::free(fresh);
+        leaf = expected;
+      }
+    }
+    return reinterpret_cast<std::uintptr_t*>(leaf);
+  }
+
+  unsigned granule_bits_;
+  std::size_t root_entries_;
+  /// calloc'd; entries are std::uintptr_t accessed through std::atomic_ref
+  /// (C++20 implicit object creation makes the calloc'd array well-formed).
+  std::uintptr_t* root_ = nullptr;
+  mutable std::mutex leaves_mu_;
+  std::vector<std::uintptr_t*> leaves_;  ///< for reclamation at destruction
+};
+
+}  // namespace polar

@@ -1,0 +1,403 @@
+// ScalableHeap contract tests: Sattolo carve determinism/coverage, the
+// sized-delete decoupling, the thread-exit/orphan protocol, and the
+// producer/consumer remote-free stress that CI promotes to the full-suite
+// TSan job (cross-thread frees + mid-life retires are exactly the traffic
+// the MPSC remote stacks and the orphan pool exist to survive).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <iterator>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "alloc/scalable_heap.h"
+#include "support/rng.h"
+
+namespace polar {
+namespace {
+
+// Walks a carved free list, returning each block's index within the slab.
+std::vector<std::size_t> walk(void* head, const std::byte* begin,
+                              std::size_t block_size, std::size_t limit) {
+  std::vector<std::size_t> order;
+  for (void* p = head; p != nullptr && order.size() <= limit;
+       p = *static_cast<void**>(p)) {
+    order.push_back(
+        static_cast<std::size_t>(static_cast<std::byte*>(p) - begin) /
+        block_size);
+  }
+  return order;
+}
+
+TEST(ScalableClasses, RoundingMatchesModelHeap) {
+  // The bench sweeps identical classes on both heaps; keep them in lockstep.
+  EXPECT_EQ(ScalableHeap::class_size(1), 16u);
+  EXPECT_EQ(ScalableHeap::class_size(16), 16u);
+  EXPECT_EQ(ScalableHeap::class_size(17), 32u);
+  EXPECT_EQ(ScalableHeap::class_size(256), 256u);
+  EXPECT_EQ(ScalableHeap::class_size(257), 320u);
+  EXPECT_EQ(ScalableHeap::class_size(1024), 1024u);
+  EXPECT_EQ(ScalableHeap::class_size(1025), 1280u);
+  EXPECT_EQ(ScalableHeap::class_size(4096), 4096u);
+  EXPECT_EQ(ScalableHeap::class_size(4097), 0u);  // large path
+}
+
+TEST(Sattolo, SameSeedSamePermutation) {
+  constexpr std::size_t kBlock = 64, kCount = 64;
+  std::vector<std::byte> buf_a(kBlock * kCount), buf_b(kBlock * kCount);
+  Rng rng_a(7), rng_b(7);
+  void* head_a =
+      ScalableHeap::carve_randomized(buf_a.data(), kBlock, kCount, rng_a);
+  void* head_b =
+      ScalableHeap::carve_randomized(buf_b.data(), kBlock, kCount, rng_b);
+  const auto order_a = walk(head_a, buf_a.data(), kBlock, kCount);
+  const auto order_b = walk(head_b, buf_b.data(), kBlock, kCount);
+  EXPECT_EQ(order_a, order_b);
+
+  // A different seed permutes differently (the whole point of the carve).
+  std::vector<std::byte> buf_c(kBlock * kCount);
+  Rng rng_c(8);
+  void* head_c =
+      ScalableHeap::carve_randomized(buf_c.data(), kBlock, kCount, rng_c);
+  EXPECT_NE(order_a, walk(head_c, buf_c.data(), kBlock, kCount));
+}
+
+TEST(Sattolo, CycleCoversEveryBlockExactlyOnce) {
+  constexpr std::size_t kBlock = 16;
+  for (std::size_t count : {1u, 2u, 3u, 7u, 64u, 1024u}) {
+    std::vector<std::byte> buf(kBlock * count);
+    Rng rng(1234 + count);
+    void* head = ScalableHeap::carve_randomized(buf.data(), kBlock, count, rng);
+    const auto order = walk(head, buf.data(), kBlock, count);
+    // Null-terminated after exactly `count` nodes, every block visited once.
+    ASSERT_EQ(order.size(), count) << "count=" << count;
+    EXPECT_EQ(std::set<std::size_t>(order.begin(), order.end()).size(), count)
+        << "count=" << count;
+  }
+}
+
+TEST(Sattolo, ConsumesExactlyCountDraws) {
+  // The documented draw budget: below(i) for i in [1, count) plus one
+  // below(count) to break the cycle. Per-slab RNG cost is what keeps the
+  // randomized carve within the allocator's perf budget, so a drift here
+  // is a perf (and reproducibility) regression.
+  constexpr std::size_t kBlock = 32, kCount = 97;
+  std::vector<std::byte> buf(kBlock * kCount);
+  Rng used(99);
+  (void)ScalableHeap::carve_randomized(buf.data(), kBlock, kCount, used);
+  Rng ref(99);
+  for (std::size_t i = 1; i < kCount; ++i) (void)ref.below(i);
+  (void)ref.below(kCount);
+  EXPECT_EQ(used.next(), ref.next());
+}
+
+TEST(Sattolo, SequentialCarveIsAddressOrder) {
+  constexpr std::size_t kBlock = 32, kCount = 16;
+  std::vector<std::byte> buf(kBlock * kCount);
+  void* head = ScalableHeap::carve_sequential(buf.data(), kBlock, kCount);
+  EXPECT_EQ(head, buf.data());
+  const auto order = walk(head, buf.data(), kBlock, kCount);
+  ASSERT_EQ(order.size(), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ScalableHeapTest, AllocFreeReuseRoundTrip) {
+  ScalableHeap heap;
+  std::vector<void*> ps;
+  for (int i = 0; i < 100; ++i) ps.push_back(heap.allocate(48));
+  for (void* p : ps) heap.deallocate(p);
+  for (int i = 0; i < 100; ++i) heap.deallocate(heap.allocate(48));
+  const ScalableHeapStats s = heap.stats();
+  EXPECT_EQ(s.allocations, 200u);
+  EXPECT_EQ(s.frees, 200u);
+  EXPECT_GT(s.reuse_hits, 0u);
+  EXPECT_EQ(s.slab_carves, 1u);
+  EXPECT_EQ(s.live_chunks, 1u);
+}
+
+TEST(ScalableHeapTest, SizedDeleteMismatchCountedMetadataWins) {
+  ScalableHeap heap;
+  void* p = heap.allocate(40);  // class 48
+  EXPECT_EQ(heap.lookup_block_size(p), 48u);
+  // Caller lies about the size: the slab metadata wins — the block goes
+  // back to class 48, not class 1024 — and the lie is counted.
+  heap.deallocate(p, 1000);
+  EXPECT_EQ(heap.stats().size_mismatches, 1u);
+  EXPECT_EQ(heap.stats().frees, 1u);
+  // The block really rejoined its home class: same-class alloc reuses it.
+  EXPECT_EQ(heap.allocate(40), p);
+  // A truthful hint (any size rounding to the same class) is not a
+  // mismatch; neither is the "size unknown" sentinel 0.
+  heap.deallocate(p, 33);
+  void* q = heap.allocate(48);
+  heap.deallocate(q, 0);
+  EXPECT_EQ(heap.stats().size_mismatches, 1u);
+  EXPECT_EQ(heap.stats().frees, 3u);
+}
+
+TEST(ScalableHeapTest, LargeAllocationsBypassChunks) {
+  ScalableHeap heap;
+  void* p = heap.allocate(8192);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(heap.lookup_block_size(p), 0u);  // not a chunk block
+  heap.deallocate(p, 8192);
+  const ScalableHeapStats s = heap.stats();
+  EXPECT_EQ(s.large_allocs, 1u);
+  EXPECT_EQ(s.large_frees, 1u);
+  EXPECT_EQ(s.allocations, 0u);  // small-path counters untouched
+  EXPECT_EQ(s.live_chunks, 0u);
+}
+
+TEST(ScalableHeapTest, LookupRejectsForeignPointers) {
+  ScalableHeap heap;
+  int on_stack = 0;
+  EXPECT_EQ(heap.lookup_block_size(&on_stack), 0u);
+}
+
+TEST(ScalableHeapTest, QuarantineDelaysReuseAndDetectsDamage) {
+  ScalableHeap heap(ScalableHeapConfig{.quarantine_bytes = 256});
+  auto* p = static_cast<unsigned char*>(heap.allocate(64));
+  heap.deallocate(p);
+  // Parked, poisoned, not yet reusable: the next allocation is a
+  // different block.
+  EXPECT_NE(heap.allocate(64), p);
+  EXPECT_EQ(heap.stats().quarantined_bytes, 64u);
+  EXPECT_EQ(p[13], ScalableHeap::kQuarantinePoison);
+  // Write-after-free into the parked block: detected when it drains.
+  p[13] = 0xAA;
+  std::vector<void*> churn;
+  for (int i = 0; i < 8; ++i) churn.push_back(heap.allocate(64));
+  for (void* q : churn) heap.deallocate(q);
+  const ScalableHeapStats s = heap.stats();
+  EXPECT_EQ(s.quarantine_poison_damage, 1u);
+  EXPECT_LE(s.quarantined_bytes, 256u);
+}
+
+TEST(ScalableHeapTest, RemoteFreeMessagePassingRoundTrip) {
+  // Directed remote-free protocol check with one full 4096-byte slab (16
+  // blocks per chunk): the worker drains exactly the blocks the main
+  // thread message-passed back, and no second chunk is ever carved.
+  ScalableHeap heap;
+  constexpr int kBlocks = 16;
+  std::vector<void*> blocks;
+  std::set<void*> first_round;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int stage = 0;  // 0: worker filling, 1: main freeing, 2: worker refilling
+
+  std::thread worker([&] {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      for (int i = 0; i < kBlocks; ++i) blocks.push_back(heap.allocate(4096));
+      stage = 1;
+      cv.notify_all();
+      cv.wait(lock, [&] { return stage == 2; });
+    }
+    // The free list ran dry (the slab holds exactly kBlocks), so these
+    // allocations are served by draining the remote stack.
+    for (int i = 0; i < kBlocks; ++i) {
+      void* p = heap.allocate(4096);
+      EXPECT_EQ(first_round.count(p), 1u);
+      heap.deallocate(p);
+    }
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return stage == 1; });
+    first_round.insert(blocks.begin(), blocks.end());
+    for (void* p : blocks) heap.deallocate(p);  // all remote: worker owns them
+    stage = 2;
+    cv.notify_all();
+  }
+  worker.join();
+
+  const ScalableHeapStats s = heap.stats();
+  EXPECT_EQ(s.remote_frees, static_cast<std::uint64_t>(kBlocks));
+  EXPECT_GE(s.remote_drains, 1u);
+  EXPECT_EQ(s.remote_drained_blocks, static_cast<std::uint64_t>(kBlocks));
+  EXPECT_EQ(s.live_chunks, 1u);
+  EXPECT_EQ(s.allocations, static_cast<std::uint64_t>(2 * kBlocks));
+}
+
+TEST(ScalableHeapTest, ThreadExitOrphansAndMainAdopts) {
+  // The thread-exit regression: a worker dies holding carved chunks and a
+  // populated free list; late frees against the dead owner must neither
+  // crash nor leak, and the next thread that runs dry adopts the orphans
+  // instead of carving fresh memory.
+  ScalableHeap heap;
+  std::vector<void*> live;
+  std::thread worker([&] {
+    std::vector<void*> mine;
+    for (int i = 0; i < 200; ++i) mine.push_back(heap.allocate(64));
+    for (int i = 0; i < 100; ++i) {  // half freed locally -> donated list
+      heap.deallocate(mine.back());
+      mine.pop_back();
+    }
+    live = mine;  // half still live when the thread exits
+  });
+  worker.join();  // thread_local destructor retired the worker's LocalHeap
+
+  ScalableHeapStats s = heap.stats();
+  EXPECT_EQ(s.thread_retires, 1u);
+  const std::uint64_t carved_by_worker = s.live_chunks;
+  EXPECT_GE(carved_by_worker, 1u);
+
+  // Late frees against the dead owner: routed to the orphaned chunks'
+  // remote stacks (owner id 0 matches no live thread).
+  for (void* p : live) heap.deallocate(p);
+  s = heap.stats();
+  EXPECT_EQ(s.frees, 200u);
+  EXPECT_GE(s.remote_frees, static_cast<std::uint64_t>(live.size()));
+
+  // Main runs the class dry -> adopts the donated lists and orphan chunks
+  // (including the parked late frees) without carving a single new chunk.
+  std::vector<void*> adopted;
+  for (int i = 0; i < 200; ++i) adopted.push_back(heap.allocate(64));
+  s = heap.stats();
+  EXPECT_GE(s.orphan_adoptions, 1u);
+  EXPECT_EQ(s.live_chunks, carved_by_worker);
+  for (void* p : adopted) heap.deallocate(p);
+}
+
+TEST(ScalableHeapTest, RetireCurrentThreadYieldsFreshLocalHeap) {
+  ScalableHeap heap;
+  void* p = heap.allocate(64);
+  heap.deallocate(p);
+  heap.retire_current_thread();
+  EXPECT_EQ(heap.stats().thread_retires, 1u);
+  // Allocation keeps working on a fresh LocalHeap, which adopts the
+  // retired one's donations rather than carving anew.
+  void* q = heap.allocate(64);
+  ASSERT_NE(q, nullptr);
+  heap.deallocate(q);
+  const ScalableHeapStats s = heap.stats();
+  EXPECT_GE(s.orphan_adoptions, 1u);
+  EXPECT_EQ(s.live_chunks, 1u);
+  EXPECT_EQ(s.allocations, 2u);
+  EXPECT_EQ(s.frees, 2u);
+}
+
+// ---------------------------------------------------------------- stress
+
+// Producer/consumer churn: producers allocate mixed classes and either
+// free locally or hand the pointer to a consumer, which frees it remotely
+// (every consumer free crosses threads). Runs under the full-suite TSan
+// CI job, which is the real assertion: the MPSC remote stacks, the
+// quarantine, and the orphan protocol are data-race-free under fire.
+void churn(const ScalableHeapConfig& cfg, int producers, int iters,
+           bool midlife_retires) {
+  ScalableHeap heap(cfg);
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<void*> q;
+    bool done = false;
+  };
+  const int consumers = 2;
+  std::vector<Mailbox> boxes(consumers);
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&, c] {
+      Mailbox& box = boxes[c];
+      std::vector<void*> batch;
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lock(box.mu);
+          batch.swap(box.q);
+          if (batch.empty() && box.done) return;
+        }
+        // Alternate between "size unknown" and a truthful hint — neither
+        // may count as a mismatch.
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const std::size_t hint =
+              i % 2 == 0 ? 0 : heap.lookup_block_size(batch[i]);
+          heap.deallocate(batch[i], hint);
+        }
+        batch.clear();
+      }
+    });
+  }
+  // Concurrent stats reader: ScalableHeapStats promises to be safe to
+  // aggregate while every other thread allocates (it is what lets
+  // polar_stats export the heap section live). TSan arbitrates the
+  // promise; no cross-counter assertions here because counters read
+  // mid-operation may be transiently skewed relative to each other.
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      (void)heap.stats();
+    }
+  });
+
+  std::atomic<int> producers_left{producers};
+  for (int t = 0; t < producers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      const std::size_t sizes[] = {16, 48, 64, 129, 256, 1024};
+      for (int i = 0; i < iters; ++i) {
+        void* p = heap.allocate(sizes[rng.below(std::size(sizes))]);
+        std::memset(p, 0xab, 8);  // touch it like a real caller would
+        if (rng.below(4) == 0) {
+          heap.deallocate(p);  // same-thread fast path
+        } else {
+          Mailbox& box = boxes[rng.below(consumers)];
+          std::lock_guard<std::mutex> lock(box.mu);
+          box.q.push_back(p);
+        }
+        if (midlife_retires && i > 0 && i % (iters / 4) == 0) {
+          // Die mid-flight: chunks orphan while consumers are still
+          // freeing into them; the next allocation adopts or carves.
+          heap.retire_current_thread();
+        }
+      }
+      if (producers_left.fetch_sub(1) == 1) {
+        for (Mailbox& box : boxes) {
+          std::lock_guard<std::mutex> lock(box.mu);
+          box.done = true;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop_reader.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const ScalableHeapStats s = heap.stats();
+  const auto expected =
+      static_cast<std::uint64_t>(producers) * static_cast<std::uint64_t>(iters);
+  EXPECT_EQ(s.allocations, expected);
+  EXPECT_EQ(s.frees, expected);
+  EXPECT_GT(s.remote_frees, 0u);
+  EXPECT_EQ(s.size_mismatches, 0u);
+  EXPECT_EQ(s.quarantine_poison_damage, 0u);
+  // Structural invariants (the same ones polar_stats --selfcheck enforces
+  // on the exported heap section).
+  EXPECT_LE(s.frees, s.allocations);
+  EXPECT_LE(s.reuse_hits, s.allocations);
+  EXPECT_LE(s.remote_drained_blocks, s.remote_frees);
+  EXPECT_LE(s.large_frees, s.large_allocs);
+}
+
+TEST(ScalableStress, ProducerConsumerChurn) {
+  churn(ScalableHeapConfig{}, 4, 4000, /*midlife_retires=*/false);
+}
+
+TEST(ScalableStress, ProducerConsumerChurnWithQuarantine) {
+  churn(ScalableHeapConfig{.quarantine_bytes = 16 * 1024}, 4, 4000,
+        /*midlife_retires=*/false);
+}
+
+TEST(ScalableStress, ChurnSurvivesMidLifeThreadRetires) {
+  churn(ScalableHeapConfig{.quarantine_bytes = 4 * 1024}, 4, 4000,
+        /*midlife_retires=*/true);
+}
+
+}  // namespace
+}  // namespace polar

@@ -334,12 +334,44 @@ TEST(Metrics, JsonRoundTripIsExact) {
   for (void* p : objs) rt.olr_free(p);
 }
 
+TEST(Metrics, HeapSectionTracksSubstrate) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  Runtime rt(reg, traced_config(0));
+  const observe::MetricsSnapshot before = observe::collect_metrics(rt);
+  ASSERT_TRUE(before.heap_attached);  // default config routes raw
+                                      // allocation through the process heap
+  void* p = rt.olr_malloc(people);
+  rt.olr_free(p);
+  rt.free_all();
+  const observe::MetricsSnapshot after = observe::collect_metrics(rt);
+  EXPECT_GT(after.heap.allocations, before.heap.allocations);
+  EXPECT_GE(after.heap.frees, before.heap.frees);
+  EXPECT_TRUE(observe::consistency_violations(after).empty());
+  EXPECT_NE(
+      observe::to_prometheus(after).find("polar_heap_allocations_total"),
+      std::string::npos);
+
+  // Substrate off: the section detaches and stays all-zero (the
+  // consistency gate pins that too), and the Prometheus page drops the
+  // constant-zero family instead of exporting it.
+  RuntimeConfig cfg = traced_config(0);
+  cfg.scalable_heap = false;
+  Runtime plain(reg, cfg);
+  const observe::MetricsSnapshot off = observe::collect_metrics(plain);
+  EXPECT_FALSE(off.heap_attached);
+  EXPECT_TRUE(off.heap == ScalableHeapStats{});
+  EXPECT_TRUE(observe::consistency_violations(off).empty());
+  EXPECT_EQ(observe::to_prometheus(off).find("polar_heap_"),
+            std::string::npos);
+}
+
 TEST(Metrics, FromJsonRejectsGarbage) {
   observe::MetricsSnapshot out;
   EXPECT_FALSE(observe::from_json("", out));
   EXPECT_FALSE(observe::from_json("{", out));
   EXPECT_FALSE(observe::from_json("[1,2,3]", out));
-  EXPECT_FALSE(observe::from_json("{\"polar_metrics_version\": 2}", out));
+  EXPECT_FALSE(observe::from_json("{\"polar_metrics_version\": 99}", out));
   EXPECT_FALSE(observe::from_json("{\"polar_metrics_version\": 1} trailing",
                                   out));
 }
