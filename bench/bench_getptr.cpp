@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/field_cursor.h"
 #include "core/runtime.h"
 #include "core/session.h"
 #include "core/type_registry.h"
@@ -111,6 +112,19 @@ double median(std::vector<double> runs) {
   return (n % 2 == 1) ? runs[n / 2] : 0.5 * (runs[n / 2 - 1] + runs[n / 2]);
 }
 
+/// Throughput spread across reps: min is the worst sweep (noise floor),
+/// p90 the 90th-percentile sweep. Reported alongside the median so a
+/// regression in the tail is visible without rerunning the bench.
+double run_min(std::vector<double> runs) {
+  return *std::min_element(runs.begin(), runs.end());
+}
+
+double run_p90(std::vector<double> runs) {
+  std::sort(runs.begin(), runs.end());
+  const std::size_t n = runs.size();
+  return runs[std::min(n - 1, (n * 9) / 10)];
+}
+
 /// Mops of obj_field on `live` resident objects, cache off, one thread.
 /// Typed ObjRef handles, so the per-type backend dispatch is what is being
 /// measured (the legacy olr_getptr wrapper always routes through the
@@ -141,6 +155,118 @@ double getptr_mops(const ModeSpec& mode, std::size_t live,
   const double secs = now_s() - start;
   for (const ObjRef& r : objs) (void)rt.obj_free(r);
   return static_cast<double>(iters) / secs / 1e6;
+}
+
+/// Batch ladder: the same 4-field access burst measured three ways —
+/// scalar (4x obj_field: one metadata consultation per field), multi (one
+/// obj_fields_multi call), cursor (FieldCursor armed per object, each
+/// access one seq-load + add). Mops counts field resolutions, so the three
+/// columns are directly comparable with getptr_mops.
+struct BatchResult {
+  double scalar = 0;
+  double multi = 0;
+  double cursor = 0;
+};
+
+BatchResult batch_mops(const ModeSpec& mode, std::size_t live,
+                       std::uint64_t rounds) {
+  TypeRegistry reg;
+  const TypeId t = make_bench5(reg);
+  Runtime rt(reg, mode_config(mode, /*cache=*/false));
+  std::vector<ObjRef> objs(live);
+  for (ObjRef& r : objs) r = rt.obj_alloc(t).value();
+
+  volatile std::uintptr_t sink = 0;
+  for (std::size_t i = 0; i < live; ++i) {
+    sink = sink +
+           reinterpret_cast<std::uintptr_t>(rt.obj_field(objs[i], 1).value());
+  }
+  static constexpr std::uint32_t kFields[4] = {0, 1, 2, 3};
+  BatchResult out;
+  {
+    const double start = now_s();
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      const ObjRef r = objs[i & (live - 1)];
+      for (std::uint32_t f = 0; f < 4; ++f) {
+        sink = sink +
+               reinterpret_cast<std::uintptr_t>(rt.obj_field(r, f).value());
+      }
+    }
+    out.scalar = static_cast<double>(rounds) * 4.0 / (now_s() - start) / 1e6;
+  }
+  {
+    void* ptrs[4];
+    const double start = now_s();
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      const ObjRef r = objs[i & (live - 1)];
+      if (!rt.obj_fields_multi(r, kFields, ptrs, 4).ok()) std::abort();
+      sink = sink + reinterpret_cast<std::uintptr_t>(ptrs[0]) +
+             reinterpret_cast<std::uintptr_t>(ptrs[1]) +
+             reinterpret_cast<std::uintptr_t>(ptrs[2]) +
+             reinterpret_cast<std::uintptr_t>(ptrs[3]);
+    }
+    out.multi = static_cast<double>(rounds) * 4.0 / (now_s() - start) / 1e6;
+  }
+  {
+    std::vector<FieldCursor> curs;
+    curs.reserve(live);
+    for (const ObjRef& r : objs) curs.emplace_back(rt, r);
+    const double start = now_s();
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      FieldCursor& c = curs[i & (live - 1)];
+      for (std::uint32_t f = 0; f < 4; ++f) {
+        sink = sink + reinterpret_cast<std::uintptr_t>(c.field(f));
+      }
+    }
+    out.cursor = static_cast<double>(rounds) * 4.0 / (now_s() - start) / 1e6;
+  }
+  for (const ObjRef& r : objs) (void)rt.obj_free(r);
+  return out;
+}
+
+/// Pointer-chase ablation for Runtime::prefetch: a random cycle of `live`
+/// objects linked through Bench5.next, walked with 4 field resolutions per
+/// step. With prefetch on, the next object's MetaCell / pagemap leaf is
+/// requested while the current object's fields are still being served, so
+/// the metadata load is off the critical path by the time the walk arrives.
+/// `live` is sized past L2 so the cells are actually cold.
+double chase_mops(const ModeSpec& mode, std::size_t live, std::uint64_t steps,
+                  bool prefetch) {
+  TypeRegistry reg;
+  const TypeId t = make_bench5(reg);
+  Runtime rt(reg, mode_config(mode, /*cache=*/false));
+  std::vector<ObjRef> objs(live);
+  for (ObjRef& r : objs) r = rt.obj_alloc(t).value();
+
+  // Deterministic Fisher-Yates so the hardware stride prefetcher cannot
+  // follow the chain; only the software hint can help.
+  std::vector<std::size_t> perm(live);
+  for (std::size_t i = 0; i < live; ++i) perm[i] = i;
+  std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = live - 1; i > 0; --i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::swap(perm[i], perm[(s >> 33) % (i + 1)]);
+  }
+  for (std::size_t i = 0; i < live; ++i) {
+    void** slot =
+        static_cast<void**>(rt.obj_field(objs[perm[i]], 2).value());
+    *slot = objs[perm[(i + 1) % live]].base;
+  }
+
+  volatile std::uintptr_t sink = 0;
+  ObjRef r = objs[perm[0]];
+  const double start = now_s();
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    void* next = *static_cast<void**>(rt.obj_field(r, 2).value());
+    if (prefetch) rt.prefetch(next);
+    sink = sink + reinterpret_cast<std::uintptr_t>(rt.obj_field(r, 0).value());
+    sink = sink + reinterpret_cast<std::uintptr_t>(rt.obj_field(r, 1).value());
+    sink = sink + reinterpret_cast<std::uintptr_t>(rt.obj_field(r, 3).value());
+    r = ObjRef{next, 0, t};
+  }
+  const double secs = now_s() - start;
+  for (const ObjRef& o : objs) (void)rt.obj_free(o);
+  return static_cast<double>(steps) * 4.0 / secs / 1e6;
 }
 
 /// Mops of alloc+free pairs, one thread (layout generation dominated).
@@ -196,6 +322,11 @@ int main(int argc, char** argv) {
   const std::uint64_t getptr_iters = smoke ? 400'000 : 4'000'000;
   const std::uint64_t churn_iters = smoke ? 20'000 : 200'000;
   const std::uint64_t conc_rounds = smoke ? 5'000 : 50'000;
+  const std::uint64_t batch_rounds = smoke ? 100'000 : 1'000'000;
+  // Chase working set sized past L2 so per-object metadata is cold.
+  const std::size_t chase_live = smoke ? (1u << 12) : (1u << 15);
+  const std::uint64_t chase_steps = smoke ? 100'000 : 2'000'000;
+  const int chase_reps = smoke ? 2 : 7;
   // Full-run reps are sized for a virtualized builder whose noise bursts
   // span several sweeps: 15 interleaved sweeps give the per-mode median
   // enough clean samples that adjacent-row ratios (full vs full_checksum)
@@ -206,14 +337,17 @@ int main(int argc, char** argv) {
 
   std::printf("{\n");
   std::printf("  \"bench\": \"pr4_fastpath\",\n");
-  std::printf("  \"schema_version\": 2,\n");
+  std::printf("  \"schema_version\": 3,\n");
   std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::printf(
       "  \"config\": {\"live_objects\": %zu, \"getptr_iters\": %llu, "
-      "\"churn_iters\": %llu, \"concurrent_rounds\": %llu},\n",
+      "\"churn_iters\": %llu, \"concurrent_rounds\": %llu, "
+      "\"batch_rounds\": %llu, \"chase_live\": %zu, \"chase_steps\": %llu},\n",
       kLive, static_cast<unsigned long long>(getptr_iters),
       static_cast<unsigned long long>(churn_iters),
-      static_cast<unsigned long long>(conc_rounds));
+      static_cast<unsigned long long>(conc_rounds),
+      static_cast<unsigned long long>(batch_rounds), chase_live,
+      static_cast<unsigned long long>(chase_steps));
 
   // Repetitions are interleaved across modes (full sweep, then repeat)
   // rather than back-to-back: noise on a shared core arrives in bursts
@@ -240,11 +374,73 @@ int main(int argc, char** argv) {
     const double c = median(c_runs[m]);
     std::printf(
         "    {\"name\": \"%s\", \"getptr_mops\": %.2f, "
+        "\"getptr_mops_min\": %.2f, \"getptr_mops_p90\": %.2f, "
         "\"alloc_free_mops\": %.3f, \"speedup_vs_hash_locked\": %.2f, "
         "\"speedup_vs_pre_pr_default\": %.2f}%s\n",
-        modes[m].name, g, c, base_locked > 0 ? g / base_locked : 0.0,
+        modes[m].name, g, run_min(g_runs[m]), run_p90(g_runs[m]), c,
+        base_locked > 0 ? g / base_locked : 0.0,
         base_default > 0 ? g / base_default : 0.0,
         m + 1 < n_modes ? "," : "");
+    std::fflush(stdout);
+  }
+  std::printf("  ],\n");
+
+  // Batch ladder: scalar vs multi vs cursor, interleaved reps like the
+  // ablation above. Modes: the shipped stored configs plus both derived
+  // backends (stateless shows the floor where even the scalar path never
+  // touches metadata; hybrid carries the per-access liveness gate).
+  const std::size_t batch_mode_idx[] = {5, 6, 7, 8};  // full, full_checksum,
+                                                      // stateless, hybrid
+  const std::size_t n_batch = std::size(batch_mode_idx);
+  std::vector<std::vector<double>> b_scalar(n_batch), b_multi(n_batch),
+      b_cursor(n_batch);
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t m = 0; m < n_batch; ++m) {
+      const BatchResult b =
+          batch_mops(modes[batch_mode_idx[m]], kLive, batch_rounds);
+      b_scalar[m].push_back(b.scalar);
+      b_multi[m].push_back(b.multi);
+      b_cursor[m].push_back(b.cursor);
+    }
+  }
+  std::printf("  \"batch\": [\n");
+  for (std::size_t m = 0; m < n_batch; ++m) {
+    const double sc = median(b_scalar[m]);
+    const double mu = median(b_multi[m]);
+    const double cu = median(b_cursor[m]);
+    std::printf(
+        "    {\"mode\": \"%s\", \"fields\": 4, \"scalar_mops\": %.2f, "
+        "\"multi_mops\": %.2f, \"cursor_mops\": %.2f, "
+        "\"multi_speedup\": %.2f, \"cursor_speedup\": %.2f}%s\n",
+        modes[batch_mode_idx[m]].name, sc, mu, cu, sc > 0 ? mu / sc : 0.0,
+        sc > 0 ? cu / sc : 0.0, m + 1 < n_batch ? "," : "");
+    std::fflush(stdout);
+  }
+  std::printf("  ],\n");
+
+  // Prefetch ablation: same walk with the MetaCell/pagemap hint on vs off.
+  // stateless is the control: no per-object metadata, so its ratio should
+  // sit at ~1.0 and anything else is measurement noise.
+  const std::size_t chase_mode_idx[] = {5, 8, 7};  // full, hybrid, stateless
+  const std::size_t n_chase = std::size(chase_mode_idx);
+  std::vector<std::vector<double>> ch_off(n_chase), ch_on(n_chase);
+  for (int r = 0; r < chase_reps; ++r) {
+    for (std::size_t m = 0; m < n_chase; ++m) {
+      ch_off[m].push_back(chase_mops(modes[chase_mode_idx[m]], chase_live,
+                                     chase_steps, /*prefetch=*/false));
+      ch_on[m].push_back(chase_mops(modes[chase_mode_idx[m]], chase_live,
+                                    chase_steps, /*prefetch=*/true));
+    }
+  }
+  std::printf("  \"prefetch\": [\n");
+  for (std::size_t m = 0; m < n_chase; ++m) {
+    const double off = median(ch_off[m]);
+    const double on = median(ch_on[m]);
+    std::printf(
+        "    {\"mode\": \"%s\", \"chase_mops_off\": %.2f, "
+        "\"chase_mops_on\": %.2f, \"prefetch_speedup\": %.2f}%s\n",
+        modes[chase_mode_idx[m]].name, off, on, off > 0 ? on / off : 0.0,
+        m + 1 < n_chase ? "," : "");
     std::fflush(stdout);
   }
   std::printf("  ],\n");

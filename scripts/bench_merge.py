@@ -22,7 +22,11 @@ import re
 import sys
 from pathlib import Path
 
-# Version of the merged document. v5: the alloc_slab block (bench_alloc's
+# Version of the merged document. v6: batched-access ladder (scalar vs
+# obj_fields_multi vs FieldCursor per backend), the pointer-chase prefetch
+# ablation, and min/median/p90 throughput spread on the fastpath modes
+# (getptr schema v3).
+# v5: the alloc_slab block (bench_alloc's
 # ScalableHeap size-class sweep vs the model heap and operator new, plus
 # the 1/2/4/8-thread remote-free churn ladder).
 # v4: the security ablation block
@@ -32,9 +36,9 @@ from pathlib import Path
 # (getptr schema v2, typed-handle measurement loop). v2: neutral "BENCH"
 # top-level tag (previously the PR-specific "BENCH_pr4") and the
 # trace_overhead section.
-MERGED_SCHEMA_VERSION = 5
+MERGED_SCHEMA_VERSION = 6
 # Versions of the individual bench binaries' native outputs.
-GETPTR_SCHEMA_VERSION = 2
+GETPTR_SCHEMA_VERSION = 3
 TRACE_SCHEMA_VERSION = 1
 SECURITY_SCHEMA_VERSION = 1
 ALLOC_SCHEMA_VERSION = 1
@@ -55,9 +59,36 @@ EXPECTED_MODES = [
 MODE_FIELDS = {
     "name": str,
     "getptr_mops": (int, float),
+    "getptr_mops_min": (int, float),
+    "getptr_mops_p90": (int, float),
     "alloc_free_mops": (int, float),
     "speedup_vs_hash_locked": (int, float),
     "speedup_vs_pre_pr_default": (int, float),
+}
+
+# The batch ladder bench_getptr must emit, in order (stored configs plus
+# both derived backends).
+EXPECTED_BATCH_MODES = ["full", "full_checksum", "stateless", "hybrid"]
+
+BATCH_FIELDS = {
+    "mode": str,
+    "fields": int,
+    "scalar_mops": (int, float),
+    "multi_mops": (int, float),
+    "cursor_mops": (int, float),
+    "multi_speedup": (int, float),
+    "cursor_speedup": (int, float),
+}
+
+# The prefetch chase ablation, in order (stateless last as the no-metadata
+# control).
+EXPECTED_CHASE_MODES = ["full", "hybrid", "stateless"]
+
+CHASE_FIELDS = {
+    "mode": str,
+    "chase_mops_off": (int, float),
+    "chase_mops_on": (int, float),
+    "prefetch_speedup": (int, float),
 }
 
 FIG6_ROW = re.compile(
@@ -92,6 +123,32 @@ def check_fastpath(doc):
         for key, ty in MODE_FIELDS.items():
             need(isinstance(m[key], ty), "getptr: %s.%s wrong type"
                  % (m.get("name"), key))
+    batch = doc.get("batch")
+    need(isinstance(batch, list), "getptr: batch ladder missing")
+    need([b.get("mode") for b in batch] == EXPECTED_BATCH_MODES,
+         "getptr: batch modes drifted: %r"
+         % ([b.get("mode") for b in batch],))
+    for b in batch:
+        need(set(b.keys()) == set(BATCH_FIELDS),
+             "getptr: batch fields drifted in %r" % (b.get("mode"),))
+        for key, ty in BATCH_FIELDS.items():
+            need(isinstance(b[key], ty), "getptr: batch %s.%s wrong type"
+                 % (b.get("mode"), key))
+        for key in ("scalar_mops", "multi_mops", "cursor_mops"):
+            need(b[key] > 0, "getptr: nonpositive %s in batch %r"
+                 % (key, b.get("mode")))
+    chase = doc.get("prefetch")
+    need(isinstance(chase, list), "getptr: prefetch ablation missing")
+    need([c.get("mode") for c in chase] == EXPECTED_CHASE_MODES,
+         "getptr: prefetch modes drifted: %r"
+         % ([c.get("mode") for c in chase],))
+    for c in chase:
+        need(set(c.keys()) == set(CHASE_FIELDS),
+             "getptr: prefetch fields drifted in %r" % (c.get("mode"),))
+        for key in ("chase_mops_off", "chase_mops_on"):
+            need(isinstance(c[key], (int, float)) and c[key] > 0,
+                 "getptr: nonpositive %s in prefetch %r"
+                 % (key, c.get("mode")))
     conc = doc.get("concurrent")
     need(isinstance(conc, list) and conc, "getptr: concurrent rows missing")
     for row in conc:
@@ -339,6 +396,18 @@ def main():
              by_name["seqlock"]["getptr_mops"],
              by_name["full_checksum"]["getptr_mops"],
              by_name["full"]["getptr_mops"]))
+    # Informational: the ≥1.5x cursor/multi-vs-scalar acceptance bar is read
+    # off the landed full-iteration BENCH.json, not gated here (smoke on a
+    # shared core is too noisy to fail on).
+    for b in merged["fastpath"]["batch"]:
+        print("bench_merge: batch[%s] scalar %.1f / multi %.1f / cursor "
+              "%.1f Mops (multi %.2fx, cursor %.2fx)" % (
+                  b["mode"], b["scalar_mops"], b["multi_mops"],
+                  b["cursor_mops"], b["multi_speedup"], b["cursor_speedup"]))
+    for c in merged["fastpath"]["prefetch"]:
+        print("bench_merge: chase[%s] off %.1f -> on %.1f Mops (%.2fx)" % (
+            c["mode"], c["chase_mops_off"], c["chase_mops_on"],
+            c["prefetch_speedup"]))
     trace = {m["name"]: m for m in merged["trace_overhead"]["modes"]}
     # Informational, not a hard gate: smoke runs on shared CI cores are too
     # noisy to fail on; the full-iteration run is where the <3% bar is read.

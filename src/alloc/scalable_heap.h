@@ -155,6 +155,19 @@ class ScalableHeap {
   /// the sized-delete decoupling.
   [[nodiscard]] std::size_t lookup_block_size(const void* p) const noexcept;
 
+  /// Software-prefetches the ChunkMeta line deallocate(p) will consult —
+  /// the chunk-map twin of Runtime::prefetch, for loops freeing a chain of
+  /// blocks: issue it on the next block while releasing the current one.
+  /// No-op for non-chunk pointers.
+  void prefetch_block(const void* p) const noexcept {
+    ChunkMeta* meta = chunk_map_.lookup(p);
+#if defined(__GNUC__) || defined(__clang__)
+    if (meta != nullptr) __builtin_prefetch(meta, 0, 3);
+#else
+    (void)meta;
+#endif
+  }
+
   /// Flushes the calling thread's LocalHeap as if the thread were exiting:
   /// drains remote stacks, flushes quarantine, donates free lists, orphans
   /// chunks. The thread may keep allocating — it gets a fresh LocalHeap on

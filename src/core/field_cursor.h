@@ -1,0 +1,103 @@
+// FieldCursor — the batched member-access handle (DESIGN.md §15).
+//
+// Workload inner loops touch several fields of the same object back to
+// back; the scalar path pays a full olr_getptr resolution (TLS memo,
+// pagemap walk, seqlock read + validate, digest) for every one of them.
+// A FieldCursor hoists that cost to one Runtime::cursor_snapshot — a
+// single 8-load mirror read (stored/hybrid) or one schedule-row read
+// (stateless) — after which every field address is an add from a
+// stack-resident offset array.
+//
+// Safety contract: the cursor is *revalidated lazily* — each batched
+// access performs one acquire load of the cell's sequence word and
+// compares it against the snapshot. Any free, re-publish, eviction, or
+// mirror invalidation of the object moves that word, so a stale cursor
+// can never serve a batched address; it falls back to the fully checked
+// scalar path, which classifies the access exactly as obj_field would
+// (kUseAfterFree on a dead object, and so on). The cursor therefore
+// weakens no detection guarantee of its backend: stored and hybrid
+// cursors detect UAF through the same machinery as scalar accesses, and
+// a stateless cursor inherits precisely the no-liveness-metadata caveat
+// the stateless backend documents for every access.
+//
+// A cursor is a value owned by one thread; it holds no locks and no
+// interner references, so it may be kept across arbitrary runtime
+// operations (including the object's own free — that is the fallback
+// path working as intended).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/runtime.h"
+
+namespace polar {
+
+class FieldCursor {
+ public:
+  /// Snapshots `ref` immediately. A failed snapshot (fast path off, dead
+  /// handle, oversized type, ...) is not an error: the cursor simply
+  /// serves every access through the scalar checked path.
+  FieldCursor(Runtime& rt, ObjRef ref) : rt_(&rt), ref_(ref) {
+    armed_ = rt_->cursor_snapshot(ref_, snap_);
+  }
+
+  /// Address of declared field `f`, or nullptr with the violation in
+  /// Runtime::last_violation() — the legacy-pointer contract, so cursor
+  /// call sites drop in where olr_getptr was.
+  [[nodiscard]] void* field(std::uint32_t f) {
+    if (armed_ && f < snap_.field_count && snap_.live()) [[likely]] {
+      return static_cast<unsigned char*>(ref_.base) + snap_.offsets[f];
+    }
+    return field_slow(f);
+  }
+
+  template <class T>
+  [[nodiscard]] T load(std::uint32_t f) {
+    void* p = field(f);
+    T value{};
+    if (p != nullptr) std::memcpy(&value, p, sizeof(T));
+    return value;
+  }
+
+  template <class T>
+  void store(std::uint32_t f, const T& value) {
+    void* p = field(f);
+    if (p != nullptr) std::memcpy(p, &value, sizeof(T));
+  }
+
+  /// True while batched accesses are being served from the snapshot.
+  [[nodiscard]] bool batched() const noexcept {
+    return armed_ && snap_.live();
+  }
+  [[nodiscard]] const ObjRef& ref() const noexcept { return ref_; }
+
+  /// Re-snapshots (e.g. after a known re-publish). field() re-arms
+  /// itself automatically, so calling this is never required.
+  bool refresh() {
+    armed_ = rt_->cursor_snapshot(ref_, snap_);
+    return armed_;
+  }
+
+ private:
+  [[nodiscard]] void* field_slow(std::uint32_t f) {
+    if (armed_ && !snap_.live()) {
+      // The sequence moved under us. A benign re-publish (mirror heal,
+      // layout re-intern) re-arms here; a freed or recycled object fails
+      // the snapshot's base/id checks and drops to the checked path,
+      // which raises the violation.
+      armed_ = rt_->cursor_snapshot(ref_, snap_);
+      if (armed_ && f < snap_.field_count) {
+        return static_cast<unsigned char*>(ref_.base) + snap_.offsets[f];
+      }
+    }
+    return rt_->obj_field(ref_, f).value_or(nullptr);
+  }
+
+  Runtime* rt_;
+  ObjRef ref_;
+  Runtime::CursorSnap snap_{};
+  bool armed_ = false;
+};
+
+}  // namespace polar

@@ -348,6 +348,56 @@ class AddressPagemap {
     return Map::lookup_in(root, granule_bits, addr);
   }
 
+  /// The externally cached (root, granule shift) pair as a value type, so
+  /// every consumer of the two-level walk — fast_field, the FieldCursor
+  /// snapshot, obj_fields_multi, polar_prefetch — shares one lookup and
+  /// one prefetch implementation instead of each re-deriving the walk.
+  /// A default-constructed hint (null root) means "no pagemap": lookup
+  /// returns nullptr and prefetch is a no-op.
+  struct LookupHint {
+    std::uintptr_t* root = nullptr;
+    unsigned granule_bits = 0;
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return root != nullptr;
+    }
+
+    [[nodiscard]] MetaCell* lookup(const void* addr) const noexcept {
+      return Map::lookup_in(root, granule_bits, addr);
+    }
+
+    /// Software-prefetches the lines a subsequent lookup(addr) +
+    /// MetaCell::read_begin will touch. A radix walk is a dependent-load
+    /// chain, so the upper levels are fetched by (cheap, usually-cached)
+    /// demand loads and only the terminal MetaCell line — the one that
+    /// actually misses in pointer-chasing loops, since cells are spread
+    /// across the arena — is prefetched without blocking.
+    void prefetch(const void* addr) const noexcept {
+      const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+      if (root == nullptr || (a >> kAddressBits) != 0) return;
+      const std::size_t g = static_cast<std::size_t>(a) >> granule_bits;
+      const std::uintptr_t leaf =
+          std::atomic_ref<std::uintptr_t>(root[g >> kLeafBits])
+              .load(std::memory_order_acquire);
+      if (leaf == 0) return;
+      auto* slots = reinterpret_cast<std::uintptr_t*>(leaf);
+      const std::uintptr_t cell =
+          std::atomic_ref<std::uintptr_t>(
+              slots[g & ((std::size_t{1} << kLeafBits) - 1)])
+              .load(std::memory_order_acquire);
+      if (cell == 0) return;
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(reinterpret_cast<const void*>(cell), 0, 3);
+#endif
+    }
+  };
+
+  /// The hint for this pagemap. Cache it once (construction time); the
+  /// root pointer and granule shift are immutable for the map's lifetime.
+  [[nodiscard]] LookupHint lookup_hint() const noexcept {
+    return LookupHint{map_.root(), map_.granule_bits()};
+  }
+
   /// Lock-free: the cell registered for addr's granule, or nullptr when
   /// that granule was never mapped or is currently unmapped.
   [[nodiscard]] MetaCell* lookup(const void* addr) const noexcept {

@@ -139,8 +139,8 @@ Runtime::Runtime(const TypeRegistry& registry, RuntimeConfig config)
                   config_.backend.options.lockfree_reads),
       checksum_records_(any_checksum(config_)),
       verify_mirror_(checksum_records_),
-      pm_root_(pagemap_ != nullptr ? pagemap_->root() : nullptr),
-      pm_shift_(pagemap_ != nullptr ? pagemap_->granule_bits() : 0),
+      pm_hint_(pagemap_ != nullptr ? pagemap_->lookup_hint()
+                                   : AddressPagemap::LookupHint{}),
 #if defined(POLAR_TRACE_ENABLED)
       trace_interval_(config_.trace_sample_interval),
 #endif
@@ -864,8 +864,7 @@ Result<void*> Runtime::obj_field_typed(ObjRef ref, TypeId expected,
     // populated) to verify the object is live and of the claimed class.
     const StatelessSchedule& sch = *schedules_p_[expected.value];
     if (field < sch.field_count()) {
-      MetaCell* cell =
-          AddressPagemap::lookup_in(pm_root_, pm_shift_, ref.base);
+      MetaCell* cell = pm_hint_.lookup(ref.base);
       if (cell != nullptr) {
         MetaCell::FastView view;
         const std::uint64_t s1 = cell->read_begin(view);

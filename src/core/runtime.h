@@ -175,6 +175,58 @@ class Runtime {
   Result<void*> obj_field_typed(ObjRef ref, TypeId expected,
                                 std::uint32_t field);
 
+  // --- batched access (one metadata consultation, many fields) ------------
+
+  /// Whole-layout snapshot powering FieldCursor and obj_fields_multi: the
+  /// object's field offsets captured under a single seqlock read (stored /
+  /// hybrid) or derived in one schedule-row read (stateless — no metadata
+  /// touch at all). After a successful snapshot every field address is
+  /// base + offsets[f], no further metadata loads. `cell`/`seq` support
+  /// lazy revalidation: live() is one acquire load + compare, and any
+  /// free / re-publish / eviction of the object moves the cell's sequence
+  /// word, so a stale snapshot can never validate. A null cell means the
+  /// offsets are a pure function of the address (stateless backend) and
+  /// revalidation is vacuous — with exactly the detection caveats of that
+  /// backend (DESIGN.md §12).
+  struct CursorSnap {
+    /// Snapshot capacity. Types with more declared fields than this take
+    /// the scalar checked path (cursor_snapshot refuses); covers every
+    /// workload/bench type and keeps the cursor a two-cache-line value.
+    static constexpr std::uint32_t kMaxFields = 16;
+    const MetaCell* cell = nullptr;  ///< null = stateless (no revalidation)
+    std::uint64_t seq = 0;
+    std::uint32_t field_count = 0;
+    std::uint32_t offsets[kMaxFields] = {};
+
+    /// Lazy revalidation: true while no writer has touched the cell since
+    /// the snapshot. Trivially true for stateless snapshots.
+    [[nodiscard]] bool live() const noexcept {
+      return cell == nullptr ||
+             cell->seq.load(std::memory_order_acquire) == seq;
+    }
+  };
+
+  /// Captures the full layout of `ref` in one metadata consultation.
+  /// Returns false whenever the access must run the scalar checked path
+  /// instead: no fast-read machinery, no cell, stale handle, writer
+  /// mid-update, damaged mirror, or a type wider than CursorSnap::kMaxFields.
+  /// False is never a classification — the scalar path owns violations.
+  bool cursor_snapshot(ObjRef ref, CursorSnap& out);
+
+  /// Batched obj_field: fills out[i] with the address of field fields[i]
+  /// for all n fields under one metadata consultation (falling back to the
+  /// scalar checked path per field when no snapshot is possible, so every
+  /// violation is classified exactly as obj_field would). Failed entries
+  /// are nullptr; the result carries the first violation encountered.
+  Result<void> obj_fields_multi(ObjRef ref, const std::uint32_t* fields,
+                                void** out, std::size_t n);
+
+  /// Software prefetch of the metadata lines a subsequent member access on
+  /// `base` will touch (the pagemap walk + the MetaCell's mirror line).
+  /// For pointer-chasing loops: issue it on the *next* node while working
+  /// on the current one. No-op when the pagemap backend is off.
+  void prefetch(const void* base) const noexcept { pm_hint_.prefetch(base); }
+
   /// Clones the object into a freshly allocated object of the same type
   /// with its own (re-)randomized layout, copying field values logically.
   Result<ObjRef> obj_clone(ObjRef src);
@@ -212,6 +264,16 @@ class Runtime {
   }
   bool check_traps(const void* base) {
     return obj_check_traps(unchecked(const_cast<void*>(base))).ok();
+  }
+  /// Batched olr_getptr: one metadata consultation for all n fields.
+  /// Returns the number of addresses resolved; failed entries are nullptr
+  /// and reported via last_violation(), like the scalar wrapper.
+  std::size_t olr_getptr_multi(void* base, const std::uint32_t* fields,
+                               void** out, std::size_t n) {
+    (void)obj_fields_multi(unchecked(base), fields, out, n);
+    std::size_t resolved = 0;
+    for (std::size_t i = 0; i < n; ++i) resolved += (out[i] != nullptr);
+    return resolved;
   }
 
   // --- typed convenience used by instrumented workloads -------------------
@@ -572,12 +634,12 @@ class Runtime {
   /// True when fast-path reads verify the mirror digest folded into the
   /// sequence word (same condition as checksum_records_).
   const bool verify_mirror_;
-  /// Cached copies of the pagemap's root pointer and granule shift (both
-  /// immutable for the pagemap's lifetime) so the read fast path indexes
-  /// the table without touching the AddressPagemap object. Null/0 when
-  /// the pagemap backend is off.
-  std::uintptr_t* const pm_root_;
-  const unsigned pm_shift_;
+  /// Cached copy of the pagemap's (root pointer, granule shift) pair —
+  /// both immutable for the pagemap's lifetime — so the read fast path,
+  /// the cursor snapshot, and prefetch all index the table through one
+  /// shared walk (AddressPagemap::LookupHint) without touching the
+  /// AddressPagemap object. Null hint when the pagemap backend is off.
+  const AddressPagemap::LookupHint pm_hint_;
 #if defined(POLAR_TRACE_ENABLED)
   /// config_.trace_sample_interval, hoisted to a dedicated const member so
   /// the inline hot path tests one immutable word. 0 = tracing off.
@@ -626,7 +688,7 @@ inline Runtime::FastField Runtime::fast_field(ThreadState& ts,
                                               std::uint32_t field,
                                               TypeId expected,
                                               std::uint32_t& offset) {
-  MetaCell* cell = AddressPagemap::lookup_in(pm_root_, pm_shift_, ref.base);
+  MetaCell* cell = pm_hint_.lookup(ref.base);
   if (cell == nullptr) return FastField::kMiss;
   // The shard is only consulted for the offset-cache epoch, so with the
   // cache off the fast path never hashes the address at all. Epoch before
@@ -691,7 +753,7 @@ inline Result<void*> Runtime::derived_field(ThreadState& ts, const ObjRef& ref,
     // Liveness gate: the seqlock mirror must name this base (and id, for
     // checked handles) as live right now. Offsets still come from the
     // schedule — the mirror is consulted, never dereferenced through.
-    MetaCell* cell = AddressPagemap::lookup_in(pm_root_, pm_shift_, ref.base);
+    MetaCell* cell = pm_hint_.lookup(ref.base);
     if (cell == nullptr) return obj_field_slow(ts, ref, field);
     MetaCell::FastView view;
     const std::uint64_t s1 = cell->read_begin(view);
@@ -753,6 +815,119 @@ inline Result<void*> Runtime::obj_field(ObjRef ref, std::uint32_t field) {
     // to the locked path, which owns classification and policy.
   }
   return obj_field_slow(ts, ref, field);
+}
+
+inline bool Runtime::cursor_snapshot(ObjRef ref, CursorSnap& out) {
+  if (ref.base == nullptr) return false;
+  ThreadState& ts = tls();
+  // Backend dispatch mirrors obj_field's: derived types take the schedule
+  // row, everything else the seqlock mirror.
+  if (any_derived_ && ref.type.value < n_types_) {
+    const BackendKind k = type_kinds_p_[ref.type.value];
+    if (k != BackendKind::kStored) {
+      const StatelessSchedule& sch = *schedules_p_[ref.type.value];
+      const std::uint32_t fc = sch.field_count();
+      if (fc == 0 || fc > CursorSnap::kMaxFields) return false;
+      if (k == BackendKind::kHybrid) {
+        // Liveness gate, exactly as derived_field: the mirror must name
+        // this base (and id) as live right now. The captured cell/seq make
+        // later live() checks repeat the gate lazily.
+        MetaCell* cell = pm_hint_.lookup(ref.base);
+        if (cell == nullptr) return false;
+        MetaCell::FastView view;
+        const std::uint64_t s1 = cell->read_begin(view);
+        if ((s1 & 1) != 0 ||
+            view.base != reinterpret_cast<std::uintptr_t>(ref.base) ||
+            (ref.id != 0 && view.object_id != ref.id) ||
+            view.type() != ref.type.value || !cell->read_validate(s1)) {
+          return false;
+        }
+        out.cell = cell;
+        out.seq = s1;
+        ++ts.stats.hybrid_accesses;
+      } else {
+        // Stateless: the whole schedule entry derives from the address in
+        // one row read — no metadata touch, and nothing to revalidate.
+        out.cell = nullptr;
+        out.seq = 0;
+        ++ts.stats.stateless_accesses;
+      }
+      const StableOffsetsPool::Word* row = sch.blob_for(ref.base);
+      for (std::uint32_t f = 0; f < fc; ++f) {
+        out.offsets[f] = row[f].load(std::memory_order_relaxed);
+      }
+      out.field_count = fc;
+      ++ts.stats.member_accesses;
+      return true;
+    }
+  }
+  if (!fast_reads_) return false;
+  MetaCell* cell = pm_hint_.lookup(ref.base);
+  if (cell == nullptr) return false;
+  MetaCell::FastView view;
+  const std::uint64_t s1 = cell->read_begin(view);  // the one 8-load read
+  if ((s1 & 1) != 0) return false;  // writer mid-update
+  if (view.base != reinterpret_cast<std::uintptr_t>(ref.base)) return false;
+  if (ref.id != 0 && view.object_id != ref.id) return false;
+  if (ref.type.valid() && view.type() != ref.type.value) return false;
+  const std::uint32_t fc = view.field_count();
+  if (fc == 0 || fc > CursorSnap::kMaxFields) return false;
+  for (std::uint32_t f = 0; f < fc; ++f) {
+    if (f < MetaCell::kInlineOffsets) {
+      out.offsets[f] = view.inline_off(f);
+    } else {
+      if (view.offsets == nullptr) return false;
+      out.offsets[f] = view.offsets[f].load(std::memory_order_relaxed);
+    }
+  }
+  // The blob loads above are dependent reads through the snapshot; only an
+  // unchanged sequence proves every captured offset was current at once.
+  if (!cell->read_validate(s1)) return false;
+  // Digest mismatch = stray write into the mirror. Refuse the snapshot and
+  // let the scalar path classify and heal (obj_field_mirror_damaged).
+  if (verify_mirror_ &&
+      static_cast<std::uint32_t>(s1 >> 32) != MetaCell::mirror_digest(view)) {
+    return false;
+  }
+  out.cell = cell;
+  out.seq = s1;
+  out.field_count = fc;
+  ++ts.stats.fastpath_hits;
+  ++ts.stats.member_accesses;
+  return true;
+}
+
+inline Result<void> Runtime::obj_fields_multi(ObjRef ref,
+                                              const std::uint32_t* fields,
+                                              void** out, std::size_t n) {
+  CursorSnap snap;
+  Violation first = Violation::kNone;
+  if (cursor_snapshot(ref, snap)) {
+    auto* b = static_cast<unsigned char*>(ref.base);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t f = fields[i];
+      if (f < snap.field_count) [[likely]] {
+        out[i] = b + snap.offsets[f];
+      } else {
+        // Out-of-range under a valid snapshot: the scalar checked path
+        // classifies (kBadField on the live object), same as obj_field.
+        const Result<void*> r = obj_field(ref, f);
+        out[i] = r.value_or(nullptr);
+        if (!r.ok() && first == Violation::kNone) first = r.error();
+      }
+    }
+  } else {
+    // No snapshot possible (fast path off, dead/stale object, damaged
+    // mirror, oversized type): scalar per-field resolution preserves every
+    // violation-classification guarantee of obj_field.
+    for (std::size_t i = 0; i < n; ++i) {
+      const Result<void*> r = obj_field(ref, fields[i]);
+      out[i] = r.value_or(nullptr);
+      if (!r.ok() && first == Violation::kNone) first = r.error();
+    }
+  }
+  return first == Violation::kNone ? Result<void>{}
+                                   : Result<void>::failure(first);
 }
 
 }  // namespace polar

@@ -84,6 +84,21 @@ class Session {
     return Result<void>{};
   }
 
+  /// Batched member access: all n field addresses under one metadata
+  /// consultation (see Runtime::obj_fields_multi for the contract).
+  Result<void> fields(ObjRef ref, const std::uint32_t* field_idx, void** out,
+                      std::size_t n) {
+    return rt_->obj_fields_multi(ref, field_idx, out, n);
+  }
+
+  /// Batched-access handle over a checked ObjRef (core/field_cursor.h).
+  [[nodiscard]] FieldCursor cursor(ObjRef ref) {
+    return FieldCursor(*rt_, ref);
+  }
+
+  /// MetaCell/pagemap prefetch for pointer-chasing traversals.
+  void prefetch(const void* base) const noexcept { rt_->prefetch(base); }
+
   // --- detection & introspection -------------------------------------------
 
   /// Verifies every booby-trap canary of the object.
@@ -178,6 +193,16 @@ class SessionSpace {
     return session_.registry();
   }
   [[nodiscard]] Session& session() noexcept { return session_; }
+
+  /// Batched access with the adapter's full stale-handle checking: the
+  /// cursor carries the recorded allocation id, so a cursor outliving its
+  /// object degrades to the checked path and reports kUseAfterFree.
+  using Cursor = FieldCursor;
+  [[nodiscard]] FieldCursor cursor(void* base, TypeId type) {
+    return session_.cursor(ref_of(base, type));
+  }
+
+  void prefetch(const void* base) noexcept { session_.prefetch(base); }
 
  private:
   [[nodiscard]] ObjRef ref_of(void* base, TypeId type) const {

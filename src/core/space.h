@@ -12,6 +12,7 @@
 #include <cstring>
 #include <new>
 
+#include "core/field_cursor.h"
 #include "core/runtime.h"
 #include "core/type_registry.h"
 
@@ -73,6 +74,46 @@ class DirectSpace {
   }
 
   [[nodiscard]] const TypeRegistry& registry() const { return *registry_; }
+
+  /// Batched-access counterpart of PolarSpace's FieldCursor: natural
+  /// offsets are compile-time-stable, so the "snapshot" is just the type's
+  /// offset table — what an uninstrumented build's codegen does anyway.
+  class Cursor {
+   public:
+    Cursor(const TypeInfo& info, void* base) : info_(&info), base_(base) {}
+
+    [[nodiscard]] void* field(std::uint32_t f) const {
+      return static_cast<unsigned char*>(base_) + info_->natural_offsets[f];
+    }
+    template <class T>
+    [[nodiscard]] T load(std::uint32_t f) const {
+      T v;
+      std::memcpy(&v, field(f), sizeof(T));
+      return v;
+    }
+    template <class T>
+    void store(std::uint32_t f, const T& v) const {
+      std::memcpy(field(f), &v, sizeof(T));
+    }
+
+   private:
+    const TypeInfo* info_;
+    void* base_;
+  };
+
+  [[nodiscard]] Cursor cursor(void* base, TypeId type) const {
+    return Cursor(registry_->info(type), base);
+  }
+
+  /// Baseline prefetch: pull the object's first line, matching what a
+  /// pointer-chasing loop over natural objects would issue by hand.
+  void prefetch(const void* base) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(base, 0, 3);
+#else
+    (void)base;
+#endif
+  }
 
  private:
   const TypeRegistry* registry_;
@@ -140,6 +181,16 @@ class PolarSpace {
   [[nodiscard]] const TypeRegistry& registry() const { return rt_->registry(); }
   [[nodiscard]] Runtime& runtime() { return *rt_; }
 
+  /// Batched access: one metadata consultation for the whole object (see
+  /// core/field_cursor.h). Same id-0 handle discipline as field_ptr.
+  using Cursor = FieldCursor;
+  [[nodiscard]] FieldCursor cursor(void* base, TypeId type) const {
+    return FieldCursor(*rt_, ref_of(base, type));
+  }
+
+  /// MetaCell/pagemap-leaf prefetch for pointer-chasing loops.
+  void prefetch(const void* base) const noexcept { rt_->prefetch(base); }
+
  private:
   [[nodiscard]] static ObjRef ref_of(void* base, TypeId type) noexcept {
     return ObjRef{base, 0, type};
@@ -165,5 +216,41 @@ concept ObjectSpace = requires(S s, void* p, const void* cp, TypeId t,
 
 static_assert(ObjectSpace<DirectSpace>);
 static_assert(ObjectSpace<PolarSpace>);
+
+/// Batching helpers for generic workload code: pick up the space's native
+/// cursor / prefetch when it has one and degrade to the scalar path
+/// otherwise, so the ObjectSpace concept itself stays minimal and
+/// third-party spaces keep compiling unchanged.
+template <ObjectSpace S>
+struct ScalarCursor {
+  S* s;
+  void* base;
+  TypeId type;
+  [[nodiscard]] void* field(std::uint32_t f) const {
+    return s->field_ptr(base, type, f);
+  }
+  template <class T>
+  [[nodiscard]] T load(std::uint32_t f) const {
+    return s->template load<T>(base, type, f);
+  }
+  template <class T>
+  void store(std::uint32_t f, const T& v) const {
+    s->template store<T>(base, type, f, v);
+  }
+};
+
+template <ObjectSpace S>
+[[nodiscard]] auto make_cursor(S& s, void* base, TypeId type) {
+  if constexpr (requires { s.cursor(base, type); }) {
+    return s.cursor(base, type);
+  } else {
+    return ScalarCursor<S>{&s, base, type};
+  }
+}
+
+template <ObjectSpace S>
+void space_prefetch(S& s, const void* base) noexcept {
+  if constexpr (requires { s.prefetch(base); }) s.prefetch(base);
+}
 
 }  // namespace polar

@@ -215,6 +215,34 @@ std::uint64_t Interpreter::call_function(std::uint32_t index,
         regs[instr.dst] = reinterpret_cast<std::uint64_t>(p);
         break;
       }
+      case Op::kPolarGepMulti: {
+        // One metadata consultation for the whole (dst, field) pair list —
+        // the executed form of the pass's gep coalescing. Counts one gep
+        // per pair so stats are bit-identical to the uncoalesced program.
+        const std::size_t pairs = instr.args.size() / 2;
+        stats_.geps += pairs;
+        void* base = reinterpret_cast<void*>(get(instr.a));
+        constexpr std::size_t kChunk = 16;
+        std::uint32_t fields[kChunk];
+        void* out[kChunk];
+        for (std::size_t done = 0; done < pairs; done += kChunk) {
+          const std::size_t n = std::min(kChunk, pairs - done);
+          for (std::size_t k = 0; k < n; ++k) {
+            fields[k] = instr.args[2 * (done + k) + 1];
+          }
+          (void)runtime_->olr_getptr_multi(base, fields, out, n);
+          for (std::size_t k = 0; k < n; ++k) {
+            if (out[k] == nullptr) {
+              state.fault(InterpResult::Status::kViolation,
+                          "olr_getptr refused", runtime_->last_violation());
+              return 0;
+            }
+            regs[instr.args[2 * (done + k)]] =
+                reinterpret_cast<std::uint64_t>(out[k]);
+          }
+        }
+        break;
+      }
       case Op::kPolarObjCopy: {
         ++stats_.obj_copies;
         if (!runtime_->olr_memcpy(reinterpret_cast<void*>(get(instr.b)),

@@ -37,6 +37,7 @@ const char* op_name(Op op) {
     case Op::kPolarGep: return "polar.gep";
     case Op::kPolarObjCopy: return "polar.objcpy";
     case Op::kPolarClone: return "polar.clone";
+    case Op::kPolarGepMulti: return "polar.gep.multi";
   }
   return "?";
 }
@@ -116,6 +117,17 @@ std::string to_string(const Instr& instr) {
     case Op::kBr:
       os << " ->b" << instr.target_a << " / b" << instr.target_b;
       break;
+    case Op::kPolarGepMulti: {
+      // args carry (dst, field) pairs, not call arguments.
+      os << " type#" << instr.imm << " (";
+      for (std::size_t i = 0; i + 1 < instr.args.size(); i += 2) {
+        if (i != 0) os << ", ";
+        append_reg(os, instr.args[i]);
+        os << ":f" << instr.args[i + 1];
+      }
+      os << ")";
+      return os.str();
+    }
     default:
       break;
   }

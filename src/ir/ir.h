@@ -49,6 +49,14 @@ enum class Op : std::uint8_t {
   kPolarGep,
   kPolarObjCopy,
   kPolarClone,
+  // Product of the pass's gep-coalescing: one batched lookup for several
+  // geps on the same base within a block. `a` = base register, `imm` = raw
+  // type id, `args` = (dst0, field0, dst1, field1, ...) pairs — dsts are
+  // registers, fields are literal field indices riding in the args slots
+  // (the verifier checks them per pair, not as call arguments). Executes
+  // as one olr_getptr_multi: a single metadata consultation fills every
+  // dst.
+  kPolarGepMulti,
 };
 
 inline constexpr Reg kNoReg = 0xffffffff;
@@ -99,7 +107,7 @@ struct Instr {
 [[nodiscard]] constexpr bool is_instrumented(Op op) noexcept {
   return op == Op::kPolarAlloc || op == Op::kPolarFree ||
          op == Op::kPolarGep || op == Op::kPolarObjCopy ||
-         op == Op::kPolarClone;
+         op == Op::kPolarClone || op == Op::kPolarGepMulti;
 }
 
 struct Block {

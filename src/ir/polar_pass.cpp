@@ -1,5 +1,8 @@
 #include "ir/polar_pass.h"
 
+#include <cstdlib>
+#include <vector>
+
 namespace polar::ir {
 
 namespace {
@@ -15,16 +18,200 @@ Op instrumented_op(Op op) {
   }
 }
 
+/// Registers an instruction reads / writes, for the coalescer's safety
+/// checks. Only the ops transparent() admits between group members are
+/// modelled; everything else is a barrier and never consulted.
+void reads_of(const Instr& instr, std::vector<Reg>& out) {
+  out.clear();
+  switch (instr.op) {
+    case Op::kMove:
+    case Op::kNot:
+    case Op::kLoad:
+      out.push_back(instr.a);
+      break;
+    case Op::kBin:
+      out.push_back(instr.a);
+      out.push_back(instr.b);
+      break;
+    case Op::kStore:
+      out.push_back(instr.a);
+      out.push_back(instr.b);
+      break;
+    default:
+      break;
+  }
+}
+
+[[nodiscard]] Reg write_of(const Instr& instr) {
+  switch (instr.op) {
+    case Op::kConst:
+    case Op::kMove:
+    case Op::kBin:
+    case Op::kNot:
+    case Op::kLoad:
+      return instr.dst;
+    default:
+      return kNoReg;
+  }
+}
+
+/// Ops a gep may be batched across. Anything that can free an object,
+/// re-randomize a layout, or transfer control (kFree/kAlloc/kObjCopy/
+/// kClone families, kCall, terminators) is a barrier: hoisting a gep over
+/// it could compute an address under liveness/layout state the original
+/// program resolved differently, changing fault behaviour.
+[[nodiscard]] bool transparent(Op op) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kMove:
+    case Op::kBin:
+    case Op::kNot:
+    case Op::kLoad:
+    case Op::kStore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One straight-line gep group under construction.
+struct GepGroup {
+  std::size_t first_index = 0;  ///< position of the leading gep
+  Reg base = kNoReg;
+  std::uint64_t type = 0;
+  std::vector<std::size_t> members;  ///< instr indices, in program order
+  std::vector<Reg> dsts;
+  /// Registers read or written by intervening (non-member) instructions
+  /// since the group opened: a later gep whose dst is among them cannot be
+  /// hoisted to the group head without changing what those instructions
+  /// observed.
+  std::vector<Reg> touched;
+
+  [[nodiscard]] bool open() const { return !members.empty(); }
+  [[nodiscard]] static bool contains(const std::vector<Reg>& v, Reg r) {
+    for (Reg x : v) {
+      if (x == r) return true;
+    }
+    return false;
+  }
+};
+
+/// Rewrites one block's batchable gep runs into kPolarGepMulti. Returns
+/// the number of geps folded (group members of emitted batches).
+std::uint64_t coalesce_block(Block& block, std::uint32_t min_run,
+                             PassReport& report) {
+  std::vector<Instr> out;
+  out.reserve(block.instrs.size());
+  GepGroup group;
+  std::uint64_t folded = 0;
+  // Indices of group members held back from `out` until the group closes.
+  std::vector<Instr> pending;
+
+  const auto flush = [&]() {
+    if (!group.open()) return;
+    if (pending.size() >= min_run) {
+      Instr multi;
+      multi.op = Op::kPolarGepMulti;
+      multi.a = group.base;
+      multi.imm = group.type;
+      multi.args.reserve(2 * pending.size());
+      for (const Instr& g : pending) {
+        multi.args.push_back(g.dst);
+        multi.args.push_back(static_cast<Reg>(
+            static_cast<std::uint32_t>(g.imm)));  // field index
+      }
+      // The batch sits where the leading gep stood; intervening
+      // instructions already flowed into `out` in order.
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(group.first_index),
+                 multi);
+      folded += pending.size();
+      ++report.gep_batches;
+    } else {
+      // Not worth a batch: restore the scalar geps at the group head —
+      // the slot the batch would have occupied. Intervening transparent
+      // instructions may already read these dsts (e.g. a load through
+      // the leading gep), so the geps must re-materialize before those
+      // readers, exactly where a batch would have defined them.
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(group.first_index),
+                 pending.begin(), pending.end());
+    }
+    pending.clear();
+    group = GepGroup{};
+  };
+
+  for (const Instr& instr : block.instrs) {
+    if (instr.op == Op::kPolarGep) {
+      const std::uint64_t type = instr.imm >> 32;
+      if (group.open() && instr.a == group.base && type == group.type &&
+          instr.dst != group.base &&
+          !GepGroup::contains(group.dsts, instr.dst) &&
+          !GepGroup::contains(group.touched, instr.dst)) {
+        pending.push_back(instr);
+        group.dsts.push_back(instr.dst);
+        continue;
+      }
+      flush();
+      if (instr.dst != instr.a) {  // dst==base can never lead a group
+        group.first_index = out.size();
+        group.base = instr.a;
+        group.type = type;
+        group.members.push_back(out.size());
+        group.dsts.push_back(instr.dst);
+        pending.push_back(instr);
+        continue;
+      }
+      out.push_back(instr);
+      continue;
+    }
+    if (group.open()) {
+      bool keep = transparent(instr.op);
+      if (keep) {
+        // Writing the base or a captured dst invalidates the group.
+        const Reg w = write_of(instr);
+        if (w != kNoReg &&
+            (w == group.base || GepGroup::contains(group.dsts, w))) {
+          keep = false;
+        }
+      }
+      if (!keep) {
+        flush();
+        out.push_back(instr);
+        continue;
+      }
+      static thread_local std::vector<Reg> reads;
+      reads_of(instr, reads);
+      for (Reg r : reads) {
+        if (r != kNoReg) group.touched.push_back(r);
+      }
+      const Reg w = write_of(instr);
+      if (w != kNoReg) group.touched.push_back(w);
+    }
+    out.push_back(instr);
+  }
+  flush();
+  block.instrs = std::move(out);
+  return folded;
+}
+
 }  // namespace
 
+bool coalesce_env_default() noexcept {
+  static const bool value = [] {
+    const char* env = std::getenv("POLAR_IR_COALESCE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return value;
+}
+
 PassReport run_polar_pass(Module& module, const TypeRegistry& registry,
-                          const std::set<std::string>& selected) {
+                          const PassOptions& options) {
   PassReport report;
   const auto type_selected = [&](std::uint64_t raw_type) {
     const TypeInfo& info =
         registry.info(TypeId{static_cast<std::uint32_t>(raw_type)});
     if (info.no_randomize) return false;  // __no_randomize_layout
-    return selected.empty() || selected.contains(info.name);
+    return options.selected.empty() || options.selected.contains(info.name);
   };
 
   for (Function& fn : module.functions) {
@@ -49,9 +236,21 @@ PassReport run_polar_pass(Module& module, const TypeRegistry& registry,
         }
         instr.op = instrumented_op(instr.op);
       }
+      if (options.coalesce_geps) {
+        report.geps_coalesced +=
+            coalesce_block(block, options.min_run < 2 ? 2 : options.min_run,
+                           report);
+      }
     }
   }
   return report;
+}
+
+PassReport run_polar_pass(Module& module, const TypeRegistry& registry,
+                          const std::set<std::string>& selected) {
+  PassOptions options;
+  options.selected = selected;
+  return run_polar_pass(module, registry, options);
 }
 
 }  // namespace polar::ir

@@ -13,6 +13,15 @@
 // "applied POLaR to the entire set of objects" compatibility experiment);
 // sites touching unselected types are left untouched and keep their
 // zero-cost natural-layout behaviour.
+//
+// Gep coalescing (PassOptions::coalesce_geps) is the pass-level batching
+// the paper leaves on the table: runs of kPolarGep on the same base within
+// a block collapse into one kPolarGepMulti — a single olr_getptr_multi
+// metadata consultation filling every destination register. The rewrite is
+// conservative: only straight-line runs where no intervening instruction
+// can free the object, move the base, or observe a hoisted destination are
+// batched, so execution (values, faults, and per-access stats) is
+// bit-identical to the uncoalesced program.
 #pragma once
 
 #include <set>
@@ -29,6 +38,10 @@ struct PassReport {
   std::uint64_t geps_rewritten = 0;
   std::uint64_t copies_rewritten = 0;
   std::uint64_t sites_skipped = 0;  ///< instrumentable but unselected type
+  /// Gep coalescing: geps folded into batched lookups (each counted in
+  /// geps_rewritten too) and the number of kPolarGepMulti emitted.
+  std::uint64_t geps_coalesced = 0;
+  std::uint64_t gep_batches = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return allocs_rewritten + frees_rewritten + geps_rewritten +
@@ -36,8 +49,27 @@ struct PassReport {
   }
 };
 
-/// Instruments `module` in place. `selected` is the TaintClass feedback:
-/// names of types to randomize; empty means all registered types.
+/// Process-wide default for PassOptions::coalesce_geps: true iff the
+/// POLAR_IR_COALESCE environment variable is set to a nonempty value other
+/// than "0" (read once, memoized). This is how CI flips the whole test
+/// suite to the coalescing configuration without touching call sites.
+[[nodiscard]] bool coalesce_env_default() noexcept;
+
+struct PassOptions {
+  /// TaintClass feedback: names of types to randomize; empty = all.
+  std::set<std::string> selected{};
+  /// Collapse same-base gep runs into kPolarGepMulti (see file comment).
+  bool coalesce_geps = coalesce_env_default();
+  /// Shortest run worth a batched op; runs below it stay scalar.
+  std::uint32_t min_run = 2;
+};
+
+/// Instruments `module` in place.
+PassReport run_polar_pass(Module& module, const TypeRegistry& registry,
+                          const PassOptions& options);
+
+/// Legacy signature: selection only, every other option defaulted (so the
+/// POLAR_IR_COALESCE env default applies to all existing call sites).
 PassReport run_polar_pass(Module& module, const TypeRegistry& registry,
                           const std::set<std::string>& selected = {});
 

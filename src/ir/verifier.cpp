@@ -37,8 +37,13 @@ std::string check_function(const Module& module, const TypeRegistry& registry,
       if (!reg_ok(instr.dst) || !reg_ok(instr.a) || !reg_ok(instr.b)) {
         return fail(b, i, "register index out of range");
       }
-      for (Reg r : instr.args) {
-        if (!reg_ok(r) || r == kNoReg) return fail(b, i, "bad call argument");
+      // kPolarGepMulti packs (dst, field) pairs into args — field values
+      // are literals, not registers, so the call-argument check does not
+      // apply; its own case below validates each pair.
+      if (instr.op != Op::kPolarGepMulti) {
+        for (Reg r : instr.args) {
+          if (!reg_ok(r) || r == kNoReg) return fail(b, i, "bad call argument");
+        }
       }
       switch (instr.op) {
         case Op::kConst:
@@ -70,6 +75,25 @@ std::string check_function(const Module& module, const TypeRegistry& registry,
               registry.info(TypeId{static_cast<std::uint32_t>(type_raw)});
           if (field >= info.field_count()) {
             return fail(b, i, "gep field out of range");
+          }
+          break;
+        }
+        case Op::kPolarGepMulti: {
+          if (instr.a == kNoReg) return fail(b, i, "gep.multi needs a base");
+          if (!type_ok(instr.imm)) return fail(b, i, "unknown gep type");
+          if (instr.args.empty() || instr.args.size() % 2 != 0) {
+            return fail(b, i, "gep.multi needs (dst, field) pairs");
+          }
+          const TypeInfo& info =
+              registry.info(TypeId{static_cast<std::uint32_t>(instr.imm)});
+          for (std::size_t k = 0; k < instr.args.size(); k += 2) {
+            const Reg dst = instr.args[k];
+            if (dst == kNoReg || dst >= fn.num_regs) {
+              return fail(b, i, "gep.multi destination out of range");
+            }
+            if (instr.args[k + 1] >= info.field_count()) {
+              return fail(b, i, "gep.multi field out of range");
+            }
           }
           break;
         }

@@ -126,20 +126,25 @@ DecodeResult decode(S& space, const JpgTypes& t,
         if (w == 0 || h == 0 || ncomp == 0 || ncomp > 4) {
           return free_components(space, t, components), fail("bad frame");
         }
-        space.store(dec, t.decompress, 0, static_cast<std::uint32_t>(w));
-        space.store(dec, t.decompress, 1, static_cast<std::uint32_t>(h));
-        space.store(dec, t.decompress, 2, static_cast<std::uint32_t>(ncomp));
-        space.store(dec, t.decompress, 3,
-                    static_cast<std::uint32_t>(precision));
+        // Frame-header burst: four stores against each object resolved
+        // from a single layout snapshot.
+        auto decc = make_cursor(space, dec, t.decompress);
+        decc.template store<std::uint32_t>(0, static_cast<std::uint32_t>(w));
+        decc.template store<std::uint32_t>(1, static_cast<std::uint32_t>(h));
+        decc.template store<std::uint32_t>(2,
+                                           static_cast<std::uint32_t>(ncomp));
+        decc.template store<std::uint32_t>(
+            3, static_cast<std::uint32_t>(precision));
         for (std::uint8_t c = 0; c < ncomp; ++c) {
           void* ci = space.alloc(t.component_info);
-          space.store(ci, t.component_info, 0, static_cast<std::uint32_t>(u8()));
+          auto cic = make_cursor(space, ci, t.component_info);
+          cic.template store<std::uint32_t>(0, static_cast<std::uint32_t>(u8()));
           const std::uint8_t sampling = u8();
-          space.store(ci, t.component_info, 1,
-                      static_cast<std::uint32_t>(sampling >> 4));
-          space.store(ci, t.component_info, 2,
-                      static_cast<std::uint32_t>(sampling & 0xf));
-          space.store(ci, t.component_info, 3, static_cast<std::uint32_t>(u8()));
+          cic.template store<std::uint32_t>(
+              1, static_cast<std::uint32_t>(sampling >> 4));
+          cic.template store<std::uint32_t>(
+              2, static_cast<std::uint32_t>(sampling & 0xf));
+          cic.template store<std::uint32_t>(3, static_cast<std::uint32_t>(u8()));
           components.push_back(ci);
         }
         break;
@@ -185,20 +190,23 @@ DecodeResult decode(S& space, const JpgTypes& t,
         void* br = space.alloc(t.bitread_state);
         void* sv = space.alloc(t.savable_state);
         while (at < body_end) u8();  // scan header ignored
+        // The per-sample loop is the decoder's hot path: hoist one cursor
+        // per stream object so each iteration costs register adds, not
+        // metadata lookups.
+        auto svc = make_cursor(space, sv, t.savable_state);
+        auto brc = make_cursor(space, br, t.bitread_state);
         std::int64_t predictor = 0;
         std::uint64_t n = 0;
         while (at + 1 < data.size() &&
                !(data[at] == 0xff && data[at + 1] == 0xd9)) {
           const auto delta = static_cast<std::int8_t>(u8());
           predictor += delta;
-          space.store(sv, t.savable_state, 0,
-                      static_cast<std::uint64_t>(predictor));
-          space.store(br, t.bitread_state, 1,
-                      space.template load<std::uint64_t>(br, t.bitread_state, 1) +
-                          8);
+          svc.template store<std::uint64_t>(
+              0, static_cast<std::uint64_t>(predictor));
+          brc.template store<std::uint64_t>(
+              1, brc.template load<std::uint64_t>(1) + 8);
           result.sample_hash = hash_combine(
-              result.sample_hash,
-              space.template load<std::uint64_t>(sv, t.savable_state, 0));
+              result.sample_hash, svc.template load<std::uint64_t>(0));
           ++n;
         }
         space.store(tj, t.tjinstance, 1, n);

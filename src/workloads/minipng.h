@@ -221,10 +221,12 @@ DecodeResult decode(S& space, const PngTypes& t,
           return fail("bad dimensions");
         }
         if (depth == 0 || depth > 32) return fail("bad bit depth");
-        space.store(info, t.png_info, 0, w);
-        space.store(info, t.png_info, 1, h);
-        space.store(info, t.png_info, 2, depth);
-        space.store(info, t.png_info, 3, color);
+        // IHDR burst: one layout snapshot serves all four header stores.
+        auto infoc = make_cursor(space, info, t.png_info);
+        infoc.template store<std::uint32_t>(0, w);
+        infoc.template store<std::uint32_t>(1, h);
+        infoc.template store<std::uint8_t>(2, depth);
+        infoc.template store<std::uint8_t>(3, color);
         // rowbytes: CVE-2015-0973 analog omits the clamp to the row
         // buffer, so wide images overflow row_buf inside png_struct.
         std::uint32_t rowbytes = w * ((depth + 7) / 8);
@@ -265,11 +267,12 @@ DecodeResult decode(S& space, const PngTypes& t,
         Cursor pal(payload);
         for (std::uint32_t e = 0; e < std::min(entries, kMaxPalette); ++e) {
           void* c = space.alloc(t.png_color);
-          space.store(c, t.png_color, 0, pal.u8());
-          space.store(c, t.png_color, 1, pal.u8());
-          space.store(c, t.png_color, 2, pal.u8());
+          auto cc = make_cursor(space, c, t.png_color);
+          cc.template store<std::uint8_t>(0, pal.u8());
+          cc.template store<std::uint8_t>(1, pal.u8());
+          cc.template store<std::uint8_t>(2, pal.u8());
           result.pixel_hash = hash_combine(
-              result.pixel_hash, space.template load<std::uint8_t>(c, t.png_color, 0));
+              result.pixel_hash, cc.template load<std::uint8_t>(0));
           space.free_object(c, t.png_color);
         }
         break;
@@ -283,18 +286,20 @@ DecodeResult decode(S& space, const PngTypes& t,
             (bugs & bug(Bug::kTimeOobRead2015_7981)) != 0 ? 9u : 7u;
         if (payload.size() < 7) return fail("short tIME");
         void* tm = space.alloc(t.png_time);
-        space.store(tm, t.png_time, 0, body.u16());  // year
-        space.store(tm, t.png_time, 1, body.u8());   // month
-        space.store(tm, t.png_time, 2, body.u8());   // day
-        space.store(tm, t.png_time, 3, body.u8());   // hour
-        space.store(tm, t.png_time, 4, body.u8());   // minute
-        space.store(tm, t.png_time, 5, body.u8());   // second
+        // Six consecutive stores into one object: the canonical batched-
+        // access shape — a single snapshot covers the whole tIME fill.
+        auto tmc = make_cursor(space, tm, t.png_time);
+        tmc.template store<std::uint16_t>(0, body.u16());  // year
+        tmc.template store<std::uint8_t>(1, body.u8());    // month
+        tmc.template store<std::uint8_t>(2, body.u8());    // day
+        tmc.template store<std::uint8_t>(3, body.u8());    // hour
+        tmc.template store<std::uint8_t>(4, body.u8());    // minute
+        tmc.template store<std::uint8_t>(5, body.u8());    // second
         for (std::size_t extra = 7; extra < want; ++extra) {
           result.pixel_hash = hash_combine(result.pixel_hash, body.u8());
         }
         result.pixel_hash = hash_combine(
-            result.pixel_hash,
-            space.template load<std::uint16_t>(tm, t.png_time, 0));
+            result.pixel_hash, tmc.template load<std::uint16_t>(0));
         space.free_object(tm, t.png_time);
         break;
       }

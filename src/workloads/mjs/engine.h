@@ -190,16 +190,16 @@ class Engine {
       throw EngineError("property store on non-object");
     }
     ObjSlot& slot = objects_[obj.ref];
-    const auto backing = static_cast<std::uint32_t>(
-        space_->template load<std::uint64_t>(slot.managed,
-                                             types_.dynamic_object, 2));
+    // Three accesses against the same managed object: one layout snapshot
+    // serves the backing-id load and the property-count bump.
+    auto mc = make_cursor(*space_, slot.managed, types_.dynamic_object);
+    const auto backing =
+        static_cast<std::uint32_t>(mc.template load<std::uint64_t>(2));
     auto& props = objects_[backing].props;
     const std::uint64_t pid = property_id(name);
     if (!props.contains(pid)) {
-      space_->store(slot.managed, types_.dynamic_object, 1,
-                    space_->template load<std::uint32_t>(
-                        slot.managed, types_.dynamic_object, 1) +
-                        1);
+      mc.template store<std::uint32_t>(
+          1, mc.template load<std::uint32_t>(1) + 1);
     }
     props[pid] = v;
   }

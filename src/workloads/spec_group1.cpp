@@ -302,6 +302,10 @@ std::uint64_t bz_run(S& space, const BzTypes& t, std::uint32_t scale,
 
   std::vector<std::uint8_t> out;
   out.reserve(data.size() / 4);
+  // The stream objects are hot for the whole RLE loop: resolve each layout
+  // once up front and serve every iteration's offsets from the cursor.
+  auto bzc = make_cursor(space, bz, t.bzfile);
+  auto fdc = make_cursor(space, fd, t.spec_fd);
   std::size_t i = 0;
   while (i < data.size()) {
     const std::uint8_t byte = data[i];
@@ -310,12 +314,12 @@ std::uint64_t bz_run(S& space, const BzTypes& t, std::uint32_t scale,
     out.push_back(byte);
     out.push_back(static_cast<std::uint8_t>(run));
     // Stream-state updates: the member-access traffic of the original.
-    space.store(bz, t.bzfile, 2,
-                space.template load<std::uint64_t>(bz, t.bzfile, 2) + run);
-    space.store(bz, t.bzfile, 3,
-                mix64(space.template load<std::uint64_t>(bz, t.bzfile, 3) ^
-                      (static_cast<std::uint64_t>(byte) * run)));
-    space.store(fd, t.spec_fd, 1, static_cast<std::uint64_t>(i));
+    bzc.template store<std::uint64_t>(
+        2, bzc.template load<std::uint64_t>(2) + run);
+    bzc.template store<std::uint64_t>(
+        3, mix64(bzc.template load<std::uint64_t>(3) ^
+                 (static_cast<std::uint64_t>(byte) * run)));
+    fdc.template store<std::uint64_t>(1, static_cast<std::uint64_t>(i));
     i += run;
   }
   const std::uint64_t crc = space.template load<std::uint64_t>(bz, t.bzfile, 3);
@@ -503,20 +507,26 @@ std::uint64_t gcc_run(S& space, const GccTypes& t, std::uint32_t scale,
     while (!work.empty()) {
       Item item = work.back();
       work.pop_back();
-      const auto code = space.template load<std::uint32_t>(item.n, t.node, 0);
+      // One layout snapshot per node visit; child metadata is prefetched
+      // before the children are pushed, hiding pagemap-walk latency in the
+      // pointer-chasing traversal.
+      auto nc = make_cursor(space, item.n, t.node);
+      const auto code = nc.template load<std::uint32_t>(0);
       if (code == 0) {
-        values.push_back(space.template load<std::uint64_t>(item.n, t.node, 1));
+        values.push_back(nc.template load<std::uint64_t>(1));
         space.free_object(item.n, t.node);
         continue;
       }
       if (!item.expanded) {
+        void* lhs =
+            reinterpret_cast<void*>(nc.template load<std::uint64_t>(2));
+        void* rhs =
+            reinterpret_cast<void*>(nc.template load<std::uint64_t>(3));
+        space_prefetch(space, lhs);
+        space_prefetch(space, rhs);
         work.push_back({item.n, true});
-        work.push_back({reinterpret_cast<void*>(
-                            space.template load<std::uint64_t>(item.n, t.node, 2)),
-                        false});
-        work.push_back({reinterpret_cast<void*>(
-                            space.template load<std::uint64_t>(item.n, t.node, 3)),
-                        false});
+        work.push_back({lhs, false});
+        work.push_back({rhs, false});
       } else {
         const std::uint64_t b = values.back();
         values.pop_back();

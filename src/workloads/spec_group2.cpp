@@ -423,29 +423,30 @@ std::uint64_t sjeng_search(S& space, const SjengTypes& t, Rng& rng,
   for (int i = 0; i < branching; ++i) {
     // Generate a move object, clone the state (make_move), recurse, free.
     void* mv = space.alloc(t.move_s);
-    space.store(mv, t.move_s, 0, static_cast<std::uint8_t>(rng.below(64)));
-    space.store(mv, t.move_s, 1, static_cast<std::uint8_t>(rng.below(64)));
-    space.store(mv, t.move_s, 2, static_cast<std::uint8_t>(rng.below(6)));
+    // Both objects take a burst of field traffic: snapshot each layout
+    // once and replay the accesses through the cursors.
+    auto mvc = make_cursor(space, mv, t.move_s);
+    mvc.template store<std::uint8_t>(0, static_cast<std::uint8_t>(rng.below(64)));
+    mvc.template store<std::uint8_t>(1, static_cast<std::uint8_t>(rng.below(64)));
+    mvc.template store<std::uint8_t>(2, static_cast<std::uint8_t>(rng.below(6)));
 
     void* next = space.clone_object(state, t.move_x);
-    space.store(next, t.move_x, 0,
-                mix64(space.template load<std::uint64_t>(next, t.move_x, 0) ^
-                      space.template load<std::uint8_t>(mv, t.move_s, 0) ^
-                      (std::uint64_t{space.template load<std::uint8_t>(
-                           mv, t.move_s, 1)}
-                       << 8)));
-    space.store(next, t.move_x, 1,
-                space.template load<std::uint32_t>(next, t.move_x, 1) + 1);
-    space.store(next, t.move_x, 3,
-                space.template load<std::uint64_t>(next, t.move_x, 3) +
-                    rng.below(8));
+    auto nxc = make_cursor(space, next, t.move_x);
+    nxc.template store<std::uint64_t>(
+        0, mix64(nxc.template load<std::uint64_t>(0) ^
+                 mvc.template load<std::uint8_t>(0) ^
+                 (std::uint64_t{mvc.template load<std::uint8_t>(1)} << 8)));
+    nxc.template store<std::uint32_t>(
+        1, nxc.template load<std::uint32_t>(1) + 1);
+    nxc.template store<std::uint64_t>(
+        3, nxc.template load<std::uint64_t>(3) + rng.below(8));
 
     const std::uint64_t child =
         sjeng_search(space, t, rng, next, depth - 1, checksum);
-    space.store(mv, t.move_s, 4, child);
+    mvc.template store<std::uint64_t>(4, child);
     best = std::max(best, child);
-    checksum = hash_combine(checksum,
-                            space.template load<std::uint64_t>(mv, t.move_s, 4));
+    checksum =
+        hash_combine(checksum, mvc.template load<std::uint64_t>(4));
     space.free_object(next, t.move_x);
     space.free_object(mv, t.move_s);
   }

@@ -73,7 +73,10 @@ std::uint64_t h264_run(S& space, const H264Types& t, std::uint32_t scale,
     for (int by = 0; by + 8 <= kH; by += 8) {
       for (int bx = 0; bx + 8 <= kW; bx += 8) {
         void* best = space.alloc(t.macroblock);
-        space.store(best, t.macroblock, 3, ~0ULL);
+        // `best` survives the whole motion search and copy_object keeps
+        // its layout, so one cursor covers every candidate comparison.
+        auto bestc = make_cursor(space, best, t.macroblock);
+        bestc.template store<std::uint64_t>(3, ~0ULL);
         const auto range =
             static_cast<int>(space.template load<std::uint32_t>(
                 params, t.input_params, 3));
@@ -82,10 +85,11 @@ std::uint64_t h264_run(S& space, const H264Types& t, std::uint32_t scale,
             // Candidate state object per tested vector: clone + update —
             // the memcpy traffic of the original.
             void* cand = space.clone_object(best, t.macroblock);
-            space.store(cand, t.macroblock, 1,
-                        static_cast<std::uint32_t>(dx + range));
-            space.store(cand, t.macroblock, 2,
-                        static_cast<std::uint32_t>(dy + range));
+            auto candc = make_cursor(space, cand, t.macroblock);
+            candc.template store<std::uint32_t>(
+                1, static_cast<std::uint32_t>(dx + range));
+            candc.template store<std::uint32_t>(
+                2, static_cast<std::uint32_t>(dy + range));
             std::uint64_t sad = 0;
             for (int y = 0; y < 8; ++y) {
               for (int x = 0; x < 8; ++x) {
@@ -98,16 +102,15 @@ std::uint64_t h264_run(S& space, const H264Types& t, std::uint32_t scale,
                 sad += static_cast<std::uint64_t>(d < 0 ? -d : d);
               }
             }
-            space.store(cand, t.macroblock, 3, sad);
-            if (sad <
-                space.template load<std::uint64_t>(best, t.macroblock, 3)) {
+            candc.template store<std::uint64_t>(3, sad);
+            if (sad < bestc.template load<std::uint64_t>(3)) {
               space.copy_object(best, cand, t.macroblock);
             }
             space.free_object(cand, t.macroblock);
           }
         }
-        checksum = hash_combine(
-            checksum, space.template load<std::uint64_t>(best, t.macroblock, 3));
+        checksum =
+            hash_combine(checksum, bestc.template load<std::uint64_t>(3));
         space.store(img, t.image_params, 2,
                     space.template load<std::uint64_t>(img, t.image_params, 2) +
                         space.template load<std::uint64_t>(best, t.macroblock,
@@ -518,11 +521,12 @@ std::uint64_t astar_run(S& space, const AstarTypes& t, std::uint32_t scale,
       std::pop_heap(open.begin(), open.end(), cmp);
       void* cur = open.back();
       open.pop_back();
-      const auto x = static_cast<int>(
-          space.template load<std::uint32_t>(cur, t.node, 0));
-      const auto y = static_cast<int>(
-          space.template load<std::uint32_t>(cur, t.node, 1));
-      const std::uint64_t g = space.template load<std::uint64_t>(cur, t.node, 2);
+      // Three loads off the popped node before it dies: batch them under
+      // one layout snapshot.
+      auto curc = make_cursor(space, cur, t.node);
+      const auto x = static_cast<int>(curc.template load<std::uint32_t>(0));
+      const auto y = static_cast<int>(curc.template load<std::uint32_t>(1));
+      const std::uint64_t g = curc.template load<std::uint64_t>(2);
       space.free_object(cur, t.node);
       if (x == ex && y == ey) {
         path_cost = g;
@@ -539,10 +543,11 @@ std::uint64_t astar_run(S& space, const AstarTypes& t, std::uint32_t scale,
         if (ng >= best[ny * kW + nx]) continue;
         best[ny * kW + nx] = ng;
         void* n = space.alloc(t.node);
-        space.store(n, t.node, 0, static_cast<std::uint32_t>(nx));
-        space.store(n, t.node, 1, static_cast<std::uint32_t>(ny));
-        space.store(n, t.node, 2, ng);
-        space.store(n, t.node, 3, ng + heur(nx, ny));
+        auto nc = make_cursor(space, n, t.node);
+        nc.template store<std::uint32_t>(0, static_cast<std::uint32_t>(nx));
+        nc.template store<std::uint32_t>(1, static_cast<std::uint32_t>(ny));
+        nc.template store<std::uint64_t>(2, ng);
+        nc.template store<std::uint64_t>(3, ng + heur(nx, ny));
         open.push_back(n);
         std::push_heap(open.begin(), open.end(), cmp);
       }

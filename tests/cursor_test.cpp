@@ -1,0 +1,308 @@
+// FieldCursor / obj_fields_multi — the batched member-access surface
+// (DESIGN.md §15): batched addresses must be bit-identical to the scalar
+// path on every backend, a cursor held across the object's free must fall
+// back to the checked path and raise the same violation a scalar access
+// would, and the lazy-revalidation machinery (seq moved -> re-snapshot)
+// must re-arm on benign re-publishes and refuse on real ones.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/field_cursor.h"
+#include "core/runtime.h"
+#include "core/type_registry.h"
+
+namespace polar {
+namespace {
+
+TypeId make_widget(TypeRegistry& reg) {
+  return TypeBuilder(reg, "Widget")
+      .fn_ptr("vtable")
+      .field<std::uint64_t>("value")
+      .ptr("next")
+      .field<std::uint32_t>("len")
+      .field<std::uint32_t>("cap")
+      .build();
+}
+
+/// Wider than CursorSnap::kMaxFields — cursor_snapshot must refuse and the
+/// cursor must degrade to the scalar path without losing correctness.
+TypeId make_wide(TypeRegistry& reg) {
+  TypeBuilder b(reg, "Wide");
+  for (std::uint32_t f = 0; f < Runtime::CursorSnap::kMaxFields + 2; ++f) {
+    b.field<std::uint64_t>("f" + std::to_string(f));
+  }
+  return b.build();
+}
+
+struct BackendCase {
+  const char* name;
+  BackendConfig config;
+};
+
+RuntimeConfig case_config(const BackendCase& c) {
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kReport;
+  cfg.backend = c.config;
+  return cfg;
+}
+
+class CursorBackends : public ::testing::TestWithParam<BackendCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, CursorBackends,
+    ::testing::Values(BackendCase{"stored", BackendConfig::stored()},
+                      BackendCase{"stateless", BackendConfig::stateless()},
+                      BackendCase{"hybrid", BackendConfig::hybrid()}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// --- scalar equivalence ------------------------------------------------------
+
+TEST_P(CursorBackends, CursorAddressesMatchScalarPath) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, case_config(GetParam()));
+  const ObjRef r = rt.obj_alloc(t).value();
+
+  FieldCursor cur(rt, r);
+  EXPECT_TRUE(cur.batched());
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(cur.field(f), rt.obj_field(r, f).value()) << "field " << f;
+  }
+  // Typed loads/stores round-trip through the batched addresses.
+  cur.store<std::uint64_t>(1, 0xdecafbadULL);
+  EXPECT_EQ(cur.load<std::uint64_t>(1), 0xdecafbadULL);
+  EXPECT_EQ(rt.obj_field(r, 1).ok() ? *static_cast<std::uint64_t*>(
+                                          rt.obj_field(r, 1).value())
+                                    : 0,
+            0xdecafbadULL);
+  EXPECT_TRUE(rt.obj_free(r).ok());
+}
+
+TEST_P(CursorBackends, MultiMatchesScalarAndLegacyWrapperCounts) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, case_config(GetParam()));
+  const ObjRef r = rt.obj_alloc(t).value();
+
+  const std::uint32_t fields[5] = {4, 0, 2, 1, 3};  // order is caller's
+  void* out[5] = {};
+  ASSERT_TRUE(rt.obj_fields_multi(r, fields, out, 5).ok());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], rt.obj_field(r, fields[i]).value()) << "slot " << i;
+  }
+
+  // The legacy wrapper takes an untyped base and reports how many slots
+  // resolved.
+  void* legacy_out[3] = {};
+  const std::uint32_t legacy_fields[3] = {0, 1, 2};
+  EXPECT_EQ(rt.olr_getptr_multi(r.base, legacy_fields, legacy_out, 3), 3u);
+  EXPECT_TRUE(rt.obj_free(r).ok());
+}
+
+TEST_P(CursorBackends, MultiRefusesOutOfRangeFieldAndNullsTheSlot) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, case_config(GetParam()));
+  const ObjRef r = rt.obj_alloc(t).value();
+
+  const std::uint32_t fields[3] = {0, 99, 1};
+  void* out[3] = {};
+  const Result<void> res = rt.obj_fields_multi(r, fields, out, 3);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error(), Violation::kBadField);
+  EXPECT_NE(out[0], nullptr);
+  EXPECT_EQ(out[1], nullptr);
+  EXPECT_TRUE(rt.obj_free(r).ok());
+}
+
+TEST_P(CursorBackends, WideTypeDegradesToScalarButStaysCorrect) {
+  TypeRegistry reg;
+  const TypeId t = make_wide(reg);
+  Runtime rt(reg, case_config(GetParam()));
+  const ObjRef r = rt.obj_alloc(t).value();
+
+  FieldCursor cur(rt, r);
+  EXPECT_FALSE(cur.batched());  // snapshot refused: too many fields
+  for (std::uint32_t f = 0; f < Runtime::CursorSnap::kMaxFields + 2; ++f) {
+    EXPECT_EQ(cur.field(f), rt.obj_field(r, f).value()) << "field " << f;
+  }
+  // obj_fields_multi still fills every slot through the per-field path.
+  std::vector<std::uint32_t> fields;
+  for (std::uint32_t f = 0; f < Runtime::CursorSnap::kMaxFields + 2; ++f) {
+    fields.push_back(f);
+  }
+  std::vector<void*> out(fields.size(), nullptr);
+  ASSERT_TRUE(
+      rt.obj_fields_multi(r, fields.data(), out.data(), out.size()).ok());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ(out[i], rt.obj_field(r, fields[i]).value());
+  }
+  EXPECT_TRUE(rt.obj_free(r).ok());
+}
+
+// --- invalidation: cursor held across free ----------------------------------
+
+TEST_P(CursorBackends, CursorHeldAcrossFreeFallsBackToCheckedPath) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, case_config(GetParam()));
+  const ObjRef r = rt.obj_alloc(t).value();
+
+  FieldCursor cur(rt, r);
+  ASSERT_NE(cur.field(1), nullptr);
+  ASSERT_TRUE(rt.obj_free(r).ok());
+
+  if (GetParam().config.kind == BackendKind::kStateless) {
+    // The stateless backend keeps no liveness metadata; its scalar path
+    // cannot detect UAF and the cursor inherits exactly that caveat. The
+    // address is still pure arithmetic (never dereferenced here).
+    EXPECT_NE(cur.field(1), nullptr);
+    return;
+  }
+  // Stored/hybrid: the free moved the cell's sequence word, so the cursor
+  // may not serve the batched address; the re-snapshot fails and the
+  // scalar checked path classifies the access.
+  rt.clear_violation();
+  EXPECT_EQ(cur.field(1), nullptr);
+  EXPECT_EQ(rt.last_violation(), Violation::kUseAfterFree);
+  EXPECT_FALSE(cur.batched());
+}
+
+TEST_P(CursorBackends, MultiOnFreedObjectRaisesUafOnCheckedBackends) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, case_config(GetParam()));
+  const ObjRef r = rt.obj_alloc(t).value();
+  ASSERT_TRUE(rt.obj_free(r).ok());
+
+  const std::uint32_t fields[2] = {0, 1};
+  void* out[2] = {};
+  const Result<void> res = rt.obj_fields_multi(r, fields, out, 2);
+  if (GetParam().config.kind == BackendKind::kStateless) return;
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error(), Violation::kUseAfterFree);
+  EXPECT_EQ(out[0], nullptr);
+  EXPECT_EQ(out[1], nullptr);
+}
+
+TEST_P(CursorBackends, StaleCursorAfterReallocationStillRaisesUaf) {
+  // The freed slot may be recycled for a new object; the old cursor's
+  // checked handle (nonzero id) must not resolve through the newcomer.
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  Runtime rt(reg, case_config(GetParam()));
+  if (GetParam().config.kind == BackendKind::kStateless) return;
+
+  const ObjRef old = rt.obj_alloc(t).value();
+  FieldCursor cur(rt, old);
+  ASSERT_TRUE(cur.batched());
+  ASSERT_TRUE(rt.obj_free(old).ok());
+  const ObjRef fresh = rt.obj_alloc(t).value();
+
+  rt.clear_violation();
+  EXPECT_EQ(cur.field(1), nullptr);
+  EXPECT_EQ(rt.last_violation(), Violation::kUseAfterFree);
+  EXPECT_TRUE(rt.obj_free(fresh).ok());
+}
+
+// --- re-arming on benign sequence moves -------------------------------------
+
+TEST(CursorStored, MirrorHealReArmsTheCursor) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kReport;
+  cfg.backend = BackendConfig::stored();
+  cfg.enable_cache = false;
+  Runtime rt(reg, cfg);
+  const ObjRef r = rt.obj_alloc(t).value();
+
+  FieldCursor cur(rt, r);
+  ASSERT_TRUE(cur.batched());
+  void* before = cur.field(1);
+
+  // Flip a mirror word without moving the sequence counter: the cursor's
+  // snapshot predates the damage, so its batched addresses stay valid and
+  // keep being served.
+  ASSERT_TRUE(rt.debug_corrupt_mirror(r.base, 0x40u));
+  EXPECT_EQ(cur.field(1), before);
+
+  // A scalar access detects the damage and heals the mirror, which bumps
+  // the sequence word...
+  EXPECT_FALSE(rt.obj_field(r, 0).ok());
+  EXPECT_EQ(rt.last_violation(), Violation::kMetadataDamaged);
+  rt.clear_violation();
+  ASSERT_TRUE(rt.obj_field(r, 0).ok());
+
+  // ...and the cursor's next access notices, re-snapshots (a benign
+  // re-publish: same base, same id, same layout) and re-arms.
+  EXPECT_EQ(cur.field(1), before);
+  EXPECT_TRUE(cur.batched());
+  EXPECT_EQ(rt.last_violation(), Violation::kNone);
+  EXPECT_TRUE(rt.obj_free(r).ok());
+}
+
+TEST(CursorStored, SnapshotIsOneMetadataConsultation) {
+  // The perf contract behind the whole feature: N batched accesses cost
+  // one member-access resolution, not N.
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kReport;
+  cfg.backend = BackendConfig::stored();
+  cfg.enable_cache = false;
+  Runtime rt(reg, cfg);
+  const ObjRef r = rt.obj_alloc(t).value();
+
+  const std::uint64_t before = rt.stats().member_accesses;
+  FieldCursor cur(rt, r);
+  volatile void* sink = nullptr;
+  for (int i = 0; i < 100; ++i) sink = cur.field(static_cast<std::uint32_t>(i % 5));
+  (void)sink;
+  const std::uint64_t after = rt.stats().member_accesses;
+  EXPECT_EQ(after - before, 1u);  // the snapshot itself
+  EXPECT_TRUE(rt.obj_free(r).ok());
+}
+
+TEST(CursorStateless, SnapshotTouchesNoMetadata) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kReport;
+  cfg.backend = BackendConfig::stateless();
+  Runtime rt(reg, cfg);
+  const ObjRef r = rt.obj_alloc(t).value();
+
+  FieldCursor cur(rt, r);
+  EXPECT_TRUE(cur.batched());
+  const std::uint64_t fast_before = rt.stats().fastpath_hits;
+  volatile void* sink = nullptr;
+  for (int i = 0; i < 64; ++i) sink = cur.field(static_cast<std::uint32_t>(i % 5));
+  (void)sink;
+  EXPECT_EQ(rt.stats().fastpath_hits, fast_before);  // no seqlock reads
+  EXPECT_GE(rt.stats().stateless_accesses, 1u);      // the snapshot row read
+  EXPECT_TRUE(rt.obj_free(r).ok());
+}
+
+TEST(CursorRefresh, ExplicitRefreshRearmsAfterInvalidation) {
+  TypeRegistry reg;
+  const TypeId t = make_widget(reg);
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kReport;
+  cfg.backend = BackendConfig::stored();
+  Runtime rt(reg, cfg);
+  const ObjRef r = rt.obj_alloc(t).value();
+  FieldCursor cur(rt, r);
+  ASSERT_TRUE(cur.refresh());  // refresh on a live object re-arms
+  EXPECT_EQ(cur.field(2), rt.obj_field(r, 2).value());
+  ASSERT_TRUE(rt.obj_free(r).ok());
+  EXPECT_FALSE(cur.refresh());  // and on a dead one it reports the miss
+  EXPECT_FALSE(cur.batched());
+}
+
+}  // namespace
+}  // namespace polar

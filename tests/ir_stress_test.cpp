@@ -133,6 +133,28 @@ TEST_P(IrDifferential, GeneratedProgramsAgreeAfterInstrumentation) {
     EXPECT_EQ(hard.stats.allocs, base.stats.allocs);
     EXPECT_EQ(hard.stats.frees, base.stats.frees);
     EXPECT_EQ(hard.stats.geps, base.stats.geps);
+
+    // Third leg: the same program with gep coalescing on. kPolarGepMulti
+    // must be invisible to the program — same value, same dynamic op
+    // counts (the interpreter charges one gep per batched pair).
+    Module batched = m;
+    const PassReport breport = run_polar_pass(
+        batched, reg, PassOptions{.selected = {}, .coalesce_geps = true});
+    EXPECT_EQ(breport.total(), report.total());
+    ASSERT_EQ(verify(batched, reg), "") << "seed " << GetParam();
+
+    Runtime rt_b(reg, RuntimeConfig{.seed = GetParam() * 97 + round});
+    Interpreter batched_interp(batched, reg, &rt_b);
+    const InterpResult co = batched_interp.run("gen", {});
+    ASSERT_EQ(co.status, InterpResult::Status::kOk)
+        << co.error << " (" << to_string(co.violation) << ")";
+    EXPECT_EQ(co.value, base.value) << "seed " << GetParam() << " round "
+                                    << round;
+    EXPECT_EQ(co.stats.allocs, base.stats.allocs);
+    EXPECT_EQ(co.stats.frees, base.stats.frees);
+    EXPECT_EQ(co.stats.geps, base.stats.geps);
+    EXPECT_EQ(rt_b.live_objects(), 0u);
+    EXPECT_EQ(rt_b.stats().traps_triggered, 0u);
   }
 }
 

@@ -115,7 +115,9 @@ TEST(IrInterp, ObjectRoundTripInstrumented) {
   EXPECT_EQ(r.status, InterpResult::Status::kOk);
   EXPECT_EQ(r.value, 44177u);  // same observable behaviour
   EXPECT_EQ(rt.stats().allocations, 1u);
-  EXPECT_EQ(rt.stats().member_accesses, 4u);
+  // Four scalar lookups — or one batched consultation when the suite runs
+  // in the POLAR_IR_COALESCE configuration (CI's coalesce-on variant).
+  EXPECT_EQ(rt.stats().member_accesses, coalesce_env_default() ? 1u : 4u);
   EXPECT_EQ(rt.stats().frees, 1u);
   EXPECT_EQ(rt.live_objects(), 0u);
 }
@@ -323,6 +325,192 @@ TEST(PolarPass, IdempotentOnInstrumentedModule) {
   EXPECT_EQ(second.total(), 0u);
 }
 
+// ---------------------------------------------------------- gep coalescing
+
+TypeId make_quad(TypeRegistry& reg) {
+  return TypeBuilder(reg, "Quad")
+      .field<std::uint64_t>("a")
+      .field<std::uint64_t>("b")
+      .field<std::uint64_t>("c")
+      .field<std::uint64_t>("d")
+      .build();
+}
+
+/// alloc Quad, resolve all four fields back-to-back, store/load, free.
+Function build_gep_burst(TypeId quad) {
+  FunctionBuilder b("burst", 0);
+  const Reg obj = b.alloc(quad);
+  const Reg p0 = b.gep(obj, quad, 0);
+  const Reg p1 = b.gep(obj, quad, 1);
+  const Reg p2 = b.gep(obj, quad, 2);
+  const Reg p3 = b.gep(obj, quad, 3);
+  b.store(p0, b.const64(10));
+  b.store(p1, b.const64(20));
+  b.store(p2, b.const64(30));
+  b.store(p3, b.const64(40));
+  const Reg sum = b.add(b.add(b.load(p0), b.load(p1)),
+                        b.add(b.load(p2), b.load(p3)));
+  b.free_obj(obj, quad);
+  b.ret(sum);
+  return std::move(b).build();
+}
+
+std::size_t count_ops(const Module& m, Op op) {
+  std::size_t n = 0;
+  for (const Function& fn : m.functions) {
+    for (const Block& blk : fn.blocks) {
+      for (const Instr& instr : blk.instrs) n += instr.op == op;
+    }
+  }
+  return n;
+}
+
+TEST(PolarPass, CoalescesSameBaseGepRunIntoOneBatch) {
+  TypeRegistry reg;
+  const TypeId quad = make_quad(reg);
+  Module m;
+  m.functions.push_back(build_gep_burst(quad));
+  Module scalar = m;
+
+  const PassReport sr = run_polar_pass(
+      scalar, reg, PassOptions{.selected = {}, .coalesce_geps = false});
+  EXPECT_EQ(sr.geps_rewritten, 4u);
+  EXPECT_EQ(sr.geps_coalesced, 0u);
+  EXPECT_EQ(sr.gep_batches, 0u);
+
+  const PassReport cr = run_polar_pass(
+      m, reg, PassOptions{.selected = {}, .coalesce_geps = true});
+  EXPECT_EQ(cr.geps_rewritten, 4u);
+  EXPECT_EQ(cr.geps_coalesced, 4u);
+  EXPECT_EQ(cr.gep_batches, 1u);
+  EXPECT_EQ(count_ops(m, Op::kPolarGep), 0u);
+  EXPECT_EQ(count_ops(m, Op::kPolarGepMulti), 1u);
+  ASSERT_EQ(verify(m, reg), "");
+  EXPECT_NE(to_string(m.functions[0]).find("polar.gep.multi"),
+            std::string::npos);
+
+  // Bit-identical execution: same value, same interp op counts, same
+  // runtime-side member accesses as the scalar instrumentation.
+  Runtime rt_scalar(reg, RuntimeConfig{.seed = 7});
+  Interpreter si(scalar, reg, &rt_scalar);
+  const InterpResult sres = si.run("burst", {});
+  ASSERT_EQ(sres.status, InterpResult::Status::kOk);
+  EXPECT_EQ(sres.value, 100u);
+
+  Runtime rt_multi(reg, RuntimeConfig{.seed = 7});
+  Interpreter mi(m, reg, &rt_multi);
+  const InterpResult mres = mi.run("burst", {});
+  ASSERT_EQ(mres.status, InterpResult::Status::kOk);
+  EXPECT_EQ(mres.value, sres.value);
+  EXPECT_EQ(mres.stats.geps, sres.stats.geps);
+  // The batch is the whole point: fewer runtime-side metadata
+  // consultations than four scalar lookups.
+  EXPECT_LT(rt_multi.stats().member_accesses,
+            rt_scalar.stats().member_accesses);
+  EXPECT_EQ(rt_multi.live_objects(), 0u);
+}
+
+TEST(PolarPass, CoalescingStopsAtBarriersAndLeavesShortRunsScalar) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  FunctionBuilder b("mix", 0);
+  const Reg obj = b.alloc(people);
+  const Reg other = b.alloc(people);
+  const Reg p1 = b.gep(obj, people, 1);
+  const Reg p2 = b.gep(obj, people, 2);
+  b.store(p1, b.const64(1), Width::kW32);
+  b.store(p2, b.const64(2), Width::kW32);
+  b.free_obj(other, people);               // barrier: could recycle memory
+  const Reg q1 = b.gep(obj, people, 1);    // lone gep: below min_run
+  const Reg v = b.load(q1, Width::kW32);
+  b.free_obj(obj, people);
+  b.ret(v);
+  Module m;
+  m.functions.push_back(std::move(b).build());
+
+  const PassReport report = run_polar_pass(
+      m, reg, PassOptions{.selected = {}, .coalesce_geps = true});
+  EXPECT_EQ(report.geps_rewritten, 3u);
+  EXPECT_EQ(report.geps_coalesced, 2u);
+  EXPECT_EQ(report.gep_batches, 1u);
+  EXPECT_EQ(count_ops(m, Op::kPolarGep), 1u);
+  EXPECT_EQ(count_ops(m, Op::kPolarGepMulti), 1u);
+  ASSERT_EQ(verify(m, reg), "");
+
+  Runtime rt(reg, RuntimeConfig{});
+  Interpreter interp(m, reg, &rt);
+  const InterpResult r = interp.run("mix", {});
+  ASSERT_EQ(r.status, InterpResult::Status::kOk);
+  EXPECT_EQ(r.value, 1u);
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(PolarPass, MinRunBelowThresholdStaysScalar) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);
+  FunctionBuilder b("pair", 0);
+  const Reg obj = b.alloc(people);
+  const Reg p1 = b.gep(obj, people, 1);   // run of exactly 2
+  const Reg p2 = b.gep(obj, people, 2);
+  b.store(p1, b.const64(3), Width::kW32);
+  b.store(p2, b.const64(4), Width::kW32);
+  const Reg v = b.add(b.load(p1, Width::kW32), b.load(p2, Width::kW32));
+  b.free_obj(obj, people);
+  b.ret(v);
+  Module m;
+  m.functions.push_back(std::move(b).build());
+
+  const PassReport report = run_polar_pass(
+      m, reg,
+      PassOptions{.selected = {}, .coalesce_geps = true, .min_run = 3});
+  EXPECT_EQ(report.geps_rewritten, 2u);
+  EXPECT_EQ(report.geps_coalesced, 0u);
+  EXPECT_EQ(report.gep_batches, 0u);
+  EXPECT_EQ(count_ops(m, Op::kPolarGepMulti), 0u);
+  EXPECT_EQ(count_ops(m, Op::kPolarGep), 2u);
+  ASSERT_EQ(verify(m, reg), "");
+
+  Runtime rt(reg, RuntimeConfig{});
+  Interpreter interp(m, reg, &rt);
+  const InterpResult r = interp.run("pair", {});
+  ASSERT_EQ(r.status, InterpResult::Status::kOk);
+  EXPECT_EQ(r.value, 7u);
+  EXPECT_EQ(rt.live_objects(), 0u);
+}
+
+TEST(PolarPass, CoalescedUseAfterFreeFaultsLikeScalar) {
+  TypeRegistry reg;
+  const TypeId quad = make_quad(reg);
+  FunctionBuilder b("uaf", 0);
+  const Reg obj = b.alloc(quad);
+  b.free_obj(obj, quad);
+  const Reg p0 = b.gep(obj, quad, 0);  // dangling: both geps coalesce
+  const Reg p1 = b.gep(obj, quad, 1);
+  b.ret(b.add(b.load(p0), b.load(p1)));
+  Module m;
+  m.functions.push_back(std::move(b).build());
+  Module scalar = m;
+
+  run_polar_pass(scalar, reg,
+                 PassOptions{.selected = {}, .coalesce_geps = false});
+  const PassReport cr = run_polar_pass(
+      m, reg, PassOptions{.selected = {}, .coalesce_geps = true});
+  EXPECT_EQ(cr.gep_batches, 1u);
+  ASSERT_EQ(verify(m, reg), "");
+
+  RuntimeConfig cfg;
+  cfg.on_violation = ErrorAction::kReport;
+  Runtime rt_scalar(reg, cfg);
+  const InterpResult sres =
+      Interpreter(scalar, reg, &rt_scalar).run("uaf", {});
+  Runtime rt_multi(reg, cfg);
+  const InterpResult mres = Interpreter(m, reg, &rt_multi).run("uaf", {});
+  EXPECT_EQ(sres.status, InterpResult::Status::kViolation);
+  EXPECT_EQ(mres.status, sres.status);
+  EXPECT_EQ(mres.violation, sres.violation);
+  EXPECT_EQ(mres.violation, Violation::kUseAfterFree);
+}
+
 // --------------------------------------------------------------- verifier
 
 TEST(Verifier, RejectsEmptyModuleAndEmptyBlock) {
@@ -411,6 +599,67 @@ TEST(Verifier, RejectsBadGepFieldAndUnknownType) {
     f.blocks.push_back(blk);
     Module m;
     m.functions.push_back(f);
+    EXPECT_NE(verify(m, reg), "");
+  }
+}
+
+TEST(Verifier, GepMultiAcceptsWellFormedRejectsMalformed) {
+  TypeRegistry reg;
+  const TypeId people = make_people(reg);  // 3 fields
+  const auto with_multi = [&](Reg base, std::uint64_t type,
+                              std::vector<Reg> args) {
+    Function f;
+    f.name = "f";
+    f.num_regs = 4;
+    Block blk;
+    blk.instrs.push_back({.op = Op::kAlloc, .dst = 0, .imm = people.value});
+    blk.instrs.push_back(
+        {.op = Op::kPolarGepMulti, .a = base, .imm = type, .args = std::move(args)});
+    blk.instrs.push_back({.op = Op::kFree, .a = 0, .imm = people.value});
+    blk.instrs.push_back({.op = Op::kRet});
+    f.blocks.push_back(blk);
+    Module m;
+    m.functions.push_back(f);
+    return m;
+  };
+
+  // Well-formed: base r0, two (dst, field) pairs.
+  {
+    Module m = with_multi(0, people.value, {1, 1, 2, 2});
+    EXPECT_EQ(verify(m, reg), "");
+  }
+  // Odd-sized pair list.
+  {
+    Module m = with_multi(0, people.value, {1, 1, 2});
+    EXPECT_NE(verify(m, reg), "");
+  }
+  // No pairs at all.
+  {
+    Module m = with_multi(0, people.value, {});
+    EXPECT_NE(verify(m, reg), "");
+  }
+  // Field out of range for the type.
+  {
+    Module m = with_multi(0, people.value, {1, 9});
+    EXPECT_NE(verify(m, reg), "");
+  }
+  // Destination register out of range / missing.
+  {
+    Module m = with_multi(0, people.value, {42, 1});
+    EXPECT_NE(verify(m, reg), "");
+  }
+  {
+    Module m = with_multi(0, people.value, {kNoReg, 1});
+    EXPECT_NE(verify(m, reg), "");
+  }
+  // Missing base register.
+  {
+    Module m = with_multi(kNoReg, people.value, {1, 1});
+    EXPECT_NE(verify(m, reg), "");
+  }
+  // Unknown type id.
+  {
+    Module m = with_multi(0, 42, {1, 1});
     EXPECT_NE(verify(m, reg), "");
   }
 }
