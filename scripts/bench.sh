@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Benchmark gate: runs the member-access fast-path ablation (bench_getptr),
 # the tracing-overhead ladder (bench_trace), the concurrent churn bench,
-# the paper's Fig. 6 overhead table, and the google-benchmark micro suite,
-# then merges everything into one schema-checked BENCH.json
-# (scripts/bench_merge.py fails the run on schema drift, so CI catches
-# silently-changed output shapes).
+# the paper's Fig. 6 overhead table, the google-benchmark micro suite, and
+# the KV/HTTP server latency sweep (bench_server), then merges everything
+# into one schema-checked BENCH.json (scripts/bench_merge.py fails the run
+# on schema drift, so CI catches silently-changed output shapes) and
+# compares the ratio metrics against scripts/bench_baseline.json — the
+# perf regression gate.
 #
 # Usage: scripts/bench.sh [--smoke] [--out FILE]
 #   --smoke   reduced iteration counts for the CI gate (minutes, not tens)
@@ -27,7 +29,7 @@ echo "== build bench binaries =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" \
   --target bench_getptr bench_trace bench_concurrent bench_alloc \
-  fig6_spec_overhead micro_runtime ablation_security >/dev/null
+  bench_server fig6_spec_overhead micro_runtime ablation_security >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -74,6 +76,20 @@ fi
 # The machine-readable block is the final stdout line (tag-line format).
 grep '"security_ablation"' "$TMP/security.txt" | tail -n 1 > "$TMP/security.json"
 
-echo "== merge + schema check -> $OUT =="
-python3 scripts/bench_merge.py --smoke="$SMOKE" "$TMP" "$OUT"
+echo "== bench_server: KV/HTTP latency sweep =="
+if [ "$SMOKE" = 1 ]; then
+  ./build/bench/bench_server --smoke > "$TMP/server.json"
+else
+  ./build/bench/bench_server > "$TMP/server.json"
+fi
+
+# Smoke runs on shared CI cores are noisy: scale every baseline tolerance
+# up so the gate only trips on order-of-magnitude regressions there; the
+# full run uses the committed tolerances as-is.
+if [ "$SMOKE" = 1 ]; then GATE_TOL=2.0; else GATE_TOL=1.0; fi
+
+echo "== merge + schema check + regression gate -> $OUT =="
+python3 scripts/bench_merge.py --smoke="$SMOKE" \
+  --check-against scripts/bench_baseline.json --tolerance "$GATE_TOL" \
+  "$TMP" "$OUT"
 echo "bench.sh: wrote $OUT"

@@ -22,7 +22,11 @@ import re
 import sys
 from pathlib import Path
 
-# Version of the merged document. v6: batched-access ladder (scalar vs
+# Version of the merged document. v7: the server block (bench_server's
+# KV/HTTP request-serving sweep: closed-loop throughput + open-loop
+# latency percentiles per backend, cursor/prefetch ablation) and the
+# ratio-based regression gate (--check-against).
+# v6: batched-access ladder (scalar vs
 # obj_fields_multi vs FieldCursor per backend), the pointer-chase prefetch
 # ablation, and min/median/p90 throughput spread on the fastpath modes
 # (getptr schema v3).
@@ -36,12 +40,13 @@ from pathlib import Path
 # (getptr schema v2, typed-handle measurement loop). v2: neutral "BENCH"
 # top-level tag (previously the PR-specific "BENCH_pr4") and the
 # trace_overhead section.
-MERGED_SCHEMA_VERSION = 6
+MERGED_SCHEMA_VERSION = 7
 # Versions of the individual bench binaries' native outputs.
 GETPTR_SCHEMA_VERSION = 3
 TRACE_SCHEMA_VERSION = 1
 SECURITY_SCHEMA_VERSION = 1
 ALLOC_SCHEMA_VERSION = 1
+SERVER_SCHEMA_VERSION = 1
 
 # The ablation ladder bench_getptr must emit, in order.
 EXPECTED_MODES = [
@@ -348,12 +353,161 @@ def check_alloc(doc):
     return doc
 
 
+# The backend sweep bench_server must emit, in order (direct first: it is
+# the parity and rate-calibration anchor), and the cursor/prefetch
+# ablation ladder.
+EXPECTED_SERVER_MODES = ["direct", "stored", "stateless", "hybrid"]
+EXPECTED_SERVER_ABLATION = [
+    "stored_scalar",
+    "stored_cursor",
+    "stored_cursor_prefetch",
+]
+
+SERVER_MODE_FIELDS = {
+    "name": str,
+    "closed_rps": (int, float),
+    "open_rate_rps": (int, float),
+    "offered": int,
+    "served": int,
+    "dropped": int,
+    "throughput_rps": (int, float),
+    "p50_ns": int,
+    "p99_ns": int,
+    "p999_ns": int,
+    "exact_percentiles": bool,
+    "parity_vs_direct": bool,
+}
+
+SERVER_ABLATION_FIELDS = {
+    "name": str,
+    "closed_rps": (int, float),
+    "parity_vs_direct": bool,
+}
+
+
+def check_server(doc):
+    need(doc.get("bench") == "server", "server: bench tag changed")
+    need(doc.get("schema_version") == SERVER_SCHEMA_VERSION,
+         "server: schema_version != %d" % SERVER_SCHEMA_VERSION)
+    modes = doc.get("modes")
+    need(isinstance(modes, list), "server: modes not a list")
+    names = [m.get("name") for m in modes]
+    need(names == EXPECTED_SERVER_MODES,
+         "server: backend sweep drifted: %r" % (names,))
+    for m in modes:
+        need(set(m.keys()) == set(SERVER_MODE_FIELDS),
+             "server: mode fields drifted in %r" % (m.get("name"),))
+        for key, ty in SERVER_MODE_FIELDS.items():
+            need(isinstance(m[key], ty), "server: %s.%s wrong type"
+                 % (m.get("name"), key))
+        need(m["closed_rps"] > 0, "server: nonpositive closed_rps in %r"
+             % (m.get("name"),))
+        need(m["offered"] == m["served"] + m["dropped"],
+             "server: offered != served + dropped in %r" % (m.get("name"),))
+        need(m["p50_ns"] <= m["p99_ns"] <= m["p999_ns"],
+             "server: percentiles not monotone in %r" % (m.get("name"),))
+        # A mode that fails response-byte parity measured a different
+        # computation; its numbers are meaningless.
+        need(m["parity_vs_direct"] is True,
+             "server: response parity broken in %r" % (m.get("name"),))
+    abl = doc.get("ablation")
+    need(isinstance(abl, list), "server: ablation missing")
+    need([a.get("name") for a in abl] == EXPECTED_SERVER_ABLATION,
+         "server: ablation ladder drifted: %r"
+         % ([a.get("name") for a in abl],))
+    for a in abl:
+        need(set(a.keys()) == set(SERVER_ABLATION_FIELDS),
+             "server: ablation fields drifted in %r" % (a.get("name"),))
+        need(isinstance(a["closed_rps"], (int, float)) and a["closed_rps"] > 0,
+             "server: nonpositive closed_rps in ablation %r"
+             % (a.get("name"),))
+        need(a["parity_vs_direct"] is True,
+             "server: ablation parity broken in %r" % (a.get("name"),))
+    return doc
+
+
+def gate_metrics(merged):
+    """The dimensionless ratios the regression gate compares across
+    machines. Absolute Mops/ns differ between the builder box and CI
+    runners; ratios of two numbers measured the same way on the same
+    machine mostly cancel that out."""
+    server = {m["name"]: m for m in merged["server"]["modes"]}
+    fast = {m["name"]: m for m in merged["fastpath"]["modes"]}
+    return {
+        # Open-loop tail latency of the paper-faithful backend relative to
+        # the uninstrumented baseline at the same absolute arrival rate.
+        "server_p99_overhead_vs_direct":
+            server["stored"]["p99_ns"] / max(1, server["direct"]["p99_ns"]),
+        # Service-capacity cost of the stored backend (closed loop).
+        "server_stored_slowdown_vs_direct":
+            server["direct"]["closed_rps"] /
+            max(1e-9, server["stored"]["closed_rps"]),
+        # The fast-path ladder's headline: full config vs the legacy
+        # hash-probe + locked baseline.
+        "getptr_full_speedup_vs_hash_locked":
+            fast["full"]["speedup_vs_hash_locked"],
+    }
+
+
+def run_gate(merged, baseline_path, scale):
+    """Compares gate_metrics(merged) against the committed baseline.
+    Each baseline metric carries its own multiplicative tolerance and a
+    direction: "upper" metrics fail above value * tolerance (they measure
+    cost), "lower" metrics fail below value / tolerance (they measure a
+    speedup). `scale` multiplies every tolerance (CI can loosen a noisy
+    runner without editing the committed file). Returns the number of
+    failed metrics."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    need(baseline.get("schema_version") == 1,
+         "baseline: unknown schema_version")
+    current = gate_metrics(merged)
+    failures = 0
+    for name, spec in baseline["metrics"].items():
+        need(name in current, "baseline: unknown metric %r" % name)
+        need(spec.get("direction") in ("upper", "lower"),
+             "baseline: %s lacks a direction" % name)
+        value, tol = spec["value"], spec["tolerance"] * scale
+        got = current[name]
+        if spec["direction"] == "upper":
+            ok, bound = got <= value * tol, "<= %.3f" % (value * tol)
+        else:
+            ok, bound = got >= value / tol, ">= %.3f" % (value / tol)
+        print("bench_merge: gate %s = %.3f (baseline %.3f, need %s) %s"
+              % (name, got, value, bound, "ok" if ok else "FAIL"))
+        if not ok:
+            failures += 1
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--smoke", default="0")
-    ap.add_argument("indir", type=Path)
-    ap.add_argument("out", type=Path)
+    ap.add_argument("--check-against", type=Path, default=None,
+                    help="baseline JSON; fail on ratio regressions")
+    ap.add_argument("--tolerance", type=float, default=1.0,
+                    help="scales every baseline tolerance (>1 loosens)")
+    ap.add_argument("--server-only", type=Path, default=None,
+                    help="validate one bench_server JSON and exit "
+                         "(positional args are ignored)")
+    ap.add_argument("indir", type=Path, nargs="?")
+    ap.add_argument("out", type=Path, nargs="?")
     args = ap.parse_args()
+
+    if args.server_only is not None:
+        try:
+            doc = check_server(json.loads(args.server_only.read_text()))
+        except (SchemaError, json.JSONDecodeError, FileNotFoundError) as e:
+            print("bench_merge: SCHEMA DRIFT: %s" % e, file=sys.stderr)
+            return 1
+        stored = next(m for m in doc["modes"] if m["name"] == "stored")
+        print("bench_merge: server-only ok: stored %.0f rps closed, "
+              "p99 %d ns open" % (stored["closed_rps"], stored["p99_ns"]))
+        return 0
+
+    if args.indir is None or args.out is None:
+        print("bench_merge: indir and out are required (unless "
+              "--server-only)", file=sys.stderr)
+        return 2
 
     try:
         merged = {
@@ -375,6 +529,8 @@ def main():
                 json.loads((args.indir / "micro.json").read_text())),
             "security": check_security(
                 json.loads((args.indir / "security.json").read_text())),
+            "server": check_server(
+                json.loads((args.indir / "server.json").read_text())),
         }
     except (SchemaError, json.JSONDecodeError, FileNotFoundError) as e:
         print("bench_merge: SCHEMA DRIFT: %s" % e, file=sys.stderr)
@@ -438,6 +594,34 @@ def main():
           "%d attack grids; polar/stored access %.2f Mops" % (
               max(r["success_rate"] for r in strict) * 100.0,
               len(strict), polar_mops))
+    server = {m["name"]: m for m in merged["server"]["modes"]}
+    print("bench_merge: server closed %.0f rps direct / %.0f stored / "
+          "%.0f stateless / %.0f hybrid; stored open p50/p99/p999 "
+          "%d/%d/%d ns (%d dropped of %d)" % (
+              server["direct"]["closed_rps"], server["stored"]["closed_rps"],
+              server["stateless"]["closed_rps"],
+              server["hybrid"]["closed_rps"], server["stored"]["p50_ns"],
+              server["stored"]["p99_ns"], server["stored"]["p999_ns"],
+              server["stored"]["dropped"], server["stored"]["offered"]))
+    abl = {a["name"]: a for a in merged["server"]["ablation"]}
+    print("bench_merge: server ablation scalar %.0f / cursor %.0f / "
+          "cursor+prefetch %.0f rps" % (
+              abl["stored_scalar"]["closed_rps"],
+              abl["stored_cursor"]["closed_rps"],
+              abl["stored_cursor_prefetch"]["closed_rps"]))
+
+    if args.check_against is not None:
+        try:
+            failures = run_gate(merged, args.check_against, args.tolerance)
+        except (SchemaError, json.JSONDecodeError, FileNotFoundError) as e:
+            print("bench_merge: BAD BASELINE: %s" % e, file=sys.stderr)
+            return 1
+        if failures:
+            print("bench_merge: REGRESSION GATE FAILED (%d metric%s)"
+                  % (failures, "" if failures == 1 else "s"),
+                  file=sys.stderr)
+            return 1
+        print("bench_merge: regression gate passed")
     return 0
 
 

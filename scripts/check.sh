@@ -40,6 +40,13 @@ echo "== tier-1: polar_stats self-consistency (minipng) =="
   --format=json >/dev/null
 
 echo
+echo "== tier-1: polar_server selfcheck (parity + accounting + taint) =="
+# Cross-backend response-byte parity vs DirectSpace, open-loop accounting
+# invariants, and TaintClass discovering the server object graph from raw
+# request bytes; exits nonzero on any failed check.
+./build/src/workloads/polar_server --selfcheck --requests=4000
+
+echo
 echo "== tier-2: ThreadSanitizer concurrent_test + alloc_stress_test =="
 cmake -B build-tsan -S . -DPOLAR_SANITIZE=thread "${CMAKE_ARGS[@]}" >/dev/null
 cmake --build build-tsan -j "$JOBS" --target concurrent_test alloc_stress_test

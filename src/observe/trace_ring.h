@@ -44,8 +44,12 @@ enum class TraceEventKind : std::uint8_t {
                      ///< number of blocks drained)
   kLayoutRefill,     ///< a thread's per-type layout pool was refilled
                      ///< (object_id = layouts generated)
+  kServerRequest,    ///< one served request of the KV/HTTP workload
+                     ///< (timestamp = scheduled arrival, object_id =
+                     ///< request index, duration = arrival-to-response —
+                     ///< the coordinated-omission-safe latency)
 };
-inline constexpr std::size_t kTraceEventKindCount = 7;
+inline constexpr std::size_t kTraceEventKindCount = 8;
 
 [[nodiscard]] constexpr const char* to_string(TraceEventKind k) noexcept {
   switch (k) {
@@ -56,6 +60,7 @@ inline constexpr std::size_t kTraceEventKindCount = 7;
     case TraceEventKind::kViolation: return "violation";
     case TraceEventKind::kQuarantineDrain: return "quarantine-drain";
     case TraceEventKind::kLayoutRefill: return "layout-refill";
+    case TraceEventKind::kServerRequest: return "server-request";
   }
   return "?";
 }
@@ -211,6 +216,32 @@ struct Log2Histogram {
 
   friend bool operator==(const Log2Histogram&, const Log2Histogram&) = default;
 };
+
+/// Upper bound (inclusive) of the bucket holding the q-quantile, i.e. the
+/// smallest power-of-two bound B such that at least ceil(q * count) recorded
+/// values are <= B. The histogram's resolution IS the answer's resolution:
+/// a reported p99 of 4096 ns means "the 99th percentile lies in (2048,
+/// 4096]". 0 on an empty histogram. q is clamped to [0, 1].
+[[nodiscard]] inline std::uint64_t percentile_upper_bound(
+    const Log2Histogram& h, double q) noexcept {
+  if (h.count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // ceil(q * count) without floating-point edge surprises at q = 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(h.count) + 0.999999999);
+  if (rank == 0) rank = 1;
+  if (rank > h.count) rank = h.count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    seen += h.buckets[i];
+    if (seen >= rank) {
+      // Bucket 63 also absorbs bit-width-64 values, so its bound is 2^64-1.
+      return i == 0 ? 0 : (i >= 63 ? ~0ULL : (1ULL << i) - 1);
+    }
+  }
+  return ~0ULL;
+}
 
 /// The two hot-path latency distributions the runtime samples.
 struct LatencyHistograms {

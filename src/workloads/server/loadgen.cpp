@@ -1,0 +1,34 @@
+#include "workloads/server/loadgen.h"
+
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace polar::server {
+
+std::vector<std::uint64_t> build_arrival_schedule(std::uint64_t seed,
+                                                  std::uint64_t n,
+                                                  double rate_rps,
+                                                  bool poisson) {
+  std::vector<std::uint64_t> sched(n, 0);
+  if (rate_rps <= 0.0 || n == 0) return sched;
+  const double mean_gap_ns = 1e9 / rate_rps;
+  if (!poisson) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sched[i] = static_cast<std::uint64_t>(
+          mean_gap_ns * static_cast<double>(i));
+    }
+    return sched;
+  }
+  Rng rng(seed);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sched[i] = static_cast<std::uint64_t>(t);
+    // Exponential inter-arrival gap with the fixed-rate mean. uniform() is
+    // in [0, 1), so 1 - u is in (0, 1] and the log is finite.
+    t += -mean_gap_ns * std::log(1.0 - rng.uniform());
+  }
+  return sched;
+}
+
+}  // namespace polar::server

@@ -1,0 +1,186 @@
+// Open-loop load generator for the server workload (DESIGN.md §16).
+//
+// The generator separates *arrival* from *service*: a seeded schedule of
+// nanosecond arrival offsets is built before the run, and the serve loop
+// admits whatever has "arrived" by the wall clock into a bounded FIFO —
+// clients do not politely wait for the server. Latency is measured from
+// the SCHEDULED arrival, not the dequeue, so queueing delay is part of the
+// number — the coordinated-omission correction that closed-loop harnesses
+// silently lack. When the queue is full, arrivals tail-drop and are
+// counted; the accounting identity offered == served + dropped always
+// holds.
+//
+// rate_rps == 0 selects the closed-loop mode: requests are served
+// back-to-back with no queue and no drops, so the served set is the whole
+// stream — that determinism is what the cross-backend parity checks and
+// --selfcheck need. Closed-loop latency is pure service time.
+//
+// Every served request is also pushed into a TraceRing as a kServerRequest
+// event (timestamp = scheduled arrival, object_id = request index,
+// duration = latency). When the ring kept every served event the report's
+// percentiles are exact order statistics from the ring; otherwise they
+// fall back to Log2Histogram bucket upper bounds, and `exact` says which.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "observe/trace_ring.h"
+#include "workloads/server/request_gen.h"
+#include "workloads/server/server.h"
+
+namespace polar::server {
+
+struct LoadGenConfig {
+  double rate_rps = 0.0;              ///< arrival rate; 0 = closed-loop
+  std::uint32_t queue_capacity = 1024;  ///< bounded FIFO; full -> tail drop
+  bool poisson = false;               ///< exponential gaps vs fixed spacing
+  std::uint64_t seed = 0x10adULL;     ///< schedule randomness (poisson only)
+  std::uint32_t ring_capacity = 4096;  ///< rounded up to a power of two
+};
+
+struct LoadGenReport {
+  std::uint64_t offered = 0;  ///< arrivals presented (== workload count)
+  std::uint64_t served = 0;
+  std::uint64_t dropped = 0;  ///< tail-dropped at the full queue
+  std::uint64_t elapsed_ns = 0;
+  double throughput_rps = 0.0;  ///< served / elapsed
+  observe::Log2Histogram latency_ns;
+  observe::TraceRing ring;  ///< kServerRequest events, keep-oldest
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  bool exact_percentiles = false;  ///< order statistics vs bucket bounds
+  std::uint64_t response_bytes = 0;
+  std::uint64_t response_hash = 0;  ///< server's running hash after the run
+};
+
+/// Builds the arrival schedule: `n` nanosecond offsets, nondecreasing,
+/// starting at 0. Fixed spacing of 1e9/rate ns, or exponential gaps with
+/// that mean when `poisson` (seeded — same (seed, n, rate) triple, same
+/// schedule). rate_rps == 0 yields all-zero offsets (arrive at once).
+std::vector<std::uint64_t> build_arrival_schedule(std::uint64_t seed,
+                                                  std::uint64_t n,
+                                                  double rate_rps,
+                                                  bool poisson);
+
+namespace detail {
+
+/// Fills the report's percentile fields: exact order statistics when the
+/// ring held onto every served event, histogram bucket bounds otherwise.
+inline void finalize_percentiles(LoadGenReport& r) {
+  std::vector<observe::TraceEvent> events;
+  r.ring.snapshot(events);
+  if (r.served > 0 && events.size() == r.served) {
+    std::vector<std::uint32_t> lat;
+    lat.reserve(events.size());
+    for (const auto& e : events) lat.push_back(e.duration);
+    std::sort(lat.begin(), lat.end());
+    const auto at = [&lat](double q) {
+      std::size_t rank = static_cast<std::size_t>(
+          q * static_cast<double>(lat.size()) + 0.999999999);
+      if (rank == 0) rank = 1;
+      if (rank > lat.size()) rank = lat.size();
+      return static_cast<std::uint64_t>(lat[rank - 1]);
+    };
+    r.p50_ns = at(0.50);
+    r.p99_ns = at(0.99);
+    r.p999_ns = at(0.999);
+    r.exact_percentiles = true;
+  } else {
+    r.p50_ns = observe::percentile_upper_bound(r.latency_ns, 0.50);
+    r.p99_ns = observe::percentile_upper_bound(r.latency_ns, 0.99);
+    r.p999_ns = observe::percentile_upper_bound(r.latency_ns, 0.999);
+    r.exact_percentiles = false;
+  }
+}
+
+inline void record_served(LoadGenReport& r, std::uint64_t index,
+                          std::uint64_t scheduled_ns,
+                          std::uint64_t latency_ns) {
+  ++r.served;
+  r.latency_ns.record(latency_ns);
+  observe::TraceEvent e;
+  e.timestamp = scheduled_ns;
+  e.object_id = index;
+  e.duration = latency_ns > 0xffffffffULL
+                   ? 0xffffffffu
+                   : static_cast<std::uint32_t>(latency_ns);
+  e.kind = observe::TraceEventKind::kServerRequest;
+  r.ring.push(e);
+}
+
+}  // namespace detail
+
+/// Drives `server` with the whole workload under `cfg`'s arrival process.
+/// The server's object population persists across the run (steady-state
+/// churn); the caller owns reset/teardown.
+template <ObjectSpace S>
+LoadGenReport run_load(Server<S>& server, const RequestWorkload& wl,
+                       const LoadGenConfig& cfg) {
+  LoadGenReport r;
+  const std::uint64_t n = wl.count();
+  r.offered = n;
+  std::uint32_t ring_cap = cfg.ring_capacity == 0
+                               ? 1u
+                               : std::bit_ceil(cfg.ring_capacity);
+  r.ring = observe::TraceRing(ring_cap, observe::TraceRing::Mode::kKeepOldest);
+  std::vector<std::uint8_t> out;
+
+  if (cfg.rate_rps <= 0.0) {
+    // Closed-loop: back-to-back, no queue, no drops. Latency = service
+    // time. Deterministic served set -> usable as the parity oracle.
+    const std::uint64_t start = observe::trace_clock();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out.clear();
+      const std::uint64_t t0 = observe::trace_clock();
+      r.response_bytes += server.serve(wl.request(i), out);
+      const std::uint64_t t1 = observe::trace_clock();
+      detail::record_served(r, i, t0 - start, t1 - t0);
+    }
+    r.elapsed_ns = observe::trace_clock() - start;
+  } else {
+    const auto sched =
+        build_arrival_schedule(cfg.seed, n, cfg.rate_rps, cfg.poisson);
+    const std::uint32_t qcap = std::max(1u, cfg.queue_capacity);
+    std::deque<std::uint64_t> queue;  // request indices, FIFO
+    std::uint64_t next = 0;           // first not-yet-arrived request
+    const std::uint64_t start = observe::trace_clock();
+    while (next < n || !queue.empty()) {
+      const std::uint64_t now = observe::trace_clock() - start;
+      // Admit everything that has arrived by now; tail-drop past capacity.
+      while (next < n && sched[next] <= now) {
+        if (queue.size() >= qcap) {
+          ++r.dropped;
+        } else {
+          queue.push_back(next);
+        }
+        ++next;
+      }
+      if (queue.empty()) continue;  // idle until the next arrival
+      const std::uint64_t i = queue.front();
+      queue.pop_front();
+      out.clear();
+      r.response_bytes += server.serve(wl.request(i), out);
+      // Coordinated-omission-safe: latency runs from the SCHEDULED
+      // arrival, so time spent queued behind a slow request is charged.
+      const std::uint64_t done = observe::trace_clock() - start;
+      detail::record_served(r, i, sched[i],
+                            done > sched[i] ? done - sched[i] : 0);
+    }
+    r.elapsed_ns = observe::trace_clock() - start;
+  }
+
+  r.throughput_rps =
+      r.elapsed_ns == 0
+          ? 0.0
+          : static_cast<double>(r.served) * 1e9 /
+                static_cast<double>(r.elapsed_ns);
+  r.response_hash = server.response_hash();
+  detail::finalize_percentiles(r);
+  return r;
+}
+
+}  // namespace polar::server

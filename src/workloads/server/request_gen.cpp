@@ -1,0 +1,100 @@
+#include "workloads/server/request_gen.h"
+
+namespace polar::server {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+constexpr const char* kHeaderNames[] = {"host", "agent", "accept", "trace-id",
+                                        "content-kind", "session-hint"};
+
+}  // namespace
+
+RequestWorkload build_workload(const WorkloadConfig& cfg) {
+  RequestWorkload wl;
+  Rng rng(cfg.seed);
+  wl.bytes_.reserve(static_cast<std::size_t>(cfg.requests) * 48);
+  wl.offsets_.reserve(static_cast<std::size_t>(cfg.requests) + 1);
+
+  for (std::uint64_t i = 0; i < cfg.requests; ++i) {
+    wl.offsets_.push_back(wl.bytes_.size());
+
+    const std::uint64_t roll = rng.below(1000);
+    Method method = Method::kStat;
+    if (roll < cfg.get_pm) {
+      method = Method::kGet;
+    } else if (roll < cfg.get_pm + cfg.put_pm) {
+      method = Method::kPut;
+    } else if (roll < cfg.get_pm + cfg.put_pm + cfg.del_pm) {
+      method = Method::kDel;
+    }
+
+    // 80/20 hot-set skew over the key universe.
+    const std::uint64_t key_id =
+        rng.below(100) < 80
+            ? rng.below(cfg.hot_keys)
+            : cfg.hot_keys + rng.below(std::max(1u, cfg.key_universe -
+                                                        cfg.hot_keys));
+    std::uint8_t key[24];
+    std::uint32_t key_len = 0;
+    for (std::uint64_t v = key_id;; v >>= 8) {
+      key[key_len++] = static_cast<std::uint8_t>('a' + (v & 15));
+      if (v < 16 || key_len == sizeof(key)) break;
+    }
+    // Pad to a spread of lengths so key parsing isn't a fixed-size memcpy.
+    const std::uint32_t pad = static_cast<std::uint32_t>(rng.below(8));
+    for (std::uint32_t p = 0; p < pad && key_len < sizeof(key); ++p) {
+      key[key_len++] = '.';
+    }
+
+    const std::uint32_t val_len =
+        method == Method::kPut
+            ? 1 + static_cast<std::uint32_t>(rng.below(cfg.max_value_len))
+            : 0;
+    const std::uint8_t n_headers =
+        static_cast<std::uint8_t>(rng.below(cfg.max_headers + 1));
+    const std::uint64_t conn_id = rng.below(cfg.max_conns);
+    const std::uint64_t token = 1 + rng.below(cfg.max_sessions);
+
+    wl.bytes_.push_back(static_cast<std::uint8_t>(method));
+    wl.bytes_.push_back(n_headers);
+    put_u16(wl.bytes_, static_cast<std::uint16_t>(key_len));
+    put_u32(wl.bytes_, val_len);
+    put_u64(wl.bytes_, conn_id);
+    put_u64(wl.bytes_, token);
+    wl.bytes_.insert(wl.bytes_.end(), key, key + key_len);
+    for (std::uint32_t v = 0; v < val_len; ++v) {
+      wl.bytes_.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    for (std::uint8_t h = 0; h < n_headers; ++h) {
+      const char* name =
+          kHeaderNames[rng.below(sizeof(kHeaderNames) / sizeof(*kHeaderNames))];
+      std::uint8_t name_len = 0;
+      while (name[name_len] != '\0') ++name_len;
+      const std::uint8_t value_len =
+          static_cast<std::uint8_t>(1 + rng.below(kHeaderValueCap));
+      wl.bytes_.push_back(name_len);
+      wl.bytes_.push_back(value_len);
+      wl.bytes_.insert(wl.bytes_.end(), name, name + name_len);
+      for (std::uint8_t v = 0; v < value_len; ++v) {
+        wl.bytes_.push_back(static_cast<std::uint8_t>('A' + rng.below(26)));
+      }
+    }
+  }
+  wl.offsets_.push_back(wl.bytes_.size());
+  return wl;
+}
+
+}  // namespace polar::server

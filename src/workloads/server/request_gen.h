@@ -1,0 +1,72 @@
+// Deterministic request generator for the KV/HTTP server workload.
+//
+// Wire format of one request (little-endian, mirrored by Server::serve and
+// taint_serve):
+//
+//   u8  method        0 GET | 1 PUT | 2 DEL | 3 STAT
+//   u8  n_headers
+//   u16 key_len
+//   u32 val_len       nonzero only for PUT
+//   u64 conn_id
+//   u64 session_token
+//   key bytes [key_len]
+//   value bytes [val_len]
+//   headers: n_headers x { u8 name_len, u8 value_len, name, value }
+//
+// All randomness comes from one seeded Rng, so a (seed, count, mix) triple
+// names a byte-identical request stream on every machine — the property
+// the cross-backend parity test and the --selfcheck gate rely on. Keys are
+// drawn with a hot-set skew (80% of requests hit a small fraction of the
+// key universe) so the cache sees realistic hit/evict churn.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+#include "workloads/server/types.h"
+
+namespace polar::server {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 0x5e72'7e57ULL;
+  std::uint64_t requests = 10'000;
+  std::uint32_t key_universe = 4096;  ///< distinct keys
+  std::uint32_t hot_keys = 64;        ///< the skewed hot set
+  std::uint32_t max_conns = 256;      ///< distinct connection ids
+  std::uint32_t max_sessions = 512;   ///< distinct session tokens
+  std::uint32_t max_headers = 4;
+  std::uint32_t max_value_len = 96;
+  /// Per-mille method mix; remainder is STAT. Defaults: 60% GET, 30% PUT,
+  /// 6% DEL, 4% STAT.
+  std::uint32_t get_pm = 600;
+  std::uint32_t put_pm = 300;
+  std::uint32_t del_pm = 60;
+};
+
+/// A pre-generated request stream: one flat buffer plus per-request
+/// offsets, so the load generator's serve loop touches no allocator.
+class RequestWorkload {
+ public:
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> request(std::uint64_t i) const {
+    return std::span<const std::uint8_t>(bytes_)
+        .subspan(offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return bytes_.size();
+  }
+
+ private:
+  friend RequestWorkload build_workload(const WorkloadConfig& cfg);
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::size_t> offsets_;  ///< count()+1 entries, last = size
+};
+
+/// Generates the full request stream for `cfg`. Deterministic in cfg.
+RequestWorkload build_workload(const WorkloadConfig& cfg);
+
+}  // namespace polar::server

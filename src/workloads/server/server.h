@@ -1,0 +1,516 @@
+// Mini KV/HTTP server engine — the steady-state request-serving workload
+// (DESIGN.md §16).
+//
+// One Server<S> instance owns a long-lived object population inside an
+// ObjectSpace S (DirectSpace baseline, SessionSpace/PolarSpace for the
+// instrumented runs): a connection table with slot reuse, a session table
+// with TTL expiry, and a bounded KV cache whose entries are threaded on an
+// intrusive LRU list *through managed pointer fields* — so eviction scans
+// and STAT walks are pointer chases over randomized objects, the shape the
+// MetaCell-prefetch path exists for. Each serve() call parses one raw
+// request buffer (request_gen.h wire format), churns the graph, and
+// appends a fixed-width response record; the running response hash is the
+// cross-space parity oracle (same byte stream in, same hash out, whatever
+// the backend).
+//
+// Batched access: connection touch-up and session refresh are multi-field
+// read-modify-writes under one layout snapshot (make_cursor); `use_cursor`
+// and `use_prefetch` exist as knobs so bench_server can measure both as an
+// ablation rather than a belief.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/space.h"
+#include "fuzz/coverage.h"
+#include "workloads/server/types.h"
+
+namespace polar::server {
+
+struct ServerConfig {
+  std::uint32_t cache_capacity = 256;  ///< live cache entries before evict
+  std::uint32_t max_conns = 256;       ///< connection table slots
+  std::uint64_t session_ttl = 512;     ///< ticks (one tick per request)
+  std::uint32_t stat_walk_limit = 32;  ///< LRU nodes one STAT traverses
+  bool use_cursor = true;              ///< batched multi-field access
+  bool use_prefetch = true;            ///< MetaCell prefetch on LRU chases
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_updates = 0;
+  std::uint64_t cache_deletes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_expired = 0;
+  std::uint64_t conns_created = 0;
+  std::uint64_t conns_reused = 0;
+  std::uint64_t conns_replaced = 0;
+  std::uint64_t headers_parsed = 0;
+  std::uint64_t stat_nodes_walked = 0;
+};
+
+/// HTTP-ish status codes on the response wire.
+inline constexpr std::uint16_t kStatusOk = 200;
+inline constexpr std::uint16_t kStatusCreated = 201;
+inline constexpr std::uint16_t kStatusNoContent = 204;
+inline constexpr std::uint16_t kStatusBadRequest = 400;
+inline constexpr std::uint16_t kStatusNotFound = 404;
+
+/// Bytes serve() appends to the output stream per request:
+/// u16 status | u32 body_len | u64 body_hash.
+inline constexpr std::size_t kResponseBytes = 14;
+
+template <ObjectSpace S>
+class Server {
+ public:
+  Server(S& space, const ServerTypes& t, ServerConfig cfg = {})
+      : space_(&space), t_(t), cfg_(cfg) {
+    conns_.assign(cfg_.max_conns, nullptr);
+  }
+
+  ~Server() { reset(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves one request, appending the response record to `out`.
+  /// Returns the number of response bytes appended (always kResponseBytes).
+  std::size_t serve(std::span<const std::uint8_t> req,
+                    std::vector<std::uint8_t>& out) {
+    ++stats_.requests;
+    ++tick_;
+    POLAR_COV_SITE();
+
+    Reader in(req);
+    if (in.remaining() < 24) {
+      ++stats_.parse_errors;
+      return respond(out, kStatusBadRequest, 0, 0);
+    }
+    const std::uint8_t method_u8 = in.u8();
+    const std::uint8_t n_headers = in.u8();
+    const std::uint16_t key_len = in.u16();
+    const std::uint32_t val_len = in.u32();
+    const std::uint64_t conn_id = in.u64();
+    const std::uint64_t token = in.u64();
+    if (method_u8 >= kMethodCount) {
+      ++stats_.parse_errors;
+      return respond(out, kStatusBadRequest, 0, 0);
+    }
+    const auto method = static_cast<Method>(method_u8);
+    const auto key = in.take(key_len);
+    const auto val = in.take(val_len);
+    const std::uint64_t key_hash = fnv64(key);
+    const std::uint64_t val_hash = fnv64(val);
+
+    // Parsed request object: written once via one layout snapshot, read
+    // back when the response is built.
+    void* reqo = space_->alloc(t_.request);
+    {
+      auto rc = make_cursor(*space_, reqo, t_.request);
+      rc.template store<std::uint8_t>(0, method_u8);
+      rc.template store<std::uint8_t>(1, n_headers);
+      rc.template store<std::uint16_t>(2, key_len);
+      rc.template store<std::uint32_t>(3, val_len);
+      rc.template store<std::uint64_t>(4, key_hash);
+      rc.template store<std::uint64_t>(5, conn_id);
+      rc.template store<std::uint64_t>(6, token);
+    }
+
+    // Header churn: one short-lived srv.header per parsed header; the
+    // name hash folds into the response so header parsing is parity-
+    // covered.
+    std::uint64_t header_hash = 0;
+    for (std::uint8_t h = 0; h < n_headers && !in.eof(); ++h) {
+      POLAR_COV_SITE();
+      const std::uint8_t name_len = in.u8();
+      const std::uint8_t value_len = in.u8();
+      const auto name = in.take(std::min<std::uint32_t>(name_len, kHeaderNameCap));
+      const auto hval =
+          in.take(std::min<std::uint32_t>(value_len, kHeaderValueCap));
+      void* hd = space_->alloc(t_.header);
+      if (!name.empty()) {
+        std::memcpy(space_->field_ptr(hd, t_.header, 0), name.data(),
+                    name.size());
+      }
+      if (!hval.empty()) {
+        std::memcpy(space_->field_ptr(hd, t_.header, 1), hval.data(),
+                    hval.size());
+      }
+      space_->store(hd, t_.header, 2, name_len);
+      space_->store(hd, t_.header, 3, value_len);
+      space_->store(hd, t_.header, 4, fnv64(name));
+      header_hash = hash_mix(
+          header_hash,
+          space_->template load<std::uint64_t>(hd, t_.header, 4));
+      space_->free_object(hd, t_.header);
+      ++stats_.headers_parsed;
+    }
+
+    void* session = touch_session(token, method_u8);
+    touch_connection(conn_id, session);
+
+    // The KV operation.
+    std::uint16_t status = kStatusOk;
+    std::uint32_t body_len = 0;
+    std::uint64_t body_hash = 0;
+    switch (method) {
+      case Method::kGet: {
+        POLAR_COV_SITE();
+        const auto it = cache_.find(key_hash);
+        if (it == cache_.end()) {
+          ++stats_.cache_misses;
+          status = kStatusNotFound;
+        } else {
+          ++stats_.cache_hits;
+          void* e = it->second;
+          auto ec = make_cursor(*space_, e, t_.cache_entry);
+          ec.template store<std::uint32_t>(
+              3, ec.template load<std::uint32_t>(3) + 1);
+          body_len = ec.template load<std::uint32_t>(2);
+          body_hash = ec.template load<std::uint64_t>(1);
+          lru_move_front(e);
+        }
+        break;
+      }
+      case Method::kPut: {
+        POLAR_COV_SITE();
+        const auto it = cache_.find(key_hash);
+        if (it != cache_.end()) {
+          ++stats_.cache_updates;
+          void* e = it->second;
+          auto ec = make_cursor(*space_, e, t_.cache_entry);
+          ec.template store<std::uint64_t>(1, val_hash);
+          ec.template store<std::uint32_t>(2, val_len);
+          ec.template store<std::uint64_t>(4, tick_);
+          lru_move_front(e);
+        } else {
+          ++stats_.cache_inserts;
+          void* e = space_->alloc(t_.cache_entry);
+          auto ec = make_cursor(*space_, e, t_.cache_entry);
+          ec.template store<std::uint64_t>(0, key_hash);
+          ec.template store<std::uint64_t>(1, val_hash);
+          ec.template store<std::uint32_t>(2, val_len);
+          ec.template store<std::uint32_t>(3, 0);
+          ec.template store<std::uint64_t>(4, tick_);
+          cache_.emplace(key_hash, e);
+          lru_push_front(e);
+          if (cache_.size() > cfg_.cache_capacity) evict_tail();
+        }
+        status = kStatusCreated;
+        body_len = val_len;
+        body_hash = val_hash;
+        break;
+      }
+      case Method::kDel: {
+        POLAR_COV_SITE();
+        const auto it = cache_.find(key_hash);
+        if (it == cache_.end()) {
+          ++stats_.cache_misses;
+          status = kStatusNotFound;
+        } else {
+          ++stats_.cache_deletes;
+          void* e = it->second;
+          lru_unlink(e);
+          cache_.erase(it);
+          space_->free_object(e, t_.cache_entry);
+          status = kStatusNoContent;
+        }
+        break;
+      }
+      case Method::kStat: {
+        POLAR_COV_SITE();
+        // Pointer chase down the LRU chain: prefetch the *next* entry's
+        // metadata while hashing the current one (the MetaCell-prefetch
+        // idiom; cfg_.use_prefetch ablates it).
+        void* cur = lru_head_;
+        std::uint32_t walked = 0;
+        while (cur != nullptr && walked < cfg_.stat_walk_limit) {
+          void* next = entry_ptr(cur, 6);
+          if (cfg_.use_prefetch && next != nullptr) {
+            space_prefetch(*space_, next);
+          }
+          body_hash = hash_mix(
+              body_hash,
+              space_->template load<std::uint64_t>(cur, t_.cache_entry, 1));
+          ++walked;
+          cur = next;
+        }
+        stats_.stat_nodes_walked += walked;
+        body_len = walked;
+        break;
+      }
+    }
+
+    // Response object: built from the request object + op outcome, read
+    // back out for serialization, then released (per-request churn).
+    body_hash = hash_mix(body_hash, header_hash);
+    void* resp = space_->alloc(t_.response);
+    {
+      auto pc = make_cursor(*space_, resp, t_.response);
+      pc.template store<std::uint16_t>(0, status);
+      pc.template store<std::uint32_t>(1, body_len);
+      pc.template store<std::uint64_t>(2, body_hash);
+      pc.template store<std::uint32_t>(
+          3, static_cast<std::uint32_t>(method_u8) |
+                 (n_headers != 0 ? 16u : 0u));
+      status = pc.template load<std::uint16_t>(0);
+      body_len = pc.template load<std::uint32_t>(1);
+      body_hash = pc.template load<std::uint64_t>(2);
+    }
+    space_->free_object(resp, t_.response);
+    space_->free_object(reqo, t_.request);
+    return respond(out, status, body_len, body_hash);
+  }
+
+  /// Frees every live object and resets the tables (also the destructor's
+  /// teardown path).
+  void reset() {
+    for (void*& c : conns_) {
+      if (c != nullptr) space_->free_object(c, t_.connection);
+      c = nullptr;
+    }
+    for (auto& [token, s] : sessions_) space_->free_object(s, t_.session);
+    sessions_.clear();
+    for (auto& [kh, e] : cache_) space_->free_object(e, t_.cache_entry);
+    cache_.clear();
+    lru_head_ = lru_tail_ = nullptr;
+  }
+
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t response_hash() const noexcept {
+    return response_hash_;
+  }
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return cache_.size();
+  }
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+
+ private:
+  /// Little-endian byte reader over the request buffer (clamping reads,
+  /// like the decoder cursors: truncated input yields zeros, not UB).
+  class Reader {
+   public:
+    explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+    [[nodiscard]] std::size_t remaining() const {
+      return at_ < data_.size() ? data_.size() - at_ : 0;
+    }
+    [[nodiscard]] bool eof() const { return remaining() == 0; }
+    std::uint8_t u8() { return at_ < data_.size() ? data_[at_++] : 0; }
+    std::uint16_t u16() {
+      std::uint16_t v = u8();
+      return static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(u8()) << 8));
+    }
+    std::uint32_t u32() {
+      std::uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+      return v;
+    }
+    std::uint64_t u64() {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+      return v;
+    }
+    std::span<const std::uint8_t> take(std::size_t n) {
+      const std::size_t got = std::min(n, remaining());
+      auto out = data_.subspan(at_, got);
+      at_ += got;
+      return out;
+    }
+
+   private:
+    std::span<const std::uint8_t> data_;
+    std::size_t at_ = 0;
+  };
+
+  [[nodiscard]] static std::uint64_t fnv64(
+      std::span<const std::uint8_t> bytes) noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint8_t b : bytes) h = (h ^ b) * 1099511628211ULL;
+    return h;
+  }
+
+  [[nodiscard]] static std::uint64_t hash_mix(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+    return (a ^ b) * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL;
+  }
+
+  std::size_t respond(std::vector<std::uint8_t>& out, std::uint16_t status,
+                      std::uint32_t body_len, std::uint64_t body_hash) {
+    ++stats_.responses;
+    out.push_back(static_cast<std::uint8_t>(status));
+    out.push_back(static_cast<std::uint8_t>(status >> 8));
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(body_len >> (8 * i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<std::uint8_t>(body_hash >> (8 * i)));
+    }
+    response_hash_ = hash_mix(
+        response_hash_,
+        hash_mix(static_cast<std::uint64_t>(status) << 32 | body_len,
+                 body_hash));
+    return kResponseBytes;
+  }
+
+  // --- session table --------------------------------------------------------
+
+  void* touch_session(std::uint64_t token, std::uint8_t method_u8) {
+    const auto it = sessions_.find(token);
+    void* s = nullptr;
+    if (it != sessions_.end()) {
+      const auto expires =
+          space_->template load<std::uint64_t>(it->second, t_.session, 1);
+      if (expires < tick_) {
+        ++stats_.sessions_expired;
+        space_->free_object(it->second, t_.session);
+        sessions_.erase(it);
+      } else {
+        s = it->second;
+      }
+    }
+    if (s == nullptr) {
+      ++stats_.sessions_created;
+      s = space_->alloc(t_.session);
+      auto sc = make_cursor(*space_, s, t_.session);
+      sc.template store<std::uint64_t>(0, token);
+      sc.template store<std::uint64_t>(1, tick_ + cfg_.session_ttl);
+      sc.template store<std::uint32_t>(2, 0);
+      sc.template store<std::uint32_t>(3, 0);
+      sessions_.emplace(token, s);
+    }
+    // Refresh: hits/flags/expiry under one snapshot.
+    auto sc = make_cursor(*space_, s, t_.session);
+    sc.template store<std::uint32_t>(2, sc.template load<std::uint32_t>(2) + 1);
+    sc.template store<std::uint32_t>(
+        3, sc.template load<std::uint32_t>(3) | (1u << method_u8));
+    sc.template store<std::uint64_t>(1, tick_ + cfg_.session_ttl);
+    return s;
+  }
+
+  // --- connection table -----------------------------------------------------
+
+  void touch_connection(std::uint64_t conn_id, void* session) {
+    const std::size_t slot =
+        static_cast<std::size_t>(conn_id % conns_.size());
+    void* c = conns_[slot];
+    if (c != nullptr &&
+        space_->template load<std::uint64_t>(c, t_.connection, 1) != conn_id) {
+      // Slot collision: the old connection closed; replace it.
+      ++stats_.conns_replaced;
+      space_->free_object(c, t_.connection);
+      c = nullptr;
+      conns_[slot] = nullptr;
+    }
+    if (c == nullptr) {
+      ++stats_.conns_created;
+      c = space_->alloc(t_.connection);
+      space_->store(c, t_.connection, 1, conn_id);
+      conns_[slot] = c;
+    } else {
+      ++stats_.conns_reused;
+    }
+    if (cfg_.use_cursor) {
+      auto cc = make_cursor(*space_, c, t_.connection);
+      cc.template store<std::uint64_t>(2, tick_);
+      cc.template store<std::uint32_t>(
+          3, cc.template load<std::uint32_t>(3) + 1);
+      cc.template store<std::uint32_t>(
+          4, cc.template load<std::uint32_t>(4) +
+                 static_cast<std::uint32_t>(kResponseBytes));
+      cc.template store<std::uint64_t>(
+          5, static_cast<std::uint64_t>(
+                 reinterpret_cast<std::uintptr_t>(session)));
+    } else {
+      space_->store(c, t_.connection, 2, tick_);
+      space_->store(
+          c, t_.connection, 3,
+          space_->template load<std::uint32_t>(c, t_.connection, 3) + 1);
+      space_->store(
+          c, t_.connection, 4,
+          space_->template load<std::uint32_t>(c, t_.connection, 4) +
+              static_cast<std::uint32_t>(kResponseBytes));
+      space_->store(c, t_.connection, 5,
+                    static_cast<std::uint64_t>(
+                        reinterpret_cast<std::uintptr_t>(session)));
+    }
+  }
+
+  // --- intrusive LRU over managed pointer fields ----------------------------
+
+  [[nodiscard]] void* entry_ptr(void* e, std::uint32_t field) const {
+    return reinterpret_cast<void*>(static_cast<std::uintptr_t>(
+        space_->template load<std::uint64_t>(e, t_.cache_entry, field)));
+  }
+  void set_entry_ptr(void* e, std::uint32_t field, void* p) {
+    space_->store(e, t_.cache_entry, field,
+                  static_cast<std::uint64_t>(
+                      reinterpret_cast<std::uintptr_t>(p)));
+  }
+
+  void lru_push_front(void* e) {
+    set_entry_ptr(e, 5, nullptr);
+    set_entry_ptr(e, 6, lru_head_);
+    if (lru_head_ != nullptr) set_entry_ptr(lru_head_, 5, e);
+    lru_head_ = e;
+    if (lru_tail_ == nullptr) lru_tail_ = e;
+  }
+
+  void lru_unlink(void* e) {
+    void* prev = entry_ptr(e, 5);
+    void* next = entry_ptr(e, 6);
+    if (prev != nullptr) {
+      set_entry_ptr(prev, 6, next);
+    } else {
+      lru_head_ = next;
+    }
+    if (next != nullptr) {
+      set_entry_ptr(next, 5, prev);
+    } else {
+      lru_tail_ = prev;
+    }
+  }
+
+  void lru_move_front(void* e) {
+    if (e == lru_head_) return;
+    lru_unlink(e);
+    lru_push_front(e);
+  }
+
+  void evict_tail() {
+    void* victim = lru_tail_;
+    if (victim == nullptr) return;
+    ++stats_.evictions;
+    const auto kh =
+        space_->template load<std::uint64_t>(victim, t_.cache_entry, 0);
+    lru_unlink(victim);
+    cache_.erase(kh);
+    space_->free_object(victim, t_.cache_entry);
+  }
+
+  S* space_;
+  ServerTypes t_;
+  ServerConfig cfg_;
+  ServerStats stats_{};
+  std::uint64_t tick_ = 0;
+  std::uint64_t response_hash_ = 0x5eed'0f'5e72e5ULL;
+
+  std::vector<void*> conns_;                       ///< slot = conn_id % size
+  std::unordered_map<std::uint64_t, void*> sessions_;  ///< token -> session
+  std::unordered_map<std::uint64_t, void*> cache_;     ///< key_hash -> entry
+  void* lru_head_ = nullptr;
+  void* lru_tail_ = nullptr;
+};
+
+}  // namespace polar::server

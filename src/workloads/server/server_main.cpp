@@ -1,0 +1,315 @@
+// polar_server — run the mini KV/HTTP server workload against a chosen
+// backend, with latency reporting, a TaintClass discovery pass, and a
+// self-check gate (DESIGN.md §16, README "Server workload").
+//
+//   polar_server [--backend=direct|stored|stateless|hybrid] [--requests=N]
+//                [--rate=R] [--poisson] [--queue=N] [--seed=S]
+//                [--json] [--taint] [--selfcheck]
+//
+// --rate=0 (the default) is the closed-loop mode: every request is served,
+// so the response hash is comparable across backends. Nonzero rates select
+// the open-loop generator (queueing + tail drops + coordinated-omission-
+// safe latency). --selfcheck is the tier-1 gate scripts/check.sh and CI
+// run: response-byte parity of all three instrumented backends against
+// DirectSpace, load-generator accounting invariants, zero runtime
+// violations, and TaintClass discovering the session/header/cache-entry
+// types from raw request bytes alone. --taint prints the Table-I-style
+// discovery report. Exit codes: 0 ok, 1 check failure, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/session.h"
+#include "core/space.h"
+#include "taintclass/monitor.h"
+#include "taintclass/taint_space.h"
+#include "workloads/server/loadgen.h"
+#include "workloads/server/request_gen.h"
+#include "workloads/server/server.h"
+#include "workloads/server/types.h"
+
+namespace {
+
+using namespace polar;
+using namespace polar::server;
+
+struct Options {
+  std::string backend = "stored";
+  std::uint64_t requests = 10'000;
+  double rate = 0.0;
+  bool poisson = false;
+  std::uint32_t queue = 1024;
+  std::uint64_t seed = WorkloadConfig{}.seed;
+  bool json = false;
+  bool taint = false;
+  bool selfcheck = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--backend=direct|stored|stateless|hybrid] [--requests=N]\n"
+      "          [--rate=R] [--poisson] [--queue=N] [--seed=S]\n"
+      "          [--json] [--taint] [--selfcheck]\n",
+      argv0);
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+template <ObjectSpace S>
+LoadGenReport run_one(S& space, const ServerTypes& t, const RequestWorkload& wl,
+                      const Options& opt) {
+  Server<S> server(space, t);
+  LoadGenConfig lg;
+  lg.rate_rps = opt.rate;
+  lg.queue_capacity = opt.queue;
+  lg.poisson = opt.poisson;
+  lg.seed = opt.seed;
+  return run_load(server, wl, lg);
+}
+
+/// Total violation reports across every class (selfcheck demands zero:
+/// a server run is supposed to be fault-free).
+std::uint64_t total_violations(Runtime& rt) {
+  std::uint64_t n = 0;
+  for (std::size_t v = 1; v < kViolationClassCount; ++v) {
+    n += rt.policy_engine().reports(static_cast<Violation>(v));
+  }
+  return n;
+}
+
+void print_report(const Options& opt, const LoadGenReport& r) {
+  if (opt.json) {
+    std::printf(
+        "{\"workload\": \"server\", \"backend\": \"%s\", \"offered\": %llu, "
+        "\"served\": %llu, \"dropped\": %llu, \"elapsed_ns\": %llu, "
+        "\"throughput_rps\": %.1f, \"p50_ns\": %llu, \"p99_ns\": %llu, "
+        "\"p999_ns\": %llu, \"exact_percentiles\": %s, "
+        "\"response_bytes\": %llu, \"response_hash\": \"0x%016llx\"}\n",
+        opt.backend.c_str(),
+        static_cast<unsigned long long>(r.offered),
+        static_cast<unsigned long long>(r.served),
+        static_cast<unsigned long long>(r.dropped),
+        static_cast<unsigned long long>(r.elapsed_ns), r.throughput_rps,
+        static_cast<unsigned long long>(r.p50_ns),
+        static_cast<unsigned long long>(r.p99_ns),
+        static_cast<unsigned long long>(r.p999_ns),
+        r.exact_percentiles ? "true" : "false",
+        static_cast<unsigned long long>(r.response_bytes),
+        static_cast<unsigned long long>(r.response_hash));
+    return;
+  }
+  std::printf("backend=%s offered=%llu served=%llu dropped=%llu\n",
+              opt.backend.c_str(),
+              static_cast<unsigned long long>(r.offered),
+              static_cast<unsigned long long>(r.served),
+              static_cast<unsigned long long>(r.dropped));
+  std::printf("throughput=%.1f req/s  p50=%llu ns  p99=%llu ns  p999=%llu ns"
+              " (%s)\n",
+              r.throughput_rps, static_cast<unsigned long long>(r.p50_ns),
+              static_cast<unsigned long long>(r.p99_ns),
+              static_cast<unsigned long long>(r.p999_ns),
+              r.exact_percentiles ? "exact" : "bucket upper bounds");
+  std::printf("response_hash=0x%016llx (%llu bytes)\n",
+              static_cast<unsigned long long>(r.response_hash),
+              static_cast<unsigned long long>(r.response_bytes));
+}
+
+/// Runs the TaintClass pass over the first `count` requests of the stream.
+/// Returns the monitor for reporting/assertion.
+void run_taint(TaintClassMonitor& monitor, TypeRegistry& reg,
+               const ServerTypes& t, const RequestWorkload& wl,
+               std::uint64_t count) {
+  TaintDomain domain;
+  TaintClassSpace space(reg, domain, monitor);
+  const std::uint64_t n = wl.count() < count ? wl.count() : count;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    domain.reset_shadow();
+    const auto req = wl.request(i);
+    std::vector<std::uint8_t> buf(req.begin(), req.end());
+    if (buf.empty()) continue;
+    domain.taint_input(buf.data(), buf.size(), "server-request");
+    taint_serve(space, t, buf);
+  }
+}
+
+int print_taint_table(TypeRegistry& reg, const ServerTypes& t,
+                      const RequestWorkload& wl) {
+  TaintClassMonitor monitor(reg);
+  run_taint(monitor, reg, t, wl, 512);
+  std::printf(
+      "TaintClass census — server workload (source: raw request bytes)\n");
+  std::printf("%-18s %-8s %-6s %-8s %s\n", "type", "content", "alloc",
+              "dealloc", "tainted fields");
+  for (const auto& rep : monitor.report()) {
+    std::string fields;
+    for (const auto& f : rep.tainted_fields) {
+      if (!fields.empty()) fields += ", ";
+      fields += f.name;
+    }
+    std::printf("%-18s %-8s %-6s %-8s %s\n", rep.type_name.c_str(),
+                rep.content_tainted ? "yes" : "-",
+                rep.alloc_tainted ? "yes" : "-",
+                rep.dealloc_tainted ? "yes" : "-", fields.c_str());
+  }
+  std::printf("tainted types: %zu\n", monitor.tainted_type_count());
+  return 0;
+}
+
+int selfcheck(TypeRegistry& reg, const ServerTypes& t,
+              const RequestWorkload& wl, const Options& opt) {
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  std::printf("selfcheck: %llu requests, seed 0x%llx\n",
+              static_cast<unsigned long long>(wl.count()),
+              static_cast<unsigned long long>(opt.seed));
+
+  // Reference: closed-loop DirectSpace run.
+  Options closed = opt;
+  closed.rate = 0.0;
+  DirectSpace direct(reg);
+  const LoadGenReport want = run_one(direct, t, wl, closed);
+  check(want.served == want.offered && want.dropped == 0,
+        "direct: closed loop serves everything");
+  check(want.latency_ns.count == want.served,
+        "direct: one latency sample per served request");
+
+  // Parity: each instrumented backend must produce byte-identical
+  // responses (equal running hashes) with zero runtime violations.
+  const BackendKind kinds[] = {BackendKind::kStored, BackendKind::kStateless,
+                               BackendKind::kHybrid};
+  for (const BackendKind kind : kinds) {
+    RuntimeConfig rc;
+    rc.on_violation = ErrorAction::kReport;
+    rc.backend = BackendConfig::of(kind);
+    Runtime rt(reg, rc);
+    SessionSpace space(rt);
+    const LoadGenReport got = run_one(space, t, wl, closed);
+    std::string label = std::string(to_string(kind)) + ": response parity";
+    check(got.response_hash == want.response_hash &&
+              got.response_bytes == want.response_bytes,
+          label.c_str());
+    label = std::string(to_string(kind)) + ": accounting + zero violations";
+    check(got.served == got.offered && got.dropped == 0 &&
+              total_violations(rt) == 0,
+          label.c_str());
+  }
+
+  // Open-loop accounting under deliberate overload: a tiny queue at an
+  // impossible arrival rate must tail-drop, and the identity
+  // offered == served + dropped must survive it.
+  {
+    DirectSpace d2(reg);
+    Server<DirectSpace> server(d2, t);
+    LoadGenConfig lg;
+    lg.rate_rps = 50e6;  // 50M rps: arrivals beat service by construction
+    lg.queue_capacity = 4;
+    lg.seed = opt.seed;
+    const LoadGenReport r = run_load(server, wl, lg);
+    check(r.offered == r.served + r.dropped,
+          "open loop: offered == served + dropped");
+    check(r.dropped > 0, "open loop: overload tail-drops");
+    const auto rs = r.ring.stats();
+    check(rs.recorded == rs.stored + rs.dropped,
+          "trace ring: recorded == stored + dropped");
+  }
+
+  // TaintClass discovery: the session/header/cache-entry types must be
+  // reported from request bytes alone — nothing is marked by hand.
+  {
+    TaintClassMonitor monitor(reg);
+    run_taint(monitor, reg, t, wl, 512);
+    const auto list = monitor.randomization_list();
+    const auto has = [&list](const char* name) {
+      for (const auto& n : list) {
+        if (n == name) return true;
+      }
+      return false;
+    };
+    check(has("srv.session"), "taint: discovered srv.session");
+    check(has("srv.header"), "taint: discovered srv.header");
+    check(has("srv.cache_entry"), "taint: discovered srv.cache_entry");
+    check(has("srv.request") && has("srv.connection") && has("srv.response"),
+          "taint: discovered request/connection/response");
+  }
+
+  std::printf("selfcheck: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--backend=", 10) == 0) {
+      opt.backend = a + 10;
+    } else if (std::strncmp(a, "--requests=", 11) == 0) {
+      if (!parse_u64(a + 11, opt.requests)) return usage(argv[0]);
+    } else if (std::strncmp(a, "--rate=", 7) == 0) {
+      opt.rate = std::atof(a + 7);
+    } else if (std::strcmp(a, "--poisson") == 0) {
+      opt.poisson = true;
+    } else if (std::strncmp(a, "--queue=", 8) == 0) {
+      std::uint64_t q = 0;
+      if (!parse_u64(a + 8, q) || q == 0 || q > 0xffffffffULL) {
+        return usage(argv[0]);
+      }
+      opt.queue = static_cast<std::uint32_t>(q);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      if (!parse_u64(a + 7, opt.seed)) return usage(argv[0]);
+    } else if (std::strcmp(a, "--json") == 0) {
+      opt.json = true;
+    } else if (std::strcmp(a, "--taint") == 0) {
+      opt.taint = true;
+    } else if (std::strcmp(a, "--selfcheck") == 0) {
+      opt.selfcheck = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  WorkloadConfig wcfg;
+  wcfg.seed = opt.seed;
+  wcfg.requests = opt.requests;
+  const RequestWorkload wl = build_workload(wcfg);
+
+  if (opt.selfcheck) return selfcheck(reg, t, wl, opt);
+  if (opt.taint) return print_taint_table(reg, t, wl);
+
+  if (opt.backend == "direct") {
+    DirectSpace space(reg);
+    print_report(opt, run_one(space, t, wl, opt));
+    return 0;
+  }
+  BackendKind kind{};
+  if (!parse_backend(opt.backend, kind)) return usage(argv[0]);
+  RuntimeConfig rc;
+  rc.on_violation = ErrorAction::kReport;
+  rc.backend = BackendConfig::of(kind);
+  Runtime rt(reg, rc);
+  SessionSpace space(rt);
+  print_report(opt, run_one(space, t, wl, opt));
+  if (total_violations(rt) != 0) {
+    std::fprintf(stderr, "polar_server: runtime reported violations\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "workloads/server/types.h"
+
+#include "support/hash.h"
+#include "workloads/spec_common.h"
+
+namespace polar::server {
+
+ServerTypes register_types(TypeRegistry& reg) {
+  ServerTypes t;
+  t.connection = TypeBuilder(reg, "srv.connection")
+                     .fn_ptr("handler")
+                     .field<std::uint64_t>("conn_id")
+                     .field<std::uint64_t>("last_seen")
+                     .field<std::uint32_t>("requests_served")
+                     .field<std::uint32_t>("bytes_out")
+                     .ptr("session")
+                     .build();
+  t.session = TypeBuilder(reg, "srv.session")
+                  .field<std::uint64_t>("token")
+                  .field<std::uint64_t>("expires_at")
+                  .field<std::uint32_t>("hits")
+                  .field<std::uint32_t>("flags")
+                  .fn_ptr("on_expire")
+                  .build();
+  t.request = TypeBuilder(reg, "srv.request")
+                  .field<std::uint8_t>("method")
+                  .field<std::uint8_t>("n_headers")
+                  .field<std::uint16_t>("key_len")
+                  .field<std::uint32_t>("val_len")
+                  .field<std::uint64_t>("key_hash")
+                  .field<std::uint64_t>("conn_id")
+                  .field<std::uint64_t>("session_token")
+                  .build();
+  t.header = TypeBuilder(reg, "srv.header")
+                 .bytes("name", kHeaderNameCap, 1)
+                 .bytes("value", kHeaderValueCap, 1)
+                 .field<std::uint8_t>("name_len")
+                 .field<std::uint8_t>("value_len")
+                 .field<std::uint64_t>("name_hash")
+                 .build();
+  t.cache_entry = TypeBuilder(reg, "srv.cache_entry")
+                      .field<std::uint64_t>("key_hash")
+                      .field<std::uint64_t>("value_hash")
+                      .field<std::uint32_t>("value_len")
+                      .field<std::uint32_t>("hits")
+                      .field<std::uint64_t>("inserted_at")
+                      .ptr("lru_prev")
+                      .ptr("lru_next")
+                      .build();
+  t.response = TypeBuilder(reg, "srv.response")
+                   .field<std::uint16_t>("status")
+                   .field<std::uint32_t>("body_len")
+                   .field<std::uint64_t>("body_hash")
+                   .field<std::uint32_t>("flags")
+                   .build();
+  return t;
+}
+
+// The taint run mirrors Server<S>::serve's parse (request_gen.h wire
+// format) over TaintClassSpace: every field filled from request bytes is a
+// tainted store, every allocation whose occurrence or count the bytes
+// decided carries a control label. TaintClass sees the whole object graph
+// from the raw buffer alone — no type is marked by hand.
+void taint_serve(TaintClassSpace& space, const ServerTypes& t,
+                 std::span<const std::uint8_t> request) {
+  TaintScope scope(space.domain());
+  spec::TaintReader in(space, request);
+  if (in.remaining() < 24) return;  // fixed header: see request_gen.h
+
+  const auto method = in.u8();
+  const auto n_headers = in.u8();
+  const auto key_len = in.u16();
+  const auto val_len = in.u32();
+  const auto conn_id = in.u64();
+  const auto token = in.u64();
+
+  // The request object itself exists per arriving buffer — its allocation
+  // is input-controlled (the bytes' presence decided it).
+  void* req = space.alloc(t.request, method.label());
+  space.store_t(req, t.request, 0, method);
+  space.store_t(req, t.request, 1, n_headers);
+  space.store_t(req, t.request, 2, key_len);
+  space.store_t(req, t.request, 3, val_len);
+  space.store_t(req, t.request, 5, conn_id);
+  space.store_t(req, t.request, 6, token);
+
+  // Tainted FNV over a byte window; shadow is read off the *input* bytes,
+  // so the resulting hash carries the union of their labels.
+  const auto fnv_t = [&space](std::span<const std::uint8_t> bytes) {
+    Tainted<std::uint64_t> h(1469598103934665603ULL);
+    for (const std::uint8_t& b : bytes) {
+      h = (h ^ Tainted<std::uint64_t>(b, space.domain().shadow().get(&b))) *
+          Tainted<std::uint64_t>(1099511628211ULL);
+    }
+    return h;
+  };
+
+  const auto key = in.bytes(std::min<std::size_t>(key_len.value(), 64));
+  const Tainted<std::uint64_t> key_hash = fnv_t(key);
+  space.store_t(req, t.request, 4, key_hash);
+
+  const auto val = in.bytes(std::min<std::size_t>(val_len.value(), 256));
+  const Tainted<std::uint64_t> val_hash = fnv_t(val);
+
+  // Headers: the COUNT of srv.header allocations is the tainted n_headers
+  // byte — the canonical "allocation decided by input" evidence.
+  for (std::uint8_t h = 0; h < n_headers.value() && !in.empty(); ++h) {
+    const auto name_len = in.u8();
+    const auto value_len = in.u8();
+    void* hd = space.alloc(t.header, n_headers.label());
+    const auto name =
+        in.bytes(std::min<std::size_t>(name_len.value(), kHeaderNameCap));
+    if (!name.empty()) {
+      space.store_bytes(hd, t.header, 0, 0, name.data(), name.size());
+    }
+    const auto hval =
+        in.bytes(std::min<std::size_t>(value_len.value(), kHeaderValueCap));
+    if (!hval.empty()) {
+      space.store_bytes(hd, t.header, 1, 0, hval.data(), hval.size());
+    }
+    space.store_t(hd, t.header, 2, name_len);
+    space.store_t(hd, t.header, 3, value_len);
+    space.free_object(hd, t.header, n_headers.label());
+  }
+
+  // Session: keyed (and thus allocated) by the tainted token.
+  void* se = space.alloc(t.session, token.label());
+  space.store_t(se, t.session, 0, token);
+  space.store_t(se, t.session, 1,
+                token + Tainted<std::uint64_t>(512));  // expiry from token
+  space.store_t(se, t.session, 2, Tainted<std::uint32_t>(
+                                      1, method.label()));
+
+  // Connection: identified by the tainted conn_id.
+  void* conn = space.alloc(t.connection, conn_id.label());
+  space.store_t(conn, t.connection, 1, conn_id);
+  space.store_t(conn, t.connection, 3,
+                Tainted<std::uint32_t>(1, conn_id.label()));
+
+  // Cache entry: a PUT materializes one, keyed by the tainted key hash and
+  // sized by the tainted value length.
+  if (method.value() == static_cast<std::uint8_t>(Method::kPut)) {
+    void* ce = space.alloc(t.cache_entry, key_hash.label());
+    space.store_t(ce, t.cache_entry, 0, key_hash);
+    space.store_t(ce, t.cache_entry, 1, val_hash);
+    space.store_t(ce, t.cache_entry, 2, val_len);
+    space.free_object(ce, t.cache_entry, key_hash.label());
+  }
+
+  // Response: status/body derive from the tainted lookup key.
+  void* resp = space.alloc(t.response, method.label());
+  space.store_t(resp, t.response, 0,
+                Tainted<std::uint16_t>(200, method.label()));
+  space.store_t(resp, t.response, 2, key_hash);
+  space.free_object(resp, t.response, method.label());
+
+  space.free_object(conn, t.connection, conn_id.label());
+  space.free_object(se, t.session, token.label());
+  space.free_object(req, t.request, method.label());
+}
+
+}  // namespace polar::server

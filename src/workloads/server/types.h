@@ -1,0 +1,64 @@
+// Server workload object graph — the types a mini KV/HTTP request server
+// churns through at steady state (DESIGN.md §16).
+//
+// Every workload so far is a batch decoder: allocate, fill, free, done.
+// This registers the object population of a *request-serving* process —
+// connections that outlive requests, sessions that expire, cache entries
+// threaded on an intrusive LRU list, and the per-request parse/response
+// pair — so the runtime's alloc/free, member-access, and batched-cursor
+// paths are exercised by sustained churn instead of one decode pass.
+//
+// Field indices are part of the wire contract between server.h, the taint
+// run, and the tests; keep the comments below in sync with register_types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/type_registry.h"
+#include "taintclass/taint_space.h"
+
+namespace polar::server {
+
+struct ServerTypes {
+  TypeId connection;   ///< srv.connection
+  TypeId session;      ///< srv.session
+  TypeId request;      ///< srv.request
+  TypeId header;       ///< srv.header
+  TypeId cache_entry;  ///< srv.cache_entry
+  TypeId response;     ///< srv.response
+};
+
+// Field indices (must match register_types order):
+//   srv.connection: 0 handler(fn) 1 conn_id(u64) 2 last_seen(u64)
+//                   3 requests_served(u32) 4 bytes_out(u32) 5 session(ptr)
+//   srv.session:    0 token(u64) 1 expires_at(u64) 2 hits(u32)
+//                   3 flags(u32) 4 on_expire(fn)
+//   srv.request:    0 method(u8) 1 n_headers(u8) 2 key_len(u16)
+//                   3 val_len(u32) 4 key_hash(u64) 5 conn_id(u64)
+//                   6 session_token(u64)
+//   srv.header:     0 name(bytes 16) 1 value(bytes 32) 2 name_len(u8)
+//                   3 value_len(u8) 4 name_hash(u64)
+//   srv.cache_entry: 0 key_hash(u64) 1 value_hash(u64) 2 value_len(u32)
+//                    3 hits(u32) 4 inserted_at(u64) 5 lru_prev(ptr)
+//                    6 lru_next(ptr)
+//   srv.response:   0 status(u16) 1 body_len(u32) 2 body_hash(u64)
+//                   3 flags(u32)
+ServerTypes register_types(TypeRegistry& registry);
+
+inline constexpr std::uint32_t kHeaderNameCap = 16;
+inline constexpr std::uint32_t kHeaderValueCap = 32;
+
+/// Request methods on the wire (u8).
+enum class Method : std::uint8_t { kGet = 0, kPut = 1, kDel = 2, kStat = 3 };
+inline constexpr std::uint32_t kMethodCount = 4;
+
+/// TaintClass entry: serve one raw request buffer under taint tracking,
+/// with the request bytes as the sole taint source. The session / header /
+/// cache-entry types must come out *discovered* — that is the server
+/// workload's Table-I-style result (printed by `polar_server --taint`).
+void taint_serve(TaintClassSpace& space, const ServerTypes& t,
+                 std::span<const std::uint8_t> request);
+
+}  // namespace polar::server

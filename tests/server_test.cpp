@@ -1,0 +1,389 @@
+// Tests for the KV/HTTP server workload: deterministic request/arrival
+// generation, the Server<S> engine's cache/session/connection churn,
+// open-loop load-generator accounting, latency bookkeeping, cross-backend
+// response parity, and TaintClass discovery of the server's object graph
+// (DESIGN.md §16).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/session.h"
+#include "core/space.h"
+#include "taintclass/monitor.h"
+#include "taintclass/taint_space.h"
+#include "workloads/server/loadgen.h"
+#include "workloads/server/request_gen.h"
+#include "workloads/server/server.h"
+#include "workloads/server/types.h"
+
+namespace {
+
+using namespace polar;
+using namespace polar::server;
+
+// --- request generator -------------------------------------------------------
+
+TEST(RequestGen, DeterministicInSeed) {
+  WorkloadConfig cfg;
+  cfg.requests = 500;
+  const RequestWorkload a = build_workload(cfg);
+  const RequestWorkload b = build_workload(cfg);
+  ASSERT_EQ(a.count(), 500u);
+  ASSERT_EQ(a.count(), b.count());
+  ASSERT_EQ(a.total_bytes(), b.total_bytes());
+  for (std::uint64_t i = 0; i < a.count(); ++i) {
+    const auto ra = a.request(i);
+    const auto rb = b.request(i);
+    ASSERT_EQ(ra.size(), rb.size());
+    ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin())) << "request " << i;
+  }
+}
+
+TEST(RequestGen, SeedChangesStream) {
+  WorkloadConfig cfg;
+  cfg.requests = 200;
+  const RequestWorkload a = build_workload(cfg);
+  cfg.seed ^= 1;
+  const RequestWorkload b = build_workload(cfg);
+  bool any_diff = a.total_bytes() != b.total_bytes();
+  for (std::uint64_t i = 0; !any_diff && i < a.count(); ++i) {
+    const auto ra = a.request(i);
+    const auto rb = b.request(i);
+    any_diff = ra.size() != rb.size() ||
+               !std::equal(ra.begin(), ra.end(), rb.begin());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RequestGen, WireFormatParses) {
+  WorkloadConfig cfg;
+  cfg.requests = 300;
+  const RequestWorkload wl = build_workload(cfg);
+  for (std::uint64_t i = 0; i < wl.count(); ++i) {
+    const auto req = wl.request(i);
+    ASSERT_GE(req.size(), 24u) << "request " << i << " lacks its header";
+    EXPECT_LT(req[0], kMethodCount) << "bad method in request " << i;
+    EXPECT_LE(req[1], cfg.max_headers);
+  }
+}
+
+// --- arrival schedule --------------------------------------------------------
+
+TEST(ArrivalSchedule, FixedRateIsExactSpacing) {
+  const auto s = build_arrival_schedule(7, 100, 1e6, /*poisson=*/false);
+  ASSERT_EQ(s.size(), 100u);
+  EXPECT_EQ(s[0], 0u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i], 1000u * i);  // 1e6 rps = 1000 ns apart
+  }
+}
+
+TEST(ArrivalSchedule, PoissonDeterministicAndMonotone) {
+  const auto a = build_arrival_schedule(42, 1000, 5e5, /*poisson=*/true);
+  const auto b = build_arrival_schedule(42, 1000, 5e5, /*poisson=*/true);
+  EXPECT_EQ(a, b);
+  const auto c = build_arrival_schedule(43, 1000, 5e5, /*poisson=*/true);
+  EXPECT_NE(a, c);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    ASSERT_GE(a[i], a[i - 1]) << "schedule must be nondecreasing";
+  }
+  // Mean gap should be within 20% of 1/rate over 1000 draws.
+  const double mean = static_cast<double>(a.back()) / (a.size() - 1);
+  EXPECT_GT(mean, 2000.0 * 0.8);
+  EXPECT_LT(mean, 2000.0 * 1.2);
+}
+
+TEST(ArrivalSchedule, ZeroRateMeansImmediateArrivals) {
+  const auto s = build_arrival_schedule(1, 10, 0.0, true);
+  for (const auto v : s) EXPECT_EQ(v, 0u);
+}
+
+// --- server engine -----------------------------------------------------------
+
+RequestWorkload small_workload(std::uint64_t n = 2000) {
+  WorkloadConfig cfg;
+  cfg.requests = n;
+  return build_workload(cfg);
+}
+
+TEST(Server, ClosedLoopServesEverything) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  const RequestWorkload wl = small_workload();
+  DirectSpace space(reg);
+  Server<DirectSpace> server(space, t);
+  const LoadGenReport r = run_load(server, wl, LoadGenConfig{});
+  EXPECT_EQ(r.offered, wl.count());
+  EXPECT_EQ(r.served, wl.count());
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.latency_ns.count, r.served);
+  EXPECT_EQ(r.response_bytes, wl.count() * kResponseBytes);
+  EXPECT_TRUE(r.exact_percentiles);
+  const ServerStats& st = server.stats();
+  EXPECT_EQ(st.requests, wl.count());
+  EXPECT_EQ(st.responses, wl.count());
+  EXPECT_EQ(st.parse_errors, 0u);
+  EXPECT_GT(st.cache_hits, 0u);
+  EXPECT_GT(st.cache_inserts, 0u);
+  EXPECT_GT(st.sessions_created, 0u);
+  EXPECT_GT(st.conns_reused, 0u);
+  EXPECT_GT(st.headers_parsed, 0u);
+}
+
+TEST(Server, LruEvictionBoundsCache) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  WorkloadConfig wcfg;
+  wcfg.requests = 3000;
+  wcfg.put_pm = 900;  // PUT-heavy: force inserts past capacity
+  wcfg.get_pm = 50;
+  wcfg.del_pm = 0;
+  const RequestWorkload wl = build_workload(wcfg);
+  DirectSpace space(reg);
+  ServerConfig scfg;
+  scfg.cache_capacity = 64;
+  Server<DirectSpace> server(space, t, scfg);
+  std::vector<std::uint8_t> out;
+  for (std::uint64_t i = 0; i < wl.count(); ++i) server.serve(wl.request(i), out);
+  EXPECT_LE(server.cache_size(), 64u);
+  EXPECT_GT(server.stats().evictions, 0u);
+  EXPECT_EQ(server.stats().cache_inserts,
+            server.stats().evictions + server.stats().cache_deletes +
+                server.cache_size());
+}
+
+TEST(Server, SessionExpiryReclaims) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  WorkloadConfig wcfg;
+  wcfg.requests = 4000;
+  wcfg.max_sessions = 64;
+  const RequestWorkload wl = build_workload(wcfg);
+  DirectSpace space(reg);
+  ServerConfig scfg;
+  scfg.session_ttl = 32;  // well below the token revisit interval
+  Server<DirectSpace> server(space, t, scfg);
+  std::vector<std::uint8_t> out;
+  for (std::uint64_t i = 0; i < wl.count(); ++i) server.serve(wl.request(i), out);
+  EXPECT_GT(server.stats().sessions_expired, 0u);
+  EXPECT_EQ(server.session_count(), server.stats().sessions_created -
+                                        server.stats().sessions_expired);
+}
+
+TEST(Server, MalformedRequestGets400) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  DirectSpace space(reg);
+  Server<DirectSpace> server(space, t);
+  std::vector<std::uint8_t> out;
+  const std::uint8_t short_buf[] = {0, 1, 2};
+  EXPECT_EQ(server.serve({short_buf, sizeof(short_buf)}, out), kResponseBytes);
+  std::uint8_t bad_method[24] = {};
+  bad_method[0] = 200;  // method out of range
+  EXPECT_EQ(server.serve({bad_method, sizeof(bad_method)}, out),
+            kResponseBytes);
+  EXPECT_EQ(server.stats().parse_errors, 2u);
+  // Both responses carry status 400 (little-endian u16 at record start).
+  ASSERT_EQ(out.size(), 2 * kResponseBytes);
+  for (std::size_t rec = 0; rec < 2; ++rec) {
+    const std::uint16_t status = static_cast<std::uint16_t>(
+        out[rec * kResponseBytes] | (out[rec * kResponseBytes + 1] << 8));
+    EXPECT_EQ(status, kStatusBadRequest);
+  }
+}
+
+TEST(Server, ResetFreesPopulation) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  const RequestWorkload wl = small_workload(500);
+  RuntimeConfig rc;
+  rc.on_violation = ErrorAction::kReport;
+  Runtime rt(reg, rc);
+  {
+    SessionSpace space(rt);
+    Server<SessionSpace> server(space, t);
+    std::vector<std::uint8_t> out;
+    for (std::uint64_t i = 0; i < wl.count(); ++i) {
+      server.serve(wl.request(i), out);
+    }
+    EXPECT_GT(rt.stats().allocations, rt.stats().frees)
+        << "population must be live mid-run";
+    server.reset();
+    EXPECT_EQ(server.cache_size(), 0u);
+    EXPECT_EQ(server.session_count(), 0u);
+  }
+  // Everything the server allocated came back (no clones in this engine).
+  EXPECT_EQ(rt.stats().allocations, rt.stats().frees);
+  EXPECT_EQ(rt.stats().uaf_detected, 0u);
+}
+
+// --- open-loop load generator ------------------------------------------------
+
+TEST(LoadGen, OverloadBackpressureAccounting) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  const RequestWorkload wl = small_workload();
+  DirectSpace space(reg);
+  Server<DirectSpace> server(space, t);
+  LoadGenConfig lg;
+  lg.rate_rps = 50e6;  // arrivals far beyond service capacity
+  lg.queue_capacity = 4;
+  const LoadGenReport r = run_load(server, wl, lg);
+  EXPECT_EQ(r.offered, r.served + r.dropped);
+  EXPECT_GT(r.dropped, 0u) << "a 4-deep queue at 50M rps must tail-drop";
+  EXPECT_GT(r.served, 0u);
+  EXPECT_EQ(r.latency_ns.count, r.served);
+  // Every served request produced exactly one ring push.
+  const auto rs = r.ring.stats();
+  EXPECT_EQ(rs.recorded, r.served);
+  EXPECT_EQ(rs.recorded, rs.stored + rs.dropped);
+  EXPECT_EQ(rs.by_kind[static_cast<std::size_t>(
+                observe::TraceEventKind::kServerRequest)],
+            r.served);
+}
+
+TEST(LoadGen, HistogramAgreesWithRing) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  const RequestWorkload wl = small_workload(1000);
+  DirectSpace space(reg);
+  Server<DirectSpace> server(space, t);
+  LoadGenConfig lg;
+  lg.rate_rps = 2e6;
+  lg.ring_capacity = 1024;  // >= served, so the ring kept everything
+  const LoadGenReport r = run_load(server, wl, lg);
+  std::vector<observe::TraceEvent> events;
+  r.ring.snapshot(events);
+  ASSERT_EQ(events.size(), r.served);
+  // Rebuild the histogram from the ring's durations: same counts.
+  observe::Log2Histogram rebuilt;
+  for (const auto& e : events) rebuilt.record(e.duration);
+  EXPECT_EQ(rebuilt.count, r.latency_ns.count);
+  EXPECT_EQ(rebuilt.buckets, r.latency_ns.buckets);
+  // Exact percentiles must lie within their histogram bucket bounds.
+  EXPECT_TRUE(r.exact_percentiles);
+  EXPECT_LE(r.p50_ns, observe::percentile_upper_bound(r.latency_ns, 0.50));
+  EXPECT_LE(r.p99_ns, observe::percentile_upper_bound(r.latency_ns, 0.99));
+  EXPECT_LE(r.p999_ns, observe::percentile_upper_bound(r.latency_ns, 0.999));
+  EXPECT_LE(r.p50_ns, r.p99_ns);
+  EXPECT_LE(r.p99_ns, r.p999_ns);
+}
+
+TEST(LoadGen, PercentileUpperBoundBuckets) {
+  observe::Log2Histogram h;
+  EXPECT_EQ(observe::percentile_upper_bound(h, 0.99), 0u);
+  for (int i = 0; i < 99; ++i) h.record(3);   // bucket 2: (2, 4]
+  h.record(1000);                             // bucket 10: (512, 1024]
+  EXPECT_EQ(observe::percentile_upper_bound(h, 0.50), 3u);
+  EXPECT_EQ(observe::percentile_upper_bound(h, 0.99), 3u);
+  EXPECT_EQ(observe::percentile_upper_bound(h, 1.0), 1023u);
+}
+
+// --- cross-backend parity ----------------------------------------------------
+
+std::uint64_t closed_loop_hash(BackendConfig backend, const ServerTypes& t,
+                               TypeRegistry& reg, const RequestWorkload& wl,
+                               ServerConfig scfg = {}) {
+  RuntimeConfig rc;
+  rc.on_violation = ErrorAction::kAbort;  // any violation fails the test
+  rc.backend = backend;
+  Runtime rt(reg, rc);
+  SessionSpace space(rt);
+  Server<SessionSpace> server(space, t, scfg);
+  const LoadGenReport r = run_load(server, wl, LoadGenConfig{});
+  EXPECT_EQ(r.served, wl.count());
+  return r.response_hash;
+}
+
+TEST(Parity, AllBackendsMatchDirect) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  const RequestWorkload wl = small_workload();
+  DirectSpace direct(reg);
+  Server<DirectSpace> reference(direct, t);
+  const LoadGenReport want = run_load(reference, wl, LoadGenConfig{});
+  EXPECT_EQ(closed_loop_hash(BackendConfig::stored(), t, reg, wl),
+            want.response_hash);
+  EXPECT_EQ(closed_loop_hash(BackendConfig::stateless(), t, reg, wl),
+            want.response_hash);
+  EXPECT_EQ(closed_loop_hash(BackendConfig::hybrid(), t, reg, wl),
+            want.response_hash);
+}
+
+TEST(Parity, CursorAndPrefetchAblationsMatch) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  const RequestWorkload wl = small_workload(1000);
+  DirectSpace direct(reg);
+  Server<DirectSpace> reference(direct, t);
+  const LoadGenReport want = run_load(reference, wl, LoadGenConfig{});
+  ServerConfig scalar;
+  scalar.use_cursor = false;
+  scalar.use_prefetch = false;
+  EXPECT_EQ(closed_loop_hash(BackendConfig::stored(), t, reg, wl, scalar),
+            want.response_hash);
+  ServerConfig cursor_only;
+  cursor_only.use_prefetch = false;
+  EXPECT_EQ(closed_loop_hash(BackendConfig::stored(), t, reg, wl, cursor_only),
+            want.response_hash);
+}
+
+// --- TaintClass discovery ----------------------------------------------------
+
+TEST(Taint, DiscoversServerTypesFromRequestBytes) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  const RequestWorkload wl = small_workload(512);
+  TaintDomain domain;
+  TaintClassMonitor monitor(reg);
+  TaintClassSpace space(reg, domain, monitor);
+  for (std::uint64_t i = 0; i < wl.count(); ++i) {
+    domain.reset_shadow();
+    const auto req = wl.request(i);
+    std::vector<std::uint8_t> buf(req.begin(), req.end());
+    domain.taint_input(buf.data(), buf.size(), "server-request");
+    taint_serve(space, t, buf);
+  }
+  const auto list = monitor.randomization_list();
+  const auto has = [&list](const char* name) {
+    for (const auto& n : list) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("srv.request"));
+  EXPECT_TRUE(has("srv.header"));
+  EXPECT_TRUE(has("srv.session"));
+  EXPECT_TRUE(has("srv.connection"));
+  EXPECT_TRUE(has("srv.cache_entry"));
+  EXPECT_TRUE(has("srv.response"));
+  // The evidence is structural, not just "something was tainted": header
+  // allocation counts come from the n_headers byte.
+  for (const auto& rep : monitor.report()) {
+    if (rep.type_name == "srv.header") {
+      EXPECT_TRUE(rep.alloc_tainted);
+      EXPECT_TRUE(rep.content_tainted);
+    }
+    if (rep.type_name == "srv.cache_entry") EXPECT_TRUE(rep.alloc_tainted);
+  }
+}
+
+TEST(Taint, UntaintedRunDiscoversNothing) {
+  TypeRegistry reg;
+  const ServerTypes t = register_types(reg);
+  const RequestWorkload wl = small_workload(64);
+  TaintDomain domain;
+  TaintClassMonitor monitor(reg);
+  TaintClassSpace space(reg, domain, monitor);
+  for (std::uint64_t i = 0; i < wl.count(); ++i) {
+    domain.reset_shadow();
+    const auto req = wl.request(i);
+    std::vector<std::uint8_t> buf(req.begin(), req.end());
+    // No taint_input: the same parse over unlabeled bytes.
+    taint_serve(space, t, buf);
+  }
+  EXPECT_EQ(monitor.tainted_type_count(), 0u);
+}
+
+}  // namespace
